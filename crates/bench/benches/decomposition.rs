@@ -1,0 +1,49 @@
+//! Criterion bench: mesh-synthesis throughput.
+//!
+//! Clements and Reck decompositions across the mesh sizes used by the
+//! paper's network (10×10 and 16×16) plus a larger 32×32 point to expose
+//! the O(N³) scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spnn_linalg::random::haar_unitary;
+use spnn_linalg::CMatrix;
+use spnn_mesh::{clements, reck};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn unitaries() -> Vec<(usize, CMatrix)> {
+    let mut rng = StdRng::seed_from_u64(1);
+    [5usize, 10, 16, 32]
+        .into_iter()
+        .map(|n| (n, haar_unitary(n, &mut rng)))
+        .collect()
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_synthesis");
+    group.sample_size(20);
+    for (n, u) in unitaries() {
+        group.bench_with_input(BenchmarkId::new("clements", n), &u, |b, u| {
+            b.iter(|| clements::decompose(std::hint::black_box(u)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reck", n), &u, |b, u| {
+            b.iter(|| reck::decompose(std::hint::black_box(u)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_matrix_eval");
+    group.sample_size(20);
+    for (n, u) in unitaries() {
+        let mesh = clements::decompose(&u).unwrap();
+        group.bench_with_input(BenchmarkId::new("ideal_matrix", n), &mesh, |b, m| {
+            b.iter(|| std::hint::black_box(m).matrix())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompositions, bench_reconstruction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: optical forward propagation.
+//!
+//! Field-vector propagation through a mesh (O(#MZI) two-mode updates) vs
+//! full perturbed-matrix evaluation — the inner loops of the Monte-Carlo
+//! engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spnn_linalg::random::{gaussian_vector, haar_unitary};
+use spnn_mesh::clements;
+use spnn_photonics::UncertaintySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_forward");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in [10usize, 16, 32] {
+        let u = haar_unitary(n, &mut rng);
+        let mesh = clements::decompose(&u).unwrap();
+        let input = gaussian_vector(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("field_vector", n), &n, |b, _| {
+            b.iter(|| mesh.forward(std::hint::black_box(&input)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_perturbed_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_perturbed_matrix");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let spec = UncertaintySpec::both(0.05);
+    for n in [10usize, 16] {
+        let u = haar_unitary(n, &mut rng);
+        let mesh = clements::decompose(&u).unwrap();
+        group.bench_with_input(BenchmarkId::new("matrix_with_noise", n), &n, |b, _| {
+            let mut draw_rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                mesh.matrix_with(|_, site| spec.perturb_mzi(&site.device(), &mut draw_rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_perturbed_matrix);
+criterion_main!(benches);

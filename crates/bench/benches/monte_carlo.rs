@@ -1,0 +1,50 @@
+//! Criterion bench: Monte-Carlo engine cost.
+//!
+//! One full hardware realization of the paper's 16-16-16-10 network
+//! (687 MZI draws + six mesh-matrix evaluations) and one accuracy
+//! evaluation over a small test batch — the two dominant per-iteration
+//! costs of EXP 1 / EXP 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spnn_core::{HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_linalg::C64;
+use spnn_neural::ComplexNetwork;
+use spnn_photonics::UncertaintySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
+    let sw = ComplexNetwork::new(&[16, 16, 16, 10], 9);
+    let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+    let features: Vec<Vec<C64>> = (0..100)
+        .map(|i| {
+            (0..16)
+                .map(|j| C64::new(((i * 3 + j) % 7) as f64 * 0.1, ((i + j * 5) % 4) as f64 * 0.1))
+                .collect()
+        })
+        .collect();
+    let ideal = hw.ideal_matrices();
+    let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+    (hw, features, labels)
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let (hw, _, _) = setup();
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let fx = HardwareEffects::default();
+    c.bench_function("realize_paper_network", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        b.iter(|| hw.realize(std::hint::black_box(&plan), &fx, &mut rng))
+    });
+}
+
+fn bench_accuracy_eval(c: &mut Criterion) {
+    let (hw, xs, ys) = setup();
+    let ideal = hw.ideal_matrices();
+    c.bench_function("accuracy_100_images", |b| {
+        b.iter(|| hw.accuracy_with(std::hint::black_box(&ideal), &xs, &ys))
+    });
+}
+
+criterion_group!(benches, bench_realize, bench_accuracy_eval);
+criterion_main!(benches);

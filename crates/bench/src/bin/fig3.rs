@@ -1,0 +1,53 @@
+//! Fig. 3 — average RVD per faulty MZI for four random 5×5 unitaries.
+//!
+//! "We consider four randomly generated 5×5 unitary matrices with random
+//! perturbations in the PhS and BeS. For each matrix, we introduce
+//! variations in one MZI at a time. For each MZI, we perform 1000 Monte
+//! Carlo iterations and calculate the average RVD. … the MZI parameters
+//! (θ, φ, r, r′, t, t′) corresponding to the faulty MZI are chosen from a
+//! Gaussian distribution with σ_PhS = σ_BeS = 0.05."
+//!
+//! Usage: `cargo run --release -p spnn-bench --bin fig3`
+//! (`SPNN_MC` overrides the per-MZI iteration count; paper scale is 1000.)
+
+use spnn_bench::{write_csv, HarnessConfig};
+use spnn_core::criticality::mzi_rvd_profile;
+use spnn_linalg::random::haar_unitary;
+use spnn_mesh::clements;
+use spnn_photonics::UncertaintySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let iterations = cfg.mc_iterations.max(100);
+    let spec = UncertaintySpec::both(0.05);
+    let n = 5;
+
+    println!(
+        "Fig. 3 reproduction: per-MZI average RVD, {iterations} MC iterations, σ_PhS = σ_BeS = 0.05"
+    );
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF16_3);
+    for matrix_idx in 0..4 {
+        let u = haar_unitary(n, &mut rng);
+        let mesh = clements::decompose(&u).expect("unitary decomposition");
+        assert_eq!(mesh.n_mzis(), 10, "5×5 Clements mesh has 10 MZIs");
+        let profile = mzi_rvd_profile(&mesh, &spec, iterations, cfg.seed ^ matrix_idx);
+
+        print!("  matrix {matrix_idx}: ");
+        for (mzi, &v) in profile.iter().enumerate() {
+            print!("MZI{:<2}={v:.3} ", mzi + 1);
+            rows.push(format!("{matrix_idx},{},{v:.6}", mzi + 1));
+        }
+        println!();
+        let min = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = profile.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "    spread: min {min:.3}, max {max:.3} (ratio {:.2}x) — position-dependent impact",
+            max / min
+        );
+    }
+    write_csv("fig3_rvd.csv", "matrix,mzi,avg_rvd", &rows);
+    println!("  paper observation: significant RVD variation across MZIs and across matrices");
+}

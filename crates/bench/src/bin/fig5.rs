@@ -1,0 +1,72 @@
+//! Fig. 5 / EXP 2 — accuracy loss under zonal perturbations.
+//!
+//! One heat map per unitary multiplier (U_L0, Vᴴ_L0, U_L1, Vᴴ_L1, U_L2,
+//! Vᴴ_L2): the selected 2×2-MZI zone gets σ = 0.1 while the rest of the
+//! SPNN sits at σ = 0.05; Σ lines are error-free with singular values in
+//! random order; each cell reports the loss in mean accuracy versus nominal.
+//!
+//! Usage: `cargo run --release -p spnn-bench --bin fig5`
+//! (paper scale: `SPNN_MC=1000 SPNN_NTEST=10000` — slow; defaults are scaled
+//! down but preserve the qualitative result.)
+
+use spnn_bench::{prepare_spnn, render_heatmap, write_csv, HarnessConfig};
+use spnn_core::exp2::{run_all, Exp2Config};
+use spnn_core::{MeshTopology, Stage};
+
+fn panel_name(layer: usize, stage: Stage) -> String {
+    match stage {
+        Stage::UMesh => format!("U_L{layer}"),
+        Stage::VMesh => format!("VH_L{layer}"),
+        Stage::Sigma => format!("Sigma_L{layer}"),
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+
+    let exp_cfg = Exp2Config {
+        iterations: cfg.mc_iterations.min(200),
+        seed: cfg.seed ^ 0xF16_5,
+        ..Exp2Config::default()
+    };
+    println!(
+        "Fig. 5 / EXP 2 reproduction ({} MC iterations per zone, base σ = {}, hot σ = {})",
+        exp_cfg.iterations, exp_cfg.base_sigma, exp_cfg.hot_sigma
+    );
+    println!("nominal accuracy: {:.2}%", spnn.nominal_accuracy * 100.0);
+
+    let panels = run_all(
+        &spnn.hardware,
+        &spnn.data.test_features,
+        &spnn.data.test_labels,
+        &exp_cfg,
+    );
+
+    let mut global_min = f64::INFINITY;
+    let mut global_max = f64::NEG_INFINITY;
+    for panel in &panels {
+        let name = panel_name(panel.layer, panel.stage);
+        let (rows, cols) = panel.shape();
+        println!("\npanel {name} ({rows}x{cols} zones), accuracy loss (pts):");
+        print!("{}", render_heatmap(&panel.loss_percent));
+        let (lo, hi) = panel.loss_range();
+        println!("  range: {lo:.2} – {hi:.2} pts");
+        global_min = global_min.min(lo);
+        global_max = global_max.max(hi);
+
+        let mut csv_rows = Vec::new();
+        for (zr, row) in panel.loss_percent.iter().enumerate() {
+            for (zc, &v) in row.iter().enumerate() {
+                csv_rows.push(format!("{zr},{zc},{v:.4}"));
+            }
+        }
+        let fname = format!("fig5_zone_{}.csv", name.to_lowercase());
+        write_csv(&fname, "zone_row,zone_col,accuracy_loss_pts", &csv_rows);
+    }
+
+    println!("\nshape checks vs. paper:");
+    println!(
+        "  zonal losses span {global_min:.2} – {global_max:.2} pts; the paper's span hovers around its 69.98-pt global-σ=0.05 figure with low-/high-impact zones scattered irregularly"
+    );
+}

@@ -1,0 +1,197 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every `fig*`/`ablation_*` binary follows the same recipe: generate the
+//! synthetic dataset, train the paper's 16-16-16-10 complex network, map it
+//! to photonic hardware, run one experiment, and emit a CSV under
+//! `results/` plus a human-readable summary on stdout. This module holds the
+//! common pieces so each binary is a short, readable script.
+//!
+//! Scaling knobs (environment variables, all optional):
+//!
+//! | variable        | default | meaning                                  |
+//! |-----------------|---------|------------------------------------------|
+//! | `SPNN_MC`       | 60      | Monte-Carlo iterations per data point    |
+//! | `SPNN_NTRAIN`   | 3000    | training samples                         |
+//! | `SPNN_NTEST`    | 1000    | test samples per accuracy evaluation     |
+//! | `SPNN_EPOCHS`   | 40      | training epochs                          |
+//! | `SPNN_SEED`     | 7       | master seed                              |
+//!
+//! The paper-scale run is `SPNN_MC=1000 SPNN_NTEST=10000`.
+
+use spnn_core::{MeshTopology, PhotonicNetwork};
+use spnn_dataset::{DatasetConfig, SpnnDataset};
+use spnn_neural::{train, ComplexNetwork, TrainConfig};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Experiment-scale knobs, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Monte-Carlo iterations per data point.
+    pub mc_iterations: usize,
+    /// Training-set size.
+    pub n_train: usize,
+    /// Test-set size.
+    pub n_test: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Reads the configuration from `SPNN_*` environment variables.
+    pub fn from_env() -> Self {
+        fn read<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Self {
+            mc_iterations: read("SPNN_MC", 60),
+            n_train: read("SPNN_NTRAIN", 3000),
+            n_test: read("SPNN_NTEST", 1000),
+            epochs: read("SPNN_EPOCHS", 40),
+            seed: read("SPNN_SEED", 7),
+        }
+    }
+}
+
+/// A trained SPNN with its dataset — the starting point of every
+/// system-level experiment.
+#[derive(Debug)]
+pub struct TrainedSpnn {
+    /// The dataset (train + test splits).
+    pub data: SpnnDataset,
+    /// The software-trained network.
+    pub software: ComplexNetwork,
+    /// The photonic mapping (Clements, shuffled singular values as in EXP 2).
+    pub hardware: PhotonicNetwork,
+    /// Software accuracy on the test set.
+    pub software_accuracy: f64,
+    /// Ideal (σ = 0) hardware accuracy on the test set.
+    pub nominal_accuracy: f64,
+}
+
+/// Generates data, trains the paper architecture and maps it to hardware.
+///
+/// # Panics
+///
+/// Panics if the photonic mapping fails (not expected for trained weights).
+pub fn prepare_spnn(cfg: &HarnessConfig, topology: MeshTopology) -> TrainedSpnn {
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: cfg.n_train,
+        n_test: cfg.n_test,
+        crop: 4,
+        seed: cfg.seed,
+    });
+    let mut software = ComplexNetwork::new(&[16, 16, 16, 10], cfg.seed ^ 0x11);
+    let report = train(
+        &mut software,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: cfg.seed ^ 0x22,
+            verbose: false,
+        },
+    );
+    let hardware = PhotonicNetwork::from_network(&software, topology, Some(cfg.seed ^ 0x33))
+        .expect("photonic mapping");
+    let software_accuracy = software.accuracy(&data.test_features, &data.test_labels);
+    let nominal_accuracy = hardware.ideal_accuracy(&data.test_features, &data.test_labels);
+    eprintln!(
+        "[harness] trained {} epochs: train acc {:.2}%, test acc {:.2}%, nominal hardware acc {:.2}%",
+        cfg.epochs,
+        report.train_accuracy * 100.0,
+        software_accuracy * 100.0,
+        nominal_accuracy * 100.0
+    );
+    TrainedSpnn {
+        data,
+        software,
+        hardware,
+        software_accuracy,
+        nominal_accuracy,
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+///
+/// Anchored on this crate's manifest directory so the harness binaries can
+/// be launched from any working directory.
+pub fn results_dir() -> PathBuf {
+    let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&raw).ok();
+    raw.canonicalize().unwrap_or(raw)
+}
+
+/// Writes a CSV file under `results/` and logs the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness binaries should fail loudly.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    writeln!(body, "{header}").expect("string write");
+    for row in rows {
+        writeln!(body, "{row}").expect("string write");
+    }
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("[harness] wrote {}", path.display());
+    path
+}
+
+/// Renders a heat map as an aligned text table (rows top-to-bottom).
+pub fn render_heatmap(values: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    for row in values {
+        for v in row {
+            let _ = write!(out, "{v:>7.2}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_without_env() {
+        // Read defaults via explicit fallbacks (env may or may not be set in
+        // the test environment; only check that parsing doesn't panic).
+        let cfg = HarnessConfig::from_env();
+        assert!(cfg.mc_iterations > 0);
+        assert!(cfg.n_test > 0);
+    }
+
+    #[test]
+    fn heatmap_rendering_is_rectangular() {
+        let s = render_heatmap(&[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn tiny_end_to_end_pipeline() {
+        // A miniature version of what every figure binary does.
+        let cfg = HarnessConfig {
+            mc_iterations: 2,
+            n_train: 80,
+            n_test: 40,
+            epochs: 3,
+            seed: 5,
+        };
+        let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+        assert_eq!(spnn.data.test_features.len(), 40);
+        // Hardware nominal accuracy equals software accuracy (same math).
+        assert!((spnn.nominal_accuracy - spnn.software_accuracy).abs() < 1e-9);
+    }
+}

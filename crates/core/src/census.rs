@@ -1,0 +1,176 @@
+//! Component census — the paper's architecture arithmetic.
+//!
+//! The abstract quotes "an SPNN with two hidden layers and **1374**
+//! tunable-thermal-phase shifters". That number decomposes as
+//!
+//! | layer | shape  | U mesh | Vᴴ mesh | Σ line | MZIs | PhS |
+//! |-------|--------|--------|---------|--------|------|-----|
+//! | L0    | 16×16  | 120    | 120     | 16     | 256  | 512 |
+//! | L1    | 16×16  | 120    | 120     | 16     | 256  | 512 |
+//! | L2    | 10×16  | 45     | 120     | 10     | 175  | 350 |
+//! | total |        |        |         |        | 687  | 1374|
+//!
+//! (An `N×N` Clements mesh has `N(N−1)/2` MZIs; each MZI carries two phase
+//! shifters and two beam splitters; the output phase screens are not
+//! counted, which is the only accounting that reproduces 1374.)
+
+use crate::network::PhotonicNetwork;
+use std::fmt;
+
+/// Component counts for a single photonic layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCensus {
+    /// Layer index.
+    pub layer: usize,
+    /// Output dimension of the layer.
+    pub out_dim: usize,
+    /// Input dimension of the layer.
+    pub in_dim: usize,
+    /// MZIs in the `U` mesh.
+    pub u_mzis: usize,
+    /// MZIs in the `Vᴴ` mesh.
+    pub v_mzis: usize,
+    /// Terminated MZIs in the Σ line.
+    pub sigma_mzis: usize,
+}
+
+impl LayerCensus {
+    /// Total MZIs in the layer.
+    pub fn mzis(&self) -> usize {
+        self.u_mzis + self.v_mzis + self.sigma_mzis
+    }
+
+    /// Tunable phase shifters (two per MZI).
+    pub fn phase_shifters(&self) -> usize {
+        2 * self.mzis()
+    }
+
+    /// Beam splitters (two per MZI).
+    pub fn beam_splitters(&self) -> usize {
+        2 * self.mzis()
+    }
+}
+
+/// Component counts for a full photonic network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentCensus {
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerCensus>,
+}
+
+impl ComponentCensus {
+    /// Counts every component of a photonic network.
+    pub fn of(network: &PhotonicNetwork) -> Self {
+        let layers = network
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LayerCensus {
+                layer: i,
+                out_dim: l.intended().rows(),
+                in_dim: l.intended().cols(),
+                u_mzis: l.u_mesh().n_mzis(),
+                v_mzis: l.v_mesh().n_mzis(),
+                sigma_mzis: l.sigma().n_mzis(),
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Total MZIs in the network.
+    pub fn total_mzis(&self) -> usize {
+        self.layers.iter().map(|l| l.mzis()).sum()
+    }
+
+    /// Total tunable phase shifters — the paper's headline 1374.
+    pub fn total_phase_shifters(&self) -> usize {
+        self.layers.iter().map(|l| l.phase_shifters()).sum()
+    }
+
+    /// Total beam splitters.
+    pub fn total_beam_splitters(&self) -> usize {
+        self.layers.iter().map(|l| l.beam_splitters()).sum()
+    }
+}
+
+impl fmt::Display for ComponentCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
+            "layer", "shape", "U MZIs", "VH MZIs", "Σ MZIs", "MZIs", "PhS"
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "{:<6} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
+                l.layer,
+                format!("{}x{}", l.out_dim, l.in_dim),
+                l.u_mzis,
+                l.v_mzis,
+                l.sigma_mzis,
+                l.mzis(),
+                l.phase_shifters()
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<6} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
+            "total",
+            "",
+            "",
+            "",
+            "",
+            self.total_mzis(),
+            self.total_phase_shifters()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MeshTopology;
+    use spnn_neural::ComplexNetwork;
+
+    #[test]
+    fn paper_network_has_687_mzis_and_1374_phase_shifters() {
+        // The headline check: 16 → 16 → 16 → 10 network.
+        let sw = ComplexNetwork::new(&[16, 16, 16, 10], 71);
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let census = ComponentCensus::of(&hw);
+        assert_eq!(census.total_mzis(), 687);
+        assert_eq!(census.total_phase_shifters(), 1374);
+        assert_eq!(census.total_beam_splitters(), 1374);
+        // Per-layer breakdown from DESIGN.md.
+        assert_eq!(census.layers[0].u_mzis, 120);
+        assert_eq!(census.layers[0].v_mzis, 120);
+        assert_eq!(census.layers[0].sigma_mzis, 16);
+        assert_eq!(census.layers[2].u_mzis, 45); // 10×10 mesh
+        assert_eq!(census.layers[2].v_mzis, 120); // 16×16 mesh
+        assert_eq!(census.layers[2].sigma_mzis, 10);
+    }
+
+    #[test]
+    fn census_display_contains_totals() {
+        let sw = ComplexNetwork::new(&[4, 3], 72);
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let census = ComponentCensus::of(&hw);
+        let text = census.to_string();
+        assert!(text.contains("total"));
+        assert!(text.contains("4x3") || text.contains("3x4"));
+    }
+
+    #[test]
+    fn reck_census_matches_clements_counts() {
+        // Same MZI count, different topology.
+        let sw = ComplexNetwork::new(&[6, 5], 73);
+        let c = ComponentCensus::of(
+            &PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap(),
+        );
+        let r = ComponentCensus::of(
+            &PhotonicNetwork::from_network(&sw, MeshTopology::Reck, None).unwrap(),
+        );
+        assert_eq!(c.total_mzis(), r.total_mzis());
+    }
+}

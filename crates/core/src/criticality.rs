@@ -1,0 +1,257 @@
+//! Criticality analysis — the paper's design-time framework for finding the
+//! components where "random uncertainties lead to severe performance
+//! degradation" (§I, §III-C, Fig. 3).
+//!
+//! Two complementary measures:
+//!
+//! - **Layer level** (Fig. 3): perturb one MZI at a time in a unitary mesh
+//!   and report the Monte-Carlo-average RVD between the realized and the
+//!   intended unitary — MZI position and tuned phases make some devices far
+//!   more damaging than others.
+//! - **Device level** (Fig. 2 proxy): MZIs with larger tuned phase angles
+//!   are more susceptible to a given *relative* error; the per-site phase
+//!   load provides an analysis-only (no simulation) criticality ranking.
+//!
+//! "Our entire analysis can be performed prior to fabrication and after
+//! software training" — everything here needs only the mesh parameters.
+
+use crate::monte_carlo::splitmix64;
+use spnn_mesh::rvd::rvd;
+use spnn_mesh::UnitaryMesh;
+use spnn_photonics::UncertaintySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Average RVD caused by perturbing each MZI of a mesh in isolation —
+/// the Fig. 3 profile.
+///
+/// For every MZI `i`, runs `iterations` Monte-Carlo draws where only MZI
+/// `i` receives `spec` (all other devices ideal) and averages
+/// `RVD(realized, intended)`.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+pub fn mzi_rvd_profile(
+    mesh: &UnitaryMesh,
+    spec: &UncertaintySpec,
+    iterations: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(iterations > 0, "need at least one iteration");
+    let intended = mesh.matrix();
+    let mut profile = Vec::with_capacity(mesh.n_mzis());
+    for target in 0..mesh.n_mzis() {
+        let mut acc = 0.0;
+        for k in 0..iterations {
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                seed ^ ((target as u64) << 24) ^ k as u64,
+            ));
+            let realized = mesh.matrix_with(|i, site| {
+                let dev = site.device();
+                if i == target {
+                    spec.perturb_mzi(&dev, &mut rng)
+                } else {
+                    dev
+                }
+            });
+            acc += rvd(&realized, &intended);
+        }
+        profile.push(acc / iterations as f64);
+    }
+    profile
+}
+
+/// Sites ranked by average RVD, most critical first: `(mzi_index, rvd)`.
+pub fn rank_by_rvd(
+    mesh: &UnitaryMesh,
+    spec: &UncertaintySpec,
+    iterations: usize,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let profile = mzi_rvd_profile(mesh, spec, iterations, seed);
+    let mut ranked: Vec<(usize, f64)> = profile.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite RVD"));
+    ranked
+}
+
+/// Analysis-only criticality proxy from the device-level result (Fig. 2):
+/// sites ranked by tuned phase load `θ + φ` (wrapped), largest first.
+/// No Monte-Carlo needed — O(#MZI).
+pub fn rank_by_phase_load(mesh: &UnitaryMesh) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = mesh.phase_load().into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite load"));
+    ranked
+}
+
+/// Summary of a mesh's uncertainty criticality.
+#[derive(Debug, Clone)]
+pub struct CriticalityReport {
+    /// Per-MZI average RVD (index-aligned with `mesh.mzis()`).
+    pub rvd_profile: Vec<f64>,
+    /// Spread of the profile: `(min, max)` — the paper's Fig. 3 observation
+    /// is that this spread is wide and matrix-dependent.
+    pub rvd_range: (f64, f64),
+    /// Most critical site by RVD.
+    pub most_critical: usize,
+    /// Spearman-style rank agreement between the RVD ranking and the cheap
+    /// phase-load proxy, in `[-1, 1]`.
+    pub proxy_agreement: f64,
+}
+
+/// Produces a full criticality report for one mesh.
+///
+/// # Panics
+///
+/// Panics if the mesh has no MZIs or `iterations == 0`.
+pub fn analyze_mesh(
+    mesh: &UnitaryMesh,
+    spec: &UncertaintySpec,
+    iterations: usize,
+    seed: u64,
+) -> CriticalityReport {
+    assert!(mesh.n_mzis() > 0, "mesh has no MZIs");
+    let rvd_profile = mzi_rvd_profile(mesh, spec, iterations, seed);
+    let min = rvd_profile.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rvd_profile.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let most_critical = rvd_profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+
+    let load: Vec<f64> = mesh.phase_load();
+    let proxy_agreement = spearman(&rvd_profile, &load);
+
+    CriticalityReport {
+        rvd_profile,
+        rvd_range: (min, max),
+        most_critical,
+        proxy_agreement,
+    }
+}
+
+/// Spearman rank correlation between two equal-length score vectors.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite"));
+        let mut r = vec![0.0; xs.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::random::haar_unitary;
+    use spnn_mesh::clements;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh5(seed: u64) -> UnitaryMesh {
+        let u = haar_unitary(5, &mut StdRng::seed_from_u64(seed));
+        clements::decompose(&u).unwrap()
+    }
+
+    #[test]
+    fn profile_has_one_entry_per_mzi() {
+        let mesh = mesh5(61);
+        let spec = UncertaintySpec::both(0.05);
+        let profile = mzi_rvd_profile(&mesh, &spec, 20, 1);
+        assert_eq!(profile.len(), 10);
+        assert!(profile.iter().all(|&x| x > 0.0), "every MZI matters");
+    }
+
+    #[test]
+    fn profile_varies_across_mzis_fig3_observation() {
+        // Fig. 3: "significant variation in the average RVD corresponding to
+        // different MZIs representing the same unitary matrix."
+        let mesh = mesh5(62);
+        let spec = UncertaintySpec::both(0.05);
+        let profile = mzi_rvd_profile(&mesh, &spec, 50, 2);
+        let min = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = profile.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 1.5 * min, "profile too flat: {profile:?}");
+    }
+
+    #[test]
+    fn profiles_differ_across_matrices_fig3_observation() {
+        // Fig. 3: "the distribution of average RVD across the MZIs differs
+        // across the four unitary matrices."
+        let spec = UncertaintySpec::both(0.05);
+        let p1 = mzi_rvd_profile(&mesh5(63), &spec, 30, 3);
+        let p2 = mzi_rvd_profile(&mesh5(64), &spec, 30, 3);
+        let dist: f64 = p1.iter().zip(p2.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 0.05, "profiles suspiciously similar");
+    }
+
+    #[test]
+    fn ranking_sorts_descending() {
+        let mesh = mesh5(65);
+        let spec = UncertaintySpec::both(0.05);
+        let ranked = rank_by_rvd(&mesh, &spec, 10, 4);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ranked.len(), 10);
+    }
+
+    #[test]
+    fn phase_load_ranking_is_deterministic_and_sorted() {
+        let mesh = mesh5(66);
+        let r1 = rank_by_phase_load(&mesh);
+        let r2 = rank_by_phase_load(&mesh);
+        assert_eq!(r1, r2);
+        for w in r1.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let mesh = mesh5(67);
+        let spec = UncertaintySpec::both(0.05);
+        let report = analyze_mesh(&mesh, &spec, 20, 5);
+        assert_eq!(report.rvd_profile.len(), mesh.n_mzis());
+        assert!(report.rvd_range.0 <= report.rvd_range.1);
+        assert_eq!(
+            report.rvd_profile[report.most_critical],
+            report.rvd_range.1
+        );
+        assert!((-1.0..=1.0).contains(&report.proxy_agreement));
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+}

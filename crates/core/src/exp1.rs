@@ -1,0 +1,194 @@
+//! EXP 1 — global uncertainties (paper §III-D, Fig. 4).
+//!
+//! "We select a σ_PhS and σ_BeS and for each selected value, perform 1000
+//! Monte Carlo iterations. … EXP 1 is performed with uncertainties inserted
+//! only in PhS, only in BeS, and in both where σ_PhS = σ_BeS."
+//!
+//! The runner sweeps σ over the paper's range for all three targeting modes
+//! and returns one [`McResult`] per `(σ, mode)` point — the three curves of
+//! Fig. 4.
+
+use crate::monte_carlo::{mc_accuracy, McResult};
+use crate::network::PhotonicNetwork;
+use crate::perturbation::{HardwareEffects, PerturbationPlan};
+use spnn_linalg::C64;
+use spnn_photonics::{PerturbTarget, UncertaintySpec};
+
+/// The σ grid of Fig. 4 (normalized units, see
+/// [`UncertaintySpec`]): 0 to 0.15.
+pub const PAPER_SIGMAS: [f64; 9] = [0.0, 0.005, 0.01, 0.025, 0.05, 0.075, 0.1, 0.125, 0.15];
+
+/// One point of the EXP 1 sweep.
+#[derive(Debug, Clone)]
+pub struct Exp1Point {
+    /// The normalized σ of this point.
+    pub sigma: f64,
+    /// Which component class was perturbed.
+    pub mode: PerturbTarget,
+    /// Monte-Carlo accuracy estimate.
+    pub result: McResult,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Exp1Config {
+    /// σ values to sweep (defaults to [`PAPER_SIGMAS`]).
+    pub sigmas: Vec<f64>,
+    /// Monte-Carlo iterations per point (paper: 1000).
+    pub iterations: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Targeting modes to run (defaults to all three of the paper).
+    pub modes: Vec<PerturbTarget>,
+}
+
+impl Default for Exp1Config {
+    fn default() -> Self {
+        Self {
+            sigmas: PAPER_SIGMAS.to_vec(),
+            iterations: 60,
+            seed: 0xEB1,
+            modes: vec![
+                PerturbTarget::PhaseShiftersOnly,
+                PerturbTarget::BeamSplittersOnly,
+                PerturbTarget::Both,
+            ],
+        }
+    }
+}
+
+/// Builds the [`UncertaintySpec`] for a mode at a given σ.
+pub fn spec_for_mode(mode: PerturbTarget, sigma: f64) -> UncertaintySpec {
+    match mode {
+        PerturbTarget::PhaseShiftersOnly => UncertaintySpec::phase_shifters_only(sigma),
+        PerturbTarget::BeamSplittersOnly => UncertaintySpec::beam_splitters_only(sigma),
+        PerturbTarget::Both => UncertaintySpec::both(sigma),
+    }
+}
+
+/// Runs the EXP 1 sweep. Uncertainties cover every MZI including the Σ
+/// lines (all 1374 PhS of the paper's network are tunable-thermal devices).
+pub fn run(
+    network: &PhotonicNetwork,
+    features: &[Vec<C64>],
+    labels: &[usize],
+    config: &Exp1Config,
+) -> Vec<Exp1Point> {
+    let effects = HardwareEffects::default();
+    let mut out = Vec::with_capacity(config.sigmas.len() * config.modes.len());
+    for &mode in &config.modes {
+        for (si, &sigma) in config.sigmas.iter().enumerate() {
+            let plan = if sigma == 0.0 {
+                PerturbationPlan::None
+            } else {
+                PerturbationPlan::global(spec_for_mode(mode, sigma))
+            };
+            // Distinct seed per point, stable across config extensions.
+            let seed = config.seed ^ ((si as u64) << 8) ^ (mode_tag(mode) << 32);
+            let result = mc_accuracy(
+                network,
+                &plan,
+                &effects,
+                features,
+                labels,
+                config.iterations,
+                seed,
+            );
+            out.push(Exp1Point {
+                sigma,
+                mode,
+                result,
+            });
+        }
+    }
+    out
+}
+
+fn mode_tag(mode: PerturbTarget) -> u64 {
+    match mode {
+        PerturbTarget::PhaseShiftersOnly => 1,
+        PerturbTarget::BeamSplittersOnly => 2,
+        PerturbTarget::Both => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MeshTopology;
+    use spnn_neural::ComplexNetwork;
+
+    fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
+        let sw = ComplexNetwork::new(&[4, 4, 3], 41);
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let features: Vec<Vec<C64>> = (0..10)
+            .map(|i| {
+                (0..4)
+                    .map(|j| C64::new(((i + j) % 4) as f64 * 0.25, ((i * j) % 3) as f64 * 0.2))
+                    .collect()
+            })
+            .collect();
+        let ideal = hw.ideal_matrices();
+        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        (hw, features, labels)
+    }
+
+    #[test]
+    fn sweep_shape_and_nominal_point() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp1Config {
+            sigmas: vec![0.0, 0.05, 0.15],
+            iterations: 5,
+            seed: 1,
+            modes: vec![PerturbTarget::Both],
+        };
+        let points = run(&hw, &xs, &ys, &cfg);
+        assert_eq!(points.len(), 3);
+        // σ = 0 keeps nominal accuracy (labels were defined by the ideal net).
+        assert!((points[0].result.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_trends_downward_with_sigma() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp1Config {
+            sigmas: vec![0.0, 0.15],
+            iterations: 12,
+            seed: 2,
+            modes: vec![PerturbTarget::Both],
+        };
+        let points = run(&hw, &xs, &ys, &cfg);
+        assert!(
+            points[1].result.mean < points[0].result.mean,
+            "σ=0.15 ({}) should hurt vs σ=0 ({})",
+            points[1].result.mean,
+            points[0].result.mean
+        );
+    }
+
+    #[test]
+    fn all_three_modes_run() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp1Config {
+            sigmas: vec![0.05],
+            iterations: 3,
+            seed: 3,
+            modes: Exp1Config::default().modes,
+        };
+        let points = run(&hw, &xs, &ys, &cfg);
+        assert_eq!(points.len(), 3);
+        let modes: Vec<PerturbTarget> = points.iter().map(|p| p.mode).collect();
+        assert!(modes.contains(&PerturbTarget::PhaseShiftersOnly));
+        assert!(modes.contains(&PerturbTarget::BeamSplittersOnly));
+        assert!(modes.contains(&PerturbTarget::Both));
+    }
+
+    #[test]
+    fn paper_sigma_grid_is_sorted_and_bounded() {
+        assert_eq!(PAPER_SIGMAS[0], 0.0);
+        assert_eq!(*PAPER_SIGMAS.last().unwrap(), 0.15);
+        for w in PAPER_SIGMAS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

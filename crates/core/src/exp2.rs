@@ -1,0 +1,250 @@
+//! EXP 2 — global uncertainties with zonal perturbations (paper §III-D,
+//! Fig. 5).
+//!
+//! "We divide the SPNN into different zones, each consisting of four MZIs
+//! arranged in a 2×2 grid. We insert random perturbations with
+//! σ_PhS = σ_BeS = 0.1 in a selected zone while the remaining zones have
+//! uncertainties with σ_PhS = σ_BeS = 0.05. For each selected zone we …
+//! calculate the reduction in the mean inferencing accuracy from the
+//! nominal case." Σ is error-free with singular values in random order.
+//!
+//! One [`Exp2Heatmap`] per unitary multiplier reproduces one panel of
+//! Fig. 5 (six panels for the paper's three-layer network).
+
+use crate::monte_carlo::{mc_accuracy, McResult};
+use crate::network::PhotonicNetwork;
+use crate::perturbation::{HardwareEffects, PerturbationPlan, Stage};
+use spnn_linalg::C64;
+use spnn_photonics::UncertaintySpec;
+
+/// Configuration for the zonal experiment.
+#[derive(Debug, Clone)]
+pub struct Exp2Config {
+    /// Baseline σ outside the selected zone (paper: 0.05).
+    pub base_sigma: f64,
+    /// Elevated σ inside the selected zone (paper: 0.1).
+    pub hot_sigma: f64,
+    /// Monte-Carlo iterations per zone (paper: 1000).
+    pub iterations: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Exp2Config {
+    fn default() -> Self {
+        Self {
+            base_sigma: 0.05,
+            hot_sigma: 0.1,
+            iterations: 40,
+            seed: 0xEB2,
+        }
+    }
+}
+
+/// A per-zone accuracy-loss heat map for one unitary multiplier — one panel
+/// of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Exp2Heatmap {
+    /// Layer index of the multiplier.
+    pub layer: usize,
+    /// Which multiplier (`UMesh` or `VMesh`).
+    pub stage: Stage,
+    /// Nominal (uncertainty-free) accuracy used as the loss reference.
+    pub nominal_accuracy: f64,
+    /// `loss_percent[zr][zc]` = accuracy loss in percentage points when zone
+    /// `(zr, zc)` is hot.
+    pub loss_percent: Vec<Vec<f64>>,
+    /// Full Monte-Carlo results per zone (same layout as `loss_percent`).
+    pub results: Vec<Vec<McResult>>,
+}
+
+impl Exp2Heatmap {
+    /// Grid shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (
+            self.loss_percent.len(),
+            self.loss_percent.first().map_or(0, |r| r.len()),
+        )
+    }
+
+    /// Minimum and maximum loss over all zones — the paper's observation is
+    /// that these differ noticeably (low-/high-impact zones).
+    pub fn loss_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for row in &self.loss_percent {
+            for &v in row {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        (min, max)
+    }
+}
+
+/// Runs EXP 2 for one unitary multiplier (one Fig. 5 panel).
+///
+/// # Panics
+///
+/// Panics if `stage` is [`Stage::Sigma`] (the paper holds Σ error-free) or
+/// `layer` is out of range.
+pub fn run_one(
+    network: &PhotonicNetwork,
+    features: &[Vec<C64>],
+    labels: &[usize],
+    layer: usize,
+    stage: Stage,
+    config: &Exp2Config,
+) -> Exp2Heatmap {
+    assert!(stage != Stage::Sigma, "EXP 2 targets unitary multipliers only");
+    assert!(layer < network.n_layers(), "layer out of range");
+
+    let zones = match stage {
+        Stage::UMesh => network.layers()[layer].u_zones(),
+        Stage::VMesh => network.layers()[layer].v_zones(),
+        Stage::Sigma => unreachable!(),
+    };
+    let (rows, cols) = (zones.rows(), zones.cols());
+    let nominal_accuracy = network.ideal_accuracy(features, labels);
+    let effects = HardwareEffects::default();
+
+    let mut results: Vec<Vec<McResult>> = Vec::with_capacity(rows);
+    let mut loss: Vec<Vec<f64>> = Vec::with_capacity(rows);
+    for zr in 0..rows {
+        let mut res_row = Vec::with_capacity(cols);
+        let mut loss_row = Vec::with_capacity(cols);
+        for zc in 0..cols {
+            let plan = PerturbationPlan::Zonal {
+                base: UncertaintySpec::both(config.base_sigma),
+                hot: UncertaintySpec::both(config.hot_sigma),
+                layer,
+                stage,
+                zone: (zr, zc),
+            };
+            let seed = config.seed
+                ^ ((layer as u64) << 40)
+                ^ ((stage_tag(stage)) << 32)
+                ^ ((zr as u64) << 16)
+                ^ (zc as u64);
+            let r = mc_accuracy(
+                network,
+                &plan,
+                &effects,
+                features,
+                labels,
+                config.iterations,
+                seed,
+            );
+            loss_row.push((nominal_accuracy - r.mean) * 100.0);
+            res_row.push(r);
+        }
+        results.push(res_row);
+        loss.push(loss_row);
+    }
+
+    Exp2Heatmap {
+        layer,
+        stage,
+        nominal_accuracy,
+        loss_percent: loss,
+        results,
+    }
+}
+
+/// Runs EXP 2 for every unitary multiplier of the network: panels
+/// (a)–(f) of Fig. 5 for a three-layer network, ordered
+/// `U_L0, Vᴴ_L0, U_L1, Vᴴ_L1, …`.
+pub fn run_all(
+    network: &PhotonicNetwork,
+    features: &[Vec<C64>],
+    labels: &[usize],
+    config: &Exp2Config,
+) -> Vec<Exp2Heatmap> {
+    let mut out = Vec::with_capacity(2 * network.n_layers());
+    for layer in 0..network.n_layers() {
+        out.push(run_one(network, features, labels, layer, Stage::UMesh, config));
+        out.push(run_one(network, features, labels, layer, Stage::VMesh, config));
+    }
+    out
+}
+
+fn stage_tag(stage: Stage) -> u64 {
+    match stage {
+        Stage::VMesh => 1,
+        Stage::Sigma => 2,
+        Stage::UMesh => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MeshTopology;
+    use spnn_neural::ComplexNetwork;
+
+    fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
+        let sw = ComplexNetwork::new(&[5, 4, 3], 51);
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, Some(7)).unwrap();
+        let features: Vec<Vec<C64>> = (0..8)
+            .map(|i| {
+                (0..5)
+                    .map(|j| C64::new(((2 * i + j) % 5) as f64 * 0.2, ((i + 2 * j) % 4) as f64 * 0.15))
+                    .collect()
+            })
+            .collect();
+        let ideal = hw.ideal_matrices();
+        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        (hw, features, labels)
+    }
+
+    #[test]
+    fn heatmap_shape_matches_zone_grid() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp2Config {
+            iterations: 3,
+            ..Exp2Config::default()
+        };
+        let hm = run_one(&hw, &xs, &ys, 0, Stage::VMesh, &cfg);
+        let zones = hw.layers()[0].v_zones();
+        assert_eq!(hm.shape(), (zones.rows(), zones.cols()));
+        assert!((hm.nominal_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_are_bounded_percentages() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp2Config {
+            iterations: 4,
+            ..Exp2Config::default()
+        };
+        let hm = run_one(&hw, &xs, &ys, 1, Stage::UMesh, &cfg);
+        for row in &hm.loss_percent {
+            for &v in row {
+                assert!((-0.01..=100.01).contains(&v), "loss {v} out of range");
+            }
+        }
+        let (lo, hi) = hm.loss_range();
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn run_all_produces_two_panels_per_layer() {
+        let (hw, xs, ys) = setup();
+        let cfg = Exp2Config {
+            iterations: 2,
+            ..Exp2Config::default()
+        };
+        let panels = run_all(&hw, &xs, &ys, &cfg);
+        assert_eq!(panels.len(), 4); // 2 layers × 2 multipliers
+        assert_eq!(panels[0].stage, Stage::UMesh);
+        assert_eq!(panels[1].stage, Stage::VMesh);
+        assert_eq!(panels[2].layer, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary multipliers")]
+    fn sigma_stage_rejected() {
+        let (hw, xs, ys) = setup();
+        let _ = run_one(&hw, &xs, &ys, 0, Stage::Sigma, &Exp2Config::default());
+    }
+}

@@ -1,0 +1,431 @@
+//! The photonic realization of a trained network: per-layer
+//! `Vᴴ mesh → Σ line → U mesh` (paper Fig. 1 and §II-B).
+//!
+//! Construction performs, for every trained weight matrix `M`:
+//!
+//! 1. complex SVD `M = U·Σ·Vᴴ`,
+//! 2. optional seeded shuffle of the singular-value order (the paper notes
+//!    "the singular values arranged in random order" for EXP 2 — the order
+//!    permutes the columns of `U` and `V` and therefore redistributes tuned
+//!    phases across the meshes),
+//! 3. Clements (or Reck) decomposition of `U` and `Vᴴ`,
+//! 4. a [`DiagonalLine`] for `Σ` with global gain `β`.
+//!
+//! Inference then alternates realized layer matrices with the same
+//! activations used in software training (`spnn-neural`), so the *only*
+//! difference between software and hardware accuracy is the photonic
+//! hardware model.
+
+use crate::perturbation::{HardwareEffects, PerturbationPlan, SiteRef, Stage};
+use spnn_linalg::svd::svd;
+use spnn_linalg::{C64, CMatrix, LinalgError};
+use spnn_mesh::{clements, reck, DiagonalLine, MeshError, UnitaryMesh, ZoneGrid};
+use spnn_neural::activation::{intensity, mod_softplus};
+use spnn_neural::loss::argmax;
+use spnn_neural::ComplexNetwork;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// Mesh topology used to realize the unitary multipliers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeshTopology {
+    /// Clements rectangular design (the paper's choice).
+    #[default]
+    Clements,
+    /// Reck triangular design (topology-robustness baseline).
+    Reck,
+}
+
+/// Errors raised while mapping a network onto photonic hardware.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpnnError {
+    /// SVD failure (should not occur for finite weights).
+    Linalg(LinalgError),
+    /// Mesh synthesis failure (should not occur for SVD factors).
+    Mesh(MeshError),
+}
+
+impl fmt::Display for SpnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpnnError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SpnnError::Mesh(e) => write!(f, "mesh synthesis error: {e}"),
+        }
+    }
+}
+
+impl Error for SpnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpnnError::Linalg(e) => Some(e),
+            SpnnError::Mesh(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinalgError> for SpnnError {
+    fn from(e: LinalgError) -> Self {
+        SpnnError::Linalg(e)
+    }
+}
+
+impl From<MeshError> for SpnnError {
+    fn from(e: MeshError) -> Self {
+        SpnnError::Mesh(e)
+    }
+}
+
+/// One photonic linear layer: `M = U·Σ·Vᴴ` in hardware form.
+#[derive(Debug, Clone)]
+pub struct PhotonicLayer {
+    v_mesh: UnitaryMesh,
+    sigma: DiagonalLine,
+    u_mesh: UnitaryMesh,
+    v_zones: ZoneGrid,
+    u_zones: ZoneGrid,
+    intended: CMatrix,
+}
+
+impl PhotonicLayer {
+    /// Maps one weight matrix onto hardware.
+    fn from_weight(
+        weight: &CMatrix,
+        topology: MeshTopology,
+        shuffle_rng: Option<&mut StdRng>,
+    ) -> Result<Self, SpnnError> {
+        let f = svd(weight)?;
+        let (mut u, mut s, mut v) = (f.u, f.s, f.v);
+
+        if let Some(rng) = shuffle_rng {
+            let k = s.len();
+            let mut perm: Vec<usize> = (0..k).collect();
+            perm.shuffle(rng);
+            let s_old = s.clone();
+            let u_old = u.clone();
+            let v_old = v.clone();
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                s[new_i] = s_old[old_i];
+                for r in 0..u.rows() {
+                    u[(r, new_i)] = u_old[(r, old_i)];
+                }
+                for r in 0..v.rows() {
+                    v[(r, new_i)] = v_old[(r, old_i)];
+                }
+            }
+        }
+
+        let decompose = |m: &CMatrix| -> Result<UnitaryMesh, SpnnError> {
+            Ok(match topology {
+                MeshTopology::Clements => clements::decompose(m)?,
+                MeshTopology::Reck => reck::decompose(m)?,
+            })
+        };
+        let v_mesh = decompose(&v.adjoint())?;
+        let u_mesh = decompose(&u)?;
+        let sigma = DiagonalLine::from_singular_values(&s, weight.rows(), weight.cols());
+        let v_zones = ZoneGrid::for_mesh(&v_mesh);
+        let u_zones = ZoneGrid::for_mesh(&u_mesh);
+        Ok(Self {
+            v_mesh,
+            sigma,
+            u_mesh,
+            v_zones,
+            u_zones,
+            intended: weight.clone(),
+        })
+    }
+
+    /// The mesh realizing `Vᴴ`.
+    pub fn v_mesh(&self) -> &UnitaryMesh {
+        &self.v_mesh
+    }
+
+    /// The mesh realizing `U`.
+    pub fn u_mesh(&self) -> &UnitaryMesh {
+        &self.u_mesh
+    }
+
+    /// The Σ attenuator line.
+    pub fn sigma(&self) -> &DiagonalLine {
+        &self.sigma
+    }
+
+    /// Zone partition of the `Vᴴ` mesh (EXP 2).
+    pub fn v_zones(&self) -> &ZoneGrid {
+        &self.v_zones
+    }
+
+    /// Zone partition of the `U` mesh (EXP 2).
+    pub fn u_zones(&self) -> &ZoneGrid {
+        &self.u_zones
+    }
+
+    /// The trained weight matrix this layer realizes.
+    pub fn intended(&self) -> &CMatrix {
+        &self.intended
+    }
+
+    /// The ideal hardware matrix `U·Σ·Vᴴ` — equal to the trained weight up
+    /// to numerical rounding.
+    pub fn matrix(&self) -> CMatrix {
+        self.u_mesh
+            .matrix()
+            .mul(&self.sigma.matrix())
+            .mul(&self.v_mesh.matrix())
+    }
+}
+
+/// A full photonic network: one [`PhotonicLayer`] per trained weight matrix.
+///
+/// # Example
+///
+/// ```
+/// use spnn_core::{PhotonicNetwork, MeshTopology};
+/// use spnn_neural::ComplexNetwork;
+///
+/// let software = ComplexNetwork::new(&[4, 4, 3], 11);
+/// let hardware = PhotonicNetwork::from_network(&software, MeshTopology::Clements, None)?;
+/// // With no uncertainty, hardware matches software exactly.
+/// let m = hardware.ideal_matrices();
+/// assert!(m[0].approx_eq(software.weights()[0], 1e-8));
+/// # Ok::<(), spnn_core::network::SpnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhotonicNetwork {
+    layers: Vec<PhotonicLayer>,
+    topology: MeshTopology,
+}
+
+impl PhotonicNetwork {
+    /// Maps a trained software network onto photonic hardware.
+    ///
+    /// `shuffle_seed` — when `Some`, the singular values of every layer are
+    /// arranged in seeded-random order (paper §III-D, EXP 2); when `None`
+    /// they stay sorted descending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnnError`] if SVD or mesh synthesis fails (not expected
+    /// for finite trained weights).
+    pub fn from_network(
+        network: &ComplexNetwork,
+        topology: MeshTopology,
+        shuffle_seed: Option<u64>,
+    ) -> Result<Self, SpnnError> {
+        let mut rng = shuffle_seed.map(StdRng::seed_from_u64);
+        let layers = network
+            .weights()
+            .into_iter()
+            .map(|w| PhotonicLayer::from_weight(w, topology, rng.as_mut()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { layers, topology })
+    }
+
+    /// The photonic layers.
+    pub fn layers(&self) -> &[PhotonicLayer] {
+        &self.layers
+    }
+
+    /// Number of linear layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The mesh topology in use.
+    pub fn topology(&self) -> MeshTopology {
+        self.topology
+    }
+
+    /// The ideal (σ = 0) per-layer matrices.
+    pub fn ideal_matrices(&self) -> Vec<CMatrix> {
+        self.layers.iter().map(|l| l.matrix()).collect()
+    }
+
+    /// Samples one hardware realization: every MZI in every mesh and Σ line
+    /// receives the uncertainty prescribed by `plan` plus the deterministic
+    /// `effects` (quantization, thermal crosstalk, loss). Returns the
+    /// realized per-layer matrices.
+    pub fn realize<R: Rng + ?Sized>(
+        &self,
+        plan: &PerturbationPlan,
+        effects: &HardwareEffects,
+        rng: &mut R,
+    ) -> Vec<CMatrix> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| {
+                let v_xt = effects.mesh_crosstalk(&layer.v_mesh);
+                let u_xt = effects.mesh_crosstalk(&layer.u_mesh);
+                let v_sp = effects.mesh_spatial(&layer.v_mesh);
+                let u_sp = effects.mesh_spatial(&layer.u_mesh);
+                let v_zone_of = layer.v_zones.zone_of_each(layer.v_mesh.n_mzis());
+                let u_zone_of = layer.u_zones.zone_of_each(layer.u_mesh.n_mzis());
+                let v = layer.v_mesh.matrix_with(|i, site| {
+                    let site_ref = SiteRef::new(li, Stage::VMesh, i);
+                    let spec = plan.spec_for(&site_ref, &v_zone_of[i]);
+                    let sp = v_sp.as_ref().map(|o| o[i]);
+                    effects.apply(site.theta, site.phi, v_xt.get(i), sp, &spec, rng)
+                });
+                let s = layer.sigma.matrix_with(|i, dev| {
+                    let site_ref = SiteRef::new(li, Stage::Sigma, i);
+                    let spec = plan.spec_for(&site_ref, &(usize::MAX, usize::MAX));
+                    effects.apply(dev.theta(), dev.phi(), None, None, &spec, rng)
+                });
+                let u = layer.u_mesh.matrix_with(|i, site| {
+                    let site_ref = SiteRef::new(li, Stage::UMesh, i);
+                    let spec = plan.spec_for(&site_ref, &u_zone_of[i]);
+                    let sp = u_sp.as_ref().map(|o| o[i]);
+                    effects.apply(site.theta, site.phi, u_xt.get(i), sp, &spec, rng)
+                });
+                u.mul(&s).mul(&v)
+            })
+            .collect()
+    }
+
+    /// Runs inference through explicit layer matrices (ideal or realized),
+    /// returning the output intensities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrices.len() != n_layers()` or dims mismatch.
+    pub fn forward_with(&self, matrices: &[CMatrix], input: &[C64]) -> Vec<f64> {
+        assert_eq!(matrices.len(), self.layers.len(), "layer count mismatch");
+        let last = matrices.len() - 1;
+        let mut a = input.to_vec();
+        for (l, m) in matrices.iter().enumerate() {
+            let z = m.mul_vec(&a);
+            a = if l < last { mod_softplus(&z) } else { z };
+        }
+        intensity(&a)
+    }
+
+    /// Predicted class through explicit layer matrices.
+    pub fn classify_with(&self, matrices: &[CMatrix], input: &[C64]) -> usize {
+        argmax(&self.forward_with(matrices, input))
+    }
+
+    /// Accuracy over a labelled set through explicit layer matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != labels.len()`.
+    pub fn accuracy_with(
+        &self,
+        matrices: &[CMatrix],
+        features: &[Vec<C64>],
+        labels: &[usize],
+    ) -> f64 {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        if features.is_empty() {
+            return 0.0;
+        }
+        let correct = features
+            .iter()
+            .zip(labels.iter())
+            .filter(|(x, &y)| self.classify_with(matrices, x) == y)
+            .count();
+        correct as f64 / features.len() as f64
+    }
+
+    /// Accuracy of the ideal (uncertainty-free) hardware.
+    pub fn ideal_accuracy(&self, features: &[Vec<C64>], labels: &[usize]) -> f64 {
+        self.accuracy_with(&self.ideal_matrices(), features, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_photonics::UncertaintySpec;
+
+    fn software_net() -> ComplexNetwork {
+        ComplexNetwork::new(&[6, 5, 4], 21)
+    }
+
+    #[test]
+    fn hardware_matches_software_weights() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        for (layer, w) in hw.layers().iter().zip(sw.weights()) {
+            assert!(
+                layer.matrix().approx_eq(w, 1e-8),
+                "U·Σ·Vᴴ mesh does not reproduce the weight"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_matches_with_shuffled_singular_values() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, Some(99)).unwrap();
+        for (layer, w) in hw.layers().iter().zip(sw.weights()) {
+            assert!(layer.matrix().approx_eq(w, 1e-8), "shuffled mapping broken");
+        }
+    }
+
+    #[test]
+    fn reck_topology_also_reproduces_weights() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Reck, None).unwrap();
+        for (layer, w) in hw.layers().iter().zip(sw.weights()) {
+            assert!(layer.matrix().approx_eq(w, 1e-8));
+        }
+    }
+
+    #[test]
+    fn hardware_forward_matches_software_forward() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let input: Vec<C64> = (0..6).map(|i| C64::new(0.1 * i as f64, -0.05 * i as f64)).collect();
+        let sw_out = sw.forward(&input);
+        let hw_out = hw.forward_with(&hw.ideal_matrices(), &input);
+        for (a, b) in sw_out.iter().zip(hw_out.iter()) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn realize_without_uncertainty_is_ideal() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let realized = hw.realize(
+            &PerturbationPlan::None,
+            &HardwareEffects::default(),
+            &mut rng,
+        );
+        for (r, i) in realized.iter().zip(hw.ideal_matrices().iter()) {
+            assert!(r.approx_eq(i, 1e-10));
+        }
+    }
+
+    #[test]
+    fn realize_with_uncertainty_deviates() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+        let realized = hw.realize(&plan, &HardwareEffects::default(), &mut rng);
+        let ideal = hw.ideal_matrices();
+        let dev = (&realized[0] - &ideal[0]).frobenius_norm();
+        assert!(dev > 1e-3, "perturbation had no effect: {dev}");
+    }
+
+    #[test]
+    fn realizations_differ_across_draws() {
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+        let a = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(1));
+        let b = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(2));
+        assert!((&a[0] - &b[0]).frobenius_norm() > 1e-6);
+        // Same seed → same realization.
+        let c = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(1));
+        assert!(a[0].approx_eq(&c[0], 0.0));
+    }
+}

@@ -1,0 +1,191 @@
+//! 5×7 stroke templates for the ten digits.
+//!
+//! These are classic dot-matrix glyphs; the [`crate::generator`] warps them
+//! with random affine transforms so every rendered sample is unique, giving
+//! the intra-class variability a handwriting dataset needs.
+
+/// Glyph width in cells.
+pub const GLYPH_W: usize = 5;
+/// Glyph height in cells.
+pub const GLYPH_H: usize = 7;
+
+/// Returns the 5×7 bitmap of a digit, row-major, `true` = ink.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn glyph(digit: usize) -> [[bool; GLYPH_W]; GLYPH_H] {
+    assert!(digit <= 9, "digit must be 0..=9");
+    let rows: [&str; GLYPH_H] = match digit {
+        0 => [
+            ".###.",
+            "#...#",
+            "#..##",
+            "#.#.#",
+            "##..#",
+            "#...#",
+            ".###.",
+        ],
+        1 => [
+            "..#..",
+            ".##..",
+            "..#..",
+            "..#..",
+            "..#..",
+            "..#..",
+            ".###.",
+        ],
+        2 => [
+            ".###.",
+            "#...#",
+            "....#",
+            "...#.",
+            "..#..",
+            ".#...",
+            "#####",
+        ],
+        3 => [
+            ".###.",
+            "#...#",
+            "....#",
+            "..##.",
+            "....#",
+            "#...#",
+            ".###.",
+        ],
+        4 => [
+            "...#.",
+            "..##.",
+            ".#.#.",
+            "#..#.",
+            "#####",
+            "...#.",
+            "...#.",
+        ],
+        5 => [
+            "#####",
+            "#....",
+            "####.",
+            "....#",
+            "....#",
+            "#...#",
+            ".###.",
+        ],
+        6 => [
+            ".###.",
+            "#....",
+            "#....",
+            "####.",
+            "#...#",
+            "#...#",
+            ".###.",
+        ],
+        7 => [
+            "#####",
+            "....#",
+            "...#.",
+            "..#..",
+            ".#...",
+            ".#...",
+            ".#...",
+        ],
+        8 => [
+            ".###.",
+            "#...#",
+            "#...#",
+            ".###.",
+            "#...#",
+            "#...#",
+            ".###.",
+        ],
+        _ => [
+            ".###.",
+            "#...#",
+            "#...#",
+            ".####",
+            "....#",
+            "....#",
+            ".###.",
+        ],
+    };
+    let mut out = [[false; GLYPH_W]; GLYPH_H];
+    for (r, row) in rows.iter().enumerate() {
+        for (c, ch) in row.bytes().enumerate() {
+            out[r][c] = ch == b'#';
+        }
+    }
+    out
+}
+
+/// Morphological dilation: a cell is ink if it or any 4-neighbour is ink.
+/// Models stroke-thickness variation across "writers".
+pub fn dilate(glyph: &[[bool; GLYPH_W]; GLYPH_H]) -> [[bool; GLYPH_W]; GLYPH_H] {
+    let mut out = *glyph;
+    for r in 0..GLYPH_H {
+        for c in 0..GLYPH_W {
+            if glyph[r][c] {
+                continue;
+            }
+            let up = r > 0 && glyph[r - 1][c];
+            let down = r + 1 < GLYPH_H && glyph[r + 1][c];
+            let left = c > 0 && glyph[r][c - 1];
+            let right = c + 1 < GLYPH_W && glyph[r][c + 1];
+            out[r][c] = up || down || left || right;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_digits_have_ink() {
+        for d in 0..10 {
+            let g = glyph(d);
+            let ink = g.iter().flatten().filter(|&&b| b).count();
+            assert!(ink >= 7, "digit {d} too sparse ({ink} cells)");
+            assert!(ink <= 25, "digit {d} too dense ({ink} cells)");
+        }
+    }
+
+    #[test]
+    fn digits_are_pairwise_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let ga = glyph(a);
+                let gb = glyph(b);
+                let diff = ga
+                    .iter()
+                    .flatten()
+                    .zip(gb.iter().flatten())
+                    .filter(|(x, y)| x != y)
+                    .count();
+                assert!(diff >= 3, "digits {a} and {b} differ in only {diff} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn dilation_is_monotone_and_grows() {
+        for d in 0..10 {
+            let g = glyph(d);
+            let fat = dilate(&g);
+            for r in 0..GLYPH_H {
+                for c in 0..GLYPH_W {
+                    assert!(!g[r][c] || fat[r][c], "dilation lost ink");
+                }
+            }
+            let before = g.iter().flatten().filter(|&&b| b).count();
+            let after = fat.iter().flatten().filter(|&&b| b).count();
+            assert!(after > before, "digit {d} did not thicken");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=9")]
+    fn out_of_range_digit_panics() {
+        let _ = glyph(10);
+    }
+}

@@ -1,0 +1,500 @@
+//! Double-precision complex scalar.
+//!
+//! [`C64`] is a `#[repr(C)]` pair of `f64`s with the arithmetic,
+//! transcendental and polar operations needed by photonic transfer-matrix
+//! algebra. It is deliberately small and `Copy`; all methods are `#[inline]`
+//! so matrix kernels optimize well.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use spnn_linalg::C64;
+///
+/// let z = C64::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+/// assert!((z.re).abs() < 1e-15);
+/// assert!((z.im - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity, `0 + 0i`.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity, `1 + 0i`.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit, `0 + 1i`.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity, `0 + 0i`.
+    #[inline]
+    pub const fn zero() -> Self {
+        ZERO
+    }
+
+    /// The multiplicative identity, `1 + 0i`.
+    #[inline]
+    pub const fn one() -> Self {
+        ONE
+    }
+
+    /// The imaginary unit, `0 + 1i`.
+    #[inline]
+    pub const fn i() -> Self {
+        I
+    }
+
+    /// Builds a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` — a unit-modulus phasor. The workhorse of phase-shifter models.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z| = √(re² + im²)`, computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` — the optical *intensity* of a field amplitude.
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `(modulus, argument)` pair.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value when `z` is zero, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Self::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = self.to_polar();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self::new(
+            self.re.mul_add(b.re, -(self.im * b.im)) + c.re,
+            self.re.mul_add(b.im, self.im * b.re) + c.im,
+        )
+    }
+
+    /// `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `true` when `|self − other| ≤ tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+
+    /// Unit phasor `z/|z|`, or zero when `|z|` underflows.
+    ///
+    /// Used for the phase-preserving part of modulus-based activations.
+    #[inline]
+    pub fn unit_or_zero(self) -> Self {
+        let m = self.abs();
+        if m > f64::MIN_POSITIVE {
+            Self::new(self.re / m, self.im / m)
+        } else {
+            ZERO
+        }
+    }
+
+    /// Raises to a real power via polar form.
+    #[inline]
+    pub fn powf(self, k: f64) -> Self {
+        let (r, theta) = self.to_polar();
+        Self::from_polar(r.powf(k), theta * k)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl From<(f64, f64)> for C64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.abs_sq();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> C64 {
+        iter.fold(ZERO, |a, b| a + *b)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(C64::new(1.5, -2.0).re, 1.5);
+        assert_eq!(C64::new(1.5, -2.0).im, -2.0);
+        assert_eq!(C64::zero(), ZERO);
+        assert_eq!(C64::one(), ONE);
+        assert_eq!(C64::i(), I);
+        assert_eq!(C64::default(), ZERO);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((I * I).approx_eq(-ONE, TOL));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(3.0, -4.0);
+        let b = C64::new(-1.0, 2.5);
+        assert!((a + b - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * b).approx_eq(b * a, TOL));
+        assert!((-a + a).approx_eq(ZERO, TOL));
+    }
+
+    #[test]
+    fn division_matches_inverse() {
+        let a = C64::new(2.0, -3.0);
+        let b = C64::new(0.5, 1.0);
+        assert!((a / b).approx_eq(a * b.recip(), TOL));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 0.25);
+        assert!((a * b).conj().approx_eq(a.conj() * b.conj(), TOL));
+        assert!((a * a.conj()).approx_eq(C64::from(a.abs_sq()), TOL));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z.abs_sq() - 25.0).abs() < TOL);
+        assert!((I.arg() - FRAC_PI_2).abs() < TOL);
+        // Negation of +0.0 gives −0.0, so the argument is ±π.
+        assert!(((-ONE).arg().abs() - PI).abs() < TOL);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::new(-2.0, 0.7);
+        let (r, t) = z.to_polar();
+        assert!(C64::from_polar(r, t).approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        assert!(C64::new(0.0, PI).exp().approx_eq(-ONE, TOL));
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = C64::new(0.3, -1.2);
+        assert!(z.ln().exp().approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 1.0);
+        let s = z.sqrt();
+        assert!((s * s).approx_eq(z, 1e-10));
+    }
+
+    #[test]
+    fn unit_or_zero_behaviour() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z.unit_or_zero().abs() - 1.0).abs() < TOL);
+        assert_eq!(ZERO.unit_or_zero(), ZERO);
+    }
+
+    #[test]
+    fn powf_matches_repeated_multiplication() {
+        let z = C64::new(0.8, 0.3);
+        assert!(z.powf(3.0).approx_eq(z * z * z, 1e-10));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [C64::new(1.0, 1.0), C64::new(2.0, -1.0), C64::new(-0.5, 0.0)];
+        let s: C64 = xs.iter().sum();
+        assert!(s.approx_eq(C64::new(2.5, 0.0), TOL));
+        let p: C64 = xs.iter().copied().product();
+        assert!(p.approx_eq(C64::new(1.0, 1.0) * C64::new(2.0, -1.0) * C64::new(-0.5, 0.0), TOL));
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = C64::new(1.0, -2.0);
+        assert!((z * 2.0).approx_eq(C64::new(2.0, -4.0), TOL));
+        assert!((2.0 * z).approx_eq(C64::new(2.0, -4.0), TOL));
+        assert!((z / 2.0).approx_eq(C64::new(0.5, -1.0), TOL));
+        assert!((z + 1.0).approx_eq(C64::new(2.0, -2.0), TOL));
+        assert!((z - 1.0).approx_eq(C64::new(0.0, -2.0), TOL));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = C64::new(1.1, -0.4);
+        let b = C64::new(-2.0, 0.5);
+        let c = C64::new(0.25, 3.0);
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, 1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::new(1.0, 1.0);
+        z += C64::new(1.0, 0.0);
+        assert!(z.approx_eq(C64::new(2.0, 1.0), TOL));
+        z -= C64::new(0.0, 1.0);
+        assert!(z.approx_eq(C64::new(2.0, 0.0), TOL));
+        z *= C64::new(0.0, 1.0);
+        assert!(z.approx_eq(C64::new(0.0, 2.0), TOL));
+        z /= C64::new(0.0, 2.0);
+        assert!(z.approx_eq(ONE, TOL));
+        z *= 3.0;
+        assert!(z.approx_eq(C64::new(3.0, 0.0), TOL));
+    }
+}

@@ -1,0 +1,653 @@
+//! Dense, row-major complex matrix.
+//!
+//! [`CMatrix`] is the single matrix type used throughout the SPNN stack. It
+//! is intentionally simple — a `Vec<C64>` plus a shape — because the matrices
+//! in this domain are small (≤ a few hundred rows) and the interesting work
+//! happens in the photonic models, not in BLAS-level tuning.
+
+use crate::c64::C64;
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use spnn_linalg::{C64, CMatrix};
+///
+/// let a = CMatrix::identity(3);
+/// let b = CMatrix::from_fn(3, 3, |r, c| C64::new((r + c) as f64, 0.0));
+/// let c = a.mul(&b);
+/// assert_eq!(c, b);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates an all-zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix shape must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![C64::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::one();
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn<F: FnMut(usize, usize) -> C64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`
+    /// and [`LinalgError::Empty`] for zero-sized shapes.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from nested row slices of real numbers (imag = 0).
+    ///
+    /// Convenient for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "rows must be non-empty");
+        let cols = rows[0].len();
+        let mut m = Self::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            for (c, &x) in row.iter().enumerate() {
+                m[(r, c)] = C64::from(x);
+            }
+        }
+        m
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` is empty.
+    pub fn from_diag(diag: &[C64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major element slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major element slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major element vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[C64] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<C64> {
+        assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Conjugate transpose `Aᴴ` (the Hermitian adjoint).
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        let mut out = self.clone();
+        for z in out.as_mut_slice() {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`. Use [`CMatrix::try_mul`] for a
+    /// fallible version.
+    pub fn mul(&self, rhs: &CMatrix) -> CMatrix {
+        self.try_mul(rhs).expect("matrix dimension mismatch in mul")
+    }
+
+    /// Fallible matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn try_mul(&self, rhs: &CMatrix) -> Result<CMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == C64::zero() {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        let mut out = vec![C64::zero(); self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = C64::zero();
+            for (&a, &x) in row.iter().zip(v.iter()) {
+                acc += a * x;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Adjoint–vector product `selfᴴ · v` without materializing the adjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn adjoint_mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.rows, "matrix-vector dimension mismatch");
+        let mut out = vec![C64::zero(); self.cols];
+        for r in 0..self.rows {
+            let vr = v[r];
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self[(r, c)].conj() * vr;
+            }
+        }
+        out
+    }
+
+    /// Scales every element by a complex factor.
+    pub fn scale(&self, k: C64) -> Self {
+        let mut out = self.clone();
+        for z in out.as_mut_slice() {
+            *z = *z * k;
+        }
+        out
+    }
+
+    /// Scales every element by a real factor.
+    pub fn scale_real(&self, k: f64) -> Self {
+        self.scale(C64::from(k))
+    }
+
+    /// Frobenius norm `√Σ|aᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Largest element modulus `max |aᵢⱼ|`.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// `true` when `|self − other|` is elementwise within `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// `true` when the matrix is within `tol` of the identity.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// `true` when `Aᴴ·A` is within `tol` of the identity (columns orthonormal).
+    ///
+    /// For square matrices this is the unitarity test used throughout the
+    /// photonic-mesh code.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.adjoint().mul(self).is_identity(tol)
+    }
+
+    /// Extracts the rectangular block with top-left corner `(r0, c0)` and
+    /// shape `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> CMatrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        CMatrix::from_fn(rows, cols, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Writes `block` into `self` with top-left corner `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &CMatrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block out of bounds"
+        );
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(r0 + r, c0 + c)] = block[(r, c)];
+            }
+        }
+    }
+
+    /// The main diagonal as a vector (length `min(rows, cols)`).
+    pub fn diag(&self) -> Vec<C64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Sum of the elementwise relative deviation `Σ |aᵢⱼ − bᵢⱼ| / |bᵢⱼ|`.
+    ///
+    /// This is the paper's RVD figure of merit with `b` as the intended
+    /// matrix; elements with `|bᵢⱼ|` below `eps` are skipped to avoid
+    /// division blow-ups (the paper's unitaries have no structural zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn relative_variation_distance(&self, intended: &CMatrix, eps: f64) -> f64 {
+        assert_eq!(self.shape(), intended.shape(), "RVD shape mismatch");
+        let mut acc = 0.0;
+        for (a, b) in self.data.iter().zip(intended.data.iter()) {
+            let denom = b.abs();
+            if denom > eps {
+                acc += (*a - *b).abs() / denom;
+            }
+        }
+        acc
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(C64) -> C64>(&mut self, mut f: F) {
+        for z in &mut self.data {
+            *z = f(*z);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let mut out = self.clone();
+        for (o, &r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let mut out = self.clone();
+        for (o, &r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        CMatrix::mul(self, rhs)
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        self.scale_real(-1.0)
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                let z = self[(r, c)];
+                write!(f, "{:>7.3}{:+.3}i ", z.re, z.im)?;
+            }
+            if self.cols > 8 {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CMatrix {
+        CMatrix::from_fn(3, 3, |r, c| C64::new(r as f64 + 1.0, c as f64 - 1.0))
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = CMatrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == C64::zero()));
+        assert!(CMatrix::identity(4).is_identity(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_shape_panics() {
+        let _ = CMatrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let bad = CMatrix::from_vec(2, 2, vec![C64::zero(); 3]);
+        assert!(matches!(bad, Err(LinalgError::ShapeMismatch { .. })));
+        let empty = CMatrix::from_vec(0, 2, vec![]);
+        assert!(matches!(empty, Err(LinalgError::Empty)));
+        assert!(CMatrix::from_vec(2, 2, vec![C64::zero(); 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut m = CMatrix::zeros(2, 2);
+        m[(0, 1)] = C64::new(5.0, -1.0);
+        assert_eq!(m[(0, 1)], C64::new(5.0, -1.0));
+        assert_eq!(m[(1, 0)], C64::zero());
+    }
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let a = sample();
+        assert!(a.mul(&CMatrix::identity(3)).approx_eq(&a, 0.0));
+        assert!(CMatrix::identity(3).mul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = CMatrix::from_real_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        let expect = CMatrix::from_real_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
+        assert!(c.approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn try_mul_rejects_bad_shapes() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(matches!(a.try_mul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = sample();
+        let v = vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0), C64::new(-1.0, 2.0)];
+        let as_mat = CMatrix::from_vec(3, 1, v.clone()).unwrap();
+        let via_mat = a.mul(&as_mat);
+        let via_vec = a.mul_vec(&v);
+        for i in 0..3 {
+            assert!(via_mat[(i, 0)].approx_eq(via_vec[i], 1e-14));
+        }
+    }
+
+    #[test]
+    fn adjoint_mul_vec_matches_explicit_adjoint() {
+        let a = sample();
+        let v = vec![C64::new(0.5, -1.0), C64::new(2.0, 0.0), C64::new(1.0, 1.0)];
+        let expect = a.adjoint().mul_vec(&v);
+        let got = a.adjoint_mul_vec(&v);
+        for (e, g) in expect.iter().zip(got.iter()) {
+            assert!(e.approx_eq(*g, 1e-14));
+        }
+    }
+
+    #[test]
+    fn adjoint_involution() {
+        let a = sample();
+        assert!(a.adjoint().adjoint().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses() {
+        let a = sample();
+        let b = CMatrix::from_fn(3, 3, |r, c| C64::new(c as f64, r as f64 * 0.5));
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        assert!(lhs.approx_eq(&rhs, 1e-13));
+    }
+
+    #[test]
+    fn transpose_vs_adjoint() {
+        let a = sample();
+        assert!(a.transpose().conj().approx_eq(&a.adjoint(), 0.0));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = CMatrix::from_real_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn block_and_set_block_roundtrip() {
+        let a = sample();
+        let b = a.block(1, 0, 2, 2);
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b[(0, 0)], a[(1, 0)]);
+        let mut c = CMatrix::zeros(3, 3);
+        c.set_block(1, 1, &b);
+        assert_eq!(c[(2, 2)], a[(2, 1)]);
+        assert_eq!(c[(0, 0)], C64::zero());
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let d = CMatrix::from_diag(&[C64::new(1.0, 0.0), C64::new(0.0, 2.0)]);
+        assert_eq!(d.diag(), vec![C64::new(1.0, 0.0), C64::new(0.0, 2.0)]);
+        assert_eq!(d[(0, 1)], C64::zero());
+    }
+
+    #[test]
+    fn rvd_zero_for_identical() {
+        let a = sample();
+        assert_eq!(a.relative_variation_distance(&a, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn rvd_known_value() {
+        let a = CMatrix::from_real_rows(&[&[2.0]]);
+        let b = CMatrix::from_real_rows(&[&[1.0]]);
+        // |2-1|/|1| = 1
+        assert!((a.relative_variation_distance(&b, 1e-12) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn unitarity_check() {
+        // Rotation-like complex matrix: [[c, s],[−s, c]] with a phase.
+        let (c, s) = (0.6_f64, 0.8_f64);
+        let m = CMatrix::from_fn(2, 2, |r, col| match (r, col) {
+            (0, 0) => C64::new(c, 0.0),
+            (0, 1) => C64::new(0.0, s),
+            (1, 0) => C64::new(0.0, s),
+            (1, 1) => C64::new(c, 0.0),
+            _ => unreachable!(),
+        });
+        assert!(m.is_unitary(1e-12));
+        assert!(!sample().is_unitary(1e-6));
+    }
+
+    #[test]
+    fn add_sub_ops() {
+        let a = sample();
+        let b = CMatrix::identity(3);
+        let c = &(&a + &b) - &b;
+        assert!(c.approx_eq(&a, 1e-14));
+        let n = -&a;
+        assert!((&n + &a).approx_eq(&CMatrix::zeros(3, 3), 1e-14));
+    }
+
+    #[test]
+    fn scale_ops() {
+        let a = sample();
+        let doubled = a.scale_real(2.0);
+        assert!(doubled.approx_eq(&(&a + &a), 1e-14));
+        let rotated = a.scale(C64::i());
+        assert!(rotated[(0, 0)].approx_eq(C64::i() * a[(0, 0)], 1e-14));
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let s = format!("{:?}", sample());
+        assert!(s.contains("CMatrix 3x3"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Householder QR factorization of complex matrices.
+//!
+//! Used for Haar-random unitary generation ([`crate::random::haar_unitary`])
+//! and as a building block for orthonormalization tests throughout the
+//! photonic-mesh stack.
+
+use crate::c64::C64;
+use crate::matrix::CMatrix;
+use crate::{LinalgError, Result};
+
+/// The result of a QR factorization: `A = Q · R` with `Q` unitary (m×m) and
+/// `R` upper triangular (m×n).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// The unitary factor (m×m).
+    pub q: CMatrix,
+    /// The upper-triangular factor (m×n).
+    pub r: CMatrix,
+}
+
+/// Computes a Householder QR factorization `A = Q·R`.
+///
+/// Works for any rectangular shape. `Q` is square `m×m`; `R` has the shape of
+/// `A` and is upper triangular (entries below the main diagonal are
+/// numerically zero).
+///
+/// # Errors
+///
+/// Never fails for non-empty input; returns [`LinalgError::Empty`] only if
+/// the input has a zero dimension (which [`CMatrix`] already forbids, so this
+/// is defensive).
+///
+/// # Example
+///
+/// ```
+/// use spnn_linalg::{CMatrix, C64, qr::qr};
+/// let a = CMatrix::from_real_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+/// let f = qr(&a)?;
+/// assert!(f.q.is_unitary(1e-12));
+/// assert!(f.q.mul(&f.r).approx_eq(&a, 1e-12));
+/// # Ok::<(), spnn_linalg::LinalgError>(())
+/// ```
+pub fn qr(a: &CMatrix) -> Result<Qr> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut r = a.clone();
+    let mut q = CMatrix::identity(m);
+    let steps = m.min(n);
+
+    for k in 0..steps {
+        // Build the Householder vector v that annihilates R[k+1.., k].
+        let mut v = vec![C64::zero(); m - k];
+        let mut norm_x_sq = 0.0;
+        for i in k..m {
+            v[i - k] = r[(i, k)];
+            norm_x_sq += r[(i, k)].abs_sq();
+        }
+        let norm_x = norm_x_sq.sqrt();
+        if norm_x < 1e-300 {
+            continue; // column already zero below the diagonal
+        }
+        // alpha = -e^{i·arg(x₀)}·‖x‖ guarantees no cancellation in v₀.
+        let x0 = v[0];
+        let phase = if x0.abs() > 0.0 {
+            x0.unit_or_zero()
+        } else {
+            C64::one()
+        };
+        let alpha = -phase * norm_x;
+        v[0] = v[0] - alpha;
+        let v_norm_sq: f64 = v.iter().map(|z| z.abs_sq()).sum();
+        if v_norm_sq < 1e-300 {
+            continue; // x was already ±‖x‖·e₁
+        }
+        let tau = 2.0 / v_norm_sq;
+
+        // R ← H·R where H = I − τ·v·vᴴ, applied to the trailing block.
+        for j in k..n {
+            let mut w = C64::zero();
+            for i in k..m {
+                w += v[i - k].conj() * r[(i, j)];
+            }
+            let w = w * tau;
+            for i in k..m {
+                let upd = v[i - k] * w;
+                r[(i, j)] = r[(i, j)] - upd;
+            }
+        }
+        // Q ← Q·H (accumulate from the right so Q = H₁·H₂·… at the end,
+        // i.e. A = Q·R).
+        for i in 0..m {
+            let mut w = C64::zero();
+            for j in k..m {
+                w += q[(i, j)] * v[j - k];
+            }
+            let w = w * tau;
+            for j in k..m {
+                let upd = w * v[j - k].conj();
+                q[(i, j)] = q[(i, j)] - upd;
+            }
+        }
+    }
+
+    // Clean numerical dust below the diagonal so R is exactly triangular.
+    for i in 1..m {
+        for j in 0..i.min(n) {
+            r[(i, j)] = C64::zero();
+        }
+    }
+
+    Ok(Qr { q, r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gaussian_complex, haar_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> CMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMatrix::from_fn(m, n, |_, _| gaussian_complex(&mut rng))
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = random_matrix(5, 5, 1);
+        let f = qr(&a).unwrap();
+        assert!(f.q.is_unitary(1e-11), "Q not unitary");
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-11), "QR != A");
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = random_matrix(7, 3, 2);
+        let f = qr(&a).unwrap();
+        assert!(f.q.is_unitary(1e-11));
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-11));
+        assert_eq!(f.r.shape(), (7, 3));
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let a = random_matrix(3, 6, 3);
+        let f = qr(&a).unwrap();
+        assert!(f.q.is_unitary(1e-11));
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_matrix(6, 6, 4);
+        let f = qr(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], C64::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let a = CMatrix::identity(4);
+        let f = qr(&a).unwrap();
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn qr_of_unitary_gives_unit_modulus_diagonal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = haar_unitary(5, &mut rng);
+        let f = qr(&u).unwrap();
+        for i in 0..5 {
+            assert!((f.r[(i, i)].abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient() {
+        // Two identical columns.
+        let mut a = random_matrix(4, 4, 5);
+        for i in 0..4 {
+            let v = a[(i, 0)];
+            a[(i, 1)] = v;
+        }
+        let f = qr(&a).unwrap();
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-11));
+        assert!(f.q.is_unitary(1e-11));
+    }
+
+    #[test]
+    fn qr_1x1() {
+        let a = CMatrix::from_real_rows(&[&[-2.0]]);
+        let f = qr(&a).unwrap();
+        assert!(f.q.mul(&f.r).approx_eq(&a, 1e-14));
+        assert!((f.q[(0, 0)].abs() - 1.0).abs() < 1e-14);
+    }
+}

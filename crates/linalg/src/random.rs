@@ -1,0 +1,182 @@
+//! Random sampling utilities: Gaussian scalars (Box–Muller) and
+//! Haar-distributed random unitary matrices.
+//!
+//! The paper's layer-level experiment (Fig. 3) draws "randomly generated 5×5
+//! unitary matrices"; the standard construction is QR of a complex Ginibre
+//! matrix with the phase correction of Mezzadri (2007), which yields the Haar
+//! (uniform) measure on U(N).
+//!
+//! Gaussian sampling is implemented directly over `rand`'s uniform floats so
+//! the workspace does not need `rand_distr`.
+
+use crate::c64::C64;
+use crate::matrix::CMatrix;
+use crate::qr::qr;
+use rand::Rng;
+
+/// Draws a standard normal `N(0, 1)` sample using the Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = spnn_linalg::random::gaussian(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u ∈ (0, 1]: avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let v: f64 = rng.gen::<f64>();
+    (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+}
+
+/// Draws `N(mu, sigma²)`.
+pub fn gaussian_with<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * gaussian(rng)
+}
+
+/// Draws a standard complex Gaussian (independent `N(0,1)` real and
+/// imaginary parts) — one entry of a Ginibre matrix.
+pub fn gaussian_complex<R: Rng + ?Sized>(rng: &mut R) -> C64 {
+    // One Box–Muller pair gives two independent normals; use both.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let v: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u.ln()).sqrt();
+    let t = std::f64::consts::TAU * v;
+    C64::new(r * t.cos(), r * t.sin())
+}
+
+/// Draws an `n × n` complex Ginibre matrix (i.i.d. standard complex Gaussian
+/// entries).
+pub fn ginibre<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    CMatrix::from_fn(n, n, |_, _| gaussian_complex(rng))
+}
+
+/// Draws a Haar-distributed random unitary matrix from U(n).
+///
+/// Construction: `A` Ginibre, `A = QR`, then `U = Q·Λ` with
+/// `Λ = diag(rᵢᵢ/|rᵢᵢ|)`. The phase correction removes the sign ambiguity of
+/// QR and makes the distribution exactly Haar (Mezzadri, *Notices AMS* 2007).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let u = spnn_linalg::random::haar_unitary(5, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    assert!(n > 0, "unitary dimension must be positive");
+    let a = ginibre(n, rng);
+    let f = qr(&a).expect("qr of non-empty matrix cannot fail");
+    let mut u = f.q;
+    for j in 0..n {
+        let d = f.r[(j, j)];
+        let lambda = if d.abs() > 0.0 { d.unit_or_zero() } else { C64::one() };
+        for i in 0..n {
+            u[(i, j)] = u[(i, j)] * lambda;
+        }
+    }
+    u
+}
+
+/// Draws a random vector with i.i.d. standard complex Gaussian entries.
+pub fn gaussian_vector<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<C64> {
+    (0..n).map(|_| gaussian_complex(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn gaussian_with_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian_with(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02);
+        assert!((var - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn complex_gaussian_is_isotropic() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let (mut sre, mut sim, mut cross) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let z = gaussian_complex(&mut rng);
+            sre += z.re * z.re;
+            sim += z.im * z.im;
+            cross += z.re * z.im;
+        }
+        assert!((sre / n as f64 - 1.0).abs() < 0.05);
+        assert!((sim / n as f64 - 1.0).abs() < 0.05);
+        assert!((cross / n as f64).abs() < 0.05);
+    }
+
+    #[test]
+    fn haar_unitary_is_unitary_many_sizes() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for n in [1, 2, 3, 5, 8, 16] {
+            let u = haar_unitary(n, &mut rng);
+            assert!(u.is_unitary(1e-10), "U({n}) sample not unitary");
+        }
+    }
+
+    #[test]
+    fn haar_unitary_deterministic_per_seed() {
+        let u1 = haar_unitary(4, &mut StdRng::seed_from_u64(99));
+        let u2 = haar_unitary(4, &mut StdRng::seed_from_u64(99));
+        assert!(u1.approx_eq(&u2, 0.0));
+        let u3 = haar_unitary(4, &mut StdRng::seed_from_u64(100));
+        assert!(!u1.approx_eq(&u3, 1e-3));
+    }
+
+    #[test]
+    fn haar_first_entry_phase_is_uniformish() {
+        // The argument of U[0][0] should be roughly uniform over (−π, π]:
+        // check that all four quadrants are populated.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut quadrants = [0usize; 4];
+        for _ in 0..400 {
+            let u = haar_unitary(3, &mut rng);
+            let a = u[(0, 0)].arg();
+            let q = if a >= 0.0 {
+                if a < std::f64::consts::FRAC_PI_2 { 0 } else { 1 }
+            } else if a >= -std::f64::consts::FRAC_PI_2 {
+                3
+            } else {
+                2
+            };
+            quadrants[q] += 1;
+        }
+        assert!(quadrants.iter().all(|&c| c > 40), "quadrants {quadrants:?}");
+    }
+
+    #[test]
+    fn gaussian_vector_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(16);
+        assert_eq!(gaussian_vector(10, &mut rng).len(), 10);
+    }
+}

@@ -1,0 +1,364 @@
+//! Complex singular value decomposition via one-sided Jacobi rotations.
+//!
+//! Every SPNN linear layer `M` is factored as `M = U·Σ·Vᴴ` (paper §II-B) and
+//! each factor is then realized photonically: `U` and `Vᴴ` as Clements MZI
+//! meshes and `Σ` as a line of terminated MZIs with a global gain `β`. This
+//! module provides that factorization from scratch.
+//!
+//! One-sided Jacobi was chosen over Golub–Kahan bidiagonalization because it
+//! is simple, numerically robust, and more than fast enough for the ≤ 16×16
+//! matrices of the paper's network (performance is characterized in the
+//! Criterion benches).
+
+use crate::c64::C64;
+use crate::matrix::CMatrix;
+use crate::vector::{dot, norm};
+use crate::{LinalgError, Result};
+
+/// Full singular value decomposition `A = U · Σ · Vᴴ`.
+///
+/// - `u` is `m×m` unitary,
+/// - `s` holds the `min(m, n)` singular values, sorted descending,
+/// - `v` is `n×n` unitary (note: `v`, **not** `vᴴ`).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m×m`, unitary).
+    pub u: CMatrix,
+    /// Singular values, descending, length `min(m, n)`.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n×n`, unitary; the decomposition uses `vᴴ`).
+    pub v: CMatrix,
+}
+
+impl Svd {
+    /// Rebuilds `U · Σ · Vᴴ` — mainly for testing and diagnostics.
+    pub fn reconstruct(&self) -> CMatrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut sigma = CMatrix::zeros(m, n);
+        for (i, &s) in self.s.iter().enumerate() {
+            sigma[(i, i)] = C64::from(s);
+        }
+        self.u.mul(&sigma).mul(&self.v.adjoint())
+    }
+
+    /// The largest singular value (the paper's global amplification `β`),
+    /// or 0 for an all-zero matrix.
+    pub fn spectral_norm(&self) -> f64 {
+        self.s.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+/// Off-diagonal tolerance relative to column norms.
+const TOL: f64 = 1e-14;
+
+/// Computes the full SVD of a complex matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotConverged`] if the Jacobi sweeps fail to
+/// converge (not observed in practice for well-scaled inputs).
+///
+/// # Example
+///
+/// ```
+/// use spnn_linalg::{CMatrix, svd::svd};
+/// let a = CMatrix::from_real_rows(&[&[3.0, 0.0], &[0.0, -2.0]]);
+/// let f = svd(&a)?;
+/// assert!((f.s[0] - 3.0).abs() < 1e-12);
+/// assert!((f.s[1] - 2.0).abs() < 1e-12);
+/// assert!(f.reconstruct().approx_eq(&a, 1e-12));
+/// # Ok::<(), spnn_linalg::LinalgError>(())
+/// ```
+pub fn svd(a: &CMatrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m >= n {
+        svd_tall(a)
+    } else {
+        // A = U Σ Vᴴ  ⇔  Aᴴ = V Σ Uᴴ: decompose the adjoint and swap factors.
+        let f = svd_tall(&a.adjoint())?;
+        Ok(Svd {
+            u: f.v,
+            s: f.s,
+            v: f.u,
+        })
+    }
+}
+
+/// One-sided Jacobi SVD for `m ≥ n`.
+fn svd_tall(a: &CMatrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+
+    // Work on columns of A; accumulate rotations into V.
+    let mut cols: Vec<Vec<C64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = CMatrix::identity(n);
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    while sweeps < MAX_SWEEPS {
+        sweeps += 1;
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let app: f64 = cols[p].iter().map(|z| z.abs_sq()).sum();
+                let aqq: f64 = cols[q].iter().map(|z| z.abs_sq()).sum();
+                let apq = dot(&cols[p], &cols[q]); // Σ conj(A_ip)·A_iq
+                let beta = apq.abs();
+                let scale = (app * aqq).sqrt();
+                if scale <= 0.0 || beta <= TOL * scale {
+                    continue;
+                }
+                off = off.max(beta / scale);
+
+                // Remove the phase of the Gram off-diagonal, then apply the
+                // classic real Jacobi rotation that annihilates it.
+                let psi = apq.arg();
+                let tau = (aqq - app) / (2.0 * beta);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let phase = C64::cis(-psi);
+
+                // Column update: J = diag(1, e^{−iψ}) · [[c, s], [−s, c]]
+                //   new_p = c·A_p − s·e^{−iψ}·A_q
+                //   new_q = s·A_p + c·e^{−iψ}·A_q
+                let (head, tail) = cols.split_at_mut(q);
+                let colp = &mut head[p];
+                let colq = &mut tail[0];
+                for (zp, zq) in colp.iter_mut().zip(colq.iter_mut()) {
+                    let rotated_q = phase * *zq;
+                    let new_p = zp.scale(c) - rotated_q.scale(s);
+                    let new_q = zp.scale(s) + rotated_q.scale(c);
+                    *zp = new_p;
+                    *zq = new_q;
+                }
+                // Same two-column rotation on V.
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = phase * v[(i, q)];
+                    v[(i, p)] = vp.scale(c) - vq.scale(s);
+                    v[(i, q)] = vp.scale(s) + vq.scale(c);
+                }
+            }
+        }
+        if off < 1e-13 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NotConverged {
+            algorithm: "jacobi-svd",
+            iterations: sweeps,
+        });
+    }
+
+    // Singular values = column norms; left singular vectors = normalized columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = cols.iter().map(|c| norm(c)).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let max_norm = norms.iter().cloned().fold(0.0, f64::max);
+    let zero_tol = max_norm * 1e-13;
+
+    let mut s = Vec::with_capacity(n);
+    let mut u_cols: Vec<Vec<C64>> = Vec::with_capacity(m);
+    let mut v_sorted = CMatrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sigma = norms[old_j];
+        s.push(sigma);
+        for i in 0..n {
+            v_sorted[(i, new_j)] = v[(i, old_j)];
+        }
+        if sigma > zero_tol && sigma > 0.0 {
+            let col: Vec<C64> = cols[old_j].iter().map(|&z| z / sigma).collect();
+            u_cols.push(col);
+        }
+    }
+    // Numerically zero singular values.
+    for x in s.iter_mut() {
+        if *x <= zero_tol {
+            *x = 0.0;
+        }
+    }
+
+    // Complete U to a full m×m unitary with modified Gram–Schmidt against the
+    // canonical basis (re-orthogonalized twice for robustness).
+    complete_basis(&mut u_cols, m);
+    debug_assert_eq!(u_cols.len(), m);
+
+    let mut u = CMatrix::zeros(m, m);
+    for (j, col) in u_cols.iter().enumerate() {
+        for i in 0..m {
+            u[(i, j)] = col[i];
+        }
+    }
+
+    Ok(Svd { u, s, v: v_sorted })
+}
+
+/// Extends an orthonormal set of `m`-vectors to a full basis of `Cᵐ`.
+fn complete_basis(cols: &mut Vec<Vec<C64>>, m: usize) {
+    let mut candidate = 0;
+    while cols.len() < m && candidate < 2 * m {
+        // Cycle through canonical basis vectors; with k < m existing columns,
+        // at least one candidate always has residual norm² ≥ 1 − k/m.
+        let idx = candidate % m;
+        candidate += 1;
+        let mut e = vec![C64::zero(); m];
+        e[idx] = C64::one();
+        for _ in 0..2 {
+            // re-orthogonalize twice (Kahan's "twice is enough")
+            for col in cols.iter() {
+                let proj = dot(col, &e);
+                for (ei, ci) in e.iter_mut().zip(col.iter()) {
+                    *ei -= proj * *ci;
+                }
+            }
+        }
+        let nrm = norm(&e);
+        if nrm > 1e-6 {
+            for z in &mut e {
+                *z = *z / nrm;
+            }
+            cols.push(e);
+        }
+    }
+    assert_eq!(cols.len(), m, "failed to complete orthonormal basis");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gaussian_complex, haar_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> CMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CMatrix::from_fn(m, n, |_, _| gaussian_complex(&mut rng))
+    }
+
+    fn check_svd(a: &CMatrix, tol: f64) {
+        let f = svd(a).expect("svd converged");
+        let (m, n) = a.shape();
+        assert_eq!(f.u.shape(), (m, m));
+        assert_eq!(f.v.shape(), (n, n));
+        assert_eq!(f.s.len(), m.min(n));
+        assert!(f.u.is_unitary(tol), "U not unitary");
+        assert!(f.v.is_unitary(tol), "V not unitary");
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted: {:?}", f.s);
+        }
+        assert!(f.s.iter().all(|&x| x >= 0.0), "negative singular value");
+        assert!(f.reconstruct().approx_eq(a, tol), "U Σ Vᴴ != A");
+    }
+
+    #[test]
+    fn svd_square_random() {
+        for seed in 0..5 {
+            check_svd(&random_matrix(6, 6, seed), 1e-10);
+        }
+    }
+
+    #[test]
+    fn svd_tall_random() {
+        check_svd(&random_matrix(8, 3, 10), 1e-10);
+        check_svd(&random_matrix(16, 10, 11), 1e-10);
+    }
+
+    #[test]
+    fn svd_wide_random() {
+        check_svd(&random_matrix(3, 8, 20), 1e-10);
+        check_svd(&random_matrix(10, 16, 21), 1e-10);
+    }
+
+    #[test]
+    fn svd_paper_layer_shapes() {
+        // The paper's three weight matrices: 16×16, 16×16, 10×16.
+        check_svd(&random_matrix(16, 16, 30), 1e-9);
+        check_svd(&random_matrix(10, 16, 31), 1e-9);
+    }
+
+    #[test]
+    fn svd_diagonal_matrix() {
+        let a = CMatrix::from_diag(&[
+            C64::from(5.0),
+            C64::from(1.0),
+            C64::from(3.0),
+        ]);
+        let f = svd(&a).unwrap();
+        assert!((f.s[0] - 5.0).abs() < 1e-12);
+        assert!((f.s[1] - 3.0).abs() < 1e-12);
+        assert!((f.s[2] - 1.0).abs() < 1e-12);
+        assert!(f.reconstruct().approx_eq(&a, 1e-11));
+    }
+
+    #[test]
+    fn svd_of_unitary_has_unit_singular_values() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let a = haar_unitary(7, &mut rng);
+        let f = svd(&a).unwrap();
+        for &s in &f.s {
+            assert!((s - 1.0).abs() < 1e-10, "singular value {s} != 1");
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Outer product: rank one.
+        let mut rng = StdRng::seed_from_u64(41);
+        let u = crate::random::gaussian_vector(5, &mut rng);
+        let w = crate::random::gaussian_vector(5, &mut rng);
+        let a = CMatrix::from_fn(5, 5, |r, c| u[r] * w[c].conj());
+        let f = svd(&a).unwrap();
+        assert!(f.s[0] > 1e-6);
+        for &s in &f.s[1..] {
+            assert!(s < 1e-9, "rank-1 matrix has extra singular value {s}");
+        }
+        assert!(f.reconstruct().approx_eq(&a, 1e-10));
+        assert!(f.u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = CMatrix::zeros(4, 3);
+        let f = svd(&a).unwrap();
+        assert!(f.s.iter().all(|&s| s == 0.0));
+        assert!(f.u.is_unitary(1e-12));
+        assert!(f.v.is_unitary(1e-12));
+        assert!(f.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn svd_1x1() {
+        let a = CMatrix::from_fn(1, 1, |_, _| C64::new(0.0, -2.0));
+        let f = svd(&a).unwrap();
+        assert!((f.s[0] - 2.0).abs() < 1e-14);
+        assert!(f.reconstruct().approx_eq(&a, 1e-13));
+    }
+
+    #[test]
+    fn spectral_norm_is_max_singular_value() {
+        let a = random_matrix(5, 5, 50);
+        let f = svd(&a).unwrap();
+        assert_eq!(f.spectral_norm(), f.s[0]);
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues_frobenius() {
+        // Σ sᵢ² must equal ‖A‖_F².
+        let a = random_matrix(6, 4, 60);
+        let f = svd(&a).unwrap();
+        let sum_sq: f64 = f.s.iter().map(|s| s * s).sum();
+        let fro = a.frobenius_norm();
+        assert!((sum_sq - fro * fro).abs() < 1e-9 * fro * fro.max(1.0));
+    }
+}

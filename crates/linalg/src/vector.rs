@@ -1,0 +1,194 @@
+//! Free functions over complex vectors (`&[C64]`).
+//!
+//! The SPNN stack passes optical field amplitudes around as plain `Vec<C64>`;
+//! these helpers provide the handful of BLAS-1 style operations needed on
+//! top of that representation.
+
+use crate::c64::C64;
+
+/// Hermitian inner product `⟨a, b⟩ = Σ conj(aᵢ)·bᵢ`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+///
+/// # Example
+///
+/// ```
+/// use spnn_linalg::{C64, vector::dot};
+/// let a = [C64::new(0.0, 1.0)];
+/// let b = [C64::new(0.0, 1.0)];
+/// assert!((dot(&a, &b).re - 1.0).abs() < 1e-15);
+/// ```
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(C64::zero(), |acc, (x, y)| acc + x.conj() * *y)
+}
+
+/// Euclidean norm `√Σ|aᵢ|²`.
+pub fn norm(a: &[C64]) -> f64 {
+    a.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean norm `Σ|aᵢ|²` — total optical power of a field vector.
+pub fn norm_sq(a: &[C64]) -> f64 {
+    a.iter().map(|z| z.abs_sq()).sum()
+}
+
+/// Scales a vector in place by a complex factor.
+pub fn scale_inplace(a: &mut [C64], k: C64) {
+    for z in a {
+        *z = *z * k;
+    }
+}
+
+/// Normalizes a vector in place to unit Euclidean norm.
+///
+/// Vectors with norm below `f64::MIN_POSITIVE` are left unchanged.
+pub fn normalize_inplace(a: &mut [C64]) {
+    let n = norm(a);
+    if n > f64::MIN_POSITIVE {
+        for z in a {
+            *z = *z / n;
+        }
+    }
+}
+
+/// `a + b` elementwise.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn add(a: &[C64], b: &[C64]) -> Vec<C64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect()
+}
+
+/// `a − b` elementwise.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn sub(a: &[C64], b: &[C64]) -> Vec<C64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| *x - *y).collect()
+}
+
+/// Elementwise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn hadamard(a: &[C64], b: &[C64]) -> Vec<C64> {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| *x * *y).collect()
+}
+
+/// Elementwise modulus — converts field amplitudes to magnitudes.
+pub fn abs(a: &[C64]) -> Vec<f64> {
+    a.iter().map(|z| z.abs()).collect()
+}
+
+/// Elementwise squared modulus — photodetector intensity readout.
+pub fn intensity(a: &[C64]) -> Vec<f64> {
+    a.iter().map(|z| z.abs_sq()).collect()
+}
+
+/// Lifts a real vector into the complex plane (imag = 0).
+pub fn from_real(a: &[f64]) -> Vec<C64> {
+    a.iter().map(|&x| C64::from(x)).collect()
+}
+
+/// Maximum elementwise distance `max |aᵢ − bᵢ|`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn max_distance(a: &[C64], b: &[C64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_distance length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_is_conjugate_linear_in_first_arg() {
+        let a = [C64::new(1.0, 2.0), C64::new(-0.5, 0.0)];
+        let b = [C64::new(0.0, 1.0), C64::new(2.0, 2.0)];
+        let lhs = dot(&a, &b).conj();
+        let rhs = dot(&b, &a);
+        assert!(lhs.approx_eq(rhs, 1e-14));
+    }
+
+    #[test]
+    fn dot_with_self_is_norm_sq() {
+        let a = [C64::new(3.0, 4.0), C64::new(0.0, -1.0)];
+        let d = dot(&a, &a);
+        assert!((d.re - norm_sq(&a)).abs() < 1e-14);
+        assert!(d.im.abs() < 1e-14);
+        assert!((norm(&a) - 26.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut a = vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        normalize_inplace(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut a = vec![C64::zero(); 3];
+        normalize_inplace(&mut a);
+        assert!(a.iter().all(|&z| z == C64::zero()));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = [C64::new(1.0, 1.0), C64::new(2.0, 0.0)];
+        let b = [C64::new(0.5, -1.0), C64::new(1.0, 1.0)];
+        let s = add(&a, &b);
+        assert!(s[0].approx_eq(C64::new(1.5, 0.0), 1e-15));
+        let d = sub(&a, &b);
+        assert!(d[1].approx_eq(C64::new(1.0, -1.0), 1e-15));
+        let h = hadamard(&a, &b);
+        assert!(h[0].approx_eq(C64::new(1.5, -0.5), 1e-15));
+    }
+
+    #[test]
+    fn intensity_matches_abs_sq() {
+        let a = [C64::new(3.0, 4.0)];
+        assert!((intensity(&a)[0] - 25.0).abs() < 1e-14);
+        assert!((abs(&a)[0] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn power_conservation_under_scale_by_phasor() {
+        let mut a = vec![C64::new(1.0, 2.0), C64::new(-3.0, 0.5)];
+        let before = norm_sq(&a);
+        scale_inplace(&mut a, C64::cis(1.234));
+        assert!((norm_sq(&a) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_real_roundtrip() {
+        let v = from_real(&[1.0, -2.0]);
+        assert_eq!(v[0], C64::new(1.0, 0.0));
+        assert_eq!(v[1], C64::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn max_distance_zero_iff_equal() {
+        let a = [C64::new(1.0, 1.0)];
+        assert_eq!(max_distance(&a, &a), 0.0);
+        let b = [C64::new(1.0, 2.0)];
+        assert!((max_distance(&a, &b) - 1.0).abs() < 1e-15);
+    }
+}

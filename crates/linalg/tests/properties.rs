@@ -1,0 +1,120 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use spnn_linalg::fft::{fft, fftshift, ifftshift, Direction};
+use spnn_linalg::qr::qr;
+use spnn_linalg::random::{gaussian_complex, haar_unitary};
+use spnn_linalg::svd::svd;
+use spnn_linalg::vector::{dot, norm, norm_sq};
+use spnn_linalg::{C64, CMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> CMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CMatrix::from_fn(rows, cols, |_, _| gaussian_complex(&mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_is_associative(seed in 0u64..300, n in 2usize..6) {
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed ^ 1);
+        let c = random_matrix(n, n, seed ^ 2);
+        let left = a.mul(&b).mul(&c);
+        let right = a.mul(&b.mul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..300, n in 2usize..6) {
+        let a = random_matrix(n, n, seed);
+        let b = random_matrix(n, n, seed ^ 3);
+        let c = random_matrix(n, n, seed ^ 4);
+        let lhs = a.mul(&(&b + &c));
+        let rhs = &a.mul(&b) + &a.mul(&c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn adjoint_reverses_products(seed in 0u64..300, m in 2usize..5, k in 2usize..5, n in 2usize..5) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed ^ 5);
+        let lhs = a.mul(&b).adjoint();
+        let rhs = b.adjoint().mul(&a.adjoint());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn frobenius_norm_is_unitarily_invariant(seed in 0u64..300, n in 2usize..6) {
+        let a = random_matrix(n, n, seed);
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed ^ 6));
+        let rotated = u.mul(&a);
+        prop_assert!((a.frobenius_norm() - rotated.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unitary_preserves_inner_products(seed in 0u64..300, n in 2usize..6) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let x: Vec<C64> = (0..n).map(|_| gaussian_complex(&mut rng)).collect();
+        let y: Vec<C64> = (0..n).map(|_| gaussian_complex(&mut rng)).collect();
+        let ux = u.mul_vec(&x);
+        let uy = u.mul_vec(&y);
+        prop_assert!(dot(&x, &y).approx_eq(dot(&ux, &uy), 1e-9));
+        prop_assert!((norm(&x) - norm(&ux)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_factors_correctly(seed in 0u64..300, m in 1usize..7, n in 1usize..7) {
+        let a = random_matrix(m, n, seed);
+        let f = qr(&a).unwrap();
+        prop_assert!(f.q.is_unitary(1e-9));
+        prop_assert!(f.q.mul(&f.r).approx_eq(&a, 1e-9));
+        for i in 0..m {
+            for j in 0..i.min(n) {
+                prop_assert_eq!(f.r[(i, j)], C64::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn svd_spectral_norm_bounds_matvec(seed in 0u64..200, n in 2usize..6) {
+        // ‖A·x‖ ≤ s_max·‖x‖ with equality for the top singular vector.
+        let a = random_matrix(n, n, seed);
+        let f = svd(&a).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 8);
+        let x: Vec<C64> = (0..n).map(|_| gaussian_complex(&mut rng)).collect();
+        let ax = a.mul_vec(&x);
+        prop_assert!(norm(&ax) <= f.spectral_norm() * norm(&x) + 1e-9);
+    }
+
+    #[test]
+    fn parseval_holds_for_all_lengths(n in 1usize..48, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<C64> = (0..n).map(|_| gaussian_complex(&mut rng)).collect();
+        let y = fft(&x, Direction::Forward);
+        let ex = norm_sq(&x);
+        let ey = norm_sq(&y) / n as f64;
+        prop_assert!((ex - ey).abs() < 1e-8 * ex.max(1.0));
+    }
+
+    #[test]
+    fn fftshift_roundtrips(rows in 1usize..12, cols in 1usize..12, seed in 0u64..100) {
+        let m = random_matrix(rows, cols, seed);
+        prop_assert!(ifftshift(&fftshift(&m)).approx_eq(&m, 0.0));
+        // fftshift is a permutation: energy preserved.
+        prop_assert!((fftshift(&m).frobenius_norm() - m.frobenius_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haar_unitary_determinant_modulus_one(n in 1usize..6, seed in 0u64..200) {
+        // |det U| = 1 via the product of QR diagonal moduli.
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let f = qr(&u).unwrap();
+        let det_mod: f64 = (0..n).map(|i| f.r[(i, i)].abs()).product();
+        prop_assert!((det_mod - 1.0).abs() < 1e-8);
+    }
+}

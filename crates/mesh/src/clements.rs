@@ -1,0 +1,386 @@
+//! Clements rectangular mesh decomposition (Optica 2016), the design used
+//! by the paper for every unitary multiplier.
+//!
+//! Any `N × N` unitary `U` factors as `U = D · Π T_m(θ, φ)` where each
+//! `T_m` is the transfer matrix (paper Eq. 1) of an MZI coupling modes
+//! `(m, m+1)` and `D` is a diagonal phase screen. The algorithm
+//! alternately annihilates anti-diagonals of `U` from the right (via
+//! `U ← U·T⁻¹`) and from the left (via `U ← T·U`), then commutes the
+//! leftover left-rotations through the diagonal so the physical mesh is a
+//! pure feed-forward rectangle of `N(N−1)/2` MZIs followed by output phases.
+//!
+//! The MZI convention is exactly Eq. (1):
+//! `T = i·e^{iθ/2}·[[e^{iφ}s, c], [e^{iφ}c, −s]]` with `s = sin(θ/2)`,
+//! `c = cos(θ/2)` — verified against `spnn-photonics` in the tests.
+
+use crate::mesh::UnitaryMesh;
+use crate::MeshError;
+use spnn_linalg::{C64, CMatrix};
+
+/// Numerical tolerance below which matrix elements are treated as zero
+/// during nulling.
+const NULL_EPS: f64 = 1e-13;
+
+/// Decomposes a unitary matrix into a Clements rectangular MZI mesh.
+///
+/// # Errors
+///
+/// - [`MeshError::NotSquare`] if `u` is rectangular.
+/// - [`MeshError::NotUnitary`] if `‖uᴴu − I‖_max > 1e-8`.
+///
+/// # Example
+///
+/// ```
+/// use spnn_mesh::clements;
+/// use spnn_linalg::random::haar_unitary;
+/// use rand::SeedableRng;
+///
+/// let u = haar_unitary(6, &mut rand::rngs::StdRng::seed_from_u64(3));
+/// let mesh = clements::decompose(&u)?;
+/// assert_eq!(mesh.n_mzis(), 15);
+/// assert_eq!(mesh.n_columns(), 6);
+/// assert!(mesh.matrix().approx_eq(&u, 1e-10));
+/// # Ok::<(), spnn_mesh::MeshError>(())
+/// ```
+pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
+    let n = check_unitary(u)?;
+    if n == 1 {
+        return Ok(UnitaryMesh::from_physical_order(1, &[], vec![u[(0, 0)].arg()]));
+    }
+
+    let mut w = u.clone();
+    // (mode, θ, φ) lists in application order.
+    let mut right_ops: Vec<(usize, f64, f64)> = Vec::new();
+    let mut left_ops: Vec<(usize, f64, f64)> = Vec::new();
+
+    for i in 1..n {
+        if i % 2 == 1 {
+            // Annihilate the anti-diagonal from the right: U ← U·T⁻¹.
+            for j in 0..i {
+                let row = n - 1 - j;
+                let m = i - 1 - j; // columns (m, m+1)
+                let (theta, phi) = solve_right_null(&w, row, m);
+                apply_right_tinv(&mut w, m, theta, phi);
+                right_ops.push((m, theta, phi));
+            }
+        } else {
+            // Annihilate from the left: U ← T·U.
+            for j in 1..=i {
+                let row = n + j - i - 1;
+                let col = j - 1;
+                let m = row - 1; // rows (m, m+1)
+                let (theta, phi) = solve_left_null(&w, m, col);
+                apply_left_t(&mut w, m, theta, phi);
+                left_ops.push((m, theta, phi));
+            }
+        }
+    }
+
+    // W is now diagonal: T_L… · U · T_R…ᴴ = D.
+    let mut diag: Vec<C64> = w.diag().iter().map(|z| z.unit_or_zero()).collect();
+    for (i, d) in diag.iter_mut().enumerate() {
+        if d.abs() < 0.5 {
+            // An exactly-zero diagonal cannot occur for a unitary input, but
+            // guard against pathological rounding.
+            *d = C64::one();
+            debug_assert!(false, "degenerate diagonal at {i}");
+        }
+    }
+
+    // U = T_l1ᴴ … T_lkᴴ · D · T_rq … T_r1.
+    // Commute each left rotation through D: Tᴴ(θ,φ)·D = D′·T(θ′,φ′).
+    // Processing from the innermost (last applied) left op emits devices in
+    // physical order after the right ops.
+    let mut physical: Vec<(usize, f64, f64)> = right_ops;
+    for &(m, theta, phi) in left_ops.iter().rev() {
+        let (theta2, phi2, d1, d2) = absorb_into_diagonal(theta, phi, diag[m], diag[m + 1]);
+        diag[m] = d1;
+        diag[m + 1] = d2;
+        physical.push((m, theta2, wrap_phase(phi2)));
+    }
+
+    let output_phases: Vec<f64> = diag.iter().map(|d| d.arg()).collect();
+    let physical: Vec<(usize, f64, f64)> = physical
+        .into_iter()
+        .map(|(m, t, p)| (m, t, wrap_phase(p)))
+        .collect();
+    Ok(UnitaryMesh::from_physical_order(n, &physical, output_phases))
+}
+
+/// Validates shape and unitarity; returns the dimension.
+fn check_unitary(u: &CMatrix) -> Result<usize, MeshError> {
+    let (rows, cols) = u.shape();
+    if rows != cols {
+        return Err(MeshError::NotSquare { rows, cols });
+    }
+    let gram = u.adjoint().mul(u);
+    let dev = (&gram - &CMatrix::identity(rows)).max_abs();
+    if dev > 1e-8 {
+        return Err(MeshError::NotUnitary { deviation: dev });
+    }
+    Ok(rows)
+}
+
+/// Wraps a phase into `[0, 2π)` — the physical phase-shifter setting range.
+pub(crate) fn wrap_phase(phi: f64) -> f64 {
+    phi.rem_euclid(std::f64::consts::TAU)
+}
+
+/// Solves `(U·Tᴴ)[row, m] = 0`, i.e. `e^{−iφ}·sin(θ/2)·U[row,m] +
+/// cos(θ/2)·U[row,m+1] = 0`, for `θ ∈ [0, π]` and `φ`.
+pub(crate) fn solve_right_null(w: &CMatrix, row: usize, m: usize) -> (f64, f64) {
+    let a = w[(row, m)];
+    let b = w[(row, m + 1)];
+    if a.abs() < NULL_EPS {
+        if b.abs() < NULL_EPS {
+            (0.0, 0.0)
+        } else {
+            (std::f64::consts::PI, 0.0)
+        }
+    } else {
+        let ratio = -b / a; // e^{−iφ}·tan(θ/2) = ratio
+        (2.0 * ratio.abs().atan(), -ratio.arg())
+    }
+}
+
+/// Solves `(T·U)[m+1, col] = 0`, i.e. `e^{iφ}·cos(θ/2)·U[m,col] −
+/// sin(θ/2)·U[m+1,col] = 0`, for `θ ∈ [0, π]` and `φ`.
+pub(crate) fn solve_left_null(w: &CMatrix, m: usize, col: usize) -> (f64, f64) {
+    let a = w[(m, col)];
+    let b = w[(m + 1, col)];
+    if b.abs() < NULL_EPS {
+        if a.abs() < NULL_EPS {
+            (0.0, 0.0)
+        } else {
+            (std::f64::consts::PI, 0.0)
+        }
+    } else {
+        let ratio = a / b; // tan(θ/2)·e^{−iφ} = ratio
+        (2.0 * ratio.abs().atan(), -ratio.arg())
+    }
+}
+
+/// The Eq. (1) MZI entries for `(θ, φ)` as four scalars (row-major).
+fn t_entries(theta: f64, phi: f64) -> (C64, C64, C64, C64) {
+    let half = theta / 2.0;
+    let (s, c) = (half.sin(), half.cos());
+    let pre = C64::i() * C64::cis(half);
+    let e_p = C64::cis(phi);
+    (
+        pre * e_p.scale(s),
+        pre.scale(c),
+        pre * e_p.scale(c),
+        pre.scale(-s),
+    )
+}
+
+/// `U ← U · Tᴴ(m; θ, φ)` (mixes columns `m`, `m+1`).
+pub(crate) fn apply_right_tinv(w: &mut CMatrix, m: usize, theta: f64, phi: f64) {
+    let (t11, t12, t21, t22) = t_entries(theta, phi);
+    let n = w.rows();
+    for r in 0..n {
+        let a = w[(r, m)];
+        let b = w[(r, m + 1)];
+        // (U·Tᴴ)[r,m] = a·conj(t11) + b·conj(t12); [r,m+1] = a·conj(t21) + b·conj(t22)
+        w[(r, m)] = a * t11.conj() + b * t12.conj();
+        w[(r, m + 1)] = a * t21.conj() + b * t22.conj();
+    }
+}
+
+/// `U ← T(m; θ, φ) · U` (mixes rows `m`, `m+1`).
+pub(crate) fn apply_left_t(w: &mut CMatrix, m: usize, theta: f64, phi: f64) {
+    let (t11, t12, t21, t22) = t_entries(theta, phi);
+    let n = w.cols();
+    for c in 0..n {
+        let a = w[(m, c)];
+        let b = w[(m + 1, c)];
+        w[(m, c)] = t11 * a + t12 * b;
+        w[(m + 1, c)] = t21 * a + t22 * b;
+    }
+}
+
+/// Commutes an inverse rotation through a diagonal:
+/// `Tᴴ(θ, φ)·diag(d₁, d₂) = diag(d₁′, d₂′)·T(θ′, φ′)`.
+///
+/// Returns `(θ′, φ′, d₁′, d₂′)`. Both `d` inputs must be unit-modulus; the
+/// outputs are renormalized to unit modulus.
+fn absorb_into_diagonal(theta: f64, phi: f64, d1: C64, d2: C64) -> (f64, f64, C64, C64) {
+    let (t11, t12, t21, t22) = t_entries(theta, phi);
+    // M = Tᴴ · diag(d1, d2)
+    let m11 = t11.conj() * d1;
+    let m12 = t21.conj() * d2;
+    let m21 = t12.conj() * d1;
+    let m22 = t22.conj() * d2;
+
+    let s = m11.abs();
+    let c = m12.abs();
+    let theta2 = 2.0 * s.atan2(c);
+    let eps = 1e-12;
+    let phi2 = if s > eps && c > eps {
+        (m11 * m12.conj()).arg()
+    } else {
+        0.0
+    };
+    let pre = C64::i() * C64::cis(theta2 / 2.0);
+    let (d1p, d2p) = if c > eps {
+        (
+            m12 / (pre.scale(c)),
+            m21 / (pre * C64::cis(phi2).scale(c)),
+        )
+    } else {
+        (
+            m11 / (pre * C64::cis(phi2).scale(s)),
+            -m22 / (pre.scale(s)),
+        )
+    };
+    (theta2, phi2, d1p.unit_or_zero(), d2p.unit_or_zero())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn absorption_identity() {
+        // Tᴴ·D must equal D′·T′ exactly.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            use rand::Rng;
+            let theta: f64 = rng.gen::<f64>() * std::f64::consts::PI;
+            let phi: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+            let d1 = C64::cis(rng.gen::<f64>() * std::f64::consts::TAU);
+            let d2 = C64::cis(rng.gen::<f64>() * std::f64::consts::TAU);
+            let (theta2, phi2, d1p, d2p) = absorb_into_diagonal(theta, phi, d1, d2);
+
+            let (t11, t12, t21, t22) = t_entries(theta, phi);
+            let lhs = [
+                t11.conj() * d1,
+                t21.conj() * d2,
+                t12.conj() * d1,
+                t22.conj() * d2,
+            ];
+            let (u11, u12, u21, u22) = t_entries(theta2, phi2);
+            let rhs = [d1p * u11, d1p * u12, d2p * u21, d2p * u22];
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                assert!(l.approx_eq(*r, 1e-10), "absorption mismatch: {l} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_reconstruct_small_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 2..=8 {
+            let u = haar_unitary(n, &mut rng);
+            let mesh = decompose(&u).expect("decompose");
+            assert_eq!(mesh.n_mzis(), n * (n - 1) / 2, "MZI count for n={n}");
+            assert!(
+                mesh.matrix().approx_eq(&u, 1e-9),
+                "reconstruction failed for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_reconstruct_paper_sizes() {
+        // The paper's meshes are 16×16 and 10×10.
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [10, 16] {
+            let u = haar_unitary(n, &mut rng);
+            let mesh = decompose(&u).expect("decompose");
+            assert_eq!(mesh.n_mzis(), n * (n - 1) / 2);
+            assert!(mesh.matrix().approx_eq(&u, 1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_depth_is_n_columns() {
+        // The Clements layout is maximally compact: depth N.
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [4, 5, 8, 16] {
+            let u = haar_unitary(n, &mut rng);
+            let mesh = decompose(&u).unwrap();
+            assert_eq!(mesh.n_columns(), n, "depth for n={n}");
+        }
+    }
+
+    #[test]
+    fn decompose_identity_gives_cross_free_mesh() {
+        // Identity: all MZIs land on θ = π (bar state)… or θ = 0 patterns;
+        // what matters is exact reconstruction.
+        let u = CMatrix::identity(5);
+        let mesh = decompose(&u).unwrap();
+        assert!(mesh.matrix().approx_eq(&u, 1e-10));
+    }
+
+    #[test]
+    fn decompose_permutation_matrix() {
+        // A hard case: lots of exact zeros during nulling.
+        let n = 5;
+        let mut u = CMatrix::zeros(n, n);
+        for i in 0..n {
+            u[(i, (i + 2) % n)] = C64::one();
+        }
+        let mesh = decompose(&u).unwrap();
+        assert!(mesh.matrix().approx_eq(&u, 1e-10));
+    }
+
+    #[test]
+    fn decompose_diagonal_phase_matrix() {
+        let n = 4;
+        let u = CMatrix::from_diag(&[
+            C64::cis(0.3),
+            C64::cis(-1.2),
+            C64::cis(2.9),
+            C64::cis(0.0),
+        ]);
+        let mesh = decompose(&u).unwrap();
+        assert!(mesh.matrix().approx_eq(&u, 1e-10));
+        let _ = n;
+    }
+
+    #[test]
+    fn decompose_1x1() {
+        let u = CMatrix::from_diag(&[C64::cis(1.0)]);
+        let mesh = decompose(&u).unwrap();
+        assert_eq!(mesh.n_mzis(), 0);
+        assert!(mesh.matrix().approx_eq(&u, 1e-12));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = CMatrix::zeros(3, 4);
+        assert!(matches!(decompose(&a), Err(MeshError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn rejects_non_unitary() {
+        let a = CMatrix::from_real_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        assert!(matches!(decompose(&a), Err(MeshError::NotUnitary { .. })));
+    }
+
+    #[test]
+    fn phases_are_wrapped() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = haar_unitary(6, &mut rng);
+        let mesh = decompose(&u).unwrap();
+        for site in mesh.mzis() {
+            assert!((0.0..std::f64::consts::TAU).contains(&site.theta) || site.theta == 0.0);
+            assert!((0.0..std::f64::consts::TAU).contains(&site.phi));
+            assert!(site.theta <= std::f64::consts::PI + 1e-12, "θ beyond π");
+        }
+    }
+
+    #[test]
+    fn mesh_16_has_120_mzis_and_240_shifters() {
+        // Building block of the paper's 1374-shifter census.
+        let mut rng = StdRng::seed_from_u64(10);
+        let u = haar_unitary(16, &mut rng);
+        let mesh = decompose(&u).unwrap();
+        assert_eq!(mesh.n_mzis(), 120);
+        assert_eq!(mesh.n_phase_shifters(), 240);
+    }
+}

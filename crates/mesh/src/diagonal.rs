@@ -1,0 +1,267 @@
+//! The Σ line: singular values realized as terminated MZIs plus a global
+//! amplification β (paper §II-B).
+//!
+//! An MZI with one input and one output terminated acts as a tunable
+//! attenuator: its bar-path amplitude is `|T₁₁| = sin(θ/2) ≤ 1`. Arbitrary
+//! (≥ 1) singular values therefore need a global optical gain, the paper's
+//! `β` layer: `Σ = β · diag(sin(θᵢ/2))` with `θᵢ = 2·asin(sᵢ/β)` and `φᵢ`
+//! chosen to cancel the residual phase `i·e^{iθᵢ/2}` of the bar path.
+//!
+//! Under uncertainty the attenuator MZIs deviate exactly like mesh MZIs
+//! (their θ/φ shifters and both splitters are physical devices); EXP 1
+//! perturbs them, EXP 2 holds them error-free (paper §III-D).
+
+use spnn_linalg::{C64, CMatrix};
+use spnn_photonics::Mzi;
+use std::f64::consts::{FRAC_PI_2, TAU};
+
+/// A line of terminated MZIs realizing `Σ/β`, plus the global gain `β`.
+///
+/// # Example
+///
+/// ```
+/// use spnn_mesh::DiagonalLine;
+///
+/// let line = DiagonalLine::from_singular_values(&[3.0, 1.5, 0.0], 3, 3);
+/// assert!((line.beta() - 3.0).abs() < 1e-12);
+/// let m = line.matrix();
+/// assert!((m[(0, 0)].re - 3.0).abs() < 1e-10);
+/// assert!((m[(1, 1)].re - 1.5).abs() < 1e-10);
+/// assert!(m[(2, 2)].abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagonalLine {
+    out_dim: usize,
+    in_dim: usize,
+    beta: f64,
+    thetas: Vec<f64>,
+    phis: Vec<f64>,
+}
+
+impl DiagonalLine {
+    /// Builds the line from non-negative singular values.
+    ///
+    /// `values.len()` must equal `min(out_dim, in_dim)`; `β` is set to the
+    /// largest value (or 1 if all are zero) so every attenuation is
+    /// realizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is negative, if the length does not match, or if
+    /// either dimension is zero.
+    pub fn from_singular_values(values: &[f64], out_dim: usize, in_dim: usize) -> Self {
+        assert!(out_dim > 0 && in_dim > 0, "dimensions must be positive");
+        assert_eq!(
+            values.len(),
+            out_dim.min(in_dim),
+            "need min(out, in) singular values"
+        );
+        assert!(values.iter().all(|&s| s >= 0.0), "singular values must be non-negative");
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        let beta = if max > 0.0 { max } else { 1.0 };
+        let mut thetas = Vec::with_capacity(values.len());
+        let mut phis = Vec::with_capacity(values.len());
+        for &s in values {
+            let ratio = (s / beta).clamp(0.0, 1.0);
+            let theta = 2.0 * ratio.asin();
+            // Bar amplitude is i·e^{iθ/2}·e^{iφ}·sin(θ/2); cancel the phase:
+            let phi = (-(FRAC_PI_2 + theta / 2.0)).rem_euclid(TAU);
+            thetas.push(theta);
+            phis.push(phi);
+        }
+        Self {
+            out_dim,
+            in_dim,
+            beta,
+            thetas,
+            phis,
+        }
+    }
+
+    /// Output dimension of `Σ` (rows).
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input dimension of `Σ` (columns).
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The global amplification `β` (largest singular value).
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of attenuator MZIs on the line.
+    #[inline]
+    pub fn n_mzis(&self) -> usize {
+        self.thetas.len()
+    }
+
+    /// Number of tunable phase shifters (two per attenuator MZI).
+    #[inline]
+    pub fn n_phase_shifters(&self) -> usize {
+        2 * self.thetas.len()
+    }
+
+    /// Tuned `(θ, φ)` of attenuator `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_mzis()`.
+    pub fn phases(&self, i: usize) -> (f64, f64) {
+        (self.thetas[i], self.phis[i])
+    }
+
+    /// The ideal device model for attenuator `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_mzis()`.
+    pub fn device(&self, i: usize) -> Mzi {
+        Mzi::ideal(self.thetas[i], self.phis[i])
+    }
+
+    /// The ideal `out_dim × in_dim` matrix `β · diag(bar amplitudes)` —
+    /// equal to `diag(s)` by construction.
+    pub fn matrix(&self) -> CMatrix {
+        self.matrix_with(|i, dev| {
+            let _ = i;
+            dev
+        })
+    }
+
+    /// The matrix with each attenuator replaced by the device the callback
+    /// returns — the uncertainty-injection hook (same pattern as
+    /// [`crate::mesh::UnitaryMesh::matrix_with`]).
+    pub fn matrix_with<F>(&self, mut device_at: F) -> CMatrix
+    where
+        F: FnMut(usize, Mzi) -> Mzi,
+    {
+        let mut m = CMatrix::zeros(self.out_dim, self.in_dim);
+        for i in 0..self.thetas.len() {
+            let dev = device_at(i, self.device(i));
+            m[(i, i)] = dev.bar_amplitude().scale(self.beta);
+        }
+        m
+    }
+
+    /// Applies the line to a field vector (length `in_dim`), producing
+    /// `out_dim` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim`.
+    pub fn forward(&self, input: &[C64]) -> Vec<C64> {
+        assert_eq!(input.len(), self.in_dim, "input length must equal in_dim");
+        let mut out = vec![C64::zero(); self.out_dim];
+        for i in 0..self.thetas.len() {
+            out[i] = self.device(i).bar_amplitude().scale(self.beta) * input[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_reconstruction() {
+        let s = [2.5, 1.0, 0.25];
+        let line = DiagonalLine::from_singular_values(&s, 3, 3);
+        let m = line.matrix();
+        for (i, &v) in s.iter().enumerate() {
+            assert!(m[(i, i)].approx_eq(C64::from(v), 1e-10), "s[{i}]");
+        }
+        // Off-diagonals are zero.
+        assert!(m[(0, 1)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        // Paper layer 3: 10 outputs, 16 inputs, 10 singular values.
+        let s: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let line = DiagonalLine::from_singular_values(&s, 10, 16);
+        let m = line.matrix();
+        assert_eq!(m.shape(), (10, 16));
+        for (i, &v) in s.iter().enumerate() {
+            assert!(m[(i, i)].approx_eq(C64::from(v), 1e-10));
+        }
+        assert_eq!(line.n_mzis(), 10);
+        assert_eq!(line.n_phase_shifters(), 20);
+    }
+
+    #[test]
+    fn beta_is_max_singular_value() {
+        let line = DiagonalLine::from_singular_values(&[0.5, 4.0, 2.0], 3, 3);
+        assert!((line.beta() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_zero_values() {
+        let line = DiagonalLine::from_singular_values(&[0.0, 0.0], 2, 2);
+        assert_eq!(line.beta(), 1.0);
+        let m = line.matrix();
+        assert!(m.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuations_within_unit_interval() {
+        let line = DiagonalLine::from_singular_values(&[3.0, 2.0, 0.1], 3, 3);
+        for i in 0..3 {
+            let (theta, _) = line.phases(i);
+            assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&theta));
+        }
+    }
+
+    #[test]
+    fn perturbation_changes_matrix() {
+        let line = DiagonalLine::from_singular_values(&[1.0, 0.5], 2, 2);
+        let noisy = line.matrix_with(|i, dev| {
+            if i == 0 {
+                dev.with_phase_errors(0.3, 0.0)
+            } else {
+                dev
+            }
+        });
+        assert!(!noisy[(0, 0)].approx_eq(C64::from(1.0), 1e-3));
+        assert!(noisy[(1, 1)].approx_eq(C64::from(0.5), 1e-10));
+    }
+
+    #[test]
+    fn forward_matches_matrix() {
+        let line = DiagonalLine::from_singular_values(&[2.0, 1.0], 2, 3);
+        let input = vec![C64::new(1.0, 1.0), C64::new(0.5, -0.5), C64::new(0.2, 0.0)];
+        let via_fwd = line.forward(&input);
+        let via_mat = line.matrix().mul_vec(&input);
+        for (a, b) in via_fwd.iter().zip(via_mat.iter()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn phase_errors_leak_complex_amplitude() {
+        // A θ error on an attenuator changes the magnitude; a φ error
+        // rotates the phase — both corrupt the realized singular value.
+        let line = DiagonalLine::from_singular_values(&[1.0], 1, 1);
+        let with_phi_err = line.matrix_with(|_, dev| dev.with_phase_errors(0.0, 0.4));
+        assert!((with_phi_err[(0, 0)].arg().abs() - 0.4).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_singular_value_panics() {
+        let _ = DiagonalLine::from_singular_values(&[-1.0], 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min(out, in)")]
+    fn wrong_count_panics() {
+        let _ = DiagonalLine::from_singular_values(&[1.0], 2, 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! MZI-mesh synthesis and physical simulation (layer level, paper §III-C).
+//!
+//! A unitary multiplier in an SPNN is a rectangular array of Mach–Zehnder
+//! interferometers. This crate provides:
+//!
+//! - [`clements`]: the Clements *et al.* (Optica 2016) rectangular
+//!   decomposition used by the paper for every unitary multiplier, plus the
+//!   diagonal-absorption step that commutes residual phases to the outputs.
+//! - [`reck`]: the Reck *et al.* (PRL 1994) triangular decomposition, kept
+//!   as a topology baseline for robustness ablations.
+//! - [`mesh`]: [`mesh::UnitaryMesh`] — the physical array: per-MZI tuned
+//!   phases `(θ, φ)` with grid placement, ideal and *perturbed* matrix
+//!   evaluation (each MZI can be replaced by a faulty device model from
+//!   `spnn-photonics`).
+//! - [`diagonal`]: the Σ line of terminated MZIs with the global
+//!   amplification `β` (paper §II-B).
+//! - [`rvd`]: the relative-variation-distance figure of merit (Fig. 3).
+//! - [`zones`]: 2×2-MZI zone partitioning used by EXP 2 (Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use spnn_mesh::clements;
+//! use spnn_linalg::random::haar_unitary;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let u = haar_unitary(5, &mut rng);
+//! let mesh = clements::decompose(&u)?;
+//! assert_eq!(mesh.n_mzis(), 10); // N(N−1)/2 for N = 5
+//! assert!(mesh.matrix().approx_eq(&u, 1e-10));
+//! # Ok::<(), spnn_mesh::MeshError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clements;
+pub mod diagonal;
+pub mod mesh;
+pub mod reck;
+pub mod rvd;
+pub mod zones;
+
+pub use diagonal::DiagonalLine;
+pub use mesh::{MeshMzi, UnitaryMesh};
+pub use zones::ZoneGrid;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during mesh synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// The input matrix is not square.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The input matrix is not unitary within the synthesis tolerance.
+    NotUnitary {
+        /// Deviation `‖AᴴA − I‖_max` that was measured.
+        deviation: f64,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::NotSquare { rows, cols } => {
+                write!(f, "mesh synthesis requires a square matrix, got {rows}x{cols}")
+            }
+            MeshError::NotUnitary { deviation } => {
+                write!(f, "matrix is not unitary (deviation {deviation:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for MeshError {}

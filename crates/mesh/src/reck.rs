@@ -1,0 +1,136 @@
+//! Reck triangular mesh decomposition (PRL 1994) — the historical
+//! alternative to the Clements rectangle, cited as ref. \[3\] of the paper.
+//!
+//! The Reck scheme nulls the strictly lower triangle of `U` row by row from
+//! the bottom using only right-multiplications `U ← U·T⁻¹`, so no
+//! diagonal-absorption step is needed: `U = D · T_q ⋯ T_1` directly, with
+//! the first-applied rotation the first device the light meets.
+//!
+//! The resulting mesh has the same `N(N−1)/2` MZI count as Clements but
+//! roughly double the depth (`2N − 3` columns), which makes it a useful
+//! baseline for topology-sensitivity ablations: longer paths accumulate
+//! more loss and the asymmetric depth distributes uncertainty differently.
+
+use crate::clements::{apply_right_tinv, solve_right_null, wrap_phase};
+use crate::mesh::UnitaryMesh;
+use crate::MeshError;
+use spnn_linalg::CMatrix;
+
+/// Decomposes a unitary matrix into a Reck triangular MZI mesh.
+///
+/// # Errors
+///
+/// - [`MeshError::NotSquare`] if `u` is rectangular.
+/// - [`MeshError::NotUnitary`] if `‖uᴴu − I‖_max > 1e-8`.
+///
+/// # Example
+///
+/// ```
+/// use spnn_mesh::reck;
+/// use spnn_linalg::random::haar_unitary;
+/// use rand::SeedableRng;
+///
+/// let u = haar_unitary(5, &mut rand::rngs::StdRng::seed_from_u64(8));
+/// let mesh = reck::decompose(&u)?;
+/// assert_eq!(mesh.n_mzis(), 10);
+/// assert!(mesh.matrix().approx_eq(&u, 1e-10));
+/// # Ok::<(), spnn_mesh::MeshError>(())
+/// ```
+pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
+    let (rows, cols) = u.shape();
+    if rows != cols {
+        return Err(MeshError::NotSquare { rows, cols });
+    }
+    let n = rows;
+    let gram = u.adjoint().mul(u);
+    let dev = (&gram - &CMatrix::identity(n)).max_abs();
+    if dev > 1e-8 {
+        return Err(MeshError::NotUnitary { deviation: dev });
+    }
+    if n == 1 {
+        return Ok(UnitaryMesh::from_physical_order(1, &[], vec![u[(0, 0)].arg()]));
+    }
+
+    let mut w = u.clone();
+    let mut ops: Vec<(usize, f64, f64)> = Vec::new();
+    // Null the lower triangle from the bottom row up, left to right inside
+    // each row. Each nulling mixes columns (j, j+1).
+    for row in (1..n).rev() {
+        for j in 0..row {
+            let (theta, phi) = solve_right_null(&w, row, j);
+            apply_right_tinv(&mut w, j, theta, phi);
+            ops.push((j, theta, phi));
+        }
+    }
+
+    let output_phases: Vec<f64> = w.diag().iter().map(|z| z.arg()).collect();
+    let physical: Vec<(usize, f64, f64)> = ops
+        .into_iter()
+        .map(|(m, t, p)| (m, t, wrap_phase(p)))
+        .collect();
+    Ok(UnitaryMesh::from_physical_order(n, &physical, output_phases))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decompose_reconstruct_small_sizes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in 2..=8 {
+            let u = haar_unitary(n, &mut rng);
+            let mesh = decompose(&u).expect("decompose");
+            assert_eq!(mesh.n_mzis(), n * (n - 1) / 2, "MZI count n={n}");
+            assert!(mesh.matrix().approx_eq(&u, 1e-9), "reconstruction n={n}");
+        }
+    }
+
+    #[test]
+    fn decompose_reconstruct_16() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let u = haar_unitary(16, &mut rng);
+        let mesh = decompose(&u).unwrap();
+        assert!(mesh.matrix().approx_eq(&u, 1e-8));
+    }
+
+    #[test]
+    fn reck_is_deeper_than_clements() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [5usize, 8, 12] {
+            let u = haar_unitary(n, &mut rng);
+            let reck_mesh = decompose(&u).unwrap();
+            let clem_mesh = crate::clements::decompose(&u).unwrap();
+            assert_eq!(reck_mesh.n_mzis(), clem_mesh.n_mzis());
+            assert!(
+                reck_mesh.n_columns() > clem_mesh.n_columns(),
+                "Reck depth {} vs Clements {} for n={n}",
+                reck_mesh.n_columns(),
+                clem_mesh.n_columns()
+            );
+            assert_eq!(reck_mesh.n_columns(), 2 * n - 3, "triangular depth n={n}");
+        }
+    }
+
+    #[test]
+    fn decompose_identity() {
+        let u = CMatrix::identity(6);
+        let mesh = decompose(&u).unwrap();
+        assert!(mesh.matrix().approx_eq(&u, 1e-10));
+    }
+
+    #[test]
+    fn rejects_non_unitary() {
+        let a = CMatrix::from_real_rows(&[&[2.0, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(decompose(&a), Err(MeshError::NotUnitary { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(decompose(&a), Err(MeshError::NotSquare { .. })));
+    }
+}

@@ -1,0 +1,83 @@
+//! Relative-variation distance (RVD) — the paper's layer-level figure of
+//! merit (§III-C, Fig. 3):
+//!
+//! ```text
+//! RVD(U, Ũ) = Σₘ Σₙ |Uₘₙ − Ũₘₙ| / |Ũₘₙ|
+//! ```
+//!
+//! where `Ũ` is the intended unitary and `U` the one realized by the
+//! (possibly faulty) mesh.
+
+use spnn_linalg::CMatrix;
+
+/// Elements of the intended matrix with modulus below this threshold are
+/// skipped — the ratio diverges there and Haar-random unitaries have no
+/// structural zeros, so this only guards numerical dust.
+pub const RVD_EPS: f64 = 1e-12;
+
+/// Computes `RVD(realized, intended)`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use spnn_mesh::rvd::rvd;
+/// use spnn_linalg::CMatrix;
+///
+/// let a = CMatrix::identity(3);
+/// assert_eq!(rvd(&a, &a), 0.0);
+/// ```
+pub fn rvd(realized: &CMatrix, intended: &CMatrix) -> f64 {
+    realized.relative_variation_distance(intended, RVD_EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::random::haar_unitary;
+    use spnn_linalg::C64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rvd_zero_iff_identical() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let u = haar_unitary(5, &mut rng);
+        assert_eq!(rvd(&u, &u), 0.0);
+    }
+
+    #[test]
+    fn rvd_positive_for_different_matrices() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let u = haar_unitary(5, &mut rng);
+        let v = haar_unitary(5, &mut rng);
+        assert!(rvd(&v, &u) > 0.1);
+    }
+
+    #[test]
+    fn rvd_scales_with_perturbation_size() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let u = haar_unitary(4, &mut rng);
+        let bump = |eps: f64| {
+            let mut w = u.clone();
+            w[(0, 0)] = w[(0, 0)] + C64::new(eps, 0.0);
+            rvd(&w, &u)
+        };
+        let small = bump(1e-4);
+        let large = bump(1e-2);
+        assert!(large > small * 50.0, "RVD should grow ~linearly: {small} {large}");
+    }
+
+    #[test]
+    fn rvd_symmetric_in_magnitude_not_definition() {
+        // RVD is *not* symmetric (denominator uses the intended matrix);
+        // document that behaviour.
+        let a = CMatrix::from_real_rows(&[&[2.0]]);
+        let b = CMatrix::from_real_rows(&[&[1.0]]);
+        assert!((rvd(&a, &b) - 1.0).abs() < 1e-15); // |2−1|/1
+        assert!((rvd(&b, &a) - 0.5).abs() < 1e-15); // |1−2|/2
+    }
+}

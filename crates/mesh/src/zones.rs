@@ -1,0 +1,178 @@
+//! Zone partitioning for EXP 2 (paper §III-D, Fig. 5).
+//!
+//! The paper divides each unitary multiplier into zones of "four MZIs
+//! arranged in a 2×2 grid": two adjacent mesh *grid rows* × two adjacent
+//! *columns*. The heat maps of Fig. 5 have the layer height growing
+//! vertically (zone row) and width horizontally (zone column).
+//!
+//! Mesh grid coordinates: an MZI with upper mode `top` in physical column
+//! `c` sits at grid position `(top / 2, c)` — in a Clements rectangle,
+//! even columns host MZIs with even `top` (0, 2, 4, …) and odd columns odd
+//! `top` (1, 3, 5, …), so `top / 2` enumerates rows 0, 1, 2, … in both.
+
+use crate::mesh::UnitaryMesh;
+
+/// The 2×2-MZI zone partition of a mesh.
+///
+/// # Example
+///
+/// ```
+/// use spnn_mesh::{clements, ZoneGrid};
+/// use spnn_linalg::random::haar_unitary;
+/// use rand::SeedableRng;
+///
+/// let u = haar_unitary(16, &mut rand::rngs::StdRng::seed_from_u64(4));
+/// let mesh = clements::decompose(&u)?;
+/// let zones = ZoneGrid::for_mesh(&mesh);
+/// assert_eq!((zones.rows(), zones.cols()), (4, 8)); // 16×16 Clements
+/// # Ok::<(), spnn_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneGrid {
+    rows: usize,
+    cols: usize,
+    /// members[zr][zc] = indices into `mesh.mzis()`.
+    members: Vec<Vec<Vec<usize>>>,
+}
+
+impl ZoneGrid {
+    /// Builds the zone partition of a mesh.
+    pub fn for_mesh(mesh: &UnitaryMesh) -> Self {
+        let max_grid_row = mesh.mzis().iter().map(|m| m.grid_row()).max().unwrap_or(0);
+        let n_cols = mesh.n_columns().max(1);
+        let rows = (max_grid_row + 2) / 2; // ceil((max+1)/2)
+        let cols = (n_cols + 1) / 2; // ceil(cols/2)
+        let mut members = vec![vec![Vec::new(); cols]; rows];
+        for (idx, site) in mesh.mzis().iter().enumerate() {
+            let zr = site.grid_row() / 2;
+            let zc = site.column / 2;
+            members[zr][zc].push(idx);
+        }
+        Self {
+            rows: rows.max(1),
+            cols: cols.max(1),
+            members,
+        }
+    }
+
+    /// Number of zone rows (vertical axis of the Fig. 5 heat maps).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of zone columns (horizontal axis of the Fig. 5 heat maps).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// MZI indices (into `mesh.mzis()`) belonging to zone `(zr, zc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone coordinates are out of range.
+    pub fn members(&self, zr: usize, zc: usize) -> &[usize] {
+        &self.members[zr][zc]
+    }
+
+    /// Iterates over all zones as `((zr, zc), members)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &[usize])> {
+        self.members.iter().enumerate().flat_map(|(zr, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(zc, m)| ((zr, zc), m.as_slice()))
+        })
+    }
+
+    /// Total number of zones.
+    pub fn n_zones(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Builds a membership lookup: `mzi index → (zr, zc)`.
+    pub fn zone_of_each(&self, n_mzis: usize) -> Vec<(usize, usize)> {
+        let mut out = vec![(usize::MAX, usize::MAX); n_mzis];
+        for ((zr, zc), members) in self.iter() {
+            for &m in members {
+                out[m] = (zr, zc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clements;
+    use spnn_linalg::random::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh(n: usize, seed: u64) -> UnitaryMesh {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        clements::decompose(&u).unwrap()
+    }
+
+    #[test]
+    fn partition_covers_every_mzi_once() {
+        for n in [5usize, 10, 16] {
+            let m = mesh(n, n as u64);
+            let zones = ZoneGrid::for_mesh(&m);
+            let mut seen = vec![false; m.n_mzis()];
+            for (_, members) in zones.iter() {
+                for &idx in members {
+                    assert!(!seen[idx], "MZI {idx} in two zones (n={n})");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "some MZI unassigned (n={n})");
+        }
+    }
+
+    #[test]
+    fn paper_16x16_grid_is_4x8() {
+        let zones = ZoneGrid::for_mesh(&mesh(16, 1));
+        assert_eq!(zones.rows(), 4);
+        assert_eq!(zones.cols(), 8);
+        assert_eq!(zones.n_zones(), 32);
+    }
+
+    #[test]
+    fn paper_10x10_grid_is_3x5() {
+        // 10×10 Clements: 10 columns, grid rows 0..4 ⇒ ceil(5/2)=3 zone rows,
+        // ceil(10/2)=5 zone cols.
+        let zones = ZoneGrid::for_mesh(&mesh(10, 2));
+        assert_eq!(zones.rows(), 3);
+        assert_eq!(zones.cols(), 5);
+    }
+
+    #[test]
+    fn interior_zones_hold_four_mzis() {
+        // In a 16×16 Clements rectangle every zone holds exactly
+        // 2 columns × 2 rows of devices; edge zones may hold fewer where the
+        // odd-column rows run out.
+        let m = mesh(16, 3);
+        let zones = ZoneGrid::for_mesh(&m);
+        let mut counts = Vec::new();
+        for (_, members) in zones.iter() {
+            counts.push(members.len());
+        }
+        assert!(counts.iter().all(|&c| c >= 2 && c <= 4));
+        let fours = counts.iter().filter(|&&c| c == 4).count();
+        assert!(fours >= zones.n_zones() / 2, "most zones should be full 2×2");
+    }
+
+    #[test]
+    fn zone_of_each_matches_members() {
+        let m = mesh(8, 4);
+        let zones = ZoneGrid::for_mesh(&m);
+        let lookup = zones.zone_of_each(m.n_mzis());
+        for ((zr, zc), members) in zones.iter() {
+            for &idx in members {
+                assert_eq!(lookup[idx], (zr, zc));
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for mesh synthesis and simulation.
+
+use proptest::prelude::*;
+use spnn_linalg::random::{gaussian_vector, haar_unitary};
+use spnn_linalg::vector::norm_sq;
+use spnn_mesh::rvd::rvd;
+use spnn_mesh::{clements, reck, DiagonalLine, ZoneGrid};
+use spnn_photonics::UncertaintySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn clements_and_reck_agree_on_the_matrix(n in 2usize..7, seed in 0u64..400) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let c = clements::decompose(&u).unwrap();
+        let r = reck::decompose(&u).unwrap();
+        prop_assert!(c.matrix().approx_eq(&r.matrix(), 1e-8));
+        prop_assert_eq!(c.n_mzis(), r.n_mzis());
+    }
+
+    #[test]
+    fn forward_equals_matrix_application(n in 2usize..7, seed in 0u64..400) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let x = gaussian_vector(n, &mut StdRng::seed_from_u64(seed ^ 1));
+        let via_forward = mesh.forward(&x);
+        let via_matrix = mesh.matrix().mul_vec(&x);
+        for (a, b) in via_forward.iter().zip(via_matrix.iter()) {
+            prop_assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn mesh_conserves_power_for_any_input(n in 2usize..7, seed in 0u64..400) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let x = gaussian_vector(n, &mut StdRng::seed_from_u64(seed ^ 2));
+        let y = mesh.forward(&x);
+        prop_assert!((norm_sq(&x) - norm_sq(&y)).abs() < 1e-8 * norm_sq(&x).max(1.0));
+    }
+
+    #[test]
+    fn rvd_grows_with_sigma_in_expectation(seed in 0u64..100) {
+        // Average over a few draws so the property is stable.
+        let u = haar_unitary(5, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let intended = mesh.matrix();
+        let avg_rvd = |sigma: f64| -> f64 {
+            let spec = UncertaintySpec::both(sigma);
+            (0..8)
+                .map(|k| {
+                    let mut rng = StdRng::seed_from_u64(seed * 31 + k);
+                    let m = mesh.matrix_with(|_, s| spec.perturb_mzi(&s.device(), &mut rng));
+                    rvd(&m, &intended)
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let small = avg_rvd(0.01);
+        let large = avg_rvd(0.1);
+        prop_assert!(large > small, "RVD should grow with σ: {small} vs {large}");
+    }
+
+    #[test]
+    fn zone_partition_is_exact_cover(n in 2usize..10, seed in 0u64..200) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let zones = ZoneGrid::for_mesh(&mesh);
+        let mut count = 0;
+        for (_, members) in zones.iter() {
+            count += members.len();
+        }
+        prop_assert_eq!(count, mesh.n_mzis());
+        let lookup = zones.zone_of_each(mesh.n_mzis());
+        for (zr, zc) in lookup {
+            prop_assert!(zr < zones.rows() && zc < zones.cols());
+        }
+    }
+
+    #[test]
+    fn diagonal_line_attenuations_never_exceed_beta(
+        s in prop::collection::vec(0.0f64..5.0, 1..8),
+    ) {
+        let n = s.len();
+        let line = DiagonalLine::from_singular_values(&s, n, n);
+        let m = line.matrix();
+        for i in 0..n {
+            prop_assert!(m[(i, i)].abs() <= line.beta() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn output_phase_screen_does_not_change_intensities(n in 2usize..6, seed in 0u64..200) {
+        // The output D only rotates phases; photodetectors cannot see it.
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let x = gaussian_vector(n, &mut StdRng::seed_from_u64(seed ^ 3));
+        let y = mesh.forward(&x);
+        // Strip the phase screen by dividing it out; intensities must match.
+        let phases = mesh.output_phases();
+        for (i, v) in y.iter().enumerate() {
+            let stripped = *v * spnn_linalg::C64::cis(-phases[i]);
+            prop_assert!((stripped.abs_sq() - v.abs_sq()).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Nonlinearities of the paper's SPNN (§III-D): Softplus on the modulus,
+//! modulus-squared intensity readout, and LogSoftMax.
+//!
+//! Forward and backward passes are free functions over slices; the backward
+//! functions take the *upstream* gradient and the cached forward inputs and
+//! return the downstream gradient, packing complex gradients as
+//! `∂L/∂Re + i·∂L/∂Im`.
+
+use spnn_linalg::C64;
+
+/// Numerically stable softplus `ln(1 + eˣ)`.
+pub fn softplus(x: f64) -> f64 {
+    // max(x, 0) + ln(1 + e^{−|x|}) avoids overflow for large |x|.
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+/// Logistic sigmoid `1 / (1 + e^{−x})` — the derivative of softplus.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Softplus-on-modulus forward: `aᵢ = softplus(|zᵢ|)` (a *real* vector
+/// returned as complex with zero imaginary part, since downstream layers
+/// multiply it with complex weights).
+pub fn mod_softplus(z: &[C64]) -> Vec<C64> {
+    z.iter().map(|v| C64::from(softplus(v.abs()))).collect()
+}
+
+/// Backward pass of [`mod_softplus`]: `g_z = Re(g_a)·σ(|z|)·z/|z|`.
+///
+/// Only the real part of the upstream gradient propagates — the activation
+/// output is structurally real, so its imaginary part receives no error
+/// signal.
+pub fn mod_softplus_backward(z: &[C64], grad_out: &[C64]) -> Vec<C64> {
+    debug_assert_eq!(z.len(), grad_out.len());
+    z.iter()
+        .zip(grad_out.iter())
+        .map(|(v, g)| {
+            let scale = g.re * sigmoid(v.abs());
+            v.unit_or_zero().scale(scale)
+        })
+        .collect()
+}
+
+/// Intensity readout forward: `oᵢ = |zᵢ|²` — photodetector power.
+pub fn intensity(z: &[C64]) -> Vec<f64> {
+    z.iter().map(|v| v.abs_sq()).collect()
+}
+
+/// Backward pass of [`intensity`]: `g_z = 2·(∂L/∂o)·z`.
+pub fn intensity_backward(z: &[C64], grad_out: &[f64]) -> Vec<C64> {
+    debug_assert_eq!(z.len(), grad_out.len());
+    z.iter()
+        .zip(grad_out.iter())
+        .map(|(v, &g)| v.scale(2.0 * g))
+        .collect()
+}
+
+/// LogSoftMax over a real vector (numerically stabilized).
+pub fn log_softmax(o: &[f64]) -> Vec<f64> {
+    let max = o.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let log_sum: f64 = o.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
+    o.iter().map(|&x| x - log_sum).collect()
+}
+
+/// Softmax over a real vector (numerically stabilized).
+pub fn softmax(o: &[f64]) -> Vec<f64> {
+    let max = o.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = o.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_known_values() {
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-14);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-12); // asymptote x
+        assert!(softplus(-100.0) < 1e-12); // asymptote 0
+        assert!(softplus(-100.0) > 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_softplus_derivative() {
+        for &x in &[-3.0, -0.5, 0.0, 0.7, 4.0] {
+            let h = 1e-6;
+            let fd = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+            assert!((fd - sigmoid(x)).abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_are_stable() {
+        assert!((sigmoid(800.0) - 1.0).abs() < 1e-15);
+        assert!(sigmoid(-800.0).abs() < 1e-15);
+        assert!(sigmoid(-800.0) >= 0.0);
+    }
+
+    #[test]
+    fn mod_softplus_output_is_real_nonnegative() {
+        let z = [C64::new(1.0, -2.0), C64::new(-0.5, 0.0), C64::zero()];
+        for a in mod_softplus(&z) {
+            assert_eq!(a.im, 0.0);
+            assert!(a.re > 0.0);
+        }
+    }
+
+    #[test]
+    fn mod_softplus_backward_matches_finite_difference() {
+        let z = [C64::new(0.8, -0.4), C64::new(-1.1, 0.6)];
+        // Loss L = Σ wᵢ·softplus(|zᵢ|) for fixed weights w ⇒ grad_out = w.
+        let w = [0.7, -1.3];
+        let grad_out: Vec<C64> = w.iter().map(|&x| C64::from(x)).collect();
+        let analytic = mod_softplus_backward(&z, &grad_out);
+        let h = 1e-6;
+        for i in 0..z.len() {
+            let mut zp = z;
+            zp[i].re += h;
+            let lp: f64 = zp.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            let mut zm = z;
+            zm[i].re -= h;
+            let lm: f64 = zm.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            assert!(((lp - lm) / (2.0 * h) - analytic[i].re).abs() < 1e-6, "re[{i}]");
+
+            let mut zp = z;
+            zp[i].im += h;
+            let lp: f64 = zp.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            let mut zm = z;
+            zm[i].im -= h;
+            let lm: f64 = zm.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            assert!(((lp - lm) / (2.0 * h) - analytic[i].im).abs() < 1e-6, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn mod_softplus_backward_at_zero_is_zero() {
+        let z = [C64::zero()];
+        let g = mod_softplus_backward(&z, &[C64::one()]);
+        assert_eq!(g[0], C64::zero());
+    }
+
+    #[test]
+    fn intensity_backward_matches_finite_difference() {
+        let z = [C64::new(0.3, -0.9), C64::new(1.2, 0.4)];
+        let w = [2.0, -0.5]; // L = Σ wᵢ·|zᵢ|²
+        let analytic = intensity_backward(&z, &w);
+        let h = 1e-6;
+        for i in 0..z.len() {
+            let loss = |zz: &[C64]| -> f64 { zz.iter().zip(w.iter()).map(|(v, &wi)| wi * v.abs_sq()).sum() };
+            let mut zp = z;
+            zp[i].re += h;
+            let mut zm = z;
+            zm[i].re -= h;
+            assert!(((loss(&zp) - loss(&zm)) / (2.0 * h) - analytic[i].re).abs() < 1e-6);
+            let mut zp = z;
+            zp[i].im += h;
+            let mut zm = z;
+            zm[i].im -= h;
+            assert!(((loss(&zp) - loss(&zm)) / (2.0 * h) - analytic[i].im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_normalizes() {
+        let o = [1.0, 2.0, 3.0];
+        let ls = log_softmax(&o);
+        let total: f64 = ls.iter().map(|&x| x.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Order preserved.
+        assert!(ls[2] > ls[1] && ls[1] > ls[0]);
+    }
+
+    #[test]
+    fn log_softmax_handles_large_inputs() {
+        let o = [1000.0, 1001.0];
+        let ls = log_softmax(&o);
+        assert!(ls.iter().all(|x| x.is_finite()));
+        let total: f64 = ls.iter().map(|&x| x.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_matches_exp_log_softmax() {
+        let o = [0.1, -0.7, 2.0, 0.0];
+        let sm = softmax(&o);
+        let ls = log_softmax(&o);
+        for (a, b) in sm.iter().zip(ls.iter()) {
+            assert!((a - b.exp()).abs() < 1e-12);
+        }
+        assert!((sm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-entropy loss over the intensity readout (paper §III-D).
+//!
+//! The network's real-valued output intensities `o = |z|²` go through
+//! LogSoftMax; the loss for label `y` is the negative log-likelihood
+//! `L = −log_softmax(o)[y]`, equivalently cross-entropy against the
+//! one-hot target (paper ref. \[15\]).
+
+use crate::activation::{log_softmax, softmax};
+
+/// Cross-entropy loss value for a single sample.
+///
+/// # Panics
+///
+/// Panics if `label >= intensities.len()`.
+///
+/// # Example
+///
+/// ```
+/// use spnn_neural::loss::cross_entropy;
+/// // A confident, correct prediction has near-zero loss.
+/// let loss = cross_entropy(&[10.0, 0.0, 0.0], 0);
+/// assert!(loss < 0.01);
+/// ```
+pub fn cross_entropy(intensities: &[f64], label: usize) -> f64 {
+    assert!(label < intensities.len(), "label out of range");
+    -log_softmax(intensities)[label]
+}
+
+/// Gradient of the cross-entropy loss with respect to the intensities:
+/// `∂L/∂o = softmax(o) − onehot(label)`.
+///
+/// # Panics
+///
+/// Panics if `label >= intensities.len()`.
+pub fn cross_entropy_grad(intensities: &[f64], label: usize) -> Vec<f64> {
+    assert!(label < intensities.len(), "label out of range");
+    let mut g = softmax(intensities);
+    g[label] -= 1.0;
+    g
+}
+
+/// Index of the largest intensity — the predicted class.
+///
+/// # Panics
+///
+/// Panics if `intensities` is empty.
+pub fn argmax(intensities: &[f64]) -> usize {
+    assert!(!intensities.is_empty(), "empty prediction vector");
+    let mut best = 0;
+    for (i, &v) in intensities.iter().enumerate() {
+        if v > intensities[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_nonnegative_and_zero_only_when_certain() {
+        let uniform = cross_entropy(&[1.0, 1.0, 1.0], 1);
+        assert!((uniform - (3.0f64).ln()).abs() < 1e-12);
+        let confident = cross_entropy(&[0.0, 50.0, 0.0], 1);
+        assert!(confident >= 0.0 && confident < 1e-12);
+    }
+
+    #[test]
+    fn wrong_confident_prediction_is_expensive() {
+        let wrong = cross_entropy(&[50.0, 0.0], 1);
+        assert!(wrong > 10.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let o = [0.5, -1.0, 2.0, 0.0];
+        let label = 2;
+        let g = cross_entropy_grad(&o, label);
+        let h = 1e-6;
+        for i in 0..o.len() {
+            let mut op = o;
+            op[i] += h;
+            let mut om = o;
+            om[i] -= h;
+            let fd = (cross_entropy(&op, label) - cross_entropy(&om, label)) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-6, "component {i}");
+        }
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let g = cross_entropy_grad(&[1.0, 2.0, 3.0], 0);
+        assert!(g.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+        assert_eq!(argmax(&[1.0, 1.0]), 0); // ties break to first
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let _ = cross_entropy(&[1.0], 3);
+    }
+}

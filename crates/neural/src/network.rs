@@ -1,0 +1,324 @@
+//! The complex-valued feedforward network of paper §III-D.
+//!
+//! Architecture: complex dense layers with Softplus-on-modulus after every
+//! hidden layer, and a modulus-squared intensity readout after the output
+//! layer. The LogSoftMax + cross-entropy stage lives in [`crate::loss`].
+//!
+//! The paper's instance is `dims = [16, 16, 16, 10]`: three weight matrices
+//! 16×16, 16×16 and 10×16 — exactly the ones later mapped onto MZI meshes.
+
+use crate::activation::{intensity, intensity_backward, mod_softplus, mod_softplus_backward};
+use crate::layer::DenseLayer;
+use crate::loss::{argmax, cross_entropy, cross_entropy_grad};
+use spnn_linalg::{C64, CMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A bias-free complex feedforward classifier.
+///
+/// # Example
+///
+/// ```
+/// use spnn_neural::ComplexNetwork;
+/// use spnn_linalg::C64;
+///
+/// // The paper's SPNN architecture: 16 → 16 → 16 → 10.
+/// let net = ComplexNetwork::new(&[16, 16, 16, 10], 7);
+/// assert_eq!(net.n_layers(), 3);
+/// let out = net.forward(&vec![C64::one(); 16]);
+/// assert_eq!(out.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexNetwork {
+    layers: Vec<DenseLayer>,
+}
+
+impl ComplexNetwork {
+    /// Creates a network with Glorot-initialized layers.
+    ///
+    /// `dims` lists the layer widths input-first, e.g. `[16, 16, 16, 10]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| DenseLayer::glorot(w[1], w[0], &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Builds a network from explicit weight matrices (output-dim × input-dim
+    /// each, consecutive shapes chaining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not chain or the list is empty.
+    pub fn from_weights(weights: Vec<CMatrix>) -> Self {
+        assert!(!weights.is_empty(), "need at least one layer");
+        for pair in weights.windows(2) {
+            assert_eq!(
+                pair[1].cols(),
+                pair[0].rows(),
+                "layer shapes must chain: {}x{} then {}x{}",
+                pair[0].rows(),
+                pair[0].cols(),
+                pair[1].rows(),
+                pair[1].cols()
+            );
+        }
+        Self {
+            layers: weights.into_iter().map(DenseLayer::from_weights).collect(),
+        }
+    }
+
+    /// Number of linear layers.
+    #[inline]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension (number of classes).
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The layers (read-only).
+    #[inline]
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by optimizers).
+    #[inline]
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// The weight matrices, input layer first — the objects handed to the
+    /// photonic mapping (`SVD → Clements meshes`).
+    pub fn weights(&self) -> Vec<&CMatrix> {
+        self.layers.iter().map(|l| l.weight()).collect()
+    }
+
+    /// Forward pass returning the output *intensities* `|z|²`
+    /// (pre-LogSoftMax logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim()`.
+    pub fn forward(&self, input: &[C64]) -> Vec<f64> {
+        let mut a = input.to_vec();
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&a);
+            a = if l < last { mod_softplus(&z) } else { z };
+        }
+        intensity(&a)
+    }
+
+    /// Predicted class for one input.
+    pub fn predict(&self, input: &[C64]) -> usize {
+        argmax(&self.forward(input))
+    }
+
+    /// Cross-entropy loss for one labelled sample.
+    pub fn loss(&self, input: &[C64], label: usize) -> f64 {
+        cross_entropy(&self.forward(input), label)
+    }
+
+    /// Backpropagates one labelled sample, *accumulating* weight gradients,
+    /// and returns the sample loss. Call [`ComplexNetwork::zero_grads`]
+    /// before each mini-batch and an optimizer step after.
+    pub fn backward(&mut self, input: &[C64], label: usize) -> f64 {
+        let last = self.layers.len() - 1;
+        // Forward with caches: pre-activations z_l and activations a_l.
+        let mut activations: Vec<Vec<C64>> = vec![input.to_vec()];
+        let mut pre_acts: Vec<Vec<C64>> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(activations.last().expect("non-empty"));
+            if l < last {
+                activations.push(mod_softplus(&z));
+            }
+            pre_acts.push(z);
+        }
+        let z_out = pre_acts.last().expect("non-empty");
+        let o = intensity(z_out);
+        let loss_val = cross_entropy(&o, label);
+
+        // Backward.
+        let grad_o = cross_entropy_grad(&o, label);
+        let mut g_z = intensity_backward(z_out, &grad_o);
+        for l in (0..self.layers.len()).rev() {
+            let g_a = self.layers[l].backward(&activations[l], &g_z);
+            if l > 0 {
+                g_z = mod_softplus_backward(&pre_acts[l - 1], &g_a);
+            }
+        }
+        loss_val
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Scales all accumulated gradients (e.g. by `1/batch_size`).
+    pub fn scale_grads(&mut self, k: f64) {
+        for layer in &mut self.layers {
+            layer.scale_grad(k);
+        }
+    }
+
+    /// Classification accuracy (fraction correct) over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn accuracy(&self, features: &[Vec<C64>], labels: &[usize]) -> f64 {
+        assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+        if features.is_empty() {
+            return 0.0;
+        }
+        let correct = features
+            .iter()
+            .zip(labels.iter())
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / features.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64) -> ComplexNetwork {
+        ComplexNetwork::new(&[3, 4, 2], seed)
+    }
+
+    #[test]
+    fn dims_wire_up() {
+        let net = ComplexNetwork::new(&[16, 16, 16, 10], 1);
+        assert_eq!(net.n_layers(), 3);
+        assert_eq!(net.in_dim(), 16);
+        assert_eq!(net.out_dim(), 10);
+        let shapes: Vec<(usize, usize)> = net.weights().iter().map(|w| w.shape()).collect();
+        assert_eq!(shapes, vec![(16, 16), (16, 16), (10, 16)]);
+    }
+
+    #[test]
+    fn forward_output_is_nonnegative_intensity() {
+        let net = tiny_net(2);
+        let out = net.forward(&[C64::new(0.5, -0.5), C64::one(), C64::i()]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn full_gradient_check() {
+        // End-to-end finite-difference check of every weight component.
+        let mut net = tiny_net(3);
+        let input = vec![C64::new(0.4, -0.1), C64::new(-0.7, 0.2), C64::new(0.1, 0.8)];
+        let label = 1;
+        net.zero_grads();
+        let _ = net.backward(&input, label);
+
+        let h = 1e-6;
+        for l in 0..net.n_layers() {
+            let (rows, cols) = net.layers()[l].weight().shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    for part in 0..2 {
+                        let mut plus = net.clone();
+                        let mut minus = net.clone();
+                        {
+                            let w = plus.layers_mut()[l].weight_mut();
+                            if part == 0 {
+                                w[(r, c)].re += h;
+                            } else {
+                                w[(r, c)].im += h;
+                            }
+                        }
+                        {
+                            let w = minus.layers_mut()[l].weight_mut();
+                            if part == 0 {
+                                w[(r, c)].re -= h;
+                            } else {
+                                w[(r, c)].im -= h;
+                            }
+                        }
+                        let fd = (plus.loss(&input, label) - minus.loss(&input, label)) / (2.0 * h);
+                        let g = net.layers()[l].grad()[(r, c)];
+                        let analytic = if part == 0 { g.re } else { g.im };
+                        assert!(
+                            (fd - analytic).abs() < 1e-5,
+                            "layer {l} W[{r}][{c}] part {part}: fd {fd} vs {analytic}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_returns_same_loss_as_loss() {
+        let mut net = tiny_net(4);
+        let input = vec![C64::one(), C64::i(), C64::new(-0.3, 0.2)];
+        let l1 = net.loss(&input, 0);
+        let l2 = net.backward(&input, 0);
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_roundtrip() {
+        let net = tiny_net(5);
+        let weights: Vec<CMatrix> = net.weights().into_iter().cloned().collect();
+        let rebuilt = ComplexNetwork::from_weights(weights);
+        let input = vec![C64::new(0.1, 0.2); 3];
+        let a = net.forward(&input);
+        let b = rebuilt.forward(&input);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_weights_panic() {
+        let w1 = CMatrix::zeros(4, 3);
+        let w2 = CMatrix::zeros(2, 5); // should be (_, 4)
+        let _ = ComplexNetwork::from_weights(vec![w1, w2]);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let net = tiny_net(6);
+        let xs = vec![vec![C64::one(), C64::zero(), C64::zero()]; 4];
+        let pred = net.predict(&xs[0]);
+        let labels_right = vec![pred; 4];
+        assert!((net.accuracy(&xs, &labels_right) - 1.0).abs() < 1e-15);
+        let labels_wrong = vec![1 - pred; 4];
+        assert!(net.accuracy(&xs, &labels_wrong) < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny_net(9);
+        let b = tiny_net(9);
+        assert!(a.weights()[0].approx_eq(b.weights()[0], 0.0));
+        let c = tiny_net(10);
+        assert!(!a.weights()[0].approx_eq(c.weights()[0], 1e-6));
+    }
+}

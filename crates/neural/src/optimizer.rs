@@ -1,0 +1,192 @@
+//! First-order optimizers over complex parameters.
+//!
+//! Complex weights are optimized component-wise: the packed gradient
+//! `∂L/∂Re + i·∂L/∂Im` is exactly the steepest-ascent direction of the
+//! real-valued loss in `(Re, Im)` coordinates, so SGD and Adam apply
+//! verbatim with the real and imaginary parts treated as independent
+//! parameters (Adam's second moment is tracked per component).
+
+use crate::network::ComplexNetwork;
+
+/// A first-order optimizer stepping a [`ComplexNetwork`] using its
+/// accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step from the accumulated gradients. Does **not**
+    /// zero the gradients — callers do that when starting the next batch.
+    fn step(&mut self, network: &mut ComplexNetwork);
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut ComplexNetwork) {
+        for layer in network.layers_mut() {
+            let grad = layer.grad().clone();
+            let w = layer.weight_mut();
+            for (wi, gi) in w.as_mut_slice().iter_mut().zip(grad.as_slice().iter()) {
+                *wi -= gi.scale(self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with per-real-component moments.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    /// Per-layer first/second moments over interleaved (re, im) components.
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyper-parameters (β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, network: &ComplexNetwork) {
+        if self.m.len() == network.n_layers() {
+            return;
+        }
+        self.m = network
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; 2 * l.weight().as_slice().len()])
+            .collect();
+        self.v = self.m.clone();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut ComplexNetwork) {
+        self.ensure_state(network);
+        self.t += 1;
+        let b1c = 1.0 - self.beta1.powi(self.t as i32);
+        let b2c = 1.0 - self.beta2.powi(self.t as i32);
+        for (layer, (m, v)) in network
+            .layers_mut()
+            .iter_mut()
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let grad = layer.grad().clone();
+            let w = layer.weight_mut();
+            for (i, (wi, gi)) in w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice().iter())
+                .enumerate()
+            {
+                for (part, g_part) in [(0, gi.re), (1, gi.im)] {
+                    let k = 2 * i + part;
+                    m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * g_part;
+                    v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * g_part * g_part;
+                    let m_hat = m[k] / b1c;
+                    let v_hat = v[k] / b2c;
+                    let upd = self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                    if part == 0 {
+                        wi.re -= upd;
+                    } else {
+                        wi.im -= upd;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::C64;
+
+    /// One gradient-descent step on a 1-layer net must reduce the loss.
+    fn loss_decreases_with<O: Optimizer>(mut opt: O) {
+        let mut net = ComplexNetwork::new(&[4, 4, 3], 11);
+        let input = vec![
+            C64::new(0.5, 0.1),
+            C64::new(-0.3, 0.4),
+            C64::new(0.2, -0.2),
+            C64::new(0.9, 0.0),
+        ];
+        let label = 2;
+        let before = net.loss(&input, label);
+        for _ in 0..20 {
+            net.zero_grads();
+            let _ = net.backward(&input, label);
+            opt.step(&mut net);
+        }
+        let after = net.loss(&input, label);
+        assert!(after < before, "loss should decrease: {before} → {after}");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        loss_decreases_with(Sgd::new(0.05));
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        loss_decreases_with(Adam::new(0.01));
+    }
+
+    #[test]
+    fn adam_overfits_single_sample_to_high_confidence() {
+        let mut net = ComplexNetwork::new(&[3, 6, 2], 13);
+        let mut opt = Adam::new(0.02);
+        let input = vec![C64::new(1.0, 0.5), C64::new(-0.5, 0.2), C64::new(0.1, -0.9)];
+        for _ in 0..300 {
+            net.zero_grads();
+            let _ = net.backward(&input, 0);
+            opt.step(&mut net);
+        }
+        assert!(net.loss(&input, 0) < 0.05, "should overfit one sample");
+        assert_eq!(net.predict(&input), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn adam_zero_lr_panics() {
+        let _ = Adam::new(-1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Directional-coupler beam-splitter model (component level, paper §III-A).
+//!
+//! A 2×2 beam splitter (BeS) transmits a fraction of the field at each input
+//! port straight through (amplitude `t`… note the paper uses `r` for the
+//! *straight* path and `t` for the *cross* path, Eq. 2) and couples the rest
+//! to the other port with a π/2 phase shift:
+//!
+//! ```text
+//! | Ẽ₀ |   |  r₀₀   i·t₁₀ | | E₀ |
+//! | Ẽ₁ | = |  i·t₀₁  r₁₁  | | E₁ |        (paper Eq. 2)
+//! ```
+//!
+//! with losslessness constraints `r₀₀² + t₀₁² = 1` and `r₁₁² + t₁₀² = 1`.
+//! For symmetric splitters `r₀₀ = r₁₁ = r`, `t₀₁ = t₁₀ = t`, and the ideal
+//! 50:50 case has `r = t = 1/√2`.
+//!
+//! Beam splitters are **passive**: once fabricated their splitting ratio
+//! cannot be tuned, so fabrication-process variations in `r`/`t` cannot be
+//! calibrated away (paper §II-C) — this is why the paper studies them
+//! separately from phase shifters.
+
+use crate::constants::SPLIT_50_50;
+use spnn_linalg::{C64, CMatrix};
+
+/// A symmetric, lossless 2×2 beam splitter with reflectance `r` and
+/// transmittance `t = √(1 − r²)`.
+///
+/// # Example
+///
+/// ```
+/// use spnn_photonics::BeamSplitter;
+///
+/// let ideal = BeamSplitter::ideal_50_50();
+/// assert!(ideal.matrix().is_unitary(1e-12));
+/// assert!((ideal.power_split_ratio() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamSplitter {
+    r: f64,
+    t: f64,
+}
+
+impl BeamSplitter {
+    /// Creates a lossless splitter from its reflectance `r ∈ [0, 1]`;
+    /// the transmittance is derived as `t = √(1 − r²)`.
+    ///
+    /// Out-of-range values are clamped into `[0, 1]` — under Gaussian
+    /// perturbation of `r` this is the physical behaviour (a coupler cannot
+    /// reflect more than all of the light).
+    pub fn from_reflectance(r: f64) -> Self {
+        let r = r.clamp(0.0, 1.0);
+        Self {
+            r,
+            t: (1.0 - r * r).max(0.0).sqrt(),
+        }
+    }
+
+    /// Creates an explicitly non-unitary splitter with independent `r` and
+    /// `t` (clamped to `[0, 1]`). Only for sensitivity studies; the paper's
+    /// experiments use the lossless constraint.
+    pub fn from_r_t_unchecked(r: f64, t: f64) -> Self {
+        Self {
+            r: r.clamp(0.0, 1.0),
+            t: t.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The ideal symmetric 50:50 splitter, `r = t = 1/√2`.
+    pub fn ideal_50_50() -> Self {
+        Self {
+            r: SPLIT_50_50,
+            t: SPLIT_50_50,
+        }
+    }
+
+    /// Reflectance (straight-path amplitude) `r`.
+    #[inline]
+    pub fn reflectance(&self) -> f64 {
+        self.r
+    }
+
+    /// Transmittance (cross-path amplitude) `t`.
+    #[inline]
+    pub fn transmittance(&self) -> f64 {
+        self.t
+    }
+
+    /// Fraction of optical *power* crossing to the other port, `t²`.
+    #[inline]
+    pub fn power_split_ratio(&self) -> f64 {
+        self.t * self.t
+    }
+
+    /// `true` when `r² + t² = 1` within `tol` (lossless).
+    pub fn is_lossless(&self, tol: f64) -> bool {
+        (self.r * self.r + self.t * self.t - 1.0).abs() <= tol
+    }
+
+    /// The 2×2 transfer matrix of Eq. (2): `[[r, i·t], [i·t, r]]`.
+    pub fn matrix(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(2, 2);
+        m[(0, 0)] = C64::from(self.r);
+        m[(0, 1)] = C64::new(0.0, self.t);
+        m[(1, 0)] = C64::new(0.0, self.t);
+        m[(1, 1)] = C64::from(self.r);
+        m
+    }
+
+    /// Returns a copy with the reflectance perturbed by `delta` (additive),
+    /// re-deriving `t` to stay lossless. A zero delta is an exact no-op.
+    #[must_use]
+    pub fn perturbed(&self, delta: f64) -> Self {
+        if delta == 0.0 {
+            *self
+        } else {
+            Self::from_reflectance(self.r + delta)
+        }
+    }
+}
+
+impl Default for BeamSplitter {
+    /// The ideal 50:50 splitter.
+    fn default() -> Self {
+        Self::ideal_50_50()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_50_50_and_unitary() {
+        let b = BeamSplitter::ideal_50_50();
+        assert!((b.reflectance() - SPLIT_50_50).abs() < 1e-15);
+        assert!((b.transmittance() - SPLIT_50_50).abs() < 1e-15);
+        assert!(b.is_lossless(1e-15));
+        assert!(b.matrix().is_unitary(1e-14));
+    }
+
+    #[test]
+    fn lossless_constraint_maintained_under_perturbation() {
+        for delta in [-0.3, -0.1, 0.0, 0.05, 0.2] {
+            let b = BeamSplitter::ideal_50_50().perturbed(delta);
+            assert!(b.is_lossless(1e-12), "delta {delta}");
+            assert!(b.matrix().is_unitary(1e-12), "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn reflectance_clamped_to_physical_range() {
+        let hi = BeamSplitter::from_reflectance(1.5);
+        assert_eq!(hi.reflectance(), 1.0);
+        assert_eq!(hi.transmittance(), 0.0);
+        let lo = BeamSplitter::from_reflectance(-0.2);
+        assert_eq!(lo.reflectance(), 0.0);
+        assert!((lo.transmittance() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_conservation_through_splitter() {
+        use spnn_linalg::vector::norm_sq;
+        let b = BeamSplitter::from_reflectance(0.6);
+        let input = vec![C64::new(0.8, 0.1), C64::new(-0.3, 0.5)];
+        let output = b.matrix().mul_vec(&input);
+        assert!((norm_sq(&input) - norm_sq(&output)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_path_carries_quarter_wave_phase() {
+        let b = BeamSplitter::ideal_50_50();
+        let m = b.matrix();
+        // Cross elements are purely imaginary (i·t): +π/2 relative phase.
+        assert!(m[(0, 1)].re.abs() < 1e-15);
+        assert!(m[(0, 1)].im > 0.0);
+    }
+
+    #[test]
+    fn unchecked_constructor_allows_lossy() {
+        let b = BeamSplitter::from_r_t_unchecked(0.5, 0.5);
+        assert!(!b.is_lossless(1e-3));
+        assert!(!b.matrix().is_unitary(1e-3));
+    }
+
+    #[test]
+    fn split_ratio_bounds() {
+        for r in [0.0, 0.3, SPLIT_50_50, 0.9, 1.0] {
+            let b = BeamSplitter::from_reflectance(r);
+            let ratio = b.power_split_ratio();
+            assert!((0.0..=1.0).contains(&ratio));
+            assert!((ratio + r * r - 1.0).abs() < 1e-12);
+        }
+    }
+}

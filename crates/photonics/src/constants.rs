@@ -1,0 +1,53 @@
+//! Physical constants for the silicon-photonic platform, as quoted in the
+//! paper (§III-A) and its references.
+
+/// Operating wavelength λ₀ = 1550 nm (C-band), in meters.
+pub const WAVELENGTH_M: f64 = 1550e-9;
+
+/// Thermo-optic coefficient of silicon at λ₀ = 1550 nm and T = 300 K:
+/// `dn/dT ≈ 1.8 × 10⁻⁴ K⁻¹` (paper §III-A, ref. \[11\]).
+pub const THERMO_OPTIC_COEFF_PER_K: f64 = 1.8e-4;
+
+/// Nominal operating temperature, in kelvin.
+pub const NOMINAL_TEMPERATURE_K: f64 = 300.0;
+
+/// Default thermo-optic phase-shifter length, in meters (typical SOI
+/// micro-heater lengths are tens of microns to ~100 µm; ref. \[10\] of the
+/// paper optimizes designs around this scale).
+pub const DEFAULT_SHIFTER_LENGTH_M: f64 = 100e-6;
+
+/// Ideal 50:50 beam-splitter amplitude coefficient `1/√2`.
+pub const SPLIT_50_50: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Phase error (radians) observed in mature fabrication processes for tuned
+/// phase angles: ~0.21 rad (paper §III-A, ref. \[4\]).
+pub const MATURE_PROCESS_PHASE_ERROR_RAD: f64 = 0.21;
+
+/// The paper's normalization of the mature-process phase error:
+/// `0.21 / 2π ≈ 3.34 %` of the phase range — i.e. σ_PhS ≈ 0.0334.
+pub const MATURE_PROCESS_SIGMA_PHS: f64 = MATURE_PROCESS_PHASE_ERROR_RAD / std::f64::consts::TAU;
+
+/// Typical relative deviation expected in beam-splitter r/t parameters
+/// (1–2 %, paper §III-A, ref. \[4\]). We store the midpoint.
+pub const TYPICAL_BES_DEVIATION: f64 = 0.015;
+
+/// Typical thermal tuning efficiency for an SOI micro-heater: power needed
+/// for a π phase shift, in watts (≈ 20 mW/π is a common figure for
+/// non-optimized designs; ref. \[10\] reports mW-class optimized shifters).
+pub const HEATER_POWER_PER_PI_W: f64 = 20e-3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mature_process_sigma_matches_paper_number() {
+        // Paper: 0.21/2π × 100 ≈ 3.34 %.
+        assert!((MATURE_PROCESS_SIGMA_PHS * 100.0 - 3.34).abs() < 0.01);
+    }
+
+    #[test]
+    fn split_50_50_squares_to_half() {
+        assert!((SPLIT_50_50 * SPLIT_50_50 - 0.5).abs() < 1e-15);
+    }
+}

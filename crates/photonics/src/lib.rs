@@ -1,0 +1,48 @@
+//! Component- and device-level models of silicon-photonic hardware.
+//!
+//! This crate implements the first two levels of the hierarchical uncertainty
+//! study from *"Modeling Silicon-Photonic Neural Networks under
+//! Uncertainties"* (DATE 2021):
+//!
+//! - **Component level** (§III-A of the paper):
+//!   [`phase_shifter::PhaseShifter`] — a thermo-optic phase shifter with the
+//!   temperature-dependent phase model `Δφ = (2πl/λ₀)·(dn/dT)·ΔT`, heater
+//!   power and DAC quantization; [`beam_splitter::BeamSplitter`] — a
+//!   directional-coupler 2×2 splitter with reflectance/transmittance
+//!   satisfying `r² + t² = 1`.
+//! - **Device level** (§III-B): [`mzi::Mzi`] — a 2×2 Mach–Zehnder
+//!   interferometer assembled from two phase shifters and two beam
+//!   splitters, with the ideal transfer matrix (Eq. 1), the non-ideal-BeS
+//!   transfer matrix (Eq. 5) and the first-order sensitivity model
+//!   (Eqs. 3–4) that generates Fig. 2.
+//! - **Uncertainty models** (§III-A): [`uncertainty`] — the paper's
+//!   `σ_PhS`/`σ_BeS` conventions and Gaussian perturbation sampling.
+//! - **Thermal crosstalk** (§II-C/§III-A): [`thermal`] — a mutual-heating
+//!   model with exponential distance decay that turns i.i.d. phase noise
+//!   into spatially correlated noise.
+//!
+//! # Example
+//!
+//! ```
+//! use spnn_photonics::Mzi;
+//!
+//! // An MZI tuned to (θ, φ) = (π/2, π/4) is a unitary 2×2 device.
+//! let mzi = Mzi::ideal(std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_4);
+//! assert!(mzi.transfer_matrix().is_unitary(1e-12));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod beam_splitter;
+pub mod constants;
+pub mod mzi;
+pub mod phase_shifter;
+pub mod spatial;
+pub mod thermal;
+pub mod uncertainty;
+
+pub use beam_splitter::BeamSplitter;
+pub use mzi::Mzi;
+pub use phase_shifter::PhaseShifter;
+pub use uncertainty::{PerturbTarget, UncertaintySpec};

@@ -1,0 +1,244 @@
+//! Layout-dependent correlated fabrication variation (paper ref. \[7\],
+//! Lu et al., *Optics Express* 2017).
+//!
+//! Real wafers do not produce i.i.d. device errors: etch depth, waveguide
+//! width and film thickness drift *smoothly* across a die, so neighbouring
+//! devices see correlated offsets. This module models that with a smooth
+//! random field synthesized from a small number of low-spatial-frequency
+//! cosine modes plus a linear (wafer-scale) gradient:
+//!
+//! ```text
+//! f(x, y) = g·(aₓ·x + a_y·y)/L  +  Σ_k c_k · cos(kₓ·x + k_y·y + ψ_k)
+//! ```
+//!
+//! The field is deterministic given its seed, has approximately zero mean
+//! and unit RMS over the die, and is scaled by the caller to physical
+//! units (e.g. a reflectance offset or a phase offset). Correlation decays
+//! with distance on the scale `correlation_length_um`.
+
+use spnn_linalg::random::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A smooth, seeded random field over the chip plane.
+///
+/// # Example
+///
+/// ```
+/// use spnn_photonics::spatial::SpatialField;
+///
+/// let field = SpatialField::new(42, 500.0, 8);
+/// let a = field.value(0.0, 0.0);
+/// let near = field.value(5.0, 0.0);      // 5 µm away: almost identical
+/// let far = field.value(5000.0, 3000.0); // far away: unrelated
+/// assert!((a - near).abs() < 0.1);
+/// let _ = far;
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialField {
+    gradient: (f64, f64),
+    /// Modes: (kx, ky, amplitude, phase).
+    modes: Vec<(f64, f64, f64, f64)>,
+    correlation_length_um: f64,
+}
+
+impl SpatialField {
+    /// Creates a field with the given `seed`, correlation length (µm) and
+    /// number of cosine modes (≥ 1; 8 is a good default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correlation_length_um <= 0` or `n_modes == 0`.
+    pub fn new(seed: u64, correlation_length_um: f64, n_modes: usize) -> Self {
+        assert!(correlation_length_um > 0.0, "correlation length must be positive");
+        assert!(n_modes > 0, "need at least one mode");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Wafer-scale gradient: gentle, random direction.
+        let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+        let gradient_strength = 0.3;
+        let gradient = (
+            gradient_strength * angle.cos() / correlation_length_um,
+            gradient_strength * angle.sin() / correlation_length_um,
+        );
+        // Low-frequency cosine modes with |k| ~ 1/correlation_length.
+        let amp = (2.0 / n_modes as f64).sqrt();
+        let modes = (0..n_modes)
+            .map(|_| {
+                let dir = rng.gen::<f64>() * std::f64::consts::TAU;
+                // Wavenumber magnitude spread around 2π/L.
+                let k_mag = std::f64::consts::TAU / correlation_length_um
+                    * (0.5 + rng.gen::<f64>());
+                let psi = rng.gen::<f64>() * std::f64::consts::TAU;
+                let c = amp * (0.5 + 0.5 * gaussian(&mut rng).abs()).min(1.5);
+                (k_mag * dir.cos(), k_mag * dir.sin(), c, psi)
+            })
+            .collect();
+        Self {
+            gradient,
+            modes,
+            correlation_length_um,
+        }
+    }
+
+    /// The correlation length (µm) the field was built with.
+    pub fn correlation_length_um(&self) -> f64 {
+        self.correlation_length_um
+    }
+
+    /// Field value at chip position `(x_um, y_um)` — dimensionless,
+    /// O(1) RMS; scale it to physical units at the call site.
+    pub fn value(&self, x_um: f64, y_um: f64) -> f64 {
+        let mut v = self.gradient.0 * x_um + self.gradient.1 * y_um;
+        for &(kx, ky, c, psi) in &self.modes {
+            v += c * (kx * x_um + ky * y_um + psi).cos();
+        }
+        v
+    }
+
+    /// Empirical correlation between field values at two separations,
+    /// estimated over `samples` random anchor points within a
+    /// `die_um × die_um` region. Used by tests to verify the
+    /// smoothness claim; exposed because it is handy for model fitting.
+    pub fn empirical_correlation(
+        &self,
+        separation_um: f64,
+        die_um: f64,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(samples);
+        let mut ys = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let x = rng.gen::<f64>() * die_um;
+            let y = rng.gen::<f64>() * die_um;
+            let dir = rng.gen::<f64>() * std::f64::consts::TAU;
+            xs.push(self.value(x, y));
+            ys.push(self.value(
+                x + separation_um * dir.cos(),
+                y + separation_um * dir.sin(),
+            ));
+        }
+        correlation(&xs, &ys)
+    }
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Correlated-FPV model for a mesh: two independent fields drive phase
+/// offsets and reflectance offsets, scaled to the requested sigmas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedFpv {
+    phase_field: SpatialField,
+    refl_field: SpatialField,
+    phase_sigma_rad: f64,
+    refl_sigma: f64,
+}
+
+impl CorrelatedFpv {
+    /// Creates a correlated-FPV model. `phase_sigma_rad` and `refl_sigma`
+    /// set the RMS scale of the phase (radians) and reflectance offsets;
+    /// `correlation_length_um` sets the smoothness.
+    pub fn new(seed: u64, correlation_length_um: f64, phase_sigma_rad: f64, refl_sigma: f64) -> Self {
+        Self {
+            phase_field: SpatialField::new(seed ^ 0x9A5E, correlation_length_um, 8),
+            refl_field: SpatialField::new(seed ^ 0x0BE5, correlation_length_um, 8),
+            phase_sigma_rad,
+            refl_sigma,
+        }
+    }
+
+    /// Phase offset (radians) for a heater at `(x_um, y_um)`.
+    pub fn phase_offset(&self, x_um: f64, y_um: f64) -> f64 {
+        self.phase_sigma_rad * self.phase_field.value(x_um, y_um)
+    }
+
+    /// Reflectance offset for a coupler at `(x_um, y_um)`.
+    pub fn reflectance_offset(&self, x_um: f64, y_um: f64) -> f64 {
+        self.refl_sigma * self.refl_field.value(x_um, y_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_deterministic_per_seed() {
+        let a = SpatialField::new(1, 300.0, 8);
+        let b = SpatialField::new(1, 300.0, 8);
+        assert_eq!(a.value(120.0, 45.0), b.value(120.0, 45.0));
+        let c = SpatialField::new(2, 300.0, 8);
+        assert_ne!(a.value(120.0, 45.0), c.value(120.0, 45.0));
+    }
+
+    #[test]
+    fn nearby_points_are_strongly_correlated() {
+        let field = SpatialField::new(3, 400.0, 8);
+        let near = field.empirical_correlation(20.0, 3000.0, 4000, 7);
+        assert!(near > 0.9, "20 µm apart with 400 µm correlation length: {near}");
+    }
+
+    #[test]
+    fn correlation_decays_with_distance() {
+        let field = SpatialField::new(4, 300.0, 8);
+        let near = field.empirical_correlation(30.0, 3000.0, 4000, 8);
+        let far = field.empirical_correlation(1500.0, 3000.0, 4000, 8);
+        assert!(
+            near > far + 0.2,
+            "correlation should decay: near {near}, far {far}"
+        );
+    }
+
+    #[test]
+    fn field_rms_is_order_one() {
+        let field = SpatialField::new(5, 300.0, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let x = rng.gen::<f64>() * 2000.0;
+            let y = rng.gen::<f64>() * 2000.0;
+            let v = field.value(x, y);
+            acc += v * v;
+        }
+        let rms = (acc / n as f64).sqrt();
+        assert!((0.2..5.0).contains(&rms), "rms {rms} not O(1)");
+    }
+
+    #[test]
+    fn correlated_fpv_scales_offsets() {
+        let fpv = CorrelatedFpv::new(6, 300.0, 0.1, 0.02);
+        let p = fpv.phase_offset(100.0, 100.0);
+        let r = fpv.reflectance_offset(100.0, 100.0);
+        assert!(p.abs() < 1.0, "phase offset {p} should be ~0.1-scale");
+        assert!(r.abs() < 0.2, "reflectance offset {r} should be ~0.02-scale");
+        // Zero sigma kills the offsets.
+        let off = CorrelatedFpv::new(6, 300.0, 0.0, 0.0);
+        assert_eq!(off.phase_offset(50.0, 50.0), 0.0);
+        assert_eq!(off.reflectance_offset(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_correlation_length_panics() {
+        let _ = SpatialField::new(1, 0.0, 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! Uncertainty models and the paper's σ conventions (§III-A).
+//!
+//! The paper perturbs:
+//!
+//! - **phase angles** `θ, φ` with a Gaussian centered on the tuned value and
+//!   standard deviation `σ ∈ [0.005·2π, 0.15·2π]`, reporting the normalized
+//!   value `σ_PhS ≜ σ / 2π`;
+//! - **beam-splitter reflectances** `r` with a Gaussian centered on `1/√2`
+//!   and standard deviation `σ ∈ [0.005·(1/√2), 0.15·(1/√2)]`, reporting the
+//!   normalized value `σ_BeS ≜ √2 · σ`.
+//!
+//! So `σ_PhS = σ_BeS = 0.05` means a 5 % relative perturbation of each
+//! parameter's natural scale — the paper's "fair comparison" convention.
+//!
+//! [`UncertaintySpec`] bundles both sigmas plus a [`PerturbTarget`]
+//! selecting which component class is perturbed (EXP 1 runs all three
+//! combinations).
+
+use crate::mzi::Mzi;
+use rand::Rng;
+use spnn_linalg::random::gaussian;
+use std::f64::consts::TAU;
+
+/// Which component class receives random perturbations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PerturbTarget {
+    /// Perturb only the tunable phase shifters (σ_BeS treated as 0).
+    PhaseShiftersOnly,
+    /// Perturb only the passive beam splitters (σ_PhS treated as 0).
+    BeamSplittersOnly,
+    /// Perturb both component classes (the paper's σ_PhS = σ_BeS case).
+    #[default]
+    Both,
+}
+
+/// A component-level uncertainty specification in the paper's normalized
+/// units.
+///
+/// # Example
+///
+/// ```
+/// use spnn_photonics::{Mzi, UncertaintySpec};
+/// use rand::SeedableRng;
+///
+/// let spec = UncertaintySpec::both(0.05);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let nominal = Mzi::ideal(1.0, 2.0);
+/// let noisy = spec.perturb_mzi(&nominal, &mut rng);
+/// assert!(noisy.theta() != nominal.theta());
+/// // Losslessness is preserved under BeS perturbation:
+/// assert!(noisy.transfer_matrix().is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertaintySpec {
+    sigma_phs: f64,
+    sigma_bes: f64,
+    target: PerturbTarget,
+}
+
+impl UncertaintySpec {
+    /// No uncertainty at all (σ_PhS = σ_BeS = 0).
+    pub fn none() -> Self {
+        Self {
+            sigma_phs: 0.0,
+            sigma_bes: 0.0,
+            target: PerturbTarget::Both,
+        }
+    }
+
+    /// Equal normalized sigmas on both component classes
+    /// (the paper's `σ_PhS = σ_BeS` sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn both(sigma: f64) -> Self {
+        Self::new(sigma, sigma, PerturbTarget::Both)
+    }
+
+    /// Phase-shifter-only uncertainty (`σ_BeS = 0`).
+    pub fn phase_shifters_only(sigma_phs: f64) -> Self {
+        Self::new(sigma_phs, 0.0, PerturbTarget::PhaseShiftersOnly)
+    }
+
+    /// Beam-splitter-only uncertainty (`σ_PhS = 0`).
+    pub fn beam_splitters_only(sigma_bes: f64) -> Self {
+        Self::new(0.0, sigma_bes, PerturbTarget::BeamSplittersOnly)
+    }
+
+    /// Fully explicit constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sigma is negative.
+    pub fn new(sigma_phs: f64, sigma_bes: f64, target: PerturbTarget) -> Self {
+        assert!(sigma_phs >= 0.0 && sigma_bes >= 0.0, "sigmas must be non-negative");
+        Self {
+            sigma_phs,
+            sigma_bes,
+            target,
+        }
+    }
+
+    /// Normalized phase-shifter sigma `σ_PhS = σ/2π`.
+    #[inline]
+    pub fn sigma_phs(&self) -> f64 {
+        self.sigma_phs
+    }
+
+    /// Normalized beam-splitter sigma `σ_BeS = √2·σ`.
+    #[inline]
+    pub fn sigma_bes(&self) -> f64 {
+        self.sigma_bes
+    }
+
+    /// The perturbation target.
+    #[inline]
+    pub fn target(&self) -> PerturbTarget {
+        self.target
+    }
+
+    /// Absolute phase standard deviation in radians: `σ_PhS · 2π`.
+    #[inline]
+    pub fn phase_sigma_rad(&self) -> f64 {
+        self.sigma_phs * TAU
+    }
+
+    /// Absolute reflectance standard deviation: `σ_BeS / √2`.
+    #[inline]
+    pub fn reflectance_sigma(&self) -> f64 {
+        self.sigma_bes * std::f64::consts::FRAC_1_SQRT_2
+    }
+
+    /// `true` when this spec perturbs phase shifters.
+    pub fn affects_phs(&self) -> bool {
+        self.sigma_phs > 0.0
+            && matches!(
+                self.target,
+                PerturbTarget::PhaseShiftersOnly | PerturbTarget::Both
+            )
+    }
+
+    /// `true` when this spec perturbs beam splitters.
+    pub fn affects_bes(&self) -> bool {
+        self.sigma_bes > 0.0
+            && matches!(
+                self.target,
+                PerturbTarget::BeamSplittersOnly | PerturbTarget::Both
+            )
+    }
+
+    /// Draws one additive phase error (radians).
+    pub fn sample_phase_error<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.affects_phs() {
+            gaussian(rng) * self.phase_sigma_rad()
+        } else {
+            0.0
+        }
+    }
+
+    /// Draws one additive reflectance error.
+    pub fn sample_reflectance_error<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.affects_bes() {
+            gaussian(rng) * self.reflectance_sigma()
+        } else {
+            0.0
+        }
+    }
+
+    /// Applies independent random errors to all six MZI parameters
+    /// (θ, φ, r, r′) according to the target selection. The two phase
+    /// shifters and the two splitters are perturbed independently, as in all
+    /// of the paper's system-level analyses.
+    #[must_use]
+    pub fn perturb_mzi<R: Rng + ?Sized>(&self, mzi: &Mzi, rng: &mut R) -> Mzi {
+        let d_theta = self.sample_phase_error(rng);
+        let d_phi = self.sample_phase_error(rng);
+        let dr_in = self.sample_reflectance_error(rng);
+        let dr_out = self.sample_reflectance_error(rng);
+        mzi.with_phase_errors(d_theta, d_phi)
+            .with_splitter_errors(dr_in, dr_out)
+    }
+
+    /// Returns a copy scaled to a different sigma for both classes, keeping
+    /// the target. Used by the EXP 2 zonal runner (σ 0.05 → 0.1 in a zone).
+    #[must_use]
+    pub fn with_sigma(&self, sigma: f64) -> Self {
+        let phs = if self.sigma_phs > 0.0 || matches!(self.target, PerturbTarget::Both) {
+            sigma
+        } else {
+            0.0
+        };
+        let bes = if self.sigma_bes > 0.0 || matches!(self.target, PerturbTarget::Both) {
+            sigma
+        } else {
+            0.0
+        };
+        Self::new(phs, bes, self.target)
+    }
+}
+
+impl Default for UncertaintySpec {
+    /// No uncertainty.
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_conventions() {
+        let spec = UncertaintySpec::both(0.05);
+        assert!((spec.phase_sigma_rad() - 0.05 * TAU).abs() < 1e-15);
+        assert!((spec.reflectance_sigma() - 0.05 / 2f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mature_process_error_is_3_34_percent() {
+        // 0.21 rad ≈ 3.34 % of 2π: the paper's motivating figure.
+        let sigma_phs = 0.21 / TAU;
+        let spec = UncertaintySpec::phase_shifters_only(sigma_phs);
+        assert!((spec.phase_sigma_rad() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn targets_mask_the_right_class() {
+        let phs = UncertaintySpec::phase_shifters_only(0.1);
+        assert!(phs.affects_phs() && !phs.affects_bes());
+        let bes = UncertaintySpec::beam_splitters_only(0.1);
+        assert!(!bes.affects_phs() && bes.affects_bes());
+        let both = UncertaintySpec::both(0.1);
+        assert!(both.affects_phs() && both.affects_bes());
+        let none = UncertaintySpec::none();
+        assert!(!none.affects_phs() && !none.affects_bes());
+    }
+
+    #[test]
+    fn zero_sigma_perturbs_nothing() {
+        let spec = UncertaintySpec::none();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mzi = Mzi::ideal(1.0, 2.0);
+        let p = spec.perturb_mzi(&mzi, &mut rng);
+        assert_eq!(p, mzi);
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let spec = UncertaintySpec::both(0.05);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let phase_var: f64 = (0..n)
+            .map(|_| spec.sample_phase_error(&mut rng).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let expect = spec.phase_sigma_rad().powi(2);
+        assert!((phase_var / expect - 1.0).abs() < 0.05, "var {phase_var} vs {expect}");
+
+        let refl_var: f64 = (0..n)
+            .map(|_| spec.sample_reflectance_error(&mut rng).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let expect_r = spec.reflectance_sigma().powi(2);
+        assert!((refl_var / expect_r - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn perturbed_mzi_keeps_losslessness() {
+        let spec = UncertaintySpec::both(0.15);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = spec.perturb_mzi(&Mzi::ideal(2.0, 1.0), &mut rng);
+            assert!(p.transfer_matrix().is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn phs_only_leaves_splitters_ideal() {
+        let spec = UncertaintySpec::phase_shifters_only(0.1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = spec.perturb_mzi(&Mzi::ideal(1.0, 1.0), &mut rng);
+        assert!((p.splitter_in().reflectance() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+        assert!(p.theta() != 1.0);
+    }
+
+    #[test]
+    fn bes_only_leaves_phases_nominal() {
+        let spec = UncertaintySpec::beam_splitters_only(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = spec.perturb_mzi(&Mzi::ideal(1.0, 1.0), &mut rng);
+        assert_eq!(p.theta(), 1.0);
+        assert_eq!(p.phi(), 1.0);
+        assert!(p.splitter_in().reflectance() != std::f64::consts::FRAC_1_SQRT_2);
+    }
+
+    #[test]
+    fn with_sigma_rescales() {
+        let spec = UncertaintySpec::both(0.05).with_sigma(0.1);
+        assert!((spec.sigma_phs() - 0.1).abs() < 1e-15);
+        assert!((spec.sigma_bes() - 0.1).abs() < 1e-15);
+        let phs = UncertaintySpec::phase_shifters_only(0.05).with_sigma(0.1);
+        assert!((phs.sigma_phs() - 0.1).abs() < 1e-15);
+        assert_eq!(phs.sigma_bes(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = UncertaintySpec::both(-0.1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the photonic component and device models.
+
+use proptest::prelude::*;
+use spnn_photonics::mzi::{first_order_deviation, ideal_transfer, phase_sensitivity};
+use spnn_photonics::phase_shifter::quantize_phase;
+use spnn_photonics::spatial::SpatialField;
+use spnn_photonics::thermal::{HeaterPosition, ThermalCrosstalk};
+use spnn_photonics::{BeamSplitter, Mzi, PhaseShifter, UncertaintySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn phase_shifter_transfer_is_always_unit_modulus(phase in -20.0f64..20.0) {
+        let ps = PhaseShifter::new(phase);
+        prop_assert!((ps.transfer().abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermo_optic_roundtrip(phase in 0.01f64..10.0, len_um in 10.0f64..500.0) {
+        let ps = PhaseShifter::with_length(phase, len_um * 1e-6);
+        let dt = ps.temperature_delta_k();
+        prop_assert!((dt * ps.phase_per_kelvin() - phase).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beam_splitter_lossless_for_any_reflectance(r in -0.5f64..1.5) {
+        let b = BeamSplitter::from_reflectance(r);
+        prop_assert!(b.is_lossless(1e-12));
+        prop_assert!(b.matrix().is_unitary(1e-12));
+        prop_assert!((0.0..=1.0).contains(&b.reflectance()));
+    }
+
+    #[test]
+    fn mzi_closed_form_equals_composition(
+        theta in 0.0f64..std::f64::consts::TAU,
+        phi in 0.0f64..std::f64::consts::TAU,
+        r1 in 0.3f64..0.95,
+        r2 in 0.3f64..0.95,
+    ) {
+        let mzi = Mzi::with_splitters(
+            theta,
+            phi,
+            BeamSplitter::from_reflectance(r1),
+            BeamSplitter::from_reflectance(r2),
+        );
+        prop_assert!(mzi
+            .transfer_matrix()
+            .approx_eq(&mzi.transfer_matrix_composed(), 1e-11));
+    }
+
+    #[test]
+    fn eq3_matches_finite_differences_everywhere(
+        theta in 0.1f64..6.0,
+        phi in 0.1f64..6.0,
+    ) {
+        let (d_theta, d_phi) = phase_sensitivity(theta, phi);
+        let h = 1e-6;
+        let base = ideal_transfer(theta, phi);
+        let bt = ideal_transfer(theta + h, phi);
+        let bp = ideal_transfer(theta, phi + h);
+        for r in 0..2 {
+            for c in 0..2 {
+                let fd_t = (bt[(r, c)] - base[(r, c)]).scale(1.0 / h);
+                let fd_p = (bp[(r, c)] - base[(r, c)]).scale(1.0 / h);
+                prop_assert!(fd_t.approx_eq(d_theta[(r, c)], 1e-4));
+                prop_assert!(fd_p.approx_eq(d_phi[(r, c)], 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_is_linear_in_k(theta in 0.1f64..6.0, phi in 0.1f64..6.0, k in 0.001f64..0.2) {
+        let d1 = first_order_deviation(theta, phi, k);
+        let d2 = first_order_deviation(theta, phi, 2.0 * k);
+        for r in 0..2 {
+            for c in 0..2 {
+                prop_assert!(d2[(r, c)].approx_eq(d1[(r, c)].scale(2.0), 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded(phase in -50.0f64..50.0, bits in 1u32..12) {
+        let q = quantize_phase(phase, bits);
+        let step = std::f64::consts::TAU / (1u64 << bits) as f64;
+        let wrapped = phase.rem_euclid(std::f64::consts::TAU);
+        let direct = (q - wrapped).abs();
+        let circular = direct.min(std::f64::consts::TAU - direct);
+        prop_assert!(circular <= step / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn perturbed_devices_remain_unitary(
+        theta in 0.0f64..std::f64::consts::TAU,
+        phi in 0.0f64..std::f64::consts::TAU,
+        sigma in 0.0f64..0.15,
+        seed in 0u64..500,
+    ) {
+        let spec = UncertaintySpec::both(sigma.max(1e-9));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dev = spec.perturb_mzi(&Mzi::ideal(theta, phi), &mut rng);
+        prop_assert!(dev.transfer_matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn crosstalk_errors_are_nonnegative_and_bounded(
+        kappa in 0.0f64..0.05,
+        pitch in 20.0f64..200.0,
+        n in 2usize..10,
+    ) {
+        let model = ThermalCrosstalk::new(kappa, 60.0);
+        let positions: Vec<HeaterPosition> = (0..n)
+            .map(|i| HeaterPosition::new(0.0, i as f64 * pitch))
+            .collect();
+        let phases = vec![std::f64::consts::PI; n];
+        let errors = model.phase_errors(&phases, &positions);
+        for e in errors {
+            prop_assert!(e >= 0.0);
+            // Bound: κ·Σ exp(−d/d₀)·2π with n−1 aggressors.
+            prop_assert!(e <= kappa * (n as f64) * std::f64::consts::TAU);
+        }
+    }
+
+    #[test]
+    fn spatial_field_is_smooth(seed in 0u64..200, x in 0.0f64..2000.0, y in 0.0f64..2000.0) {
+        // |f(p) − f(p + δ)| is small for δ ≪ correlation length.
+        let field = SpatialField::new(seed, 500.0, 8);
+        let a = field.value(x, y);
+        let b = field.value(x + 1.0, y + 1.0);
+        prop_assert!((a - b).abs() < 0.1, "field jumped: {a} vs {b}");
+    }
+
+    #[test]
+    fn extinction_ratio_decreases_with_imbalance(base in 0.0f64..0.02, extra in 0.01f64..0.1) {
+        let er_small = Mzi::ideal(0.0, 0.0)
+            .with_splitter_errors(base, 0.0)
+            .extinction_ratio_db();
+        let er_large = Mzi::ideal(0.0, 0.0)
+            .with_splitter_errors(base + extra, 0.0)
+            .extinction_ratio_db();
+        prop_assert!(er_small >= er_large);
+    }
+}

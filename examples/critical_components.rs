@@ -1,0 +1,78 @@
+//! Critical-component identification — the paper's design-time framework.
+//!
+//! Reproduces the Fig. 3 analysis (per-MZI average RVD on random 5×5
+//! unitaries) and then applies the same machinery to a *trained* SPNN
+//! layer, ranking its most uncertainty-critical MZIs before "fabrication".
+//!
+//! Run with: `cargo run --release --example critical_components`
+
+use spnn::core::criticality::{analyze_mesh, rank_by_rvd};
+use spnn::linalg::random::haar_unitary;
+use spnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = UncertaintySpec::both(0.05);
+
+    // Part 1 — Fig. 3: four random 5×5 unitaries, one faulty MZI at a time.
+    println!("Fig. 3 style analysis: average RVD per faulty MZI (σ = 0.05, 200 iterations)");
+    let mut rng = StdRng::seed_from_u64(2024);
+    for m in 0..4 {
+        let u = haar_unitary(5, &mut rng);
+        let mesh = clements::decompose(&u)?;
+        let report = analyze_mesh(&mesh, &spec, 200, 77 + m);
+        print!("  matrix {m}: ");
+        for (i, v) in report.rvd_profile.iter().enumerate() {
+            print!("#{:<2}{v:.2} ", i + 1);
+        }
+        println!();
+        println!(
+            "    most critical MZI: #{} (RVD {:.2}); spread {:.2}–{:.2}; phase-load proxy agreement {:+.2}",
+            report.most_critical + 1,
+            report.rvd_range.1,
+            report.rvd_range.0,
+            report.rvd_range.1,
+            report.proxy_agreement
+        );
+    }
+
+    // Part 2 — the same analysis on a trained layer of the real SPNN.
+    println!("\ntraining an SPNN to analyze its first unitary multiplier…");
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: 1000,
+        n_test: 200,
+        crop: 4,
+        seed: 3,
+    });
+    let mut net = ComplexNetwork::new(&[16, 16, 16, 10], 5);
+    train(
+        &mut net,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        },
+    );
+    let hw = PhotonicNetwork::from_network(&net, MeshTopology::Clements, None)?;
+    let u_mesh = hw.layers()[0].u_mesh();
+    let top = rank_by_rvd(u_mesh, &spec, 50, 11);
+    println!(
+        "U_L0 mesh: {} MZIs; ten most critical (index, avg RVD):",
+        u_mesh.n_mzis()
+    );
+    for (idx, score) in top.iter().take(10) {
+        let site = &u_mesh.mzis()[*idx];
+        println!(
+            "  MZI {idx:>3}  column {:>2}, modes ({},{})  θ={:.2} φ={:.2}  RVD {score:.3}",
+            site.column,
+            site.top,
+            site.top + 1,
+            site.theta,
+            site.phi
+        );
+    }
+    println!("\nthe paper: such pre-fabrication analysis lets designers harden or recalibrate exactly these devices.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Finite phase-encoding precision: how many DAC bits does an SPNN need?
+//!
+//! The paper's introduction lists "the finite-encoding precision on phase
+//! settings" among the roadblocks to SPNN scaling. This example quantizes
+//! every commanded phase to a b-bit code over [0, 2π) and measures the
+//! accuracy — first alone, then on top of mature-process random noise
+//! (σ_PhS ≈ 0.0334, i.e. the paper's 0.21 rad figure).
+//!
+//! Run with: `cargo run --release --example phase_quantization`
+
+use spnn::core::{HardwareEffects, PerturbationPlan};
+use spnn::photonics::phase_shifter::quantize_phase;
+use spnn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Device level: quantization error magnitude.
+    println!("device level: worst-case phase error per DAC resolution");
+    for bits in [2u32, 4, 6, 8] {
+        let step = std::f64::consts::TAU / (1u64 << bits) as f64;
+        println!(
+            "  {bits} bits → step {:.4} rad, worst-case error {:.4} rad ({:.2}% of 2π)",
+            step,
+            step / 2.0,
+            step / 2.0 / std::f64::consts::TAU * 100.0
+        );
+        // Sanity: quantizer respects the bound.
+        let q = quantize_phase(1.234, bits);
+        assert!((q - 1.234).abs() <= step / 2.0 + 1e-12);
+    }
+
+    // System level.
+    println!("\ntraining SPNN…");
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: 1500,
+        n_test: 400,
+        crop: 4,
+        seed: 23,
+    });
+    let mut net = ComplexNetwork::new(&[16, 16, 16, 10], 29);
+    train(
+        &mut net,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
+    );
+    let hw = PhotonicNetwork::from_network(&net, MeshTopology::Clements, None)?;
+    let nominal = hw.ideal_accuracy(&data.test_features, &data.test_labels);
+    println!("nominal accuracy (continuous phases): {:.1}%\n", nominal * 100.0);
+
+    let mature_noise = UncertaintySpec::both(0.0334);
+    println!(
+        "{:>6} {:>16} {:>26}",
+        "bits", "quantized only", "quantized + σ = 0.0334"
+    );
+    for bits in [2u32, 3, 4, 5, 6, 8] {
+        let fx = HardwareEffects::with_quantization(bits);
+        let clean = mc_accuracy(
+            &hw,
+            &PerturbationPlan::None,
+            &fx,
+            &data.test_features,
+            &data.test_labels,
+            1,
+            7,
+        );
+        let noisy = mc_accuracy(
+            &hw,
+            &PerturbationPlan::global(mature_noise),
+            &fx,
+            &data.test_features,
+            &data.test_labels,
+            12,
+            7 ^ bits as u64,
+        );
+        println!(
+            "{bits:>6} {:>15.1}% {:>25.1}%",
+            clean.mean * 100.0,
+            noisy.mean * 100.0
+        );
+    }
+    println!("\nonce the quantization step sinks below the analog noise floor, more bits stop paying off — precision budgets should target the process σ, not zero.");
+    Ok(())
+}

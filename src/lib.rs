@@ -1,0 +1,65 @@
+//! `spnn` — a full-system reproduction of *"Modeling Silicon-Photonic
+//! Neural Networks under Uncertainties"* (Banerjee, Nikdast, Chakrabarty;
+//! DATE 2021, arXiv:2012.10594).
+//!
+//! This façade crate re-exports the workspace so downstream users can
+//! depend on one crate:
+//!
+//! - [`linalg`] — complex scalars/matrices, QR, SVD, FFT, random unitaries.
+//! - [`photonics`] — phase shifters, beam splitters, MZIs, uncertainty and
+//!   thermal-crosstalk models (paper Eqs. 1–5).
+//! - [`mesh`] — Clements/Reck mesh synthesis, Σ lines, RVD, EXP 2 zones.
+//! - [`neural`] — complex-valued networks with Wirtinger backprop.
+//! - [`dataset`] — synthetic MNIST substitute + shifted-FFT features.
+//! - [`core`] — the photonic network simulator, Monte-Carlo engine and the
+//!   paper's experiments (EXP 1 / EXP 2 / criticality).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spnn::prelude::*;
+//!
+//! // 1. Data: synthetic MNIST-style digits → 16 complex FFT features.
+//! let data = SpnnDataset::generate(&DatasetConfig {
+//!     n_train: 300, n_test: 60, crop: 4, seed: 7,
+//! });
+//!
+//! // 2. Software training (scaled down for the doctest).
+//! let mut net = ComplexNetwork::new(&[16, 16, 16, 10], 1);
+//! let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+//! train(&mut net, &data.train_features, &data.train_labels, &cfg);
+//!
+//! // 3. Photonic mapping: SVD → Clements meshes + Σ lines.
+//! let hw = PhotonicNetwork::from_network(&net, MeshTopology::Clements, None)?;
+//!
+//! // 4. Monte-Carlo accuracy under the paper's σ = 0.05 uncertainty.
+//! let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+//! let result = mc_accuracy(
+//!     &hw, &plan, &HardwareEffects::default(),
+//!     &data.test_features, &data.test_labels, 5, 99,
+//! );
+//! assert!(result.mean <= 1.0);
+//! # Ok::<(), spnn::core::network::SpnnError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spnn_core as core;
+pub use spnn_dataset as dataset;
+pub use spnn_linalg as linalg;
+pub use spnn_mesh as mesh;
+pub use spnn_neural as neural;
+pub use spnn_photonics as photonics;
+
+/// Commonly used items, importable with `use spnn::prelude::*`.
+pub mod prelude {
+    pub use spnn_core::{
+        mc_accuracy, ComponentCensus, HardwareEffects, McResult, MeshTopology, PerturbationPlan,
+        PhotonicNetwork, SiteRef, Stage,
+    };
+    pub use spnn_dataset::{fft_features, DatasetConfig, GrayImage, ImageGenerator, SpnnDataset};
+    pub use spnn_linalg::{C64, CMatrix};
+    pub use spnn_mesh::{clements, reck, DiagonalLine, UnitaryMesh, ZoneGrid};
+    pub use spnn_neural::{train, ComplexNetwork, TrainConfig};
+    pub use spnn_photonics::{BeamSplitter, Mzi, PerturbTarget, PhaseShifter, UncertaintySpec};
+}

@@ -1,0 +1,192 @@
+//! End-to-end integration tests spanning every crate: dataset → training →
+//! photonic mapping → uncertainty injection → Monte-Carlo accuracy.
+
+use spnn::core::exp1::{run as exp1_run, Exp1Config};
+use spnn::core::exp2::{run_one, Exp2Config};
+use spnn::prelude::*;
+
+/// Shared small-but-real pipeline. Training is the slow part, so the
+/// fixture is built once per test binary.
+fn trained_spnn() -> (SpnnDataset, ComplexNetwork, PhotonicNetwork) {
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: 600,
+        n_test: 150,
+        crop: 4,
+        seed: 1234,
+    });
+    let mut net = ComplexNetwork::new(&[16, 16, 16, 10], 55);
+    train(
+        &mut net,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: 18,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: 9,
+            verbose: false,
+        },
+    );
+    let hw = PhotonicNetwork::from_network(&net, MeshTopology::Clements, Some(4)).unwrap();
+    (data, net, hw)
+}
+
+#[test]
+fn software_training_learns_the_synthetic_task() {
+    let (data, net, _) = trained_spnn();
+    let acc = net.accuracy(&data.test_features, &data.test_labels);
+    assert!(
+        acc > 0.6,
+        "trained SPNN should comfortably beat the 10% random guess, got {acc}"
+    );
+}
+
+#[test]
+fn photonic_hardware_reproduces_software_exactly_without_noise() {
+    let (data, net, hw) = trained_spnn();
+    let sw_acc = net.accuracy(&data.test_features, &data.test_labels);
+    let hw_acc = hw.ideal_accuracy(&data.test_features, &data.test_labels);
+    assert!(
+        (sw_acc - hw_acc).abs() < 1e-12,
+        "ideal hardware must match software: {sw_acc} vs {hw_acc}"
+    );
+}
+
+#[test]
+fn per_sample_logits_match_between_software_and_hardware() {
+    let (data, net, hw) = trained_spnn();
+    let ideal = hw.ideal_matrices();
+    for f in data.test_features.iter().take(20) {
+        let sw = net.forward(f);
+        let hwv = hw.forward_with(&ideal, f);
+        for (a, b) in sw.iter().zip(hwv.iter()) {
+            assert!((a - b).abs() < 1e-6, "logit mismatch: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn uncertainty_degrades_accuracy_monotonically_in_expectation() {
+    let (data, _, hw) = trained_spnn();
+    let nominal = hw.ideal_accuracy(&data.test_features, &data.test_labels);
+    let mut last = nominal + 1e-9;
+    // Coarse grid with enough MC iterations for a stable ordering.
+    for sigma in [0.01, 0.05, 0.15] {
+        let plan = PerturbationPlan::global(UncertaintySpec::both(sigma));
+        let r = mc_accuracy(
+            &hw,
+            &plan,
+            &HardwareEffects::default(),
+            &data.test_features,
+            &data.test_labels,
+            12,
+            777,
+        );
+        assert!(
+            r.mean < last + 0.05,
+            "accuracy should trend down: σ={sigma} gave {} after {last}",
+            r.mean
+        );
+        last = r.mean;
+    }
+    // At the largest σ the network is near random guessing (10%).
+    assert!(last < 0.35, "σ=0.15 should approach the random-guess floor, got {last}");
+}
+
+#[test]
+fn phase_shifter_errors_hurt_more_than_beam_splitter_errors() {
+    // The paper's Fig. 4 ordering at moderate σ.
+    let (data, _, hw) = trained_spnn();
+    let cfg = Exp1Config {
+        sigmas: vec![0.05],
+        iterations: 15,
+        seed: 31,
+        modes: vec![
+            PerturbTarget::PhaseShiftersOnly,
+            PerturbTarget::BeamSplittersOnly,
+        ],
+    };
+    let points = exp1_run(&hw, &data.test_features, &data.test_labels, &cfg);
+    let phs = points
+        .iter()
+        .find(|p| p.mode == PerturbTarget::PhaseShiftersOnly)
+        .unwrap()
+        .result
+        .mean;
+    let bes = points
+        .iter()
+        .find(|p| p.mode == PerturbTarget::BeamSplittersOnly)
+        .unwrap()
+        .result
+        .mean;
+    assert!(
+        phs < bes,
+        "PhS-only accuracy ({phs}) should be below BeS-only ({bes}) at σ = 0.05"
+    );
+}
+
+#[test]
+fn exp2_zonal_heatmap_shows_zone_dependent_impact() {
+    let (data, _, hw) = trained_spnn();
+    let cfg = Exp2Config {
+        iterations: 6,
+        seed: 91,
+        ..Exp2Config::default()
+    };
+    // Use a subset of test data to keep the integration test quick.
+    let xs: Vec<_> = data.test_features.iter().take(60).cloned().collect();
+    let ys: Vec<_> = data.test_labels.iter().take(60).cloned().collect();
+    let hm = run_one(&hw, &xs, &ys, 0, Stage::UMesh, &cfg);
+    let (rows, cols) = hm.shape();
+    assert_eq!((rows, cols), (4, 8), "16×16 Clements zone grid");
+    let (lo, hi) = hm.loss_range();
+    assert!(hi > lo, "zonal losses should vary across zones");
+    // All zones suffer substantially (the paper: losses hover near the
+    // global-σ=0.05 figure) — every zone's loss is within 35 pts of the max.
+    assert!(hi - lo < 35.0, "zone spread implausibly wide: {lo}–{hi}");
+}
+
+#[test]
+fn census_of_paper_architecture() {
+    let (_, _, hw) = trained_spnn();
+    let census = ComponentCensus::of(&hw);
+    assert_eq!(census.total_mzis(), 687);
+    assert_eq!(census.total_phase_shifters(), 1374);
+}
+
+#[test]
+fn quantization_and_noise_compose() {
+    let (data, _, hw) = trained_spnn();
+    let nominal = hw.ideal_accuracy(&data.test_features, &data.test_labels);
+    // 8-bit quantization alone is almost free.
+    let fine = mc_accuracy(
+        &hw,
+        &PerturbationPlan::None,
+        &HardwareEffects::with_quantization(8),
+        &data.test_features,
+        &data.test_labels,
+        1,
+        5,
+    );
+    assert!(
+        nominal - fine.mean < 0.1,
+        "8-bit quantization should be nearly free: {} vs {nominal}",
+        fine.mean
+    );
+    // 2-bit quantization is destructive.
+    let coarse = mc_accuracy(
+        &hw,
+        &PerturbationPlan::None,
+        &HardwareEffects::with_quantization(2),
+        &data.test_features,
+        &data.test_labels,
+        1,
+        5,
+    );
+    assert!(
+        coarse.mean < fine.mean,
+        "2-bit ({}) should underperform 8-bit ({})",
+        coarse.mean,
+        fine.mean
+    );
+}

@@ -1,0 +1,189 @@
+//! Property-based tests over the core numerical and photonic invariants,
+//! spanning crate boundaries.
+
+use proptest::prelude::*;
+use spnn::linalg::fft::{dft_naive, fft, Direction};
+use spnn::linalg::random::haar_unitary;
+use spnn::linalg::svd::svd;
+use spnn::linalg::vector::norm_sq;
+use spnn::mesh::rvd::rvd;
+use spnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn c64_strategy() -> impl Strategy<Value = C64> {
+    (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(re, im)| C64::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- complex scalar field axioms ----------
+
+    #[test]
+    fn c64_mul_distributes_over_add(a in c64_strategy(), b in c64_strategy(), c in c64_strategy()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!(lhs.approx_eq(rhs, 1e-9));
+    }
+
+    #[test]
+    fn c64_conjugation_is_multiplicative(a in c64_strategy(), b in c64_strategy()) {
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9));
+    }
+
+    #[test]
+    fn c64_modulus_is_multiplicative(a in c64_strategy(), b in c64_strategy()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+
+    // ---------- MZI device invariants ----------
+
+    #[test]
+    fn mzi_is_unitary_for_any_phases(theta in 0.0..std::f64::consts::TAU, phi in 0.0..std::f64::consts::TAU) {
+        let t = Mzi::ideal(theta, phi).transfer_matrix();
+        prop_assert!(t.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn mzi_stays_unitary_under_lossless_bes_errors(
+        theta in 0.0..std::f64::consts::TAU,
+        phi in 0.0..std::f64::consts::TAU,
+        dr1 in -0.2f64..0.2,
+        dr2 in -0.2f64..0.2,
+    ) {
+        let t = Mzi::ideal(theta, phi)
+            .with_splitter_errors(dr1, dr2)
+            .transfer_matrix();
+        prop_assert!(t.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn mzi_power_conservation(
+        theta in 0.0..std::f64::consts::TAU,
+        phi in 0.0..std::f64::consts::TAU,
+        a in c64_strategy(),
+        b in c64_strategy(),
+    ) {
+        let t = Mzi::ideal(theta, phi).transfer_matrix();
+        let input = vec![a, b];
+        let out = t.mul_vec(&input);
+        prop_assert!((norm_sq(&input) - norm_sq(&out)).abs() < 1e-9 * (1.0 + norm_sq(&input)));
+    }
+
+    // ---------- mesh synthesis invariants ----------
+
+    #[test]
+    fn clements_reconstructs_any_haar_unitary(n in 2usize..7, seed in 0u64..500) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        prop_assert_eq!(mesh.n_mzis(), n * (n - 1) / 2);
+        prop_assert!(mesh.matrix().approx_eq(&u, 1e-8));
+    }
+
+    #[test]
+    fn reck_reconstructs_any_haar_unitary(n in 2usize..7, seed in 0u64..500) {
+        let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
+        let mesh = reck::decompose(&u).unwrap();
+        prop_assert!(mesh.matrix().approx_eq(&u, 1e-8));
+    }
+
+    #[test]
+    fn perturbed_mesh_is_still_unitary(seed in 0u64..200, sigma in 0.0f64..0.15) {
+        // Lossless errors never break unitarity — only correctness.
+        let u = haar_unitary(5, &mut StdRng::seed_from_u64(seed));
+        let mesh = clements::decompose(&u).unwrap();
+        let spec = UncertaintySpec::both(sigma.max(1e-6));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFF);
+        let noisy = mesh.matrix_with(|_, site| spec.perturb_mzi(&site.device(), &mut rng));
+        prop_assert!(noisy.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn rvd_is_zero_only_for_identical(seed in 0u64..200) {
+        let u = haar_unitary(4, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(rvd(&u, &u), 0.0);
+    }
+
+    // ---------- SVD invariants ----------
+
+    #[test]
+    fn svd_reconstructs_and_orders(rows in 2usize..6, cols in 2usize..6, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = CMatrix::from_fn(rows, cols, |_, _| {
+            spnn::linalg::random::gaussian_complex(&mut rng)
+        });
+        let f = svd(&a).unwrap();
+        prop_assert!(f.u.is_unitary(1e-9));
+        prop_assert!(f.v.is_unitary(1e-9));
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(f.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    // ---------- FFT invariants ----------
+
+    #[test]
+    fn fft_roundtrip_any_length(n in 1usize..40, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<C64> = (0..n).map(|_| spnn::linalg::random::gaussian_complex(&mut rng)).collect();
+        let back = fft(&fft(&x, Direction::Forward), Direction::Inverse);
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!(a.approx_eq(*b, 1e-8 * n as f64 + 1e-10));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(n in 1usize..24, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<C64> = (0..n).map(|_| spnn::linalg::random::gaussian_complex(&mut rng)).collect();
+        let fast = fft(&x, Direction::Forward);
+        let slow = dft_naive(&x, Direction::Forward);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!(a.approx_eq(*b, 1e-7 * n as f64 + 1e-10));
+        }
+    }
+
+    // ---------- Σ line invariants ----------
+
+    #[test]
+    fn diagonal_line_realizes_singular_values(
+        s in prop::collection::vec(0.0f64..4.0, 1..6),
+    ) {
+        let n = s.len();
+        let line = DiagonalLine::from_singular_values(&s, n, n);
+        let m = line.matrix();
+        for (i, &v) in s.iter().enumerate() {
+            prop_assert!((m[(i, i)].re - v).abs() < 1e-9);
+            prop_assert!(m[(i, i)].im.abs() < 1e-9);
+        }
+    }
+
+    // ---------- activation invariants ----------
+
+    #[test]
+    fn softplus_modulus_is_phase_invariant(a in c64_strategy(), rot in 0.0..std::f64::consts::TAU) {
+        // softplus(|z|) depends only on |z|.
+        use spnn::neural::activation::mod_softplus;
+        let z = [a];
+        let zr = [a * C64::cis(rot)];
+        let f = mod_softplus(&z);
+        let fr = mod_softplus(&zr);
+        prop_assert!((f[0].re - fr[0].re).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant(
+        o in prop::collection::vec(-5.0f64..5.0, 2..8),
+        shift in -10.0f64..10.0,
+    ) {
+        use spnn::neural::activation::log_softmax;
+        let shifted: Vec<f64> = o.iter().map(|x| x + shift).collect();
+        let a = log_softmax(&o);
+        let b = log_softmax(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}
