@@ -5,11 +5,11 @@
 //! the O(N³) scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_linalg::random::haar_unitary;
 use spnn_linalg::CMatrix;
 use spnn_mesh::{clements, reck};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn unitaries() -> Vec<(usize, CMatrix)> {
     let mut rng = StdRng::seed_from_u64(1);

@@ -1,0 +1,213 @@
+//! Criterion bench: `spnn-engine` batched forward path vs per-sample
+//! Monte-Carlo loops.
+//!
+//! Three variants of one accuracy evaluation (the per-iteration hot path)
+//! are measured for the paper's 16-16-16-10 network:
+//!
+//! - **`naive_seed`** — the per-figure loop exactly as the seed repository
+//!   shipped it: per-sample `mul_vec` products, per-sample allocations,
+//!   libm-based softplus on a `hypot` modulus (reproduced verbatim in
+//!   [`naive`] below). This is the baseline the engine replaced.
+//! - **`per_sample`** — today's `PhotonicNetwork::accuracy_with`: still a
+//!   per-sample loop, but it already benefits from the polynomial
+//!   activation kernels introduced with the engine.
+//! - **`batched`** — the engine's `TestBatch::accuracy_with`: tiled
+//!   split-plane matrix products + vectorized activation planes,
+//!   bit-identical to `per_sample`.
+//!
+//! A full Monte-Carlo iteration (hardware realization + accuracy) is also
+//! timed to bound the end-to-end win. `SPNN_NTEST` scales the test-set
+//! size (default 1000, the acceptance configuration). A
+//! `BENCH_engine.json` datapoint with the measured speedups is written to
+//! the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spnn_core::{HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_engine::TestBatch;
+use spnn_linalg::{CMatrix, C64};
+use spnn_neural::ComplexNetwork;
+use spnn_photonics::UncertaintySpec;
+use std::time::Instant;
+
+/// The seed's original forward path, reproduced verbatim as the
+/// historical baseline (see the seed's `network.rs`/`activation.rs`):
+/// libm `exp`/`ln_1p` softplus on a `hypot` modulus, one heap-allocated
+/// vector per layer per sample.
+mod naive {
+    use super::*;
+    use spnn_neural::loss::argmax;
+
+    fn softplus(x: f64) -> f64 {
+        x.max(0.0) + (-x.abs()).exp().ln_1p()
+    }
+
+    fn mod_softplus(z: &[C64]) -> Vec<C64> {
+        z.iter().map(|v| C64::from(softplus(v.abs()))).collect()
+    }
+
+    pub fn accuracy_with(matrices: &[CMatrix], features: &[Vec<C64>], labels: &[usize]) -> f64 {
+        let last = matrices.len() - 1;
+        let correct = features
+            .iter()
+            .zip(labels.iter())
+            .filter(|(x, &y)| {
+                let mut a = x.to_vec();
+                for (l, m) in matrices.iter().enumerate() {
+                    let z = m.mul_vec(&a);
+                    a = if l < last { mod_softplus(&z) } else { z };
+                }
+                let intensities: Vec<f64> = a.iter().map(|v| v.abs_sq()).collect();
+                argmax(&intensities) == y
+            })
+            .count();
+        correct as f64 / features.len() as f64
+    }
+}
+
+fn n_test() -> usize {
+    std::env::var("SPNN_NTEST")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn setup(n: usize) -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>, Vec<CMatrix>) {
+    let sw = ComplexNetwork::new(&[16, 16, 16, 10], 9);
+    let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+    let features: Vec<Vec<C64>> = (0..n)
+        .map(|i| {
+            (0..16)
+                .map(|j| {
+                    C64::new(
+                        ((i * 3 + j) % 7) as f64 * 0.1,
+                        ((i + j * 5) % 4) as f64 * 0.1,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let ideal = hw.ideal_matrices();
+    let labels: Vec<usize> = features
+        .iter()
+        .map(|f| hw.classify_with(&ideal, f))
+        .collect();
+    // Bench against a realistically-perturbed realization, not the ideal.
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let matrices = hw.realize(
+        &plan,
+        &HardwareEffects::default(),
+        &mut spnn_core::iteration_rng(3, 0),
+    );
+    (hw, features, labels, matrices)
+}
+
+fn bench_accuracy_paths(c: &mut Criterion) {
+    let n = n_test();
+    let (hw, xs, ys, matrices) = setup(n);
+    let batch = TestBatch::new(&xs, &ys);
+    assert_eq!(
+        hw.accuracy_with(&matrices, &xs, &ys),
+        batch.accuracy_with(&hw, &matrices),
+        "paths must agree before timing them"
+    );
+
+    let mut group = c.benchmark_group("accuracy_eval");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("naive_seed", n), &n, |b, _| {
+        b.iter(|| naive::accuracy_with(std::hint::black_box(&matrices), &xs, &ys))
+    });
+    group.bench_with_input(BenchmarkId::new("per_sample", n), &n, |b, _| {
+        b.iter(|| hw.accuracy_with(std::hint::black_box(&matrices), &xs, &ys))
+    });
+    group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+        b.iter(|| batch.accuracy_with(&hw, std::hint::black_box(&matrices)))
+    });
+    group.finish();
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let n = n_test();
+    let (hw, xs, ys, _) = setup(n);
+    let batch = TestBatch::new(&xs, &ys);
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let fx = HardwareEffects::default();
+
+    let mut group = c.benchmark_group("mc_iteration");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("per_sample", n), &n, |b, _| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(7, k));
+            k += 1;
+            hw.accuracy_with(&m, &xs, &ys)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(7, k));
+            k += 1;
+            batch.accuracy_with(&hw, &m)
+        })
+    });
+    group.finish();
+}
+
+/// Times `f` over `reps` calls and returns ns/call (min of 7 samples —
+/// robust against scheduler noise on shared machines).
+fn time_ns<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+/// Writes the `BENCH_engine.json` datapoint at the workspace root.
+fn emit_datapoint(_c: &mut Criterion) {
+    let n = n_test();
+    let (hw, xs, ys, matrices) = setup(n);
+    let batch = TestBatch::new(&xs, &ys);
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let fx = HardwareEffects::default();
+
+    let naive_eval = time_ns(5, || naive::accuracy_with(&matrices, &xs, &ys));
+    let per_sample_eval = time_ns(5, || hw.accuracy_with(&matrices, &xs, &ys));
+    let batched_eval = time_ns(5, || batch.accuracy_with(&hw, &matrices));
+    let mut k = 0usize;
+    let per_sample_iter = time_ns(5, || {
+        let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(7, k));
+        k += 1;
+        hw.accuracy_with(&m, &xs, &ys)
+    });
+    let batched_iter = time_ns(5, || {
+        let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(7, k));
+        k += 1;
+        batch.accuracy_with(&hw, &m)
+    });
+
+    let vs_naive = naive_eval / batched_eval;
+    let vs_per_sample = per_sample_eval / batched_eval;
+    let iter_speedup = per_sample_iter / batched_iter;
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batched_vs_per_sample\",\n  \"network\": \"16-16-16-10\",\n  \"n_test\": {n},\n  \"accuracy_eval\": {{\n    \"naive_seed_ns\": {naive_eval:.0},\n    \"per_sample_ns\": {per_sample_eval:.0},\n    \"batched_ns\": {batched_eval:.0},\n    \"speedup_vs_naive_seed\": {vs_naive:.2},\n    \"speedup_vs_per_sample\": {vs_per_sample:.2}\n  }},\n  \"mc_iteration\": {{\"per_sample_ns\": {per_sample_iter:.0}, \"batched_ns\": {batched_iter:.0}, \"speedup\": {iter_speedup:.2}}}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, &json).expect("write BENCH_engine.json");
+    println!(
+        "engine datapoint: batched {vs_naive:.2}x vs the seed's naive loop, {vs_per_sample:.2}x vs today's per-sample path → {}",
+        path.display()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_accuracy_paths,
+    bench_full_iteration,
+    emit_datapoint
+);
+criterion_main!(benches);

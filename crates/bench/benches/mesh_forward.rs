@@ -5,11 +5,11 @@
 //! engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_linalg::random::{gaussian_vector, haar_unitary};
 use spnn_mesh::clements;
 use spnn_photonics::UncertaintySpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("mesh_forward");
@@ -36,9 +36,7 @@ fn bench_perturbed_matrix(c: &mut Criterion) {
         let mesh = clements::decompose(&u).unwrap();
         group.bench_with_input(BenchmarkId::new("matrix_with_noise", n), &n, |b, _| {
             let mut draw_rng = StdRng::seed_from_u64(4);
-            b.iter(|| {
-                mesh.matrix_with(|_, site| spec.perturb_mzi(&site.device(), &mut draw_rng))
-            })
+            b.iter(|| mesh.matrix_with(|_, site| spec.perturb_mzi(&site.device(), &mut draw_rng)))
         });
     }
     group.finish();

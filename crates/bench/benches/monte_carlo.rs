@@ -6,12 +6,12 @@
 //! costs of EXP 1 / EXP 2.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_core::{HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
 use spnn_linalg::C64;
 use spnn_neural::ComplexNetwork;
 use spnn_photonics::UncertaintySpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
     let sw = ComplexNetwork::new(&[16, 16, 16, 10], 9);
@@ -19,12 +19,20 @@ fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
     let features: Vec<Vec<C64>> = (0..100)
         .map(|i| {
             (0..16)
-                .map(|j| C64::new(((i * 3 + j) % 7) as f64 * 0.1, ((i + j * 5) % 4) as f64 * 0.1))
+                .map(|j| {
+                    C64::new(
+                        ((i * 3 + j) % 7) as f64 * 0.1,
+                        ((i + j * 5) % 4) as f64 * 0.1,
+                    )
+                })
                 .collect()
         })
         .collect();
     let ideal = hw.ideal_matrices();
-    let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+    let labels: Vec<usize> = features
+        .iter()
+        .map(|f| hw.classify_with(&ideal, f))
+        .collect();
     (hw, features, labels)
 }
 

@@ -2,12 +2,12 @@
 //! factorization) and the 2-D FFT feature pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_dataset::{fft_features, ImageGenerator};
 use spnn_linalg::random::gaussian_complex;
 use spnn_linalg::svd::svd;
 use spnn_linalg::CMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn bench_svd(c: &mut Criterion) {
     let mut group = c.benchmark_group("svd");
@@ -31,9 +31,11 @@ fn bench_fft_features(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     let img = gen.render(5, &mut rng);
     for crop in [4usize, 8, 28] {
-        group.bench_with_input(BenchmarkId::new("shifted_fft_crop", crop), &crop, |b, &k| {
-            b.iter(|| fft_features(std::hint::black_box(&img), k))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shifted_fft_crop", crop),
+            &crop,
+            |b, &k| b.iter(|| fft_features(std::hint::black_box(&img), k)),
+        );
     }
     group.finish();
 }

@@ -9,14 +9,14 @@
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin ablation_calibration`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_bench::{prepare_spnn, write_csv, HarnessConfig};
 use spnn_core::calibration::{
     calibrate_mesh, calibrate_network_accuracy, CalibrationConfig, FabricatedMesh,
 };
 use spnn_core::MeshTopology;
 use spnn_photonics::UncertaintySpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = HarnessConfig::from_env();

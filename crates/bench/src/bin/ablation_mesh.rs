@@ -1,51 +1,42 @@
-//! Ablation A — Clements vs Reck topology robustness.
+//! Ablation A — Clements vs Reck topology robustness, on the
+//! `spnn-engine` batched Monte-Carlo engine.
 //!
 //! The paper uses the Clements design (§II-B) and cites Reck as the
-//! historical alternative. This ablation runs the EXP 1 "both" sweep on the
-//! same trained network mapped to both topologies: same MZI count,
-//! different depth and error accumulation.
+//! historical alternative. The engine's `mesh` scenario (identical to
+//! `scenarios/ablation_mesh.scn`; also `spnn run --preset mesh`) runs the
+//! EXP 1 "both" sweep on the same trained network mapped to both
+//! topologies: same MZI count, different depth and error accumulation.
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin ablation_mesh`
 
-use spnn_bench::{prepare_spnn, write_csv, HarnessConfig};
-use spnn_core::exp1::{run, Exp1Config};
-use spnn_core::MeshTopology;
-use spnn_photonics::PerturbTarget;
+use spnn_bench::write_engine_csv;
+use spnn_engine::prelude::*;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    let sigmas = vec![0.0, 0.01, 0.025, 0.05, 0.075, 0.1];
+    let spec = presets::mesh(&RunScale::from_env());
+    let report = run_scenario(&spec, &EngineConfig::default()).expect("mesh scenario");
 
-    let mut rows = Vec::new();
     println!("Ablation A: mesh-topology robustness (EXP 1, both PhS & BeS)");
-    println!("{:<10} {:>8} {:>10} {:>9}", "topology", "sigma", "accuracy%", "std%");
-    for (topology, name) in [
-        (MeshTopology::Clements, "clements"),
-        (MeshTopology::Reck, "reck"),
-    ] {
-        let spnn = prepare_spnn(&cfg, topology);
-        let points = run(
-            &spnn.hardware,
-            &spnn.data.test_features,
-            &spnn.data.test_labels,
-            &Exp1Config {
-                sigmas: sigmas.clone(),
-                iterations: cfg.mc_iterations,
-                seed: cfg.seed ^ 0xAB1,
-                modes: vec![PerturbTarget::Both],
-            },
+    for t in &report.topologies {
+        println!(
+            "nominal accuracy ({}): {:.2}%",
+            t.topology,
+            t.nominal_accuracy * 100.0
         );
-        for p in &points {
-            println!(
-                "{:<10} {:>8.3} {:>10.2} {:>9.2}",
-                name,
-                p.sigma,
-                p.result.mean * 100.0,
-                p.result.std_dev * 100.0
-            );
-            rows.push(format!("{name},{},{:.6},{:.6}", p.sigma, p.result.mean, p.result.std_dev));
-        }
     }
-    write_csv("ablation_mesh.csv", "topology,sigma,mean_accuracy,std_dev", &rows);
+    println!(
+        "{:<10} {:>8} {:>10} {:>9}",
+        "topology", "sigma", "accuracy%", "std%"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<10} {:>8.3} {:>10.2} {:>9.2}",
+            row.topology,
+            row.label_f64("sigma").unwrap_or(f64::NAN),
+            row.mean * 100.0,
+            row.std_dev * 100.0
+        );
+    }
+    write_engine_csv("ablation_mesh.csv", &report);
     println!("\nnote: both topologies use N(N−1)/2 MZIs; Reck's 2N−3 depth concentrates tuned phases differently, changing uncertainty sensitivity.");
 }

@@ -1,65 +1,48 @@
-//! Ablation B — finite phase-encoding precision.
+//! Ablation B — finite phase-encoding precision, on the `spnn-engine`
+//! batched Monte-Carlo engine.
 //!
 //! The paper's introduction lists "the finite-encoding precision on phase
-//! settings" among SPNN roadblocks. This ablation quantizes every
-//! commanded phase to a b-bit DAC (no random uncertainty) and, separately,
-//! combines quantization with the mature-process σ to show which regime
-//! dominates.
+//! settings" among SPNN roadblocks. The engine's `quant` scenario
+//! (identical to `scenarios/ablation_quant.scn`; also
+//! `spnn run --preset quant`) sweeps DAC bits × {no noise, the paper's
+//! mature-process σ = 0.0334}. The σ = 0 points are deterministic, so the
+//! engine's adaptive stopping proves a zero margin of error after a few
+//! iterations and skips the rest of the budget.
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin ablation_quant`
 
-use spnn_bench::{prepare_spnn, write_csv, HarnessConfig};
-use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan};
-use spnn_photonics::UncertaintySpec;
+use spnn_bench::write_engine_csv;
+use spnn_engine::prelude::*;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+    let spec = presets::quant(&RunScale::from_env());
+    let report = run_scenario(&spec, &EngineConfig::default()).expect("quant scenario");
+    let nominal = report.topologies[0].nominal_accuracy;
 
     println!("Ablation B: phase-DAC quantization");
-    println!("nominal accuracy: {:.2}%", spnn.nominal_accuracy * 100.0);
+    println!("nominal accuracy: {:.2}%", nominal * 100.0);
     println!(
-        "{:>5} {:>18} {:>24}",
-        "bits", "quantized-only %", "quantized + σ=0.0334 %"
+        "{:>5} {:>18} {:>24} {:>14}",
+        "bits", "quantized-only %", "quantized + σ=0.0334 %", "iters (q / q+σ)"
     );
-
-    let mature = UncertaintySpec::both(0.0334); // the paper's 0.21-rad figure
-    let mut rows = Vec::new();
-    for bits in [2u32, 3, 4, 5, 6, 8, 10] {
-        let fx = HardwareEffects::with_quantization(bits);
-        // Quantization alone is deterministic — one "iteration" suffices.
-        let quant_only = mc_accuracy(
-            &spnn.hardware,
-            &PerturbationPlan::None,
-            &fx,
-            &spnn.data.test_features,
-            &spnn.data.test_labels,
-            1,
-            cfg.seed,
-        );
-        let with_noise = mc_accuracy(
-            &spnn.hardware,
-            &PerturbationPlan::global(mature),
-            &fx,
-            &spnn.data.test_features,
-            &spnn.data.test_labels,
-            cfg.mc_iterations.min(40),
-            cfg.seed ^ bits as u64,
-        );
+    let find = |bits: &str, sigma: f64| {
+        report.rows.iter().find(|r| {
+            r.label("quant_bits") == Some(bits)
+                && (r.label_f64("sigma").unwrap_or(f64::NAN) - sigma).abs() < 1e-12
+        })
+    };
+    for bits in ["2", "3", "4", "5", "6", "8", "10"] {
+        let (Some(q), Some(qs)) = (find(bits, 0.0), find(bits, 0.0334)) else {
+            continue;
+        };
         println!(
-            "{bits:>5} {:>18.2} {:>24.2}",
-            quant_only.mean * 100.0,
-            with_noise.mean * 100.0
+            "{bits:>5} {:>18.2} {:>24.2} {:>8} / {:<5}",
+            q.mean * 100.0,
+            qs.mean * 100.0,
+            q.iterations,
+            qs.iterations
         );
-        rows.push(format!(
-            "{bits},{:.6},{:.6}",
-            quant_only.mean, with_noise.mean
-        ));
     }
-    write_csv(
-        "ablation_quant.csv",
-        "bits,quantized_accuracy,quantized_plus_noise_accuracy",
-        &rows,
-    );
+    write_engine_csv("ablation_quant.csv", &report);
     println!("\nnote: past the resolution where the quantization step falls below the analog phase noise, extra DAC bits stop helping.");
 }

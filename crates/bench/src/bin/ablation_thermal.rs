@@ -1,69 +1,47 @@
-//! Ablation C — thermal-crosstalk coupling strength.
+//! Ablation C — thermal-crosstalk coupling strength, on the `spnn-engine`
+//! batched Monte-Carlo engine.
 //!
 //! The paper attributes part of the phase-angle uncertainty to mutual
 //! thermal crosstalk between neighbouring actuated waveguides (§II-C,
-//! ref. \[8\]). This ablation sweeps the explicit mutual-heating coupling κ
-//! (deterministic, correlated errors) with and without the residual random
-//! FPV noise, showing how correlated errors compound i.i.d. ones.
+//! ref. \[8\]). The engine's `thermal` scenario (identical to
+//! `scenarios/ablation_thermal.scn`; also `spnn run --preset thermal`)
+//! sweeps the mutual-heating coupling κ (deterministic, correlated errors)
+//! with and without the residual random FPV noise, showing how correlated
+//! errors compound i.i.d. ones.
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin ablation_thermal`
 
-use spnn_bench::{prepare_spnn, write_csv, HarnessConfig};
-use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan};
-use spnn_photonics::thermal::ThermalCrosstalk;
-use spnn_photonics::UncertaintySpec;
+use spnn_bench::write_engine_csv;
+use spnn_engine::prelude::*;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+    let spec = presets::thermal(&RunScale::from_env());
+    let report = run_scenario(&spec, &EngineConfig::default()).expect("thermal scenario");
+    let nominal = report.topologies[0].nominal_accuracy;
 
     println!("Ablation C: thermal-crosstalk coupling sweep (decay length 60 µm)");
-    println!("nominal accuracy: {:.2}%", spnn.nominal_accuracy * 100.0);
+    println!("nominal accuracy: {:.2}%", nominal * 100.0);
     println!(
         "{:>8} {:>16} {:>22}",
         "kappa", "crosstalk-only %", "crosstalk + σ=0.01 %"
     );
-
-    let residual = UncertaintySpec::both(0.01);
-    let mut rows = Vec::new();
-    for kappa in [0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05] {
-        let fx = if kappa > 0.0 {
-            HardwareEffects::with_thermal(ThermalCrosstalk::new(kappa, 60.0))
-        } else {
-            HardwareEffects::default()
+    let find = |kappa: &str, sigma: f64| {
+        report.rows.iter().find(|r| {
+            r.label("thermal_kappa") == Some(kappa)
+                && (r.label_f64("sigma").unwrap_or(f64::NAN) - sigma).abs() < 1e-12
+        })
+    };
+    for kappa in ["0", "0.001", "0.002", "0.005", "0.01", "0.02", "0.05"] {
+        let (Some(xt), Some(xs)) = (find(kappa, 0.0), find(kappa, 0.01)) else {
+            continue;
         };
-        let xtalk_only = mc_accuracy(
-            &spnn.hardware,
-            &PerturbationPlan::None,
-            &fx,
-            &spnn.data.test_features,
-            &spnn.data.test_labels,
-            1, // deterministic
-            cfg.seed,
-        );
-        let with_noise = mc_accuracy(
-            &spnn.hardware,
-            &PerturbationPlan::global(residual),
-            &fx,
-            &spnn.data.test_features,
-            &spnn.data.test_labels,
-            cfg.mc_iterations.min(40),
-            cfg.seed ^ 0xC0 ^ (kappa * 1e4) as u64,
-        );
         println!(
-            "{kappa:>8.3} {:>16.2} {:>22.2}",
-            xtalk_only.mean * 100.0,
-            with_noise.mean * 100.0
+            "{:>8} {:>16.2} {:>22.2}",
+            kappa,
+            xt.mean * 100.0,
+            xs.mean * 100.0
         );
-        rows.push(format!(
-            "{kappa},{:.6},{:.6}",
-            xtalk_only.mean, with_noise.mean
-        ));
     }
-    write_csv(
-        "ablation_thermal.csv",
-        "kappa,crosstalk_accuracy,crosstalk_plus_noise_accuracy",
-        &rows,
-    );
+    write_engine_csv("ablation_thermal.csv", &report);
     println!("\nnote: crosstalk is deterministic given the tuned phases, so it biases every inference the same way — unlike FPV noise it could in principle be calibrated out, which is the premise of compensation schemes like ref. [9].");
 }

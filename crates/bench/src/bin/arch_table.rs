@@ -72,7 +72,10 @@ fn main() {
             },
         );
         let acc = net.accuracy(&data.test_features, &data.test_labels);
-        println!("  crop {crop}x{crop} ({dim:>3} features): {:.2}%", acc * 100.0);
+        println!(
+            "  crop {crop}x{crop} ({dim:>3} features): {:.2}%",
+            acc * 100.0
+        );
         crop_rows.push(format!("{crop},{dim},{acc:.6}"));
     }
     println!("  (paper: 28x28 baseline 94.12%, 4x4 crop costs 6.77 pts)");
@@ -82,5 +85,9 @@ fn main() {
         "layer,shape,u_mzis,v_mzis,sigma_mzis,mzis,phase_shifters",
         &rows,
     );
-    write_csv("arch_crop_sweep.csv", "crop,features,test_accuracy", &crop_rows);
+    write_csv(
+        "arch_crop_sweep.csv",
+        "crop,features,test_accuracy",
+        &crop_rows,
+    );
 }

@@ -42,7 +42,10 @@ fn main() {
         let mut rows = Vec::new();
         for (ti, &theta) in coords.iter().enumerate() {
             for (pi, &phi) in coords.iter().enumerate() {
-                rows.push(format!("{theta:.6},{phi:.6},{:.8}", surfaces[panel][ti][pi]));
+                rows.push(format!(
+                    "{theta:.6},{phi:.6},{:.8}",
+                    surfaces[panel][ti][pi]
+                ));
             }
         }
         write_csv(name, "theta,phi,relative_deviation", &rows);
@@ -50,7 +53,11 @@ fn main() {
     }
 
     // Paper check 1: max/min of each surface (compare against Fig. 2 ranges).
-    println!("Fig. 2 reproduction (K = {K}), grid {}x{} over (0, 2π)²:", GRID - 1, GRID - 1);
+    println!(
+        "Fig. 2 reproduction (K = {K}), grid {}x{} over (0, 2π)²:",
+        GRID - 1,
+        GRID - 1
+    );
     for (panel, (name, r, c)) in names.iter().enumerate() {
         let flat: Vec<f64> = surfaces[panel]
             .iter()
@@ -60,7 +67,11 @@ fn main() {
             .collect();
         let min = flat.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = flat.iter().cloned().fold(0.0, f64::max);
-        println!("  T{}{}  ({name}): min {min:.3}, max {max:.3}", r + 1, c + 1);
+        println!(
+            "  T{}{}  ({name}): min {min:.3}, max {max:.3}",
+            r + 1,
+            c + 1
+        );
     }
 
     // Paper check 2: monotonic growth along the diagonal θ = φ in the bulk
@@ -68,10 +79,10 @@ fn main() {
     let mut increasing = 0;
     let mut total = 0;
     let diag_limit = coords.iter().take_while(|&&t| t < 0.9 * TAU).count();
-    for panel in 0..4 {
+    for surface in surfaces.iter() {
         for i in 1..diag_limit {
-            let prev = surfaces[panel][i - 1][i - 1];
-            let cur = surfaces[panel][i][i];
+            let prev = surface[i - 1][i - 1];
+            let cur = surface[i][i];
             if prev.is_finite() && cur.is_finite() {
                 total += 1;
                 if cur >= prev - 1e-9 {

@@ -1,90 +1,73 @@
-//! Fig. 4 / EXP 1 — SPNN accuracy under global uncertainties.
+//! Fig. 4 / EXP 1 — SPNN accuracy under global uncertainties, on the
+//! `spnn-engine` batched Monte-Carlo engine.
 //!
-//! Sweeps σ ∈ [0, 0.15] for the three targeting modes (PhS-only, BeS-only,
-//! both) and reports mean inference accuracy per point. The paper's
-//! headline numbers for comparison (see EXPERIMENTS.md):
+//! The sweep itself is the engine's built-in `fig4` scenario (identical to
+//! `scenarios/fig4.scn`; also runnable as `spnn run --preset fig4`): σ ∈
+//! [0, 0.15] × {PhS-only, BeS-only, both}. This binary only adds the
+//! paper-shape commentary (see EXPERIMENTS.md):
 //!
 //! - accuracy collapses below 10 % (random guess) near σ ≈ 0.075,
 //! - the loss at σ_PhS = σ_BeS = 0.05 is 69.98 %,
 //! - PhS uncertainties dominate BeS uncertainties.
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin fig4`
-//! (paper scale: `SPNN_MC=1000 SPNN_NTEST=10000`)
+//! (paper scale: `SPNN_MC=1000 SPNN_NTEST=10000`; add
+//! `SPNN_TARGET_MOE=0.01` for adaptive early termination)
 
-use spnn_bench::{prepare_spnn, write_csv, HarnessConfig};
-use spnn_core::exp1::{run, Exp1Config};
-use spnn_core::MeshTopology;
-use spnn_photonics::PerturbTarget;
-
-fn mode_name(mode: PerturbTarget) -> &'static str {
-    match mode {
-        PerturbTarget::PhaseShiftersOnly => "phs_only",
-        PerturbTarget::BeamSplittersOnly => "bes_only",
-        PerturbTarget::Both => "both",
-    }
-}
+use spnn_bench::write_engine_csv;
+use spnn_engine::prelude::*;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+    let scale = RunScale::from_env();
+    let spec = presets::fig4(&scale);
+    let report = run_scenario(&spec, &EngineConfig::default()).expect("fig4 scenario");
+    let nominal = report.topologies[0].nominal_accuracy;
 
-    let exp_cfg = Exp1Config {
-        iterations: cfg.mc_iterations,
-        seed: cfg.seed ^ 0xF16_4,
-        ..Exp1Config::default()
-    };
-    let points = run(
-        &spnn.hardware,
-        &spnn.data.test_features,
-        &spnn.data.test_labels,
-        &exp_cfg,
+    println!(
+        "Fig. 4 / EXP 1 reproduction ({} MC iterations/point cap, {} test images)",
+        spec.iterations, spec.dataset.n_test
     );
-
-    let mut rows = Vec::new();
-    println!("Fig. 4 / EXP 1 reproduction ({} MC iterations, {} test images)", cfg.mc_iterations, cfg.n_test);
-    println!("nominal accuracy: {:.2}%", spnn.nominal_accuracy * 100.0);
-    println!("{:<10} {:>8} {:>10} {:>9} {:>9}", "mode", "sigma", "accuracy%", "std%", "moe95%");
-    for p in &points {
+    println!("nominal accuracy: {:.2}%", nominal * 100.0);
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>9} {:>7}",
+        "mode", "sigma", "accuracy%", "std%", "moe95%", "iters"
+    );
+    for row in &report.rows {
         println!(
-            "{:<10} {:>8.3} {:>10.2} {:>9.2} {:>9.2}",
-            mode_name(p.mode),
-            p.sigma,
-            p.result.mean * 100.0,
-            p.result.std_dev * 100.0,
-            p.result.margin_of_error_95() * 100.0
+            "{:<10} {:>8.3} {:>10.2} {:>9.2} {:>9.2} {:>7}",
+            row.label("mode").unwrap_or("?"),
+            row.label_f64("sigma").unwrap_or(f64::NAN),
+            row.mean * 100.0,
+            row.std_dev * 100.0,
+            row.moe95 * 100.0,
+            row.iterations,
         );
-        rows.push(format!(
-            "{},{},{:.6},{:.6},{:.6}",
-            mode_name(p.mode),
-            p.sigma,
-            p.result.mean,
-            p.result.std_dev,
-            p.result.margin_of_error_95()
-        ));
     }
-    write_csv("fig4_exp1.csv", "mode,sigma,mean_accuracy,std_dev,moe95", &rows);
+    write_engine_csv("fig4_exp1.csv", &report);
 
     // Paper-shape checks.
-    let acc_at = |mode: PerturbTarget, sigma: f64| -> f64 {
-        points
+    let acc_at = |mode: &str, sigma: f64| -> f64 {
+        report
+            .rows
             .iter()
-            .find(|p| p.mode == mode && (p.sigma - sigma).abs() < 1e-12)
-            .map(|p| p.result.mean)
+            .find(|r| {
+                r.label("mode") == Some(mode)
+                    && (r.label_f64("sigma").unwrap_or(f64::NAN) - sigma).abs() < 1e-12
+            })
+            .map(|r| r.mean)
             .unwrap_or(f64::NAN)
     };
-    let both_005 = acc_at(PerturbTarget::Both, 0.05);
-    let loss_005 = (spnn.nominal_accuracy - both_005) * 100.0;
+    let both_005 = acc_at("both", 0.05);
+    let loss_005 = (nominal - both_005) * 100.0;
     println!("\nshape checks vs. paper:");
-    println!(
-        "  loss at σ = 0.05 (both): {loss_005:.2} pts   (paper: 69.98)"
-    );
-    let both_0075 = acc_at(PerturbTarget::Both, 0.075);
+    println!("  loss at σ = 0.05 (both): {loss_005:.2} pts   (paper: 69.98)");
+    let both_0075 = acc_at("both", 0.075);
     println!(
         "  accuracy at σ = 0.075 (both): {:.2}%   (paper: < 10%, random guess)",
         both_0075 * 100.0
     );
-    let phs_005 = acc_at(PerturbTarget::PhaseShiftersOnly, 0.05);
-    let bes_005 = acc_at(PerturbTarget::BeamSplittersOnly, 0.05);
+    let phs_005 = acc_at("phs_only", 0.05);
+    let bes_005 = acc_at("bes_only", 0.05);
     println!(
         "  PhS-only {:.2}% vs BeS-only {:.2}% at σ = 0.05   (paper: PhS impact > BeS impact ⇒ PhS-only accuracy lower)",
         phs_005 * 100.0,

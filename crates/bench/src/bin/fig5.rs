@@ -1,69 +1,82 @@
-//! Fig. 5 / EXP 2 — accuracy loss under zonal perturbations.
+//! Fig. 5 / EXP 2 — accuracy loss under zonal perturbations, on the
+//! `spnn-engine` batched Monte-Carlo engine.
 //!
 //! One heat map per unitary multiplier (U_L0, Vᴴ_L0, U_L1, Vᴴ_L1, U_L2,
 //! Vᴴ_L2): the selected 2×2-MZI zone gets σ = 0.1 while the rest of the
 //! SPNN sits at σ = 0.05; Σ lines are error-free with singular values in
-//! random order; each cell reports the loss in mean accuracy versus nominal.
+//! random order; each cell reports the loss in mean accuracy versus
+//! nominal. The sweep is the engine's `fig5` scenario (identical to
+//! `scenarios/fig5.scn`; also `spnn run --preset fig5`), which expands to
+//! one work-queue item per zone.
 //!
 //! Usage: `cargo run --release -p spnn-bench --bin fig5`
 //! (paper scale: `SPNN_MC=1000 SPNN_NTEST=10000` — slow; defaults are scaled
 //! down but preserve the qualitative result.)
 
-use spnn_bench::{prepare_spnn, render_heatmap, write_csv, HarnessConfig};
-use spnn_core::exp2::{run_all, Exp2Config};
-use spnn_core::{MeshTopology, Stage};
-
-fn panel_name(layer: usize, stage: Stage) -> String {
-    match stage {
-        Stage::UMesh => format!("U_L{layer}"),
-        Stage::VMesh => format!("VH_L{layer}"),
-        Stage::Sigma => format!("Sigma_L{layer}"),
-    }
-}
+use spnn_bench::{render_heatmap, write_engine_csv};
+use spnn_engine::prelude::*;
+use spnn_engine::runner::SweepRow;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    let spnn = prepare_spnn(&cfg, MeshTopology::Clements);
+    let scale = RunScale::from_env();
+    let mut spec = presets::fig5(&scale);
+    spec.iterations = spec.iterations.min(200); // the seed's fig5 cap
+    let report = run_scenario(&spec, &EngineConfig::default()).expect("fig5 scenario");
+    let nominal = report.topologies[0].nominal_accuracy;
 
-    let exp_cfg = Exp2Config {
-        iterations: cfg.mc_iterations.min(200),
-        seed: cfg.seed ^ 0xF16_5,
-        ..Exp2Config::default()
-    };
     println!(
         "Fig. 5 / EXP 2 reproduction ({} MC iterations per zone, base σ = {}, hot σ = {})",
-        exp_cfg.iterations, exp_cfg.base_sigma, exp_cfg.hot_sigma
+        spec.iterations, spec.zonal.base_sigma, spec.zonal.hot_sigma
     );
-    println!("nominal accuracy: {:.2}%", spnn.nominal_accuracy * 100.0);
+    println!("nominal accuracy: {:.2}%", nominal * 100.0);
 
-    let panels = run_all(
-        &spnn.hardware,
-        &spnn.data.test_features,
-        &spnn.data.test_labels,
-        &exp_cfg,
-    );
+    // Group rows into per-(layer, stage) panels.
+    let mut panels: Vec<(String, Vec<&SweepRow>)> = Vec::new();
+    for row in &report.rows {
+        let (Some(layer), Some(stage)) = (row.label("layer"), row.label("stage")) else {
+            continue;
+        };
+        let name = format!("{stage}_L{layer}");
+        match panels.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, rows)) => rows.push(row),
+            None => panels.push((name, vec![row])),
+        }
+    }
 
     let mut global_min = f64::INFINITY;
     let mut global_max = f64::NEG_INFINITY;
-    for panel in &panels {
-        let name = panel_name(panel.layer, panel.stage);
-        let (rows, cols) = panel.shape();
-        println!("\npanel {name} ({rows}x{cols} zones), accuracy loss (pts):");
-        print!("{}", render_heatmap(&panel.loss_percent));
-        let (lo, hi) = panel.loss_range();
+    for (name, rows) in &panels {
+        let zr_max = rows
+            .iter()
+            .filter_map(|r| r.label_f64("zone_row"))
+            .fold(0.0f64, f64::max) as usize;
+        let zc_max = rows
+            .iter()
+            .filter_map(|r| r.label_f64("zone_col"))
+            .fold(0.0f64, f64::max) as usize;
+        let mut loss = vec![vec![f64::NAN; zc_max + 1]; zr_max + 1];
+        for r in rows {
+            let zr = r.label_f64("zone_row").unwrap() as usize;
+            let zc = r.label_f64("zone_col").unwrap() as usize;
+            loss[zr][zc] = (nominal - r.mean) * 100.0;
+        }
+        println!(
+            "\npanel {name} ({}x{} zones), accuracy loss (pts):",
+            zr_max + 1,
+            zc_max + 1
+        );
+        print!("{}", render_heatmap(&loss));
+        let lo = loss.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+        let hi = loss
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         println!("  range: {lo:.2} – {hi:.2} pts");
         global_min = global_min.min(lo);
         global_max = global_max.max(hi);
-
-        let mut csv_rows = Vec::new();
-        for (zr, row) in panel.loss_percent.iter().enumerate() {
-            for (zc, &v) in row.iter().enumerate() {
-                csv_rows.push(format!("{zr},{zc},{v:.4}"));
-            }
-        }
-        let fname = format!("fig5_zone_{}.csv", name.to_lowercase());
-        write_csv(&fname, "zone_row,zone_col,accuracy_loss_pts", &csv_rows);
     }
+    write_engine_csv("fig5_exp2.csv", &report);
 
     println!("\nshape checks vs. paper:");
     println!(

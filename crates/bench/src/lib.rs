@@ -146,6 +146,19 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// Writes an engine report as CSV under `results/` and logs the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the harness binaries should fail loudly.
+pub fn write_engine_csv(name: &str, report: &spnn_engine::EngineReport) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, spnn_engine::to_csv(report))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("[harness] wrote {}", path.display());
+    path
+}
+
 /// Renders a heat map as an aligned text table (rows top-to-bottom).
 pub fn render_heatmap(values: &[Vec<f64>]) -> String {
     let mut out = String::new();

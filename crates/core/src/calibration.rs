@@ -23,11 +23,11 @@
 
 use crate::network::PhotonicNetwork;
 use crate::perturbation::{HardwareEffects, PerturbationPlan};
+use rand::Rng;
 use spnn_linalg::CMatrix;
 use spnn_mesh::rvd::rvd;
 use spnn_mesh::UnitaryMesh;
 use spnn_photonics::{BeamSplitter, Mzi};
-use rand::Rng;
 
 /// The fabricated (fixed) imperfections of one mesh: per-MZI splitter pair
 /// plus the phase errors present before calibration.
@@ -273,11 +273,11 @@ pub fn calibrate_network_accuracy<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use spnn_linalg::random::haar_unitary;
     use spnn_mesh::clements;
     use spnn_photonics::UncertaintySpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn design(n: usize, seed: u64) -> (UnitaryMesh, CMatrix) {
         let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
@@ -391,12 +391,20 @@ mod tests {
         let features: Vec<Vec<C64>> = (0..15)
             .map(|i| {
                 (0..4)
-                    .map(|j| C64::new(((i * 5 + j) % 7) as f64 * 0.15, ((i + j * 2) % 5) as f64 * 0.1))
+                    .map(|j| {
+                        C64::new(
+                            ((i * 5 + j) % 7) as f64 * 0.15,
+                            ((i + j * 2) % 5) as f64 * 0.1,
+                        )
+                    })
                     .collect()
             })
             .collect();
         let ideal = hw.ideal_matrices();
-        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        let labels: Vec<usize> = features
+            .iter()
+            .map(|f| hw.classify_with(&ideal, f))
+            .collect();
 
         let mut rng = StdRng::seed_from_u64(4);
         let spec = UncertaintySpec::both(0.05);
@@ -416,6 +424,9 @@ mod tests {
             after >= before,
             "calibration should not hurt: before {before}, after {after}"
         );
-        assert!(after > 0.85, "calibrated accuracy should approach nominal, got {after}");
+        assert!(
+            after > 0.85,
+            "calibrated accuracy should approach nominal, got {after}"
+        );
     }
 }

@@ -16,11 +16,11 @@
 //! software training" — everything here needs only the mesh parameters.
 
 use crate::monte_carlo::splitmix64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_mesh::rvd::rvd;
 use spnn_mesh::UnitaryMesh;
 use spnn_photonics::UncertaintySpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Average RVD caused by perturbing each MZI of a mesh in isolation —
 /// the Fig. 3 profile.
@@ -44,9 +44,8 @@ pub fn mzi_rvd_profile(
     for target in 0..mesh.n_mzis() {
         let mut acc = 0.0;
         for k in 0..iterations {
-            let mut rng = StdRng::seed_from_u64(splitmix64(
-                seed ^ ((target as u64) << 24) ^ k as u64,
-            ));
+            let mut rng =
+                StdRng::seed_from_u64(splitmix64(seed ^ ((target as u64) << 24) ^ k as u64));
             let realized = mesh.matrix_with(|i, site| {
                 let dev = site.device();
                 if i == target {
@@ -113,7 +112,10 @@ pub fn analyze_mesh(
     assert!(mesh.n_mzis() > 0, "mesh has no MZIs");
     let rvd_profile = mzi_rvd_profile(mesh, spec, iterations, seed);
     let min = rvd_profile.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = rvd_profile.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = rvd_profile
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let most_critical = rvd_profile
         .iter()
         .enumerate()
@@ -171,10 +173,10 @@ fn spearman(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spnn_linalg::random::haar_unitary;
-    use spnn_mesh::clements;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::random::haar_unitary;
+    use spnn_mesh::clements;
 
     fn mesh5(seed: u64) -> UnitaryMesh {
         let u = haar_unitary(5, &mut StdRng::seed_from_u64(seed));
@@ -242,10 +244,7 @@ mod tests {
         let report = analyze_mesh(&mesh, &spec, 20, 5);
         assert_eq!(report.rvd_profile.len(), mesh.n_mzis());
         assert!(report.rvd_range.0 <= report.rvd_range.1);
-        assert_eq!(
-            report.rvd_profile[report.most_critical],
-            report.rvd_range.1
-        );
+        assert_eq!(report.rvd_profile[report.most_critical], report.rvd_range.1);
         assert!((-1.0..=1.0).contains(&report.proxy_agreement));
     }
 

@@ -129,7 +129,10 @@ mod tests {
             })
             .collect();
         let ideal = hw.ideal_matrices();
-        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        let labels: Vec<usize> = features
+            .iter()
+            .map(|f| hw.classify_with(&ideal, f))
+            .collect();
         (hw, features, labels)
     }
 

@@ -96,7 +96,10 @@ pub fn run_one(
     stage: Stage,
     config: &Exp2Config,
 ) -> Exp2Heatmap {
-    assert!(stage != Stage::Sigma, "EXP 2 targets unitary multipliers only");
+    assert!(
+        stage != Stage::Sigma,
+        "EXP 2 targets unitary multipliers only"
+    );
     assert!(layer < network.n_layers(), "layer out of range");
 
     let zones = match stage {
@@ -162,8 +165,22 @@ pub fn run_all(
 ) -> Vec<Exp2Heatmap> {
     let mut out = Vec::with_capacity(2 * network.n_layers());
     for layer in 0..network.n_layers() {
-        out.push(run_one(network, features, labels, layer, Stage::UMesh, config));
-        out.push(run_one(network, features, labels, layer, Stage::VMesh, config));
+        out.push(run_one(
+            network,
+            features,
+            labels,
+            layer,
+            Stage::UMesh,
+            config,
+        ));
+        out.push(run_one(
+            network,
+            features,
+            labels,
+            layer,
+            Stage::VMesh,
+            config,
+        ));
     }
     out
 }
@@ -188,12 +205,20 @@ mod tests {
         let features: Vec<Vec<C64>> = (0..8)
             .map(|i| {
                 (0..5)
-                    .map(|j| C64::new(((2 * i + j) % 5) as f64 * 0.2, ((i + 2 * j) % 4) as f64 * 0.15))
+                    .map(|j| {
+                        C64::new(
+                            ((2 * i + j) % 5) as f64 * 0.2,
+                            ((i + 2 * j) % 4) as f64 * 0.15,
+                        )
+                    })
                     .collect()
             })
             .collect();
         let ideal = hw.ideal_matrices();
-        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        let labels: Vec<usize> = features
+            .iter()
+            .map(|f| hw.classify_with(&ideal, f))
+            .collect();
         (hw, features, labels)
     }
 

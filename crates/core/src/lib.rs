@@ -33,6 +33,6 @@ pub mod network;
 pub mod perturbation;
 
 pub use census::ComponentCensus;
-pub use monte_carlo::{mc_accuracy, McResult};
+pub use monte_carlo::{iteration_rng, iteration_seed, mc_accuracy, McResult};
 pub use network::{MeshTopology, PhotonicNetwork};
 pub use perturbation::{HardwareEffects, PerturbationPlan, SiteRef, Stage};

@@ -9,9 +9,9 @@
 
 use crate::network::PhotonicNetwork;
 use crate::perturbation::{HardwareEffects, PerturbationPlan};
-use spnn_linalg::C64;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spnn_linalg::C64;
 
 /// Monte-Carlo accuracy estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,12 +54,28 @@ impl McResult {
 }
 
 /// SplitMix64 — decorrelates per-iteration seeds.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// The RNG seed of Monte-Carlo iteration `k` under base `seed`.
+///
+/// This is the seeding scheme of [`mc_accuracy`], exposed so external
+/// drivers (the `spnn-engine` batched runner) can reproduce the exact
+/// per-iteration realization stream: the estimate stays a pure function of
+/// `(seed, k)` regardless of who schedules the iterations.
+pub fn iteration_seed(seed: u64, k: usize) -> u64 {
+    splitmix64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// The fully-seeded RNG of Monte-Carlo iteration `k` (see
+/// [`iteration_seed`]).
+pub fn iteration_rng(seed: u64, k: usize) -> StdRng {
+    StdRng::seed_from_u64(iteration_seed(seed, k))
 }
 
 /// Estimates mean inference accuracy under a perturbation plan.
@@ -126,7 +142,7 @@ fn one_iteration(
     seed: u64,
     k: usize,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15)));
+    let mut rng = iteration_rng(seed, k);
     let matrices = network.realize(plan, effects, &mut rng);
     network.accuracy_with(&matrices, features, labels)
 }
@@ -146,12 +162,20 @@ mod tests {
         let features: Vec<Vec<C64>> = (0..12)
             .map(|i| {
                 (0..4)
-                    .map(|j| C64::new(((i * 7 + j * 3) % 5) as f64 * 0.2, ((i + j) % 3) as f64 * 0.3))
+                    .map(|j| {
+                        C64::new(
+                            ((i * 7 + j * 3) % 5) as f64 * 0.2,
+                            ((i + j) % 3) as f64 * 0.3,
+                        )
+                    })
                     .collect()
             })
             .collect();
         let ideal = hw.ideal_matrices();
-        let labels: Vec<usize> = features.iter().map(|f| hw.classify_with(&ideal, f)).collect();
+        let labels: Vec<usize> = features
+            .iter()
+            .map(|f| hw.classify_with(&ideal, f))
+            .collect();
         (hw, features, labels)
     }
 

@@ -17,15 +17,15 @@
 //! hardware model.
 
 use crate::perturbation::{HardwareEffects, PerturbationPlan, SiteRef, Stage};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use spnn_linalg::svd::svd;
-use spnn_linalg::{C64, CMatrix, LinalgError};
+use spnn_linalg::{CMatrix, LinalgError, C64};
 use spnn_mesh::{clements, reck, DiagonalLine, MeshError, UnitaryMesh, ZoneGrid};
 use spnn_neural::activation::{intensity, mod_softplus};
 use spnn_neural::loss::argmax;
 use spnn_neural::ComplexNetwork;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::error::Error;
 use std::fmt;
 
@@ -381,7 +381,9 @@ mod tests {
     fn hardware_forward_matches_software_forward() {
         let sw = software_net();
         let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
-        let input: Vec<C64> = (0..6).map(|i| C64::new(0.1 * i as f64, -0.05 * i as f64)).collect();
+        let input: Vec<C64> = (0..6)
+            .map(|i| C64::new(0.1 * i as f64, -0.05 * i as f64))
+            .collect();
         let sw_out = sw.forward(&input);
         let hw_out = hw.forward_with(&hw.ideal_matrices(), &input);
         for (a, b) in sw_out.iter().zip(hw_out.iter()) {
@@ -421,11 +423,23 @@ mod tests {
         let sw = software_net();
         let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
         let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
-        let a = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(1));
-        let b = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(2));
+        let a = hw.realize(
+            &plan,
+            &HardwareEffects::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = hw.realize(
+            &plan,
+            &HardwareEffects::default(),
+            &mut StdRng::seed_from_u64(2),
+        );
         assert!((&a[0] - &b[0]).frobenius_norm() > 1e-6);
         // Same seed → same realization.
-        let c = hw.realize(&plan, &HardwareEffects::default(), &mut StdRng::seed_from_u64(1));
+        let c = hw.realize(
+            &plan,
+            &HardwareEffects::default(),
+            &mut StdRng::seed_from_u64(1),
+        );
         assert!(a[0].approx_eq(&c[0], 0.0));
     }
 }

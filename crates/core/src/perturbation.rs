@@ -10,12 +10,12 @@
 //! - **Fig. 3 / criticality**: a single faulty MZI, everything else ideal →
 //!   [`PerturbationPlan::SingleMzi`].
 
+use rand::Rng;
 use spnn_mesh::UnitaryMesh;
 use spnn_photonics::phase_shifter::quantize_phase;
 use spnn_photonics::spatial::CorrelatedFpv;
 use spnn_photonics::thermal::{HeaterPosition, ThermalCrosstalk};
 use spnn_photonics::{Mzi, UncertaintySpec};
-use rand::Rng;
 
 /// Which hardware stage of a layer a site belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,8 +64,10 @@ impl SiteRef {
 /// A complete description of which uncertainty hits which MZI.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum PerturbationPlan {
     /// No uncertainty anywhere (nominal hardware).
+    #[default]
     None,
     /// The same spec on every MZI; `include_sigma` extends it to the Σ
     /// attenuator lines (EXP 1 does; EXP 2-style analyses do not).
@@ -170,12 +172,6 @@ impl PerturbationPlan {
                 }
             }
         }
-    }
-}
-
-impl Default for PerturbationPlan {
-    fn default() -> Self {
-        PerturbationPlan::None
     }
 }
 
@@ -407,7 +403,14 @@ mod tests {
     fn effects_apply_crosstalk_offsets() {
         let fx = HardwareEffects::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let dev = fx.apply(1.0, 2.0, Some((0.1, -0.2)), None, &UncertaintySpec::none(), &mut rng);
+        let dev = fx.apply(
+            1.0,
+            2.0,
+            Some((0.1, -0.2)),
+            None,
+            &UncertaintySpec::none(),
+            &mut rng,
+        );
         assert!((dev.theta() - 1.1).abs() < 1e-12);
         assert!((dev.phi() - 1.8).abs() < 1e-12);
     }
@@ -442,7 +445,10 @@ mod tests {
         // nearly identical offsets — the signature of correlated FPV.
         let (t0, ..) = offsets[0];
         let (t1, ..) = offsets[2];
-        assert!((t0 - t1).abs() < 0.05, "neighbouring offsets should be close");
+        assert!(
+            (t0 - t1).abs() < 0.05,
+            "neighbouring offsets should be close"
+        );
         // Disabled model yields None.
         assert!(HardwareEffects::default().mesh_spatial(&mesh).is_none());
     }
@@ -469,11 +475,8 @@ mod tests {
     #[test]
     fn mesh_crosstalk_enabled_gives_offsets() {
         let fx = HardwareEffects::with_thermal(ThermalCrosstalk::new(0.02, 100.0));
-        let mesh = UnitaryMesh::from_physical_order(
-            3,
-            &[(0, 1.5, 0.5), (1, 2.0, 1.0)],
-            vec![0.0; 3],
-        );
+        let mesh =
+            UnitaryMesh::from_physical_order(3, &[(0, 1.5, 0.5), (1, 2.0, 1.0)], vec![0.0; 3]);
         let xt = fx.mesh_crosstalk(&mesh);
         let (dt0, dp0) = xt.get(0).unwrap();
         assert!(dt0 > 0.0 && dp0 > 0.0, "heaters should couple");

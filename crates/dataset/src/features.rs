@@ -13,7 +13,7 @@
 
 use crate::generator::GrayImage;
 use spnn_linalg::fft::{fft2, fftshift, Direction};
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 
 /// Computes the complex feature vector of an image: 2-D FFT, `fftshift`,
 /// central `crop × crop` block, flattened row-major and normalized to unit
@@ -62,10 +62,10 @@ pub fn full_spectrum_features(image: &GrayImage) -> Vec<C64> {
 mod tests {
     use super::*;
     use crate::generator::ImageGenerator;
-    use spnn_linalg::fft::dft_naive;
-    use spnn_linalg::vector::norm_sq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::fft::dft_naive;
+    use spnn_linalg::vector::norm_sq;
 
     #[test]
     fn feature_count_is_crop_squared() {
@@ -190,7 +190,10 @@ mod tests {
             .sum();
         // …while the complex vectors differ appreciably (phases rotated).
         let vec_dist: f64 = a.iter().zip(b.iter()).map(|(x, y)| (*x - *y).abs()).sum();
-        assert!(mag_dist < 0.5 * vec_dist, "mag {mag_dist} vs vec {vec_dist}");
+        assert!(
+            mag_dist < 0.5 * vec_dist,
+            "mag {mag_dist} vs vec {vec_dist}"
+        );
     }
 
     #[test]

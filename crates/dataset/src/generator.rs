@@ -6,8 +6,8 @@
 //! noise — a deterministic, seedable stand-in for handwriting variability.
 
 use crate::glyphs::{dilate, glyph, GLYPH_H, GLYPH_W};
-use spnn_linalg::random::gaussian;
 use rand::Rng;
+use spnn_linalg::random::gaussian;
 
 /// Image side in pixels (matches MNIST).
 pub const IMAGE_SIDE: usize = 28;

@@ -18,94 +18,34 @@ pub fn glyph(digit: usize) -> [[bool; GLYPH_W]; GLYPH_H] {
     assert!(digit <= 9, "digit must be 0..=9");
     let rows: [&str; GLYPH_H] = match digit {
         0 => [
-            ".###.",
-            "#...#",
-            "#..##",
-            "#.#.#",
-            "##..#",
-            "#...#",
-            ".###.",
+            ".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###.",
         ],
         1 => [
-            "..#..",
-            ".##..",
-            "..#..",
-            "..#..",
-            "..#..",
-            "..#..",
-            ".###.",
+            "..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###.",
         ],
         2 => [
-            ".###.",
-            "#...#",
-            "....#",
-            "...#.",
-            "..#..",
-            ".#...",
-            "#####",
+            ".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####",
         ],
         3 => [
-            ".###.",
-            "#...#",
-            "....#",
-            "..##.",
-            "....#",
-            "#...#",
-            ".###.",
+            ".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###.",
         ],
         4 => [
-            "...#.",
-            "..##.",
-            ".#.#.",
-            "#..#.",
-            "#####",
-            "...#.",
-            "...#.",
+            "...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#.",
         ],
         5 => [
-            "#####",
-            "#....",
-            "####.",
-            "....#",
-            "....#",
-            "#...#",
-            ".###.",
+            "#####", "#....", "####.", "....#", "....#", "#...#", ".###.",
         ],
         6 => [
-            ".###.",
-            "#....",
-            "#....",
-            "####.",
-            "#...#",
-            "#...#",
-            ".###.",
+            ".###.", "#....", "#....", "####.", "#...#", "#...#", ".###.",
         ],
         7 => [
-            "#####",
-            "....#",
-            "...#.",
-            "..#..",
-            ".#...",
-            ".#...",
-            ".#...",
+            "#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#...",
         ],
         8 => [
-            ".###.",
-            "#...#",
-            "#...#",
-            ".###.",
-            "#...#",
-            "#...#",
-            ".###.",
+            ".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###.",
         ],
         _ => [
-            ".###.",
-            "#...#",
-            "#...#",
-            ".####",
-            "....#",
-            "....#",
-            ".###.",
+            ".###.", "#...#", "#...#", ".####", "....#", "....#", ".###.",
         ],
     };
     let mut out = [[false; GLYPH_W]; GLYPH_H];

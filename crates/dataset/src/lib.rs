@@ -90,8 +90,12 @@ impl SpnnDataset {
     /// balanced to within one sample.
     pub fn generate(config: &DatasetConfig) -> Self {
         let generator = ImageGenerator::default();
-        let (train_features, train_labels) =
-            generate_split(&generator, config.n_train, config.crop, config.seed ^ 0xA11CE);
+        let (train_features, train_labels) = generate_split(
+            &generator,
+            config.n_train,
+            config.crop,
+            config.seed ^ 0xA11CE,
+        );
         let (test_features, test_labels) =
             generate_split(&generator, config.n_test, config.crop, config.seed ^ 0xB0B);
         Self {
@@ -236,7 +240,11 @@ mod tests {
         for (f, &l) in d.test_features.iter().zip(d.test_labels.iter()) {
             let mut best = (f64::INFINITY, 0);
             for (k, c) in centroids.iter().enumerate() {
-                let dist: f64 = f.iter().zip(c.iter()).map(|(a, b)| (*a - *b).abs_sq()).sum();
+                let dist: f64 = f
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(a, b)| (*a - *b).abs_sq())
+                    .sum();
                 if dist < best.0 {
                     best = (dist, k);
                 }

@@ -1,0 +1,234 @@
+//! `spnn` — run declarative SPNN Monte-Carlo scenarios from the command
+//! line.
+//!
+//! ```text
+//! spnn run <spec.scn | - | --preset NAME> [--format csv|json] [--out FILE]
+//!          [--threads N] [--quiet]
+//! spnn validate <spec.scn>
+//! spnn example [NAME]
+//! spnn help
+//! ```
+//!
+//! Scenario scale knobs for presets come from the usual `SPNN_*`
+//! environment variables (`SPNN_MC`, `SPNN_NTRAIN`, `SPNN_NTEST`,
+//! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`).
+
+use spnn_engine::prelude::*;
+use spnn_engine::runner::EngineError;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+spnn — batched, adaptive Monte-Carlo simulation engine for silicon-photonic
+neural networks (reproduces the DATE 2021 uncertainty-modeling paper).
+
+USAGE:
+    spnn run <SPEC>          run a scenario file (`-` reads stdin)
+    spnn run --preset NAME   run a built-in scenario (fig4, fig5, mesh,
+                             quant, thermal) at SPNN_* env scale
+    spnn validate <SPEC>     parse a scenario and report its queue size
+    spnn example [NAME]      print a built-in scenario file (default fig4)
+    spnn help                this text
+
+OPTIONS (run):
+    --format csv|json        output format (default csv)
+    --out FILE               write output to FILE (default stdout)
+    --threads N              worker threads per sweep point
+                             (default: all cores; results are identical
+                             for any thread count)
+    --quiet                  suppress progress logging on stderr
+
+SCALE (env): SPNN_MC, SPNN_NTRAIN, SPNN_NTEST, SPNN_EPOCHS, SPNN_SEED,
+SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop).
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run `spnn help` for usage");
+    ExitCode::FAILURE
+}
+
+fn read_spec_file(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn load_spec(args: &[String]) -> Result<ScenarioSpec, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--preset") {
+        let name = args
+            .get(pos + 1)
+            .ok_or_else(|| "--preset needs a name".to_string())?;
+        return presets::by_name(name, &RunScale::from_env()).ok_or_else(|| {
+            format!(
+                "unknown preset {name:?} (have: {})",
+                presets::PRESET_NAMES.join(", ")
+            )
+        });
+    }
+    let path = positional_arg(args)
+        .ok_or_else(|| "missing scenario file (or --preset NAME)".to_string())?;
+    let text = read_spec_file(path)?;
+    ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The first positional argument after the subcommand, skipping options
+/// and their values *by position* (a path that merely equals some option's
+/// value, e.g. `spnn run fig4.json --out fig4.json`, must still be found).
+fn positional_arg(args: &[String]) -> Option<&str> {
+    let mut i = 1; // args[0] is the subcommand
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" | "--out" | "--threads" | "--preset" => i += 2,
+            s if s.starts_with("--") => i += 1,
+            s => return Some(s),
+        }
+    }
+    None
+}
+
+fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let spec = match load_spec(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let format = option_value(args, "--format").unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return fail(&format!("unknown format {format:?} (csv|json)"));
+    }
+    let threads = match option_value(args, "--threads") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => return fail(&format!("invalid thread count {v:?}")),
+        },
+    };
+    let config = EngineConfig {
+        threads,
+        verbose: !args.iter().any(|a| a == "--quiet"),
+    };
+
+    let started = std::time::Instant::now();
+    let report = match run_scenario(&spec, &config) {
+        Ok(r) => r,
+        Err(EngineError::Invalid(m)) => return fail(&format!("invalid scenario: {m}")),
+        Err(e) => return fail(&e.to_string()),
+    };
+    let elapsed = started.elapsed();
+    eprintln!(
+        "[spnn] {}: {} points, {} MC iterations in {:.2?} ({:.0} iters/s)",
+        report.scenario,
+        report.rows.len(),
+        report.total_iterations(),
+        elapsed,
+        report.total_iterations() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    for t in &report.topologies {
+        eprintln!(
+            "[spnn]   {}: software acc {:.2}%, nominal hardware acc {:.2}%",
+            t.topology,
+            t.software_accuracy * 100.0,
+            t.nominal_accuracy * 100.0
+        );
+    }
+
+    let body = match format {
+        "json" => to_json(&report),
+        _ => to_csv(&report),
+    };
+    match option_value(args, "--out") {
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            if let Err(e) = std::fs::write(path, &body) {
+                return fail(&format!("writing {path}: {e}"));
+            }
+            eprintln!("[spnn] wrote {path}");
+        }
+        None => print!("{body}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return fail("missing scenario file");
+    };
+    let text = match read_spec_file(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let spec = match ScenarioSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    // Compiling the zonal queue needs the mapped network; report the
+    // statically-known grid instead of training one here.
+    let effects_points = spec.effects.quantization_bits.len()
+        * spec.effects.thermal_kappa.len()
+        * spec.effects.mzi_loss_db.len();
+    let plan_points = match spec.plan {
+        PlanKind::Global | PlanKind::GlobalNoSigma => {
+            format!("{}", spec.sweep.modes.len() * spec.sweep.sigmas.len())
+        }
+        PlanKind::Zonal => format!(
+            "{} stage(s) × layers × zones (resolved at run time)",
+            spec.zonal.stages.len()
+        ),
+    };
+    println!("scenario:   {}", spec.name);
+    println!("plan:       {:?}", spec.plan);
+    println!("topologies: {}", spec.topologies.len());
+    println!("effects:    {effects_points} grid point(s)");
+    println!("plan axes:  {plan_points}");
+    println!(
+        "budget:     <= {} iterations/point (min {}, target moe {})",
+        spec.iterations, spec.min_iterations, spec.target_moe
+    );
+    println!("ok");
+    ExitCode::SUCCESS
+}
+
+fn cmd_example(args: &[String]) -> ExitCode {
+    let name = args.get(1).map(|s| s.as_str()).unwrap_or("fig4");
+    match presets::by_name(name, &RunScale::from_env()) {
+        Some(spec) => {
+            print!("{}", spec.to_text());
+            ExitCode::SUCCESS
+        }
+        None => fail(&format!(
+            "unknown preset {name:?} (have: {})",
+            presets::PRESET_NAMES.join(", ")
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&args),
+        Some("validate") => cmd_validate(&args),
+        Some("example") => cmd_example(&args),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,84 @@
+//! `spnn-engine` — a batched, adaptive, deterministic Monte-Carlo
+//! simulation engine for silicon-photonic neural networks.
+//!
+//! The paper estimates accuracy-under-uncertainty with 1000-iteration
+//! Monte-Carlo sweeps (§III-D). The seed repository ran every sweep point
+//! through a fixed-count, per-figure ad-hoc loop; this crate replaces those
+//! loops with one reusable engine:
+//!
+//! - [`spec::ScenarioSpec`] — a declarative description of a whole
+//!   experiment campaign: sweep grids over perturbation plans × hardware
+//!   effects × mesh topologies, serializable to/from a simple text format
+//!   (`*.scn` files, see `scenarios/` at the workspace root).
+//! - [`queue`] — compiles a spec into a flat work queue of fully-resolved
+//!   [`queue::WorkItem`]s (one per sweep point).
+//! - [`batched::TestBatch`] — the batched forward path: each realized
+//!   hardware sample's transfer matrices are computed once per iteration
+//!   and the whole test set is pushed through as tiled split-plane
+//!   matrix-matrix products that preserve `CMatrix::mul_vec`'s
+//!   accumulation order, bit-identical to the per-sample `mc_accuracy`
+//!   reference.
+//! - [`estimator`] — Welford-style streaming mean/variance per sweep point
+//!   with **adaptive early termination**: iteration stops at a round
+//!   boundary once the 95 % margin of error falls below the spec's target.
+//! - [`runner`] — the driver: deterministic multi-threaded execution using
+//!   the per-iteration `splitmix64` seeding of
+//!   `spnn_core::monte_carlo`, so results are bit-identical for any
+//!   worker-thread count.
+//! - [`report`] — CSV/JSON emission for downstream plotting.
+//! - [`presets`] — built-in scenarios reproducing the paper's figures
+//!   (Fig. 4 / EXP 1, Fig. 5 / EXP 2, quantization/thermal/topology
+//!   ablations), used by the `spnn` CLI and the `spnn-bench` binaries.
+//!
+//! # CLI
+//!
+//! The crate ships a binary:
+//!
+//! ```text
+//! spnn run scenarios/fig4.scn --format csv --out results/fig4.csv
+//! spnn example fig4          # print a ready-to-edit scenario file
+//! spnn validate my.scn       # parse + compile, print the queue size
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use spnn_engine::prelude::*;
+//!
+//! let mut spec = presets::fig4(&RunScale::tiny());
+//! spec.sweep.sigmas = vec![0.0, 0.1];
+//! spec.sweep.modes = vec![spnn_photonics::PerturbTarget::Both];
+//! let report = run_scenario(&spec, &EngineConfig::default()).unwrap();
+//! assert_eq!(report.rows.len(), 2);
+//! // σ = 0 has zero Monte-Carlo variance; σ = 0.1 does not.
+//! assert_eq!(report.rows[0].std_dev, 0.0);
+//! assert!(report.rows.iter().all(|r| (0.0..=1.0).contains(&r.mean)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batched;
+pub mod estimator;
+pub mod presets;
+pub mod queue;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use batched::TestBatch;
+pub use estimator::{StopRule, Welford};
+pub use queue::WorkItem;
+pub use report::{to_csv, to_json};
+pub use runner::{run_point, run_scenario, EngineConfig, EngineReport, PointResult, SweepRow};
+pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
+
+/// Commonly used items, importable with `use spnn_engine::prelude::*`.
+pub mod prelude {
+    pub use crate::batched::TestBatch;
+    pub use crate::estimator::{StopRule, Welford};
+    pub use crate::presets;
+    pub use crate::report::{to_csv, to_json};
+    pub use crate::runner::{run_point, run_scenario, EngineConfig, EngineReport, SweepRow};
+    pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
+}

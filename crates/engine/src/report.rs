@@ -1,0 +1,204 @@
+//! CSV and JSON emission for [`EngineReport`]s.
+//!
+//! Both writers are hand-rolled (the environment has no serde): CSV for
+//! the plotting pipeline the seed's figure binaries already use, JSON for
+//! downstream tooling. Every row of a report carries the same label keys
+//! (guaranteed by [`crate::queue::compile`]), so the label keys become the
+//! CSV columns directly.
+
+use crate::runner::EngineReport;
+use std::fmt::Write as _;
+
+/// Serializes a report as CSV:
+/// `topology,<label columns…>,mean_accuracy,std_dev,moe95,iterations,stopped_early`.
+pub fn to_csv(report: &EngineReport) -> String {
+    let mut out = String::new();
+    let keys: Vec<&str> = report
+        .rows
+        .first()
+        .map(|r| r.labels.iter().map(|(k, _)| *k).collect())
+        .unwrap_or_default();
+    out.push_str("topology");
+    for k in &keys {
+        let _ = write!(out, ",{k}");
+    }
+    out.push_str(",mean_accuracy,std_dev,moe95,iterations,stopped_early\n");
+    for row in &report.rows {
+        out.push_str(&row.topology);
+        for key in &keys {
+            let _ = write!(out, ",{}", row.label(key).unwrap_or(""));
+        }
+        let _ = writeln!(
+            out,
+            ",{:.6},{:.6},{:.6},{},{}",
+            row.mean, row.std_dev, row.moe95, row.iterations, row.stopped_early
+        );
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a report as pretty-printed JSON.
+pub fn to_json(report: &EngineReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"scenario\": \"{}\",",
+        json_escape(&report.scenario)
+    );
+    out.push_str("  \"topologies\": [\n");
+    for (i, t) in report.topologies.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"topology\": \"{}\", \"software_accuracy\": {}, \"nominal_accuracy\": {}}}",
+            json_escape(&t.topology),
+            json_f64(t.software_accuracy),
+            json_f64(t.nominal_accuracy)
+        );
+        out.push_str(if i + 1 < report.topologies.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"topology\": \"{}\"",
+            json_escape(&row.topology)
+        );
+        for (k, v) in &row.labels {
+            // Emit numeric-looking labels as numbers for friendlier JSON.
+            if v.parse::<f64>().is_ok() {
+                let _ = write!(out, ", \"{}\": {}", json_escape(k), v);
+            } else {
+                let _ = write!(out, ", \"{}\": \"{}\"", json_escape(k), json_escape(v));
+            }
+        }
+        let _ = write!(
+            out,
+            ", \"mean_accuracy\": {}, \"std_dev\": {}, \"moe95\": {}, \"iterations\": {}, \"stopped_early\": {}}}",
+            json_f64(row.mean),
+            json_f64(row.std_dev),
+            json_f64(row.moe95),
+            row.iterations,
+            row.stopped_early
+        );
+        out.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{SweepRow, TopologySummary};
+
+    fn sample_report() -> EngineReport {
+        EngineReport {
+            scenario: "demo".into(),
+            topologies: vec![TopologySummary {
+                topology: "clements".into(),
+                software_accuracy: 0.9,
+                nominal_accuracy: 0.89,
+            }],
+            rows: vec![
+                SweepRow {
+                    topology: "clements".into(),
+                    labels: vec![("mode", "both".into()), ("sigma", "0.05".into())],
+                    mean: 0.31,
+                    std_dev: 0.02,
+                    moe95: 0.004,
+                    iterations: 100,
+                    stopped_early: true,
+                },
+                SweepRow {
+                    topology: "clements".into(),
+                    labels: vec![("mode", "both".into()), ("sigma", "0".into())],
+                    mean: 0.89,
+                    std_dev: 0.0,
+                    moe95: 0.0,
+                    iterations: 32,
+                    stopped_early: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let csv = to_csv(&sample_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "topology,mode,sigma,mean_accuracy,std_dev,moe95,iterations,stopped_early"
+        );
+        assert!(lines[1].starts_with("clements,both,0.05,0.310000"));
+        assert!(lines[1].ends_with(",100,true"));
+    }
+
+    #[test]
+    fn empty_report_csv_is_just_the_base_header() {
+        let report = EngineReport {
+            scenario: "empty".into(),
+            topologies: vec![],
+            rows: vec![],
+        };
+        let csv = to_csv(&report);
+        assert_eq!(
+            csv,
+            "topology,mean_accuracy,std_dev,moe95,iterations,stopped_early\n"
+        );
+    }
+
+    #[test]
+    fn json_mentions_every_field_and_quotes_strings() {
+        let json = to_json(&sample_report());
+        assert!(json.contains("\"scenario\": \"demo\""));
+        assert!(json.contains("\"mode\": \"both\""));
+        assert!(json.contains("\"sigma\": 0.05"), "numeric label unquoted");
+        assert!(json.contains("\"stopped_early\": true"));
+        assert!(json.contains("\"nominal_accuracy\": 0.89"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+}

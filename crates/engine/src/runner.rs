@@ -1,0 +1,445 @@
+//! The Monte-Carlo driver: deterministic, multi-threaded, adaptive.
+//!
+//! Execution model per sweep point:
+//!
+//! 1. Iterations are processed in **rounds** of `spec.round_size`. Within a
+//!    round, iterations are split across worker threads; iteration `k`
+//!    derives its RNG purely from `(seed, k)` via
+//!    [`spnn_core::monte_carlo::iteration_rng`], so the schedule cannot
+//!    affect any sample.
+//! 2. After each round the samples are folded **in iteration order** into a
+//!    [`Welford`] estimator and the [`StopRule`] is consulted. Stopping
+//!    decisions therefore happen at thread-count-independent boundaries:
+//!    the result is bit-identical for 1, 2 or 64 workers.
+//! 3. Each iteration realizes the network's transfer matrices **once** and
+//!    pushes the whole test set through as matrix-matrix products
+//!    ([`TestBatch::accuracy_with`]), bit-identical to the seed's
+//!    per-sample `mc_accuracy` path.
+
+use crate::batched::TestBatch;
+use crate::estimator::{StopRule, Welford};
+use crate::queue::compile;
+use crate::spec::{topology_name, ScenarioSpec};
+use spnn_core::monte_carlo::iteration_rng;
+use spnn_core::network::SpnnError;
+use spnn_core::{HardwareEffects, McResult, PerturbationPlan, PhotonicNetwork};
+use spnn_dataset::{DatasetConfig, SpnnDataset};
+use spnn_neural::{train, ComplexNetwork, TrainConfig};
+use std::fmt;
+
+/// Execution knobs that must not change results — only speed.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads per sweep point (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Print per-point progress to stderr.
+    pub verbose: bool,
+}
+
+/// The outcome of one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Per-iteration accuracies in iteration order.
+    pub samples: Vec<f64>,
+    /// Mean accuracy.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 95 % margin of error of the mean.
+    pub moe95: f64,
+    /// `true` when the adaptive rule stopped before the iteration cap.
+    pub stopped_early: bool,
+}
+
+/// Runs one sweep point to completion.
+///
+/// This is the engine's primitive — the spec-level driver
+/// [`run_scenario`] reduces to calls of this function. With
+/// [`StopRule::fixed`]`(n)` the returned `samples` are bit-identical to
+/// `spnn_core::mc_accuracy(network, plan, effects, …, n, seed).samples`.
+///
+/// # Panics
+///
+/// Panics if `round_size == 0` or the stop rule's cap is zero.
+#[allow(clippy::too_many_arguments)] // the engine's primitive: each knob is load-bearing
+pub fn run_point(
+    network: &PhotonicNetwork,
+    plan: &PerturbationPlan,
+    effects: &HardwareEffects,
+    batch: &TestBatch,
+    stop: &StopRule,
+    round_size: usize,
+    seed: u64,
+    threads: Option<usize>,
+) -> PointResult {
+    assert!(round_size > 0, "round_size must be positive");
+    assert!(stop.max_iterations > 0, "need at least one iteration");
+    let n_threads = threads
+        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+        .unwrap_or(1)
+        .max(1);
+
+    let mut est = Welford::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut next_k = 0usize;
+    let mut stopped_early = false;
+
+    while next_k < stop.max_iterations {
+        let n_this = round_size.min(stop.max_iterations - next_k);
+        let mut round = vec![0.0f64; n_this];
+        let chunk = n_this.div_ceil(n_threads.min(n_this));
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in round.chunks_mut(chunk).enumerate() {
+                let start = next_k + t * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        let mut rng = iteration_rng(seed, start + off);
+                        let matrices = network.realize(plan, effects, &mut rng);
+                        *slot = batch.accuracy_with(network, &matrices);
+                    }
+                });
+            }
+        });
+        for &s in &round {
+            est.push(s);
+        }
+        samples.extend_from_slice(&round);
+        next_k += n_this;
+        if stop.should_stop(&est) {
+            stopped_early = next_k < stop.max_iterations;
+            break;
+        }
+    }
+
+    // Final statistics via the same aggregation as the per-sample
+    // reference, so fixed-count engine results equal `mc_accuracy` exactly.
+    let mc = McResult::from_samples(samples);
+    PointResult {
+        mean: mc.mean,
+        std_dev: mc.std_dev,
+        moe95: mc.margin_of_error_95(),
+        samples: mc.samples,
+        stopped_early,
+    }
+}
+
+/// Per-topology context of a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Topology name (`clements` / `reck`).
+    pub topology: String,
+    /// Software (pre-mapping) test accuracy.
+    pub software_accuracy: f64,
+    /// Ideal (σ = 0) hardware accuracy.
+    pub nominal_accuracy: f64,
+}
+
+/// One row of a scenario report: a sweep point plus its estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Topology the point ran on.
+    pub topology: String,
+    /// The point's labels (same keys for every row of a report).
+    pub labels: Vec<(&'static str, String)>,
+    /// Mean accuracy.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 95 % margin of error.
+    pub moe95: f64,
+    /// Iterations actually spent.
+    pub iterations: usize,
+    /// Whether the adaptive rule stopped early.
+    pub stopped_early: bool,
+}
+
+impl SweepRow {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses label `key` as `f64` (e.g. `sigma`).
+    pub fn label_f64(&self, key: &str) -> Option<f64> {
+        self.label(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// A completed scenario: context plus one row per sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Scenario name (from the spec).
+    pub scenario: String,
+    /// Per-topology training/mapping context.
+    pub topologies: Vec<TopologySummary>,
+    /// Sweep results in queue order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl EngineReport {
+    /// Rows restricted to one topology.
+    pub fn rows_for<'a>(&'a self, topology: &'a str) -> impl Iterator<Item = &'a SweepRow> + 'a {
+        self.rows.iter().filter(move |r| r.topology == topology)
+    }
+
+    /// Total Monte-Carlo iterations spent across all points.
+    pub fn total_iterations(&self) -> usize {
+        self.rows.iter().map(|r| r.iterations).sum()
+    }
+}
+
+/// Failures of a scenario run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The spec is internally inconsistent.
+    Invalid(String),
+    /// Photonic mapping failed.
+    Mapping(SpnnError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+            EngineError::Mapping(e) => write!(f, "photonic mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Runs a whole scenario: dataset generation, software training, photonic
+/// mapping per topology, queue compilation, and the Monte-Carlo sweep.
+///
+/// Deterministic: the report is a pure function of `(spec)`; `config` only
+/// affects wall-clock and logging.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the spec fails validation or a weight matrix
+/// cannot be mapped onto hardware (not expected for trained weights).
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+) -> Result<EngineReport, EngineError> {
+    spec.validate().map_err(EngineError::Invalid)?;
+
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: spec.dataset.n_train,
+        n_test: spec.dataset.n_test,
+        crop: spec.dataset.crop,
+        seed: spec.seed,
+    });
+    let mut software = ComplexNetwork::new(&spec.train.layers, spec.seed ^ 0x11);
+    let report = train(
+        &mut software,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: spec.train.epochs,
+            batch_size: spec.train.batch_size,
+            learning_rate: spec.train.learning_rate,
+            seed: spec.seed ^ 0x22,
+            verbose: false,
+        },
+    );
+    let software_accuracy = software.accuracy(&data.test_features, &data.test_labels);
+    if config.verbose {
+        eprintln!(
+            "[engine] {}: trained {} epochs (train acc {:.2}%, test acc {:.2}%)",
+            spec.name,
+            spec.train.epochs,
+            report.train_accuracy * 100.0,
+            software_accuracy * 100.0
+        );
+    }
+    let batch = TestBatch::new(&data.test_features, &data.test_labels);
+    let stop = if spec.target_moe > 0.0 {
+        StopRule::adaptive(spec.iterations, spec.min_iterations, spec.target_moe)
+    } else {
+        StopRule::fixed(spec.iterations)
+    };
+
+    let shuffle_seed = spec
+        .train
+        .shuffle_singular_values
+        .then_some(spec.seed ^ 0x33);
+    let mut topologies = Vec::with_capacity(spec.topologies.len());
+    let mut rows = Vec::new();
+    for &topology in &spec.topologies {
+        let hardware = PhotonicNetwork::from_network(&software, topology, shuffle_seed)
+            .map_err(EngineError::Mapping)?;
+        let nominal_accuracy = batch.accuracy_with(&hardware, &hardware.ideal_matrices());
+        let topo_name = topology_name(topology);
+        topologies.push(TopologySummary {
+            topology: topo_name.to_string(),
+            software_accuracy,
+            nominal_accuracy,
+        });
+
+        let queue = compile(spec, &hardware);
+        let total = queue.len();
+        for (i, item) in queue.into_iter().enumerate() {
+            let r = run_point(
+                &hardware,
+                &item.plan,
+                &item.effects,
+                &batch,
+                &stop,
+                spec.round_size,
+                item.seed,
+                config.threads,
+            );
+            if config.verbose {
+                let label_str = item
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                eprintln!(
+                    "[engine] {}/{topo_name} point {}/{total} {label_str} → {:.4} (moe {:.4}, {} iters{})",
+                    spec.name,
+                    i + 1,
+                    r.mean,
+                    r.moe95,
+                    r.samples.len(),
+                    if r.stopped_early { ", early stop" } else { "" },
+                );
+            }
+            rows.push(SweepRow {
+                topology: topo_name.to_string(),
+                labels: item.labels,
+                mean: r.mean,
+                std_dev: r.std_dev,
+                moe95: r.moe95,
+                iterations: r.samples.len(),
+                stopped_early: r.stopped_early,
+            });
+        }
+    }
+
+    Ok(EngineReport {
+        scenario: spec.name.clone(),
+        topologies,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_core::{mc_accuracy, MeshTopology};
+    use spnn_linalg::C64;
+    use spnn_photonics::UncertaintySpec;
+
+    fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
+        let sw = ComplexNetwork::new(&[4, 4, 3], 31);
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let features: Vec<Vec<C64>> = (0..12)
+            .map(|i| {
+                (0..4)
+                    .map(|j| {
+                        C64::new(
+                            ((i * 7 + j * 3) % 5) as f64 * 0.2,
+                            ((i + j) % 3) as f64 * 0.3,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let ideal = hw.ideal_matrices();
+        let labels: Vec<usize> = features
+            .iter()
+            .map(|f| hw.classify_with(&ideal, f))
+            .collect();
+        (hw, features, labels)
+    }
+
+    #[test]
+    fn fixed_count_run_point_matches_mc_accuracy_bitwise() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.06));
+        let fx = HardwareEffects::default();
+        let reference = mc_accuracy(&hw, &plan, &fx, &xs, &ys, 10, 99);
+        let engine = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &StopRule::fixed(10),
+            4,
+            99,
+            Some(2),
+        );
+        assert_eq!(engine.samples, reference.samples);
+        assert_eq!(engine.mean.to_bits(), reference.mean.to_bits());
+        assert_eq!(engine.std_dev.to_bits(), reference.std_dev.to_bits());
+        assert!(!engine.stopped_early);
+    }
+
+    #[test]
+    fn zero_variance_point_stops_at_min_iterations() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        // No uncertainty → every iteration yields the same accuracy.
+        let r = run_point(
+            &hw,
+            &PerturbationPlan::None,
+            &HardwareEffects::default(),
+            &batch,
+            &StopRule::adaptive(100, 6, 0.01),
+            4,
+            1,
+            Some(1),
+        );
+        // Stops at the first round boundary ≥ min_iterations = 6 → 8.
+        assert_eq!(r.samples.len(), 8);
+        assert!(r.stopped_early);
+        assert!(r.moe95 <= 0.01);
+    }
+
+    #[test]
+    fn early_stop_never_violates_the_moe_target() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+        let fx = HardwareEffects::default();
+        let stop = StopRule::adaptive(64, 8, 0.04);
+        let r = run_point(&hw, &plan, &fx, &batch, &stop, 8, 5, Some(2));
+        if r.stopped_early {
+            assert!(r.moe95 <= 0.04, "stopped early at moe {} > target", r.moe95);
+        } else {
+            assert_eq!(r.samples.len(), 64);
+        }
+    }
+
+    #[test]
+    fn report_accessors() {
+        let row = SweepRow {
+            topology: "clements".into(),
+            labels: vec![("sigma", "0.05".into()), ("mode", "both".into())],
+            mean: 0.5,
+            std_dev: 0.1,
+            moe95: 0.02,
+            iterations: 10,
+            stopped_early: false,
+        };
+        assert_eq!(row.label("mode"), Some("both"));
+        assert_eq!(row.label_f64("sigma"), Some(0.05));
+        assert_eq!(row.label("nope"), None);
+        let report = EngineReport {
+            scenario: "t".into(),
+            topologies: vec![],
+            rows: vec![row],
+        };
+        assert_eq!(report.total_iterations(), 10);
+        assert_eq!(report.rows_for("clements").count(), 1);
+        assert_eq!(report.rows_for("reck").count(), 0);
+    }
+}

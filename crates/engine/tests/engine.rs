@@ -1,0 +1,317 @@
+//! Integration tests for the `spnn-engine` subsystem: thread-count
+//! determinism, batched-forward parity with the per-sample Monte-Carlo
+//! reference, and adaptive early-termination correctness.
+
+use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_engine::prelude::*;
+use spnn_engine::spec::PlanKind;
+use spnn_engine::StopRule;
+use spnn_linalg::C64;
+use spnn_neural::ComplexNetwork;
+use spnn_photonics::{PerturbTarget, UncertaintySpec};
+
+fn tiny_network() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
+    let sw = ComplexNetwork::new(&[5, 5, 4], 17);
+    let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+    let features: Vec<Vec<C64>> = (0..20)
+        .map(|i| {
+            (0..5)
+                .map(|j| {
+                    C64::new(
+                        ((i * 3 + j * 7) % 6) as f64 * 0.22 - 0.4,
+                        ((i * 5 + j) % 4) as f64 * 0.17,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let ideal = hw.ideal_matrices();
+    let labels: Vec<usize> = features
+        .iter()
+        .map(|f| hw.classify_with(&ideal, f))
+        .collect();
+    (hw, features, labels)
+}
+
+fn tiny_spec() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 6;
+    spec.min_iterations = 2;
+    spec
+}
+
+/// The tentpole determinism guarantee: the full per-point sample streams —
+/// not just the aggregates — are bit-identical for 1, 2 and 8 worker
+/// threads, including with adaptive early termination enabled.
+#[test]
+fn point_results_are_bit_identical_across_1_2_8_threads() {
+    let (hw, xs, ys) = tiny_network();
+    let batch = TestBatch::new(&xs, &ys);
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let fx = HardwareEffects::default();
+    for stop in [StopRule::fixed(24), StopRule::adaptive(48, 8, 0.05)] {
+        let reference = run_point(&hw, &plan, &fx, &batch, &stop, 8, 42, Some(1));
+        for threads in [2usize, 8] {
+            let other = run_point(&hw, &plan, &fx, &batch, &stop, 8, 42, Some(threads));
+            assert_eq!(
+                reference.samples, other.samples,
+                "sample stream diverged at {threads} threads ({stop:?})"
+            );
+            assert_eq!(reference.mean.to_bits(), other.mean.to_bits());
+            assert_eq!(reference.std_dev.to_bits(), other.std_dev.to_bits());
+            assert_eq!(reference.stopped_early, other.stopped_early);
+        }
+    }
+}
+
+/// Whole-scenario determinism: identical reports for different thread
+/// counts and across repeated runs.
+#[test]
+fn scenario_reports_are_identical_across_thread_counts() {
+    let spec = tiny_spec();
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let cfg = EngineConfig {
+            threads: Some(threads),
+            verbose: false,
+        };
+        reports.push(run_scenario(&spec, &cfg).expect("scenario runs"));
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+    // And a repeat run is a pure function of the spec.
+    let again = run_scenario(
+        &spec,
+        &EngineConfig {
+            threads: Some(2),
+            verbose: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(reports[0], again);
+}
+
+/// Batched-forward parity: with a fixed-count rule and the same seed, the
+/// engine's per-iteration accuracies equal the seed's per-sample
+/// `mc_accuracy` bit for bit.
+#[test]
+fn batched_engine_matches_per_sample_mc_accuracy_bitwise() {
+    let (hw, xs, ys) = tiny_network();
+    let batch = TestBatch::new(&xs, &ys);
+    let fx = HardwareEffects::default();
+    let plans = [
+        PerturbationPlan::None,
+        PerturbationPlan::global(UncertaintySpec::both(0.05)),
+        PerturbationPlan::global_no_sigma(UncertaintySpec::phase_shifters_only(0.1)),
+        PerturbationPlan::global(UncertaintySpec::beam_splitters_only(0.08)),
+    ];
+    for (p, plan) in plans.iter().enumerate() {
+        let seed = 1000 + p as u64;
+        let reference = mc_accuracy(&hw, plan, &fx, &xs, &ys, 12, seed);
+        let engine = run_point(&hw, plan, &fx, &batch, &StopRule::fixed(12), 5, seed, None);
+        let ref_bits: Vec<u64> = reference.samples.iter().map(|s| s.to_bits()).collect();
+        let eng_bits: Vec<u64> = engine.samples.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(ref_bits, eng_bits, "plan {p} diverged");
+        assert_eq!(engine.mean.to_bits(), reference.mean.to_bits());
+    }
+}
+
+/// Parity also holds with deterministic hardware effects switched on
+/// (quantization + insertion loss exercise the full `realize` path).
+#[test]
+fn parity_holds_with_hardware_effects() {
+    let (hw, xs, ys) = tiny_network();
+    let batch = TestBatch::new(&xs, &ys);
+    let fx = HardwareEffects {
+        quantization_bits: Some(5),
+        mzi_loss_db: 0.05,
+        ..HardwareEffects::default()
+    };
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.03));
+    let reference = mc_accuracy(&hw, &plan, &fx, &xs, &ys, 8, 77);
+    let engine = run_point(&hw, &plan, &fx, &batch, &StopRule::fixed(8), 3, 77, Some(3));
+    assert_eq!(engine.samples, reference.samples);
+}
+
+/// Early termination may only fire once the measured 95 % margin of error
+/// is at or below the target, never before `min_iterations`, and a
+/// `target_moe` of zero must always run the full budget.
+#[test]
+fn early_termination_respects_the_margin_of_error_target() {
+    let (hw, xs, ys) = tiny_network();
+    let batch = TestBatch::new(&xs, &ys);
+    let fx = HardwareEffects::default();
+
+    // Sweep several targets; verify the stop invariant for each.
+    for (sigma, target) in [(0.05, 0.08), (0.05, 0.03), (0.1, 0.06)] {
+        let plan = PerturbationPlan::global(UncertaintySpec::both(sigma));
+        let stop = StopRule::adaptive(80, 8, target);
+        let r = run_point(&hw, &plan, &fx, &batch, &stop, 8, 9, None);
+        assert!(r.samples.len() >= 8, "stopped before min_iterations");
+        if r.stopped_early {
+            assert!(r.samples.len() < 80);
+            assert!(
+                r.moe95 <= target,
+                "σ={sigma}: stopped early at moe {} > target {target}",
+                r.moe95
+            );
+        } else {
+            assert_eq!(r.samples.len(), 80);
+        }
+        // Invariant regardless of early stop: at every round boundary
+        // before the stop, the rule must NOT have been satisfied. Replay
+        // the stream to verify the engine stopped at the first legal
+        // opportunity (no over- or under-shooting).
+        let mut est = Welford::new();
+        let mut expected_stop_at = None;
+        let full = run_point(&hw, &plan, &fx, &batch, &StopRule::fixed(80), 8, 9, None);
+        for (k, &s) in full.samples.iter().enumerate() {
+            est.push(s);
+            let boundary = (k + 1) % 8 == 0 || k + 1 == 80;
+            if boundary && stop.should_stop(&est) {
+                expected_stop_at = Some(k + 1);
+                break;
+            }
+        }
+        let expected = expected_stop_at.unwrap_or(80);
+        assert_eq!(
+            r.samples.len(),
+            expected,
+            "σ={sigma}, target {target}: engine did not stop at the first legal boundary"
+        );
+    }
+}
+
+/// `target_moe = 0` disables adaptivity at the scenario level.
+#[test]
+fn zero_target_runs_the_full_budget() {
+    let spec = tiny_spec();
+    assert_eq!(spec.target_moe, 0.0);
+    let report = run_scenario(
+        &spec,
+        &EngineConfig {
+            threads: Some(2),
+            verbose: false,
+        },
+    )
+    .unwrap();
+    for row in &report.rows {
+        assert_eq!(row.iterations, spec.iterations);
+        assert!(!row.stopped_early);
+    }
+}
+
+/// An adaptive scenario never exceeds the cap and spends fewer iterations
+/// on easy (zero-variance) points.
+#[test]
+fn adaptive_scenario_saves_iterations_on_easy_points() {
+    let mut spec = tiny_spec();
+    spec.iterations = 40;
+    spec.min_iterations = 4;
+    spec.round_size = 4;
+    spec.target_moe = 0.05;
+    let report = run_scenario(
+        &spec,
+        &EngineConfig {
+            threads: Some(2),
+            verbose: false,
+        },
+    )
+    .unwrap();
+    for row in &report.rows {
+        assert!(row.iterations <= 40);
+        if row.stopped_early {
+            assert!(row.moe95 <= 0.05, "row {:?}", row.labels);
+        }
+    }
+    // σ = 0 has zero variance → must stop at the first legal boundary.
+    let zero_row = report
+        .rows
+        .iter()
+        .find(|r| r.label("sigma") == Some("0"))
+        .expect("σ=0 row present");
+    assert_eq!(zero_row.iterations, 4);
+    assert!(zero_row.stopped_early);
+}
+
+/// The engine reproduces the seed's `exp1` sweep semantics: a Fig. 4 spec
+/// compiled and run through the engine produces one row per (mode, σ) and
+/// a monotone-degrading accuracy curve on this easy instance.
+#[test]
+fn fig4_scenario_shape() {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.sigmas = vec![0.0, 0.15];
+    spec.iterations = 6;
+    spec.min_iterations = 2;
+    let report = run_scenario(
+        &spec,
+        &EngineConfig {
+            threads: None,
+            verbose: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.rows.len(), 3 * 2, "3 modes × 2 sigmas");
+    assert_eq!(report.topologies.len(), 1);
+    let nominal = report.topologies[0].nominal_accuracy;
+    for mode in ["phs_only", "bes_only", "both"] {
+        let at = |sig: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.label("mode") == Some(mode) && r.label("sigma") == Some(sig))
+                .unwrap()
+                .mean
+        };
+        // The mean of n identical samples differs from the sample only by
+        // summation rounding.
+        assert!(
+            (at("0") - nominal).abs() < 1e-12,
+            "σ=0 equals nominal for {mode}"
+        );
+        assert!(
+            at("0.15") <= at("0"),
+            "σ=0.15 should not beat σ=0 for {mode}"
+        );
+    }
+}
+
+/// Zonal scenarios cover every zone and report distinct labels.
+#[test]
+fn fig5_zonal_scenario_runs_end_to_end() {
+    let mut spec = presets::fig5(&RunScale::tiny());
+    spec.plan = PlanKind::Zonal;
+    spec.iterations = 3;
+    spec.min_iterations = 2;
+    // Keep it small: a 4-4-3-like tiny architecture is not possible for
+    // the 10-class dataset, so restrict to one layer and stage instead.
+    spec.zonal.layers = spnn_engine::spec::LayerSelect::List(vec![0]);
+    spec.zonal.stages = vec![spnn_core::Stage::UMesh];
+    let report = run_scenario(
+        &spec,
+        &EngineConfig {
+            threads: Some(2),
+            verbose: false,
+        },
+    )
+    .unwrap();
+    assert!(!report.rows.is_empty());
+    let mut label_sets: Vec<String> = report
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{}-{}-{}",
+                r.label("stage").unwrap(),
+                r.label("zone_row").unwrap(),
+                r.label("zone_col").unwrap()
+            )
+        })
+        .collect();
+    let n = label_sets.len();
+    label_sets.sort();
+    label_sets.dedup();
+    assert_eq!(label_sets.len(), n, "every zone appears exactly once");
+}

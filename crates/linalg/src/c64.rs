@@ -456,7 +456,10 @@ mod tests {
         let s: C64 = xs.iter().sum();
         assert!(s.approx_eq(C64::new(2.5, 0.0), TOL));
         let p: C64 = xs.iter().copied().product();
-        assert!(p.approx_eq(C64::new(1.0, 1.0) * C64::new(2.0, -1.0) * C64::new(-0.5, 0.0), TOL));
+        assert!(p.approx_eq(
+            C64::new(1.0, 1.0) * C64::new(2.0, -1.0) * C64::new(-0.5, 0.0),
+            TOL
+        ));
     }
 
     #[test]

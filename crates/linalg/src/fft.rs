@@ -26,7 +26,10 @@ pub enum Direction {
 /// lengths.
 pub fn fft_pow2_inplace(data: &mut [C64], dir: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft_pow2_inplace requires power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "fft_pow2_inplace requires power-of-two length"
+    );
     if n <= 1 {
         return;
     }
@@ -34,7 +37,7 @@ pub fn fft_pow2_inplace(data: &mut [C64], dir: Direction) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -57,7 +60,7 @@ pub fn fft_pow2_inplace(data: &mut [C64], dir: Direction) {
                 let v = chunk[i + half] * w;
                 chunk[i] = u + v;
                 chunk[i + half] = u - v;
-                w = w * wlen;
+                w *= wlen;
             }
         }
         len <<= 1;
@@ -131,7 +134,7 @@ fn bluestein(input: &[C64], dir: Direction) -> Vec<C64> {
     fft_pow2_inplace(&mut a, Direction::Forward);
     fft_pow2_inplace(&mut b, Direction::Forward);
     for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft_pow2_inplace(&mut a, Direction::Inverse);
 
@@ -302,7 +305,7 @@ mod tests {
         // Naive 2-D: DFT each row, then each column.
         let mut slow = img.clone();
         for r in 0..28 {
-            let t = dft_naive(&slow.row(r).to_vec(), Direction::Forward);
+            let t = dft_naive(slow.row(r), Direction::Forward);
             for (c, z) in t.into_iter().enumerate() {
                 slow[(r, c)] = z;
             }

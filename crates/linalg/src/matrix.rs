@@ -91,7 +91,10 @@ impl CMatrix {
     ///
     /// Panics if the rows are ragged or empty.
     pub fn from_real_rows(rows: &[&[f64]]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "rows must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "rows must be non-empty"
+        );
         let cols = rows[0].len();
         let mut m = Self::zeros(rows.len(), cols);
         for (r, row) in rows.iter().enumerate() {
@@ -239,6 +242,42 @@ impl CMatrix {
         Ok(out)
     }
 
+    /// Batched matrix product `self · rhs` whose column `j` is
+    /// **bit-identical** to `self.mul_vec(rhs.col(j))`.
+    ///
+    /// [`CMatrix::mul`] skips structurally zero elements of `self` as an
+    /// optimization, which can reorder the floating-point accumulation
+    /// relative to [`CMatrix::mul_vec`]. This variant keeps the exact
+    /// `k`-ascending accumulation order of `mul_vec` for every output
+    /// element, so a batch of sample vectors pushed through as one
+    /// matrix-matrix product reproduces the per-sample results to the last
+    /// bit. It is the reference implementation of the accumulation-order
+    /// contract that `spnn-engine`'s (tiled, split-plane) batched forward
+    /// kernel also honours for parity with the per-sample Monte-Carlo
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_batch(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix dimension mismatch in mul_batch"
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                let rrow = rhs.row(k);
+                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        out
+    }
+
     /// Matrix–vector product `self · v`.
     ///
     /// # Panics
@@ -279,7 +318,7 @@ impl CMatrix {
     pub fn scale(&self, k: C64) -> Self {
         let mut out = self.clone();
         for z in out.as_mut_slice() {
-            *z = *z * k;
+            *z *= k;
         }
         out
     }
@@ -329,7 +368,10 @@ impl CMatrix {
     ///
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> CMatrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of bounds"
+        );
         CMatrix::from_fn(rows, cols, |r, c| self[(r0 + r, c0 + c)])
     }
 
@@ -352,7 +394,9 @@ impl CMatrix {
 
     /// The main diagonal as a vector (length `min(rows, cols)`).
     pub fn diag(&self) -> Vec<C64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Sum of the elementwise relative deviation `Σ |aᵢⱼ − bᵢⱼ| / |bᵢⱼ|`.
@@ -416,7 +460,11 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         let mut out = self.clone();
         for (o, &r) in out.data.iter_mut().zip(rhs.data.iter()) {
             *o -= r;
@@ -525,7 +573,10 @@ mod tests {
     fn try_mul_rejects_bad_shapes() {
         let a = CMatrix::zeros(2, 3);
         let b = CMatrix::zeros(2, 3);
-        assert!(matches!(a.try_mul(&b), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.try_mul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -538,6 +589,37 @@ mod tests {
         for i in 0..3 {
             assert!(via_mat[(i, 0)].approx_eq(via_vec[i], 1e-14));
         }
+    }
+
+    #[test]
+    fn mul_batch_is_bit_identical_to_per_column_mul_vec() {
+        // Includes zero elements so the zero-skipping `mul` path and the
+        // order-preserving `mul_batch` path would differ if conflated.
+        let mut a = sample();
+        a[(0, 1)] = C64::zero();
+        a[(2, 0)] = C64::zero();
+        let x = CMatrix::from_fn(3, 5, |r, c| {
+            C64::new(
+                (r * 5 + c) as f64 * 0.3 - 1.0,
+                (c as f64) - (r as f64) * 0.7,
+            )
+        });
+        let batched = a.mul_batch(&x);
+        for j in 0..x.cols() {
+            let per_sample = a.mul_vec(&x.col(j));
+            for i in 0..a.rows() {
+                assert_eq!(batched[(i, j)].re.to_bits(), per_sample[i].re.to_bits());
+                assert_eq!(batched[(i, j)].im.to_bits(), per_sample[i].im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_batch")]
+    fn mul_batch_rejects_bad_shapes() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = a.mul_batch(&b);
     }
 
     #[test]

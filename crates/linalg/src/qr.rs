@@ -69,7 +69,7 @@ pub fn qr(a: &CMatrix) -> Result<Qr> {
             C64::one()
         };
         let alpha = -phase * norm_x;
-        v[0] = v[0] - alpha;
+        v[0] -= alpha;
         let v_norm_sq: f64 = v.iter().map(|z| z.abs_sq()).sum();
         if v_norm_sq < 1e-300 {
             continue; // x was already ±‖x‖·e₁
@@ -85,7 +85,7 @@ pub fn qr(a: &CMatrix) -> Result<Qr> {
             let w = w * tau;
             for i in k..m {
                 let upd = v[i - k] * w;
-                r[(i, j)] = r[(i, j)] - upd;
+                r[(i, j)] -= upd;
             }
         }
         // Q ← Q·H (accumulate from the right so Q = H₁·H₂·… at the end,
@@ -98,7 +98,7 @@ pub fn qr(a: &CMatrix) -> Result<Qr> {
             let w = w * tau;
             for j in k..m {
                 let upd = w * v[j - k].conj();
-                q[(i, j)] = q[(i, j)] - upd;
+                q[(i, j)] -= upd;
             }
         }
     }

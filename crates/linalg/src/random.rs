@@ -78,9 +78,13 @@ pub fn haar_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
     let mut u = f.q;
     for j in 0..n {
         let d = f.r[(j, j)];
-        let lambda = if d.abs() > 0.0 { d.unit_or_zero() } else { C64::one() };
+        let lambda = if d.abs() > 0.0 {
+            d.unit_or_zero()
+        } else {
+            C64::one()
+        };
         for i in 0..n {
-            u[(i, j)] = u[(i, j)] * lambda;
+            u[(i, j)] *= lambda;
         }
     }
     u
@@ -163,7 +167,11 @@ mod tests {
             let u = haar_unitary(3, &mut rng);
             let a = u[(0, 0)].arg();
             let q = if a >= 0.0 {
-                if a < std::f64::consts::FRAC_PI_2 { 0 } else { 1 }
+                if a < std::f64::consts::FRAC_PI_2 {
+                    0
+                } else {
+                    1
+                }
             } else if a >= -std::f64::consts::FRAC_PI_2 {
                 3
             } else {

@@ -255,7 +255,11 @@ mod tests {
         assert!(f.u.is_unitary(tol), "U not unitary");
         assert!(f.v.is_unitary(tol), "V not unitary");
         for w in f.s.windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted: {:?}", f.s);
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "singular values not sorted: {:?}",
+                f.s
+            );
         }
         assert!(f.s.iter().all(|&x| x >= 0.0), "negative singular value");
         assert!(f.reconstruct().approx_eq(a, tol), "U Σ Vᴴ != A");
@@ -289,11 +293,7 @@ mod tests {
 
     #[test]
     fn svd_diagonal_matrix() {
-        let a = CMatrix::from_diag(&[
-            C64::from(5.0),
-            C64::from(1.0),
-            C64::from(3.0),
-        ]);
+        let a = CMatrix::from_diag(&[C64::from(5.0), C64::from(1.0), C64::from(3.0)]);
         let f = svd(&a).unwrap();
         assert!((f.s[0] - 5.0).abs() < 1e-12);
         assert!((f.s[1] - 3.0).abs() < 1e-12);

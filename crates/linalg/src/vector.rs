@@ -40,7 +40,7 @@ pub fn norm_sq(a: &[C64]) -> f64 {
 /// Scales a vector in place by a complex factor.
 pub fn scale_inplace(a: &mut [C64], k: C64) {
     for z in a {
-        *z = *z * k;
+        *z *= k;
     }
 }
 

@@ -1,14 +1,14 @@
 //! Property-based tests for the linear-algebra kernels.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_linalg::fft::{fft, fftshift, ifftshift, Direction};
 use spnn_linalg::qr::qr;
 use spnn_linalg::random::{gaussian_complex, haar_unitary};
 use spnn_linalg::svd::svd;
 use spnn_linalg::vector::{dot, norm, norm_sq};
-use spnn_linalg::{C64, CMatrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spnn_linalg::{CMatrix, C64};
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> CMatrix {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -15,7 +15,7 @@
 
 use crate::mesh::UnitaryMesh;
 use crate::MeshError;
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 
 /// Numerical tolerance below which matrix elements are treated as zero
 /// during nulling.
@@ -45,7 +45,11 @@ const NULL_EPS: f64 = 1e-13;
 pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
     let n = check_unitary(u)?;
     if n == 1 {
-        return Ok(UnitaryMesh::from_physical_order(1, &[], vec![u[(0, 0)].arg()]));
+        return Ok(UnitaryMesh::from_physical_order(
+            1,
+            &[],
+            vec![u[(0, 0)].arg()],
+        ));
     }
 
     let mut w = u.clone();
@@ -104,7 +108,11 @@ pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
         .into_iter()
         .map(|(m, t, p)| (m, t, wrap_phase(p)))
         .collect();
-    Ok(UnitaryMesh::from_physical_order(n, &physical, output_phases))
+    Ok(UnitaryMesh::from_physical_order(
+        n,
+        &physical,
+        output_phases,
+    ))
 }
 
 /// Validates shape and unitarity; returns the dimension.
@@ -223,15 +231,9 @@ fn absorb_into_diagonal(theta: f64, phi: f64, d1: C64, d2: C64) -> (f64, f64, C6
     };
     let pre = C64::i() * C64::cis(theta2 / 2.0);
     let (d1p, d2p) = if c > eps {
-        (
-            m12 / (pre.scale(c)),
-            m21 / (pre * C64::cis(phi2).scale(c)),
-        )
+        (m12 / (pre.scale(c)), m21 / (pre * C64::cis(phi2).scale(c)))
     } else {
-        (
-            m11 / (pre * C64::cis(phi2).scale(s)),
-            -m22 / (pre.scale(s)),
-        )
+        (m11 / (pre * C64::cis(phi2).scale(s)), -m22 / (pre.scale(s)))
     };
     (theta2, phi2, d1p.unit_or_zero(), d2p.unit_or_zero())
 }
@@ -239,9 +241,9 @@ fn absorb_into_diagonal(theta: f64, phi: f64, d1: C64, d2: C64) -> (f64, f64, C6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spnn_linalg::random::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::random::haar_unitary;
 
     #[test]
     fn absorption_identity() {
@@ -331,12 +333,7 @@ mod tests {
     #[test]
     fn decompose_diagonal_phase_matrix() {
         let n = 4;
-        let u = CMatrix::from_diag(&[
-            C64::cis(0.3),
-            C64::cis(-1.2),
-            C64::cis(2.9),
-            C64::cis(0.0),
-        ]);
+        let u = CMatrix::from_diag(&[C64::cis(0.3), C64::cis(-1.2), C64::cis(2.9), C64::cis(0.0)]);
         let mesh = decompose(&u).unwrap();
         assert!(mesh.matrix().approx_eq(&u, 1e-10));
         let _ = n;

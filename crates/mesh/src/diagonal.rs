@@ -11,7 +11,7 @@
 //! (their θ/φ shifters and both splitters are physical devices); EXP 1
 //! perturbs them, EXP 2 holds them error-free (paper §III-D).
 
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 use spnn_photonics::Mzi;
 use std::f64::consts::{FRAC_PI_2, TAU};
 
@@ -56,7 +56,10 @@ impl DiagonalLine {
             out_dim.min(in_dim),
             "need min(out, in) singular values"
         );
-        assert!(values.iter().all(|&s| s >= 0.0), "singular values must be non-negative");
+        assert!(
+            values.iter().all(|&s| s >= 0.0),
+            "singular values must be non-negative"
+        );
         let max = values.iter().cloned().fold(0.0, f64::max);
         let beta = if max > 0.0 { max } else { 1.0 };
         let mut thetas = Vec::with_capacity(values.len());

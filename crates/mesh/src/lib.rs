@@ -71,7 +71,10 @@ impl fmt::Display for MeshError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MeshError::NotSquare { rows, cols } => {
-                write!(f, "mesh synthesis requires a square matrix, got {rows}x{cols}")
+                write!(
+                    f,
+                    "mesh synthesis requires a square matrix, got {rows}x{cols}"
+                )
             }
             MeshError::NotUnitary { deviation } => {
                 write!(f, "matrix is not unitary (deviation {deviation:.3e})")

@@ -11,7 +11,7 @@
 //! evaluate itself, including with per-MZI faulty device models, which is
 //! what the uncertainty experiments need.
 
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 use spnn_photonics::Mzi;
 
 /// One MZI inside a mesh: grid placement plus tuned phases.
@@ -76,9 +76,17 @@ impl UnitaryMesh {
     ///
     /// Panics if `output_phases.len() != n`, if any device's `top + 1 >= n`,
     /// or if `n == 0`.
-    pub fn from_physical_order(n: usize, ts: &[(usize, f64, f64)], output_phases: Vec<f64>) -> Self {
+    pub fn from_physical_order(
+        n: usize,
+        ts: &[(usize, f64, f64)],
+        output_phases: Vec<f64>,
+    ) -> Self {
         assert!(n > 0, "mesh size must be positive");
-        assert_eq!(output_phases.len(), n, "output phase screen must have n entries");
+        assert_eq!(
+            output_phases.len(),
+            n,
+            "output phase screen must have n entries"
+        );
         let mut next_free = vec![0usize; n];
         let mut mzis = Vec::with_capacity(ts.len());
         for &(top, theta, phi) in ts {
@@ -162,7 +170,7 @@ impl UnitaryMesh {
             if phase != 0.0 {
                 let ph = C64::cis(phase);
                 for c in 0..self.n {
-                    acc[(mode, c)] = acc[(mode, c)] * ph;
+                    acc[(mode, c)] *= ph;
                 }
             }
         }
@@ -199,7 +207,7 @@ impl UnitaryMesh {
         }
         for (mode, &phase) in self.output_phases.iter().enumerate() {
             if phase != 0.0 {
-                field[mode] = field[mode] * C64::cis(phase);
+                field[mode] *= C64::cis(phase);
             }
         }
         field
@@ -211,7 +219,9 @@ impl UnitaryMesh {
     pub fn phase_load(&self) -> Vec<f64> {
         self.mzis
             .iter()
-            .map(|m| m.theta.rem_euclid(std::f64::consts::TAU) + m.phi.rem_euclid(std::f64::consts::TAU))
+            .map(|m| {
+                m.theta.rem_euclid(std::f64::consts::TAU) + m.phi.rem_euclid(std::f64::consts::TAU)
+            })
             .collect()
     }
 }
@@ -235,11 +245,7 @@ mod tests {
 
     fn two_mzi_mesh() -> UnitaryMesh {
         // Three modes, two MZIs: (0,1) then (1,2), no output phases.
-        UnitaryMesh::from_physical_order(
-            3,
-            &[(0, 1.0, 0.5), (1, 2.0, 0.25)],
-            vec![0.0; 3],
-        )
+        UnitaryMesh::from_physical_order(3, &[(0, 1.0, 0.5), (1, 2.0, 0.25)], vec![0.0; 3])
     }
 
     #[test]
@@ -250,11 +256,8 @@ mod tests {
         assert_eq!(mesh.n_columns(), 2);
 
         // Disjoint modes share a column.
-        let mesh = UnitaryMesh::from_physical_order(
-            4,
-            &[(0, 1.0, 0.0), (2, 1.0, 0.0)],
-            vec![0.0; 4],
-        );
+        let mesh =
+            UnitaryMesh::from_physical_order(4, &[(0, 1.0, 0.0), (2, 1.0, 0.0)], vec![0.0; 4]);
         assert_eq!(mesh.mzis()[0].column, 0);
         assert_eq!(mesh.mzis()[1].column, 0);
         assert_eq!(mesh.n_columns(), 1);

@@ -48,7 +48,11 @@ pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
         return Err(MeshError::NotUnitary { deviation: dev });
     }
     if n == 1 {
-        return Ok(UnitaryMesh::from_physical_order(1, &[], vec![u[(0, 0)].arg()]));
+        return Ok(UnitaryMesh::from_physical_order(
+            1,
+            &[],
+            vec![u[(0, 0)].arg()],
+        ));
     }
 
     let mut w = u.clone();
@@ -68,15 +72,19 @@ pub fn decompose(u: &CMatrix) -> Result<UnitaryMesh, MeshError> {
         .into_iter()
         .map(|(m, t, p)| (m, t, wrap_phase(p)))
         .collect();
-    Ok(UnitaryMesh::from_physical_order(n, &physical, output_phases))
+    Ok(UnitaryMesh::from_physical_order(
+        n,
+        &physical,
+        output_phases,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spnn_linalg::random::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::random::haar_unitary;
 
     #[test]
     fn decompose_reconstruct_small_sizes() {

@@ -37,10 +37,10 @@ pub fn rvd(realized: &CMatrix, intended: &CMatrix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spnn_linalg::random::haar_unitary;
-    use spnn_linalg::C64;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::random::haar_unitary;
+    use spnn_linalg::C64;
 
     #[test]
     fn rvd_zero_iff_identical() {
@@ -63,12 +63,15 @@ mod tests {
         let u = haar_unitary(4, &mut rng);
         let bump = |eps: f64| {
             let mut w = u.clone();
-            w[(0, 0)] = w[(0, 0)] + C64::new(eps, 0.0);
+            w[(0, 0)] += C64::new(eps, 0.0);
             rvd(&w, &u)
         };
         let small = bump(1e-4);
         let large = bump(1e-2);
-        assert!(large > small * 50.0, "RVD should grow ~linearly: {small} {large}");
+        assert!(
+            large > small * 50.0,
+            "RVD should grow ~linearly: {small} {large}"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl ZoneGrid {
         let max_grid_row = mesh.mzis().iter().map(|m| m.grid_row()).max().unwrap_or(0);
         let n_cols = mesh.n_columns().max(1);
         let rows = (max_grid_row + 2) / 2; // ceil((max+1)/2)
-        let cols = (n_cols + 1) / 2; // ceil(cols/2)
+        let cols = n_cols.div_ceil(2); // ceil(cols/2)
         let mut members = vec![vec![Vec::new(); cols]; rows];
         for (idx, site) in mesh.mzis().iter().enumerate() {
             let zr = site.grid_row() / 2;
@@ -106,9 +106,9 @@ impl ZoneGrid {
 mod tests {
     use super::*;
     use crate::clements;
-    use spnn_linalg::random::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spnn_linalg::random::haar_unitary;
 
     fn mesh(n: usize, seed: u64) -> UnitaryMesh {
         let u = haar_unitary(n, &mut StdRng::seed_from_u64(seed));
@@ -159,9 +159,12 @@ mod tests {
         for (_, members) in zones.iter() {
             counts.push(members.len());
         }
-        assert!(counts.iter().all(|&c| c >= 2 && c <= 4));
+        assert!(counts.iter().all(|&c| (2..=4).contains(&c)));
         let fours = counts.iter().filter(|&&c| c == 4).count();
-        assert!(fours >= zones.n_zones() / 2, "most zones should be full 2×2");
+        assert!(
+            fours >= zones.n_zones() / 2,
+            "most zones should be full 2×2"
+        );
     }
 
     #[test]

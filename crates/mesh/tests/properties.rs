@@ -1,13 +1,13 @@
 //! Property-based tests for mesh synthesis and simulation.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_linalg::random::{gaussian_vector, haar_unitary};
 use spnn_linalg::vector::norm_sq;
 use spnn_mesh::rvd::rvd;
 use spnn_mesh::{clements, reck, DiagonalLine, ZoneGrid};
 use spnn_photonics::UncertaintySpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]

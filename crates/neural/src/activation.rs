@@ -8,13 +8,137 @@
 
 use spnn_linalg::C64;
 
+/// `e^{−t}` for `t ≥ 0` via range reduction and a degree-12 Estrin-scheme
+/// polynomial — straight-line f64 arithmetic with no branches and no libm
+/// calls, so the compiler can vectorize activation loops over contiguous
+/// batches while scalar and SIMD evaluations stay bit-identical (same
+/// operations, independent lanes).
+///
+/// Relative error < 3e-16 on the reduced interval. Inputs are clamped at
+/// 709, where the 2^n scale factor becomes exactly 0 — the same 0 the
+/// libm formulation underflows to. NaN propagates (the saturating
+/// `NaN as i64` cast yields scale 1 and the polynomial keeps the NaN), so
+/// an upstream numeric fault surfaces instead of masquerading as 0.
+#[inline(always)]
+fn exp_neg(t: f64) -> f64 {
+    debug_assert!(
+        t >= 0.0 || t.is_nan(),
+        "exp_neg expects t >= 0 (or NaN), got {t}"
+    );
+    const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    // NaN-preserving clamp (`f64::min` would swallow the NaN).
+    let t = if t > 709.1 { 709.1 } else { t };
+    let y = -t;
+    let n = (y * std::f64::consts::LOG2_E).round_ties_even();
+    // Two-part Cody–Waite reduction: r = y − n·ln2 ∈ [−ln2/2, ln2/2].
+    let r = (y - n * LN2_HI) - n * LN2_LO;
+    // e^r = Σ r^k/k!, k ≤ 12 (the k = 13 remainder is < 2e-16 relative),
+    // evaluated Estrin-style to keep the dependency chain short.
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p01 = 1.0 + r;
+    let p23 = 1.0 / 2.0 + r * (1.0 / 6.0);
+    let p45 = 1.0 / 24.0 + r * (1.0 / 120.0);
+    let p67 = 1.0 / 720.0 + r * (1.0 / 5_040.0);
+    let p89 = 1.0 / 40_320.0 + r * (1.0 / 362_880.0);
+    let p1011 = 1.0 / 3_628_800.0 + r * (1.0 / 39_916_800.0);
+    let a = p01 + r2 * p23;
+    let b = p45 + r2 * p67;
+    let c = p89 + r2 * p1011;
+    let d = 1.0 / 479_001_600.0;
+    let low = a + r4 * b;
+    let high = c + r4 * d;
+    let p = low + r8 * high;
+    // 2^n for n ∈ [−1023, 0], built directly from the exponent bits
+    // (n = −1023 gives the all-zero pattern, i.e. exactly 0.0).
+    let scale = f64::from_bits(((n as i64 + 1023) as u64) << 52);
+    p * scale
+}
+
+/// `ln(1 + u)` for `u ∈ [0, 1]` as `u · Q(u)` with a degree-21 Chebyshev
+/// polynomial `Q ≈ ln(1+u)/u` (coefficients fitted at 45-digit precision;
+/// worst relative error 1.1e-14 over the interval). Division-free,
+/// branch-free, select-free — mul/add only — so it vectorizes to pure
+/// `vmulpd`/`vaddpd` streams. `Q(0) = 1` exactly, so the deep tail
+/// (`u → 0`) returns `u` itself with vanishing relative error.
+#[inline(always)]
+fn ln_1p_unit(u: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&u) || u.is_nan(),
+        "ln_1p_unit expects u in [0, 1] (or NaN), got {u}"
+    );
+    const Q: [f64; 22] = [
+        1.0,
+        -0.49999999999924183,
+        0.33333333328372006,
+        -0.2499999976605303,
+        0.19999993210767766,
+        -0.16666546159020404,
+        0.14284320411215368,
+        -0.12488865029542943,
+        0.11046999932925998,
+        -0.09725940018684134,
+        0.08203622424120112,
+        -0.061304859365163895,
+        0.03470461924839339,
+        -0.008782192991243921,
+        -0.0056015099516097564,
+        0.0036703733141880755,
+        0.0067014098459350704,
+        -0.012924182782667213,
+        0.01070219441875136,
+        -0.005083833215212285,
+        0.0013541833764644643,
+        -0.00015820467965422803,
+    ];
+    // Estrin evaluation: short dependency chains, plenty of ILP.
+    let u2 = u * u;
+    let u4 = u2 * u2;
+    let u8 = u4 * u4;
+    let u16 = u8 * u8;
+    let p01 = Q[0] + u * Q[1];
+    let p23 = Q[2] + u * Q[3];
+    let p45 = Q[4] + u * Q[5];
+    let p67 = Q[6] + u * Q[7];
+    let p89 = Q[8] + u * Q[9];
+    let p1011 = Q[10] + u * Q[11];
+    let p1213 = Q[12] + u * Q[13];
+    let p1415 = Q[14] + u * Q[15];
+    let p1617 = Q[16] + u * Q[17];
+    let p1819 = Q[18] + u * Q[19];
+    let p2021 = Q[20] + u * Q[21];
+    let a0 = p01 + u2 * p23;
+    let a1 = p45 + u2 * p67;
+    let a2 = p89 + u2 * p1011;
+    let a3 = p1213 + u2 * p1415;
+    let a4 = p1617 + u2 * p1819;
+    let a5 = p2021;
+    let b0 = a0 + u4 * a1;
+    let b1 = a2 + u4 * a3;
+    let b2 = a4 + u4 * a5;
+    let c0 = b0 + u8 * b1;
+    u * (c0 + u16 * b2)
+}
+
 /// Numerically stable softplus `ln(1 + eˣ)`.
+///
+/// Computed as `max(x, 0) + ln(1 + e^{−|x|})` (overflow-free) on top of
+/// the branchless arithmetic kernels [`exp_neg`] / [`ln_1p_unit`]
+/// instead of libm, so the batched forward path (`spnn-engine`) can
+/// auto-vectorize whole activation planes while remaining bit-identical
+/// to per-sample evaluation. Agrees with the libm formulation to better
+/// than 1e-13 relative error for `x ≥ −18`; for deeper negative inputs
+/// (where softplus itself is < 2e-8) the error stays below 1e-16
+/// absolute (pinned by tests).
+#[inline(always)]
 pub fn softplus(x: f64) -> f64 {
-    // max(x, 0) + ln(1 + e^{−|x|}) avoids overflow for large |x|.
-    x.max(0.0) + (-x.abs()).exp().ln_1p()
+    x.max(0.0) + ln_1p_unit(exp_neg(x.abs()))
 }
 
 /// Logistic sigmoid `1 / (1 + e^{−x})` — the derivative of softplus.
+#[inline]
 pub fn sigmoid(x: f64) -> f64 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
@@ -24,11 +148,23 @@ pub fn sigmoid(x: f64) -> f64 {
     }
 }
 
+/// The modulus used by the activation paths: `√(re² + im²)` evaluated as
+/// `abs_sq().sqrt()` rather than `hypot`, so the batched forward can
+/// vectorize it (`hypot` is a libm call; `sqrt` is a single instruction).
+/// Over/underflow of the squares is impossible for the O(1) field
+/// amplitudes this network propagates.
+#[inline]
+fn activation_modulus(v: C64) -> f64 {
+    v.abs_sq().sqrt()
+}
+
 /// Softplus-on-modulus forward: `aᵢ = softplus(|zᵢ|)` (a *real* vector
 /// returned as complex with zero imaginary part, since downstream layers
 /// multiply it with complex weights).
 pub fn mod_softplus(z: &[C64]) -> Vec<C64> {
-    z.iter().map(|v| C64::from(softplus(v.abs()))).collect()
+    z.iter()
+        .map(|v| C64::from(softplus(activation_modulus(*v))))
+        .collect()
 }
 
 /// Backward pass of [`mod_softplus`]: `g_z = Re(g_a)·σ(|z|)·z/|z|`.
@@ -89,6 +225,43 @@ mod tests {
     }
 
     #[test]
+    fn softplus_matches_libm_reference_everywhere() {
+        // The libm formulation the polynomial kernels replace.
+        fn reference(x: f64) -> f64 {
+            x.max(0.0) + (-x.abs()).exp().ln_1p()
+        }
+        let mut x = -60.0;
+        while x <= 60.0 {
+            let fast = softplus(x);
+            let slow = reference(x);
+            // Relative in the main range; absolute (≪ any consumer's
+            // resolution) in the deep-negative tail where the branchless
+            // ln1p returns u instead of u − u²/2.
+            let err = (fast - slow).abs();
+            assert!(
+                err / slow.abs().max(1e-300) < 1e-13 || err < 1e-16,
+                "x={x}: fast {fast:e} vs libm {slow:e}"
+            );
+            x += 0.00917; // irrational-ish step to avoid hitting only round values
+        }
+        // Deep negative tail stays positive and finite like the reference.
+        assert!(softplus(-300.0) > 0.0);
+        assert!(softplus(-300.0) < 1e-128);
+        assert_eq!(softplus(-1000.0), 0.0);
+        assert_eq!(softplus(1000.0), 1000.0);
+    }
+
+    #[test]
+    fn softplus_nonfinite_inputs() {
+        // NaN must propagate (an upstream fault should not become a
+        // confident zero activation), and infinities keep the libm
+        // formulation's limits.
+        assert!(softplus(f64::NAN).is_nan());
+        assert_eq!(softplus(f64::INFINITY), f64::INFINITY);
+        assert_eq!(softplus(f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
     fn sigmoid_is_softplus_derivative() {
         for &x in &[-3.0, -0.5, 0.0, 0.7, 4.0] {
             let h = 1e-6;
@@ -124,19 +297,41 @@ mod tests {
         for i in 0..z.len() {
             let mut zp = z;
             zp[i].re += h;
-            let lp: f64 = zp.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            let lp: f64 = zp
+                .iter()
+                .zip(w.iter())
+                .map(|(v, &wi)| wi * softplus(v.abs()))
+                .sum();
             let mut zm = z;
             zm[i].re -= h;
-            let lm: f64 = zm.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
-            assert!(((lp - lm) / (2.0 * h) - analytic[i].re).abs() < 1e-6, "re[{i}]");
+            let lm: f64 = zm
+                .iter()
+                .zip(w.iter())
+                .map(|(v, &wi)| wi * softplus(v.abs()))
+                .sum();
+            assert!(
+                ((lp - lm) / (2.0 * h) - analytic[i].re).abs() < 1e-6,
+                "re[{i}]"
+            );
 
             let mut zp = z;
             zp[i].im += h;
-            let lp: f64 = zp.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
+            let lp: f64 = zp
+                .iter()
+                .zip(w.iter())
+                .map(|(v, &wi)| wi * softplus(v.abs()))
+                .sum();
             let mut zm = z;
             zm[i].im -= h;
-            let lm: f64 = zm.iter().zip(w.iter()).map(|(v, &wi)| wi * softplus(v.abs())).sum();
-            assert!(((lp - lm) / (2.0 * h) - analytic[i].im).abs() < 1e-6, "im[{i}]");
+            let lm: f64 = zm
+                .iter()
+                .zip(w.iter())
+                .map(|(v, &wi)| wi * softplus(v.abs()))
+                .sum();
+            assert!(
+                ((lp - lm) / (2.0 * h) - analytic[i].im).abs() < 1e-6,
+                "im[{i}]"
+            );
         }
     }
 
@@ -154,7 +349,12 @@ mod tests {
         let analytic = intensity_backward(&z, &w);
         let h = 1e-6;
         for i in 0..z.len() {
-            let loss = |zz: &[C64]| -> f64 { zz.iter().zip(w.iter()).map(|(v, &wi)| wi * v.abs_sq()).sum() };
+            let loss = |zz: &[C64]| -> f64 {
+                zz.iter()
+                    .zip(w.iter())
+                    .map(|(v, &wi)| wi * v.abs_sq())
+                    .sum()
+            };
             let mut zp = z;
             zp[i].re += h;
             let mut zm = z;

@@ -5,9 +5,9 @@
 //! trained network must be bias-free for the hardware mapping `M = U·Σ·Vᴴ`
 //! to be exact.
 
-use spnn_linalg::random::gaussian;
-use spnn_linalg::{C64, CMatrix};
 use rand::Rng;
+use spnn_linalg::random::gaussian;
+use spnn_linalg::{CMatrix, C64};
 
 /// A complex dense layer `z = W·a` with gradient accumulation.
 ///
@@ -107,10 +107,9 @@ impl DenseLayer {
         assert_eq!(input.len(), self.in_dim(), "input dim mismatch");
         assert_eq!(grad_out.len(), self.out_dim(), "grad dim mismatch");
         // ∇W[r][c] += g_z[r]·conj(a[c])
-        for r in 0..self.out_dim() {
-            let g = grad_out[r];
-            for c in 0..self.in_dim() {
-                let upd = g * input[c].conj();
+        for (r, &g) in grad_out.iter().enumerate() {
+            for (c, a) in input.iter().enumerate() {
+                let upd = g * a.conj();
                 self.grad[(r, c)] += upd;
             }
         }

@@ -64,7 +64,7 @@ mod tests {
         let uniform = cross_entropy(&[1.0, 1.0, 1.0], 1);
         assert!((uniform - (3.0f64).ln()).abs() < 1e-12);
         let confident = cross_entropy(&[0.0, 50.0, 0.0], 1);
-        assert!(confident >= 0.0 && confident < 1e-12);
+        assert!((0.0..1e-12).contains(&confident));
     }
 
     #[test]

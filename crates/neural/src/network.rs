@@ -10,9 +10,9 @@
 use crate::activation::{intensity, intensity_backward, mod_softplus, mod_softplus_backward};
 use crate::layer::DenseLayer;
 use crate::loss::{argmax, cross_entropy, cross_entropy_grad};
-use spnn_linalg::{C64, CMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spnn_linalg::{CMatrix, C64};
 
 /// A bias-free complex feedforward classifier.
 ///

@@ -20,7 +20,7 @@
 //! separately from phase shifters.
 
 use crate::constants::SPLIT_50_50;
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 
 /// A symmetric, lossless 2×2 beam splitter with reflectance `r` and
 /// transmittance `t = √(1 − r²)`.

@@ -20,7 +20,7 @@
 //! errors, Eqs. (3)–(4), generates the Fig. 2 deviation surfaces.
 
 use crate::beam_splitter::BeamSplitter;
-use spnn_linalg::{C64, CMatrix};
+use spnn_linalg::{CMatrix, C64};
 
 /// A 2×2 Mach–Zehnder interferometer.
 ///
@@ -490,7 +490,9 @@ mod tests {
     #[test]
     fn bar_amplitude_matches_t11() {
         let mzi = Mzi::ideal(0.8, 1.9);
-        assert!(mzi.bar_amplitude().approx_eq(mzi.transfer_matrix()[(0, 0)], 1e-15));
+        assert!(mzi
+            .bar_amplitude()
+            .approx_eq(mzi.transfer_matrix()[(0, 0)], 1e-15));
     }
 
     #[test]
@@ -514,7 +516,10 @@ mod tests {
         let small = er(0.01);
         let large = er(0.05);
         assert!(small.is_finite() && large.is_finite());
-        assert!(small > large, "bigger imbalance ⇒ worse ER: {small} vs {large}");
+        assert!(
+            small > large,
+            "bigger imbalance ⇒ worse ER: {small} vs {large}"
+        );
         assert!(large > 10.0, "5% error still leaves a usable device");
     }
 

@@ -16,9 +16,9 @@
 //! units (e.g. a reflectance offset or a phase offset). Correlation decays
 //! with distance on the scale `correlation_length_um`.
 
-use spnn_linalg::random::gaussian;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use spnn_linalg::random::gaussian;
 
 /// A smooth, seeded random field over the chip plane.
 ///
@@ -50,7 +50,10 @@ impl SpatialField {
     ///
     /// Panics if `correlation_length_um <= 0` or `n_modes == 0`.
     pub fn new(seed: u64, correlation_length_um: f64, n_modes: usize) -> Self {
-        assert!(correlation_length_um > 0.0, "correlation length must be positive");
+        assert!(
+            correlation_length_um > 0.0,
+            "correlation length must be positive"
+        );
         assert!(n_modes > 0, "need at least one mode");
         let mut rng = StdRng::seed_from_u64(seed);
         // Wafer-scale gradient: gentle, random direction.
@@ -66,8 +69,8 @@ impl SpatialField {
             .map(|_| {
                 let dir = rng.gen::<f64>() * std::f64::consts::TAU;
                 // Wavenumber magnitude spread around 2π/L.
-                let k_mag = std::f64::consts::TAU / correlation_length_um
-                    * (0.5 + rng.gen::<f64>());
+                let k_mag =
+                    std::f64::consts::TAU / correlation_length_um * (0.5 + rng.gen::<f64>());
                 let psi = rng.gen::<f64>() * std::f64::consts::TAU;
                 let c = amp * (0.5 + 0.5 * gaussian(&mut rng).abs()).min(1.5);
                 (k_mag * dir.cos(), k_mag * dir.sin(), c, psi)
@@ -114,10 +117,7 @@ impl SpatialField {
             let y = rng.gen::<f64>() * die_um;
             let dir = rng.gen::<f64>() * std::f64::consts::TAU;
             xs.push(self.value(x, y));
-            ys.push(self.value(
-                x + separation_um * dir.cos(),
-                y + separation_um * dir.sin(),
-            ));
+            ys.push(self.value(x + separation_um * dir.cos(), y + separation_um * dir.sin()));
         }
         correlation(&xs, &ys)
     }
@@ -156,7 +156,12 @@ impl CorrelatedFpv {
     /// Creates a correlated-FPV model. `phase_sigma_rad` and `refl_sigma`
     /// set the RMS scale of the phase (radians) and reflectance offsets;
     /// `correlation_length_um` sets the smoothness.
-    pub fn new(seed: u64, correlation_length_um: f64, phase_sigma_rad: f64, refl_sigma: f64) -> Self {
+    pub fn new(
+        seed: u64,
+        correlation_length_um: f64,
+        phase_sigma_rad: f64,
+        refl_sigma: f64,
+    ) -> Self {
         Self {
             phase_field: SpatialField::new(seed ^ 0x9A5E, correlation_length_um, 8),
             refl_field: SpatialField::new(seed ^ 0x0BE5, correlation_length_um, 8),
@@ -193,7 +198,10 @@ mod tests {
     fn nearby_points_are_strongly_correlated() {
         let field = SpatialField::new(3, 400.0, 8);
         let near = field.empirical_correlation(20.0, 3000.0, 4000, 7);
-        assert!(near > 0.9, "20 µm apart with 400 µm correlation length: {near}");
+        assert!(
+            near > 0.9,
+            "20 µm apart with 400 µm correlation length: {near}"
+        );
     }
 
     #[test]
@@ -229,7 +237,10 @@ mod tests {
         let p = fpv.phase_offset(100.0, 100.0);
         let r = fpv.reflectance_offset(100.0, 100.0);
         assert!(p.abs() < 1.0, "phase offset {p} should be ~0.1-scale");
-        assert!(r.abs() < 0.2, "reflectance offset {r} should be ~0.02-scale");
+        assert!(
+            r.abs() < 0.2,
+            "reflectance offset {r} should be ~0.02-scale"
+        );
         // Zero sigma kills the offsets.
         let off = CorrelatedFpv::new(6, 300.0, 0.0, 0.0);
         assert_eq!(off.phase_offset(50.0, 50.0), 0.0);

@@ -178,11 +178,17 @@ mod tests {
         // Victim at origin; one aggressor close, scenario two: same aggressor far.
         let near = model.phase_errors(
             &[0.0, PI],
-            &[HeaterPosition::new(0.0, 0.0), HeaterPosition::new(0.0, 20.0)],
+            &[
+                HeaterPosition::new(0.0, 0.0),
+                HeaterPosition::new(0.0, 20.0),
+            ],
         );
         let far = model.phase_errors(
             &[0.0, PI],
-            &[HeaterPosition::new(0.0, 0.0), HeaterPosition::new(0.0, 100.0)],
+            &[
+                HeaterPosition::new(0.0, 0.0),
+                HeaterPosition::new(0.0, 100.0),
+            ],
         );
         assert!(near[0] > far[0]);
         assert!(far[0] > 0.0);

@@ -93,7 +93,10 @@ impl UncertaintySpec {
     ///
     /// Panics if either sigma is negative.
     pub fn new(sigma_phs: f64, sigma_bes: f64, target: PerturbTarget) -> Self {
-        assert!(sigma_phs >= 0.0 && sigma_bes >= 0.0, "sigmas must be non-negative");
+        assert!(
+            sigma_phs >= 0.0 && sigma_bes >= 0.0,
+            "sigmas must be non-negative"
+        );
         Self {
             sigma_phs,
             sigma_bes,
@@ -258,7 +261,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let expect = spec.phase_sigma_rad().powi(2);
-        assert!((phase_var / expect - 1.0).abs() < 0.05, "var {phase_var} vs {expect}");
+        assert!(
+            (phase_var / expect - 1.0).abs() < 0.05,
+            "var {phase_var} vs {expect}"
+        );
 
         let refl_var: f64 = (0..n)
             .map(|_| spec.sample_reflectance_error(&mut rng).powi(2))

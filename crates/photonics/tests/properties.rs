@@ -1,13 +1,13 @@
 //! Property-based tests for the photonic component and device models.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn_photonics::mzi::{first_order_deviation, ideal_transfer, phase_sensitivity};
 use spnn_photonics::phase_shifter::quantize_phase;
 use spnn_photonics::spatial::SpatialField;
 use spnn_photonics::thermal::{HeaterPosition, ThermalCrosstalk};
 use spnn_photonics::{BeamSplitter, Mzi, PhaseShifter, UncertaintySpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

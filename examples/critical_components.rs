@@ -6,11 +6,11 @@
 //!
 //! Run with: `cargo run --release --example critical_components`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn::core::criticality::{analyze_mesh, rank_by_rvd};
 use spnn::linalg::random::haar_unitary;
 use spnn::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = UncertaintySpec::both(0.05);

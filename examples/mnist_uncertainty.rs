@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ASCII rendition of Fig. 4.
     println!("accuracy (%) vs σ — the three curves of Fig. 4:");
-    println!("{:>7} {:>10} {:>10} {:>10}", "σ", "PhS-only", "BeS-only", "both");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "σ", "PhS-only", "BeS-only", "both"
+    );
     for &sigma in &cfg.sigmas {
         let find = |mode: PerturbTarget| {
             points

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let hw = PhotonicNetwork::from_network(&net, MeshTopology::Clements, None)?;
     let nominal = hw.ideal_accuracy(&data.test_features, &data.test_labels);
-    println!("nominal accuracy (continuous phases): {:.1}%\n", nominal * 100.0);
+    println!(
+        "nominal accuracy (continuous phases): {:.1}%\n",
+        nominal * 100.0
+    );
 
     let mature_noise = UncertaintySpec::both(0.0334);
     println!(

@@ -4,14 +4,14 @@
 //!
 //! Run with: `cargo run --release --example thermal_crosstalk`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn::core::{HardwareEffects, PerturbationPlan};
 use spnn::linalg::random::haar_unitary;
 use spnn::mesh::rvd::rvd;
 use spnn::photonics::thermal::{HeaterPosition, ThermalCrosstalk};
 use spnn::photonics::PhaseShifter;
 use spnn::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Component level: two neighbouring heaters.
@@ -93,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             1, // deterministic effect → single evaluation
             1,
         );
-        println!("  κ = {kappa:<6}: {:.1}%  (−{:.1} pts)", r.mean * 100.0, (nominal - r.mean) * 100.0);
+        println!(
+            "  κ = {kappa:<6}: {:.1}%  (−{:.1} pts)",
+            r.mean * 100.0,
+            (nominal - r.mean) * 100.0
+        );
     }
     println!("\ncrosstalk is deterministic given the tuned phases — a calibration loop could cancel it (ref. [9]), unlike random FPVs.");
     Ok(())

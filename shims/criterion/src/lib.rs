@@ -1,0 +1,229 @@
+//! Offline shim of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without crates.io access, so this crate vendors the
+//! API slice the SPNN benches use — [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::bench_function`], benchmark groups with `sample_size` and
+//! `bench_with_input`, and [`Bencher::iter`] — backed by a simple but honest
+//! measurement loop: per sample, the closure is run in a timed batch sized
+//! to ~[`Criterion::target_batch_time`], and the median ns/iteration over
+//! all samples is reported.
+//!
+//! Statistical niceties of real criterion (outlier classification, HTML
+//! reports, regression detection) are out of scope; the numbers printed
+//! here are stable enough for the ≥×-style throughput comparisons the
+//! ROADMAP asks for.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    target_batch: Duration,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    pub median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iteration across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: run once, then size batches so one
+        // batch lasts roughly `target_batch`.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.target_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The harness entry point handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    target_batch_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            target_batch_time: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, self.target_batch_time, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            target_batch_time: self.target_batch_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, target: Duration, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        target_batch: target,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("{name:<40} (no measurement — b.iter was not called)");
+    } else {
+        println!("{name:<40} time: {:>12} /iter", format_ns(b.median_ns));
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    target_batch_time: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.target_batch_time, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, self.sample_size, self.target_batch_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (reporting is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut saw = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                saw = saw.wrapping_add(1);
+                std::hint::black_box(saw)
+            })
+        });
+        assert!(saw > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4usize), &4usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        let id = BenchmarkId::new("jacobi", "16x16");
+        assert_eq!(id.name, "jacobi/16x16");
+    }
+}

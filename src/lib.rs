@@ -13,6 +13,8 @@
 //! - [`dataset`] — synthetic MNIST substitute + shifted-FFT features.
 //! - [`core`] — the photonic network simulator, Monte-Carlo engine and the
 //!   paper's experiments (EXP 1 / EXP 2 / criticality).
+//! - [`engine`] — the batched, adaptive Monte-Carlo simulation engine with
+//!   the declarative scenario-spec API and the `spnn` CLI.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 
 pub use spnn_core as core;
 pub use spnn_dataset as dataset;
+pub use spnn_engine as engine;
 pub use spnn_linalg as linalg;
 pub use spnn_mesh as mesh;
 pub use spnn_neural as neural;
@@ -58,7 +61,10 @@ pub mod prelude {
         PhotonicNetwork, SiteRef, Stage,
     };
     pub use spnn_dataset::{fft_features, DatasetConfig, GrayImage, ImageGenerator, SpnnDataset};
-    pub use spnn_linalg::{C64, CMatrix};
+    pub use spnn_engine::{
+        run_scenario, EngineConfig, EngineReport, RunScale, ScenarioSpec, TestBatch,
+    };
+    pub use spnn_linalg::{CMatrix, C64};
     pub use spnn_mesh::{clements, reck, DiagonalLine, UnitaryMesh, ZoneGrid};
     pub use spnn_neural::{train, ComplexNetwork, TrainConfig};
     pub use spnn_photonics::{BeamSplitter, Mzi, PerturbTarget, PhaseShifter, UncertaintySpec};

@@ -90,7 +90,10 @@ fn uncertainty_degrades_accuracy_monotonically_in_expectation() {
         last = r.mean;
     }
     // At the largest σ the network is near random guessing (10%).
-    assert!(last < 0.35, "σ=0.15 should approach the random-guess floor, got {last}");
+    assert!(
+        last < 0.35,
+        "σ=0.15 should approach the random-guess floor, got {last}"
+    );
 }
 
 #[test]

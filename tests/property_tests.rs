@@ -2,14 +2,14 @@
 //! spanning crate boundaries.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spnn::linalg::fft::{dft_naive, fft, Direction};
 use spnn::linalg::random::haar_unitary;
 use spnn::linalg::svd::svd;
 use spnn::linalg::vector::norm_sq;
 use spnn::mesh::rvd::rvd;
 use spnn::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn c64_strategy() -> impl Strategy<Value = C64> {
     (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(re, im)| C64::new(re, im))
