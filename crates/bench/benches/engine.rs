@@ -16,14 +16,25 @@
 //!   bit-identical to `per_sample`.
 //!
 //! A full Monte-Carlo iteration (hardware realization + accuracy) is also
-//! timed to bound the end-to-end win. `SPNN_NTEST` scales the test-set
-//! size (default 1000, the acceptance configuration). A
-//! `BENCH_engine.json` datapoint with the measured speedups is written to
-//! the workspace root.
+//! timed to bound the end-to-end win, and two additional datapoints cover
+//! the batched-by-default flip and the trained-context cache:
+//!
+//! - **`mc_accuracy` flip** — `spnn_core::mc_accuracy` now delegates to
+//!   `TestBatch` internally; its end-to-end time is compared against a
+//!   faithful reproduction of the legacy per-sample implementation (same
+//!   threading, per-sample `accuracy_with`).
+//! - **trained-context cache** — a cold `ContextCache::get_or_train`
+//!   (dataset generation + training + mapping + persist) is compared with
+//!   a warm one (load + deserialize) at a reduced training scale.
+//!
+//! `SPNN_NTEST` scales the test-set size (default 1000, the acceptance
+//! configuration). A `BENCH_engine.json` datapoint with the measured
+//! speedups is written to the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spnn_core::{HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
-use spnn_engine::TestBatch;
+use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_engine::cache::ContextCache;
+use spnn_engine::{presets, RunScale, TestBatch};
 use spnn_linalg::{CMatrix, C64};
 use spnn_neural::ComplexNetwork;
 use spnn_photonics::UncertaintySpec;
@@ -62,6 +73,39 @@ mod naive {
             .count();
         correct as f64 / features.len() as f64
     }
+}
+
+/// The pre-flip `mc_accuracy`, reproduced faithfully: identical seeding
+/// and thread-splitting, but per-sample `accuracy_with` per iteration.
+fn legacy_mc_accuracy(
+    network: &PhotonicNetwork,
+    plan: &PerturbationPlan,
+    effects: &HardwareEffects,
+    features: &[Vec<C64>],
+    labels: &[usize],
+    iterations: usize,
+    seed: u64,
+) -> f64 {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(iterations)
+        .max(1);
+    let mut samples = vec![0.0f64; iterations];
+    let chunk = iterations.div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in samples.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let mut rng = spnn_core::iteration_rng(seed, start + off);
+                    let matrices = network.realize(plan, effects, &mut rng);
+                    *slot = network.accuracy_with(&matrices, features, labels);
+                }
+            });
+        }
+    });
+    samples.iter().sum::<f64>() / iterations as f64
 }
 
 fn n_test() -> usize {
@@ -190,16 +234,63 @@ fn emit_datapoint(_c: &mut Criterion) {
         batch.accuracy_with(&hw, &m)
     });
 
+    // The batched-by-default flip: today's mc_accuracy (TestBatch inside)
+    // vs a faithful reproduction of the legacy per-sample implementation.
+    const MC_ITERS: usize = 20;
+    let legacy_mc = time_ns(1, || {
+        legacy_mc_accuracy(&hw, &plan, &fx, &xs, &ys, MC_ITERS, 5)
+    });
+    let flipped_mc = time_ns(1, || {
+        mc_accuracy(&hw, &plan, &fx, &xs, &ys, MC_ITERS, 5).mean
+    });
+    let flip_speedup = legacy_mc / flipped_mc;
+
+    // Trained-context cache: cold train vs warm load, at a reduced
+    // training scale so the bench stays quick (the win grows with scale —
+    // the warm path is O(weights), the cold path O(epochs × n_train)).
+    let cache_scale = RunScale {
+        mc: 1,
+        n_train: 600,
+        n_test: 100,
+        epochs: 8,
+        seed: 7,
+        target_moe: 0.0,
+    };
+    let cache_spec = presets::fig4(&cache_scale);
+    let shuffle_seed = Some(cache_spec.seed ^ 0x33);
+    let dir = std::env::temp_dir().join(format!("spnn-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t0 = Instant::now();
+    let cold_cache = ContextCache::on_disk(&dir);
+    let ctx = cold_cache.get_or_train(&cache_spec, false);
+    ctx.mapping(MeshTopology::Clements, shuffle_seed)
+        .expect("mapping");
+    cold_cache.persist(&ctx).expect("persist");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let t1 = Instant::now();
+        let warm_cache = ContextCache::on_disk(&dir);
+        let warm_ctx = warm_cache.get_or_train(&cache_spec, false);
+        warm_ctx
+            .mapping(MeshTopology::Clements, shuffle_seed)
+            .expect("mapping");
+        warm_ms = warm_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(warm_cache.stats().trains, 0, "warm path must not train");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_speedup = cold_ms / warm_ms;
+
     let vs_naive = naive_eval / batched_eval;
     let vs_per_sample = per_sample_eval / batched_eval;
     let iter_speedup = per_sample_iter / batched_iter;
     let json = format!(
-        "{{\n  \"bench\": \"engine_batched_vs_per_sample\",\n  \"network\": \"16-16-16-10\",\n  \"n_test\": {n},\n  \"accuracy_eval\": {{\n    \"naive_seed_ns\": {naive_eval:.0},\n    \"per_sample_ns\": {per_sample_eval:.0},\n    \"batched_ns\": {batched_eval:.0},\n    \"speedup_vs_naive_seed\": {vs_naive:.2},\n    \"speedup_vs_per_sample\": {vs_per_sample:.2}\n  }},\n  \"mc_iteration\": {{\"per_sample_ns\": {per_sample_iter:.0}, \"batched_ns\": {batched_iter:.0}, \"speedup\": {iter_speedup:.2}}}\n}}\n"
+        "{{\n  \"bench\": \"engine_batched_vs_per_sample\",\n  \"network\": \"16-16-16-10\",\n  \"n_test\": {n},\n  \"accuracy_eval\": {{\n    \"naive_seed_ns\": {naive_eval:.0},\n    \"per_sample_ns\": {per_sample_eval:.0},\n    \"batched_ns\": {batched_eval:.0},\n    \"speedup_vs_naive_seed\": {vs_naive:.2},\n    \"speedup_vs_per_sample\": {vs_per_sample:.2}\n  }},\n  \"mc_iteration\": {{\"per_sample_ns\": {per_sample_iter:.0}, \"batched_ns\": {batched_iter:.0}, \"speedup\": {iter_speedup:.2}}},\n  \"mc_accuracy_flip\": {{\n    \"iterations\": {MC_ITERS},\n    \"legacy_per_sample_ns\": {legacy_mc:.0},\n    \"batched_default_ns\": {flipped_mc:.0},\n    \"speedup\": {flip_speedup:.2}\n  }},\n  \"trained_context_cache\": {{\n    \"scale\": \"n_train=600 epochs=8\",\n    \"cold_train_ms\": {cold_ms:.1},\n    \"warm_load_ms\": {warm_ms:.2},\n    \"speedup\": {cache_speedup:.0}\n  }}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     std::fs::write(&path, &json).expect("write BENCH_engine.json");
     println!(
-        "engine datapoint: batched {vs_naive:.2}x vs the seed's naive loop, {vs_per_sample:.2}x vs today's per-sample path → {}",
+        "engine datapoint: batched {vs_naive:.2}x vs the seed's naive loop, mc_accuracy flip {flip_speedup:.2}x, warm cache {cache_speedup:.0}x vs cold train → {}",
         path.display()
     );
 }

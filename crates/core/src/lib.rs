@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod calibration;
 pub mod census;
 pub mod criticality;
@@ -32,6 +33,7 @@ pub mod monte_carlo;
 pub mod network;
 pub mod perturbation;
 
+pub use batched::TestBatch;
 pub use census::ComponentCensus;
 pub use monte_carlo::{iteration_rng, iteration_seed, mc_accuracy, McResult};
 pub use network::{MeshTopology, PhotonicNetwork};

@@ -6,7 +6,15 @@
 //! `StdRng::seed_from_u64(splitmix64(seed ⊕ k))`, so the estimate is a pure
 //! function of `(network, plan, effects, data, iterations, seed)` —
 //! independent of the number of worker threads.
+//!
+//! Since the batched engine work, [`mc_accuracy`] evaluates each iteration
+//! through the [`crate::batched::TestBatch`] split-plane kernels rather
+//! than the historical per-sample `mul_vec` loop. The two paths are
+//! bit-identical by construction (pinned by tests in [`crate::batched`]
+//! and in `spnn-engine`), so this is purely a speed change — roughly 2×
+//! per iteration at the paper's scale, see `BENCH_engine.json`.
 
+use crate::batched::TestBatch;
 use crate::network::PhotonicNetwork;
 use crate::perturbation::{HardwareEffects, PerturbationPlan};
 use rand::rngs::StdRng;
@@ -83,9 +91,15 @@ pub fn iteration_rng(seed: u64, k: usize) -> StdRng {
 /// Work is split across up to [`std::thread::available_parallelism`] threads;
 /// results are bit-identical for any thread count.
 ///
+/// Each iteration realizes the hardware once and evaluates the whole test
+/// set through the batched [`TestBatch`] path — bit-identical to (and
+/// roughly twice as fast as) the historical per-sample loop, which remains
+/// available as [`PhotonicNetwork::accuracy_with`].
+///
 /// # Panics
 ///
-/// Panics if `iterations == 0` or `features.len() != labels.len()`.
+/// Panics if `iterations == 0`, `features.len() != labels.len()`, or the
+/// test set is empty.
 pub fn mc_accuracy(
     network: &PhotonicNetwork,
     plan: &PerturbationPlan,
@@ -97,6 +111,7 @@ pub fn mc_accuracy(
 ) -> McResult {
     assert!(iterations > 0, "need at least one iteration");
     assert_eq!(features.len(), labels.len(), "features/labels mismatch");
+    let batch = TestBatch::new(features, labels);
 
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -107,24 +122,17 @@ pub fn mc_accuracy(
     let mut samples = vec![0.0f64; iterations];
     if n_threads == 1 {
         for (k, slot) in samples.iter_mut().enumerate() {
-            *slot = one_iteration(network, plan, effects, features, labels, seed, k);
+            *slot = one_iteration(network, plan, effects, &batch, seed, k);
         }
     } else {
         let chunk = iterations.div_ceil(n_threads);
         std::thread::scope(|scope| {
             for (t, out_chunk) in samples.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
+                let batch = &batch;
                 scope.spawn(move || {
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = one_iteration(
-                            network,
-                            plan,
-                            effects,
-                            features,
-                            labels,
-                            seed,
-                            start + off,
-                        );
+                        *slot = one_iteration(network, plan, effects, batch, seed, start + off);
                     }
                 });
             }
@@ -137,14 +145,13 @@ fn one_iteration(
     network: &PhotonicNetwork,
     plan: &PerturbationPlan,
     effects: &HardwareEffects,
-    features: &[Vec<C64>],
-    labels: &[usize],
+    batch: &TestBatch,
     seed: u64,
     k: usize,
 ) -> f64 {
     let mut rng = iteration_rng(seed, k);
     let matrices = network.realize(plan, effects, &mut rng);
-    network.accuracy_with(&matrices, features, labels)
+    batch.accuracy_with(network, &matrices)
 }
 
 #[cfg(test)]
@@ -213,6 +220,22 @@ mod tests {
         let plan = PerturbationPlan::global(UncertaintySpec::both(0.15));
         let r = mc_accuracy(&hw, &plan, &HardwareEffects::default(), &xs, &ys, 10, 7);
         assert!(r.mean < 1.0, "σ = 0.15 should break a few predictions");
+    }
+
+    #[test]
+    fn batched_delegation_matches_the_per_sample_loop_bitwise() {
+        // mc_accuracy now runs through TestBatch internally; the historical
+        // contract — each sample equals a per-sample `accuracy_with` pass of
+        // iteration k's realization — must survive bit for bit.
+        let (hw, xs, ys) = setup();
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.07));
+        let fx = HardwareEffects::default();
+        let r = mc_accuracy(&hw, &plan, &fx, &xs, &ys, 6, 11);
+        for (k, &s) in r.samples.iter().enumerate() {
+            let m = hw.realize(&plan, &fx, &mut iteration_rng(11, k));
+            let reference = hw.accuracy_with(&m, &xs, &ys);
+            assert_eq!(s.to_bits(), reference.to_bits(), "iteration {k}");
+        }
     }
 
     #[test]

@@ -139,6 +139,42 @@ impl PhotonicLayer {
         })
     }
 
+    /// Reassembles a layer from its tuned hardware parts — the persistence
+    /// twin of the SVD-and-decompose construction, used by the engine's
+    /// trained-context cache to restore a stored photonic mapping without
+    /// re-running SVD or mesh synthesis. The zone grids are re-derived from
+    /// the mesh shapes (they carry no tuned state).
+    ///
+    /// Reconstruction is exact: meshes, Σ line and the intended weight all
+    /// round-trip bit for bit, so a cached layer's [`PhotonicLayer::matrix`]
+    /// and every realization drawn from it equal the original's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part dimensions do not chain as `U·Σ·Vᴴ` for the
+    /// `intended` weight's shape.
+    pub fn from_parts(
+        v_mesh: UnitaryMesh,
+        sigma: DiagonalLine,
+        u_mesh: UnitaryMesh,
+        intended: CMatrix,
+    ) -> Self {
+        assert_eq!(v_mesh.n(), intended.cols(), "Vᴴ mesh size must equal cols");
+        assert_eq!(u_mesh.n(), intended.rows(), "U mesh size must equal rows");
+        assert_eq!(sigma.out_dim(), intended.rows(), "Σ rows mismatch");
+        assert_eq!(sigma.in_dim(), intended.cols(), "Σ cols mismatch");
+        let v_zones = ZoneGrid::for_mesh(&v_mesh);
+        let u_zones = ZoneGrid::for_mesh(&u_mesh);
+        Self {
+            v_mesh,
+            sigma,
+            u_mesh,
+            v_zones,
+            u_zones,
+            intended,
+        }
+    }
+
     /// The mesh realizing `Vᴴ`.
     pub fn v_mesh(&self) -> &UnitaryMesh {
         &self.v_mesh
@@ -223,6 +259,25 @@ impl PhotonicNetwork {
             .map(|w| PhotonicLayer::from_weight(w, topology, rng.as_mut()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { layers, topology })
+    }
+
+    /// Assembles a network from already-built layers — the persistence twin
+    /// of [`PhotonicNetwork::from_network`], used to restore a cached
+    /// mapping (see [`PhotonicLayer::from_parts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layer shapes do not chain.
+    pub fn from_layers(layers: Vec<PhotonicLayer>, topology: MeshTopology) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[1].intended().cols(),
+                pair[0].intended().rows(),
+                "layer shapes must chain"
+            );
+        }
+        Self { layers, topology }
     }
 
     /// The photonic layers.
@@ -388,6 +443,55 @@ mod tests {
         let hw_out = hw.forward_with(&hw.ideal_matrices(), &input);
         for (a, b) in sw_out.iter().zip(hw_out.iter()) {
             assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trip_realizes_bit_identically() {
+        // The trained-context cache's core guarantee: a mapping rebuilt
+        // from its stored parts draws bit-identical realizations.
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, Some(3)).unwrap();
+        let rebuilt_layers: Vec<PhotonicLayer> = hw
+            .layers()
+            .iter()
+            .map(|l| {
+                let remesh = |m: &UnitaryMesh| {
+                    let ts: Vec<(usize, f64, f64)> =
+                        m.mzis().iter().map(|s| (s.top, s.theta, s.phi)).collect();
+                    UnitaryMesh::from_physical_order(m.n(), &ts, m.output_phases().to_vec())
+                };
+                let (thetas, phis): (Vec<f64>, Vec<f64>) =
+                    (0..l.sigma().n_mzis()).map(|i| l.sigma().phases(i)).unzip();
+                let sigma = DiagonalLine::from_raw_parts(
+                    l.sigma().out_dim(),
+                    l.sigma().in_dim(),
+                    l.sigma().beta(),
+                    thetas,
+                    phis,
+                );
+                PhotonicLayer::from_parts(
+                    remesh(l.v_mesh()),
+                    sigma,
+                    remesh(l.u_mesh()),
+                    l.intended().clone(),
+                )
+            })
+            .collect();
+        let rebuilt = PhotonicNetwork::from_layers(rebuilt_layers, hw.topology());
+        assert_eq!(rebuilt.topology(), hw.topology());
+
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.06));
+        let fx = HardwareEffects::default();
+        let a = hw.realize(&plan, &fx, &mut StdRng::seed_from_u64(4));
+        let b = rebuilt.realize(&plan, &fx, &mut StdRng::seed_from_u64(4));
+        for (ma, mb) in a.iter().zip(b.iter()) {
+            for r in 0..ma.rows() {
+                for c in 0..ma.cols() {
+                    assert_eq!(ma[(r, c)].re.to_bits(), mb[(r, c)].re.to_bits());
+                    assert_eq!(ma[(r, c)].im.to_bits(), mb[(r, c)].im.to_bits());
+                }
+            }
         }
     }
 

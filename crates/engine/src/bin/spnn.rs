@@ -2,20 +2,25 @@
 //! line.
 //!
 //! ```text
-//! spnn run <spec.scn | - | --preset NAME> [--format csv|json] [--out FILE]
-//!          [--threads N] [--quiet]
+//! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
+//!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
 //! spnn validate <spec.scn>
 //! spnn example [NAME]
+//! spnn cache ls | rm <KEY>... | rm --all | path
 //! spnn help
 //! ```
 //!
 //! Scenario scale knobs for presets come from the usual `SPNN_*`
 //! environment variables (`SPNN_MC`, `SPNN_NTRAIN`, `SPNN_NTEST`,
-//! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`).
+//! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`); `SPNN_CACHE_DIR`
+//! relocates the trained-context cache. See `docs/scenario-format.md` for
+//! the spec format and `docs/architecture.md` for the engine internals.
 
+use spnn_engine::cache::{default_cache_dir, list_entries, ContextCache};
 use spnn_engine::prelude::*;
-use spnn_engine::runner::EngineError;
+use spnn_engine::runner::{run_scenario_with, EngineError};
 use std::io::Read as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -23,23 +28,35 @@ spnn — batched, adaptive Monte-Carlo simulation engine for silicon-photonic
 neural networks (reproduces the DATE 2021 uncertainty-modeling paper).
 
 USAGE:
-    spnn run <SPEC>          run a scenario file (`-` reads stdin)
+    spnn run <SPEC>...       run scenario file(s) (`-` reads stdin); files
+                             sharing a training fingerprint train once
     spnn run --preset NAME   run a built-in scenario (fig4, fig5, mesh,
                              quant, thermal) at SPNN_* env scale
     spnn validate <SPEC>     parse a scenario and report its queue size
     spnn example [NAME]      print a built-in scenario file (default fig4)
+    spnn cache ls            list cached trained contexts
+    spnn cache rm <KEY>...   remove entries by (prefix of) key; --all wipes
+    spnn cache path          print the resolved cache directory
     spnn help                this text
 
 OPTIONS (run):
     --format csv|json        output format (default csv)
-    --out FILE               write output to FILE (default stdout)
+    --out PATH               write output to PATH (default stdout); with
+                             several SPECs, PATH is a directory and each
+                             scenario writes <name>.<format> inside it
     --threads N              worker threads per sweep point
                              (default: all cores; results are identical
                              for any thread count)
     --quiet                  suppress progress logging on stderr
+    --no-cache               skip the on-disk trained-context cache
+    --cache-dir DIR          cache location (default: `spnn cache path`)
+
+Cached contexts are reused bit-exactly: a warm-cache run produces the very
+same report as a cold one, it just skips training (and mesh synthesis).
 
 SCALE (env): SPNN_MC, SPNN_NTRAIN, SPNN_NTEST, SPNN_EPOCHS, SPNN_SEED,
-SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop).
+SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop),
+SPNN_CACHE_DIR.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -60,37 +77,49 @@ fn read_spec_file(path: &str) -> Result<String, String> {
     }
 }
 
-fn load_spec(args: &[String]) -> Result<ScenarioSpec, String> {
+fn load_specs(args: &[String]) -> Result<Vec<ScenarioSpec>, String> {
     if let Some(pos) = args.iter().position(|a| a == "--preset") {
         let name = args
             .get(pos + 1)
             .ok_or_else(|| "--preset needs a name".to_string())?;
-        return presets::by_name(name, &RunScale::from_env()).ok_or_else(|| {
+        let spec = presets::by_name(name, &RunScale::from_env()).ok_or_else(|| {
             format!(
                 "unknown preset {name:?} (have: {})",
                 presets::PRESET_NAMES.join(", ")
             )
-        });
+        })?;
+        return Ok(vec![spec]);
     }
-    let path = positional_arg(args)
-        .ok_or_else(|| "missing scenario file (or --preset NAME)".to_string())?;
-    let text = read_spec_file(path)?;
-    ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let paths = positional_args(args);
+    if paths.is_empty() {
+        return Err("missing scenario file (or --preset NAME)".to_string());
+    }
+    paths
+        .iter()
+        .map(|path| {
+            let text = read_spec_file(path)?;
+            ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))
+        })
+        .collect()
 }
 
-/// The first positional argument after the subcommand, skipping options
-/// and their values *by position* (a path that merely equals some option's
+/// The positional arguments after the subcommand, skipping options and
+/// their values *by position* (a path that merely equals some option's
 /// value, e.g. `spnn run fig4.json --out fig4.json`, must still be found).
-fn positional_arg(args: &[String]) -> Option<&str> {
+fn positional_args(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
     let mut i = 1; // args[0] is the subcommand
     while i < args.len() {
         match args[i].as_str() {
-            "--format" | "--out" | "--threads" | "--preset" => i += 2,
+            "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" => i += 2,
             s if s.starts_with("--") => i += 1,
-            s => return Some(s),
+            s => {
+                out.push(s);
+                i += 1;
+            }
         }
     }
-    None
+    out
 }
 
 fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -100,8 +129,31 @@ fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The cache directory a command resolves to: `--cache-dir`, else the
+/// default chain (`SPNN_CACHE_DIR` → XDG → `~/.cache/spnn`).
+fn resolve_cache_dir(args: &[String]) -> PathBuf {
+    option_value(args, "--cache-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_cache_dir)
+}
+
+fn write_report(path: &Path, body: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("[spnn] wrote {}", path.display());
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
-    let spec = match load_spec(args) {
+    let specs = match load_specs(args) {
         Ok(s) => s,
         Err(e) => return fail(&e),
     };
@@ -116,54 +168,126 @@ fn cmd_run(args: &[String]) -> ExitCode {
             _ => return fail(&format!("invalid thread count {v:?}")),
         },
     };
+    let cache_dir = (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args));
     let config = EngineConfig {
         threads,
-        verbose: !args.iter().any(|a| a == "--quiet"),
+        verbose: !has_flag(args, "--quiet"),
+        cache_dir: None, // the shared cache below carries the directory
     };
+    let cache = ContextCache::new(cache_dir);
+
+    let render = |report: &EngineReport| match format {
+        "json" => to_json(report),
+        _ => to_csv(report),
+    };
+    // --out names a directory when several scenarios run, when it already
+    // is one, or when it is spelled like one — a single-spec run into an
+    // existing directory must not fail after the campaign completes.
+    let out = option_value(args, "--out");
+    let out_is_dir =
+        out.is_some_and(|p| specs.len() > 1 || p.ends_with('/') || Path::new(p).is_dir());
+    if out_is_dir {
+        // Fail on an unusable output directory *before* the campaign, not
+        // after the first scenario's Monte-Carlo run has completed.
+        if let Err(e) = std::fs::create_dir_all(out.expect("out_is_dir")) {
+            return fail(&format!(
+                "--out {}: not a usable directory: {e}",
+                out.unwrap_or_default()
+            ));
+        }
+    }
 
     let started = std::time::Instant::now();
-    let report = match run_scenario(&spec, &config) {
-        Ok(r) => r,
-        Err(EngineError::Invalid(m)) => return fail(&format!("invalid scenario: {m}")),
-        Err(e) => return fail(&e.to_string()),
-    };
+    let mut reports = Vec::with_capacity(specs.len());
+    let mut used_stems = std::collections::HashSet::new();
+    for spec in &specs {
+        let report = match run_scenario_with(spec, &config, &cache) {
+            Ok(r) => r,
+            Err(EngineError::Invalid(m)) => return fail(&format!("invalid scenario: {m}")),
+            Err(e) => return fail(&e.to_string()),
+        };
+        if out_is_dir {
+            // Write each report as soon as its scenario finishes: a
+            // failure in a later scenario must not discard completed
+            // work. Scenario names come from user-written spec files, so
+            // sanitize them — a name can neither escape the output
+            // directory nor silently overwrite a sibling report.
+            let base = sanitize_file_stem(&report.scenario);
+            let mut stem = base.clone();
+            let mut i = 2;
+            while !used_stems.insert(stem.clone()) {
+                stem = format!("{base}-{i}");
+                i += 1;
+            }
+            let file = Path::new(out.expect("out_is_dir")).join(format!("{stem}.{format}"));
+            if let Err(e) = write_report(&file, &render(&report)) {
+                return fail(&e);
+            }
+        }
+        reports.push(report);
+    }
     let elapsed = started.elapsed();
+    let stats = cache.stats();
+    let total_points: usize = reports.iter().map(|r| r.rows.len()).sum();
+    let total_iters: usize = reports.iter().map(|r| r.total_iterations()).sum();
     eprintln!(
-        "[spnn] {}: {} points, {} MC iterations in {:.2?} ({:.0} iters/s)",
-        report.scenario,
-        report.rows.len(),
-        report.total_iterations(),
+        "[spnn] {} scenario(s): {} points, {} MC iterations in {:.2?} ({:.0} iters/s); \
+         contexts: {} trained, {} reused",
+        reports.len(),
+        total_points,
+        total_iters,
         elapsed,
-        report.total_iterations() as f64 / elapsed.as_secs_f64().max(1e-9),
+        total_iters as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.trains,
+        stats.mem_hits + stats.disk_hits,
     );
-    for t in &report.topologies {
-        eprintln!(
-            "[spnn]   {}: software acc {:.2}%, nominal hardware acc {:.2}%",
-            t.topology,
-            t.software_accuracy * 100.0,
-            t.nominal_accuracy * 100.0
-        );
+    for report in &reports {
+        for t in &report.topologies {
+            eprintln!(
+                "[spnn]   {}/{}: software acc {:.2}%, nominal hardware acc {:.2}%",
+                report.scenario,
+                t.topology,
+                t.software_accuracy * 100.0,
+                t.nominal_accuracy * 100.0
+            );
+        }
     }
 
-    let body = match format {
-        "json" => to_json(&report),
-        _ => to_csv(&report),
-    };
-    match option_value(args, "--out") {
+    match out {
+        Some(_) if out_is_dir => {} // written incrementally above
         Some(path) => {
-            if let Some(dir) = std::path::Path::new(path).parent() {
-                if !dir.as_os_str().is_empty() {
-                    let _ = std::fs::create_dir_all(dir);
-                }
+            if let Err(e) = write_report(Path::new(path), &render(&reports[0])) {
+                return fail(&e);
             }
-            if let Err(e) = std::fs::write(path, &body) {
-                return fail(&format!("writing {path}: {e}"));
-            }
-            eprintln!("[spnn] wrote {path}");
         }
-        None => print!("{body}"),
+        None => {
+            for report in &reports {
+                print!("{}", render(report));
+            }
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Reduces a scenario name to a safe file stem: path separators and other
+/// non-portable characters become `_`, and an empty result falls back to
+/// `scenario`.
+fn sanitize_file_stem(name: &str) -> String {
+    let stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.chars().all(|c| c == '.' || c == '_') {
+        "scenario".to_string()
+    } else {
+        stem
+    }
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {
@@ -192,15 +316,17 @@ fn cmd_validate(args: &[String]) -> ExitCode {
             spec.zonal.stages.len()
         ),
     };
-    println!("scenario:   {}", spec.name);
-    println!("plan:       {:?}", spec.plan);
-    println!("topologies: {}", spec.topologies.len());
-    println!("effects:    {effects_points} grid point(s)");
-    println!("plan axes:  {plan_points}");
+    println!("scenario:    {}", spec.name);
+    println!("plan:        {:?}", spec.plan);
+    println!("topologies:  {}", spec.topologies.len());
+    println!("effects:     {effects_points} grid point(s)");
+    println!("plan axes:   {plan_points}");
     println!(
-        "budget:     <= {} iterations/point (min {}, target moe {})",
+        "budget:      <= {} iterations/point (min {}, target moe {})",
         spec.iterations, spec.min_iterations, spec.target_moe
     );
+    let fp = spnn_engine::Fingerprint::of_spec(&spec);
+    println!("fingerprint: {} ({})", fp.short(), fp.canonical());
     println!("ok");
     ExitCode::SUCCESS
 }
@@ -219,12 +345,117 @@ fn cmd_example(args: &[String]) -> ExitCode {
     }
 }
 
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let dir = resolve_cache_dir(args);
+    match args.get(1).map(|s| s.as_str()) {
+        Some("path") => {
+            println!("{}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Some("ls") => {
+            let entries = match list_entries(&dir) {
+                Ok(e) => e,
+                Err(e) => return fail(&format!("listing {}: {e}", dir.display())),
+            };
+            if entries.is_empty() {
+                eprintln!("[spnn] cache at {} is empty", dir.display());
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "{:<14} {:>8} {:>9} {:<9} summary",
+                "key", "mappings", "size", "status"
+            );
+            for e in &entries {
+                // char-based truncation: a stray non-ASCII file stem must
+                // not panic the listing on a byte boundary.
+                let key: String = e.key_hex.chars().take(12).collect();
+                println!(
+                    "{key:<14} {:>8} {:>9} {:<9} {}",
+                    e.n_mappings.map_or_else(|| "-".into(), |n| n.to_string()),
+                    human_size(e.size_bytes),
+                    if e.ok { "ok" } else { "corrupt" },
+                    e.canonical.as_deref().unwrap_or("(unreadable)"),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("rm") => {
+            let keys = positional_args(&args[1..]);
+            let all = has_flag(args, "--all");
+            if keys.is_empty() && !all {
+                return fail("cache rm needs entry key(s) or --all");
+            }
+            // Matching and deletion only need file names — no point
+            // deserializing whole entries just to unlink them.
+            let mut files: Vec<(PathBuf, String)> = Vec::new();
+            match std::fs::read_dir(&dir) {
+                Ok(rd) => {
+                    for entry in rd.flatten() {
+                        let path = entry.path();
+                        if path.extension().and_then(|e| e.to_str()) != Some("spnnctx") {
+                            continue;
+                        }
+                        if let Some(stem) = path
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .and_then(|s| s.strip_prefix("ctx-"))
+                        {
+                            let stem = stem.to_string();
+                            files.push((path, stem));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return fail(&format!("listing {}: {e}", dir.display())),
+            }
+            files.sort();
+            // Validate every key before touching anything: a typo'd key
+            // must not leave the cache half-deleted.
+            for k in &keys {
+                if k.is_empty() || !files.iter().any(|(_, hex)| hex.starts_with(k)) {
+                    return fail(&format!("no cache entry matches key {k:?}"));
+                }
+            }
+            let mut removed = 0usize;
+            for (path, hex) in &files {
+                if all || keys.iter().any(|k| hex.starts_with(k)) {
+                    match std::fs::remove_file(path) {
+                        Ok(()) => {
+                            removed += 1;
+                            eprintln!("[spnn] removed {}", path.display());
+                        }
+                        Err(err) => return fail(&format!("removing {}: {err}", path.display())),
+                    }
+                }
+            }
+            eprintln!(
+                "[spnn] removed {removed} entr{}",
+                if removed == 1 { "y" } else { "ies" }
+            );
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown cache command {other:?} (ls|rm|path)")),
+        None => fail("cache needs a subcommand (ls|rm|path)"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),
         Some("validate") => cmd_validate(&args),
         Some("example") => cmd_example(&args),
+        Some("cache") => cmd_cache(&args),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS

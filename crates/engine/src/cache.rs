@@ -1,0 +1,1223 @@
+//! The trained-context cache: train once per fingerprint, reuse forever.
+//!
+//! Every accuracy-under-uncertainty figure in the paper is a Monte-Carlo
+//! sweep over a *fixed trained network* — training is pure overhead
+//! repeated per sweep campaign. Scenarios that share the training-relevant
+//! part of their [`ScenarioSpec`] (dataset, architecture, optimizer
+//! hyper-parameters, master seed) retrain *identically*: the trained
+//! weights are a pure function of those fields. This module exploits that:
+//!
+//! - [`Fingerprint`] — a stable 128-bit key over exactly the
+//!   training-relevant spec fields. Sweep axes, effects grids, topology
+//!   lists, iteration budgets and the test-set size do **not** enter the
+//!   key, so e.g. `fig4` and `fig5` (same dataset/architecture/seed,
+//!   different sweeps) share one trained context.
+//! - [`TrainedContext`] — the trained [`ComplexNetwork`] plus memoized
+//!   photonic mesh mappings per `(topology, shuffle seed)`.
+//! - [`ContextCache`] — in-memory memoization within a run and an optional
+//!   on-disk store across runs, in a versioned, endian-stable binary format
+//!   with a trailing checksum. Loads are corruption-safe: any malformed,
+//!   truncated or stale file silently falls back to retraining.
+//!
+//! Reuse is **bit-exact**: weights and mesh phases are stored as raw IEEE
+//! 754 bits, and the mapping is reconstructed through
+//! [`PhotonicLayer::from_parts`], so a warm-cache scenario run produces a
+//! report bit-identical to a cold one (pinned by the engine's tests).
+//!
+//! # Example
+//!
+//! ```
+//! use spnn_engine::cache::{ContextCache, Fingerprint};
+//! use spnn_engine::prelude::*;
+//!
+//! let mut spec = presets::fig4(&RunScale::tiny());
+//! let cache = ContextCache::in_memory();
+//! let ctx = cache.get_or_train(&spec, false);
+//!
+//! // A second request — even from a spec with different sweep axes —
+//! // reuses the trained context instead of retraining.
+//! spec.sweep.sigmas = vec![0.0, 0.1];
+//! assert_eq!(Fingerprint::of_spec(&spec), *ctx.fingerprint());
+//! let again = cache.get_or_train(&spec, false);
+//! assert_eq!(cache.stats().trains, 1);
+//! assert_eq!(cache.stats().mem_hits, 1);
+//! # let _ = again;
+//! ```
+
+use crate::fnv::{fnv1a64, FNV_BASIS};
+use crate::spec::ScenarioSpec;
+use spnn_core::network::{PhotonicLayer, SpnnError};
+use spnn_core::{MeshTopology, PhotonicNetwork};
+use spnn_dataset::{DatasetConfig, SpnnDataset};
+use spnn_linalg::{CMatrix, C64};
+use spnn_mesh::{DiagonalLine, UnitaryMesh};
+use spnn_neural::{train, ComplexNetwork, TrainConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic bytes opening every cache file.
+const MAGIC: &[u8; 8] = b"SPNNCTX\x01";
+/// Binary format version; bump on any layout change. Files with another
+/// version are ignored (load-or-retrain), never misread.
+const FORMAT_VERSION: u32 = 1;
+/// File extension of cache entries.
+const EXTENSION: &str = "spnnctx";
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+/// The training fingerprint of a scenario: a stable 128-bit key over the
+/// spec fields that influence the trained network, plus the human-readable
+/// canonical string it hashes (stored in cache files and compared on load,
+/// which also makes hash collisions harmless).
+///
+/// Included: dataset size/crop, master seed, layer widths, epochs, batch
+/// size, learning rate, and the (constant) activation/loss/optimizer/init
+/// identities. Excluded: everything that only affects *evaluation* — sweep
+/// axes, effects grids, topologies, singular-value shuffling, test-set
+/// size, iteration budgets, stopping rules, and the scenario name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    key: [u8; 16],
+    canonical: String,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of a spec's training-relevant fields.
+    pub fn of_spec(spec: &ScenarioSpec) -> Self {
+        let layers = spec
+            .train
+            .layers
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join("-");
+        // `{}` on f64 prints the shortest representation that round-trips,
+        // so distinct learning-rate bit patterns get distinct strings
+        // (learning rates are validated finite and positive).
+        let canonical = format!(
+            "spnn-ctx-v1;dataset=n_train:{},crop:{},seed:{};arch={};\
+             activation=softplus;loss=cross-entropy;optimizer=adam;init=glorot;\
+             train=epochs:{},batch:{},lr:{}",
+            spec.dataset.n_train,
+            spec.dataset.crop,
+            spec.seed,
+            layers,
+            spec.train.epochs,
+            spec.train.batch_size,
+            spec.train.learning_rate,
+        );
+        Self::of_canonical(canonical)
+    }
+
+    fn of_canonical(canonical: String) -> Self {
+        let a = fnv1a64(canonical.as_bytes(), FNV_BASIS);
+        let b = fnv1a64(canonical.as_bytes(), 0x6c62272e07bb0142);
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&a.to_le_bytes());
+        key[8..].copy_from_slice(&b.to_le_bytes());
+        Self { key, canonical }
+    }
+
+    /// The 32-character lowercase hex key (the cache file stem).
+    pub fn hex(&self) -> String {
+        self.key.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// A 12-character abbreviation of [`Fingerprint::hex`] for logs and
+    /// `spnn cache ls` output.
+    pub fn short(&self) -> String {
+        self.hex()[..12].to_string()
+    }
+
+    /// The canonical string the key hashes — a readable summary of every
+    /// field that entered the fingerprint.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trained context
+// ---------------------------------------------------------------------------
+
+/// Key of one photonic mapping inside a context: mesh topology plus the
+/// optional singular-value shuffle seed.
+type MappingKey = (u8, Option<u64>);
+
+fn topology_code(t: MeshTopology) -> u8 {
+    match t {
+        MeshTopology::Clements => 0,
+        MeshTopology::Reck => 1,
+    }
+}
+
+fn topology_from_code(c: u8) -> Option<MeshTopology> {
+    match c {
+        0 => Some(MeshTopology::Clements),
+        1 => Some(MeshTopology::Reck),
+        _ => None,
+    }
+}
+
+/// A trained software network plus its photonic mesh mappings, shared via
+/// `Arc` between scenarios that hit the same [`Fingerprint`].
+///
+/// Mappings are memoized per `(topology, shuffle seed)`: the first request
+/// runs SVD + mesh synthesis, later requests (and requests satisfied from a
+/// cache file) reuse the stored meshes bit for bit.
+#[derive(Debug)]
+pub struct TrainedContext {
+    fingerprint: Fingerprint,
+    software: ComplexNetwork,
+    train_accuracy: f64,
+    mappings: Mutex<HashMap<MappingKey, Arc<PhotonicNetwork>>>,
+    /// Mapping count at the last successful persist (or disk load);
+    /// `usize::MAX` means "never written". Lets [`ContextCache::persist`]
+    /// skip rewriting an entry whose on-disk state is already current.
+    persisted_mappings: AtomicUsize,
+}
+
+impl TrainedContext {
+    /// The fingerprint this context was trained under.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// The trained software network.
+    pub fn software(&self) -> &ComplexNetwork {
+        &self.software
+    }
+
+    /// Final training-set accuracy recorded at training time.
+    pub fn train_accuracy(&self) -> f64 {
+        self.train_accuracy
+    }
+
+    /// Number of photonic mappings currently materialized.
+    pub fn n_mappings(&self) -> usize {
+        self.mappings.lock().expect("mappings lock").len()
+    }
+
+    /// The photonic mapping for `(topology, shuffle_seed)`, synthesizing
+    /// and memoizing it on first request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnnError`] if SVD or mesh synthesis fails (not expected
+    /// for finite trained weights).
+    pub fn mapping(
+        &self,
+        topology: MeshTopology,
+        shuffle_seed: Option<u64>,
+    ) -> Result<Arc<PhotonicNetwork>, SpnnError> {
+        let key = (topology_code(topology), shuffle_seed);
+        let mut map = self.mappings.lock().expect("mappings lock");
+        if let Some(hw) = map.get(&key) {
+            return Ok(Arc::clone(hw));
+        }
+        let hw = Arc::new(PhotonicNetwork::from_network(
+            &self.software,
+            topology,
+            shuffle_seed,
+        )?);
+        map.insert(key, Arc::clone(&hw));
+        Ok(hw)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache front-end
+// ---------------------------------------------------------------------------
+
+/// Counters describing what a [`ContextCache`] did so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests satisfied from the in-memory map.
+    pub mem_hits: usize,
+    /// Requests satisfied by loading a cache file.
+    pub disk_hits: usize,
+    /// Requests that had to train from scratch.
+    pub trains: usize,
+}
+
+/// The trained-context store: in-memory memoization within a run, optional
+/// on-disk persistence across runs.
+///
+/// All methods take `&self`; the cache is internally synchronized and safe
+/// to share between scenario runs.
+#[derive(Debug)]
+pub struct ContextCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<[u8; 16], Arc<TrainedContext>>>,
+    mem_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    trains: AtomicUsize,
+}
+
+impl ContextCache {
+    /// A cache with optional on-disk persistence under `dir`.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        Self {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            mem_hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            trains: AtomicUsize::new(0),
+        }
+    }
+
+    /// A purely in-memory cache (no files touched) — what [`crate::run_scenario`]
+    /// uses by default.
+    pub fn in_memory() -> Self {
+        Self::new(None)
+    }
+
+    /// A cache persisting to `dir` (created on first store).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self::new(Some(dir.into()))
+    }
+
+    /// The persistence directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Activity counters (memory hits / disk hits / trainings).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            trains: self.trains.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The trained context for `spec`'s training fingerprint: from memory,
+    /// else from disk, else trained from scratch (and then persisted when a
+    /// directory is configured).
+    ///
+    /// The warm paths skip training *and* training-set generation entirely;
+    /// only the spec fields covered by [`Fingerprint`] influence the
+    /// result, which is bit-identical across all three paths.
+    pub fn get_or_train(&self, spec: &ScenarioSpec, verbose: bool) -> Arc<TrainedContext> {
+        let fp = Fingerprint::of_spec(spec);
+        if let Some(ctx) = self.mem.lock().expect("cache lock").get(&fp.key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ctx);
+        }
+
+        if let Some(dir) = &self.dir {
+            let path = entry_path(dir, &fp);
+            match load_entry(&path, &fp) {
+                Ok(ctx) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    if verbose {
+                        eprintln!(
+                            "[cache] {}: loaded trained context {} ({} mapping(s))",
+                            spec.name,
+                            fp.short(),
+                            ctx.n_mappings()
+                        );
+                    }
+                    return self.adopt(ctx);
+                }
+                Err(LoadError::NotFound) => {}
+                Err(e) => {
+                    if verbose {
+                        eprintln!(
+                            "[cache] {}: ignoring unusable cache file {} ({e}); retraining",
+                            spec.name,
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+
+        self.trains.fetch_add(1, Ordering::Relaxed);
+        if verbose {
+            eprintln!(
+                "[cache] {}: training context {} from scratch",
+                spec.name,
+                fp.short()
+            );
+        }
+        let ctx = train_context(spec, fp, verbose);
+        let ctx = self.adopt(ctx);
+        if let Err(e) = self.persist(&ctx) {
+            if verbose {
+                eprintln!("[cache] warning: could not persist context: {e}");
+            }
+        }
+        ctx
+    }
+
+    /// Writes (or rewrites) the cache file for `ctx`, including every
+    /// mapping materialized so far. A no-op without a persistence
+    /// directory — and when the entry was already written (or loaded)
+    /// with the same mapping count, so repeated warm runs do not rewrite
+    /// an identical file. Writes go to a temporary file first and are
+    /// renamed into place, so readers never observe a torn entry.
+    ///
+    /// The runner calls this again after a scenario completes so that
+    /// mappings synthesized during the run are persisted alongside the
+    /// weights — a warm load then skips SVD + mesh synthesis too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created
+    /// or the file cannot be written.
+    pub fn persist(&self, ctx: &TrainedContext) -> std::io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        if ctx.persisted_mappings.load(Ordering::Relaxed) == ctx.n_mappings() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)?;
+        let (bytes, n_serialized) = serialize_context(ctx);
+        let path = entry_path(dir, &ctx.fingerprint);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            ctx.fingerprint.short()
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => {
+                ctx.persisted_mappings
+                    .store(n_serialized, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Inserts `ctx` into the in-memory map, returning the canonical copy
+    /// (an identical context may already be present).
+    fn adopt(&self, ctx: TrainedContext) -> Arc<TrainedContext> {
+        let key = ctx.fingerprint.key;
+        Arc::clone(
+            self.mem
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert_with(|| Arc::new(ctx)),
+        )
+    }
+}
+
+/// Trains a context from scratch. Only the training split of the dataset
+/// is generated (`n_test = 0`): the train and test streams are seeded
+/// independently, so the test set — which the runner generates per
+/// scenario — is unaffected.
+fn train_context(spec: &ScenarioSpec, fingerprint: Fingerprint, verbose: bool) -> TrainedContext {
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: spec.dataset.n_train,
+        n_test: 0,
+        crop: spec.dataset.crop,
+        seed: spec.seed,
+    });
+    let mut software = ComplexNetwork::new(&spec.train.layers, spec.seed ^ 0x11);
+    let report = train(
+        &mut software,
+        &data.train_features,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: spec.train.epochs,
+            batch_size: spec.train.batch_size,
+            learning_rate: spec.train.learning_rate,
+            seed: spec.seed ^ 0x22,
+            verbose: false,
+        },
+    );
+    if verbose {
+        eprintln!(
+            "[cache] {}: trained {} epochs (train acc {:.2}%)",
+            spec.name,
+            spec.train.epochs,
+            report.train_accuracy * 100.0
+        );
+    }
+    TrainedContext {
+        fingerprint,
+        software,
+        train_accuracy: report.train_accuracy,
+        mappings: Mutex::new(HashMap::new()),
+        persisted_mappings: AtomicUsize::new(usize::MAX),
+    }
+}
+
+/// The canonical cache-file path of a fingerprint under `dir`.
+pub fn entry_path(dir: &Path, fp: &Fingerprint) -> PathBuf {
+    dir.join(format!("ctx-{}.{EXTENSION}", fp.hex()))
+}
+
+/// The cache directory the `spnn` CLI uses by default: `$SPNN_CACHE_DIR`,
+/// else `$XDG_CACHE_HOME/spnn`, else `$HOME/.cache/spnn`, else
+/// `./.spnn-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("SPNN_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
+        if !xdg.is_empty() {
+            return PathBuf::from(xdg).join("spnn");
+        }
+    }
+    if let Some(home) = std::env::var_os("HOME") {
+        if !home.is_empty() {
+            return PathBuf::from(home).join(".cache").join("spnn");
+        }
+    }
+    PathBuf::from(".spnn-cache")
+}
+
+// ---------------------------------------------------------------------------
+// Directory listing (spnn cache ls / rm)
+// ---------------------------------------------------------------------------
+
+/// What `spnn cache ls` shows for one cache file.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Full path of the entry.
+    pub path: PathBuf,
+    /// The 32-hex-character key from the file name.
+    pub key_hex: String,
+    /// File size in bytes.
+    pub size_bytes: u64,
+    /// The canonical fingerprint string, when the file parses cleanly.
+    pub canonical: Option<String>,
+    /// Training-set accuracy recorded in the entry.
+    pub train_accuracy: Option<f64>,
+    /// Number of persisted photonic mappings.
+    pub n_mappings: Option<usize>,
+    /// `false` when the file is corrupt or from another format version
+    /// (such entries are retrain-on-load and safe to remove).
+    pub ok: bool,
+}
+
+/// Lists the cache entries under `dir` (sorted by file name). A missing
+/// directory lists as empty rather than erroring — an unused cache is not
+/// exceptional.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory exists but cannot be
+/// read.
+pub fn list_entries(dir: &Path) -> std::io::Result<Vec<CacheEntry>> {
+    let mut out = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in rd {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+            continue;
+        }
+        let key_hex = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_prefix("ctx-"))
+            .unwrap_or("")
+            .to_string();
+        let size_bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        let parsed = std::fs::read(&path)
+            .ok()
+            .and_then(|bytes| parse_entry(&bytes).ok());
+        match parsed {
+            Some((canonical, train_accuracy, ctx)) => out.push(CacheEntry {
+                path,
+                key_hex,
+                size_bytes,
+                canonical: Some(canonical),
+                train_accuracy: Some(train_accuracy),
+                n_mappings: Some(ctx),
+                ok: true,
+            }),
+            None => out.push(CacheEntry {
+                path,
+                key_hex,
+                size_bytes,
+                canonical: None,
+                train_accuracy: None,
+                n_mappings: None,
+                ok: false,
+            }),
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+/// Why a cache file could not be used. Every variant falls back to
+/// retraining — a cache entry can slow a run down, never corrupt it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file does not exist (a plain cache miss).
+    NotFound,
+    /// The file could not be read.
+    Io(String),
+    /// The magic bytes do not match (not a cache file).
+    BadMagic,
+    /// The format version is not this build's `FORMAT_VERSION`.
+    BadVersion(u32),
+    /// The trailing checksum does not match the content.
+    BadChecksum,
+    /// The stored fingerprint does not match the requested one (renamed
+    /// file or — theoretically — a hash collision).
+    FingerprintMismatch,
+    /// A structural invariant failed while decoding.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::NotFound => write!(f, "no cache entry"),
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::BadMagic => write!(f, "not a spnn cache file"),
+            LoadError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            LoadError::BadChecksum => write!(f, "checksum mismatch (corrupt file)"),
+            LoadError::FingerprintMismatch => write!(f, "fingerprint mismatch"),
+            LoadError::Malformed(what) => write!(f, "malformed entry: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self {
+            buf: Vec::with_capacity(32 * 1024),
+        }
+    }
+    fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.u32(xs.len() as u32);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        if self.buf.len() - self.pos < n {
+            return Err(LoadError::Malformed("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, LoadError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, LoadError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, LoadError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| LoadError::Malformed("non-UTF-8 string"))
+    }
+    /// A length-prefixed f64 list; the length is bounds-checked against the
+    /// remaining bytes *before* allocation, so a corrupted length cannot
+    /// trigger a huge allocation.
+    fn f64s(&mut self) -> Result<Vec<f64>, LoadError> {
+        let n = self.u32()? as usize;
+        if self.buf.len() - self.pos < n * 8 {
+            return Err(LoadError::Malformed("truncated f64 list"));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+fn write_mesh(w: &mut Writer, mesh: &UnitaryMesh) {
+    w.u32(mesh.n() as u32);
+    w.u32(mesh.n_mzis() as u32);
+    for m in mesh.mzis() {
+        w.u32(m.top as u32);
+        w.f64(m.theta);
+        w.f64(m.phi);
+    }
+    w.f64s(mesh.output_phases());
+}
+
+fn read_mesh(r: &mut Reader<'_>) -> Result<UnitaryMesh, LoadError> {
+    let n = r.u32()? as usize;
+    let n_mzis = r.u32()? as usize;
+    if n == 0 {
+        return Err(LoadError::Malformed("zero-size mesh"));
+    }
+    if r.buf.len() - r.pos < n_mzis * 20 {
+        return Err(LoadError::Malformed("truncated mesh"));
+    }
+    let mut ts = Vec::with_capacity(n_mzis);
+    for _ in 0..n_mzis {
+        let top = r.u32()? as usize;
+        let theta = r.f64()?;
+        let phi = r.f64()?;
+        if top + 1 >= n {
+            return Err(LoadError::Malformed("MZI mode out of range"));
+        }
+        if !theta.is_finite() || !phi.is_finite() {
+            return Err(LoadError::Malformed("non-finite mesh phase"));
+        }
+        ts.push((top, theta, phi));
+    }
+    let output_phases = r.f64s()?;
+    if output_phases.len() != n {
+        return Err(LoadError::Malformed("output phase screen length"));
+    }
+    if !output_phases.iter().all(|p| p.is_finite()) {
+        return Err(LoadError::Malformed("non-finite output phase"));
+    }
+    Ok(UnitaryMesh::from_physical_order(n, &ts, output_phases))
+}
+
+fn write_matrix(w: &mut Writer, m: &CMatrix) {
+    w.u32(m.rows() as u32);
+    w.u32(m.cols() as u32);
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            w.f64(m[(r, c)].re);
+            w.f64(m[(r, c)].im);
+        }
+    }
+}
+
+fn read_matrix(r: &mut Reader<'_>) -> Result<CMatrix, LoadError> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    if rows == 0 || cols == 0 {
+        return Err(LoadError::Malformed("zero-size matrix"));
+    }
+    // Cap each dimension before multiplying: unchecked `rows * cols * 16`
+    // can wrap for forged u32 dimensions, turning the truncation guard
+    // into a huge allocation (an abort, not the promised load-or-retrain
+    // fallback). Real SPNN matrices are a few hundred rows at most.
+    if rows > 1 << 16 || cols > 1 << 16 {
+        return Err(LoadError::Malformed("implausible matrix dimensions"));
+    }
+    if r.buf.len() - r.pos < rows * cols * 16 {
+        return Err(LoadError::Malformed("truncated matrix"));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        let re = r.f64()?;
+        let im = r.f64()?;
+        data.push(C64::new(re, im));
+    }
+    CMatrix::from_vec(rows, cols, data).map_err(|_| LoadError::Malformed("matrix shape"))
+}
+
+/// Serializes a context (weights + all materialized mappings) into the
+/// versioned on-disk format, returning the bytes and the number of
+/// mappings serialized. Endian-stable: every integer is little-endian,
+/// every float is raw IEEE 754 bits.
+fn serialize_context(ctx: &TrainedContext) -> (Vec<u8>, usize) {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.buf.extend_from_slice(&ctx.fingerprint.key);
+    w.str(&ctx.fingerprint.canonical);
+    w.f64(ctx.train_accuracy);
+
+    let weights = ctx.software.weights();
+    w.u32(weights.len() as u32);
+    for weight in &weights {
+        write_matrix(&mut w, weight);
+    }
+
+    let mappings = ctx.mappings.lock().expect("mappings lock");
+    let n_mappings = mappings.len();
+    // Deterministic file bytes: sort mappings by key.
+    let mut keys: Vec<&MappingKey> = mappings.keys().collect();
+    keys.sort();
+    w.u32(keys.len() as u32);
+    for key in keys {
+        let hw = &mappings[key];
+        w.u8(key.0);
+        match key.1 {
+            Some(seed) => {
+                w.u8(1);
+                w.u64(seed);
+            }
+            None => {
+                w.u8(0);
+                w.u64(0);
+            }
+        }
+        w.u32(hw.n_layers() as u32);
+        for layer in hw.layers() {
+            write_mesh(&mut w, layer.v_mesh());
+            let sigma = layer.sigma();
+            w.u32(sigma.out_dim() as u32);
+            w.u32(sigma.in_dim() as u32);
+            w.f64(sigma.beta());
+            let (thetas, phis): (Vec<f64>, Vec<f64>) =
+                (0..sigma.n_mzis()).map(|i| sigma.phases(i)).unzip();
+            w.f64s(&thetas);
+            w.f64s(&phis);
+            write_mesh(&mut w, layer.u_mesh());
+        }
+    }
+    drop(mappings);
+
+    let checksum = fnv1a64(&w.buf, FNV_BASIS);
+    w.u64(checksum);
+    (w.buf, n_mappings)
+}
+
+/// Parses an entry, returning `(canonical, train_accuracy, n_mappings)`
+/// metadata plus the reconstructed context via [`deserialize_context`].
+fn parse_entry(bytes: &[u8]) -> Result<(String, f64, usize), LoadError> {
+    let ctx = deserialize_context(bytes, None)?;
+    Ok((
+        ctx.fingerprint.canonical.clone(),
+        ctx.train_accuracy,
+        ctx.n_mappings(),
+    ))
+}
+
+/// Decodes and validates a cache file. When `expect` is given, the stored
+/// fingerprint (key *and* canonical string) must match it.
+fn deserialize_context(
+    bytes: &[u8],
+    expect: Option<&Fingerprint>,
+) -> Result<TrainedContext, LoadError> {
+    if bytes.len() < MAGIC.len() + 4 + 16 + 8 {
+        return Err(LoadError::Malformed("file too short"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored_checksum = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a64(body, FNV_BASIS) != stored_checksum {
+        return Err(LoadError::BadChecksum);
+    }
+
+    let mut r = Reader::new(body);
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let mut key = [0u8; 16];
+    key.copy_from_slice(r.take(16)?);
+    let canonical = r.str()?;
+    let stored_fp = Fingerprint::of_canonical(canonical);
+    if stored_fp.key != key {
+        // The stored key must be the hash of the stored canonical string.
+        return Err(LoadError::Malformed(
+            "key does not hash the canonical string",
+        ));
+    }
+    if let Some(expect) = expect {
+        if *expect != stored_fp {
+            return Err(LoadError::FingerprintMismatch);
+        }
+    }
+    let train_accuracy = r.f64()?;
+
+    // Bound every count before pre-allocating from it: the checksum is
+    // not cryptographic, so a crafted file must hit load-or-retrain, not
+    // an allocation abort. Real networks have a handful of layers and a
+    // handful of (topology, shuffle) mappings.
+    let n_layers = r.u32()? as usize;
+    if n_layers == 0 || n_layers > 64 {
+        return Err(LoadError::Malformed("implausible layer count"));
+    }
+    let mut weights = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        weights.push(read_matrix(&mut r)?);
+    }
+    for pair in weights.windows(2) {
+        if pair[1].cols() != pair[0].rows() {
+            return Err(LoadError::Malformed("layer shapes do not chain"));
+        }
+    }
+    let software = ComplexNetwork::from_weights(weights);
+
+    let n_mappings = r.u32()? as usize;
+    if n_mappings > 256 {
+        return Err(LoadError::Malformed("implausible mapping count"));
+    }
+    let mut mappings = HashMap::with_capacity(n_mappings);
+    for _ in 0..n_mappings {
+        let topo_code = r.u8()?;
+        let Some(topology) = topology_from_code(topo_code) else {
+            return Err(LoadError::Malformed("unknown topology code"));
+        };
+        let has_shuffle = r.u8()?;
+        let seed_raw = r.u64()?;
+        let shuffle_seed = match has_shuffle {
+            0 => None,
+            1 => Some(seed_raw),
+            _ => return Err(LoadError::Malformed("bad shuffle flag")),
+        };
+        let hw_layers = r.u32()? as usize;
+        if hw_layers != software.n_layers() {
+            return Err(LoadError::Malformed("mapping layer count mismatch"));
+        }
+        let mut layers = Vec::with_capacity(hw_layers);
+        for (l, weight) in software.weights().iter().enumerate() {
+            let v_mesh = read_mesh(&mut r)?;
+            let out_dim = r.u32()? as usize;
+            let in_dim = r.u32()? as usize;
+            let beta = r.f64()?;
+            let thetas = r.f64s()?;
+            let phis = r.f64s()?;
+            if out_dim != weight.rows()
+                || in_dim != weight.cols()
+                || thetas.len() != out_dim.min(in_dim)
+                || phis.len() != thetas.len()
+                || !beta.is_finite()
+                || beta <= 0.0
+                || !thetas.iter().chain(phis.iter()).all(|x| x.is_finite())
+            {
+                return Err(LoadError::Malformed("sigma line"));
+            }
+            let sigma = DiagonalLine::from_raw_parts(out_dim, in_dim, beta, thetas, phis);
+            let u_mesh = read_mesh(&mut r)?;
+            if v_mesh.n() != weight.cols() || u_mesh.n() != weight.rows() {
+                return Err(LoadError::Malformed("mesh sizes"));
+            }
+            let _ = l;
+            layers.push(PhotonicLayer::from_parts(
+                v_mesh,
+                sigma,
+                u_mesh,
+                (*weight).clone(),
+            ));
+        }
+        mappings.insert(
+            (topo_code, shuffle_seed),
+            Arc::new(PhotonicNetwork::from_layers(layers, topology)),
+        );
+    }
+    if r.pos != body.len() {
+        return Err(LoadError::Malformed("trailing bytes"));
+    }
+
+    Ok(TrainedContext {
+        fingerprint: stored_fp,
+        software,
+        train_accuracy,
+        persisted_mappings: AtomicUsize::new(mappings.len()),
+        mappings: Mutex::new(mappings),
+    })
+}
+
+/// Loads and validates the entry at `path` for fingerprint `fp`.
+fn load_entry(path: &Path, fp: &Fingerprint) -> Result<TrainedContext, LoadError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::NotFound),
+        Err(e) => return Err(LoadError::Io(e.to_string())),
+    };
+    deserialize_context(&bytes, Some(fp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunScale;
+
+    fn tiny_spec() -> ScenarioSpec {
+        crate::presets::fig4(&RunScale::tiny())
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spnn-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprint_ignores_evaluation_only_fields() {
+        let base = Fingerprint::of_spec(&tiny_spec());
+        let mut spec = tiny_spec();
+        spec.name = "renamed".into();
+        spec.sweep.sigmas = vec![0.0, 0.3];
+        spec.sweep.modes = vec![spnn_photonics::PerturbTarget::Both];
+        spec.topologies = vec![MeshTopology::Clements, MeshTopology::Reck];
+        spec.dataset.n_test = 9999;
+        spec.iterations = 5;
+        spec.min_iterations = 2;
+        spec.target_moe = 0.25;
+        spec.round_size = 4;
+        spec.effects.quantization_bits = vec![Some(4)];
+        spec.train.shuffle_singular_values = !spec.train.shuffle_singular_values;
+        assert_eq!(Fingerprint::of_spec(&spec), base);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_training_relevant_field() {
+        type SpecMutation = Box<dyn Fn(&mut ScenarioSpec)>;
+        let base = Fingerprint::of_spec(&tiny_spec());
+        let variants: Vec<SpecMutation> = vec![
+            Box::new(|s| s.seed += 1),
+            Box::new(|s| s.dataset.n_train += 1),
+            Box::new(|s| s.dataset.crop = 5),
+            Box::new(|s| s.train.layers = vec![16, 12, 10]),
+            Box::new(|s| s.train.epochs += 1),
+            Box::new(|s| s.train.batch_size += 1),
+            Box::new(|s| s.train.learning_rate *= 2.0),
+        ];
+        let mut keys = vec![base.hex()];
+        for (i, mutate) in variants.iter().enumerate() {
+            let mut spec = tiny_spec();
+            mutate(&mut spec);
+            let fp = Fingerprint::of_spec(&spec);
+            assert_ne!(fp, base, "variant {i} did not change the fingerprint");
+            keys.push(fp.hex());
+        }
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len() + 1, "fingerprint collision");
+    }
+
+    #[test]
+    fn in_memory_cache_trains_once() {
+        let cache = ContextCache::in_memory();
+        let spec = tiny_spec();
+        let a = cache.get_or_train(&spec, false);
+        let b = cache.get_or_train(&spec, false);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.trains, s.mem_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_identical_and_skips_training() {
+        let dir = tmp_dir("roundtrip");
+        let spec = tiny_spec();
+
+        let cold = ContextCache::on_disk(&dir);
+        let ctx = cold.get_or_train(&spec, false);
+        let hw = ctx
+            .mapping(MeshTopology::Clements, Some(spec.seed ^ 0x33))
+            .unwrap();
+        cold.persist(&ctx).unwrap();
+        assert_eq!(cold.stats().trains, 1);
+
+        let warm = ContextCache::on_disk(&dir);
+        let loaded = warm.get_or_train(&spec, false);
+        let s = warm.stats();
+        assert_eq!((s.trains, s.disk_hits), (0, 1), "warm load must not train");
+        assert_eq!(loaded.n_mappings(), 1, "persisted mapping restored");
+        assert_eq!(
+            loaded.train_accuracy().to_bits(),
+            ctx.train_accuracy().to_bits()
+        );
+
+        // Weights round-trip bit for bit…
+        for (a, b) in ctx
+            .software()
+            .weights()
+            .iter()
+            .zip(loaded.software().weights())
+        {
+            for r in 0..a.rows() {
+                for c in 0..a.cols() {
+                    assert_eq!(a[(r, c)].re.to_bits(), b[(r, c)].re.to_bits());
+                    assert_eq!(a[(r, c)].im.to_bits(), b[(r, c)].im.to_bits());
+                }
+            }
+        }
+        // …and so does the restored mapping's ideal matrix.
+        let hw2 = warm
+            .get_or_train(&spec, false)
+            .mapping(MeshTopology::Clements, Some(spec.seed ^ 0x33))
+            .unwrap();
+        for (a, b) in hw.ideal_matrices().iter().zip(hw2.ideal_matrices().iter()) {
+            for r in 0..a.rows() {
+                for c in 0..a.cols() {
+                    assert_eq!(a[(r, c)].re.to_bits(), b[(r, c)].re.to_bits());
+                    assert_eq!(a[(r, c)].im.to_bits(), b[(r, c)].im.to_bits());
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_skips_when_the_entry_is_current() {
+        let dir = tmp_dir("skip");
+        let spec = tiny_spec();
+        let cold = ContextCache::on_disk(&dir);
+        let ctx = cold.get_or_train(&spec, false);
+        let path = entry_path(&dir, ctx.fingerprint());
+        assert!(path.exists(), "cold train persists");
+
+        // Warm load: persisting with no new mappings must be a no-op —
+        // remove the file and verify persist does not recreate it.
+        let warm = ContextCache::on_disk(&dir);
+        let loaded = warm.get_or_train(&spec, false);
+        std::fs::remove_file(&path).unwrap();
+        warm.persist(&loaded).unwrap();
+        assert!(!path.exists(), "unchanged context must not rewrite");
+
+        // A newly materialized mapping makes the entry stale → rewrite.
+        loaded.mapping(MeshTopology::Clements, None).unwrap();
+        warm.persist(&loaded).unwrap();
+        assert!(path.exists(), "grown context must persist");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_files_fall_back_to_retraining() {
+        let dir = tmp_dir("corrupt");
+        let spec = tiny_spec();
+        let cold = ContextCache::on_disk(&dir);
+        let ctx = cold.get_or_train(&spec, false);
+        let path = entry_path(&dir, ctx.fingerprint());
+
+        let pristine = std::fs::read(&path).unwrap();
+        let corruptions: Vec<Vec<u8>> = vec![
+            Vec::new(),                              // empty file
+            pristine[..pristine.len() / 2].to_vec(), // truncated
+            {
+                let mut b = pristine.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0xFF; // flipped byte in the middle
+                b
+            },
+            {
+                let mut b = pristine.clone();
+                b[0] ^= 0x01; // bad magic
+                b
+            },
+            b"not a cache file at all".to_vec(),
+        ];
+        for (i, bytes) in corruptions.iter().enumerate() {
+            std::fs::write(&path, bytes).unwrap();
+            let warm = ContextCache::on_disk(&dir);
+            let re = warm.get_or_train(&spec, false);
+            assert_eq!(warm.stats().trains, 1, "corruption {i} did not retrain");
+            assert_eq!(warm.stats().disk_hits, 0, "corruption {i} was accepted");
+            // The retrained context matches the original bit for bit.
+            assert_eq!(
+                re.train_accuracy().to_bits(),
+                ctx.train_accuracy().to_bits(),
+                "corruption {i}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_invalidates_entries() {
+        let dir = tmp_dir("version");
+        let spec = tiny_spec();
+        let cold = ContextCache::on_disk(&dir);
+        let ctx = cold.get_or_train(&spec, false);
+        let path = entry_path(&dir, ctx.fingerprint());
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Patch the version field (right after magic) and re-seal the
+        // checksum so only the version check can reject it.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let len = bytes.len();
+        let sum = fnv1a64(&bytes[..len - 8], FNV_BASIS);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let warm = ContextCache::on_disk(&dir);
+        let _ = warm.get_or_train(&spec, false);
+        assert_eq!(warm.stats().trains, 1, "future version must not load");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_entries_reports_good_and_corrupt_files() {
+        let dir = tmp_dir("ls");
+        let spec = tiny_spec();
+        let cache = ContextCache::on_disk(&dir);
+        let ctx = cache.get_or_train(&spec, false);
+        std::fs::write(
+            dir.join("ctx-feedfacefeedfacefeedfacefeedface.spnnctx"),
+            b"junk",
+        )
+        .unwrap();
+        std::fs::write(dir.join("README"), b"ignored").unwrap();
+
+        let entries = list_entries(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        let good = entries.iter().find(|e| e.ok).expect("valid entry listed");
+        assert_eq!(good.key_hex, ctx.fingerprint().hex());
+        assert_eq!(
+            good.canonical.as_deref(),
+            Some(ctx.fingerprint().canonical())
+        );
+        assert_eq!(good.n_mappings, Some(0));
+        let bad = entries
+            .iter()
+            .find(|e| !e.ok)
+            .expect("corrupt entry listed");
+        assert_eq!(bad.key_hex, "feedfacefeedfacefeedfacefeedface");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_lists_empty() {
+        let entries = list_entries(Path::new("/nonexistent/spnn-cache-xyz")).unwrap();
+        assert!(entries.is_empty());
+    }
+}

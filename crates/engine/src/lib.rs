@@ -29,6 +29,14 @@
 //! - [`presets`] — built-in scenarios reproducing the paper's figures
 //!   (Fig. 4 / EXP 1, Fig. 5 / EXP 2, quantization/thermal/topology
 //!   ablations), used by the `spnn` CLI and the `spnn-bench` binaries.
+//! - [`cache`] — the trained-context cache: scenarios sharing a training
+//!   [`cache::Fingerprint`] (dataset, architecture, optimizer
+//!   hyper-parameters, seed) train **once**, in-memory within a run and
+//!   on disk across runs, with bit-identical results either way.
+//!
+//! The guides under `docs/` at the workspace root complement the rustdoc:
+//! `docs/scenario-format.md` is the complete `.scn` reference and
+//! `docs/architecture.md` maps the crate stack and the engine's data flow.
 //!
 //! # CLI
 //!
@@ -36,8 +44,10 @@
 //!
 //! ```text
 //! spnn run scenarios/fig4.scn --format csv --out results/fig4.csv
+//! spnn run scenarios/fig4.scn scenarios/fig5.scn --out results/
 //! spnn example fig4          # print a ready-to-edit scenario file
 //! spnn validate my.scn       # parse + compile, print the queue size
+//! spnn cache ls              # inspect the trained-context cache
 //! ```
 //!
 //! # Example
@@ -55,11 +65,13 @@
 //! assert!(report.rows.iter().all(|r| (0.0..=1.0).contains(&r.mean)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batched;
+pub mod cache;
 pub mod estimator;
+mod fnv;
 pub mod presets;
 pub mod queue;
 pub mod report;
@@ -67,18 +79,26 @@ pub mod runner;
 pub mod spec;
 
 pub use batched::TestBatch;
+pub use cache::{ContextCache, Fingerprint, TrainedContext};
 pub use estimator::{StopRule, Welford};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
-pub use runner::{run_point, run_scenario, EngineConfig, EngineReport, PointResult, SweepRow};
+pub use runner::{
+    run_point, run_scenario, run_scenario_with, run_scenarios, EngineConfig, EngineReport,
+    PointResult, SweepRow,
+};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 
 /// Commonly used items, importable with `use spnn_engine::prelude::*`.
 pub mod prelude {
     pub use crate::batched::TestBatch;
+    pub use crate::cache::{ContextCache, Fingerprint};
     pub use crate::estimator::{StopRule, Welford};
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
-    pub use crate::runner::{run_point, run_scenario, EngineConfig, EngineReport, SweepRow};
+    pub use crate::runner::{
+        run_point, run_scenario, run_scenario_with, run_scenarios, EngineConfig, EngineReport,
+        SweepRow,
+    };
     pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
 }

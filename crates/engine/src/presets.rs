@@ -7,6 +7,11 @@
 //! (`SPNN_MC=1000 SPNN_NTEST=10000`). The checked-in `scenarios/*.scn`
 //! files at the workspace root are the serialized form of these presets at
 //! default scale — regenerate them with `spnn example <name>`.
+//!
+//! All presets share the paper's dataset, architecture and seed, so at any
+//! one scale they share a single training [`crate::cache::Fingerprint`]:
+//! running several of them through one cache (`spnn run a.scn b.scn …`, or
+//! [`crate::run_scenarios`]) trains exactly once.
 
 use crate::spec::{PlanKind, RunScale, ScenarioSpec};
 use spnn_core::MeshTopology;

@@ -7,6 +7,13 @@
 //! item per 2×2 zone of every selected unitary multiplier (which is why
 //! compilation needs the mapped [`PhotonicNetwork`] — the zone grids
 //! depend on the mesh shapes).
+//!
+//! Queue compilation is independent of *how* the mapped network was
+//! obtained: the runner hands it either a freshly synthesized mapping or
+//! one restored from the trained-context cache ([`crate::cache`]), and the
+//! resulting queue — per-point seeds included — is identical, because
+//! seeds derive from the spec seed and the point labels alone (see
+//! [`WorkItem::seed`]), never from queue position or mapping identity.
 
 use crate::spec::{LayerSelect, PlanKind, ScenarioSpec};
 use spnn_core::exp1::spec_for_mode;
@@ -34,21 +41,20 @@ pub struct WorkItem {
 /// FNV-1a over the label set: the per-point seed is a pure function of the
 /// spec seed and the point's *semantic identity*, not its queue position.
 /// Adding values to an axis therefore never reseeds existing points.
+///
+/// Uses the crate-shared [`crate::fnv`] streaming hasher over the
+/// `key=value;` byte stream — byte-for-byte the same hash the original
+/// inline implementation computed, so existing per-point seeds are
+/// unchanged.
 fn label_seed(spec_seed: u64, labels: &[(&'static str, String)]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
+    let mut h = crate::fnv::Fnv1a64::with_basis(crate::fnv::FNV_BASIS);
     for (k, v) in labels {
-        eat(k.as_bytes());
-        eat(b"=");
-        eat(v.as_bytes());
-        eat(b";");
+        h.write(k.as_bytes());
+        h.write(b"=");
+        h.write(v.as_bytes());
+        h.write(b";");
     }
-    splitmix64(spec_seed ^ h)
+    splitmix64(spec_seed ^ h.finish())
 }
 
 fn effects_grid(spec: &ScenarioSpec) -> Vec<(Vec<(&'static str, String)>, HardwareEffects)> {

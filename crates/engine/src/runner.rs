@@ -17,6 +17,7 @@
 //!    per-sample `mc_accuracy` path.
 
 use crate::batched::TestBatch;
+use crate::cache::ContextCache;
 use crate::estimator::{StopRule, Welford};
 use crate::queue::compile;
 use crate::spec::{topology_name, ScenarioSpec};
@@ -24,8 +25,8 @@ use spnn_core::monte_carlo::iteration_rng;
 use spnn_core::network::SpnnError;
 use spnn_core::{HardwareEffects, McResult, PerturbationPlan, PhotonicNetwork};
 use spnn_dataset::{DatasetConfig, SpnnDataset};
-use spnn_neural::{train, ComplexNetwork, TrainConfig};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Execution knobs that must not change results — only speed.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +35,10 @@ pub struct EngineConfig {
     pub threads: Option<usize>,
     /// Print per-point progress to stderr.
     pub verbose: bool,
+    /// Trained-context cache directory. `None` (the default) keeps the
+    /// cache in memory only; results are bit-identical either way (see
+    /// [`crate::cache`]).
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// The outcome of one sweep point.
@@ -216,7 +221,10 @@ impl std::error::Error for EngineError {}
 /// mapping per topology, queue compilation, and the Monte-Carlo sweep.
 ///
 /// Deterministic: the report is a pure function of `(spec)`; `config` only
-/// affects wall-clock and logging.
+/// affects wall-clock and logging. Training goes through a fresh
+/// [`ContextCache`] built from `config.cache_dir` — use
+/// [`run_scenarios`] (or [`run_scenario_with`] with a shared cache) to
+/// train once across scenarios that share a training fingerprint.
 ///
 /// # Errors
 ///
@@ -226,34 +234,66 @@ pub fn run_scenario(
     spec: &ScenarioSpec,
     config: &EngineConfig,
 ) -> Result<EngineReport, EngineError> {
+    let cache = ContextCache::new(config.cache_dir.clone());
+    run_scenario_with(spec, config, &cache)
+}
+
+/// Runs several scenarios through one shared trained-context cache:
+/// scenarios with the same training fingerprint (dataset, architecture,
+/// optimizer hyper-parameters, seed) train exactly once.
+///
+/// Reports come back in input order; the run fails fast on the first
+/// scenario error.
+///
+/// # Errors
+///
+/// Returns the first scenario's [`EngineError`], if any.
+pub fn run_scenarios(
+    specs: &[ScenarioSpec],
+    config: &EngineConfig,
+) -> Result<Vec<EngineReport>, EngineError> {
+    let cache = ContextCache::new(config.cache_dir.clone());
+    specs
+        .iter()
+        .map(|spec| run_scenario_with(spec, config, &cache))
+        .collect()
+}
+
+/// Runs one scenario against an explicit trained-context `cache` — the
+/// primitive behind [`run_scenario`] and [`run_scenarios`]. The report is
+/// bit-identical whether the context comes from memory, from disk, or from
+/// a fresh training run.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the spec fails validation or a weight matrix
+/// cannot be mapped onto hardware (not expected for trained weights).
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+) -> Result<EngineReport, EngineError> {
     spec.validate().map_err(EngineError::Invalid)?;
 
+    let ctx = cache.get_or_train(spec, config.verbose);
+    // Only the test split is generated here; the training split lives
+    // behind the cache (its RNG stream is independent, so the test set is
+    // identical either way).
     let data = SpnnDataset::generate(&DatasetConfig {
-        n_train: spec.dataset.n_train,
+        n_train: 0,
         n_test: spec.dataset.n_test,
         crop: spec.dataset.crop,
         seed: spec.seed,
     });
-    let mut software = ComplexNetwork::new(&spec.train.layers, spec.seed ^ 0x11);
-    let report = train(
-        &mut software,
-        &data.train_features,
-        &data.train_labels,
-        &TrainConfig {
-            epochs: spec.train.epochs,
-            batch_size: spec.train.batch_size,
-            learning_rate: spec.train.learning_rate,
-            seed: spec.seed ^ 0x22,
-            verbose: false,
-        },
-    );
-    let software_accuracy = software.accuracy(&data.test_features, &data.test_labels);
+    let software_accuracy = ctx
+        .software()
+        .accuracy(&data.test_features, &data.test_labels);
     if config.verbose {
         eprintln!(
-            "[engine] {}: trained {} epochs (train acc {:.2}%, test acc {:.2}%)",
+            "[engine] {}: context {} (train acc {:.2}%, test acc {:.2}%)",
             spec.name,
-            spec.train.epochs,
-            report.train_accuracy * 100.0,
+            ctx.fingerprint().short(),
+            ctx.train_accuracy() * 100.0,
             software_accuracy * 100.0
         );
     }
@@ -271,7 +311,8 @@ pub fn run_scenario(
     let mut topologies = Vec::with_capacity(spec.topologies.len());
     let mut rows = Vec::new();
     for &topology in &spec.topologies {
-        let hardware = PhotonicNetwork::from_network(&software, topology, shuffle_seed)
+        let hardware = ctx
+            .mapping(topology, shuffle_seed)
             .map_err(EngineError::Mapping)?;
         let nominal_accuracy = batch.accuracy_with(&hardware, &hardware.ideal_matrices());
         let topo_name = topology_name(topology);
@@ -323,6 +364,14 @@ pub fn run_scenario(
         }
     }
 
+    // Re-persist so mappings synthesized during this run land on disk —
+    // the next warm load then skips SVD + mesh synthesis as well.
+    if let Err(e) = cache.persist(&ctx) {
+        if config.verbose {
+            eprintln!("[engine] warning: could not persist trained context: {e}");
+        }
+    }
+
     Ok(EngineReport {
         scenario: spec.name.clone(),
         topologies,
@@ -335,6 +384,7 @@ mod tests {
     use super::*;
     use spnn_core::{mc_accuracy, MeshTopology};
     use spnn_linalg::C64;
+    use spnn_neural::ComplexNetwork;
     use spnn_photonics::UncertaintySpec;
 
     fn setup() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {

@@ -421,10 +421,32 @@ impl ScenarioSpec {
         s
     }
 
-    /// Parses the `*.scn` text format.
+    /// Parses the `*.scn` text format (see `docs/scenario-format.md` for
+    /// the complete reference).
     ///
     /// Unknown keys and malformed values are errors (they are almost always
-    /// typos that would otherwise silently fall back to defaults).
+    /// typos that would otherwise silently fall back to defaults). Omitted
+    /// keys keep their [`ScenarioSpec::default`] values — the paper's EXP 1
+    /// configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spnn_engine::ScenarioSpec;
+    ///
+    /// let spec = ScenarioSpec::parse(
+    ///     "name = demo\n\
+    ///      seed = 3\n\
+    ///      [sweep]\n\
+    ///      mode = both\n\
+    ///      sigma = 0.0, 0.05\n",
+    /// )?;
+    /// assert_eq!(spec.name, "demo");
+    /// assert_eq!(spec.sweep.sigmas, vec![0.0, 0.05]);
+    /// // Serialization round-trips exactly.
+    /// assert_eq!(ScenarioSpec::parse(&spec.to_text())?, spec);
+    /// # Ok::<(), spnn_engine::ParseError>(())
+    /// ```
     ///
     /// # Errors
     ///

@@ -1,14 +1,19 @@
 //! Integration tests for the `spnn-engine` subsystem: thread-count
 //! determinism, batched-forward parity with the per-sample Monte-Carlo
-//! reference, and adaptive early-termination correctness.
+//! reference, adaptive early-termination correctness, and trained-context
+//! cache reuse (bit-identical warm runs, train-once across scenarios,
+//! corruption fallback).
 
 use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_engine::cache::{entry_path, ContextCache, Fingerprint};
 use spnn_engine::prelude::*;
+use spnn_engine::runner::{run_scenario_with, run_scenarios};
 use spnn_engine::spec::PlanKind;
 use spnn_engine::StopRule;
 use spnn_linalg::C64;
 use spnn_neural::ComplexNetwork;
 use spnn_photonics::{PerturbTarget, UncertaintySpec};
+use std::path::PathBuf;
 
 fn tiny_network() -> (PhotonicNetwork, Vec<Vec<C64>>, Vec<usize>) {
     let sw = ComplexNetwork::new(&[5, 5, 4], 17);
@@ -76,6 +81,7 @@ fn scenario_reports_are_identical_across_thread_counts() {
         let cfg = EngineConfig {
             threads: Some(threads),
             verbose: false,
+            ..EngineConfig::default()
         };
         reports.push(run_scenario(&spec, &cfg).expect("scenario runs"));
     }
@@ -87,6 +93,7 @@ fn scenario_reports_are_identical_across_thread_counts() {
         &EngineConfig {
             threads: Some(2),
             verbose: false,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -194,6 +201,7 @@ fn zero_target_runs_the_full_budget() {
         &EngineConfig {
             threads: Some(2),
             verbose: false,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -217,6 +225,7 @@ fn adaptive_scenario_saves_iterations_on_easy_points() {
         &EngineConfig {
             threads: Some(2),
             verbose: false,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -250,6 +259,7 @@ fn fig4_scenario_shape() {
         &EngineConfig {
             threads: None,
             verbose: false,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -294,6 +304,7 @@ fn fig5_zonal_scenario_runs_end_to_end() {
         &EngineConfig {
             threads: Some(2),
             verbose: false,
+            ..EngineConfig::default()
         },
     )
     .unwrap();
@@ -314,4 +325,143 @@ fn fig5_zonal_scenario_runs_end_to_end() {
     label_sets.sort();
     label_sets.dedup();
     assert_eq!(label_sets.len(), n, "every zone appears exactly once");
+}
+
+// ---------------------------------------------------------------------------
+// Trained-context cache
+// ---------------------------------------------------------------------------
+
+fn cache_tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spnn-engine-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Reports must be equal *bitwise*, not just `PartialEq`-equal (which
+/// would already fail on any difference, but says nothing about NaN and
+/// signed zeros).
+fn assert_reports_bit_identical(a: &EngineReport, b: &EngineReport) {
+    assert_eq!(a, b, "reports differ structurally");
+    for (ta, tb) in a.topologies.iter().zip(&b.topologies) {
+        assert_eq!(
+            ta.software_accuracy.to_bits(),
+            tb.software_accuracy.to_bits()
+        );
+        assert_eq!(ta.nominal_accuracy.to_bits(), tb.nominal_accuracy.to_bits());
+    }
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.mean.to_bits(), rb.mean.to_bits(), "{:?}", ra.labels);
+        assert_eq!(ra.std_dev.to_bits(), rb.std_dev.to_bits());
+        assert_eq!(ra.moe95.to_bits(), rb.moe95.to_bits());
+    }
+}
+
+/// The acceptance guarantee: a warm-cache re-run of a scenario skips
+/// training entirely and produces a bit-identical report.
+#[test]
+fn warm_cache_rerun_is_bit_identical_and_skips_training() {
+    let dir = cache_tmp_dir("warm-rerun");
+    let spec = tiny_spec();
+    let config = EngineConfig::default();
+
+    let cold_cache = ContextCache::on_disk(&dir);
+    let cold = run_scenario_with(&spec, &config, &cold_cache).expect("cold run");
+    assert_eq!(cold_cache.stats().trains, 1);
+
+    // A fresh cache over the same directory models a new process.
+    let warm_cache = ContextCache::on_disk(&dir);
+    let warm = run_scenario_with(&spec, &config, &warm_cache).expect("warm run");
+    let s = warm_cache.stats();
+    assert_eq!(s.trains, 0, "warm run must not train");
+    assert_eq!(s.disk_hits, 1, "warm run must load from disk");
+    assert_reports_bit_identical(&cold, &warm);
+
+    // And both equal the uncached reference — caching is invisible in the
+    // results.
+    let uncached = run_scenario(&spec, &config).expect("uncached run");
+    assert_reports_bit_identical(&cold, &uncached);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two scenarios sharing (dataset, architecture, seed) — e.g. fig4's
+/// global sweep and fig5's zonal sweep — train exactly once.
+#[test]
+fn scenarios_sharing_a_fingerprint_train_once() {
+    let scale = RunScale::tiny();
+    let mut fig4 = presets::fig4(&scale);
+    fig4.sweep.modes = vec![PerturbTarget::Both];
+    fig4.sweep.sigmas = vec![0.0, 0.1];
+    fig4.iterations = 3;
+    fig4.min_iterations = 2;
+    let mut fig5 = presets::fig5(&scale);
+    fig5.iterations = 3;
+    fig5.min_iterations = 2;
+    fig5.zonal.layers = spnn_engine::spec::LayerSelect::List(vec![0]);
+    fig5.zonal.stages = vec![spnn_core::Stage::UMesh];
+    assert_eq!(
+        Fingerprint::of_spec(&fig4),
+        Fingerprint::of_spec(&fig5),
+        "fig4/fig5 share dataset, architecture and seed"
+    );
+
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let a = run_scenario_with(&fig4, &config, &cache).expect("fig4");
+    let b = run_scenario_with(&fig5, &config, &cache).expect("fig5");
+    let s = cache.stats();
+    assert_eq!(s.trains, 1, "second scenario must reuse the context");
+    assert_eq!(s.mem_hits, 1);
+
+    // Reuse must not change results relative to isolated runs.
+    assert_reports_bit_identical(&a, &run_scenario(&fig4, &config).unwrap());
+    assert_reports_bit_identical(&b, &run_scenario(&fig5, &config).unwrap());
+}
+
+/// `run_scenarios` wires the shared cache in itself and preserves input
+/// order.
+#[test]
+fn run_scenarios_matches_individual_runs() {
+    let mut a = tiny_spec();
+    a.name = "a".into();
+    let mut b = tiny_spec();
+    b.name = "b".into();
+    b.sweep.sigmas = vec![0.0, 0.08];
+    let config = EngineConfig::default();
+    let batch = run_scenarios(&[a.clone(), b.clone()], &config).expect("batch run");
+    assert_eq!(batch.len(), 2);
+    assert_eq!(batch[0].scenario, "a");
+    assert_eq!(batch[1].scenario, "b");
+    assert_reports_bit_identical(&batch[0], &run_scenario(&a, &config).unwrap());
+    assert_reports_bit_identical(&batch[1], &run_scenario(&b, &config).unwrap());
+}
+
+/// A corrupted cache file must fall back to retraining and still produce
+/// the bit-identical report.
+#[test]
+fn corrupted_cache_entry_falls_back_to_identical_results() {
+    let dir = cache_tmp_dir("corrupt-report");
+    let spec = tiny_spec();
+    let config = EngineConfig::default();
+
+    let cold_cache = ContextCache::on_disk(&dir);
+    let cold = run_scenario_with(&spec, &config, &cold_cache).expect("cold run");
+    let path = entry_path(&dir, &Fingerprint::of_spec(&spec));
+    let mut bytes = std::fs::read(&path).expect("entry written");
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x5A;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let warm_cache = ContextCache::on_disk(&dir);
+    let warm = run_scenario_with(&spec, &config, &warm_cache).expect("fallback run");
+    let s = warm_cache.stats();
+    assert_eq!(s.disk_hits, 0, "corrupt entry must not load");
+    assert_eq!(s.trains, 1, "fallback must retrain");
+    assert_reports_bit_identical(&cold, &warm);
+
+    // The retrain overwrote the corrupt entry with a good one.
+    let healed = ContextCache::on_disk(&dir);
+    let again = run_scenario_with(&spec, &config, &healed).expect("healed run");
+    assert_eq!(healed.stats().disk_hits, 1, "entry was healed");
+    assert_reports_bit_identical(&cold, &again);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -81,6 +81,49 @@ impl DiagonalLine {
         }
     }
 
+    /// Rebuilds a line from previously tuned parameters — the persistence
+    /// twin of [`DiagonalLine::from_singular_values`], used by the trained-
+    /// context cache to reconstruct a stored photonic mapping bit for bit
+    /// (`thetas`/`phis`/`beta` round-trip exactly through
+    /// [`DiagonalLine::phases`] and [`DiagonalLine::beta`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, the phase lists differ in length
+    /// or do not hold `min(out_dim, in_dim)` entries, or any parameter is
+    /// non-finite (a corrupted cache file must fail loudly here rather than
+    /// poison every later Monte-Carlo sample).
+    pub fn from_raw_parts(
+        out_dim: usize,
+        in_dim: usize,
+        beta: f64,
+        thetas: Vec<f64>,
+        phis: Vec<f64>,
+    ) -> Self {
+        assert!(out_dim > 0 && in_dim > 0, "dimensions must be positive");
+        assert_eq!(
+            thetas.len(),
+            out_dim.min(in_dim),
+            "need min(out, in) attenuator phases"
+        );
+        assert_eq!(thetas.len(), phis.len(), "theta/phi length mismatch");
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "beta must be finite and positive"
+        );
+        assert!(
+            thetas.iter().chain(phis.iter()).all(|x| x.is_finite()),
+            "phases must be finite"
+        );
+        Self {
+            out_dim,
+            in_dim,
+            beta,
+            thetas,
+            phis,
+        }
+    }
+
     /// Output dimension of `Σ` (rows).
     #[inline]
     pub fn out_dim(&self) -> usize {
@@ -172,6 +215,31 @@ impl DiagonalLine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_parts_round_trip_is_exact() {
+        let line = DiagonalLine::from_singular_values(&[2.5, 1.0, 0.25], 3, 4);
+        let (thetas, phis): (Vec<f64>, Vec<f64>) =
+            (0..line.n_mzis()).map(|i| line.phases(i)).unzip();
+        let rebuilt =
+            DiagonalLine::from_raw_parts(line.out_dim(), line.in_dim(), line.beta(), thetas, phis);
+        assert_eq!(rebuilt, line);
+        // Bit-identical matrices, not just approximately equal.
+        let a = line.matrix();
+        let b = rebuilt.matrix();
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(a[(r, c)].re.to_bits(), b[(r, c)].re.to_bits());
+                assert_eq!(a[(r, c)].im.to_bits(), b[(r, c)].im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn raw_parts_reject_non_finite_phases() {
+        let _ = DiagonalLine::from_raw_parts(1, 1, 1.0, vec![f64::NAN], vec![0.0]);
+    }
 
     #[test]
     fn square_reconstruction() {

@@ -125,7 +125,7 @@ fn ln_1p_unit(u: f64) -> f64 {
 /// Numerically stable softplus `ln(1 + eˣ)`.
 ///
 /// Computed as `max(x, 0) + ln(1 + e^{−|x|})` (overflow-free) on top of
-/// the branchless arithmetic kernels [`exp_neg`] / [`ln_1p_unit`]
+/// the branchless arithmetic kernels `exp_neg` / `ln_1p_unit`
 /// instead of libm, so the batched forward path (`spnn-engine`) can
 /// auto-vectorize whole activation planes while remaining bit-identical
 /// to per-sample evaluation. Agrees with the libm formulation to better

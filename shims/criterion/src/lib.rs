@@ -6,7 +6,7 @@
 //! [`Criterion::bench_function`], benchmark groups with `sample_size` and
 //! `bench_with_input`, and [`Bencher::iter`] — backed by a simple but honest
 //! measurement loop: per sample, the closure is run in a timed batch sized
-//! to ~[`Criterion::target_batch_time`], and the median ns/iteration over
+//! to ~`Criterion::target_batch_time`, and the median ns/iteration over
 //! all samples is reported.
 //!
 //! Statistical niceties of real criterion (outlier classification, HTML
