@@ -4,21 +4,26 @@
 //! ```text
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
 //!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
+//!          [--shards K --shard-index I]
+//! spnn merge <part.json>... [--format csv|json] [--out PATH]
 //! spnn validate <spec.scn>
 //! spnn example [NAME]
-//! spnn cache ls | rm <KEY>... | rm --all | path
+//! spnn cache ls | rm <KEY>... | rm --all | gc [--max-entries N]
+//!          [--max-bytes BYTES] | path
 //! spnn help
 //! ```
 //!
 //! Scenario scale knobs for presets come from the usual `SPNN_*`
 //! environment variables (`SPNN_MC`, `SPNN_NTRAIN`, `SPNN_NTEST`,
-//! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`); `SPNN_CACHE_DIR`
-//! relocates the trained-context cache. See `docs/scenario-format.md` for
-//! the spec format and `docs/architecture.md` for the engine internals.
+//! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`, `SPNN_THREADS`);
+//! `SPNN_CACHE_DIR` relocates the trained-context cache. See
+//! `docs/scenario-format.md` for the spec format, `docs/sharding.md` for
+//! the shard/merge workflow and `docs/architecture.md` for the engine
+//! internals.
 
-use spnn_engine::cache::{default_cache_dir, list_entries, ContextCache};
+use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
 use spnn_engine::prelude::*;
-use spnn_engine::runner::{run_scenario_with, EngineError};
+use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,31 +37,46 @@ USAGE:
                              sharing a training fingerprint train once
     spnn run --preset NAME   run a built-in scenario (fig4, fig5, mesh,
                              quant, thermal) at SPNN_* env scale
+    spnn merge <PART>...     merge shard partial reports into the final
+                             report (bit-identical to an unsharded run)
     spnn validate <SPEC>     parse a scenario and report its queue size
     spnn example [NAME]      print a built-in scenario file (default fig4)
     spnn cache ls            list cached trained contexts
     spnn cache rm <KEY>...   remove entries by (prefix of) key; --all wipes
+    spnn cache gc            evict least-recently-written entries down to
+                             --max-entries N and/or --max-bytes BYTES
+                             (suffixes K/M/G allowed)
     spnn cache path          print the resolved cache directory
     spnn help                this text
 
-OPTIONS (run):
+OPTIONS (run, merge):
     --format csv|json        output format (default csv)
     --out PATH               write output to PATH (default stdout); with
                              several SPECs, PATH is a directory and each
                              scenario writes <name>.<format> inside it
     --threads N              worker threads per sweep point
-                             (default: all cores; results are identical
-                             for any thread count)
+                             (default: $SPNN_THREADS, else all cores;
+                             results are identical for any thread count)
     --quiet                  suppress progress logging on stderr
     --no-cache               skip the on-disk trained-context cache
     --cache-dir DIR          cache location (default: `spnn cache path`)
+    --shards K               split the run into K deterministic shards and
+                             execute only one of them (single SPEC only;
+                             the output is a JSON partial report)
+    --shard-index I          which shard to execute (0-based, requires
+                             --shards)
+
+Sharding: `spnn run S --shards K --shard-index I` writes partial report I
+of a K-way split; run all K (any machines, any order), then
+`spnn merge part*.json` recombines them — bit-for-bit identical to the
+unsharded `spnn run S`. See docs/sharding.md.
 
 Cached contexts are reused bit-exactly: a warm-cache run produces the very
 same report as a cold one, it just skips training (and mesh synthesis).
 
 SCALE (env): SPNN_MC, SPNN_NTRAIN, SPNN_NTEST, SPNN_EPOCHS, SPNN_SEED,
 SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop),
-SPNN_CACHE_DIR.
+SPNN_THREADS, SPNN_CACHE_DIR.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -111,7 +131,8 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     let mut i = 1; // args[0] is the subcommand
     while i < args.len() {
         match args[i].as_str() {
-            "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" => i += 2,
+            "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--shards"
+            | "--shard-index" | "--max-entries" | "--max-bytes" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -162,7 +183,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return fail(&format!("unknown format {format:?} (csv|json)"));
     }
     let threads = match option_value(args, "--threads") {
-        None => None,
+        // `--threads` wins; `SPNN_THREADS` is the environment fallback the
+        // CI determinism cross-check drives (results are identical for any
+        // value, only wall-clock changes).
+        None => std::env::var("SPNN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0),
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n > 0 => Some(n),
             _ => return fail(&format!("invalid thread count {v:?}")),
@@ -175,6 +202,65 @@ fn cmd_run(args: &[String]) -> ExitCode {
         cache_dir: None, // the shared cache below carries the directory
     };
     let cache = ContextCache::new(cache_dir);
+
+    // Sharded execution: run one deterministic slice of the queue and emit
+    // a JSON partial report for `spnn merge`.
+    let shard = match (
+        option_value(args, "--shards"),
+        option_value(args, "--shard-index"),
+    ) {
+        (None, None) => None,
+        (Some(_), None) => return fail("--shards requires --shard-index"),
+        (None, Some(_)) => return fail("--shard-index requires --shards"),
+        (Some(k), Some(i)) => {
+            let shards = match k.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => return fail(&format!("invalid shard count {k:?}")),
+            };
+            let index = match i.parse::<usize>() {
+                Ok(n) if n < shards => n,
+                Ok(n) => {
+                    return fail(&format!("shard index {n} out of range (0..{shards})"));
+                }
+                _ => return fail(&format!("invalid shard index {i:?}")),
+            };
+            Some((shards, index))
+        }
+    };
+    if let Some((shards, index)) = shard {
+        if specs.len() != 1 {
+            return fail("sharded runs take exactly one scenario");
+        }
+        if option_value(args, "--format").is_some_and(|f| f != "json") {
+            return fail("partial reports are always JSON; drop --format or use --format json");
+        }
+        let partial = match run_scenario_shard_with(&specs[0], &config, &cache, shards, index) {
+            Ok(p) => p,
+            Err(e) => return fail(&e.to_string()),
+        };
+        eprintln!(
+            "[spnn] shard {index}/{shards} of {}: {} block(s), {} MC iteration(s), fingerprint {}",
+            partial.scenario,
+            partial.points.len(),
+            partial
+                .points
+                .iter()
+                .map(|p| p.samples.len())
+                .sum::<usize>(),
+            &partial.queue_fingerprint[..12],
+        );
+        let body = partial.to_json();
+        return match option_value(args, "--out") {
+            Some(path) => match write_report(Path::new(path), &body) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            },
+            None => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+        };
+    }
 
     let render = |report: &EngineReport| match format {
         "json" => to_json(report),
@@ -269,6 +355,54 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Merges shard partial reports into the final report.
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let paths = positional_args(args);
+    if paths.is_empty() {
+        return fail("merge needs at least one partial report");
+    }
+    let format = option_value(args, "--format").unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return fail(&format!("unknown format {format:?} (csv|json)"));
+    }
+    let mut partials = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = match read_spec_file(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&e),
+        };
+        match PartialReport::parse(&text) {
+            Ok(p) => partials.push(p),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    let report = match merge_partials(&partials) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    eprintln!(
+        "[spnn] merged {} partial(s) of {}: {} point(s), {} MC iteration(s)",
+        partials.len(),
+        report.scenario,
+        report.rows.len(),
+        report.total_iterations(),
+    );
+    let body = match format {
+        "json" => to_json(&report),
+        _ => to_csv(&report),
+    };
+    match option_value(args, "--out") {
+        Some(path) => match write_report(Path::new(path), &body) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        None => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 /// Reduces a scenario name to a safe file stem: path separators and other
 /// non-portable characters become `_`, and an empty result falls back to
 /// `scenario`.
@@ -327,6 +461,10 @@ fn cmd_validate(args: &[String]) -> ExitCode {
     );
     let fp = spnn_engine::Fingerprint::of_spec(&spec);
     println!("fingerprint: {} ({})", fp.short(), fp.canonical());
+    println!(
+        "queue fp:    {} (shard partials must match to merge)",
+        spnn_engine::shard::queue_fingerprint(&spec)
+    );
     println!("ok");
     ExitCode::SUCCESS
 }
@@ -343,6 +481,17 @@ fn cmd_example(args: &[String]) -> ExitCode {
             presets::PRESET_NAMES.join(", ")
         )),
     }
+}
+
+/// Parses a byte count with an optional binary K/M/G suffix (`64M`).
+fn parse_bytes(v: &str) -> Option<u64> {
+    let (digits, multiplier) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&v[..v.len() - 1], 1 << 20),
+        b'g' | b'G' => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(multiplier)
 }
 
 fn human_size(bytes: u64) -> String {
@@ -444,8 +593,48 @@ fn cmd_cache(args: &[String]) -> ExitCode {
             );
             ExitCode::SUCCESS
         }
-        Some(other) => fail(&format!("unknown cache command {other:?} (ls|rm|path)")),
-        None => fail("cache needs a subcommand (ls|rm|path)"),
+        Some("gc") => {
+            let max_entries = match option_value(args, "--max-entries") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return fail(&format!("invalid --max-entries {v:?}")),
+                },
+            };
+            let max_bytes = match option_value(args, "--max-bytes") {
+                None => None,
+                Some(v) => match parse_bytes(v) {
+                    Some(n) => Some(n),
+                    None => return fail(&format!("invalid --max-bytes {v:?} (e.g. 500000, 64M)")),
+                },
+            };
+            if max_entries.is_none() && max_bytes.is_none() {
+                return fail("cache gc needs --max-entries and/or --max-bytes");
+            }
+            match gc(
+                &dir,
+                &GcLimits {
+                    max_entries,
+                    max_bytes,
+                },
+            ) {
+                Ok(out) => {
+                    eprintln!(
+                        "[spnn] cache gc at {}: kept {} entr{} ({}), removed {} ({} freed)",
+                        dir.display(),
+                        out.kept,
+                        if out.kept == 1 { "y" } else { "ies" },
+                        human_size(out.bytes_kept),
+                        out.removed,
+                        human_size(out.bytes_freed),
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("cache gc at {}: {e}", dir.display())),
+            }
+        }
+        Some(other) => fail(&format!("unknown cache command {other:?} (ls|rm|gc|path)")),
+        None => fail("cache needs a subcommand (ls|rm|gc|path)"),
     }
 }
 
@@ -453,6 +642,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),
+        Some("merge") => cmd_merge(&args),
         Some("validate") => cmd_validate(&args),
         Some("example") => cmd_example(&args),
         Some("cache") => cmd_cache(&args),

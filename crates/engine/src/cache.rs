@@ -567,6 +567,125 @@ pub fn list_entries(dir: &Path) -> std::io::Result<Vec<CacheEntry>> {
 }
 
 // ---------------------------------------------------------------------------
+// Garbage collection (spnn cache gc)
+// ---------------------------------------------------------------------------
+
+/// Retention limits for [`gc`]. Unset bounds don't constrain; with both
+/// unset, [`gc`] only removes stale temporary files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcLimits {
+    /// Keep at most this many entries.
+    pub max_entries: Option<usize>,
+    /// Keep at most this many bytes of entries.
+    pub max_bytes: Option<u64>,
+}
+
+/// What [`gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries retained.
+    pub kept: usize,
+    /// Entries (plus stale temporary files) removed.
+    pub removed: usize,
+    /// Total size of the retained entries.
+    pub bytes_kept: u64,
+    /// Bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+/// How old a `.tmp-*` file must be before [`gc`] treats it as a crashed
+/// writer's leftover rather than an in-flight [`ContextCache::persist`]
+/// write (which is a write-then-rename lasting well under a second).
+const TMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(15 * 60);
+
+/// Evicts cache entries least-recently-written-first until the store fits
+/// `limits`: entries are ordered by file mtime (newest first; path as a
+/// deterministic tiebreak), the newest prefix that satisfies both bounds
+/// is retained, and the first entry to exceed a bound — plus everything
+/// older — is removed. Entries are deterministic retrain-on-miss
+/// artifacts, so eviction can cost time but never correctness. Stale
+/// `.tmp-*` files left behind by crashed writers are also removed, but
+/// only once older than a grace period — a concurrent writer between its
+/// temp write and rename must not lose the race. A missing directory is
+/// an empty store, not an error.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory or an entry cannot
+/// be read or removed — except files that vanish mid-scan (a concurrent
+/// remover or writer rename in a shared cache dir), which are skipped.
+pub fn gc(dir: &Path, limits: &GcLimits) -> std::io::Result<GcOutcome> {
+    let mut outcome = GcOutcome::default();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(outcome),
+        Err(e) => return Err(e),
+    };
+    // Shared cache dirs see concurrent writers and removers; a file that
+    // vanishes between read_dir and a stat/unlink is someone else's
+    // cleanup, not an error.
+    fn tolerate_vanished<T>(r: std::io::Result<T>) -> std::io::Result<Option<T>> {
+        match r {
+            Ok(v) => Ok(Some(v)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    let now = std::time::SystemTime::now();
+    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+    for entry in rd {
+        let entry = entry?;
+        let path = entry.path();
+        let Some(meta) = tolerate_vanished(entry.metadata())? else {
+            continue;
+        };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with(".tmp-") {
+            let stale = now
+                .duration_since(mtime)
+                .is_ok_and(|age| age >= TMP_SWEEP_MIN_AGE);
+            if stale && tolerate_vanished(std::fs::remove_file(&path))?.is_some() {
+                outcome.removed += 1;
+                outcome.bytes_freed += meta.len();
+            }
+            continue;
+        }
+        if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+            continue;
+        }
+        files.push((mtime, path, meta.len()));
+    }
+    // Newest first. The retained set is a strict newest-first prefix:
+    // the first entry that oversteps a bound is evicted together with
+    // everything older (no knapsack-style backfilling with small old
+    // entries past a large evicted one).
+    files.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let mut evicting = false;
+    for (_, path, size) in files {
+        evicting = evicting
+            || limits.max_entries.is_some_and(|m| outcome.kept >= m)
+            || limits
+                .max_bytes
+                .is_some_and(|m| outcome.bytes_kept + size > m);
+        if evicting {
+            if tolerate_vanished(std::fs::remove_file(&path))?.is_some() {
+                outcome.removed += 1;
+                outcome.bytes_freed += size;
+            }
+        } else {
+            outcome.kept += 1;
+            outcome.bytes_kept += size;
+        }
+    }
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------------
 // Binary codec
 // ---------------------------------------------------------------------------
 
@@ -1219,5 +1338,114 @@ mod tests {
     fn missing_directory_lists_empty() {
         let entries = list_entries(Path::new("/nonexistent/spnn-cache-xyz")).unwrap();
         assert!(entries.is_empty());
+    }
+
+    /// `gc` only looks at names, sizes and mtimes, so entries can be plain
+    /// files; sleeps guarantee strictly increasing mtimes.
+    fn fake_entries(dir: &Path, sizes: &[usize]) -> Vec<PathBuf> {
+        std::fs::create_dir_all(dir).unwrap();
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let path = dir.join(format!("ctx-{i:032x}.{EXTENSION}"));
+                std::fs::write(&path, vec![0u8; size]).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(12));
+                path
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_written_by_count() {
+        let dir = tmp_dir("gc-count");
+        let paths = fake_entries(&dir, &[100, 100, 100]);
+        let out = gc(
+            &dir,
+            &GcLimits {
+                max_entries: Some(2),
+                max_bytes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!((out.kept, out.removed), (2, 1));
+        assert_eq!(out.bytes_freed, 100);
+        assert!(!paths[0].exists(), "oldest entry evicted");
+        assert!(
+            paths[1].exists() && paths[2].exists(),
+            "newest entries kept"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_by_byte_budget_and_spares_fresh_tmp_files() {
+        let dir = tmp_dir("gc-bytes");
+        let paths = fake_entries(&dir, &[400, 300, 200]);
+        std::fs::write(dir.join(".tmp-1234-deadbeef"), b"torn write").unwrap();
+        std::fs::write(dir.join("README"), b"not an entry").unwrap();
+        let out = gc(
+            &dir,
+            &GcLimits {
+                max_entries: None,
+                max_bytes: Some(550),
+            },
+        )
+        .unwrap();
+        // Newest (200) + next (300) fit in 550; the oldest 400 does not.
+        // The README is untouched, and the just-written tmp file is young
+        // enough to belong to a live writer — it must survive.
+        assert_eq!((out.kept, out.removed), (2, 1));
+        assert_eq!(out.bytes_kept, 500);
+        assert_eq!(out.bytes_freed, 400);
+        assert!(!paths[0].exists() && paths[1].exists() && paths[2].exists());
+        assert!(dir.join("README").exists());
+        assert!(dir.join(".tmp-1234-deadbeef").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_a_newest_first_prefix_not_a_knapsack_fit() {
+        let dir = tmp_dir("gc-prefix");
+        // Oldest-to-newest: 100, 300, 300. With max_bytes = 450 the
+        // retained set must be the newest prefix {300}; the old 100-byte
+        // entry must NOT be backfilled past the evicted middle one.
+        let paths = fake_entries(&dir, &[100, 300, 300]);
+        let out = gc(
+            &dir,
+            &GcLimits {
+                max_entries: None,
+                max_bytes: Some(450),
+            },
+        )
+        .unwrap();
+        assert_eq!((out.kept, out.removed), (1, 2));
+        assert_eq!(out.bytes_kept, 300);
+        assert!(!paths[0].exists() && !paths[1].exists() && paths[2].exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_without_limits_is_a_no_op_on_fresh_stores() {
+        let dir = tmp_dir("gc-nolimits");
+        let paths = fake_entries(&dir, &[50, 60]);
+        std::fs::write(dir.join(".tmp-9-feed"), b"x").unwrap();
+        let out = gc(&dir, &GcLimits::default()).unwrap();
+        assert_eq!((out.kept, out.removed), (2, 0));
+        assert!(paths.iter().all(|p| p.exists()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_of_missing_directory_is_a_no_op() {
+        let out = gc(
+            Path::new("/nonexistent/spnn-cache-xyz"),
+            &GcLimits {
+                max_entries: Some(1),
+                max_bytes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(out, GcOutcome::default());
     }
 }

@@ -65,6 +65,41 @@ impl Welford {
             1.96 * self.std_dev() / (self.n as f64).sqrt()
         }
     }
+
+    /// The raw `(count, mean, m2)` state — the estimator's complete
+    /// serializable form, used by the shard partial-report format
+    /// ([`crate::shard`]) to carry per-point state across processes.
+    pub fn parts(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuilds an estimator from [`Welford::parts`] output, bit-exactly.
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Self { n, mean, m2 }
+    }
+
+    /// Combines two estimators over disjoint sample sets (Chan et al.'s
+    /// parallel update). Statistically exact; note the combined state is
+    /// *not* bit-identical to pushing the samples sequentially (floating
+    /// point is non-associative), which is why the shard merge replays raw
+    /// samples instead of merging states when bit-identity is required —
+    /// this combine serves estimators whose raw samples are gone.
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.n == 0 {
+            return other.clone();
+        }
+        if other.n == 0 {
+            return self.clone();
+        }
+        let n = self.n + other.n;
+        let nf = n as f64;
+        let d = other.mean - self.mean;
+        Welford {
+            n,
+            mean: self.mean + d * (other.n as f64 / nf),
+            m2: self.m2 + other.m2 + d * d * ((self.n as f64 * other.n as f64) / nf),
+        }
+    }
 }
 
 /// When to stop iterating on one sweep point.
@@ -187,6 +222,41 @@ mod tests {
         }
         assert!(noisy.margin_of_error_95() > 0.01);
         assert!(!rule.should_stop(&noisy));
+    }
+
+    #[test]
+    fn parts_round_trip_bit_exactly() {
+        let mut w = Welford::new();
+        for x in [0.25, 0.75, 0.5, 0.125] {
+            w.push(x);
+        }
+        let (n, mean, m2) = w.parts();
+        let back = Welford::from_parts(n, mean, m2);
+        assert_eq!(back.count(), w.count());
+        assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), w.variance().to_bits());
+    }
+
+    #[test]
+    fn merge_is_statistically_exact() {
+        let xs: Vec<f64> = (0..37).map(|i| ((i * 17) % 11) as f64 * 0.09).collect();
+        for split in [0, 1, 13, 36, 37] {
+            let (mut a, mut b) = (Welford::new(), Welford::new());
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            let merged = a.merge(&b);
+            let mut seq = Welford::new();
+            for &x in &xs {
+                seq.push(x);
+            }
+            assert_eq!(merged.count(), seq.count());
+            assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+            assert!((merged.variance() - seq.variance()).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!   [`cache::Fingerprint`] (dataset, architecture, optimizer
 //!   hyper-parameters, seed) train **once**, in-memory within a run and
 //!   on disk across runs, with bit-identical results either way.
+//! - [`shard`] — distributed shard-and-merge execution: a deterministic
+//!   planner partitions the compiled queue's rounds across `k` processes
+//!   (`spnn run --shards k --shard-index i`), each writes a versioned
+//!   JSON [`shard::PartialReport`], and [`shard::merge_partials`]
+//!   (`spnn merge`) validates coverage and recombines them into a report
+//!   **bit-identical** to the unsharded run — enforced by CI on every
+//!   push.
 //!
 //! The guides under `docs/` at the workspace root complement the rustdoc:
 //! `docs/scenario-format.md` is the complete `.scn` reference and
@@ -45,9 +52,12 @@
 //! ```text
 //! spnn run scenarios/fig4.scn --format csv --out results/fig4.csv
 //! spnn run scenarios/fig4.scn scenarios/fig5.scn --out results/
+//! spnn run fig4.scn --shards 3 --shard-index 0 --out part0.json
+//! spnn merge part*.json --format json --out fig4.json
 //! spnn example fig4          # print a ready-to-edit scenario file
 //! spnn validate my.scn       # parse + compile, print the queue size
 //! spnn cache ls              # inspect the trained-context cache
+//! spnn cache gc --max-entries 16   # evict least-recently-written entries
 //! ```
 //!
 //! # Example
@@ -72,10 +82,12 @@ pub mod batched;
 pub mod cache;
 pub mod estimator;
 mod fnv;
+mod json;
 pub mod presets;
 pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 
 pub use batched::TestBatch;
@@ -84,9 +96,10 @@ pub use estimator::{StopRule, Welford};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use runner::{
-    run_point, run_scenario, run_scenario_with, run_scenarios, EngineConfig, EngineReport,
-    PointResult, SweepRow,
+    run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_with,
+    run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult, SweepRow,
 };
+pub use shard::{merge_partials, plan_shard, MergeError, PartialReport, ShardBlock};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 
 /// Commonly used items, importable with `use spnn_engine::prelude::*`.
@@ -97,8 +110,9 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
     pub use crate::runner::{
-        run_point, run_scenario, run_scenario_with, run_scenarios, EngineConfig, EngineReport,
-        SweepRow,
+        run_point, run_scenario, run_scenario_shard_with, run_scenario_with, run_scenarios,
+        EngineConfig, EngineReport, SweepRow,
     };
+    pub use crate::shard::{merge_partials, MergeError, PartialReport};
     pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
 }

@@ -16,7 +16,7 @@ pub fn to_csv(report: &EngineReport) -> String {
     let keys: Vec<&str> = report
         .rows
         .first()
-        .map(|r| r.labels.iter().map(|(k, _)| *k).collect())
+        .map(|r| r.labels.iter().map(|(k, _)| k.as_str()).collect())
         .unwrap_or_default();
     out.push_str("topology");
     for k in &keys {
@@ -37,23 +37,9 @@ pub fn to_csv(report: &EngineReport) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+// One escaper serves both the final report and the shard partial-report
+// format — the two JSON dialects must never diverge.
+use crate::json::escape as json_escape;
 
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
@@ -138,7 +124,10 @@ mod tests {
             rows: vec![
                 SweepRow {
                     topology: "clements".into(),
-                    labels: vec![("mode", "both".into()), ("sigma", "0.05".into())],
+                    labels: vec![
+                        ("mode".into(), "both".into()),
+                        ("sigma".into(), "0.05".into()),
+                    ],
                     mean: 0.31,
                     std_dev: 0.02,
                     moe95: 0.004,
@@ -147,7 +136,7 @@ mod tests {
                 },
                 SweepRow {
                     topology: "clements".into(),
-                    labels: vec![("mode", "both".into()), ("sigma", "0".into())],
+                    labels: vec![("mode".into(), "both".into()), ("sigma".into(), "0".into())],
                     mean: 0.89,
                     std_dev: 0.0,
                     moe95: 0.0,

@@ -1,4 +1,5 @@
-//! The Monte-Carlo driver: deterministic, multi-threaded, adaptive.
+//! The Monte-Carlo driver: deterministic, multi-threaded, adaptive —
+//! and shardable across processes.
 //!
 //! Execution model per sweep point:
 //!
@@ -15,11 +16,18 @@
 //!    pushes the whole test set through as matrix-matrix products
 //!    ([`TestBatch::accuracy_with`]), bit-identical to the seed's
 //!    per-sample `mc_accuracy` path.
+//!
+//! Because per-iteration RNGs are position-independent, a run can also be
+//! **sharded**: [`run_scenario_shard_with`] executes only a deterministic
+//! slice of the compiled queue's rounds (see [`crate::shard`]) and writes a
+//! partial report; [`crate::shard::merge_partials`] recombines partials
+//! into a report bit-identical to the unsharded run.
 
 use crate::batched::TestBatch;
 use crate::cache::ContextCache;
 use crate::estimator::{StopRule, Welford};
-use crate::queue::compile;
+use crate::queue::{compile, WorkItem};
+use crate::shard::{plan_shard, queue_fingerprint, PartialPoint, PartialReport};
 use crate::spec::{topology_name, ScenarioSpec};
 use spnn_core::monte_carlo::iteration_rng;
 use spnn_core::network::SpnnError;
@@ -27,6 +35,7 @@ use spnn_core::{HardwareEffects, McResult, PerturbationPlan, PhotonicNetwork};
 use spnn_dataset::{DatasetConfig, SpnnDataset};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Execution knobs that must not change results — only speed.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +65,103 @@ pub struct PointResult {
     pub stopped_early: bool,
 }
 
+/// The outcome of a contiguous round range of one sweep point
+/// (see [`run_point_range`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeResult {
+    /// Per-iteration accuracies of the range, in iteration order.
+    pub samples: Vec<f64>,
+    /// `true` when the range starts at round 0 and the adaptive rule
+    /// stopped inside it before the iteration cap.
+    pub stopped_early: bool,
+}
+
+/// Runs a contiguous range of rounds of one sweep point: rounds
+/// `first_round .. first_round + rounds`, i.e. iterations
+/// `first_round·round_size .. min(cap, (first_round + rounds)·round_size)`.
+///
+/// This is the shard-execution primitive. Iteration `k` depends only on
+/// `(seed, k)`, so the samples of any range are bit-identical to the
+/// corresponding slice of an unsharded [`run_point`] run.
+///
+/// Adaptive early termination is applied **only when `first_round == 0`**:
+/// stopping decisions at a round boundary require the full sample prefix,
+/// which only the range that starts at the beginning has seen. Ranges
+/// starting later run all their rounds unconditionally (speculation); the
+/// merge replays the stop rule over the recombined stream and discards
+/// iterations past the stopping boundary (see [`crate::shard`]).
+///
+/// # Panics
+///
+/// Panics if `round_size == 0`, the stop rule's cap is zero, `rounds == 0`,
+/// or the range lies entirely past the cap.
+#[allow(clippy::too_many_arguments)] // the engine's primitive: each knob is load-bearing
+pub fn run_point_range(
+    network: &PhotonicNetwork,
+    plan: &PerturbationPlan,
+    effects: &HardwareEffects,
+    batch: &TestBatch,
+    stop: &StopRule,
+    round_size: usize,
+    seed: u64,
+    threads: Option<usize>,
+    first_round: usize,
+    rounds: usize,
+) -> RangeResult {
+    assert!(round_size > 0, "round_size must be positive");
+    assert!(stop.max_iterations > 0, "need at least one iteration");
+    assert!(rounds > 0, "need at least one round");
+    let cap = stop.max_iterations;
+    let k_start = first_round * round_size;
+    assert!(k_start < cap, "round range starts past the iteration cap");
+    let k_end = cap.min(k_start + rounds * round_size);
+    let n_threads = threads
+        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+        .unwrap_or(1)
+        .max(1);
+
+    // Only the range holding the prefix can make stopping decisions.
+    let adaptive = first_round == 0;
+    let mut est = Welford::new();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut next_k = k_start;
+    let mut stopped_early = false;
+
+    while next_k < k_end {
+        let n_this = round_size.min(k_end - next_k);
+        let mut round = vec![0.0f64; n_this];
+        let chunk = n_this.div_ceil(n_threads.min(n_this));
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in round.chunks_mut(chunk).enumerate() {
+                let start = next_k + t * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        let mut rng = iteration_rng(seed, start + off);
+                        let matrices = network.realize(plan, effects, &mut rng);
+                        *slot = batch.accuracy_with(network, &matrices);
+                    }
+                });
+            }
+        });
+        samples.extend_from_slice(&round);
+        next_k += n_this;
+        if adaptive {
+            for &s in &round {
+                est.push(s);
+            }
+            if stop.should_stop(&est) {
+                stopped_early = next_k < cap;
+                break;
+            }
+        }
+    }
+
+    RangeResult {
+        samples,
+        stopped_early,
+    }
+}
+
 /// Runs one sweep point to completion.
 ///
 /// This is the engine's primitive — the spec-level driver
@@ -79,52 +185,29 @@ pub fn run_point(
 ) -> PointResult {
     assert!(round_size > 0, "round_size must be positive");
     assert!(stop.max_iterations > 0, "need at least one iteration");
-    let n_threads = threads
-        .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
-        .unwrap_or(1)
-        .max(1);
-
-    let mut est = Welford::new();
-    let mut samples: Vec<f64> = Vec::new();
-    let mut next_k = 0usize;
-    let mut stopped_early = false;
-
-    while next_k < stop.max_iterations {
-        let n_this = round_size.min(stop.max_iterations - next_k);
-        let mut round = vec![0.0f64; n_this];
-        let chunk = n_this.div_ceil(n_threads.min(n_this));
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in round.chunks_mut(chunk).enumerate() {
-                let start = next_k + t * chunk;
-                scope.spawn(move || {
-                    for (off, slot) in out_chunk.iter_mut().enumerate() {
-                        let mut rng = iteration_rng(seed, start + off);
-                        let matrices = network.realize(plan, effects, &mut rng);
-                        *slot = batch.accuracy_with(network, &matrices);
-                    }
-                });
-            }
-        });
-        for &s in &round {
-            est.push(s);
-        }
-        samples.extend_from_slice(&round);
-        next_k += n_this;
-        if stop.should_stop(&est) {
-            stopped_early = next_k < stop.max_iterations;
-            break;
-        }
-    }
+    let total_rounds = stop.max_iterations.div_ceil(round_size);
+    let r = run_point_range(
+        network,
+        plan,
+        effects,
+        batch,
+        stop,
+        round_size,
+        seed,
+        threads,
+        0,
+        total_rounds,
+    );
 
     // Final statistics via the same aggregation as the per-sample
     // reference, so fixed-count engine results equal `mc_accuracy` exactly.
-    let mc = McResult::from_samples(samples);
+    let mc = McResult::from_samples(r.samples);
     PointResult {
         mean: mc.mean,
         std_dev: mc.std_dev,
         moe95: mc.margin_of_error_95(),
         samples: mc.samples,
-        stopped_early,
+        stopped_early: r.stopped_early,
     }
 }
 
@@ -145,7 +228,7 @@ pub struct SweepRow {
     /// Topology the point ran on.
     pub topology: String,
     /// The point's labels (same keys for every row of a report).
-    pub labels: Vec<(&'static str, String)>,
+    pub labels: Vec<(String, String)>,
     /// Mean accuracy.
     pub mean: f64,
     /// Sample standard deviation.
@@ -163,7 +246,7 @@ impl SweepRow {
     pub fn label(&self, key: &str) -> Option<&str> {
         self.labels
             .iter()
-            .find(|(k, _)| *k == key)
+            .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
 
@@ -171,6 +254,15 @@ impl SweepRow {
     pub fn label_f64(&self, key: &str) -> Option<f64> {
         self.label(key).and_then(|v| v.parse().ok())
     }
+}
+
+/// Owned copies of a [`WorkItem`]'s labels (queue labels use static keys;
+/// reports and partials carry owned strings so they survive (de)serialization).
+pub(crate) fn owned_labels(item: &WorkItem) -> Vec<(String, String)> {
+    item.labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
 }
 
 /// A completed scenario: context plus one row per sweep point.
@@ -216,6 +308,115 @@ impl fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// One fully-resolved sweep point of the **global** queue: the
+/// concatenation, in spec topology order, of every topology's compiled
+/// queue. The position in this list is the point's global index — the
+/// coordinate system of shard plans and partial reports.
+pub(crate) struct PreparedPoint {
+    pub(crate) topology: &'static str,
+    pub(crate) hardware: Arc<PhotonicNetwork>,
+    pub(crate) item: WorkItem,
+}
+
+/// Everything a scenario run needs after training/mapping and queue
+/// compilation — shared by the full and the sharded drivers.
+pub(crate) struct PreparedScenario {
+    pub(crate) name: String,
+    pub(crate) batch: TestBatch,
+    pub(crate) stop: StopRule,
+    pub(crate) round_size: usize,
+    pub(crate) topologies: Vec<TopologySummary>,
+    pub(crate) points: Vec<PreparedPoint>,
+    pub(crate) ctx: Arc<crate::cache::TrainedContext>,
+}
+
+/// Validates the spec, obtains the trained context (cache or fresh),
+/// generates the test split, maps every topology and compiles the global
+/// work queue. Pure function of the spec — identical whether invoked by
+/// the full run, by any shard, or in any process.
+pub(crate) fn prepare(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+) -> Result<PreparedScenario, EngineError> {
+    spec.validate().map_err(EngineError::Invalid)?;
+
+    let ctx = cache.get_or_train(spec, config.verbose);
+    // Only the test split is generated here; the training split lives
+    // behind the cache (its RNG stream is independent, so the test set is
+    // identical either way).
+    let data = SpnnDataset::generate(&DatasetConfig {
+        n_train: 0,
+        n_test: spec.dataset.n_test,
+        crop: spec.dataset.crop,
+        seed: spec.seed,
+    });
+    let software_accuracy = ctx
+        .software()
+        .accuracy(&data.test_features, &data.test_labels);
+    if config.verbose {
+        eprintln!(
+            "[engine] {}: context {} (train acc {:.2}%, test acc {:.2}%)",
+            spec.name,
+            ctx.fingerprint().short(),
+            ctx.train_accuracy() * 100.0,
+            software_accuracy * 100.0
+        );
+    }
+    let batch = TestBatch::new(&data.test_features, &data.test_labels);
+    let stop = if spec.target_moe > 0.0 {
+        StopRule::adaptive(spec.iterations, spec.min_iterations, spec.target_moe)
+    } else {
+        StopRule::fixed(spec.iterations)
+    };
+
+    let shuffle_seed = spec
+        .train
+        .shuffle_singular_values
+        .then_some(spec.seed ^ 0x33);
+    let mut topologies = Vec::with_capacity(spec.topologies.len());
+    let mut points = Vec::new();
+    for &topology in &spec.topologies {
+        let hardware = ctx
+            .mapping(topology, shuffle_seed)
+            .map_err(EngineError::Mapping)?;
+        let nominal_accuracy = batch.accuracy_with(&hardware, &hardware.ideal_matrices());
+        let topo_name = topology_name(topology);
+        topologies.push(TopologySummary {
+            topology: topo_name.to_string(),
+            software_accuracy,
+            nominal_accuracy,
+        });
+        for item in compile(spec, &hardware) {
+            points.push(PreparedPoint {
+                topology: topo_name,
+                hardware: Arc::clone(&hardware),
+                item,
+            });
+        }
+    }
+
+    Ok(PreparedScenario {
+        name: spec.name.clone(),
+        batch,
+        stop,
+        round_size: spec.round_size,
+        topologies,
+        points,
+        ctx,
+    })
+}
+
+/// Re-persists the trained context so mappings synthesized during a run
+/// land on disk — the next warm load then skips SVD + mesh synthesis too.
+fn persist_context(cache: &ContextCache, prep: &PreparedScenario, verbose: bool) {
+    if let Err(e) = cache.persist(&prep.ctx) {
+        if verbose {
+            eprintln!("[engine] warning: could not persist trained context: {e}");
+        }
+    }
+}
 
 /// Runs a whole scenario: dataset generation, software training, photonic
 /// mapping per topology, queue compilation, and the Monte-Carlo sweep.
@@ -273,109 +474,153 @@ pub fn run_scenario_with(
     config: &EngineConfig,
     cache: &ContextCache,
 ) -> Result<EngineReport, EngineError> {
-    spec.validate().map_err(EngineError::Invalid)?;
-
-    let ctx = cache.get_or_train(spec, config.verbose);
-    // Only the test split is generated here; the training split lives
-    // behind the cache (its RNG stream is independent, so the test set is
-    // identical either way).
-    let data = SpnnDataset::generate(&DatasetConfig {
-        n_train: 0,
-        n_test: spec.dataset.n_test,
-        crop: spec.dataset.crop,
-        seed: spec.seed,
-    });
-    let software_accuracy = ctx
-        .software()
-        .accuracy(&data.test_features, &data.test_labels);
-    if config.verbose {
-        eprintln!(
-            "[engine] {}: context {} (train acc {:.2}%, test acc {:.2}%)",
-            spec.name,
-            ctx.fingerprint().short(),
-            ctx.train_accuracy() * 100.0,
-            software_accuracy * 100.0
+    let prep = prepare(spec, config, cache)?;
+    let total = prep.points.len();
+    let mut rows = Vec::with_capacity(total);
+    for (i, point) in prep.points.iter().enumerate() {
+        let r = run_point(
+            &point.hardware,
+            &point.item.plan,
+            &point.item.effects,
+            &prep.batch,
+            &prep.stop,
+            prep.round_size,
+            point.item.seed,
+            config.threads,
         );
-    }
-    let batch = TestBatch::new(&data.test_features, &data.test_labels);
-    let stop = if spec.target_moe > 0.0 {
-        StopRule::adaptive(spec.iterations, spec.min_iterations, spec.target_moe)
-    } else {
-        StopRule::fixed(spec.iterations)
-    };
-
-    let shuffle_seed = spec
-        .train
-        .shuffle_singular_values
-        .then_some(spec.seed ^ 0x33);
-    let mut topologies = Vec::with_capacity(spec.topologies.len());
-    let mut rows = Vec::new();
-    for &topology in &spec.topologies {
-        let hardware = ctx
-            .mapping(topology, shuffle_seed)
-            .map_err(EngineError::Mapping)?;
-        let nominal_accuracy = batch.accuracy_with(&hardware, &hardware.ideal_matrices());
-        let topo_name = topology_name(topology);
-        topologies.push(TopologySummary {
-            topology: topo_name.to_string(),
-            software_accuracy,
-            nominal_accuracy,
-        });
-
-        let queue = compile(spec, &hardware);
-        let total = queue.len();
-        for (i, item) in queue.into_iter().enumerate() {
-            let r = run_point(
-                &hardware,
-                &item.plan,
-                &item.effects,
-                &batch,
-                &stop,
-                spec.round_size,
-                item.seed,
-                config.threads,
-            );
-            if config.verbose {
-                let label_str = item
-                    .labels
-                    .iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                eprintln!(
-                    "[engine] {}/{topo_name} point {}/{total} {label_str} → {:.4} (moe {:.4}, {} iters{})",
-                    spec.name,
-                    i + 1,
-                    r.mean,
-                    r.moe95,
-                    r.samples.len(),
-                    if r.stopped_early { ", early stop" } else { "" },
-                );
-            }
-            rows.push(SweepRow {
-                topology: topo_name.to_string(),
-                labels: item.labels,
-                mean: r.mean,
-                std_dev: r.std_dev,
-                moe95: r.moe95,
-                iterations: r.samples.len(),
-                stopped_early: r.stopped_early,
-            });
-        }
-    }
-
-    // Re-persist so mappings synthesized during this run land on disk —
-    // the next warm load then skips SVD + mesh synthesis as well.
-    if let Err(e) = cache.persist(&ctx) {
         if config.verbose {
-            eprintln!("[engine] warning: could not persist trained context: {e}");
+            let label_str = point
+                .item
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            eprintln!(
+                "[engine] {}/{} point {}/{total} {label_str} → {:.4} (moe {:.4}, {} iters{})",
+                prep.name,
+                point.topology,
+                i + 1,
+                r.mean,
+                r.moe95,
+                r.samples.len(),
+                if r.stopped_early { ", early stop" } else { "" },
+            );
         }
+        rows.push(SweepRow {
+            topology: point.topology.to_string(),
+            labels: owned_labels(&point.item),
+            mean: r.mean,
+            std_dev: r.std_dev,
+            moe95: r.moe95,
+            iterations: r.samples.len(),
+            stopped_early: r.stopped_early,
+        });
     }
+
+    persist_context(cache, &prep, config.verbose);
 
     Ok(EngineReport {
-        scenario: spec.name.clone(),
-        topologies,
+        scenario: prep.name,
+        topologies: prep.topologies,
         rows,
+    })
+}
+
+/// Runs shard `shard_index` of a `shards`-way split of a scenario and
+/// returns the partial report covering exactly that slice of the global
+/// work queue's rounds (see [`crate::shard`] for the plan, the format,
+/// and the merge semantics).
+///
+/// Every shard independently prepares the scenario (training comes from
+/// the shared cache when available) and executes only its assigned round
+/// ranges. Merging all `shards` partials with
+/// [`crate::shard::merge_partials`] yields a report bit-identical to
+/// [`run_scenario_with`] — pinned by tests and by the CI `shard-merge`
+/// job.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Invalid`] when `shards == 0` or
+/// `shard_index >= shards`, and propagates preparation errors.
+pub fn run_scenario_shard_with(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    shards: usize,
+    shard_index: usize,
+) -> Result<PartialReport, EngineError> {
+    if shards == 0 {
+        return Err(EngineError::Invalid("shards must be positive".into()));
+    }
+    if shard_index >= shards {
+        return Err(EngineError::Invalid(format!(
+            "shard index {shard_index} out of range for {shards} shard(s)"
+        )));
+    }
+    let prep = prepare(spec, config, cache)?;
+    let rounds_per_point =
+        vec![prep.stop.max_iterations.div_ceil(prep.round_size); prep.points.len()];
+    let blocks = plan_shard(&rounds_per_point, shards, shard_index);
+
+    let mut points = Vec::with_capacity(blocks.len());
+    for (i, block) in blocks.iter().enumerate() {
+        let point = &prep.points[block.point];
+        let r = run_point_range(
+            &point.hardware,
+            &point.item.plan,
+            &point.item.effects,
+            &prep.batch,
+            &prep.stop,
+            prep.round_size,
+            point.item.seed,
+            config.threads,
+            block.first_round,
+            block.rounds,
+        );
+        if config.verbose {
+            eprintln!(
+                "[engine] {} shard {shard_index}/{shards}: block {}/{} point {} rounds {}..{} → {} sample(s){}",
+                prep.name,
+                i + 1,
+                blocks.len(),
+                block.point,
+                block.first_round,
+                block.first_round + block.rounds,
+                r.samples.len(),
+                if r.stopped_early { " (early stop)" } else { "" },
+            );
+        }
+        let mut est = Welford::new();
+        for &s in &r.samples {
+            est.push(s);
+        }
+        points.push(PartialPoint {
+            index: block.point,
+            topology: point.topology.to_string(),
+            labels: owned_labels(&point.item),
+            seed: point.item.seed,
+            first_iteration: block.first_round * prep.round_size,
+            stopped_early: r.stopped_early,
+            welford: est,
+            samples: r.samples,
+        });
+    }
+
+    persist_context(cache, &prep, config.verbose);
+
+    Ok(PartialReport {
+        scenario: prep.name,
+        queue_fingerprint: queue_fingerprint(spec),
+        shards,
+        shard_index,
+        total_points: prep.points.len(),
+        round_size: prep.round_size,
+        iterations: prep.stop.max_iterations,
+        min_iterations: prep.stop.min_iterations,
+        target_moe: prep.stop.target_moe,
+        topologies: prep.topologies,
+        points,
     })
 }
 
@@ -434,6 +679,52 @@ mod tests {
     }
 
     #[test]
+    fn range_samples_are_slices_of_the_full_run() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+        let fx = HardwareEffects::default();
+        let stop = StopRule::fixed(14); // cap not a multiple of round_size
+        let full = run_point(&hw, &plan, &fx, &batch, &stop, 4, 7, Some(2));
+        assert_eq!(full.samples.len(), 14);
+        // Ranges [0,2), [2,3), [3,4) (the last round is short: 2 iters).
+        for (first, rounds, lo, hi) in [
+            (0usize, 2usize, 0usize, 8usize),
+            (2, 1, 8, 12),
+            (3, 1, 12, 14),
+        ] {
+            let r = run_point_range(&hw, &plan, &fx, &batch, &stop, 4, 7, Some(3), first, rounds);
+            let want: Vec<u64> = full.samples[lo..hi].iter().map(|s| s.to_bits()).collect();
+            let got: Vec<u64> = r.samples.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(got, want, "range [{first}, {first}+{rounds})");
+            assert!(!r.stopped_early);
+        }
+    }
+
+    #[test]
+    fn non_prefix_range_never_stops_early() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        // Zero variance (no perturbation) satisfies any target immediately,
+        // but a range that does not hold the prefix must not act on it.
+        let stop = StopRule::adaptive(32, 4, 0.01);
+        let r = run_point_range(
+            &hw,
+            &PerturbationPlan::None,
+            &HardwareEffects::default(),
+            &batch,
+            &stop,
+            4,
+            3,
+            Some(1),
+            2,
+            3,
+        );
+        assert_eq!(r.samples.len(), 12, "speculative range runs all rounds");
+        assert!(!r.stopped_early);
+    }
+
+    #[test]
     fn zero_variance_point_stops_at_min_iterations() {
         let (hw, xs, ys) = setup();
         let batch = TestBatch::new(&xs, &ys);
@@ -473,7 +764,10 @@ mod tests {
     fn report_accessors() {
         let row = SweepRow {
             topology: "clements".into(),
-            labels: vec![("sigma", "0.05".into()), ("mode", "both".into())],
+            labels: vec![
+                ("sigma".into(), "0.05".into()),
+                ("mode".into(), "both".into()),
+            ],
             mean: 0.5,
             std_dev: 0.1,
             moe95: 0.02,

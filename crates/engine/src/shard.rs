@@ -1,0 +1,925 @@
+//! Shard-and-merge execution: split a compiled work queue across
+//! processes, recombine partial reports bit-identically.
+//!
+//! The paper's sweeps are embarrassingly parallel: iteration `k` of a
+//! point with seed `s` depends only on `(s, k)` (see
+//! [`spnn_core::monte_carlo::iteration_seed`]), so any slice of the work
+//! can run anywhere and still produce the exact bits the unsharded run
+//! would. This module provides the three pieces that turn that property
+//! into distributed execution:
+//!
+//! - [`plan_shard`] — a deterministic planner that partitions the global
+//!   queue's **round space** into `k` disjoint, contiguous, balanced
+//!   slices. Every process computes the same plan from the same spec; no
+//!   coordination is needed beyond collecting the outputs.
+//! - [`PartialReport`] — a versioned JSON format for one shard's output:
+//!   the spec's queue fingerprint, the covered `(point, iteration-range)`
+//!   blocks, each block's raw per-iteration samples and Welford state.
+//!   Floats are emitted in Rust's shortest-round-trip decimal form and
+//!   parsed back from the literal digits, so the format is bit-lossless.
+//! - [`merge_partials`] — validates coverage (no gaps, no overlaps, no
+//!   foreign fingerprints), **replays** the adaptive stop rule over the
+//!   recombined per-point sample streams, and emits an
+//!   [`EngineReport`] byte-for-byte identical to the unsharded run's.
+//!
+//! # Adaptive early termination under sharding
+//!
+//! A stopping decision at a round boundary needs the full sample prefix
+//! of the point, which a shard that owns a later slice has not seen. The
+//! engine therefore reworks adaptivity for sharded runs:
+//!
+//! 1. the shard owning a point's **prefix** (rounds from 0) applies the
+//!    stop rule exactly as the unsharded run would and may stop early;
+//! 2. shards owning later slices run their rounds unconditionally
+//!    (bounded speculation — only points straddling a shard boundary are
+//!    affected, at most `k − 1` of them);
+//! 3. the merge replays the stop rule over the recombined stream in
+//!    iteration order and discards everything past the first satisfied
+//!    boundary — the same boundary the unsharded run stops at, because
+//!    the replayed estimator sees the same samples in the same order.
+//!
+//! See `docs/sharding.md` for the CLI workflow and the format reference.
+
+use crate::estimator::{StopRule, Welford};
+use crate::fnv::{fnv1a64, FNV_BASIS};
+use crate::json::{self, Json};
+use crate::runner::{EngineReport, SweepRow, TopologySummary};
+use crate::spec::ScenarioSpec;
+use spnn_core::McResult;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Format identifier stored in every partial report.
+pub const PARTIAL_FORMAT: &str = "spnn-partial-report";
+/// Partial-report format version; bump on any layout change. Merging
+/// rejects other versions outright (unlike the trained-context cache,
+/// a partial cannot be regenerated transparently).
+pub const PARTIAL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+/// A contiguous range of rounds of one sweep point, assigned to a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBlock {
+    /// Global queue index of the point.
+    pub point: usize,
+    /// First round of the range.
+    pub first_round: usize,
+    /// Number of rounds in the range (positive).
+    pub rounds: usize,
+}
+
+/// Deterministically partitions the global round space into `shards`
+/// slices and returns slice `index`.
+///
+/// The round space is the concatenation, in queue order, of every point's
+/// rounds (`rounds_per_point[p]` rounds for point `p`). Shard `i` receives
+/// the contiguous unit range `[⌊i·U/k⌋, ⌊(i+1)·U/k⌋)` of the `U` total
+/// rounds — slices are disjoint, cover the space exactly, and differ in
+/// size by at most one round. Points not straddling a slice boundary are
+/// wholly owned by one shard; at most `k − 1` points are split.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `index >= shards`.
+pub fn plan_shard(rounds_per_point: &[usize], shards: usize, index: usize) -> Vec<ShardBlock> {
+    assert!(shards > 0, "shards must be positive");
+    assert!(index < shards, "shard index out of range");
+    let total: usize = rounds_per_point.iter().sum();
+    let lo = index * total / shards;
+    let hi = (index + 1) * total / shards;
+
+    let mut blocks = Vec::new();
+    let mut cursor = 0usize; // first global unit of the current point
+    for (point, &rounds) in rounds_per_point.iter().enumerate() {
+        let begin = cursor.max(lo);
+        let end = (cursor + rounds).min(hi);
+        if begin < end {
+            blocks.push(ShardBlock {
+                point,
+                first_round: begin - cursor,
+                rounds: end - begin,
+            });
+        }
+        cursor += rounds;
+        if cursor >= hi {
+            break;
+        }
+    }
+    blocks
+}
+
+/// The queue fingerprint of a spec: a 128-bit FNV-1a key over the spec's
+/// canonical text form, rendered as 32 lowercase hex characters.
+///
+/// [`ScenarioSpec::to_text`] round-trips exactly, so two specs share a
+/// fingerprint iff they compile to the same work queue (same points, same
+/// per-point seeds, same budgets). [`merge_partials`] refuses to combine
+/// partials with differing fingerprints.
+pub fn queue_fingerprint(spec: &ScenarioSpec) -> String {
+    let canonical = format!("spnn-queue-v1;{}", spec.to_text());
+    let a = fnv1a64(canonical.as_bytes(), FNV_BASIS);
+    let b = fnv1a64(canonical.as_bytes(), 0x6c62272e07bb0142);
+    let mut out = String::with_capacity(32);
+    for byte in a.to_le_bytes().iter().chain(b.to_le_bytes().iter()) {
+        let _ = write!(out, "{byte:02x}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Partial-report model
+// ---------------------------------------------------------------------------
+
+/// One covered block of a partial report: a contiguous iteration range of
+/// one sweep point, with its raw samples.
+#[derive(Debug, Clone)]
+pub struct PartialPoint {
+    /// Global queue index of the point.
+    pub index: usize,
+    /// Topology the point ran on.
+    pub topology: String,
+    /// The point's labels (identical across every block of the point).
+    pub labels: Vec<(String, String)>,
+    /// The point's Monte-Carlo base seed (cross-checked at merge).
+    pub seed: u64,
+    /// First iteration the block covers (a multiple of `round_size`).
+    pub first_iteration: usize,
+    /// `true` when this block owned the point's prefix and the adaptive
+    /// rule stopped inside it (informational — the merge replays the rule
+    /// itself).
+    pub stopped_early: bool,
+    /// Welford state over exactly this block's samples (integrity check:
+    /// the merge recomputes it from `samples` and demands bit equality).
+    pub welford: Welford,
+    /// Raw per-iteration accuracies, in iteration order.
+    pub samples: Vec<f64>,
+}
+
+/// One shard's output: scenario identity, stop-rule parameters, topology
+/// summaries, and the covered blocks. Serialized as versioned JSON
+/// ([`PartialReport::to_json`] / [`PartialReport::parse`]).
+#[derive(Debug, Clone)]
+pub struct PartialReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// [`queue_fingerprint`] of the spec this shard executed.
+    pub queue_fingerprint: String,
+    /// Number of shards in the plan this partial belongs to.
+    pub shards: usize,
+    /// This shard's index within the plan.
+    pub shard_index: usize,
+    /// Total number of points in the global queue.
+    pub total_points: usize,
+    /// Iterations per stopping-decision round.
+    pub round_size: usize,
+    /// Per-point iteration cap.
+    pub iterations: usize,
+    /// Iterations before adaptive early termination may trigger.
+    pub min_iterations: usize,
+    /// 95 % margin-of-error target (`0` = fixed-count).
+    pub target_moe: f64,
+    /// Per-topology summaries (bit-identical across shards; validated).
+    pub topologies: Vec<TopologySummary>,
+    /// Covered blocks, in plan order.
+    pub points: Vec<PartialPoint>,
+}
+
+impl PartialReport {
+    /// The stop rule this partial's scenario ran under.
+    pub fn stop_rule(&self) -> StopRule {
+        StopRule {
+            max_iterations: self.iterations,
+            min_iterations: self.min_iterations,
+            target_moe: self.target_moe,
+        }
+    }
+
+    /// Serializes to the versioned partial-report JSON format.
+    ///
+    /// Bit-lossless: every float is written in Rust's shortest
+    /// round-trip decimal form and [`PartialReport::parse`] recovers it
+    /// from the literal digits; seeds are plain (64-bit-exact) integers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": \"{PARTIAL_FORMAT}\",");
+        let _ = writeln!(out, "  \"version\": {PARTIAL_VERSION},");
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", json::escape(&self.scenario));
+        let _ = writeln!(
+            out,
+            "  \"queue_fingerprint\": \"{}\",",
+            json::escape(&self.queue_fingerprint)
+        );
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"shard_index\": {},", self.shard_index);
+        let _ = writeln!(out, "  \"total_points\": {},", self.total_points);
+        let _ = writeln!(out, "  \"round_size\": {},", self.round_size);
+        let _ = writeln!(out, "  \"iterations\": {},", self.iterations);
+        let _ = writeln!(out, "  \"min_iterations\": {},", self.min_iterations);
+        let _ = writeln!(out, "  \"target_moe\": {},", self.target_moe);
+        out.push_str("  \"topologies\": [");
+        for (i, t) in self.topologies.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"topology\": \"{}\", \"software_accuracy\": {}, \"nominal_accuracy\": {}}}",
+                if i == 0 { "" } else { "," },
+                json::escape(&t.topology),
+                t.software_accuracy,
+                t.nominal_accuracy
+            );
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"index\": {}, \"topology\": \"{}\", \"labels\": [",
+                if i == 0 { "" } else { "," },
+                p.index,
+                json::escape(&p.topology)
+            );
+            for (j, (k, v)) in p.labels.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}[\"{}\", \"{}\"]",
+                    if j == 0 { "" } else { ", " },
+                    json::escape(k),
+                    json::escape(v)
+                );
+            }
+            let (n, mean, m2) = p.welford.parts();
+            let _ = write!(
+                out,
+                "],\n     \"seed\": {}, \"first_iteration\": {}, \"stopped_early\": {},\n     \
+                 \"welford\": {{\"count\": {n}, \"mean\": {mean}, \"m2\": {m2}}},\n     \"samples\": [",
+                p.seed, p.first_iteration, p.stopped_early
+            );
+            for (j, s) in p.samples.iter().enumerate() {
+                let _ = write!(out, "{}{s}", if j == 0 { "" } else { ", " });
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a partial report from its JSON form.
+    ///
+    /// Strict: unknown format identifiers, version skew, and missing or
+    /// mistyped fields are [`MergeError::Format`] errors — unlike the
+    /// trained-context cache, a partial cannot be regenerated silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::Format`] describing the first problem found.
+    pub fn parse(text: &str) -> Result<Self, MergeError> {
+        let doc = json::parse(text).map_err(MergeError::Format)?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| MergeError::Format(format!("missing field {key:?}")))
+        };
+        let str_field = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| MergeError::Format(format!("field {key:?} must be a string")))
+        };
+        let usize_field = |key: &str| {
+            field(key)?
+                .as_usize()
+                .ok_or_else(|| MergeError::Format(format!("field {key:?} must be an integer")))
+        };
+
+        if str_field("format")? != PARTIAL_FORMAT {
+            return Err(MergeError::Format(format!(
+                "not a {PARTIAL_FORMAT} document"
+            )));
+        }
+        let version = usize_field("version")?;
+        if version != PARTIAL_VERSION as usize {
+            return Err(MergeError::Format(format!(
+                "unsupported partial-report version {version} (this build reads {PARTIAL_VERSION})"
+            )));
+        }
+
+        let topologies = field("topologies")?
+            .as_array()
+            .ok_or_else(|| MergeError::Format("\"topologies\" must be an array".into()))?
+            .iter()
+            .map(parse_topology)
+            .collect::<Result<Vec<_>, _>>()?;
+        let points = field("points")?
+            .as_array()
+            .ok_or_else(|| MergeError::Format("\"points\" must be an array".into()))?
+            .iter()
+            .map(parse_point)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(Self {
+            scenario: str_field("scenario")?,
+            queue_fingerprint: str_field("queue_fingerprint")?,
+            shards: usize_field("shards")?,
+            shard_index: usize_field("shard_index")?,
+            total_points: usize_field("total_points")?,
+            round_size: usize_field("round_size")?,
+            iterations: usize_field("iterations")?,
+            min_iterations: usize_field("min_iterations")?,
+            target_moe: field("target_moe")?
+                .as_f64()
+                .ok_or_else(|| MergeError::Format("\"target_moe\" must be a number".into()))?,
+            topologies,
+            points,
+        })
+    }
+}
+
+fn parse_topology(v: &Json) -> Result<TopologySummary, MergeError> {
+    let get_f64 = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| MergeError::Format(format!("topology entry needs numeric {key:?}")))
+    };
+    Ok(TopologySummary {
+        topology: v
+            .get("topology")
+            .and_then(Json::as_str)
+            .ok_or_else(|| MergeError::Format("topology entry needs \"topology\"".into()))?
+            .to_string(),
+        software_accuracy: get_f64("software_accuracy")?,
+        nominal_accuracy: get_f64("nominal_accuracy")?,
+    })
+}
+
+fn parse_point(v: &Json) -> Result<PartialPoint, MergeError> {
+    let err = |msg: &str| MergeError::Format(format!("point entry: {msg}"));
+    let labels = v
+        .get("labels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("needs a \"labels\" array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2);
+            match pair {
+                Some([k, val]) => match (k.as_str(), val.as_str()) {
+                    (Some(k), Some(val)) => Ok((k.to_string(), val.to_string())),
+                    _ => Err(err("label pair must hold two strings")),
+                },
+                _ => Err(err("labels must be [key, value] pairs")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let welford = v
+        .get("welford")
+        .ok_or_else(|| err("needs a \"welford\" object"))?;
+    let w_count = welford
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err("welford needs integer \"count\""))?;
+    let w_mean = welford
+        .get("mean")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err("welford needs numeric \"mean\""))?;
+    let w_m2 = welford
+        .get("m2")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err("welford needs numeric \"m2\""))?;
+    let samples = v
+        .get("samples")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("needs a \"samples\" array"))?
+        .iter()
+        .map(|s| s.as_f64().ok_or_else(|| err("samples must be numbers")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PartialPoint {
+        index: v
+            .get("index")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| err("needs integer \"index\""))?,
+        topology: v
+            .get("topology")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("needs string \"topology\""))?
+            .to_string(),
+        labels,
+        seed: v
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("needs integer \"seed\""))?,
+        first_iteration: v
+            .get("first_iteration")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| err("needs integer \"first_iteration\""))?,
+        stopped_early: v
+            .get("stopped_early")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err("needs boolean \"stopped_early\""))?,
+        welford: Welford::from_parts(w_count, w_mean, w_m2),
+        samples,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+/// Why a set of partial reports could not be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// A document is not a readable partial report (bad JSON, wrong
+    /// format identifier, version skew, missing fields).
+    Format(String),
+    /// The partials disagree on scenario identity — foreign queue
+    /// fingerprint, differing budgets, or inconsistent point metadata.
+    Mismatch(String),
+    /// The covered blocks leave a gap, overlap, or miss a point entirely.
+    Coverage(String),
+    /// A block's internal state is inconsistent (its Welford summary does
+    /// not match its samples, or the block exceeds the iteration cap).
+    Corrupt(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Format(m) => write!(f, "unreadable partial report: {m}"),
+            MergeError::Mismatch(m) => write!(f, "partials do not belong together: {m}"),
+            MergeError::Coverage(m) => write!(f, "incomplete coverage: {m}"),
+            MergeError::Corrupt(m) => write!(f, "corrupt partial report: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Replays one point's recombined blocks: validates contiguity, replays
+/// the stop rule at round boundaries, and returns the retained samples
+/// plus the early-stop flag — exactly what the unsharded run computes.
+fn replay_point(
+    index: usize,
+    blocks: &[&PartialPoint],
+    stop: &StopRule,
+    round_size: usize,
+) -> Result<(Vec<f64>, bool), MergeError> {
+    let cap = stop.max_iterations;
+
+    // Structural pass first: blocks must be round-aligned, non-empty,
+    // in-bounds, and strictly disjoint — even blocks the replay below
+    // would discard as speculation must not overlap (a duplicated shard
+    // is an operator error worth surfacing, not silently deduplicating).
+    let mut covered_to = 0usize;
+    for b in blocks {
+        if b.first_iteration % round_size != 0 {
+            return Err(MergeError::Corrupt(format!(
+                "point {index}: block starts at iteration {} (not a round boundary)",
+                b.first_iteration
+            )));
+        }
+        if b.samples.is_empty() {
+            return Err(MergeError::Corrupt(format!("point {index}: empty block")));
+        }
+        if b.first_iteration < covered_to {
+            return Err(MergeError::Coverage(format!(
+                "point {index}: iterations {}..{} are covered twice",
+                b.first_iteration,
+                covered_to.min(b.first_iteration + b.samples.len())
+            )));
+        }
+        covered_to = b.first_iteration + b.samples.len();
+        if covered_to > cap {
+            return Err(MergeError::Corrupt(format!(
+                "point {index}: blocks exceed the {cap}-iteration cap"
+            )));
+        }
+    }
+
+    let mut est = Welford::new();
+    let mut retained: Vec<f64> = Vec::new();
+    let mut stopped = false;
+
+    'blocks: for b in blocks {
+        if stopped {
+            // Later blocks were speculative work; the unsharded run never
+            // executes these iterations.
+            break;
+        }
+        if b.first_iteration > retained.len() {
+            return Err(MergeError::Coverage(format!(
+                "point {index}: iterations {}..{} are missing",
+                retained.len(),
+                b.first_iteration
+            )));
+        }
+        // The block's Welford summary must be exactly what its samples
+        // produce — a cheap end-to-end integrity check on the JSON.
+        let mut check = Welford::new();
+        for &s in &b.samples {
+            check.push(s);
+        }
+        let (cn, cm, cm2) = check.parts();
+        let (wn, wm, wm2) = b.welford.parts();
+        if cn != wn || bits(cm) != bits(wm) || bits(cm2) != bits(wm2) {
+            return Err(MergeError::Corrupt(format!(
+                "point {index}: Welford state does not match the samples"
+            )));
+        }
+
+        for &s in &b.samples {
+            est.push(s);
+            retained.push(s);
+            let n = retained.len();
+            if (n.is_multiple_of(round_size) || n == cap) && stop.should_stop(&est) {
+                stopped = true;
+                if n < cap {
+                    continue 'blocks; // discard the rest of this block
+                }
+                break 'blocks;
+            }
+        }
+    }
+
+    if !stopped && retained.len() < cap {
+        return Err(MergeError::Coverage(format!(
+            "point {index}: only {} of {cap} iterations covered and the stop rule \
+             is not satisfied there",
+            retained.len()
+        )));
+    }
+    let stopped_early = retained.len() < cap;
+    Ok((retained, stopped_early))
+}
+
+/// Merges a set of partial reports into the final [`EngineReport`].
+///
+/// Accepts **any** set of partials whose blocks exactly cover the queue —
+/// typically the `k` outputs of one `--shards k` plan, but e.g. a re-run
+/// of one failed shard under a different split merges equally well. The
+/// result is byte-for-byte identical (through [`crate::report::to_json`] /
+/// [`crate::report::to_csv`]) to the unsharded run: per-point statistics
+/// are recomputed from the recombined raw samples with the same
+/// aggregation ([`McResult::from_samples`]), and adaptive stopping is
+/// replayed in iteration order (see the module docs).
+///
+/// # Errors
+///
+/// - [`MergeError::Mismatch`] when partials carry different queue
+///   fingerprints, budgets, topology summaries, or point metadata;
+/// - [`MergeError::Coverage`] on gaps, overlaps, or missing points;
+/// - [`MergeError::Corrupt`] when a block's Welford state disagrees with
+///   its samples or a block oversteps the iteration cap;
+/// - [`MergeError::Format`] when called with no partials.
+pub fn merge_partials(partials: &[PartialReport]) -> Result<EngineReport, MergeError> {
+    let first = partials
+        .first()
+        .ok_or_else(|| MergeError::Format("no partial reports to merge".into()))?;
+
+    for (i, p) in partials.iter().enumerate().skip(1) {
+        if p.queue_fingerprint != first.queue_fingerprint {
+            return Err(MergeError::Mismatch(format!(
+                "partial {i} has queue fingerprint {} but partial 0 has {}",
+                p.queue_fingerprint, first.queue_fingerprint
+            )));
+        }
+        let same_meta = p.scenario == first.scenario
+            && p.total_points == first.total_points
+            && p.round_size == first.round_size
+            && p.iterations == first.iterations
+            && p.min_iterations == first.min_iterations
+            && bits(p.target_moe) == bits(first.target_moe);
+        if !same_meta {
+            return Err(MergeError::Mismatch(format!(
+                "partial {i} disagrees on scenario metadata despite a matching fingerprint"
+            )));
+        }
+        let same_topologies = p.topologies.len() == first.topologies.len()
+            && p.topologies.iter().zip(&first.topologies).all(|(a, b)| {
+                a.topology == b.topology
+                    && bits(a.software_accuracy) == bits(b.software_accuracy)
+                    && bits(a.nominal_accuracy) == bits(b.nominal_accuracy)
+            });
+        if !same_topologies {
+            return Err(MergeError::Mismatch(format!(
+                "partial {i} reports different topology summaries"
+            )));
+        }
+    }
+
+    let mut by_point: BTreeMap<usize, Vec<&PartialPoint>> = BTreeMap::new();
+    for p in partials {
+        for block in &p.points {
+            if block.index >= first.total_points {
+                return Err(MergeError::Format(format!(
+                    "block references point {} of a {}-point queue",
+                    block.index, first.total_points
+                )));
+            }
+            by_point.entry(block.index).or_default().push(block);
+        }
+    }
+    if let Some(missing) = (0..first.total_points).find(|i| !by_point.contains_key(i)) {
+        return Err(MergeError::Coverage(format!(
+            "point {missing} is covered by no partial"
+        )));
+    }
+
+    let stop = first.stop_rule();
+    let mut rows = Vec::with_capacity(first.total_points);
+    for (index, mut blocks) in by_point {
+        blocks.sort_by_key(|b| b.first_iteration);
+        let head = blocks[0];
+        for b in &blocks[1..] {
+            if b.topology != head.topology || b.labels != head.labels || b.seed != head.seed {
+                return Err(MergeError::Mismatch(format!(
+                    "point {index}: blocks disagree on topology, labels or seed"
+                )));
+            }
+        }
+        let (samples, stopped_early) = replay_point(index, &blocks, &stop, first.round_size)?;
+        // The same aggregation as the unsharded `run_point` — identical
+        // samples therefore yield identical statistics, bit for bit.
+        let mc = McResult::from_samples(samples);
+        rows.push(SweepRow {
+            topology: head.topology.clone(),
+            labels: head.labels.clone(),
+            mean: mc.mean,
+            std_dev: mc.std_dev,
+            moe95: mc.margin_of_error_95(),
+            iterations: mc.samples.len(),
+            stopped_early,
+        });
+    }
+
+    Ok(EngineReport {
+        scenario: first.scenario.clone(),
+        topologies: first.topologies.clone(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive (not sampled) planner coverage check for small spaces.
+    #[test]
+    fn plan_covers_every_round_exactly_once() {
+        let spaces: Vec<Vec<usize>> = vec![
+            vec![1],
+            vec![4, 4, 4],
+            vec![1, 7, 2, 5, 1, 1],
+            vec![3; 10],
+            vec![32],
+        ];
+        for rounds_per_point in spaces {
+            let total: usize = rounds_per_point.iter().sum();
+            for k in 1..=total + 3 {
+                let mut seen = vec![0u32; total];
+                for i in 0..k {
+                    for b in plan_shard(&rounds_per_point, k, i) {
+                        assert!(b.rounds > 0);
+                        let base: usize = rounds_per_point[..b.point].iter().sum();
+                        for r in 0..b.rounds {
+                            seen[base + b.first_round + r] += 1;
+                        }
+                        assert!(
+                            b.first_round + b.rounds <= rounds_per_point[b.point],
+                            "block overruns its point"
+                        );
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{rounds_per_point:?} k={k}: coverage {seen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_balanced_and_contiguous() {
+        let rounds = vec![5usize; 8]; // 40 units
+        for k in [1, 2, 3, 7, 40] {
+            let sizes: Vec<usize> = (0..k)
+                .map(|i| plan_shard(&rounds, k, i).iter().map(|b| b.rounds).sum())
+                .collect();
+            let lo = *sizes.iter().min().unwrap();
+            let hi = *sizes.iter().max().unwrap();
+            assert!(hi - lo <= 1, "k={k}: unbalanced {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn plan_with_more_shards_than_rounds_leaves_empty_shards() {
+        let rounds = vec![2usize, 1];
+        let plans: Vec<_> = (0..7).map(|i| plan_shard(&rounds, 7, i)).collect();
+        let non_empty = plans.iter().filter(|p| !p.is_empty()).count();
+        assert_eq!(non_empty, 3, "3 units → exactly 3 working shards");
+    }
+
+    #[test]
+    fn queue_fingerprint_tracks_the_spec() {
+        let base = ScenarioSpec::default();
+        let fp = queue_fingerprint(&base);
+        assert_eq!(fp.len(), 32);
+        assert_eq!(fp, queue_fingerprint(&base.clone()), "deterministic");
+        let mut other = base.clone();
+        other.seed ^= 1;
+        assert_ne!(fp, queue_fingerprint(&other), "seed changes the queue");
+        let mut renamed = base.clone();
+        renamed.name = "other".into();
+        assert_ne!(
+            fp,
+            queue_fingerprint(&renamed),
+            "name is part of the report identity"
+        );
+    }
+
+    fn block(index: usize, first_iteration: usize, samples: Vec<f64>) -> PartialPoint {
+        let mut welford = Welford::new();
+        for &s in &samples {
+            welford.push(s);
+        }
+        PartialPoint {
+            index,
+            topology: "clements".into(),
+            labels: vec![("sigma".into(), "0.05".into())],
+            seed: 7,
+            first_iteration,
+            stopped_early: false,
+            welford,
+            samples,
+        }
+    }
+
+    fn partial(points: Vec<PartialPoint>) -> PartialReport {
+        PartialReport {
+            scenario: "t".into(),
+            queue_fingerprint: "00".repeat(16),
+            shards: 2,
+            shard_index: 0,
+            total_points: 1,
+            round_size: 2,
+            iterations: 6,
+            min_iterations: 6,
+            target_moe: 0.0,
+            topologies: vec![TopologySummary {
+                topology: "clements".into(),
+                software_accuracy: 0.75,
+                nominal_accuracy: 0.5,
+            }],
+            points,
+        }
+    }
+
+    #[test]
+    fn merge_recombines_split_points() {
+        let a = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        let b = partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]);
+        let report = merge_partials(&[a, b]).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].iterations, 6);
+        let mc = McResult::from_samples(vec![0.5, 0.75, 0.25, 1.0, 0.5, 0.75]);
+        assert_eq!(report.rows[0].mean.to_bits(), mc.mean.to_bits());
+        assert_eq!(report.rows[0].std_dev.to_bits(), mc.std_dev.to_bits());
+        assert!(!report.rows[0].stopped_early);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_missing_points() {
+        // Gap: iterations 2..4 missing.
+        let gap = [
+            partial(vec![block(0, 0, vec![0.5, 0.75])]),
+            partial(vec![block(0, 4, vec![0.5, 0.75])]),
+        ];
+        assert!(matches!(merge_partials(&gap), Err(MergeError::Coverage(_))));
+
+        // Overlap: iterations 0..2 covered twice.
+        let overlap = [
+            partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]),
+            partial(vec![
+                block(0, 0, vec![0.5, 0.75]),
+                block(0, 4, vec![0.5, 0.75]),
+            ]),
+        ];
+        assert!(matches!(
+            merge_partials(&overlap),
+            Err(MergeError::Coverage(_))
+        ));
+
+        // Missing point: total_points says 1 but nothing covers it.
+        let missing = [partial(vec![])];
+        assert!(matches!(
+            merge_partials(&missing),
+            Err(MergeError::Coverage(_))
+        ));
+
+        // Short coverage with no stop rule satisfied.
+        let short = [partial(vec![block(0, 0, vec![0.5, 0.75])])];
+        assert!(matches!(
+            merge_partials(&short),
+            Err(MergeError::Coverage(_))
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_foreign_fingerprints() {
+        let a = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        let mut b = partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]);
+        b.queue_fingerprint = "ff".repeat(16);
+        assert!(matches!(
+            merge_partials(&[a, b]),
+            Err(MergeError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_tampered_samples() {
+        let a = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        let mut b = partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]);
+        b.points[0].samples[1] = 0.9999; // Welford state now disagrees
+        assert!(matches!(
+            merge_partials(&[a, b]),
+            Err(MergeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn merge_replays_adaptive_stops_and_discards_speculation() {
+        // Zero-variance samples satisfy any target at the first legal
+        // boundary (min_iterations = 2 → boundary 2); blocks beyond are
+        // speculative and must be discarded, gaps past the stop are fine.
+        let mk = |points| {
+            let mut p = partial(points);
+            p.iterations = 8;
+            p.min_iterations = 2;
+            p.target_moe = 0.01;
+            p
+        };
+        let a = mk(vec![block(0, 0, vec![0.5, 0.5])]);
+        let b = mk(vec![block(0, 6, vec![0.5, 0.5])]); // speculative tail, gap before it
+        let report = merge_partials(&[a, b]).unwrap();
+        assert_eq!(report.rows[0].iterations, 2);
+        assert!(report.rows[0].stopped_early);
+
+        // The same stream mid-block: stop fires inside a block.
+        let c = mk(vec![block(0, 0, vec![0.5, 0.5, 0.5, 0.6])]);
+        let report = merge_partials(&[c]).unwrap();
+        assert_eq!(report.rows[0].iterations, 2, "stop fires mid-block");
+    }
+
+    #[test]
+    fn partial_report_json_round_trips_bit_exactly() {
+        let mut p = partial(vec![
+            block(0, 0, vec![0.1, 1.0 / 3.0]),
+            block(0, 2, vec![f64::MIN_POSITIVE, 0.49999999999999994]),
+        ]);
+        p.scenario = "weird \"name\"\twith\nescapes".into();
+        p.target_moe = 0.0334;
+        p.points[0].seed = u64::MAX - 3;
+        let text = p.to_json();
+        let back = PartialReport::parse(&text).unwrap();
+        assert_eq!(back.scenario, p.scenario);
+        assert_eq!(back.queue_fingerprint, p.queue_fingerprint);
+        assert_eq!(back.target_moe.to_bits(), p.target_moe.to_bits());
+        assert_eq!(back.points.len(), p.points.len());
+        for (x, y) in back.points.iter().zip(&p.points) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.labels, y.labels);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.first_iteration, y.first_iteration);
+            assert_eq!(x.welford.parts().0, y.welford.parts().0);
+            assert_eq!(x.welford.parts().1.to_bits(), y.welford.parts().1.to_bits());
+            let xb: Vec<u64> = x.samples.iter().map(|s| s.to_bits()).collect();
+            let yb: Vec<u64> = y.samples.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(xb, yb, "samples must survive JSON bit-exactly");
+        }
+        // And the re-serialization is byte-stable.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(matches!(
+            PartialReport::parse("{}"),
+            Err(MergeError::Format(_))
+        ));
+        assert!(matches!(
+            PartialReport::parse("not json"),
+            Err(MergeError::Format(_))
+        ));
+        let wrong_version = partial(vec![])
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(matches!(
+            PartialReport::parse(&wrong_version),
+            Err(MergeError::Format(_))
+        ));
+    }
+}

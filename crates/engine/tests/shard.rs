@@ -1,0 +1,225 @@
+//! Shard-and-merge integration tests: the acceptance guarantee is that a
+//! `k`-way sharded run, serialized through the JSON partial-report format
+//! and recombined with `merge_partials`, is **byte-for-byte identical**
+//! (CSV and JSON) to the unsharded run — for fig4, fig5, and adaptive
+//! early-termination scenarios — and that the merge rejects gapped,
+//! overlapping, and foreign partial sets.
+
+use proptest::prelude::*;
+use spnn_engine::cache::ContextCache;
+use spnn_engine::prelude::*;
+use spnn_engine::shard::{plan_shard, MergeError, PartialReport};
+use spnn_engine::spec::PlanKind;
+use spnn_photonics::PerturbTarget;
+
+fn tiny_fig4() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both, PerturbTarget::PhaseShiftersOnly];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 10;
+    spec.min_iterations = 2;
+    spec.round_size = 4; // 3 rounds/point, last one short
+    spec
+}
+
+fn tiny_fig5() -> ScenarioSpec {
+    let mut spec = presets::fig5(&RunScale::tiny());
+    assert_eq!(spec.plan, PlanKind::Zonal);
+    spec.iterations = 6;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec.zonal.layers = spnn_engine::spec::LayerSelect::List(vec![0]);
+    spec.zonal.stages = vec![spnn_core::Stage::UMesh];
+    spec
+}
+
+/// Runs every shard of a `k`-way plan (sharing one in-memory trained
+/// context, as a warm cache would across processes), round-trips each
+/// partial through its JSON form, and merges.
+fn shard_and_merge(spec: &ScenarioSpec, k: usize) -> EngineReport {
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let partials: Vec<PartialReport> = (0..k)
+        .map(|i| {
+            let p = run_scenario_shard_with(spec, &config, &cache, k, i).expect("shard runs");
+            assert_eq!(p.shards, k);
+            assert_eq!(p.shard_index, i);
+            // The on-disk JSON round trip must be transparent.
+            PartialReport::parse(&p.to_json()).expect("partial round-trips")
+        })
+        .collect();
+    merge_partials(&partials).expect("partials merge")
+}
+
+fn assert_byte_identical(spec: &ScenarioSpec, k: usize) {
+    let unsharded = run_scenario(spec, &EngineConfig::default()).expect("unsharded run");
+    let merged = shard_and_merge(spec, k);
+    assert_eq!(
+        to_json(&merged),
+        to_json(&unsharded),
+        "{}: JSON diverged at k={k}",
+        spec.name
+    );
+    assert_eq!(
+        to_csv(&merged),
+        to_csv(&unsharded),
+        "{}: CSV diverged at k={k}",
+        spec.name
+    );
+}
+
+/// Acceptance criterion: merged k-shard fig4 reports are byte-for-byte
+/// identical to the unsharded report (also enforced at scale by the CI
+/// `shard-merge` job).
+#[test]
+fn fig4_sharded_merge_is_byte_identical() {
+    let spec = tiny_fig4();
+    for k in [1, 2, 3, 5] {
+        assert_byte_identical(&spec, k);
+    }
+}
+
+/// Acceptance criterion: same for the zonal fig5 queue.
+#[test]
+fn fig5_sharded_merge_is_byte_identical() {
+    let spec = tiny_fig5();
+    for k in [1, 3] {
+        assert_byte_identical(&spec, k);
+    }
+}
+
+/// The reworked adaptive logic: only the prefix-owning shard may stop
+/// early, later shards speculate, and the merge replays the stop rule —
+/// the recombined report still matches the unsharded adaptive run
+/// bit-for-bit.
+#[test]
+fn adaptive_sharded_merge_is_byte_identical() {
+    let mut spec = tiny_fig4();
+    spec.iterations = 24;
+    spec.min_iterations = 4;
+    spec.round_size = 4;
+    spec.target_moe = 0.05;
+    let unsharded = run_scenario(&spec, &EngineConfig::default()).expect("unsharded run");
+    assert!(
+        unsharded.rows.iter().any(|r| r.stopped_early),
+        "fixture must exercise early termination (σ = 0 rows stop at the first boundary)"
+    );
+    for k in [2, 3, 7] {
+        let merged = shard_and_merge(&spec, k);
+        assert_eq!(
+            to_json(&merged),
+            to_json(&unsharded),
+            "adaptive run diverged at k={k}"
+        );
+    }
+}
+
+/// Partials need not come from a single plan: any set whose blocks cover
+/// the queue exactly merges. Half of a 2-way plan plus the matching two
+/// quarters of a 4-way plan is an exact cover.
+#[test]
+fn merge_accepts_partials_from_different_plans() {
+    let spec = tiny_fig4();
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let half = run_scenario_shard_with(&spec, &config, &cache, 2, 0).unwrap();
+    let q2 = run_scenario_shard_with(&spec, &config, &cache, 4, 2).unwrap();
+    let q3 = run_scenario_shard_with(&spec, &config, &cache, 4, 3).unwrap();
+    let merged = merge_partials(&[half, q2, q3]).expect("mixed plans cover exactly");
+    let unsharded = run_scenario(&spec, &config).unwrap();
+    assert_eq!(to_json(&merged), to_json(&unsharded));
+}
+
+#[test]
+fn merge_rejects_a_dropped_shard() {
+    let spec = tiny_fig4();
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let partials: Vec<PartialReport> = (0..3)
+        .map(|i| run_scenario_shard_with(&spec, &config, &cache, 3, i).unwrap())
+        .collect();
+    let err = merge_partials(&partials[..2]).expect_err("gapped set must not merge");
+    assert!(matches!(err, MergeError::Coverage(_)), "{err}");
+}
+
+#[test]
+fn merge_rejects_a_duplicated_shard() {
+    let spec = tiny_fig4();
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let mut partials: Vec<PartialReport> = (0..2)
+        .map(|i| run_scenario_shard_with(&spec, &config, &cache, 2, i).unwrap())
+        .collect();
+    partials.push(partials[1].clone());
+    let err = merge_partials(&partials).expect_err("overlapping set must not merge");
+    assert!(matches!(err, MergeError::Coverage(_)), "{err}");
+}
+
+#[test]
+fn merge_rejects_partials_of_a_different_spec() {
+    let spec = tiny_fig4();
+    let mut foreign_spec = tiny_fig4();
+    foreign_spec.seed ^= 0xDEAD;
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let a = run_scenario_shard_with(&spec, &config, &cache, 2, 0).unwrap();
+    let b = run_scenario_shard_with(&foreign_spec, &config, &cache, 2, 1).unwrap();
+    let err = merge_partials(&[a, b]).expect_err("foreign fingerprint must not merge");
+    assert!(matches!(err, MergeError::Mismatch(_)), "{err}");
+}
+
+#[test]
+fn shard_driver_validates_its_arguments() {
+    let spec = tiny_fig4();
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    assert!(run_scenario_shard_with(&spec, &config, &cache, 0, 0).is_err());
+    assert!(run_scenario_shard_with(&spec, &config, &cache, 3, 3).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Property: for any queue shape and shard count, the k slices of the
+    /// plan are disjoint, in-bounds, and cover every round exactly once.
+    #[test]
+    fn planner_partitions_any_queue_exactly_once(
+        rounds_per_point in collection::vec(1usize..9, 1..40),
+        k in 1usize..12,
+    ) {
+        let total: usize = rounds_per_point.iter().sum();
+        let mut covered = vec![0u32; total];
+        for i in 0..k {
+            for b in plan_shard(&rounds_per_point, k, i) {
+                prop_assert!(b.point < rounds_per_point.len());
+                prop_assert!(b.rounds > 0);
+                prop_assert!(b.first_round + b.rounds <= rounds_per_point[b.point]);
+                let base: usize = rounds_per_point[..b.point].iter().sum();
+                for r in 0..b.rounds {
+                    covered[base + b.first_round + r] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "coverage counts: {covered:?}");
+    }
+
+    /// Property: slice sizes differ by at most one round (balanced plans),
+    /// and every shard's blocks are sorted and non-adjacent-overlapping.
+    #[test]
+    fn planner_slices_are_balanced_and_ordered(
+        rounds_per_point in collection::vec(1usize..9, 1..40),
+        k in 1usize..12,
+    ) {
+        let mut sizes = Vec::new();
+        for i in 0..k {
+            let blocks = plan_shard(&rounds_per_point, k, i);
+            sizes.push(blocks.iter().map(|b| b.rounds).sum::<usize>());
+            for pair in blocks.windows(2) {
+                prop_assert!(pair[0].point < pair[1].point, "blocks out of order");
+            }
+        }
+        let lo = sizes.iter().min().copied().unwrap_or(0);
+        let hi = sizes.iter().max().copied().unwrap_or(0);
+        prop_assert!(hi - lo <= 1, "unbalanced sizes: {sizes:?}");
+    }
+}
