@@ -4,8 +4,11 @@
 //! ```text
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
 //!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
-//!          [--shards K --shard-index I]
+//!          [--shards K (--shard-index I | --spawn)]
 //! spnn merge <part.json>... [--format csv|json] [--out PATH]
+//! spnn serve [--addr HOST:PORT] [--workers N] [--threads N] [--quiet]
+//!          [--no-cache] [--cache-dir DIR]
+//! spnn assemble <stream.ndjson> [--format csv|json] [--out PATH]
 //! spnn validate <spec.scn>
 //! spnn example [NAME]
 //! spnn cache ls | rm <KEY>... | rm --all | gc [--max-entries N]
@@ -18,12 +21,13 @@
 //! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`, `SPNN_THREADS`);
 //! `SPNN_CACHE_DIR` relocates the trained-context cache. See
 //! `docs/scenario-format.md` for the spec format, `docs/sharding.md` for
-//! the shard/merge workflow and `docs/architecture.md` for the engine
-//! internals.
+//! the shard/merge workflow, `docs/serving.md` for the HTTP service and
+//! `docs/architecture.md` for the engine internals.
 
 use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
 use spnn_engine::prelude::*;
 use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
+use spnn_engine::serve::{assemble_report, Server};
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -39,6 +43,11 @@ USAGE:
                              quant, thermal) at SPNN_* env scale
     spnn merge <PART>...     merge shard partial reports into the final
                              report (bit-identical to an unsharded run)
+    spnn serve               long-lived HTTP service: POST a spec to /run,
+                             rows stream back as NDJSON as they complete;
+                             one trained-context cache for the lifetime
+    spnn assemble <NDJSON>   rebuild the report from a completed /run
+                             stream (byte-identical to `spnn run`)
     spnn validate <SPEC>     parse a scenario and report its queue size
     spnn example [NAME]      print a built-in scenario file (default fig4)
     spnn cache ls            list cached trained contexts
@@ -65,11 +74,25 @@ OPTIONS (run, merge):
                              the output is a JSON partial report)
     --shard-index I          which shard to execute (0-based, requires
                              --shards)
+    --spawn                  with --shards K: launch all K shard processes
+                             locally, merge their partials, and emit the
+                             final report (no --shard-index)
+
+OPTIONS (serve):
+    --addr HOST:PORT         listen address (default 127.0.0.1:7878)
+    --workers N              concurrent connection handlers (default 4)
+    --threads, --quiet, --no-cache, --cache-dir as for run
 
 Sharding: `spnn run S --shards K --shard-index I` writes partial report I
 of a K-way split; run all K (any machines, any order), then
 `spnn merge part*.json` recombines them — bit-for-bit identical to the
-unsharded `spnn run S`. See docs/sharding.md.
+unsharded `spnn run S`. `spnn run S --shards K --spawn` does all of that
+on one machine in one command. See docs/sharding.md.
+
+Serving: `spnn serve` then `curl -N --data-binary @S http://HOST/run`
+streams one NDJSON row per completed sweep point;
+`spnn assemble stream.ndjson` rebuilds the exact `spnn run` report.
+See docs/serving.md.
 
 Cached contexts are reused bit-exactly: a warm-cache run produces the very
 same report as a cold one, it just skips training (and mesh synthesis).
@@ -132,7 +155,7 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     while i < args.len() {
         match args[i].as_str() {
             "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--shards"
-            | "--shard-index" | "--max-entries" | "--max-bytes" => i += 2,
+            | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr" | "--workers" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -152,6 +175,22 @@ fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Worker threads per sweep point: `--threads` wins; `SPNN_THREADS` is
+/// the environment fallback the CI determinism cross-check drives
+/// (results are identical for any value, only wall-clock changes).
+fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    match option_value(args, "--threads") {
+        None => Ok(std::env::var("SPNN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!("invalid thread count {v:?}")),
+        },
+    }
 }
 
 /// The cache directory a command resolves to: `--cache-dir`, else the
@@ -182,18 +221,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if format != "csv" && format != "json" {
         return fail(&format!("unknown format {format:?} (csv|json)"));
     }
-    let threads = match option_value(args, "--threads") {
-        // `--threads` wins; `SPNN_THREADS` is the environment fallback the
-        // CI determinism cross-check drives (results are identical for any
-        // value, only wall-clock changes).
-        None => std::env::var("SPNN_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0),
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n > 0 => Some(n),
-            _ => return fail(&format!("invalid thread count {v:?}")),
-        },
+    let threads = match parse_threads(args) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
     };
     let cache_dir = (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args));
     let config = EngineConfig {
@@ -203,34 +233,49 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let cache = ContextCache::new(cache_dir);
 
-    // Sharded execution: run one deterministic slice of the queue and emit
-    // a JSON partial report for `spnn merge`.
-    let shard = match (
-        option_value(args, "--shards"),
-        option_value(args, "--shard-index"),
-    ) {
-        (None, None) => None,
-        (Some(_), None) => return fail("--shards requires --shard-index"),
-        (None, Some(_)) => return fail("--shard-index requires --shards"),
-        (Some(k), Some(i)) => {
-            let shards = match k.parse::<usize>() {
-                Ok(n) if n > 0 => n,
-                _ => return fail(&format!("invalid shard count {k:?}")),
-            };
-            let index = match i.parse::<usize>() {
+    // Sharded execution: `--shards K --shard-index I` runs one
+    // deterministic slice of the queue and emits a JSON partial report
+    // for `spnn merge`; `--shards K --spawn` launches all K slices as
+    // local child processes and merges them itself.
+    let spawn = has_flag(args, "--spawn");
+    let shards = match option_value(args, "--shards") {
+        None if spawn => return fail("--spawn requires --shards K"),
+        None if option_value(args, "--shard-index").is_some() => {
+            return fail("--shard-index requires --shards");
+        }
+        None => None,
+        Some(k) => match k.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => return fail(&format!("invalid shard count {k:?}")),
+        },
+    };
+    if let Some(shards) = shards {
+        if specs.len() != 1 {
+            return fail("sharded runs take exactly one scenario");
+        }
+        let index = match (option_value(args, "--shard-index"), spawn) {
+            (Some(_), true) => {
+                return fail("--spawn launches every shard itself; drop --shard-index");
+            }
+            (None, true) => {
+                return run_spawned(
+                    &specs[0],
+                    shards,
+                    format,
+                    &config,
+                    &cache,
+                    option_value(args, "--out"),
+                );
+            }
+            (None, false) => return fail("--shards requires --shard-index (or --spawn)"),
+            (Some(i), false) => match i.parse::<usize>() {
                 Ok(n) if n < shards => n,
                 Ok(n) => {
                     return fail(&format!("shard index {n} out of range (0..{shards})"));
                 }
                 _ => return fail(&format!("invalid shard index {i:?}")),
-            };
-            Some((shards, index))
-        }
-    };
-    if let Some((shards, index)) = shard {
-        if specs.len() != 1 {
-            return fail("sharded runs take exactly one scenario");
-        }
+            },
+        };
         if option_value(args, "--format").is_some_and(|f| f != "json") {
             return fail("partial reports are always JSON; drop --format or use --format json");
         }
@@ -403,6 +448,158 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     }
 }
 
+/// `spnn run SPEC --shards K --spawn`: the local shard launcher. Writes
+/// the canonical spec text to a scratch directory, launches the K shard
+/// child processes (`spnn run --shards K --shard-index i`), waits,
+/// merges their partial reports, and emits the final report — byte-for-
+/// byte identical to the unsharded `spnn run SPEC` (CI-enforced).
+fn run_spawned(
+    spec: &ScenarioSpec,
+    shards: usize,
+    format: &str,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    out: Option<&str>,
+) -> ExitCode {
+    let fp = spnn_engine::shard::queue_fingerprint(spec);
+    let work_dir =
+        std::env::temp_dir().join(format!("spnn-spawn-{}-{}", std::process::id(), &fp[..12]));
+    if let Err(e) = std::fs::create_dir_all(&work_dir) {
+        return fail(&format!("creating {}: {e}", work_dir.display()));
+    }
+    // Children run the *canonical* spec text (`to_text` round-trips
+    // exactly, so the queue fingerprint matches), not the original file:
+    // presets and env-scaled specs need no environment agreement.
+    let spec_path = work_dir.join("scenario.scn");
+    if let Err(e) = std::fs::write(&spec_path, spec.to_text()) {
+        return fail(&format!("writing {}: {e}", spec_path.display()));
+    }
+
+    // Warm the shared cache once in the parent so the K children all
+    // load the trained context instead of training K times concurrently
+    // (get_or_train persists to cache.dir() itself). Purely a wall-clock
+    // optimization: results are identical either way.
+    if cache.dir().is_some() {
+        let _ = cache.get_or_train(spec, config.verbose);
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("locating the spnn binary: {e}")),
+    };
+    // Split the machine across children unless the operator pinned
+    // --threads / SPNN_THREADS (identical results for any choice).
+    let threads_per_child = config.threads.or_else(|| {
+        std::thread::available_parallelism()
+            .ok()
+            .map(|n| (n.get() / shards).max(1))
+    });
+
+    let started = std::time::Instant::now();
+    let mut children = Vec::with_capacity(shards);
+    for index in 0..shards {
+        let part = work_dir.join(format!("part-{index}.json"));
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg(&spec_path)
+            .arg("--shards")
+            .arg(shards.to_string())
+            .arg("--shard-index")
+            .arg(index.to_string())
+            .arg("--out")
+            .arg(&part)
+            .arg("--quiet")
+            .stdout(std::process::Stdio::null());
+        if !config.verbose {
+            cmd.stderr(std::process::Stdio::null());
+        }
+        if let Some(t) = threads_per_child {
+            cmd.arg("--threads").arg(t.to_string());
+        }
+        match cache.dir() {
+            Some(dir) => {
+                cmd.arg("--cache-dir").arg(dir);
+            }
+            None => {
+                cmd.arg("--no-cache");
+            }
+        }
+        match cmd.spawn() {
+            Ok(child) => {
+                if config.verbose {
+                    eprintln!("[spnn] spawned shard {index}/{shards} (pid {})", child.id());
+                }
+                children.push((index, part, child));
+            }
+            Err(e) => {
+                // Do not leave earlier shards orphaned.
+                for (_, _, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return fail(&format!("spawning shard {index}: {e}"));
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    let mut partials = Vec::with_capacity(shards);
+    for (index, part, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => match std::fs::read_to_string(&part) {
+                Ok(text) => match PartialReport::parse(&text) {
+                    Ok(p) => partials.push(p),
+                    Err(e) => failures.push(format!("shard {index}: {e}")),
+                },
+                Err(e) => failures.push(format!("shard {index}: reading {}: {e}", part.display())),
+            },
+            Ok(status) => failures.push(format!("shard {index} exited with {status}")),
+            Err(e) => failures.push(format!("waiting for shard {index}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "[spnn] shard scratch kept for inspection: {}",
+            work_dir.display()
+        );
+        return fail(&failures.join("; "));
+    }
+
+    let report = match merge_partials(&partials) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "[spnn] shard scratch kept for inspection: {}",
+                work_dir.display()
+            );
+            return fail(&e.to_string());
+        }
+    };
+    let _ = std::fs::remove_dir_all(&work_dir);
+    eprintln!(
+        "[spnn] {}: {} shard process(es) merged in {:.2?}: {} point(s), {} MC iteration(s)",
+        report.scenario,
+        shards,
+        started.elapsed(),
+        report.rows.len(),
+        report.total_iterations(),
+    );
+    let body = match format {
+        "json" => to_json(&report),
+        _ => to_csv(&report),
+    };
+    match out {
+        Some(path) => match write_report(Path::new(path), &body) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        None => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 /// Reduces a scenario name to a safe file stem: path separators and other
 /// non-portable characters become `_`, and an empty result falls back to
 /// `scenario`.
@@ -421,6 +618,84 @@ fn sanitize_file_stem(name: &str) -> String {
         "scenario".to_string()
     } else {
         stem
+    }
+}
+
+/// `spnn serve`: bind the scenario service and run until killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let addr = option_value(args, "--addr").unwrap_or("127.0.0.1:7878");
+    let workers = match option_value(args, "--workers") {
+        None => 4,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return fail(&format!("invalid worker count {v:?}")),
+        },
+    };
+    let threads = match parse_threads(args) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let config = ServeConfig {
+        workers,
+        engine: EngineConfig {
+            threads,
+            verbose: !has_flag(args, "--quiet"),
+            cache_dir: (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args)),
+        },
+    };
+    let server = match Server::bind(addr, config) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("binding {addr}: {e}")),
+    };
+    if let Ok(local) = server.local_addr() {
+        eprintln!("[spnn] serving on http://{local}");
+        eprintln!("[spnn]   POST /run          stream a scenario's rows as NDJSON");
+        eprintln!("[spnn]   GET  /healthz      liveness + run counters");
+        eprintln!("[spnn]   GET  /cache/stats  trained-context cache counters");
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("serving {addr}: {e}")),
+    }
+}
+
+/// `spnn assemble`: rebuild the final report from a saved `/run` stream.
+fn cmd_assemble(args: &[String]) -> ExitCode {
+    let paths = positional_args(args);
+    let [path] = paths.as_slice() else {
+        return fail("assemble takes exactly one NDJSON stream file (`-` reads stdin)");
+    };
+    let format = option_value(args, "--format").unwrap_or("csv");
+    if format != "csv" && format != "json" {
+        return fail(&format!("unknown format {format:?} (csv|json)"));
+    }
+    let text = match read_spec_file(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let report = match assemble_report(&text) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    eprintln!(
+        "[spnn] assembled {}: {} point(s), {} MC iteration(s)",
+        report.scenario,
+        report.rows.len(),
+        report.total_iterations(),
+    );
+    let body = match format {
+        "json" => to_json(&report),
+        _ => to_csv(&report),
+    };
+    match option_value(args, "--out") {
+        Some(path) => match write_report(Path::new(path), &body) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        None => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
     }
 }
 
@@ -643,6 +918,8 @@ fn main() -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&args),
         Some("merge") => cmd_merge(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("assemble") => cmd_assemble(&args),
         Some("validate") => cmd_validate(&args),
         Some("example") => cmd_example(&args),
         Some("cache") => cmd_cache(&args),

@@ -260,6 +260,12 @@ pub struct CacheStats {
 pub struct ContextCache {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<[u8; 16], Arc<TrainedContext>>>,
+    /// Per-fingerprint in-flight gates: concurrent [`Self::get_or_train`]
+    /// calls for the *same* fingerprint serialize, so the second caller
+    /// finds the first one's context in memory instead of training it
+    /// again. Different fingerprints stay fully concurrent. (One gate per
+    /// distinct fingerprint ever requested — a handful of small Arcs.)
+    pending: Mutex<HashMap<[u8; 16], Arc<Mutex<()>>>>,
     mem_hits: AtomicUsize,
     disk_hits: AtomicUsize,
     trains: AtomicUsize,
@@ -271,6 +277,7 @@ impl ContextCache {
         Self {
             dir,
             mem: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
             mem_hits: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
             trains: AtomicUsize::new(0),
@@ -309,8 +316,31 @@ impl ContextCache {
     /// The warm paths skip training *and* training-set generation entirely;
     /// only the spec fields covered by [`Fingerprint`] influence the
     /// result, which is bit-identical across all three paths.
+    ///
+    /// In-flight training is deduplicated per fingerprint: when several
+    /// threads request the same context concurrently (e.g. identical
+    /// `spnn serve` requests), exactly one trains while the others wait
+    /// and then take the memory hit — `stats().trains` rises by one, not
+    /// by the number of callers. Requests for *different* fingerprints
+    /// train concurrently.
     pub fn get_or_train(&self, spec: &ScenarioSpec, verbose: bool) -> Arc<TrainedContext> {
         let fp = Fingerprint::of_spec(spec);
+        // Fast path: no gate needed when the context is already in memory.
+        if let Some(ctx) = self.mem.lock().expect("cache lock").get(&fp.key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ctx);
+        }
+
+        let gate = Arc::clone(
+            self.pending
+                .lock()
+                .expect("pending lock")
+                .entry(fp.key)
+                .or_default(),
+        );
+        let _in_flight = gate.lock().expect("in-flight training gate");
+        // Re-check under the gate: a concurrent caller may have finished
+        // training while this one waited.
         if let Some(ctx) = self.mem.lock().expect("cache lock").get(&fp.key) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(ctx);
@@ -1162,6 +1192,32 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.trains, s.mem_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    /// Concurrent requests for one fingerprint must serialize on the
+    /// in-flight gate: exactly one trains, the rest take memory hits —
+    /// the guarantee `spnn serve` relies on for simultaneous identical
+    /// requests.
+    #[test]
+    fn concurrent_same_fingerprint_requests_train_once() {
+        let cache = Arc::new(ContextCache::in_memory());
+        let spec = tiny_spec();
+        let contexts: Vec<Arc<TrainedContext>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let spec = spec.clone();
+                    scope.spawn(move || cache.get_or_train(&spec, false))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ctx in &contexts[1..] {
+            assert!(Arc::ptr_eq(&contexts[0], ctx));
+        }
+        let s = cache.stats();
+        assert_eq!(s.trains, 1, "exactly one thread may train");
+        assert_eq!(s.mem_hits, 3, "the waiters take memory hits");
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! A minimal, dependency-free HTTP/1.1 layer for [`crate::serve`].
+//!
+//! The environment vendors no HTTP crates, so the scenario service reads
+//! and writes the protocol itself over `std::net` streams. The subset
+//! implemented here is exactly what the service needs:
+//!
+//! - **Requests**: request line + headers + an optional `Content-Length`
+//!   body ([`read_request`]). Chunked request bodies are rejected with
+//!   `411 Length Required`; header and body sizes are bounded so a
+//!   misbehaving client cannot exhaust memory.
+//! - **Responses**: either a complete body with a `Content-Length`
+//!   ([`Response::write_to`]) or a **close-delimited stream**
+//!   ([`Response::write_streaming_head`]) — the server sends the header
+//!   with `Connection: close`, then writes body bytes as they are
+//!   produced and signals the end by closing the socket. This is how
+//!   `POST /run` streams NDJSON rows as sweep points complete, with no
+//!   chunked-encoding framing for clients to undo (`curl` shows lines
+//!   as they arrive).
+//!
+//! Everything here is transport plumbing: no route logic, no engine
+//! types. See [`crate::serve`] for the endpoints and `docs/serving.md`
+//! for the wire-level reference.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (scenario specs are a few KiB), in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request: method, target path, lower-cased headers, body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path plus optional query string), as received.
+    pub path: String,
+    /// Headers in arrival order; names are lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without its query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each case
+/// to the response status the server should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+    /// The request line or a header is not parseable HTTP/1.x.
+    Malformed(String),
+    /// Headers exceed [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// A body-carrying request without a usable `Content-Length`.
+    LengthRequired,
+}
+
+impl HttpError {
+    /// The HTTP status code this error should be answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(_) => 400,
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::LengthRequired => 411,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::HeadTooLarge => write!(f, "request headers exceed {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            HttpError::LengthRequired => write!(f, "request body needs a Content-Length"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one HTTP/1.x request (head + `Content-Length` body) from a
+/// buffered stream.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] describing the violation; callers should
+/// answer with [`HttpError::status`] and close the connection.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_head_line(stream)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_head_line(stream)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        // The service only accepts small spec bodies; chunked uploads are
+        // not worth the framing code.
+        return Err(HttpError::LengthRequired);
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; length];
+    io::Read::read_exact(stream, &mut body).map_err(HttpError::Io)?;
+    Ok(Request { body, ..request })
+}
+
+/// Reads one CRLF- (or LF-) terminated head line, bounded by
+/// [`MAX_HEAD_BYTES`].
+fn read_head_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match io::Read::read(stream, &mut byte) {
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-head".into())),
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 request head".into()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A complete (non-streaming) HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (see [`status_text`]).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Writes the response with a `Content-Length` and `Connection:
+    /// close`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+
+    /// Writes only the head of a **close-delimited streaming** response:
+    /// no `Content-Length`, `Connection: close`. The caller then writes
+    /// body bytes as they become available (flushing after each line to
+    /// defeat buffering) and ends the body by closing the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_streaming_head(
+        stream: &mut impl Write,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\nX-Accel-Buffering: no\r\n\r\n",
+            status,
+            status_text(status),
+            content_type
+        )?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let r = parse("POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/run");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_splits_query() {
+        let r = parse("GET /healthz?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.route(), "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn lf_only_lines_are_tolerated() {
+        let r = parse("GET / HTTP/1.0\nA: b\n\n").unwrap();
+        assert_eq!(r.header("a"), Some("b"));
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_and_chunked_bodies() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::BodyTooLarge)));
+        assert_eq!(HttpError::BodyTooLarge.status(), 413);
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut head = Vec::new();
+        Response::write_streaming_head(&mut head, 200, "application/x-ndjson").unwrap();
+        let head = String::from_utf8(head).unwrap();
+        assert!(head.contains("Connection: close"));
+        assert!(!head.contains("Content-Length"));
+    }
+}

@@ -313,6 +313,18 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Formats a float for JSON emission: shortest-round-trip decimals for
+/// finite values (`{}` — bit-exactly recoverable by [`parse`]), `null`
+/// otherwise. The single float writer behind [`crate::report::to_json`]
+/// and the serve NDJSON events — the dialects must never diverge.
+pub(crate) fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Escapes a string for JSON emission — the single escaper behind both
 /// [`crate::report::to_json`] and the partial-report writer.
 pub(crate) fn escape(s: &str) -> String {

@@ -35,15 +35,24 @@
 //!   on disk across runs, with bit-identical results either way.
 //! - [`shard`] — distributed shard-and-merge execution: a deterministic
 //!   planner partitions the compiled queue's rounds across `k` processes
-//!   (`spnn run --shards k --shard-index i`), each writes a versioned
-//!   JSON [`shard::PartialReport`], and [`shard::merge_partials`]
+//!   (`spnn run --shards k --shard-index i`, or `--shards k --spawn` for
+//!   a local process pool), each writes a versioned JSON
+//!   [`shard::PartialReport`], and [`shard::merge_partials`]
 //!   (`spnn merge`) validates coverage and recombines them into a report
 //!   **bit-identical** to the unsharded run — enforced by CI on every
 //!   push.
+//! - [`serve`] — the long-lived scenario service (`spnn serve`): `POST`
+//!   a spec, receive per-point rows as **NDJSON the moment they
+//!   complete**, over a dependency-free [`http`] layer; one
+//!   process-lifetime [`cache::ContextCache`] makes repeat requests skip
+//!   training, and [`serve::assemble_report`] rebuilds the exact batch
+//!   report from a completed stream.
 //!
 //! The guides under `docs/` at the workspace root complement the rustdoc:
-//! `docs/scenario-format.md` is the complete `.scn` reference and
-//! `docs/architecture.md` maps the crate stack and the engine's data flow.
+//! `docs/scenario-format.md` is the complete `.scn` reference,
+//! `docs/architecture.md` maps the crate stack and the engine's data
+//! flow, `docs/sharding.md` covers distributed execution, and
+//! `docs/serving.md` is the service's operator manual.
 //!
 //! # CLI
 //!
@@ -82,11 +91,13 @@ pub mod batched;
 pub mod cache;
 pub mod estimator;
 mod fnv;
+pub mod http;
 mod json;
 pub mod presets;
 pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod shard;
 pub mod spec;
 
@@ -96,9 +107,11 @@ pub use estimator::{StopRule, Welford};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use runner::{
-    run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_with,
-    run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult, SweepRow,
+    run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_streaming_with,
+    run_scenario_with, run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult,
+    StreamEvent, SweepRow,
 };
+pub use serve::{assemble_report, AssembleError, ServeConfig, Server};
 pub use shard::{merge_partials, plan_shard, MergeError, PartialReport, ShardBlock};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 
@@ -110,9 +123,10 @@ pub mod prelude {
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
     pub use crate::runner::{
-        run_point, run_scenario, run_scenario_shard_with, run_scenario_with, run_scenarios,
-        EngineConfig, EngineReport, SweepRow,
+        run_point, run_scenario, run_scenario_shard_with, run_scenario_streaming_with,
+        run_scenario_with, run_scenarios, EngineConfig, EngineReport, StreamEvent, SweepRow,
     };
+    pub use crate::serve::{assemble_report, AssembleError, ServeConfig, Server};
     pub use crate::shard::{merge_partials, MergeError, PartialReport};
     pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
 }

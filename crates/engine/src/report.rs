@@ -37,17 +37,10 @@ pub fn to_csv(report: &EngineReport) -> String {
     out
 }
 
-// One escaper serves both the final report and the shard partial-report
-// format — the two JSON dialects must never diverge.
-use crate::json::escape as json_escape;
-
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
+// One escaper and one float writer serve the final report, the shard
+// partial-report format, and the serve NDJSON events — the JSON dialects
+// must never diverge.
+use crate::json::{escape as json_escape, num as json_f64};
 
 /// Serializes a report as pretty-printed JSON.
 pub fn to_json(report: &EngineReport) -> String {

@@ -418,6 +418,37 @@ fn persist_context(cache: &ContextCache, prep: &PreparedScenario, verbose: bool)
     }
 }
 
+/// One milestone of a streaming scenario run, delivered to the observer
+/// callback of [`run_scenario_streaming_with`] the moment it happens.
+///
+/// Events borrow from the running scenario; copy out whatever must
+/// outlive the callback. The event stream for a given spec is itself
+/// deterministic: the same spec produces the same events in the same
+/// order, regardless of thread count or cache temperature.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum StreamEvent<'a> {
+    /// Preparation finished (training/cache load, mapping, queue
+    /// compilation); the sweep is about to start.
+    Started {
+        /// Scenario name (from the spec).
+        scenario: &'a str,
+        /// Number of sweep points the run will produce, in queue order.
+        total_points: usize,
+    },
+    /// One topology's training/mapping context (emitted after `Started`,
+    /// once per topology, in spec order).
+    Topology(&'a TopologySummary),
+    /// One sweep point completed. Rows arrive in queue order; `index` is
+    /// 0-based.
+    Row {
+        /// 0-based position of the row in the report.
+        index: usize,
+        /// The completed row, exactly as it will appear in the report.
+        row: &'a SweepRow,
+    },
+}
+
 /// Runs a whole scenario: dataset generation, software training, photonic
 /// mapping per topology, queue compilation, and the Monte-Carlo sweep.
 ///
@@ -474,8 +505,42 @@ pub fn run_scenario_with(
     config: &EngineConfig,
     cache: &ContextCache,
 ) -> Result<EngineReport, EngineError> {
+    run_scenario_streaming_with(spec, config, cache, &mut |_| {})
+}
+
+/// Runs one scenario like [`run_scenario_with`], delivering a
+/// [`StreamEvent`] to `observe` at every milestone: once preparation is
+/// done, per topology summary, and per completed sweep point — the hook
+/// behind `spnn serve`'s NDJSON row streaming (see [`crate::serve`]).
+///
+/// The returned report is the very same value the events described:
+/// [`run_scenario_with`] **is** this function with a no-op observer, so a
+/// report assembled from the event stream is identical — bit for bit — to
+/// the batch report.
+///
+/// The observer runs on the calling thread, between sweep points; a slow
+/// observer delays the sweep but cannot change any result.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the spec fails validation or a weight matrix
+/// cannot be mapped onto hardware. Preparation errors precede the first
+/// event: once `Started` has been observed, the run can no longer fail.
+pub fn run_scenario_streaming_with(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    observe: &mut dyn FnMut(StreamEvent<'_>),
+) -> Result<EngineReport, EngineError> {
     let prep = prepare(spec, config, cache)?;
     let total = prep.points.len();
+    observe(StreamEvent::Started {
+        scenario: &prep.name,
+        total_points: total,
+    });
+    for t in &prep.topologies {
+        observe(StreamEvent::Topology(t));
+    }
     let mut rows = Vec::with_capacity(total);
     for (i, point) in prep.points.iter().enumerate() {
         let r = run_point(
@@ -507,7 +572,7 @@ pub fn run_scenario_with(
                 if r.stopped_early { ", early stop" } else { "" },
             );
         }
-        rows.push(SweepRow {
+        let row = SweepRow {
             topology: point.topology.to_string(),
             labels: owned_labels(&point.item),
             mean: r.mean,
@@ -515,7 +580,12 @@ pub fn run_scenario_with(
             moe95: r.moe95,
             iterations: r.samples.len(),
             stopped_early: r.stopped_early,
+        };
+        observe(StreamEvent::Row {
+            index: i,
+            row: &row,
         });
+        rows.push(row);
     }
 
     persist_context(cache, &prep, config.verbose);

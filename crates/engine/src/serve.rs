@@ -1,0 +1,739 @@
+//! `spnn serve` — a long-lived scenario service that streams Monte-Carlo
+//! results as they are computed.
+//!
+//! The service wraps the engine's streaming driver
+//! ([`crate::runner::run_scenario_streaming_with`]) in a small,
+//! dependency-free HTTP front-end ([`crate::http`]): clients `POST` a
+//! scenario spec (the same `.scn` text `spnn run` takes) and receive
+//! **NDJSON** — one JSON object per line — with every sweep point's row
+//! pushed the moment it completes. One process-lifetime
+//! [`ContextCache`] is shared by all requests, so repeat scenarios skip
+//! training entirely, and concurrent identical requests train **once**
+//! (the cache serializes in-flight training per fingerprint).
+//!
+//! # Endpoints
+//!
+//! | method, path | behavior |
+//! |---|---|
+//! | `POST /run` | body = scenario spec text; streams NDJSON events |
+//! | `GET /healthz` | liveness + run counters |
+//! | `GET /cache/stats` | trained-context cache counters and location |
+//!
+//! Invalid specs are rejected *before* any work starts with `400` and a
+//! JSON body carrying the parser's line-numbered message.
+//!
+//! # The NDJSON event stream
+//!
+//! A successful `POST /run` answers `200` with
+//! `Content-Type: application/x-ndjson` and a close-delimited body (no
+//! chunked framing — the stream ends when the server closes the
+//! connection). Events, in order:
+//!
+//! ```text
+//! {"event":"started","scenario":"fig4","total_points":54}
+//! {"event":"topology","topology":"clements","software_accuracy":0.94,"nominal_accuracy":0.93}
+//! {"event":"row","index":0,"topology":"clements","labels":[["mode","both"],["sigma","0"]],
+//!  "mean_accuracy":0.93,"std_dev":0,"moe95":0,"iterations":60,"stopped_early":false}
+//! ...
+//! {"event":"done","scenario":"fig4","rows":54}
+//! ```
+//!
+//! Floats are emitted in Rust's shortest-round-trip decimal form, so
+//! [`assemble_report`] recovers every value **bit-exactly**: a report
+//! assembled from the stream renders byte-for-byte identically
+//! (`to_json` / `to_csv`) to the `spnn run` report for the same spec —
+//! the batch driver *is* the streaming driver with a no-op observer.
+//! A run that fails after the head was sent (e.g. a mapping error) ends
+//! the stream with `{"event":"error","message":…}` instead of `done`.
+//!
+//! `docs/serving.md` is the operator's manual: curl examples, error
+//! codes, concurrency and determinism semantics.
+
+use crate::cache::ContextCache;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::{self, Json};
+use crate::runner::{
+    run_scenario_streaming_with, EngineConfig, EngineReport, StreamEvent, SweepRow, TopologySummary,
+};
+use crate::spec::ScenarioSpec;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How the service runs. Like [`EngineConfig`], nothing here may change
+/// results — only capacity, placement, and logging.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-handling worker threads (each runs at most one
+    /// scenario at a time; the Monte-Carlo sweep inside a request is
+    /// additionally parallelized per [`EngineConfig::threads`]).
+    pub workers: usize,
+    /// Engine execution knobs applied to every request.
+    /// `engine.cache_dir` seeds the service's process-lifetime
+    /// [`ContextCache`].
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Run counters, served by `GET /healthz`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    started: usize,
+    completed: usize,
+    failed: usize,
+}
+
+struct ServerState {
+    engine: EngineConfig,
+    cache: ContextCache,
+    workers: usize,
+    started: AtomicUsize,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl ServerState {
+    fn counters(&self) -> Counters {
+        Counters {
+            started: self.started.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scenario service: a bound listener plus its shared state.
+///
+/// [`Server::bind`] reserves the address (use port `0` to let the OS
+/// pick — [`Server::local_addr`] reports the result); [`Server::run`]
+/// then serves connections forever on a pool of
+/// [`ServeConfig::workers`] threads.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("workers", &self.state.workers)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the service to `addr` (e.g. `"127.0.0.1:7878"`, or port `0`
+    /// for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = config.workers.max(1);
+        let mut engine = config.engine;
+        let cache = ContextCache::new(engine.cache_dir.take());
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                engine,
+                cache,
+                workers,
+                started: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                failed: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The address the service actually listens on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until the listener fails persistently. Each
+    /// accepted connection is handed to one of the worker threads; a
+    /// worker handles one request per connection (`Connection: close`).
+    ///
+    /// Backpressure: the hand-off queue holds at most a few connections
+    /// per worker; when every worker is busy the accept loop blocks, so
+    /// excess clients wait in the kernel's accept backlog instead of
+    /// accumulating open sockets (their read timeout starts only once a
+    /// worker picks them up).
+    ///
+    /// # Errors
+    ///
+    /// Transient accept failures (aborted handshakes, fd exhaustion) are
+    /// logged and retried; only a persistently failing listener — many
+    /// consecutive accept errors with no success in between — returns an
+    /// error.
+    pub fn run(self) -> io::Result<()> {
+        let verbose = self.state.engine.verbose;
+        // Bounded hand-off: `send` blocks when workers are saturated.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.state.workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(self.state.workers);
+        for _ in 0..self.state.workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            pool.push(std::thread::spawn(move || loop {
+                let conn = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                match conn {
+                    Ok(stream) => handle_connection(stream, &state),
+                    Err(_) => break, // listener gone
+                }
+            }));
+        }
+        let mut consecutive_failures = 0usize;
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    consecutive_failures = 0;
+                    if tx.send(stream).is_err() {
+                        break; // all workers died — surface below
+                    }
+                }
+                Err(e) => {
+                    // Aborted handshakes, EMFILE under load, and the like
+                    // must not take the whole service down; back off
+                    // briefly and keep accepting. A listener that *only*
+                    // fails is genuinely broken — surface that.
+                    consecutive_failures += 1;
+                    if consecutive_failures >= 100 {
+                        return Err(e);
+                    }
+                    if verbose {
+                        eprintln!("[serve] accept failed (retrying): {e}");
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Per-connection read budget: covers slow clients without letting a
+/// dead one pin a worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream;
+    let mut reader = match writer.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => return,
+    };
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) => return, // client went away mid-request
+        Err(e) => {
+            let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e.to_string()));
+            let _ = Response::json(e.status(), body).write_to(&mut writer);
+            // The client may still be sending the body this request was
+            // rejected over (413/411); closing with unread data pending
+            // makes the kernel send RST and the client sees "connection
+            // reset" instead of the error JSON. Signal end-of-response,
+            // then drain a bounded amount so the response gets through.
+            let _ = writer.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 8192];
+            let mut drained = 0usize;
+            while let Ok(n) = io::Read::read(&mut reader, &mut sink) {
+                if n == 0 {
+                    break;
+                }
+                drained += n;
+                if drained > crate::http::MAX_BODY_BYTES {
+                    break;
+                }
+            }
+            return;
+        }
+    };
+    if state.engine.verbose {
+        eprintln!("[serve] {} {}", request.method, request.route());
+    }
+    match (request.method.as_str(), request.route()) {
+        ("POST", "/run") => handle_run(&request, &mut writer, state),
+        ("GET", "/healthz") => {
+            let c = state.counters();
+            let body = format!(
+                "{{\"status\": \"ok\", \"workers\": {}, \"runs_started\": {}, \
+                 \"runs_completed\": {}, \"runs_failed\": {}}}\n",
+                state.workers, c.started, c.completed, c.failed
+            );
+            let _ = Response::json(200, body).write_to(&mut writer);
+        }
+        ("GET", "/cache/stats") => {
+            let stats = state.cache.stats();
+            let dir = match state.cache.dir() {
+                Some(d) => format!("\"{}\"", json::escape(&d.display().to_string())),
+                None => "null".to_string(),
+            };
+            let body = format!(
+                "{{\"dir\": {dir}, \"mem_hits\": {}, \"disk_hits\": {}, \"trains\": {}}}\n",
+                stats.mem_hits, stats.disk_hits, stats.trains
+            );
+            let _ = Response::json(200, body).write_to(&mut writer);
+        }
+        (_, "/run" | "/healthz" | "/cache/stats") => {
+            let _ =
+                Response::json(405, "{\"error\": \"method not allowed\"}\n").write_to(&mut writer);
+        }
+        (_, route) => {
+            let body = format!(
+                "{{\"error\": \"no such endpoint {}\"}}\n",
+                json::escape(route)
+            );
+            let _ = Response::json(404, body).write_to(&mut writer);
+        }
+    }
+}
+
+fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => {
+            let _ = Response::json(400, "{\"error\": \"spec body must be UTF-8 text\"}\n")
+                .write_to(writer);
+            return;
+        }
+    };
+    // Reject before any work starts: parse failures carry the .scn
+    // parser's line number, validation failures its message.
+    let spec = match ScenarioSpec::parse(text) {
+        Ok(s) => s,
+        Err(e) => {
+            let body = format!(
+                "{{\"error\": \"{}\", \"line\": {}}}\n",
+                json::escape(&e.to_string()),
+                e.line
+            );
+            let _ = Response::json(400, body).write_to(writer);
+            return;
+        }
+    };
+    if let Err(m) = spec.validate() {
+        let body = format!(
+            "{{\"error\": \"invalid scenario: {}\"}}\n",
+            json::escape(&m)
+        );
+        let _ = Response::json(400, body).write_to(writer);
+        return;
+    }
+
+    state.started.fetch_add(1, Ordering::Relaxed);
+    if Response::write_streaming_head(writer, 200, "application/x-ndjson").is_err() {
+        state.failed.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // A client that disconnects mid-stream must not kill the run: the
+    // sweep completes (warming the shared cache for the retry) and
+    // further writes are skipped.
+    let mut broken = false;
+    let mut emit = |line: String| {
+        if broken {
+            return;
+        }
+        if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+            broken = true;
+        }
+    };
+    let result = run_scenario_streaming_with(&spec, &state.engine, &state.cache, &mut |event| {
+        emit(event_line(&event));
+    });
+    match result {
+        Ok(report) => {
+            emit(format!(
+                "{{\"event\": \"done\", \"scenario\": \"{}\", \"rows\": {}}}\n",
+                json::escape(&report.scenario),
+                report.rows.len()
+            ));
+            state.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            emit(format!(
+                "{{\"event\": \"error\", \"message\": \"{}\"}}\n",
+                json::escape(&e.to_string())
+            ));
+            state.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializes one [`StreamEvent`] as its NDJSON line (newline included).
+fn event_line(event: &StreamEvent<'_>) -> String {
+    match event {
+        StreamEvent::Started {
+            scenario,
+            total_points,
+        } => format!(
+            "{{\"event\": \"started\", \"scenario\": \"{}\", \"total_points\": {total_points}}}\n",
+            json::escape(scenario)
+        ),
+        StreamEvent::Topology(t) => format!(
+            "{{\"event\": \"topology\", \"topology\": \"{}\", \"software_accuracy\": {}, \
+             \"nominal_accuracy\": {}}}\n",
+            json::escape(&t.topology),
+            json::num(t.software_accuracy),
+            json::num(t.nominal_accuracy)
+        ),
+        StreamEvent::Row { index, row } => {
+            let mut labels = String::new();
+            for (j, (k, v)) in row.labels.iter().enumerate() {
+                let _ = write!(
+                    labels,
+                    "{}[\"{}\", \"{}\"]",
+                    if j == 0 { "" } else { ", " },
+                    json::escape(k),
+                    json::escape(v)
+                );
+            }
+            format!(
+                "{{\"event\": \"row\", \"index\": {index}, \"topology\": \"{}\", \
+                 \"labels\": [{labels}], \"mean_accuracy\": {}, \"std_dev\": {}, \
+                 \"moe95\": {}, \"iterations\": {}, \"stopped_early\": {}}}\n",
+                json::escape(&row.topology),
+                json::num(row.mean),
+                json::num(row.std_dev),
+                json::num(row.moe95),
+                row.iterations,
+                row.stopped_early
+            )
+        }
+    }
+}
+
+/// Why an NDJSON stream could not be assembled into a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A line is not a readable event object.
+    Format(String),
+    /// The stream ended without a `done` event, or its events are
+    /// inconsistent (out-of-order rows, wrong counts).
+    Incomplete(String),
+    /// The stream carries a server-side `error` event.
+    Run(String),
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::Format(m) => write!(f, "unreadable event stream: {m}"),
+            AssembleError::Incomplete(m) => write!(f, "incomplete event stream: {m}"),
+            AssembleError::Run(m) => write!(f, "run failed server-side: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// Reassembles the [`EngineReport`] from a completed `POST /run` NDJSON
+/// stream.
+///
+/// The assembled report is **byte-identical** (through
+/// [`crate::report::to_json`] / [`crate::report::to_csv`]) to what
+/// `spnn run` produces for the same spec: every float crosses the wire
+/// in shortest-round-trip decimal form and is recovered from the
+/// literal digits. Pinned by tests and by the CI `serve` job.
+///
+/// # Errors
+///
+/// - [`AssembleError::Format`] on unparseable lines or missing fields;
+/// - [`AssembleError::Incomplete`] when the stream lacks `started`/`done`
+///   events, rows arrive out of order, or counts disagree;
+/// - [`AssembleError::Run`] when the stream ends with a server-side
+///   `error` event.
+pub fn assemble_report(ndjson: &str) -> Result<EngineReport, AssembleError> {
+    let mut scenario: Option<String> = None;
+    let mut total_points: usize = 0;
+    let mut topologies: Vec<TopologySummary> = Vec::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut done = false;
+
+    for (i, line) in ndjson.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if done {
+            return Err(AssembleError::Incomplete(format!(
+                "line {}: content after the done event",
+                i + 1
+            )));
+        }
+        let v =
+            json::parse(line).map_err(|e| AssembleError::Format(format!("line {}: {e}", i + 1)))?;
+        let event = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| AssembleError::Format(format!("line {}: no \"event\" field", i + 1)))?;
+        let fmt_err =
+            |msg: &str| AssembleError::Format(format!("line {}: {event} event {msg}", i + 1));
+        match event {
+            "started" => {
+                scenario = Some(
+                    v.get("scenario")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| fmt_err("needs string \"scenario\""))?
+                        .to_string(),
+                );
+                total_points = v
+                    .get("total_points")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| fmt_err("needs integer \"total_points\""))?;
+            }
+            "topology" => topologies.push(TopologySummary {
+                topology: v
+                    .get("topology")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fmt_err("needs string \"topology\""))?
+                    .to_string(),
+                software_accuracy: v
+                    .get("software_accuracy")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fmt_err("needs numeric \"software_accuracy\""))?,
+                nominal_accuracy: v
+                    .get("nominal_accuracy")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fmt_err("needs numeric \"nominal_accuracy\""))?,
+            }),
+            "row" => {
+                let index = v
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| fmt_err("needs integer \"index\""))?;
+                if index != rows.len() {
+                    return Err(AssembleError::Incomplete(format!(
+                        "line {}: row index {index} where {} was expected",
+                        i + 1,
+                        rows.len()
+                    )));
+                }
+                let labels = v
+                    .get("labels")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| fmt_err("needs a \"labels\" array"))?
+                    .iter()
+                    .map(|pair| match pair.as_array() {
+                        Some([k, val]) => match (k.as_str(), val.as_str()) {
+                            (Some(k), Some(val)) => Ok((k.to_string(), val.to_string())),
+                            _ => Err(fmt_err("label pair must hold two strings")),
+                        },
+                        _ => Err(fmt_err("labels must be [key, value] pairs")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| fmt_err(&format!("needs numeric {key:?}")))
+                };
+                rows.push(SweepRow {
+                    topology: v
+                        .get("topology")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| fmt_err("needs string \"topology\""))?
+                        .to_string(),
+                    labels,
+                    mean: num("mean_accuracy")?,
+                    std_dev: num("std_dev")?,
+                    moe95: num("moe95")?,
+                    iterations: v
+                        .get("iterations")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| fmt_err("needs integer \"iterations\""))?,
+                    stopped_early: v
+                        .get("stopped_early")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| fmt_err("needs boolean \"stopped_early\""))?,
+                });
+            }
+            "done" => {
+                let n = v
+                    .get("rows")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| fmt_err("needs integer \"rows\""))?;
+                if n != rows.len() {
+                    return Err(AssembleError::Incomplete(format!(
+                        "done event says {n} row(s) but {} arrived",
+                        rows.len()
+                    )));
+                }
+                done = true;
+            }
+            "error" => {
+                return Err(AssembleError::Run(
+                    v.get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("(no message)")
+                        .to_string(),
+                ));
+            }
+            other => {
+                // Forward compatibility: skip events this build does not
+                // know, as long as the known ones are consistent.
+                let _ = other;
+            }
+        }
+    }
+
+    let Some(scenario) = scenario else {
+        return Err(AssembleError::Incomplete("no started event".into()));
+    };
+    if !done {
+        return Err(AssembleError::Incomplete(format!(
+            "stream ended after {} of {total_points} row(s) without a done event",
+            rows.len()
+        )));
+    }
+    if rows.len() != total_points {
+        return Err(AssembleError::Incomplete(format!(
+            "started event announced {total_points} point(s) but {} arrived",
+            rows.len()
+        )));
+    }
+    Ok(EngineReport {
+        scenario,
+        topologies,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize) -> SweepRow {
+        SweepRow {
+            topology: "clements".into(),
+            labels: vec![
+                ("mode".into(), "both".into()),
+                ("sigma".into(), "0.05".into()),
+            ],
+            mean: 1.0 / 3.0,
+            std_dev: 0.49999999999999994,
+            moe95: f64::MIN_POSITIVE,
+            iterations: 10 + index,
+            stopped_early: index == 0,
+        }
+    }
+
+    fn stream_for(rows: &[SweepRow]) -> String {
+        let mut out = event_line(&StreamEvent::Started {
+            scenario: "demo",
+            total_points: rows.len(),
+        });
+        let summary = TopologySummary {
+            topology: "clements".into(),
+            software_accuracy: 0.9375,
+            nominal_accuracy: 0.90625,
+        };
+        out.push_str(&event_line(&StreamEvent::Topology(&summary)));
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&event_line(&StreamEvent::Row { index: i, row: r }));
+        }
+        let _ = writeln!(
+            out,
+            "{{\"event\": \"done\", \"scenario\": \"demo\", \"rows\": {}}}",
+            rows.len()
+        );
+        out
+    }
+
+    #[test]
+    fn events_assemble_into_the_exact_report() {
+        let rows = vec![row(0), row(1)];
+        let report = assemble_report(&stream_for(&rows)).unwrap();
+        assert_eq!(report.scenario, "demo");
+        assert_eq!(report.topologies.len(), 1);
+        assert_eq!(report.rows.len(), 2);
+        for (got, want) in report.rows.iter().zip(&rows) {
+            assert_eq!(got.labels, want.labels);
+            assert_eq!(got.mean.to_bits(), want.mean.to_bits());
+            assert_eq!(got.std_dev.to_bits(), want.std_dev.to_bits());
+            assert_eq!(got.moe95.to_bits(), want.moe95.to_bits());
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.stopped_early, want.stopped_early);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_truncated_and_disordered_streams() {
+        let rows = vec![row(0), row(1)];
+        let full = stream_for(&rows);
+
+        // Truncation: drop the done line.
+        let cut = full
+            .rsplit_once('\n')
+            .unwrap()
+            .0
+            .rsplit_once('\n')
+            .unwrap()
+            .0;
+        assert!(matches!(
+            assemble_report(cut),
+            Err(AssembleError::Incomplete(_))
+        ));
+
+        // Row indices must be contiguous from zero.
+        let swapped = full
+            .replace("\"index\": 0", "\"index\": 9")
+            .replace("\"index\": 1", "\"index\": 0");
+        assert!(matches!(
+            assemble_report(&swapped),
+            Err(AssembleError::Incomplete(_))
+        ));
+
+        // A server-side failure surfaces as Run.
+        let failed = "{\"event\": \"started\", \"scenario\": \"x\", \"total_points\": 1}\n\
+                      {\"event\": \"error\", \"message\": \"mapping failed\"}\n";
+        assert!(matches!(
+            assemble_report(failed),
+            Err(AssembleError::Run(_))
+        ));
+
+        // Garbage is Format.
+        assert!(matches!(
+            assemble_report("not json\n"),
+            Err(AssembleError::Format(_))
+        ));
+        assert!(matches!(
+            assemble_report(""),
+            Err(AssembleError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_events_are_skipped_for_forward_compatibility() {
+        let rows = vec![row(0)];
+        let mut text = stream_for(&rows);
+        let insert_at = text.find("{\"event\": \"row\"").unwrap();
+        text.insert_str(insert_at, "{\"event\": \"progress\", \"pct\": 50}\n");
+        assert!(assemble_report(&text).is_ok());
+    }
+}

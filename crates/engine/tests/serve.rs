@@ -1,0 +1,394 @@
+//! Scenario-service integration tests: the acceptance guarantee is that
+//! a report assembled from `spnn serve`'s NDJSON stream is
+//! **byte-for-byte identical** (CSV and JSON) to the batch `spnn run`
+//! report for the same spec, that concurrent requests share one
+//! trained-context cache (the second request trains zero times), that
+//! malformed specs are rejected with `400` before any work starts — and
+//! that `spnn run --shards k --spawn` output is `cmp`-identical to both
+//! the unsharded run and a manual shard-and-merge (also enforced at
+//! scale by the CI `serve` and `shard-merge` jobs).
+
+use spnn_engine::prelude::*;
+use spnn_engine::runner::StreamEvent;
+use spnn_engine::spec::LayerSelect;
+use spnn_photonics::PerturbTarget;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+fn tiny_fig4() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 8;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec
+}
+
+fn tiny_fig5() -> ScenarioSpec {
+    let mut spec = presets::fig5(&RunScale::tiny());
+    spec.iterations = 6;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec.zonal.layers = LayerSelect::List(vec![0]);
+    spec.zonal.stages = vec![spnn_core::Stage::UMesh];
+    spec
+}
+
+/// Binds a service on an ephemeral port with an in-memory cache and a
+/// small pool, and leaves it running for the rest of the test process.
+fn start_server(workers: usize) -> SocketAddr {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            engine: EngineConfig {
+                threads: Some(2),
+                verbose: false,
+                cache_dir: None,
+            },
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Sends one raw HTTP request and returns `(status, body)` of the
+/// close-delimited response.
+fn http(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_run(addr: SocketAddr, spec_text: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            spec_text.len(),
+            spec_text
+        ),
+    )
+}
+
+/// The streaming driver must deliver exactly the rows of the report it
+/// returns, in order, after a `Started` + per-topology preamble.
+#[test]
+fn streaming_events_mirror_the_returned_report() {
+    let spec = tiny_fig4();
+    let cache = spnn_engine::ContextCache::in_memory();
+    let config = EngineConfig::default();
+    let mut starts = 0usize;
+    let mut topologies = 0usize;
+    let mut rows: Vec<(usize, String, u64)> = Vec::new();
+    let report = run_scenario_streaming_with(&spec, &config, &cache, &mut |event| match event {
+        StreamEvent::Started {
+            scenario,
+            total_points,
+        } => {
+            assert_eq!(scenario, "fig4");
+            assert_eq!(total_points, 3);
+            starts += 1;
+        }
+        StreamEvent::Topology(t) => {
+            assert_eq!(t.topology, "clements");
+            topologies += 1;
+        }
+        StreamEvent::Row { index, row } => {
+            rows.push((index, row.topology.clone(), row.mean.to_bits()));
+        }
+        _ => {}
+    })
+    .expect("streaming run");
+    assert_eq!((starts, topologies), (1, 1));
+    assert_eq!(rows.len(), report.rows.len());
+    for (i, (index, topology, mean_bits)) in rows.iter().enumerate() {
+        assert_eq!(*index, i, "rows must stream in queue order");
+        assert_eq!(*topology, report.rows[i].topology);
+        assert_eq!(*mean_bits, report.rows[i].mean.to_bits());
+    }
+
+    // And the batch entry point is the streaming one with a no-op
+    // observer — the same report, bit for bit.
+    let batch = run_scenario_with(&spec, &config, &cache).expect("batch run");
+    assert_eq!(to_json(&batch), to_json(&report));
+}
+
+/// Acceptance criterion: a report assembled from the service's NDJSON
+/// stream is byte-identical (JSON and CSV) to the batch report.
+#[test]
+fn streamed_fig4_assembles_byte_identical_to_batch() {
+    let addr = start_server(2);
+    for spec in [tiny_fig4(), tiny_fig5()] {
+        let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+        let (status, stream) = post_run(addr, &spec.to_text());
+        assert_eq!(status, 200, "stream: {stream}");
+        let assembled = spnn_engine::assemble_report(&stream).expect("assemble");
+        assert_eq!(
+            to_json(&assembled),
+            to_json(&reference),
+            "{}: JSON diverged",
+            spec.name
+        );
+        assert_eq!(
+            to_csv(&assembled),
+            to_csv(&reference),
+            "{}: CSV diverged",
+            spec.name
+        );
+    }
+}
+
+/// Two *concurrent* identical requests share the service's
+/// process-lifetime cache: exactly one trains, the second request trains
+/// zero times — and both streams carry identical rows.
+#[test]
+fn concurrent_requests_share_one_cache() {
+    let addr = start_server(4);
+    let text = tiny_fig4().to_text();
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| post_run(addr, &text));
+        let tb = scope.spawn(|| post_run(addr, &text));
+        (ta.join().expect("request a"), tb.join().expect("request b"))
+    });
+    assert_eq!(a.0, 200);
+    assert_eq!(b.0, 200);
+    assert_eq!(a.1, b.1, "identical requests must stream identical bytes");
+
+    let (status, stats) = http(addr, "GET /cache/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        stats.contains("\"trains\": 1"),
+        "second request must train 0 times: {stats}"
+    );
+
+    let (status, health) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"runs_completed\": 2"), "{health}");
+}
+
+/// Malformed specs are rejected with 400 and the parser's line-numbered
+/// message, before any training or sweeping happens.
+#[test]
+fn malformed_spec_is_rejected_with_400() {
+    let addr = start_server(1);
+
+    // Unparseable: the line number points at the offending line.
+    let (status, body) = post_run(addr, "name = x\nbogus_key = 1\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"line\": 2"), "{body}");
+    assert!(body.contains("bogus_key"), "{body}");
+
+    // Line-by-line parseable but inconsistent as a whole: the parser's
+    // end-of-input validation reports it as line 0.
+    let mut invalid = tiny_fig4();
+    invalid.iterations = 0;
+    let (status, body) = post_run(addr, &invalid.to_text());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("iterations must be positive"), "{body}");
+    assert!(body.contains("\"line\": 0"), "{body}");
+
+    // Non-UTF-8 bodies are rejected too.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /run HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe")
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+    // An oversized spec body gets the 413 JSON, not a connection reset:
+    // the server drains what the client is still sending before closing.
+    let huge = "x".repeat(spnn_engine::http::MAX_BODY_BYTES + 1);
+    let (status, body) = post_run(addr, &huge);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("exceeds"), "{body}");
+
+    // Nothing ran: no training happened for any rejected request.
+    let (_, stats) = http(addr, "GET /cache/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(stats.contains("\"trains\": 0"), "{stats}");
+}
+
+/// Unknown routes 404, wrong methods 405, and the health endpoint stays
+/// truthful about failures.
+#[test]
+fn routing_and_error_statuses() {
+    let addr = start_server(1);
+    let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET /run HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "gibberish\r\n\r\n");
+    assert_eq!(status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// The `--spawn` local shard launcher (process-level, via the built binary)
+// ---------------------------------------------------------------------------
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("spnn-serve-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spnn(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
+        .args(args)
+        .env_remove("SPNN_THREADS")
+        .output()
+        .expect("run spnn")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Acceptance criterion: `spnn run --shards 3 --spawn` output is
+/// `cmp`-identical to the unsharded run *and* to `spnn merge` over
+/// manually-launched shards.
+#[test]
+fn spawn_matches_unsharded_and_manual_merge() {
+    let scratch = Scratch::new("spawn");
+    let spec_path = scratch.path("tiny-fig4.scn");
+    std::fs::write(&spec_path, tiny_fig4().to_text()).expect("write spec");
+    let cache = scratch.path("cache");
+    let spec = spec_path.to_str().unwrap();
+    let cache_dir = cache.to_str().unwrap();
+
+    let full = scratch.path("full.json");
+    let out = spnn(&[
+        "run",
+        spec,
+        "--quiet",
+        "--format",
+        "json",
+        "--cache-dir",
+        cache_dir,
+        "--out",
+        full.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "unsharded run");
+
+    let spawned = scratch.path("spawned.json");
+    let out = spnn(&[
+        "run",
+        spec,
+        "--quiet",
+        "--format",
+        "json",
+        "--shards",
+        "3",
+        "--spawn",
+        "--cache-dir",
+        cache_dir,
+        "--out",
+        spawned.to_str().unwrap(),
+    ]);
+    assert_ok(&out, "--spawn run");
+
+    let mut parts = Vec::new();
+    for i in 0..3 {
+        let part = scratch.path(&format!("part-{i}.json"));
+        let out = spnn(&[
+            "run",
+            spec,
+            "--quiet",
+            "--shards",
+            "3",
+            "--shard-index",
+            &i.to_string(),
+            "--cache-dir",
+            cache_dir,
+            "--out",
+            part.to_str().unwrap(),
+        ]);
+        assert_ok(&out, "manual shard");
+        parts.push(part);
+    }
+    let merged = scratch.path("merged.json");
+    let mut merge_args = vec!["merge"];
+    let part_strs: Vec<&str> = parts.iter().map(|p| p.to_str().unwrap()).collect();
+    merge_args.extend(part_strs);
+    merge_args.extend(["--format", "json", "--out", merged.to_str().unwrap()]);
+    let out = spnn(&merge_args);
+    assert_ok(&out, "manual merge");
+
+    let full_bytes = std::fs::read(&full).expect("full report");
+    assert_eq!(
+        full_bytes,
+        std::fs::read(&spawned).expect("spawned report"),
+        "--spawn output must be cmp-identical to the unsharded run"
+    );
+    assert_eq!(
+        full_bytes,
+        std::fs::read(&merged).expect("merged report"),
+        "--spawn output must equal a manual shard-and-merge"
+    );
+}
+
+/// `--spawn` flag validation: the launcher owns shard indices.
+#[test]
+fn spawn_flag_validation() {
+    let scratch = Scratch::new("spawn-flags");
+    let spec_path = scratch.path("tiny.scn");
+    std::fs::write(&spec_path, tiny_fig4().to_text()).expect("write spec");
+    let spec = spec_path.to_str().unwrap();
+
+    let out = spnn(&["run", spec, "--spawn"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spawn requires --shards"));
+
+    let out = spnn(&[
+        "run",
+        spec,
+        "--shards",
+        "2",
+        "--spawn",
+        "--shard-index",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drop --shard-index"));
+
+    let out = spnn(&["run", spec, "--shards", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shard-index (or --spawn)"));
+}
