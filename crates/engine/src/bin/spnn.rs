@@ -4,10 +4,11 @@
 //! ```text
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
 //!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
-//!          [--shards K (--shard-index I | --spawn)]
+//!          [--shards K (--shard-index I | --spawn | --exec local|spawn)]
+//!          [--workers URL,URL,...]
 //! spnn merge <part.json>... [--format csv|json] [--out PATH]
-//! spnn serve [--addr HOST:PORT] [--workers N] [--threads N] [--quiet]
-//!          [--no-cache] [--cache-dir DIR]
+//! spnn serve [--addr HOST:PORT] [--workers N] [--workers-from FILE]
+//!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
 //! spnn assemble <stream.ndjson> [--format csv|json] [--out PATH]
 //! spnn validate <spec.scn>
 //! spnn example [NAME]
@@ -25,6 +26,10 @@
 //! `docs/architecture.md` for the engine internals.
 
 use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
+use spnn_engine::exec::{
+    install_signal_handlers, run_distributed, CancelToken, ExecContext, Executor, LocalExecutor,
+    RemoteExecutor, SpawnExecutor,
+};
 use spnn_engine::prelude::*;
 use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
 use spnn_engine::serve::{assemble_report, Server};
@@ -76,23 +81,39 @@ OPTIONS (run, merge):
                              --shards)
     --spawn                  with --shards K: launch all K shard processes
                              locally, merge their partials, and emit the
-                             final report (no --shard-index)
+                             final report (same as --exec spawn)
+    --exec local|spawn       with --shards K: run every shard through the
+                             named executor (local = threads in-process,
+                             spawn = child processes) and emit the merged
+                             final report
+    --workers URL,URL,...    dispatch one shard per remote `spnn serve`
+                             worker (POST /shard), merge partials as they
+                             arrive, and emit the final report; a failed
+                             worker's shard is retried on another worker
+                             (--shards overrides the shard count)
 
 OPTIONS (serve):
     --addr HOST:PORT         listen address (default 127.0.0.1:7878)
     --workers N              concurrent connection handlers (default 4)
+    --workers-from FILE      coordinator mode: dispatch each POST /run
+                             across the worker URLs listed in FILE (one
+                             per line, # comments), streaming rows as
+                             shards complete
     --threads, --quiet, --no-cache, --cache-dir as for run
 
 Sharding: `spnn run S --shards K --shard-index I` writes partial report I
 of a K-way split; run all K (any machines, any order), then
 `spnn merge part*.json` recombines them — bit-for-bit identical to the
 unsharded `spnn run S`. `spnn run S --shards K --spawn` does all of that
-on one machine in one command. See docs/sharding.md.
+on one machine in one command; `spnn run S --workers http://a:7901,...`
+does it across remote workers. See docs/sharding.md.
 
 Serving: `spnn serve` then `curl -N --data-binary @S http://HOST/run`
-streams one NDJSON row per completed sweep point;
-`spnn assemble stream.ndjson` rebuilds the exact `spnn run` report.
-See docs/serving.md.
+streams one NDJSON row per completed sweep point (`/run?format=csv`
+streams CSV); `spnn assemble stream.ndjson` rebuilds the exact
+`spnn run` report. `spnn serve --workers-from workers.txt` turns the
+service into a coordinator over remote workers; SIGTERM drains
+gracefully. See docs/serving.md.
 
 Cached contexts are reused bit-exactly: a warm-cache run produces the very
 same report as a cold one, it just skips training (and mesh synthesis).
@@ -155,7 +176,8 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     while i < args.len() {
         match args[i].as_str() {
             "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--shards"
-            | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr" | "--workers" => i += 2,
+            | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr" | "--workers"
+            | "--workers-from" | "--exec" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -233,14 +255,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let cache = ContextCache::new(cache_dir);
 
-    // Sharded execution: `--shards K --shard-index I` runs one
-    // deterministic slice of the queue and emits a JSON partial report
-    // for `spnn merge`; `--shards K --spawn` launches all K slices as
-    // local child processes and merges them itself.
+    // Distributed / sharded execution. All the fan-out spellings drive
+    // the same library seam (`spnn_engine::exec`): `--workers` dispatches
+    // shards to remote `spnn serve` workers, `--shards K --spawn` (or
+    // `--exec spawn`) launches child processes, `--exec local` fans out
+    // in-process threads — each merged as partials arrive, byte-identical
+    // to the unsharded run. `--shards K --shard-index I` runs one slice
+    // and emits a JSON partial report for `spnn merge`.
     let spawn = has_flag(args, "--spawn");
+    let exec_kind = option_value(args, "--exec");
+    let workers_csv = option_value(args, "--workers");
     let shards = match option_value(args, "--shards") {
         None if spawn => return fail("--spawn requires --shards K"),
-        None if option_value(args, "--shard-index").is_some() => {
+        None if exec_kind.is_some() => return fail("--exec requires --shards K"),
+        None if option_value(args, "--shard-index").is_some() && workers_csv.is_none() => {
             return fail("--shard-index requires --shards");
         }
         None => None,
@@ -249,26 +277,76 @@ fn cmd_run(args: &[String]) -> ExitCode {
             _ => return fail(&format!("invalid shard count {k:?}")),
         },
     };
+
+    if let Some(workers) = workers_csv {
+        if spawn || exec_kind.is_some() || option_value(args, "--shard-index").is_some() {
+            return fail("--workers picks the remote executor; drop --spawn/--exec/--shard-index");
+        }
+        let workers: Vec<String> = workers
+            .split(',')
+            .map(|w| w.trim().to_string())
+            .filter(|w| !w.is_empty())
+            .collect();
+        if workers.is_empty() {
+            return fail("--workers needs at least one URL");
+        }
+        if specs.len() != 1 {
+            return fail("distributed runs take exactly one scenario");
+        }
+        let shards = shards.unwrap_or(workers.len());
+        let executor = RemoteExecutor::new(workers);
+        return run_with_executor(
+            &specs[0],
+            &executor,
+            shards,
+            format,
+            &config,
+            &cache,
+            option_value(args, "--out"),
+        );
+    }
+
     if let Some(shards) = shards {
         if specs.len() != 1 {
             return fail("sharded runs take exactly one scenario");
         }
-        let index = match (option_value(args, "--shard-index"), spawn) {
-            (Some(_), true) => {
+        let shard_index = option_value(args, "--shard-index");
+        let executor: Option<Box<dyn Executor>> = match (exec_kind, spawn) {
+            (Some("local"), true) => {
+                return fail("--exec local conflicts with --spawn (--spawn is --exec spawn)");
+            }
+            (Some("spawn"), _) | (None, true) => match std::env::current_exe() {
+                Ok(exe) => Some(Box::new(SpawnExecutor { exe })),
+                Err(e) => return fail(&format!("locating the spnn binary: {e}")),
+            },
+            (Some("local"), false) => Some(Box::new(LocalExecutor)),
+            (Some(other), _) => {
+                return fail(&format!("unknown executor {other:?} (local|spawn)"));
+            }
+            (None, false) => None,
+        };
+        if let Some(executor) = executor {
+            if shard_index.is_some() {
                 return fail("--spawn launches every shard itself; drop --shard-index");
             }
-            (None, true) => {
-                return run_spawned(
-                    &specs[0],
-                    shards,
-                    format,
-                    &config,
-                    &cache,
-                    option_value(args, "--out"),
-                );
+            return run_with_executor(
+                &specs[0],
+                executor.as_ref(),
+                shards,
+                format,
+                &config,
+                &cache,
+                option_value(args, "--out"),
+            );
+        }
+        let index = match shard_index {
+            None => {
+                return fail(
+                    "--shards requires --shard-index (or --spawn), --exec local|spawn, \
+                     or --workers",
+                )
             }
-            (None, false) => return fail("--shards requires --shard-index (or --spawn)"),
-            (Some(i), false) => match i.parse::<usize>() {
+            Some(i) => match i.parse::<usize>() {
                 Ok(n) if n < shards => n,
                 Ok(n) => {
                     return fail(&format!("shard index {n} out of range (0..{shards})"));
@@ -410,24 +488,30 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     if format != "csv" && format != "json" {
         return fail(&format!("unknown format {format:?} (csv|json)"));
     }
-    let mut partials = Vec::with_capacity(paths.len());
+    // Stream the files through the incremental merge one at a time, so
+    // peak memory is one parsed partial plus the retained blocks — not
+    // the whole set twice.
+    let mut merge = MergeState::new();
     for path in &paths {
         let text = match read_spec_file(path) {
             Ok(t) => t,
             Err(e) => return fail(&e),
         };
-        match PartialReport::parse(&text) {
-            Ok(p) => partials.push(p),
+        let partial = match PartialReport::parse(&text) {
+            Ok(p) => p,
             Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        if let Err(e) = merge.push(partial) {
+            return fail(&format!("{path}: {e}"));
         }
     }
-    let report = match merge_partials(&partials) {
+    let report = match merge.finalize() {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
     };
     eprintln!(
         "[spnn] merged {} partial(s) of {}: {} point(s), {} MC iteration(s)",
-        partials.len(),
+        paths.len(),
         report.scenario,
         report.rows.len(),
         report.total_iterations(),
@@ -448,138 +532,67 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     }
 }
 
-/// `spnn run SPEC --shards K --spawn`: the local shard launcher. Writes
-/// the canonical spec text to a scratch directory, launches the K shard
-/// child processes (`spnn run --shards K --shard-index i`), waits,
-/// merges their partial reports, and emits the final report — byte-for-
-/// byte identical to the unsharded `spnn run SPEC` (CI-enforced).
-fn run_spawned(
+/// Runs one scenario as a `shards`-way split through `executor` — the
+/// one driver behind `--exec local`, `--spawn`, and `--workers`. The
+/// library merges partials as they arrive ([`run_distributed`]); rows
+/// are logged in prefix order as their coverage becomes final, and the
+/// emitted report is byte-identical to the unsharded `spnn run SPEC`
+/// (CI-enforced for every executor).
+fn run_with_executor(
     spec: &ScenarioSpec,
+    executor: &dyn Executor,
     shards: usize,
     format: &str,
     config: &EngineConfig,
     cache: &ContextCache,
     out: Option<&str>,
 ) -> ExitCode {
-    let fp = spnn_engine::shard::queue_fingerprint(spec);
-    let work_dir =
-        std::env::temp_dir().join(format!("spnn-spawn-{}-{}", std::process::id(), &fp[..12]));
-    if let Err(e) = std::fs::create_dir_all(&work_dir) {
-        return fail(&format!("creating {}: {e}", work_dir.display()));
-    }
-    // Children run the *canonical* spec text (`to_text` round-trips
-    // exactly, so the queue fingerprint matches), not the original file:
-    // presets and env-scaled specs need no environment agreement.
-    let spec_path = work_dir.join("scenario.scn");
-    if let Err(e) = std::fs::write(&spec_path, spec.to_text()) {
-        return fail(&format!("writing {}: {e}", spec_path.display()));
-    }
-
-    // Warm the shared cache once in the parent so the K children all
-    // load the trained context instead of training K times concurrently
-    // (get_or_train persists to cache.dir() itself). Purely a wall-clock
-    // optimization: results are identical either way.
-    if cache.dir().is_some() {
-        let _ = cache.get_or_train(spec, config.verbose);
-    }
-
-    let exe = match std::env::current_exe() {
-        Ok(p) => p,
-        Err(e) => return fail(&format!("locating the spnn binary: {e}")),
+    let cancel = CancelToken::new();
+    let ctx = ExecContext {
+        config,
+        cache,
+        cancel: &cancel,
     };
-    // Split the machine across children unless the operator pinned
-    // --threads / SPNN_THREADS (identical results for any choice).
-    let threads_per_child = config.threads.or_else(|| {
-        std::thread::available_parallelism()
-            .ok()
-            .map(|n| (n.get() / shards).max(1))
-    });
-
     let started = std::time::Instant::now();
-    let mut children = Vec::with_capacity(shards);
-    for index in 0..shards {
-        let part = work_dir.join(format!("part-{index}.json"));
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("run")
-            .arg(&spec_path)
-            .arg("--shards")
-            .arg(shards.to_string())
-            .arg("--shard-index")
-            .arg(index.to_string())
-            .arg("--out")
-            .arg(&part)
-            .arg("--quiet")
-            .stdout(std::process::Stdio::null());
-        if !config.verbose {
-            cmd.stderr(std::process::Stdio::null());
-        }
-        if let Some(t) = threads_per_child {
-            cmd.arg("--threads").arg(t.to_string());
-        }
-        match cache.dir() {
-            Some(dir) => {
-                cmd.arg("--cache-dir").arg(dir);
-            }
-            None => {
-                cmd.arg("--no-cache");
+    let verbose = config.verbose;
+    let mut total_points = 0usize;
+    let report = match run_distributed(spec, executor, shards, &ctx, &mut |event| match event {
+        StreamEvent::Started {
+            scenario,
+            total_points: n,
+        } => {
+            total_points = n;
+            if verbose {
+                eprintln!(
+                    "[spnn] {scenario}: dispatching {shards} shard(s) via the {} executor",
+                    executor.name()
+                );
             }
         }
-        match cmd.spawn() {
-            Ok(child) => {
-                if config.verbose {
-                    eprintln!("[spnn] spawned shard {index}/{shards} (pid {})", child.id());
-                }
-                children.push((index, part, child));
-            }
-            Err(e) => {
-                // Do not leave earlier shards orphaned.
-                for (_, _, mut child) in children {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-                return fail(&format!("spawning shard {index}: {e}"));
-            }
-        }
-    }
-
-    let mut failures = Vec::new();
-    let mut partials = Vec::with_capacity(shards);
-    for (index, part, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => match std::fs::read_to_string(&part) {
-                Ok(text) => match PartialReport::parse(&text) {
-                    Ok(p) => partials.push(p),
-                    Err(e) => failures.push(format!("shard {index}: {e}")),
-                },
-                Err(e) => failures.push(format!("shard {index}: reading {}: {e}", part.display())),
-            },
-            Ok(status) => failures.push(format!("shard {index} exited with {status}")),
-            Err(e) => failures.push(format!("waiting for shard {index}: {e}")),
-        }
-    }
-    if !failures.is_empty() {
-        eprintln!(
-            "[spnn] shard scratch kept for inspection: {}",
-            work_dir.display()
-        );
-        return fail(&failures.join("; "));
-    }
-
-    let report = match merge_partials(&partials) {
-        Ok(r) => r,
-        Err(e) => {
+        StreamEvent::Row { index, row } if verbose => {
             eprintln!(
-                "[spnn] shard scratch kept for inspection: {}",
-                work_dir.display()
+                "[spnn] row {}/{total_points} final: {}/{} → {:.4} ({} iters)",
+                index + 1,
+                row.topology,
+                row.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                row.mean,
+                row.iterations
             );
-            return fail(&e.to_string());
         }
+        _ => {}
+    }) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
     };
-    let _ = std::fs::remove_dir_all(&work_dir);
     eprintln!(
-        "[spnn] {}: {} shard process(es) merged in {:.2?}: {} point(s), {} MC iteration(s)",
+        "[spnn] {}: {} shard(s) via {} executor merged in {:.2?}: {} point(s), {} MC iteration(s)",
         report.scenario,
         shards,
+        executor.name(),
         started.elapsed(),
         report.rows.len(),
         report.total_iterations(),
@@ -621,7 +634,25 @@ fn sanitize_file_stem(name: &str) -> String {
     }
 }
 
-/// `spnn serve`: bind the scenario service and run until killed.
+/// Reads a coordinator worker list: one `http://host:port` URL per line,
+/// blank lines and `#` comments skipped.
+fn read_worker_list(path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading worker list {path}: {e}"))?;
+    let workers: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    if workers.is_empty() {
+        return Err(format!("worker list {path} names no workers"));
+    }
+    Ok(workers)
+}
+
+/// `spnn serve`: bind the scenario service and run until killed (or
+/// gracefully drained by SIGTERM/SIGINT).
 fn cmd_serve(args: &[String]) -> ExitCode {
     let addr = option_value(args, "--addr").unwrap_or("127.0.0.1:7878");
     let workers = match option_value(args, "--workers") {
@@ -631,30 +662,56 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             _ => return fail(&format!("invalid worker count {v:?}")),
         },
     };
+    let remote_workers = match option_value(args, "--workers-from") {
+        None => Vec::new(),
+        Some(path) => match read_worker_list(path) {
+            Ok(w) => w,
+            Err(e) => return fail(&e),
+        },
+    };
     let threads = match parse_threads(args) {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
+    let verbose = !has_flag(args, "--quiet");
     let config = ServeConfig {
         workers,
         engine: EngineConfig {
             threads,
-            verbose: !has_flag(args, "--quiet"),
+            verbose,
             cache_dir: (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args)),
         },
+        remote_workers: remote_workers.clone(),
     };
     let server = match Server::bind(addr, config) {
         Ok(s) => s,
         Err(e) => return fail(&format!("binding {addr}: {e}")),
     };
+    let graceful = install_signal_handlers();
     if let Ok(local) = server.local_addr() {
         eprintln!("[spnn] serving on http://{local}");
-        eprintln!("[spnn]   POST /run          stream a scenario's rows as NDJSON");
+        eprintln!("[spnn]   POST /run          stream a scenario's rows as NDJSON (?format=csv)");
+        eprintln!("[spnn]   POST /shard        run one shard, return its partial report");
         eprintln!("[spnn]   GET  /healthz      liveness + run counters");
         eprintln!("[spnn]   GET  /cache/stats  trained-context cache counters");
+        if !remote_workers.is_empty() {
+            eprintln!(
+                "[spnn] coordinator over {} worker(s): {}",
+                remote_workers.len(),
+                remote_workers.join(", ")
+            );
+        }
+        if graceful && verbose {
+            eprintln!("[spnn] SIGTERM/SIGINT drains in-flight streams, then exits");
+        }
     }
     match server.run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if verbose {
+                eprintln!("[spnn] drained; bye");
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => fail(&format!("serving {addr}: {e}")),
     }
 }

@@ -323,6 +323,16 @@ impl ContextCache {
     /// and then take the memory hit — `stats().trains` rises by one, not
     /// by the number of callers. Requests for *different* fingerprints
     /// train concurrently.
+    ///
+    /// With a persistence directory, the same holds **across
+    /// processes**: a cold cache miss takes an advisory file lock
+    /// (`flock`, Unix) on `ctx-<key>.lock` before training, so many
+    /// cold workers pointed at one shared cache directory train once
+    /// while the rest wait and then load the winner's entry — instead
+    /// of all training and racing last-writer-wins. On platforms (or
+    /// filesystems) without advisory locking the cache degrades to the
+    /// old concurrent-but-correct behavior: entries are deterministic,
+    /// so a lost race only wastes work, never changes bits.
     pub fn get_or_train(&self, spec: &ScenarioSpec, verbose: bool) -> Arc<TrainedContext> {
         let fp = Fingerprint::of_spec(spec);
         // Fast path: no gate needed when the context is already in memory.
@@ -346,6 +356,9 @@ impl ContextCache {
             return Arc::clone(ctx);
         }
 
+        // Held (when acquirable) from just before training until the
+        // trained entry is persisted, releasing on every return path.
+        let mut _file_lock: Option<std::fs::File> = None;
         if let Some(dir) = &self.dir {
             let path = entry_path(dir, &fp);
             match load_entry(&path, &fp) {
@@ -370,6 +383,24 @@ impl ContextCache {
                             path.display()
                         );
                     }
+                }
+            }
+            // Cold miss: serialize cross-process training on an advisory
+            // file lock, then re-check — another process may have trained
+            // and persisted the entry while this one waited.
+            _file_lock = advisory_lock(dir, &fp, verbose);
+            if _file_lock.is_some() {
+                if let Ok(ctx) = load_entry(&path, &fp) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    if verbose {
+                        eprintln!(
+                            "[cache] {}: loaded trained context {} (trained by a \
+                             concurrent process)",
+                            spec.name,
+                            fp.short()
+                        );
+                    }
+                    return self.adopt(ctx);
                 }
             }
         }
@@ -494,6 +525,50 @@ fn train_context(spec: &ScenarioSpec, fingerprint: Fingerprint, verbose: bool) -
 /// The canonical cache-file path of a fingerprint under `dir`.
 pub fn entry_path(dir: &Path, fp: &Fingerprint) -> PathBuf {
     dir.join(format!("ctx-{}.{EXTENSION}", fp.hex()))
+}
+
+/// Takes the per-fingerprint advisory file lock under `dir`, blocking
+/// while another process holds it (a non-blocking probe first, so the
+/// wait can be logged). Returns `None` when locking is unavailable —
+/// non-Unix platform, unwritable directory, or a filesystem without
+/// `flock` — in which case callers proceed unlocked (correct, just
+/// possibly redundant work). The lock releases when the returned file
+/// handle drops; the tiny `ctx-<key>.lock` files are left in place for
+/// the next contender.
+#[cfg(unix)]
+fn advisory_lock(dir: &Path, fp: &Fingerprint, verbose: bool) -> Option<std::fs::File> {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+
+    std::fs::create_dir_all(dir).ok()?;
+    let path = dir.join(format!("ctx-{}.lock", fp.hex()));
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .ok()?;
+    let fd = file.as_raw_fd();
+    // SAFETY: flock(2) on a file descriptor this function owns.
+    if unsafe { flock(fd, LOCK_EX | LOCK_NB) } == 0 {
+        return Some(file);
+    }
+    if verbose {
+        eprintln!(
+            "[cache] waiting for a concurrent process to finish training {}",
+            fp.short()
+        );
+    }
+    (unsafe { flock(fd, LOCK_EX) } == 0).then_some(file)
+}
+
+#[cfg(not(unix))]
+fn advisory_lock(_dir: &Path, _fp: &Fingerprint, _verbose: bool) -> Option<std::fs::File> {
+    None
 }
 
 /// The cache directory the `spnn` CLI uses by default: `$SPNN_CACHE_DIR`,
@@ -1218,6 +1293,67 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.trains, 1, "exactly one thread may train");
         assert_eq!(s.mem_hits, 3, "the waiters take memory hits");
+    }
+
+    /// The advisory lock is exclusive across holders (flock contends per
+    /// open file description, so two opens in one process model two
+    /// processes): a second acquirer blocks until the first drops.
+    #[cfg(unix)]
+    #[test]
+    fn advisory_lock_serializes_concurrent_holders() {
+        let dir = tmp_dir("flock");
+        let fp = Fingerprint::of_spec(&tiny_spec());
+        let held = advisory_lock(&dir, &fp, false).expect("first lock");
+        let (dir2, fp2) = (dir.clone(), fp.clone());
+        let waiter = std::thread::spawn(move || {
+            advisory_lock(&dir2, &fp2, false).expect("second lock (after release)")
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(
+            !waiter.is_finished(),
+            "second holder must block while the first holds the lock"
+        );
+        drop(held);
+        let second = waiter.join().expect("waiter thread");
+        drop(second);
+        // Different fingerprints use different lock files: no contention.
+        let mut other_spec = tiny_spec();
+        other_spec.seed ^= 1;
+        let other_fp = Fingerprint::of_spec(&other_spec);
+        let a = advisory_lock(&dir, &fp, false).expect("relock");
+        let b = advisory_lock(&dir, &other_fp, false).expect("independent lock");
+        drop((a, b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A cold cache dir contended by two caches (modeling two cold worker
+    /// processes) still ends with one usable entry and bit-identical
+    /// contexts; the second loads what the first trained when the lock
+    /// made it wait.
+    #[test]
+    fn shared_dir_cold_contenders_converge() {
+        let dir = tmp_dir("shared-cold");
+        let spec = tiny_spec();
+        let (a, b) = std::thread::scope(|scope| {
+            let ta = scope.spawn(|| ContextCache::on_disk(&dir).get_or_train(&spec, false));
+            let tb = scope.spawn(|| ContextCache::on_disk(&dir).get_or_train(&spec, false));
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.train_accuracy().to_bits(),
+            b.train_accuracy().to_bits(),
+            "contenders must converge on identical contexts"
+        );
+        for (wa, wb) in a.software().weights().iter().zip(b.software().weights()) {
+            for r in 0..wa.rows() {
+                for c in 0..wa.cols() {
+                    assert_eq!(wa[(r, c)].re.to_bits(), wb[(r, c)].re.to_bits());
+                    assert_eq!(wa[(r, c)].im.to_bits(), wb[(r, c)].im.to_bits());
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

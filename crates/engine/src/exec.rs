@@ -1,0 +1,796 @@
+//! The Executor layer: one seam for local, child-process, and remote
+//! shard execution — with merge-as-they-arrive streaming.
+//!
+//! PR 3 made shard partials a wire format and PR 4 gave the service a
+//! streaming driver; this module is the piece that lets **one
+//! coordinator drive many workers** without giving up the bit-identity
+//! contract. Everything that used to be a bespoke driver (the CLI's
+//! `--spawn` launcher, an in-process sharded run, a hand-rolled remote
+//! fan-out) is now an implementation of one trait:
+//!
+//! - [`Executor`] — "run all `k` shards of this spec, hand me each
+//!   [`PartialReport`] as it completes, in whatever order they finish."
+//! - [`LocalExecutor`] — today's in-process threaded path: prepares the
+//!   scenario **once** (training comes from the shared
+//!   [`ContextCache`] — the pre-warm lives at this seam now) and runs
+//!   every slice on its own thread.
+//! - [`SpawnExecutor`] — the `spnn run --shards k --spawn` child-process
+//!   launcher, moved out of the CLI into the library: canonical spec
+//!   text in a scratch directory, cache pre-warmed by the parent, cores
+//!   split across children.
+//! - [`RemoteExecutor`] — `POST`s the canonical spec text plus the shard
+//!   coordinates to worker `spnn serve` instances
+//!   (`POST /shard?shards=k&index=i`, see [`crate::serve`]) over the
+//!   dependency-free HTTP client in [`crate::http`]. A worker that
+//!   fails — refused connection, mid-run crash, torn response — is
+//!   retried on the next worker; the shard planner is deterministic, so
+//!   any worker can recompute any slice.
+//!
+//! [`run_distributed`] is the single driver on top: it feeds arriving
+//! partials into the incremental [`MergeState`] and emits the engine's
+//! usual [`StreamEvent`]s the moment a row's coverage is decidable —
+//! rows stream in prefix order from whichever shard finishes first, and
+//! the finalized report is byte-identical to the unsharded
+//! [`crate::run_scenario_with`] run (CI-gated, like every other
+//! execution path).
+//!
+//! Cancellation is cooperative: every long operation polls a
+//! [`CancelToken`], and every token also observes the process-wide
+//! shutdown flag raised by [`install_signal_handlers`] — so one SIGTERM
+//! to a coordinator stops new dispatches and abandons outstanding
+//! remote shards (workers finish their slices and find nobody reading;
+//! their own lifecycle is independent).
+
+use crate::cache::ContextCache;
+use crate::http::{self, FetchResponse};
+use crate::runner::{
+    execute_shard_blocks, prepare, EngineConfig, EngineError, EngineReport, StreamEvent,
+};
+use crate::shard::{queue_fingerprint, MergeError, MergeState, PartialReport};
+use crate::spec::ScenarioSpec;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// The process-wide shutdown flag, set by the signal handler installed
+/// with [`install_signal_handlers`]. Observed by every [`CancelToken`].
+static PROCESS_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM/SIGINT has been received (after
+/// [`install_signal_handlers`]).
+pub fn process_shutdown_requested() -> bool {
+    PROCESS_SHUTDOWN.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+mod signals {
+    use super::PROCESS_SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    /// Async-signal-safe by construction: one atomic store, or `_exit`
+    /// on the second signal (an operator pressing Ctrl-C twice means
+    /// *now*).
+    extern "C" fn on_shutdown_signal(_signum: i32) {
+        if PROCESS_SHUTDOWN.swap(true, Ordering::Relaxed) {
+            unsafe { _exit(130) }
+        }
+    }
+
+    pub fn install() -> bool {
+        const SIG_ERR: usize = usize::MAX;
+        let handler = on_shutdown_signal as extern "C" fn(i32) as usize;
+        // SAFETY: registering an async-signal-safe handler for two
+        // standard termination signals.
+        unsafe { signal(SIGTERM, handler) != SIG_ERR && signal(SIGINT, handler) != SIG_ERR }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful shutdown:
+/// the first signal sets the process-wide flag every [`CancelToken`]
+/// observes (`spnn serve` stops accepting, finishes in-flight local
+/// streams, cancels outstanding remote shards, then exits); a second
+/// signal exits immediately with status 130.
+///
+/// Returns `false` when handlers could not be installed (non-Unix
+/// platforms, or a hostile environment) — the process then keeps the
+/// default terminate-on-signal behavior.
+pub fn install_signal_handlers() -> bool {
+    #[cfg(unix)]
+    {
+        signals::install()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// A shareable, cloneable cancellation flag.
+///
+/// [`CancelToken::is_cancelled`] reports `true` once
+/// [`cancel`](CancelToken::cancel) was called on this token (or any clone), *or*
+/// once the process-wide shutdown flag was raised by a signal (see
+/// [`install_signal_handlers`]) — so code polling a token automatically
+/// participates in graceful shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation on this token and all its clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancelled — directly or via process shutdown.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || process_shutdown_requested()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Executor seam
+// ---------------------------------------------------------------------------
+
+/// Shared context an [`Executor`] runs under: execution knobs, the
+/// trained-context cache, and the cancellation token.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// Execution knobs (threads, verbosity, cache directory) — like
+    /// everywhere else in the engine, nothing here may change results.
+    pub config: &'a EngineConfig,
+    /// The trained-context cache. [`LocalExecutor`] trains/loads through
+    /// it once before fan-out; [`SpawnExecutor`] pre-warms it so child
+    /// processes all load instead of training `k` times; workers reached
+    /// by [`RemoteExecutor`] have their own.
+    pub cache: &'a ContextCache,
+    /// Cooperative cancellation (see [`CancelToken`]).
+    pub cancel: &'a CancelToken,
+}
+
+/// Why an executor could not produce every shard.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Scenario preparation failed (validation, mapping) before any
+    /// shard ran.
+    Engine(EngineError),
+    /// A child process could not be launched, exited non-zero, or wrote
+    /// an unreadable partial.
+    Spawn(String),
+    /// A shard could not be computed by any worker.
+    Remote(String),
+    /// Execution was cancelled before every shard completed.
+    Cancelled,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Engine(e) => write!(f, "{e}"),
+            ExecError::Spawn(m) => write!(f, "shard process failed: {m}"),
+            ExecError::Remote(m) => write!(f, "remote execution failed: {m}"),
+            ExecError::Cancelled => write!(f, "execution cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EngineError> for ExecError {
+    fn from(e: EngineError) -> Self {
+        ExecError::Engine(e)
+    }
+}
+
+/// A strategy for executing every shard of a `k`-way split of one
+/// scenario.
+///
+/// Implementations must deliver each shard's [`PartialReport`] to
+/// `deliver` **as it completes**, in any order, from the calling thread
+/// (the driver feeds them straight into [`MergeState`], which is how
+/// merge-as-they-arrive streaming falls out). Returning `Ok(())`
+/// promises every shard `0..shards` was delivered exactly once.
+///
+/// `deliver` returns `false` when the consumer rejected the partial
+/// (e.g. it does not merge) — the executor should stop wasting work
+/// where it can, and preserve any on-disk artifacts it would normally
+/// clean up, so the operator can inspect what was produced.
+pub trait Executor {
+    /// A short human-readable name for logs (`local`, `spawn`, `remote`).
+    fn name(&self) -> &'static str;
+
+    /// Executes shards `0..shards` of `spec`, delivering each partial as
+    /// it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] when any shard could not be produced;
+    /// partials already delivered may have been handed out before the
+    /// failure surfaced.
+    fn execute(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError>;
+}
+
+impl fmt::Debug for dyn Executor + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Executor({})", self.name())
+    }
+}
+
+/// Splits the machine's cores across `shards` concurrent slices unless
+/// the operator pinned a thread count (identical results either way).
+fn threads_per_shard(config: &EngineConfig, shards: usize) -> Option<usize> {
+    config.threads.or_else(|| {
+        std::thread::available_parallelism()
+            .ok()
+            .map(|n| (n.get() / shards.max(1)).max(1))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// LocalExecutor
+// ---------------------------------------------------------------------------
+
+/// In-process execution: prepares the scenario once (one training/cache
+/// load, one queue compilation) and runs every shard slice on its own
+/// thread — the executor form of the engine's original threaded path.
+///
+/// With `shards == 1` this is exactly `spnn run`'s single-process
+/// behavior routed through the shard+merge machinery; the merged report
+/// is byte-identical either way (pinned by tests).
+#[derive(Debug, Clone, Default)]
+pub struct LocalExecutor;
+
+impl Executor for LocalExecutor {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn execute(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError> {
+        if ctx.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        // Prepare once: the trained context materializes here (cache or
+        // fresh), before any fan-out — the pre-warm IS the preparation.
+        let prep = prepare(spec, ctx.config, ctx.cache)?;
+        let fp = queue_fingerprint(spec);
+        let threads = threads_per_shard(ctx.config, shards);
+        let verbose = ctx.config.verbose;
+        let cancelled = AtomicBool::new(false);
+
+        let (tx, rx) = mpsc::channel::<PartialReport>();
+        std::thread::scope(|scope| {
+            for index in 0..shards {
+                let tx = tx.clone();
+                let prep = &prep;
+                let fp = fp.clone();
+                let cancelled = &cancelled;
+                let cancel = ctx.cancel;
+                scope.spawn(move || {
+                    if cancel.is_cancelled() {
+                        cancelled.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let partial = execute_shard_blocks(prep, fp, shards, index, threads, verbose);
+                    let _ = tx.send(partial);
+                });
+            }
+            drop(tx);
+            for partial in rx {
+                let _ = deliver(partial);
+            }
+        });
+        if cancelled.load(Ordering::Relaxed) {
+            return Err(ExecError::Cancelled);
+        }
+        crate::runner::persist_context(ctx.cache, &prep, verbose);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpawnExecutor
+// ---------------------------------------------------------------------------
+
+/// Child-process execution: launches `spnn run --shards k --shard-index i`
+/// once per shard on this machine and collects the partial files as the
+/// children exit — the PR 4 `--spawn` launcher, now a library citizen.
+///
+/// Children run the **canonical** spec text (`ScenarioSpec::to_text`
+/// round-trips exactly, so queue fingerprints match) from a scratch
+/// directory; presets and env-scaled specs need no environment
+/// agreement. When the shared cache has a persistence directory the
+/// parent pre-warms it first, so `k` cold children all load the trained
+/// context instead of training it `k` times concurrently.
+#[derive(Debug, Clone)]
+pub struct SpawnExecutor {
+    /// Path to the `spnn` binary to launch (the CLI passes
+    /// `std::env::current_exe()`).
+    pub exe: PathBuf,
+}
+
+impl Executor for SpawnExecutor {
+    fn name(&self) -> &'static str {
+        "spawn"
+    }
+
+    fn execute(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError> {
+        let verbose = ctx.config.verbose;
+        let fp = queue_fingerprint(spec);
+        let work_dir =
+            std::env::temp_dir().join(format!("spnn-exec-{}-{}", std::process::id(), &fp[..12]));
+        std::fs::create_dir_all(&work_dir)
+            .map_err(|e| ExecError::Spawn(format!("creating {}: {e}", work_dir.display())))?;
+        let spec_path = work_dir.join("scenario.scn");
+        std::fs::write(&spec_path, spec.to_text())
+            .map_err(|e| ExecError::Spawn(format!("writing {}: {e}", spec_path.display())))?;
+
+        // Pre-warm the shared cache once in the parent (wall-clock only;
+        // results are identical either way).
+        if ctx.cache.dir().is_some() {
+            let _ = ctx.cache.get_or_train(spec, verbose);
+        }
+        let threads = threads_per_shard(ctx.config, shards);
+
+        let mut children: Vec<(usize, PathBuf, std::process::Child)> = Vec::with_capacity(shards);
+        for index in 0..shards {
+            if ctx.cancel.is_cancelled() {
+                for (_, _, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(ExecError::Cancelled);
+            }
+            let part = work_dir.join(format!("part-{index}.json"));
+            let mut cmd = std::process::Command::new(&self.exe);
+            cmd.arg("run")
+                .arg(&spec_path)
+                .arg("--shards")
+                .arg(shards.to_string())
+                .arg("--shard-index")
+                .arg(index.to_string())
+                .arg("--out")
+                .arg(&part)
+                .arg("--quiet")
+                .stdout(std::process::Stdio::null());
+            if !verbose {
+                cmd.stderr(std::process::Stdio::null());
+            }
+            if let Some(t) = threads {
+                cmd.arg("--threads").arg(t.to_string());
+            }
+            match ctx.cache.dir() {
+                Some(dir) => {
+                    cmd.arg("--cache-dir").arg(dir);
+                }
+                None => {
+                    cmd.arg("--no-cache");
+                }
+            }
+            match cmd.spawn() {
+                Ok(child) => {
+                    if verbose {
+                        eprintln!("[exec] spawned shard {index}/{shards} (pid {})", child.id());
+                    }
+                    children.push((index, part, child));
+                }
+                Err(e) => {
+                    // Do not leave earlier shards orphaned.
+                    for (_, _, mut child) in children {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    return Err(ExecError::Spawn(format!("spawning shard {index}: {e}")));
+                }
+            }
+        }
+
+        // One waiter thread per child so partials are delivered in exit
+        // order, not launch order.
+        let (tx, rx) = mpsc::channel::<(usize, Result<PartialReport, String>)>();
+        let mut failures = Vec::new();
+        std::thread::scope(|scope| {
+            for (index, part, mut child) in children {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let result = match child.wait() {
+                        Ok(status) if status.success() => match std::fs::read_to_string(&part) {
+                            Ok(text) => PartialReport::parse(&text).map_err(|e| format!("{e}")),
+                            Err(e) => Err(format!("reading {}: {e}", part.display())),
+                        },
+                        Ok(status) => Err(format!("exited with {status}")),
+                        Err(e) => Err(format!("waiting: {e}")),
+                    };
+                    let _ = tx.send((index, result));
+                });
+            }
+            drop(tx);
+            for (index, result) in rx {
+                match result {
+                    Ok(partial) => {
+                        if !deliver(partial) {
+                            // The consumer rejected this partial (it does
+                            // not merge): keep the scratch files for
+                            // post-mortem instead of treating the run as
+                            // clean.
+                            failures.push(format!("shard {index}: rejected by the merge"));
+                        }
+                    }
+                    Err(e) => failures.push(format!("shard {index}: {e}")),
+                }
+            }
+        });
+
+        if failures.is_empty() {
+            let _ = std::fs::remove_dir_all(&work_dir);
+            Ok(())
+        } else {
+            failures.push(format!(
+                "shard scratch kept for inspection: {}",
+                work_dir.display()
+            ));
+            if verbose {
+                // The caller may surface a more specific (e.g. merge)
+                // error instead of this one; the scratch location must
+                // not get lost with it.
+                eprintln!(
+                    "[exec] shard scratch kept for inspection: {}",
+                    work_dir.display()
+                );
+            }
+            Err(ExecError::Spawn(failures.join("; ")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteExecutor
+// ---------------------------------------------------------------------------
+
+/// Remote execution: dispatches each shard to a worker `spnn serve`
+/// instance as `POST /shard?shards=k&index=i` with the canonical spec
+/// text as the body, and parses the returned [`PartialReport`].
+///
+/// Shard `i` starts on worker `i mod n` (round-robin); on any failure —
+/// refused connection, worker killed mid-run, torn or foreign response —
+/// the shard is **retried on the next worker**, each worker at most once
+/// per shard. The shard planner is a pure function of the spec, so a
+/// recomputed slice is bit-identical wherever it runs; a merge over
+/// retried shards is indistinguishable from one without failures.
+#[derive(Debug, Clone)]
+pub struct RemoteExecutor {
+    /// Worker base URLs (`http://host:port`, no trailing slash needed).
+    pub workers: Vec<String>,
+}
+
+impl RemoteExecutor {
+    /// A remote executor over `workers`, trailing slashes trimmed.
+    pub fn new(workers: impl IntoIterator<Item = String>) -> Self {
+        RemoteExecutor {
+            workers: workers
+                .into_iter()
+                .map(|w| w.trim_end_matches('/').to_string())
+                .collect(),
+        }
+    }
+
+    /// Runs one shard, trying each worker at most once starting at
+    /// `shard_index mod n`. Returns the partial or the per-worker
+    /// failure log.
+    fn run_shard(
+        &self,
+        spec_text: &str,
+        expected_fp: &str,
+        shards: usize,
+        shard_index: usize,
+        cancel: &CancelToken,
+        verbose: bool,
+    ) -> Result<PartialReport, String> {
+        let n = self.workers.len();
+        let mut reasons = Vec::new();
+        for attempt in 0..n {
+            if cancel.is_cancelled() {
+                reasons.push("cancelled".to_string());
+                break;
+            }
+            let worker = &self.workers[(shard_index + attempt) % n];
+            let url = format!("{worker}/shard?shards={shards}&index={shard_index}");
+            let abort = || cancel.is_cancelled();
+            // No idle timeout: a /shard response arrives only once the
+            // whole slice is computed, which may legitimately take hours.
+            // A killed worker closes the socket (an error → retry); a
+            // shutdown cancels via `abort`.
+            match http::http_post(&url, spec_text.as_bytes(), "text/plain", Some(&abort), None) {
+                Ok(FetchResponse { status: 200, body }) => {
+                    let text = String::from_utf8_lossy(&body);
+                    match PartialReport::parse(&text) {
+                        Ok(p) if p.queue_fingerprint == expected_fp => {
+                            if verbose {
+                                eprintln!(
+                                    "[exec] shard {shard_index}/{shards} completed on {worker}"
+                                );
+                            }
+                            return Ok(p);
+                        }
+                        Ok(p) => reasons.push(format!(
+                            "{worker}: returned foreign fingerprint {}",
+                            p.queue_fingerprint
+                        )),
+                        Err(e) => reasons.push(format!("{worker}: unreadable partial: {e}")),
+                    }
+                }
+                Ok(resp) => reasons.push(format!(
+                    "{worker}: HTTP {}: {}",
+                    resp.status,
+                    resp.text().trim()
+                )),
+                Err(e) => reasons.push(format!("{worker}: {e}")),
+            }
+            if verbose {
+                eprintln!(
+                    "[exec] shard {shard_index}/{shards} failed on {worker}, retrying elsewhere: {}",
+                    reasons.last().map(String::as_str).unwrap_or("")
+                );
+            }
+        }
+        Err(format!(
+            "shard {shard_index}: every worker failed ({})",
+            reasons.join("; ")
+        ))
+    }
+}
+
+impl Executor for RemoteExecutor {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn execute(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError> {
+        if self.workers.is_empty() {
+            return Err(ExecError::Remote("no workers configured".into()));
+        }
+        let spec_text = spec.to_text();
+        let expected_fp = queue_fingerprint(spec);
+        let verbose = ctx.config.verbose;
+
+        let (tx, rx) = mpsc::channel::<Result<PartialReport, String>>();
+        let mut failures = Vec::new();
+        std::thread::scope(|scope| {
+            for index in 0..shards {
+                let tx = tx.clone();
+                let (spec_text, expected_fp) = (&spec_text, &expected_fp);
+                let cancel = ctx.cancel;
+                scope.spawn(move || {
+                    let result =
+                        self.run_shard(spec_text, expected_fp, shards, index, cancel, verbose);
+                    let _ = tx.send(result);
+                });
+            }
+            drop(tx);
+            for result in rx {
+                match result {
+                    Ok(partial) => {
+                        let _ = deliver(partial);
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+        });
+
+        if failures.is_empty() {
+            Ok(())
+        } else if ctx.cancel.is_cancelled() {
+            Err(ExecError::Cancelled)
+        } else {
+            Err(ExecError::Remote(failures.join("; ")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified distributed driver
+// ---------------------------------------------------------------------------
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DistError {
+    /// The executor could not produce every shard.
+    Exec(ExecError),
+    /// Delivered partials do not merge (foreign fingerprint, overlap,
+    /// corrupt block, incomplete coverage).
+    Merge(MergeError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Exec(e) => write!(f, "{e}"),
+            DistError::Merge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<ExecError> for DistError {
+    fn from(e: ExecError) -> Self {
+        DistError::Exec(e)
+    }
+}
+
+impl From<MergeError> for DistError {
+    fn from(e: MergeError) -> Self {
+        DistError::Merge(e)
+    }
+}
+
+/// Runs `spec` as a `shards`-way split through `executor`, merging
+/// partials **as they arrive** and emitting the engine's standard
+/// [`StreamEvent`]s: `Started` and per-topology events when the first
+/// partial lands (all partials carry identical summaries — validated),
+/// then each `Row` the moment its coverage is decidable, in prefix
+/// order, from whichever shard finishes first.
+///
+/// This is *the* driver behind `spnn run --shards k --exec local`,
+/// `--shards k --spawn`, `spnn run --workers …`, and the coordinator
+/// form of `spnn serve` — four spellings of one code path. The returned
+/// report (and therefore the event stream) is byte-identical to the
+/// unsharded [`crate::run_scenario_with`]: the merge replays the
+/// adaptive stop rule over recombined samples exactly as
+/// [`crate::shard::merge_partials`] does, because both *are*
+/// [`MergeState`].
+///
+/// # Errors
+///
+/// [`DistError::Exec`] when the executor fails (or is cancelled),
+/// [`DistError::Merge`] when delivered partials do not merge cleanly.
+pub fn run_distributed(
+    spec: &ScenarioSpec,
+    executor: &dyn Executor,
+    shards: usize,
+    ctx: &ExecContext<'_>,
+    observe: &mut dyn FnMut(StreamEvent<'_>),
+) -> Result<EngineReport, DistError> {
+    if shards == 0 {
+        return Err(DistError::Exec(ExecError::Engine(EngineError::Invalid(
+            "shards must be positive".into(),
+        ))));
+    }
+    let mut merge = MergeState::new();
+    let mut merge_err: Option<MergeError> = None;
+    let mut started = false;
+    let exec_result = executor.execute(spec, shards, ctx, &mut |partial| {
+        if merge_err.is_some() {
+            return false;
+        }
+        if !started {
+            started = true;
+            observe(StreamEvent::Started {
+                scenario: &partial.scenario,
+                total_points: partial.total_points,
+            });
+            for t in &partial.topologies {
+                observe(StreamEvent::Topology(t));
+            }
+        }
+        match merge.push(partial) {
+            Ok(rows) => {
+                for (index, row) in &rows {
+                    observe(StreamEvent::Row { index: *index, row });
+                }
+                true
+            }
+            Err(e) => {
+                merge_err = Some(e);
+                false
+            }
+        }
+    });
+    // A merge inconsistency is the root cause; executor errors observed
+    // afterwards are usually downstream of it.
+    if let Some(e) = merge_err {
+        return Err(e.into());
+    }
+    exec_result?;
+    Ok(merge.finalize()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // A fresh token is unaffected by other tokens.
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn remote_executor_normalizes_worker_urls() {
+        let ex = RemoteExecutor::new(vec!["http://a:1/".to_string(), "http://b:2".to_string()]);
+        assert_eq!(ex.workers, vec!["http://a:1", "http://b:2"]);
+    }
+
+    #[test]
+    fn remote_executor_without_workers_fails_fast() {
+        let ex = RemoteExecutor::new(Vec::new());
+        let spec = ScenarioSpec::default();
+        let config = EngineConfig::default();
+        let cache = ContextCache::in_memory();
+        let cancel = CancelToken::new();
+        let ctx = ExecContext {
+            config: &config,
+            cache: &cache,
+            cancel: &cancel,
+        };
+        let err =
+            run_distributed(&spec, &ex, 2, &ctx, &mut |_| {}).expect_err("no workers must fail");
+        assert!(
+            matches!(err, DistError::Exec(ExecError::Remote(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let spec = ScenarioSpec::default();
+        let config = EngineConfig::default();
+        let cache = ContextCache::in_memory();
+        let cancel = CancelToken::new();
+        let ctx = ExecContext {
+            config: &config,
+            cache: &cache,
+            cancel: &cancel,
+        };
+        assert!(run_distributed(&spec, &LocalExecutor, 0, &ctx, &mut |_| {}).is_err());
+    }
+}

@@ -23,6 +23,8 @@
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Upper bound on the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -54,6 +56,16 @@ impl Request {
     /// The path without its query string.
     pub fn route(&self) -> &str {
         self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// The first value of query parameter `key`, if present. Values are
+    /// taken literally (no percent-decoding) — the service's parameters
+    /// are plain tokens (`format=csv`, `shards=3`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.path.split_once('?')?.1.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -273,6 +285,184 @@ impl Response {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A complete response received by the client helpers.
+#[derive(Debug, Clone)]
+pub struct FetchResponse {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Response body (to `Content-Length`, else to connection close).
+    pub body: Vec<u8>,
+}
+
+impl FetchResponse {
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Splits an `http://host:port/path?query` URL into `(authority, path)`.
+/// The path defaults to `/`; HTTPS is out of scope for the in-cluster
+/// coordinator/worker link this client exists for.
+fn split_url(url: &str) -> io::Result<(&str, String)> {
+    let rest = url.strip_prefix("http://").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unsupported URL {url:?} (only http:// is spoken here)"),
+        )
+    })?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_string()),
+        None => (rest, "/".to_string()),
+    };
+    if authority.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("URL {url:?} has no host"),
+        ));
+    }
+    Ok((authority, path))
+}
+
+/// How long the client waits for the TCP connect to a worker.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long a blocked request write (peer accepted but reads nothing)
+/// may stall before the send fails — spec bodies are a few KiB, so any
+/// healthy peer drains them immediately.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(60);
+/// Poll interval while reading a response: each tick re-checks `abort`.
+const CLIENT_POLL: Duration = Duration::from_millis(500);
+
+/// `POST`s `body` to an `http://host:port/path` URL and reads the whole
+/// response (status + body). Blocking, bounded, dependency-free — the
+/// client half of the coordinator/worker link (`POST /shard`).
+///
+/// The authority may name a host with a port (`127.0.0.1:7901`); the
+/// address is resolved once. While waiting for response bytes the
+/// `abort` callback (if any) is polled about twice a second; returning
+/// `true` abandons the request with [`io::ErrorKind::Interrupted`] —
+/// this is how a shutting-down coordinator cancels outstanding remote
+/// shards. `idle_timeout` bounds how long the response may make *no*
+/// progress before the request is abandoned as timed out; pass `None`
+/// when the peer legitimately computes before writing a single byte —
+/// a `/shard` response arrives only once the whole slice is done, so
+/// the coordinator bounds those waits by cancellation, not by a clock
+/// (a killed worker closes the socket, which is an error, not idleness).
+///
+/// # Errors
+///
+/// Propagates URL, connect, write, and read failures; a malformed
+/// response head is [`io::ErrorKind::InvalidData`].
+pub fn http_post(
+    url: &str,
+    body: &[u8],
+    content_type: &str,
+    abort: Option<&dyn Fn() -> bool>,
+    idle_timeout: Option<Duration>,
+) -> io::Result<FetchResponse> {
+    let (authority, path) = split_url(url)?;
+    let addr = authority.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, format!("{authority}: no address"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {authority}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    // Responses are close-delimited or Content-Length-delimited; either
+    // way the server closes after one exchange (`Connection: close`), so
+    // reading to EOF captures the full response. Short read timeouts let
+    // the abort callback interleave with a slow worker.
+    stream.set_read_timeout(Some(CLIENT_POLL))?;
+    let mut raw = Vec::new();
+    let mut idle = Duration::ZERO;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match io::Read::read(&mut stream, &mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                idle = Duration::ZERO;
+                raw.extend_from_slice(&buf[..n]);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if abort.is_some_and(|f| f()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "request cancelled",
+                    ));
+                }
+                idle += CLIENT_POLL;
+                if let Some(limit) = idle_timeout {
+                    if idle >= limit {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("no response bytes from {authority} for {limit:?}"),
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    parse_response(&raw)
+}
+
+/// Parses a raw HTTP/1.x response into status + body, honoring
+/// `Content-Length` when present (trailing bytes past it are ignored).
+fn parse_response(raw: &[u8]) -> io::Result<FetchResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never ended"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body_start = head_end + 4;
+    let body = match content_length {
+        Some(n) if raw.len() >= body_start + n => raw[body_start..body_start + n].to_vec(),
+        Some(n) => {
+            return Err(bad(&format!(
+                "response truncated: {} of {n} body byte(s)",
+                raw.len().saturating_sub(body_start)
+            )))
+        }
+        None => raw[body_start..].to_vec(),
+    };
+    Ok(FetchResponse { status, body })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +535,79 @@ mod tests {
             parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
             Err(HttpError::Io(_))
         ));
+    }
+
+    #[test]
+    fn query_params_are_found_and_route_is_clean() {
+        let r = parse("POST /run?format=csv&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.route(), "/run");
+        assert_eq!(r.query_param("format"), Some("csv"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("nope"), None);
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query_param("format"), None);
+    }
+
+    #[test]
+    fn client_posts_and_reads_content_length_and_close_delimited_responses() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // One Content-Length exchange, then one close-delimited one.
+            for response in [
+                "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello"
+                    .to_string(),
+                "HTTP/1.1 418 Teapot\r\nConnection: close\r\n\r\nshort and stout".to_string(),
+            ] {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(s.try_clone().unwrap());
+                let req = read_request(&mut reader).unwrap();
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.route(), "/shard");
+                assert_eq!(req.query_param("shards"), Some("3"));
+                s.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        let url = format!("http://{addr}/shard?shards=3&index=0");
+        let a = http_post(
+            &url,
+            b"spec",
+            "text/plain",
+            None,
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap();
+        assert_eq!((a.status, a.text().as_str()), (200, "hello"));
+        let b = http_post(
+            &url,
+            b"spec",
+            "text/plain",
+            None,
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap();
+        assert_eq!((b.status, b.text().as_str()), (418, "short and stout"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_rejects_bad_urls_and_dead_peers() {
+        assert!(http_post("ftp://x/", b"", "text/plain", None, None).is_err());
+        assert!(http_post("http:///path", b"", "text/plain", None, None).is_err());
+        // A port nothing listens on: connect must fail, not hang.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        }; // listener dropped — port is free again
+        assert!(http_post(&format!("http://{dead}/"), b"", "text/plain", None, None).is_err());
+    }
+
+    #[test]
+    fn response_parser_handles_truncation() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nshort").is_err());
+        assert!(parse_response(b"no head end").is_err());
+        let ok = parse_response(b"HTTP/1.1 204 No Content\r\n\r\n").unwrap();
+        assert_eq!((ok.status, ok.body.len()), (204, 0));
     }
 
     #[test]

@@ -41,12 +41,21 @@
 //!   (`spnn merge`) validates coverage and recombines them into a report
 //!   **bit-identical** to the unsharded run — enforced by CI on every
 //!   push.
+//! - [`exec`] — the Executor layer: [`exec::LocalExecutor`] (in-process
+//!   threads), [`exec::SpawnExecutor`] (child processes), and
+//!   [`exec::RemoteExecutor`] (worker `spnn serve` instances over
+//!   `POST /shard`, with retry-on-another-worker) behind one trait;
+//!   [`exec::run_distributed`] merges partials **as they arrive**
+//!   through [`shard::MergeState`] and streams rows in prefix order —
+//!   byte-identical to the unsharded run for every executor.
 //! - [`serve`] — the long-lived scenario service (`spnn serve`): `POST`
 //!   a spec, receive per-point rows as **NDJSON the moment they
-//!   complete**, over a dependency-free [`http`] layer; one
-//!   process-lifetime [`cache::ContextCache`] makes repeat requests skip
-//!   training, and [`serve::assemble_report`] rebuilds the exact batch
-//!   report from a completed stream.
+//!   complete** (or CSV via `?format=csv`), over a dependency-free
+//!   [`http`] layer; one process-lifetime [`cache::ContextCache`] makes
+//!   repeat requests skip training, [`serve::assemble_report`] rebuilds
+//!   the exact batch report from a completed stream, `--workers-from`
+//!   turns the service into a streaming coordinator over remote
+//!   workers, and SIGTERM drains gracefully.
 //!
 //! The guides under `docs/` at the workspace root complement the rustdoc:
 //! `docs/scenario-format.md` is the complete `.scn` reference,
@@ -90,6 +99,7 @@
 pub mod batched;
 pub mod cache;
 pub mod estimator;
+pub mod exec;
 mod fnv;
 pub mod http;
 mod json;
@@ -104,6 +114,10 @@ pub mod spec;
 pub use batched::TestBatch;
 pub use cache::{ContextCache, Fingerprint, TrainedContext};
 pub use estimator::{StopRule, Welford};
+pub use exec::{
+    run_distributed, CancelToken, DistError, ExecContext, ExecError, Executor, LocalExecutor,
+    RemoteExecutor, SpawnExecutor,
+};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use runner::{
@@ -112,7 +126,7 @@ pub use runner::{
     StreamEvent, SweepRow,
 };
 pub use serve::{assemble_report, AssembleError, ServeConfig, Server};
-pub use shard::{merge_partials, plan_shard, MergeError, PartialReport, ShardBlock};
+pub use shard::{merge_partials, plan_shard, MergeError, MergeState, PartialReport, ShardBlock};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 
 /// Commonly used items, importable with `use spnn_engine::prelude::*`.
@@ -120,6 +134,10 @@ pub mod prelude {
     pub use crate::batched::TestBatch;
     pub use crate::cache::{ContextCache, Fingerprint};
     pub use crate::estimator::{StopRule, Welford};
+    pub use crate::exec::{
+        run_distributed, CancelToken, ExecContext, Executor, LocalExecutor, RemoteExecutor,
+        SpawnExecutor,
+    };
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
     pub use crate::runner::{
@@ -127,6 +145,6 @@ pub mod prelude {
         run_scenario_with, run_scenarios, EngineConfig, EngineReport, StreamEvent, SweepRow,
     };
     pub use crate::serve::{assemble_report, AssembleError, ServeConfig, Server};
-    pub use crate::shard::{merge_partials, MergeError, PartialReport};
+    pub use crate::shard::{merge_partials, MergeError, MergeState, PartialReport};
     pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
 }

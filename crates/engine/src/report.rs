@@ -6,33 +6,49 @@
 //! (guaranteed by [`crate::queue::compile`]), so the label keys become the
 //! CSV columns directly.
 
-use crate::runner::EngineReport;
+use crate::runner::{EngineReport, SweepRow};
 use std::fmt::Write as _;
+
+/// The CSV header line (newline included) for rows carrying `keys` label
+/// columns. Shared by [`to_csv`] and the service's streaming
+/// `POST /run?format=csv` writer so the two dialects cannot diverge.
+pub(crate) fn csv_header(keys: &[&str]) -> String {
+    let mut out = String::from("topology");
+    for k in keys {
+        let _ = write!(out, ",{k}");
+    }
+    out.push_str(",mean_accuracy,std_dev,moe95,iterations,stopped_early\n");
+    out
+}
+
+/// One CSV data line (newline included) of `row` under `keys` columns.
+pub(crate) fn csv_row(row: &SweepRow, keys: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str(&row.topology);
+    for key in keys {
+        let _ = write!(out, ",{}", row.label(key).unwrap_or(""));
+    }
+    let _ = writeln!(
+        out,
+        ",{:.6},{:.6},{:.6},{},{}",
+        row.mean, row.std_dev, row.moe95, row.iterations, row.stopped_early
+    );
+    out
+}
+
+/// The label keys a report's rows carry (every row of a report shares
+/// them; the first row is authoritative).
+pub(crate) fn label_keys(row: &SweepRow) -> Vec<&str> {
+    row.labels.iter().map(|(k, _)| k.as_str()).collect()
+}
 
 /// Serializes a report as CSV:
 /// `topology,<label columns…>,mean_accuracy,std_dev,moe95,iterations,stopped_early`.
 pub fn to_csv(report: &EngineReport) -> String {
-    let mut out = String::new();
-    let keys: Vec<&str> = report
-        .rows
-        .first()
-        .map(|r| r.labels.iter().map(|(k, _)| k.as_str()).collect())
-        .unwrap_or_default();
-    out.push_str("topology");
-    for k in &keys {
-        let _ = write!(out, ",{k}");
-    }
-    out.push_str(",mean_accuracy,std_dev,moe95,iterations,stopped_early\n");
+    let keys: Vec<&str> = report.rows.first().map(label_keys).unwrap_or_default();
+    let mut out = csv_header(&keys);
     for row in &report.rows {
-        out.push_str(&row.topology);
-        for key in &keys {
-            let _ = write!(out, ",{}", row.label(key).unwrap_or(""));
-        }
-        let _ = writeln!(
-            out,
-            ",{:.6},{:.6},{:.6},{},{}",
-            row.mean, row.std_dev, row.moe95, row.iterations, row.stopped_early
-        );
+        out.push_str(&csv_row(row, &keys));
     }
     out
 }

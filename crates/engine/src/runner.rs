@@ -410,7 +410,7 @@ pub(crate) fn prepare(
 
 /// Re-persists the trained context so mappings synthesized during a run
 /// land on disk — the next warm load then skips SVD + mesh synthesis too.
-fn persist_context(cache: &ContextCache, prep: &PreparedScenario, verbose: bool) {
+pub(crate) fn persist_context(cache: &ContextCache, prep: &PreparedScenario, verbose: bool) {
     if let Err(e) = cache.persist(&prep.ctx) {
         if verbose {
             eprintln!("[engine] warning: could not persist trained context: {e}");
@@ -629,6 +629,31 @@ pub fn run_scenario_shard_with(
         )));
     }
     let prep = prepare(spec, config, cache)?;
+    let partial = execute_shard_blocks(
+        &prep,
+        queue_fingerprint(spec),
+        shards,
+        shard_index,
+        config.threads,
+        config.verbose,
+    );
+    persist_context(cache, &prep, config.verbose);
+    Ok(partial)
+}
+
+/// Executes shard `shard_index` of a `shards`-way plan over an already
+/// prepared scenario — the primitive shared by the per-process shard
+/// entry point ([`run_scenario_shard_with`]) and by
+/// [`crate::exec::LocalExecutor`], which prepares once and runs every
+/// slice on its own thread.
+pub(crate) fn execute_shard_blocks(
+    prep: &PreparedScenario,
+    queue_fp: String,
+    shards: usize,
+    shard_index: usize,
+    threads: Option<usize>,
+    verbose: bool,
+) -> PartialReport {
     let rounds_per_point =
         vec![prep.stop.max_iterations.div_ceil(prep.round_size); prep.points.len()];
     let blocks = plan_shard(&rounds_per_point, shards, shard_index);
@@ -644,11 +669,11 @@ pub fn run_scenario_shard_with(
             &prep.stop,
             prep.round_size,
             point.item.seed,
-            config.threads,
+            threads,
             block.first_round,
             block.rounds,
         );
-        if config.verbose {
+        if verbose {
             eprintln!(
                 "[engine] {} shard {shard_index}/{shards}: block {}/{} point {} rounds {}..{} → {} sample(s){}",
                 prep.name,
@@ -677,11 +702,9 @@ pub fn run_scenario_shard_with(
         });
     }
 
-    persist_context(cache, &prep, config.verbose);
-
-    Ok(PartialReport {
-        scenario: prep.name,
-        queue_fingerprint: queue_fingerprint(spec),
+    PartialReport {
+        scenario: prep.name.clone(),
+        queue_fingerprint: queue_fp,
         shards,
         shard_index,
         total_points: prep.points.len(),
@@ -689,9 +712,9 @@ pub fn run_scenario_shard_with(
         iterations: prep.stop.max_iterations,
         min_iterations: prep.stop.min_iterations,
         target_moe: prep.stop.target_moe,
-        topologies: prep.topologies,
+        topologies: prep.topologies.clone(),
         points,
-    })
+    }
 }
 
 #[cfg(test)]

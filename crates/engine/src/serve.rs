@@ -16,11 +16,37 @@
 //! | method, path | behavior |
 //! |---|---|
 //! | `POST /run` | body = scenario spec text; streams NDJSON events |
-//! | `GET /healthz` | liveness + run counters |
+//! | `POST /run?format=csv` | same, streaming CSV rows (curl-friendly) |
+//! | `POST /shard?shards=K&index=I` | worker endpoint: run one shard, return its [`crate::shard::PartialReport`] JSON |
+//! | `GET /healthz` | liveness + run/shard counters |
 //! | `GET /cache/stats` | trained-context cache counters and location |
 //!
 //! Invalid specs are rejected *before* any work starts with `400` and a
 //! JSON body carrying the parser's line-numbered message.
+//!
+//! # Coordinator mode
+//!
+//! With [`ServeConfig::remote_workers`] non-empty (CLI:
+//! `spnn serve --workers-from FILE`), `POST /run` no longer sweeps
+//! in-process: the service dispatches one shard per worker over
+//! [`crate::exec::RemoteExecutor`] (`POST /shard` on each worker),
+//! merges partials **as they arrive** through
+//! [`crate::shard::MergeState`], and streams each row the moment its
+//! prefix coverage is decidable — the stream is byte-identical to the
+//! in-process one, because both paths emit the same [`StreamEvent`]s
+//! with the same values. A worker failing mid-run is retried on another
+//! worker transparently. `POST /shard` works in either mode, so
+//! coordinators can be layered.
+//!
+//! # Graceful shutdown
+//!
+//! After [`crate::exec::install_signal_handlers`] (the CLI installs them
+//! for `spnn serve`), SIGTERM/SIGINT stops the accept loop, lets
+//! in-flight streams finish, cancels outstanding remote shard dispatches
+//! (their streams end with an `error` event), joins the worker pool, and
+//! returns from [`Server::run`] — a second signal exits immediately.
+//! [`Server::cancel_token`] gives embedders the same lever
+//! programmatically.
 //!
 //! # The NDJSON event stream
 //!
@@ -50,10 +76,13 @@
 //! codes, concurrency and determinism semantics.
 
 use crate::cache::ContextCache;
+use crate::exec::{run_distributed, CancelToken, ExecContext, RemoteExecutor};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
+use crate::report::{csv_header, csv_row, label_keys};
 use crate::runner::{
-    run_scenario_streaming_with, EngineConfig, EngineReport, StreamEvent, SweepRow, TopologySummary,
+    run_scenario_shard_with, run_scenario_streaming_with, EngineConfig, EngineReport, StreamEvent,
+    SweepRow, TopologySummary,
 };
 use crate::spec::ScenarioSpec;
 use std::fmt;
@@ -76,6 +105,11 @@ pub struct ServeConfig {
     /// `engine.cache_dir` seeds the service's process-lifetime
     /// [`ContextCache`].
     pub engine: EngineConfig,
+    /// Remote worker base URLs (`http://host:port`). Empty (the
+    /// default) serves every `POST /run` in-process; non-empty turns the
+    /// service into a **coordinator** that dispatches one shard per
+    /// worker and merges partials as they arrive (see the module docs).
+    pub remote_workers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +117,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             engine: EngineConfig::default(),
+            remote_workers: Vec::new(),
         }
     }
 }
@@ -93,15 +128,21 @@ struct Counters {
     started: usize,
     completed: usize,
     failed: usize,
+    shards_completed: usize,
+    shards_failed: usize,
 }
 
 struct ServerState {
     engine: EngineConfig,
     cache: ContextCache,
     workers: usize,
+    remote_workers: Vec<String>,
+    cancel: CancelToken,
     started: AtomicUsize,
     completed: AtomicUsize,
     failed: AtomicUsize,
+    shards_completed: AtomicUsize,
+    shards_failed: AtomicUsize,
 }
 
 impl ServerState {
@@ -110,6 +151,8 @@ impl ServerState {
             started: self.started.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            shards_completed: self.shards_completed.load(Ordering::Relaxed),
+            shards_failed: self.shards_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,11 +195,28 @@ impl Server {
                 engine,
                 cache,
                 workers,
+                remote_workers: config
+                    .remote_workers
+                    .iter()
+                    .map(|w| w.trim_end_matches('/').to_string())
+                    .collect(),
+                cancel: CancelToken::new(),
                 started: AtomicUsize::new(0),
                 completed: AtomicUsize::new(0),
                 failed: AtomicUsize::new(0),
+                shards_completed: AtomicUsize::new(0),
+                shards_failed: AtomicUsize::new(0),
             }),
         })
+    }
+
+    /// The server's cancellation token: cancelling it makes
+    /// [`Server::run`] stop accepting, finish in-flight work, and
+    /// return. The token also observes the process-wide shutdown flag
+    /// set by [`crate::exec::install_signal_handlers`], so SIGTERM works
+    /// the same way.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
     }
 
     /// The address the service actually listens on.
@@ -168,7 +228,8 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves connections until the listener fails persistently. Each
+    /// Serves connections until the listener fails persistently or the
+    /// server is asked to shut down (see [`Server::cancel_token`]). Each
     /// accepted connection is handed to one of the worker threads; a
     /// worker handles one request per connection (`Connection: close`).
     ///
@@ -177,6 +238,13 @@ impl Server {
     /// excess clients wait in the kernel's accept backlog instead of
     /// accumulating open sockets (their read timeout starts only once a
     /// worker picks them up).
+    ///
+    /// Shutdown: once the cancel token fires (programmatically, or via
+    /// SIGTERM/SIGINT after [`crate::exec::install_signal_handlers`])
+    /// the loop stops accepting, in-flight request streams run to
+    /// completion (remote shard dispatches are cancelled — their streams
+    /// end with an `error` event), the worker pool drains, and `run`
+    /// returns `Ok(())`.
     ///
     /// # Errors
     ///
@@ -204,14 +272,30 @@ impl Server {
                 }
             }));
         }
+        // Non-blocking accept so the loop can observe a shutdown request
+        // between connections; accepted sockets are switched back to
+        // blocking before hand-off.
+        self.listener.set_nonblocking(true)?;
         let mut consecutive_failures = 0usize;
-        for conn in self.listener.incoming() {
-            match conn {
-                Ok(stream) => {
+        loop {
+            if self.state.cancel.is_cancelled() {
+                if verbose {
+                    eprintln!("[serve] shutdown requested; draining in-flight requests");
+                }
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
                     consecutive_failures = 0;
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
                     if tx.send(stream).is_err() {
                         break; // all workers died — surface below
                     }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
                 }
                 Err(e) => {
                     // Aborted handshakes, EMFILE under load, and the like
@@ -236,6 +320,9 @@ impl Server {
         Ok(())
     }
 }
+
+/// How often the accept loop re-checks for connections and shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Per-connection read budget: covers slow clients without letting a
 /// dead one pin a worker forever.
@@ -280,12 +367,20 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     }
     match (request.method.as_str(), request.route()) {
         ("POST", "/run") => handle_run(&request, &mut writer, state),
+        ("POST", "/shard") => handle_shard(&request, &mut writer, state),
         ("GET", "/healthz") => {
             let c = state.counters();
             let body = format!(
-                "{{\"status\": \"ok\", \"workers\": {}, \"runs_started\": {}, \
-                 \"runs_completed\": {}, \"runs_failed\": {}}}\n",
-                state.workers, c.started, c.completed, c.failed
+                "{{\"status\": \"ok\", \"workers\": {}, \"remote_workers\": {}, \
+                 \"runs_started\": {}, \"runs_completed\": {}, \"runs_failed\": {}, \
+                 \"shards_completed\": {}, \"shards_failed\": {}}}\n",
+                state.workers,
+                state.remote_workers.len(),
+                c.started,
+                c.completed,
+                c.failed,
+                c.shards_completed,
+                c.shards_failed
             );
             let _ = Response::json(200, body).write_to(&mut writer);
         }
@@ -301,7 +396,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             );
             let _ = Response::json(200, body).write_to(&mut writer);
         }
-        (_, "/run" | "/healthz" | "/cache/stats") => {
+        (_, "/run" | "/shard" | "/healthz" | "/cache/stats") => {
             let _ =
                 Response::json(405, "{\"error\": \"method not allowed\"}\n").write_to(&mut writer);
         }
@@ -315,13 +410,15 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     }
 }
 
-fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+/// Parses and validates the request body as a scenario spec, answering
+/// `400` (with the parser's line number when available) on failure.
+fn parse_spec_or_reject(request: &Request, writer: &mut TcpStream) -> Option<ScenarioSpec> {
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => {
             let _ = Response::json(400, "{\"error\": \"spec body must be UTF-8 text\"}\n")
                 .write_to(writer);
-            return;
+            return None;
         }
     };
     // Reject before any work starts: parse failures carry the .scn
@@ -335,7 +432,7 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
                 e.line
             );
             let _ = Response::json(400, body).write_to(writer);
-            return;
+            return None;
         }
     };
     if let Err(m) = spec.validate() {
@@ -344,11 +441,44 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
             json::escape(&m)
         );
         let _ = Response::json(400, body).write_to(writer);
-        return;
+        return None;
     }
+    Some(spec)
+}
+
+/// The streaming output dialect of a `POST /run` response.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StreamFormat {
+    /// One JSON event object per line (the default; see the module docs).
+    Ndjson,
+    /// CSV rows as they complete — the concatenated stream is
+    /// byte-identical to `spnn run --format csv` ([`crate::report::to_csv`]).
+    Csv,
+}
+
+fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+    let format = match request.query_param("format") {
+        None | Some("ndjson") => StreamFormat::Ndjson,
+        Some("csv") => StreamFormat::Csv,
+        Some(other) => {
+            let body = format!(
+                "{{\"error\": \"unknown format {} (ndjson|csv)\"}}\n",
+                json::escape(other)
+            );
+            let _ = Response::json(400, body).write_to(writer);
+            return;
+        }
+    };
+    let Some(spec) = parse_spec_or_reject(request, writer) else {
+        return;
+    };
 
     state.started.fetch_add(1, Ordering::Relaxed);
-    if Response::write_streaming_head(writer, 200, "application/x-ndjson").is_err() {
+    let content_type = match format {
+        StreamFormat::Ndjson => "application/x-ndjson",
+        StreamFormat::Csv => "text/csv",
+    };
+    if Response::write_streaming_head(writer, 200, content_type).is_err() {
         state.failed.fetch_add(1, Ordering::Relaxed);
         return;
     }
@@ -364,24 +494,115 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
             broken = true;
         }
     };
-    let result = run_scenario_streaming_with(&spec, &state.engine, &state.cache, &mut |event| {
-        emit(event_line(&event));
-    });
+    // Both execution paths feed the same observer: the CSV writer shares
+    // the report's row formatter, the NDJSON writer the event formatter —
+    // streamed output cannot diverge from the batch renderings.
+    let mut header_written = false;
+    let mut observe = |event: StreamEvent<'_>| match format {
+        StreamFormat::Ndjson => emit(event_line(&event)),
+        StreamFormat::Csv => {
+            if let StreamEvent::Row { row, .. } = event {
+                let keys = label_keys(row);
+                if !header_written {
+                    header_written = true;
+                    emit(csv_header(&keys));
+                }
+                emit(csv_row(row, &keys));
+            }
+        }
+    };
+    let result = if state.remote_workers.is_empty() {
+        run_scenario_streaming_with(&spec, &state.engine, &state.cache, &mut observe)
+            .map_err(|e| e.to_string())
+    } else {
+        // Coordinator: one shard per worker, merged as they arrive. The
+        // executor retries a failed worker's shard on the next worker.
+        let executor = RemoteExecutor::new(state.remote_workers.iter().cloned());
+        let ctx = ExecContext {
+            config: &state.engine,
+            cache: &state.cache,
+            cancel: &state.cancel,
+        };
+        run_distributed(
+            &spec,
+            &executor,
+            state.remote_workers.len(),
+            &ctx,
+            &mut observe,
+        )
+        .map_err(|e| e.to_string())
+    };
     match result {
         Ok(report) => {
-            emit(format!(
-                "{{\"event\": \"done\", \"scenario\": \"{}\", \"rows\": {}}}\n",
-                json::escape(&report.scenario),
-                report.rows.len()
-            ));
+            match format {
+                StreamFormat::Ndjson => emit(format!(
+                    "{{\"event\": \"done\", \"scenario\": \"{}\", \"rows\": {}}}\n",
+                    json::escape(&report.scenario),
+                    report.rows.len()
+                )),
+                StreamFormat::Csv => {
+                    if report.rows.is_empty() {
+                        // No rows ever streamed: emit the bare header so
+                        // the stream still equals `to_csv(report)`.
+                        emit(crate::report::to_csv(&report));
+                    }
+                }
+            }
             state.completed.fetch_add(1, Ordering::Relaxed);
         }
-        Err(e) => {
-            emit(format!(
-                "{{\"event\": \"error\", \"message\": \"{}\"}}\n",
-                json::escape(&e.to_string())
-            ));
+        Err(message) => {
+            match format {
+                StreamFormat::Ndjson => emit(format!(
+                    "{{\"event\": \"error\", \"message\": \"{}\"}}\n",
+                    json::escape(&message)
+                )),
+                // CSV has no event framing; a comment line is the best a
+                // mid-stream failure can do.
+                StreamFormat::Csv => emit(format!("# error: {message}\n")),
+            }
             state.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// `POST /shard?shards=K&index=I` — the worker half of distributed
+/// serving: runs exactly one deterministic slice of the spec's queue and
+/// returns the [`PartialReport`] JSON (`spnn merge`-compatible, the same
+/// bytes `spnn run --shards K --shard-index I` writes).
+fn handle_shard(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+    let param = |key: &str| -> Result<usize, String> {
+        request
+            .query_param(key)
+            .ok_or_else(|| format!("missing query parameter {key:?}"))?
+            .parse::<usize>()
+            .map_err(|_| format!("query parameter {key:?} must be an integer"))
+    };
+    let (shards, index) = match (param("shards"), param("index")) {
+        (Ok(s), Ok(i)) if s > 0 && i < s => (s, i),
+        (Ok(s), Ok(i)) => {
+            let body =
+                format!("{{\"error\": \"shard index {i} out of range for {s} shard(s)\"}}\n");
+            let _ = Response::json(400, body).write_to(writer);
+            return;
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e));
+            let _ = Response::json(400, body).write_to(writer);
+            return;
+        }
+    };
+    let Some(spec) = parse_spec_or_reject(request, writer) else {
+        return;
+    };
+    match run_scenario_shard_with(&spec, &state.engine, &state.cache, shards, index) {
+        Ok(partial) => {
+            state.shards_completed.fetch_add(1, Ordering::Relaxed);
+            let _ = Response::json(200, partial.to_json()).write_to(writer);
+        }
+        Err(e) => {
+            state.shards_failed.fetch_add(1, Ordering::Relaxed);
+            let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e.to_string()));
+            let _ = Response::json(500, body).write_to(writer);
         }
     }
 }

@@ -17,10 +17,16 @@
 //!   blocks, each block's raw per-iteration samples and Welford state.
 //!   Floats are emitted in Rust's shortest-round-trip decimal form and
 //!   parsed back from the literal digits, so the format is bit-lossless.
-//! - [`merge_partials`] — validates coverage (no gaps, no overlaps, no
-//!   foreign fingerprints), **replays** the adaptive stop rule over the
-//!   recombined per-point sample streams, and emits an
-//!   [`EngineReport`] byte-for-byte identical to the unsharded run's.
+//! - [`MergeState`] — an **incremental** merge: feed partials in any
+//!   arrival order ([`MergeState::push`]), collect completed-prefix rows
+//!   the moment their coverage is decidable, and
+//!   [`MergeState::finalize`] into an [`EngineReport`] byte-for-byte
+//!   identical to the unsharded run's. [`merge_partials`] is the batch
+//!   convenience wrapper (push everything, finalize); the streaming
+//!   coordinator in [`crate::exec`] feeds the same state machine one
+//!   partial at a time, so distributed streams and batch merges cannot
+//!   diverge. Validation (no gaps, no overlaps, no foreign
+//!   fingerprints) is shared.
 //!
 //! # Adaptive early termination under sharding
 //!
@@ -459,16 +465,47 @@ fn bits(x: f64) -> u64 {
     x.to_bits()
 }
 
-/// Replays one point's recombined blocks: validates contiguity, replays
-/// the stop rule at round boundaries, and returns the retained samples
-/// plus the early-stop flag — exactly what the unsharded run computes.
-fn replay_point(
+/// The outcome of replaying one point's blocks as collected so far.
+enum PointReplay {
+    /// Coverage is decidable: these are exactly the samples the unsharded
+    /// run retains, plus its early-stop flag. Later-arriving blocks can
+    /// only be discarded speculation — the row is final.
+    Complete {
+        /// Retained samples in iteration order.
+        samples: Vec<f64>,
+        /// Whether the stop rule fired before the cap.
+        stopped_early: bool,
+    },
+    /// The blocks held so far leave a gap (or stop short of the cap with
+    /// the stop rule unsatisfied); more partials may still arrive. The
+    /// carried error is what [`MergeState::finalize`] reports if they
+    /// never do.
+    Pending(MergeError),
+}
+
+/// Validates and replays one point's sorted blocks: metadata agreement,
+/// structural integrity (round alignment, disjointness, Welford checks),
+/// then the stop-rule replay at round boundaries — exactly what the
+/// unsharded run computes.
+///
+/// Hard violations (overlaps, corrupt blocks, metadata disagreement) are
+/// `Err`; incomplete-but-consistent coverage is [`PointReplay::Pending`].
+fn replay_blocks(
     index: usize,
-    blocks: &[&PartialPoint],
+    blocks: &[PartialPoint],
     stop: &StopRule,
     round_size: usize,
-) -> Result<(Vec<f64>, bool), MergeError> {
+) -> Result<PointReplay, MergeError> {
     let cap = stop.max_iterations;
+
+    let head = &blocks[0];
+    for b in &blocks[1..] {
+        if b.topology != head.topology || b.labels != head.labels || b.seed != head.seed {
+            return Err(MergeError::Mismatch(format!(
+                "point {index}: blocks disagree on topology, labels or seed"
+            )));
+        }
+    }
 
     // Structural pass first: blocks must be round-aligned, non-empty,
     // in-bounds, and strictly disjoint — even blocks the replay below
@@ -498,25 +535,6 @@ fn replay_point(
                 "point {index}: blocks exceed the {cap}-iteration cap"
             )));
         }
-    }
-
-    let mut est = Welford::new();
-    let mut retained: Vec<f64> = Vec::new();
-    let mut stopped = false;
-
-    'blocks: for b in blocks {
-        if stopped {
-            // Later blocks were speculative work; the unsharded run never
-            // executes these iterations.
-            break;
-        }
-        if b.first_iteration > retained.len() {
-            return Err(MergeError::Coverage(format!(
-                "point {index}: iterations {}..{} are missing",
-                retained.len(),
-                b.first_iteration
-            )));
-        }
         // The block's Welford summary must be exactly what its samples
         // produce — a cheap end-to-end integrity check on the JSON.
         let mut check = Welford::new();
@@ -530,7 +548,25 @@ fn replay_point(
                 "point {index}: Welford state does not match the samples"
             )));
         }
+    }
 
+    let mut est = Welford::new();
+    let mut retained: Vec<f64> = Vec::new();
+    let mut stopped = false;
+
+    'blocks: for b in blocks {
+        if stopped {
+            // Later blocks were speculative work; the unsharded run never
+            // executes these iterations.
+            break;
+        }
+        if b.first_iteration > retained.len() {
+            return Ok(PointReplay::Pending(MergeError::Coverage(format!(
+                "point {index}: iterations {}..{} are missing",
+                retained.len(),
+                b.first_iteration
+            ))));
+        }
         for &s in &b.samples {
             est.push(s);
             retained.push(s);
@@ -546,14 +582,249 @@ fn replay_point(
     }
 
     if !stopped && retained.len() < cap {
-        return Err(MergeError::Coverage(format!(
+        return Ok(PointReplay::Pending(MergeError::Coverage(format!(
             "point {index}: only {} of {cap} iterations covered and the stop rule \
              is not satisfied there",
             retained.len()
-        )));
+        ))));
     }
     let stopped_early = retained.len() < cap;
-    Ok((retained, stopped_early))
+    Ok(PointReplay::Complete {
+        samples: retained,
+        stopped_early,
+    })
+}
+
+/// Checks that `p` (the `ordinal`-th partial fed to a merge) belongs to
+/// the same run as `first`: same queue fingerprint, budgets, and
+/// bit-identical topology summaries.
+fn check_compatible(
+    first: &PartialReport,
+    p: &PartialReport,
+    ordinal: usize,
+) -> Result<(), MergeError> {
+    if p.queue_fingerprint != first.queue_fingerprint {
+        return Err(MergeError::Mismatch(format!(
+            "partial {ordinal} has queue fingerprint {} but partial 0 has {}",
+            p.queue_fingerprint, first.queue_fingerprint
+        )));
+    }
+    let same_meta = p.scenario == first.scenario
+        && p.total_points == first.total_points
+        && p.round_size == first.round_size
+        && p.iterations == first.iterations
+        && p.min_iterations == first.min_iterations
+        && bits(p.target_moe) == bits(first.target_moe);
+    if !same_meta {
+        return Err(MergeError::Mismatch(format!(
+            "partial {ordinal} disagrees on scenario metadata despite a matching fingerprint"
+        )));
+    }
+    let same_topologies = p.topologies.len() == first.topologies.len()
+        && p.topologies.iter().zip(&first.topologies).all(|(a, b)| {
+            a.topology == b.topology
+                && bits(a.software_accuracy) == bits(b.software_accuracy)
+                && bits(a.nominal_accuracy) == bits(b.nominal_accuracy)
+        });
+    if !same_topologies {
+        return Err(MergeError::Mismatch(format!(
+            "partial {ordinal} reports different topology summaries"
+        )));
+    }
+    Ok(())
+}
+
+/// Incremental shard merge: feed [`PartialReport`]s in **any arrival
+/// order**, harvest completed rows in prefix order as their coverage
+/// becomes decidable, and [`finalize`](Self::finalize) into the exact
+/// batch report.
+///
+/// A sweep point's row is *final* as soon as its collected blocks form a
+/// gap-free prefix on which the replayed stop rule fires (or that reaches
+/// the iteration cap): any block still in flight can only be discarded
+/// speculation, because overlapping coverage is rejected outright. This
+/// is what lets a coordinator stream row `i` the moment the shard owning
+/// it finishes, while shards owning later slices are still running — and
+/// why the streamed rows are byte-identical to the batch merge: both are
+/// this state machine.
+///
+/// ```
+/// use spnn_engine::shard::MergeState;
+/// # use spnn_engine::prelude::*;
+/// # let spec = {
+/// #     let mut s = presets::fig4(&RunScale::tiny());
+/// #     s.sweep.sigmas = vec![0.0, 0.1];
+/// #     s.sweep.modes = vec![spnn_photonics::PerturbTarget::Both];
+/// #     s.iterations = 4; s.min_iterations = 2; s.round_size = 2; s
+/// # };
+/// # let cache = ContextCache::in_memory();
+/// # let config = EngineConfig::default();
+/// let mut merge = MergeState::new();
+/// let mut rows = Vec::new();
+/// for index in [1, 0] {  // partials may arrive in any order
+///     let partial = run_scenario_shard_with(&spec, &config, &cache, 2, index).unwrap();
+///     rows.extend(merge.push(partial).unwrap()); // completed-prefix rows
+/// }
+/// let report = merge.finalize().unwrap();
+/// assert_eq!(rows.len(), report.rows.len());
+/// ```
+#[derive(Debug, Default)]
+pub struct MergeState {
+    /// Header of the first partial (its `points` drained) — the identity
+    /// every later partial is validated against.
+    meta: Option<PartialReport>,
+    /// Collected blocks per global point index, sorted by first iteration.
+    blocks: BTreeMap<usize, Vec<PartialPoint>>,
+    /// Finalized rows, keyed by point index.
+    done: BTreeMap<usize, SweepRow>,
+    /// Rows `0..emitted` have been handed out by [`Self::push`].
+    emitted: usize,
+    /// Partials fed so far (for error ordinals).
+    seen: usize,
+}
+
+impl MergeState {
+    /// An empty merge; identical to `MergeState::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scenario metadata adopted from the first pushed partial, if any.
+    pub fn meta(&self) -> Option<&PartialReport> {
+        self.meta.as_ref()
+    }
+
+    /// Rows already emitted by [`Self::push`] (the completed prefix).
+    pub fn rows_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// `true` once every point of the queue has a final row.
+    pub fn is_complete(&self) -> bool {
+        self.meta
+            .as_ref()
+            .is_some_and(|m| self.emitted == m.total_points)
+    }
+
+    /// Feeds one partial and returns the rows whose indices newly joined
+    /// the completed prefix, as `(index, row)` in index order — possibly
+    /// empty (the partial extended coverage somewhere past the prefix),
+    /// possibly several (it plugged the gap holding the prefix back).
+    ///
+    /// Rows are emitted exactly once across pushes, in strict prefix
+    /// order: the concatenation over all pushes is `rows[0..n]` of the
+    /// final report.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`merge_partials`] rejects, the moment it becomes
+    /// detectable: [`MergeError::Mismatch`] on foreign fingerprints or
+    /// metadata, [`MergeError::Coverage`] on overlaps,
+    /// [`MergeError::Corrupt`] on inconsistent blocks,
+    /// [`MergeError::Format`] on out-of-range point indices. Gaps are
+    /// *not* errors here — a later partial may fill them; they surface in
+    /// [`Self::finalize`].
+    pub fn push(&mut self, partial: PartialReport) -> Result<Vec<(usize, SweepRow)>, MergeError> {
+        let ordinal = self.seen;
+        self.seen += 1;
+        let mut header = partial;
+        let points = std::mem::take(&mut header.points);
+        match &self.meta {
+            None => self.meta = Some(header),
+            Some(first) => check_compatible(first, &header, ordinal)?,
+        }
+        let meta = self.meta.as_ref().expect("meta adopted above");
+        let (total_points, round_size, stop) =
+            (meta.total_points, meta.round_size, meta.stop_rule());
+
+        let mut touched: Vec<usize> = Vec::with_capacity(points.len());
+        for block in points {
+            if block.index >= total_points {
+                return Err(MergeError::Format(format!(
+                    "block references point {} of a {}-point queue",
+                    block.index, total_points
+                )));
+            }
+            touched.push(block.index);
+            self.blocks.entry(block.index).or_default().push(block);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        for index in touched {
+            let blocks = self.blocks.get_mut(&index).expect("touched point");
+            blocks.sort_by_key(|b| b.first_iteration);
+            match replay_blocks(index, blocks, &stop, round_size)? {
+                PointReplay::Complete {
+                    samples,
+                    stopped_early,
+                } => {
+                    // The same aggregation as the unsharded `run_point` —
+                    // identical samples yield identical statistics, bit
+                    // for bit. (A speculative block arriving after the
+                    // point completed replays to the same row.)
+                    let mc = McResult::from_samples(samples);
+                    let head = &blocks[0];
+                    self.done.insert(
+                        index,
+                        SweepRow {
+                            topology: head.topology.clone(),
+                            labels: head.labels.clone(),
+                            mean: mc.mean,
+                            std_dev: mc.std_dev,
+                            moe95: mc.margin_of_error_95(),
+                            iterations: mc.samples.len(),
+                            stopped_early,
+                        },
+                    );
+                }
+                PointReplay::Pending(_) => {}
+            }
+        }
+
+        let mut out = Vec::new();
+        while let Some(row) = self.done.get(&self.emitted) {
+            out.push((self.emitted, row.clone()));
+            self.emitted += 1;
+        }
+        Ok(out)
+    }
+
+    /// Validates that the fed partials cover the whole queue and returns
+    /// the final [`EngineReport`] — byte-for-byte identical (through
+    /// [`crate::report::to_json`] / [`crate::report::to_csv`]) to the
+    /// unsharded run and to [`merge_partials`] over the same set.
+    ///
+    /// # Errors
+    ///
+    /// - [`MergeError::Format`] when no partial was ever pushed;
+    /// - [`MergeError::Coverage`] when a point is uncovered, gapped, or
+    ///   stops short of the cap with the stop rule unsatisfied.
+    pub fn finalize(self) -> Result<EngineReport, MergeError> {
+        let meta = self
+            .meta
+            .ok_or_else(|| MergeError::Format("no partial reports to merge".into()))?;
+        if let Some(missing) = (0..meta.total_points).find(|i| !self.blocks.contains_key(i)) {
+            return Err(MergeError::Coverage(format!(
+                "point {missing} is covered by no partial"
+            )));
+        }
+        for (index, blocks) in &self.blocks {
+            if self.done.contains_key(index) {
+                continue;
+            }
+            match replay_blocks(*index, blocks, &meta.stop_rule(), meta.round_size)? {
+                PointReplay::Pending(e) => return Err(e),
+                // push() finalizes every decidable point eagerly.
+                PointReplay::Complete { .. } => unreachable!("complete point not in done"),
+            }
+        }
+        Ok(EngineReport {
+            scenario: meta.scenario,
+            topologies: meta.topologies,
+            rows: self.done.into_values().collect(),
+        })
+    }
 }
 
 /// Merges a set of partial reports into the final [`EngineReport`].
@@ -567,6 +838,9 @@ fn replay_point(
 /// aggregation ([`McResult::from_samples`]), and adaptive stopping is
 /// replayed in iteration order (see the module docs).
 ///
+/// This is the batch wrapper over [`MergeState`]; order of `partials`
+/// never affects the result.
+///
 /// # Errors
 ///
 /// - [`MergeError::Mismatch`] when partials carry different queue
@@ -576,91 +850,11 @@ fn replay_point(
 ///   its samples or a block oversteps the iteration cap;
 /// - [`MergeError::Format`] when called with no partials.
 pub fn merge_partials(partials: &[PartialReport]) -> Result<EngineReport, MergeError> {
-    let first = partials
-        .first()
-        .ok_or_else(|| MergeError::Format("no partial reports to merge".into()))?;
-
-    for (i, p) in partials.iter().enumerate().skip(1) {
-        if p.queue_fingerprint != first.queue_fingerprint {
-            return Err(MergeError::Mismatch(format!(
-                "partial {i} has queue fingerprint {} but partial 0 has {}",
-                p.queue_fingerprint, first.queue_fingerprint
-            )));
-        }
-        let same_meta = p.scenario == first.scenario
-            && p.total_points == first.total_points
-            && p.round_size == first.round_size
-            && p.iterations == first.iterations
-            && p.min_iterations == first.min_iterations
-            && bits(p.target_moe) == bits(first.target_moe);
-        if !same_meta {
-            return Err(MergeError::Mismatch(format!(
-                "partial {i} disagrees on scenario metadata despite a matching fingerprint"
-            )));
-        }
-        let same_topologies = p.topologies.len() == first.topologies.len()
-            && p.topologies.iter().zip(&first.topologies).all(|(a, b)| {
-                a.topology == b.topology
-                    && bits(a.software_accuracy) == bits(b.software_accuracy)
-                    && bits(a.nominal_accuracy) == bits(b.nominal_accuracy)
-            });
-        if !same_topologies {
-            return Err(MergeError::Mismatch(format!(
-                "partial {i} reports different topology summaries"
-            )));
-        }
-    }
-
-    let mut by_point: BTreeMap<usize, Vec<&PartialPoint>> = BTreeMap::new();
+    let mut state = MergeState::new();
     for p in partials {
-        for block in &p.points {
-            if block.index >= first.total_points {
-                return Err(MergeError::Format(format!(
-                    "block references point {} of a {}-point queue",
-                    block.index, first.total_points
-                )));
-            }
-            by_point.entry(block.index).or_default().push(block);
-        }
+        state.push(p.clone())?;
     }
-    if let Some(missing) = (0..first.total_points).find(|i| !by_point.contains_key(i)) {
-        return Err(MergeError::Coverage(format!(
-            "point {missing} is covered by no partial"
-        )));
-    }
-
-    let stop = first.stop_rule();
-    let mut rows = Vec::with_capacity(first.total_points);
-    for (index, mut blocks) in by_point {
-        blocks.sort_by_key(|b| b.first_iteration);
-        let head = blocks[0];
-        for b in &blocks[1..] {
-            if b.topology != head.topology || b.labels != head.labels || b.seed != head.seed {
-                return Err(MergeError::Mismatch(format!(
-                    "point {index}: blocks disagree on topology, labels or seed"
-                )));
-            }
-        }
-        let (samples, stopped_early) = replay_point(index, &blocks, &stop, first.round_size)?;
-        // The same aggregation as the unsharded `run_point` — identical
-        // samples therefore yield identical statistics, bit for bit.
-        let mc = McResult::from_samples(samples);
-        rows.push(SweepRow {
-            topology: head.topology.clone(),
-            labels: head.labels.clone(),
-            mean: mc.mean,
-            std_dev: mc.std_dev,
-            moe95: mc.margin_of_error_95(),
-            iterations: mc.samples.len(),
-            stopped_early,
-        });
-    }
-
-    Ok(EngineReport {
-        scenario: first.scenario.clone(),
-        topologies: first.topologies.clone(),
-        rows,
-    })
+    state.finalize()
 }
 
 #[cfg(test)]
@@ -872,6 +1066,64 @@ mod tests {
         let c = mk(vec![block(0, 0, vec![0.5, 0.5, 0.5, 0.6])]);
         let report = merge_partials(&[c]).unwrap();
         assert_eq!(report.rows[0].iterations, 2, "stop fires mid-block");
+    }
+
+    #[test]
+    fn merge_state_emits_completed_prefix_rows_in_order() {
+        // Two points, 6 fixed iterations each, round_size 2. Partial A
+        // covers the tail of point 0 and all of point 1; the prefix of
+        // point 0 arrives last.
+        let mk = |points: Vec<PartialPoint>| {
+            let mut p = partial(points);
+            p.total_points = 2;
+            p
+        };
+        let tail = mk(vec![
+            block(0, 2, vec![0.25, 1.0, 0.5, 0.75]),
+            block(1, 0, vec![0.5; 6]),
+        ]);
+        let head = mk(vec![block(0, 0, vec![0.5, 0.75])]);
+
+        let mut st = MergeState::new();
+        // Point 1 completes immediately, but row 0 is still pending — no
+        // prefix rows yet.
+        let rows = st.push(tail).unwrap();
+        assert!(rows.is_empty(), "prefix must wait for point 0");
+        assert_eq!(st.rows_emitted(), 0);
+        assert!(!st.is_complete());
+        // The head plugs the gap: both rows emit, in index order.
+        let rows = st.push(head).unwrap();
+        assert_eq!(rows.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(st.is_complete());
+        let report = st.finalize().unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for ((i, streamed), final_row) in rows.iter().zip(&report.rows) {
+            assert_eq!(streamed, &report.rows[*i]);
+            assert_eq!(streamed.mean.to_bits(), final_row.mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_state_surfaces_gaps_only_at_finalize() {
+        let mut st = MergeState::new();
+        st.push(partial(vec![block(0, 4, vec![0.5, 0.75])]))
+            .expect("a gapped point is pending, not an error");
+        let err = st.finalize().expect_err("gap must fail finalize");
+        assert!(matches!(err, MergeError::Coverage(_)), "{err}");
+
+        let empty = MergeState::new();
+        assert!(matches!(empty.finalize(), Err(MergeError::Format(_))));
+    }
+
+    #[test]
+    fn merge_state_rejects_overlap_at_push_time() {
+        let mut st = MergeState::new();
+        st.push(partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]))
+            .unwrap();
+        let err = st
+            .push(partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]))
+            .expect_err("overlapping coverage must fail immediately");
+        assert!(matches!(err, MergeError::Coverage(_)), "{err}");
     }
 
     #[test]

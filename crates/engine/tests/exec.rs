@@ -1,0 +1,236 @@
+//! Executor-layer integration tests: the acceptance guarantee is that
+//! `LocalExecutor`, `SpawnExecutor`, and `RemoteExecutor` all drive the
+//! same `run_distributed` merge path and produce reports **byte-for-byte
+//! identical** to the unsharded `spnn run` — including when a remote
+//! worker is dead or fails mid-response and its shard is retried on
+//! another worker — and that rows stream in strict prefix order while
+//! shards complete out of order.
+
+use spnn_engine::exec::{
+    run_distributed, CancelToken, ExecContext, ExecError, Executor, LocalExecutor, RemoteExecutor,
+    SpawnExecutor,
+};
+use spnn_engine::prelude::*;
+use spnn_engine::runner::StreamEvent;
+use spnn_engine::serve::{ServeConfig, Server};
+use spnn_photonics::PerturbTarget;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+fn tiny_fig4() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both, PerturbTarget::PhaseShiftersOnly];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 10;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec
+}
+
+/// Runs `spec` through `executor` with a fresh context, asserting rows
+/// stream in prefix order, and returns the merged report.
+fn distribute(spec: &ScenarioSpec, executor: &dyn Executor, shards: usize) -> EngineReport {
+    let config = EngineConfig {
+        threads: Some(2),
+        verbose: false,
+        cache_dir: None,
+    };
+    let cache = ContextCache::in_memory();
+    let cancel = CancelToken::new();
+    let ctx = ExecContext {
+        config: &config,
+        cache: &cache,
+        cancel: &cancel,
+    };
+    let mut row_indices = Vec::new();
+    let report = run_distributed(spec, executor, shards, &ctx, &mut |event| {
+        if let StreamEvent::Row { index, .. } = event {
+            row_indices.push(index);
+        }
+    })
+    .unwrap_or_else(|e| panic!("{} executor failed: {e}", executor.name()));
+    let expected: Vec<usize> = (0..report.rows.len()).collect();
+    assert_eq!(
+        row_indices,
+        expected,
+        "{}: rows must stream in prefix order",
+        executor.name()
+    );
+    report
+}
+
+fn assert_matches_unsharded(spec: &ScenarioSpec, report: &EngineReport, what: &str) {
+    let unsharded = run_scenario(spec, &EngineConfig::default()).expect("unsharded run");
+    assert_eq!(
+        to_json(report),
+        to_json(&unsharded),
+        "{what}: JSON diverged"
+    );
+    assert_eq!(to_csv(report), to_csv(&unsharded), "{what}: CSV diverged");
+}
+
+/// Acceptance criterion: the in-process threaded executor is
+/// byte-identical to the unsharded run for several shard counts.
+#[test]
+fn local_executor_is_byte_identical() {
+    let spec = tiny_fig4();
+    for shards in [1, 3, 5] {
+        let report = distribute(&spec, &LocalExecutor, shards);
+        assert_matches_unsharded(&spec, &report, &format!("local k={shards}"));
+    }
+}
+
+/// Acceptance criterion: the child-process executor (the library home of
+/// `spnn run --shards k --spawn`) is byte-identical to the unsharded run.
+#[test]
+fn spawn_executor_is_byte_identical() {
+    let spec = tiny_fig4();
+    let executor = SpawnExecutor {
+        exe: PathBuf::from(env!("CARGO_BIN_EXE_spnn")),
+    };
+    let report = distribute(&spec, &executor, 3);
+    assert_matches_unsharded(&spec, &report, "spawn k=3");
+}
+
+/// Binds a worker service on an ephemeral port (in-memory cache) and
+/// leaves it running for the rest of the test process.
+fn start_worker() -> SocketAddr {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            engine: EngineConfig {
+                threads: Some(2),
+                verbose: false,
+                cache_dir: None,
+            },
+            remote_workers: Vec::new(),
+        },
+    )
+    .expect("bind worker");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// An address that refuses connections: bind an ephemeral port, then
+/// free it again.
+fn dead_addr() -> SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
+    listener.local_addr().expect("local addr")
+}
+
+/// A worker that accepts connections and slams them shut before
+/// answering — the shape of a worker killed mid-run.
+fn flaky_addr() -> SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind flaky");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        for conn in listener.incoming().flatten() {
+            drop(conn);
+        }
+    });
+    addr
+}
+
+/// Acceptance criterion: a remote fan-out across healthy workers is
+/// byte-identical to the unsharded run.
+#[test]
+fn remote_executor_is_byte_identical() {
+    let spec = tiny_fig4();
+    let workers = vec![
+        format!("http://{}", start_worker()),
+        format!("http://{}", start_worker()),
+        format!("http://{}", start_worker()),
+    ];
+    let report = distribute(&spec, &RemoteExecutor::new(workers), 3);
+    assert_matches_unsharded(&spec, &report, "remote k=3");
+}
+
+/// Satellite acceptance: shards whose first worker is dead (connection
+/// refused) or fails mid-response are retried on another worker, and the
+/// merged report is still byte-identical — a failure is invisible in the
+/// output.
+#[test]
+fn worker_failure_is_retried_on_another_worker() {
+    let spec = tiny_fig4();
+    let workers = vec![
+        format!("http://{}", dead_addr()),
+        format!("http://{}", flaky_addr()),
+        format!("http://{}", start_worker()),
+        format!("http://{}", start_worker()),
+    ];
+    let report = distribute(&spec, &RemoteExecutor::new(workers), 4);
+    assert_matches_unsharded(&spec, &report, "remote with dead+flaky workers");
+}
+
+/// With every worker unreachable the run fails with a Remote error that
+/// names the per-worker reasons — it must not hang or fabricate rows.
+#[test]
+fn all_workers_dead_is_an_error() {
+    let spec = tiny_fig4();
+    let executor = RemoteExecutor::new(vec![
+        format!("http://{}", dead_addr()),
+        format!("http://{}", dead_addr()),
+    ]);
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let cancel = CancelToken::new();
+    let ctx = ExecContext {
+        config: &config,
+        cache: &cache,
+        cancel: &cancel,
+    };
+    let err =
+        run_distributed(&spec, &executor, 2, &ctx, &mut |_| {}).expect_err("dead fleet must fail");
+    assert!(err.to_string().contains("every worker failed"), "{err}");
+}
+
+/// A cancelled token makes the remote executor give up quickly with
+/// `Cancelled` instead of dispatching work.
+#[test]
+fn cancelled_remote_run_reports_cancellation() {
+    let spec = tiny_fig4();
+    let executor = RemoteExecutor::new(vec![format!("http://{}", dead_addr())]);
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let ctx = ExecContext {
+        config: &config,
+        cache: &cache,
+        cancel: &cancel,
+    };
+    let err = run_distributed(&spec, &executor, 1, &ctx, &mut |_| {})
+        .expect_err("cancelled run must fail");
+    assert!(
+        matches!(
+            err,
+            spnn_engine::exec::DistError::Exec(ExecError::Cancelled)
+        ),
+        "{err}"
+    );
+}
+
+/// Graceful shutdown, library form: cancelling the server's token makes
+/// `Server::run` stop accepting and return `Ok` after draining.
+#[test]
+fn server_run_returns_after_cancel() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let token = server.cancel_token();
+    let handle = std::thread::spawn(move || server.run());
+    // The server is live…
+    std::net::TcpStream::connect(addr).expect("server accepts while running");
+    // …until cancelled.
+    token.cancel();
+    let start = std::time::Instant::now();
+    while !handle.is_finished() {
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "run() must return promptly after cancel"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.join().expect("join").expect("clean shutdown");
+}

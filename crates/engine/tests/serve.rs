@@ -39,6 +39,11 @@ fn tiny_fig5() -> ScenarioSpec {
 /// Binds a service on an ephemeral port with an in-memory cache and a
 /// small pool, and leaves it running for the rest of the test process.
 fn start_server(workers: usize) -> SocketAddr {
+    start_server_with(workers, Vec::new())
+}
+
+/// Like [`start_server`], with a coordinator worker list.
+fn start_server_with(workers: usize, remote_workers: Vec<String>) -> SocketAddr {
     let server = Server::bind(
         "127.0.0.1:0",
         ServeConfig {
@@ -48,6 +53,7 @@ fn start_server(workers: usize) -> SocketAddr {
                 verbose: false,
                 cache_dir: None,
             },
+            remote_workers,
         },
     )
     .expect("bind ephemeral port");
@@ -224,6 +230,143 @@ fn malformed_spec_is_rejected_with_400() {
     assert!(stats.contains("\"trains\": 0"), "{stats}");
 }
 
+/// The worker endpoint: `POST /shard?shards=K&index=I` returns exactly
+/// the partial report `spnn run --shards K --shard-index I` computes —
+/// the three shards merge into a report byte-identical to the batch run.
+#[test]
+fn shard_endpoint_partials_merge_byte_identical() {
+    let addr = start_server(2);
+    let spec = tiny_fig4();
+    let text = spec.to_text();
+    let mut partials = Vec::new();
+    for i in 0..3 {
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /shard?shards=3&index={i} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                text.len(),
+                text
+            ),
+        );
+        assert_eq!(status, 200, "{body}");
+        partials.push(spnn_engine::PartialReport::parse(&body).expect("parse partial"));
+    }
+    let merged = merge_partials(&partials).expect("merge worker partials");
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    assert_eq!(to_json(&merged), to_json(&reference));
+    assert_eq!(to_csv(&merged), to_csv(&reference));
+
+    let (status, health) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"shards_completed\": 3"), "{health}");
+}
+
+/// Bad shard coordinates are rejected with 400 before any work.
+#[test]
+fn shard_endpoint_validates_its_query() {
+    let addr = start_server(1);
+    let text = tiny_fig4().to_text();
+    for query in [
+        "",                  // missing both
+        "?shards=3",         // missing index
+        "?shards=3&index=3", // out of range
+        "?shards=0&index=0", // zero shards
+        "?shards=x&index=0", // not an integer
+    ] {
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /shard{query} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                text.len(),
+                text
+            ),
+        );
+        assert_eq!(status, 400, "query {query:?}: {body}");
+    }
+}
+
+/// Satellite acceptance: `POST /run?format=csv` streams bytes identical
+/// to `spnn run --format csv` (the writers are shared), and unknown
+/// formats are rejected.
+#[test]
+fn run_format_csv_streams_the_exact_csv() {
+    let addr = start_server(2);
+    let spec = tiny_fig4();
+    let text = spec.to_text();
+    let (status, stream) = http(
+        addr,
+        &format!(
+            "POST /run?format=csv HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert_eq!(status, 200, "{stream}");
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    assert_eq!(stream, to_csv(&reference), "streamed CSV must equal to_csv");
+
+    let (status, body) = http(
+        addr,
+        &format!(
+            "POST /run?format=yaml HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown format"), "{body}");
+}
+
+/// Acceptance criterion: a coordinator service dispatching across
+/// remote workers streams NDJSON that assembles byte-identical to the
+/// batch report — including when one configured worker is dead and its
+/// shard is retried on a live one.
+#[test]
+fn coordinator_streams_byte_identical_reports_despite_a_dead_worker() {
+    let worker_a = start_server(2);
+    let worker_b = start_server(2);
+    // A dead URL: bind an ephemeral port, then free it again.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let coordinator = start_server_with(
+        2,
+        vec![
+            format!("http://{dead}"),
+            format!("http://{worker_a}"),
+            format!("http://{worker_b}"),
+        ],
+    );
+    for spec in [tiny_fig4(), tiny_fig5()] {
+        let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+        let (status, stream) = post_run(coordinator, &spec.to_text());
+        assert_eq!(status, 200, "{stream}");
+        let assembled = spnn_engine::assemble_report(&stream).expect("assemble");
+        assert_eq!(
+            to_json(&assembled),
+            to_json(&reference),
+            "{}: coordinator stream diverged",
+            spec.name
+        );
+        assert_eq!(to_csv(&assembled), to_csv(&reference), "{}", spec.name);
+    }
+    // CSV works through the coordinator too — same writers, same bytes.
+    let spec = tiny_fig4();
+    let text = spec.to_text();
+    let (status, stream) = http(
+        coordinator,
+        &format!(
+            "POST /run?format=csv HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert_eq!(status, 200);
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    assert_eq!(stream, to_csv(&reference));
+}
+
 /// Unknown routes 404, wrong methods 405, and the health endpoint stays
 /// truthful about failures.
 #[test]
@@ -232,6 +375,8 @@ fn routing_and_error_statuses() {
     let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 404);
     let (status, _) = http(addr, "GET /run HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "GET /shard HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 405);
     let (status, _) = http(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 405);

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use spnn_engine::cache::ContextCache;
 use spnn_engine::prelude::*;
-use spnn_engine::shard::{plan_shard, MergeError, PartialReport};
+use spnn_engine::shard::{plan_shard, MergeError, MergeState, PartialReport};
 use spnn_engine::spec::PlanKind;
 use spnn_photonics::PerturbTarget;
 
@@ -111,6 +111,65 @@ fn adaptive_sharded_merge_is_byte_identical() {
             to_json(&unsharded),
             "adaptive run diverged at k={k}"
         );
+    }
+}
+
+/// Satellite acceptance: feeding partials through [`MergeState`] in
+/// **every permutation** of arrival order yields (a) a finalized report
+/// byte-identical to batch `merge_partials` and to the unsharded run,
+/// and (b) rows emitted exactly once, in strict prefix order, equal to
+/// the final report's rows — for fig4, zonal fig5, and an adaptive
+/// early-stopping scenario whose merge must discard speculation.
+#[test]
+fn merge_state_permutations_are_byte_identical_and_stream_in_prefix_order() {
+    let mut adaptive = tiny_fig4();
+    adaptive.iterations = 24;
+    adaptive.min_iterations = 4;
+    adaptive.target_moe = 0.05;
+    const PERMUTATIONS: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for spec in [tiny_fig4(), tiny_fig5(), adaptive] {
+        let config = EngineConfig::default();
+        let cache = ContextCache::in_memory();
+        let partials: Vec<PartialReport> = (0..3)
+            .map(|i| run_scenario_shard_with(&spec, &config, &cache, 3, i).unwrap())
+            .collect();
+        let unsharded = run_scenario(&spec, &config).expect("unsharded run");
+        let batch = merge_partials(&partials).expect("batch merge");
+        assert_eq!(to_json(&batch), to_json(&unsharded), "{}", spec.name);
+
+        for perm in PERMUTATIONS {
+            let mut state = MergeState::new();
+            let mut streamed = Vec::new();
+            for &i in &perm {
+                streamed.extend(state.push(partials[i].clone()).expect("push partial"));
+            }
+            assert!(state.is_complete(), "{}: {perm:?}", spec.name);
+            let report = state.finalize().expect("finalize");
+            assert_eq!(
+                to_json(&report),
+                to_json(&unsharded),
+                "{}: JSON diverged for arrival order {perm:?}",
+                spec.name
+            );
+            assert_eq!(
+                to_csv(&report),
+                to_csv(&unsharded),
+                "{}: CSV diverged for arrival order {perm:?}",
+                spec.name
+            );
+            assert_eq!(streamed.len(), report.rows.len(), "{perm:?}");
+            for (expected_index, (index, row)) in streamed.iter().enumerate() {
+                assert_eq!(*index, expected_index, "rows must stream in prefix order");
+                assert_eq!(row, &report.rows[*index], "streamed row != final row");
+            }
+        }
     }
 }
 

@@ -1,0 +1,131 @@
+//! Graceful-shutdown signal tests, quarantined in their own test binary:
+//! raising SIGTERM sets a process-wide flag, so these must not share a
+//! process with tests that poll [`CancelToken`]s.
+//!
+//! Covers the satellite acceptance: `spnn serve` under SIGTERM stops
+//! accepting, finishes the in-flight stream, and exits cleanly (status
+//! 0), and the in-process flag plumbing (`install_signal_handlers` →
+//! `process_shutdown_requested` → every `CancelToken`).
+
+#![cfg(unix)]
+
+use spnn_engine::prelude::*;
+use spnn_photonics::PerturbTarget;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn raise(sig: i32) -> i32;
+}
+const SIGTERM: i32 = 15;
+
+/// The flag plumbing, in-process: after installing handlers, SIGTERM no
+/// longer kills the process — it trips the shutdown flag every
+/// `CancelToken` observes.
+#[test]
+fn sigterm_trips_the_process_flag_and_every_token() {
+    let token = spnn_engine::exec::CancelToken::new();
+    assert!(!token.is_cancelled());
+    assert!(
+        spnn_engine::exec::install_signal_handlers(),
+        "handler installation must succeed on Unix"
+    );
+    // SAFETY: raising a signal we just installed a handler for.
+    assert_eq!(unsafe { raise(SIGTERM) }, 0);
+    assert!(spnn_engine::exec::process_shutdown_requested());
+    assert!(
+        token.is_cancelled(),
+        "tokens observe the process-wide shutdown flag"
+    );
+}
+
+fn spec_text() -> String {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 64;
+    spec.min_iterations = 2;
+    spec.round_size = 8;
+    spec.to_text()
+}
+
+/// The full binary: `spnn serve` + an in-flight `POST /run` + SIGTERM.
+/// The stream must complete (done event) and the process must exit 0,
+/// whether the signal lands mid-run or just after.
+#[test]
+fn spnn_serve_drains_in_flight_stream_on_sigterm() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--no-cache",
+        ])
+        .env_remove("SPNN_THREADS")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn spnn serve");
+
+    // The service logs its ephemeral address on stderr; keep draining the
+    // pipe afterwards so the child never blocks on a full pipe.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve must announce its address")
+            .expect("readable stderr");
+        if let Some(rest) = line.split("serving on http://").nth(1) {
+            break rest.trim().to_string();
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+
+    // Start a run and give it a beat to be in flight.
+    let spec = spec_text();
+    let request_addr = addr.clone();
+    let request = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(&request_addr).expect("connect");
+        write!(
+            stream,
+            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            spec.len(),
+            spec
+        )
+        .expect("send request");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("read stream");
+        body
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // SIGTERM: drain and exit — never abort the stream.
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    let body = request.join().expect("request thread");
+    assert!(
+        body.contains("\"event\": \"done\""),
+        "in-flight stream must finish under SIGTERM: {body}"
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("spnn serve did not exit within 60s of SIGTERM");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert!(status.success(), "graceful drain must exit 0, got {status}");
+}
