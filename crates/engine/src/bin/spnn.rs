@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
-//!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
+//!          [--threads N] [--quiet] [--stats] [--no-cache] [--cache-dir DIR]
 //!          [--shards K (--shard-index I | --spawn | --exec local|spawn)]
 //!          [--workers URL,URL,...]
 //! spnn merge <part.json>... [--format csv|json] [--out PATH]
 //! spnn serve [--addr HOST:PORT] [--workers N] [--workers-from FILE]
-//!          [--threads N] [--quiet] [--no-cache] [--cache-dir DIR]
+//!          [--threads N] [--quiet] [--log-json] [--no-cache]
+//!          [--cache-dir DIR]
 //! spnn assemble <stream.ndjson> [--format csv|json] [--out PATH]
 //! spnn validate <spec.scn>
 //! spnn example [NAME]
@@ -20,19 +21,24 @@
 //! Scenario scale knobs for presets come from the usual `SPNN_*`
 //! environment variables (`SPNN_MC`, `SPNN_NTRAIN`, `SPNN_NTEST`,
 //! `SPNN_EPOCHS`, `SPNN_SEED`, `SPNN_TARGET_MOE`, `SPNN_THREADS`);
-//! `SPNN_CACHE_DIR` relocates the trained-context cache. See
-//! `docs/scenario-format.md` for the spec format, `docs/sharding.md` for
-//! the shard/merge workflow, `docs/serving.md` for the HTTP service and
-//! `docs/architecture.md` for the engine internals.
+//! `SPNN_CACHE_DIR` relocates the trained-context cache; `SPNN_LOG`
+//! (error|warn|info|debug|trace|off) and `SPNN_LOG_FORMAT=json` shape the
+//! structured stderr log. See `docs/scenario-format.md` for the spec
+//! format, `docs/sharding.md` for the shard/merge workflow,
+//! `docs/serving.md` for the HTTP service, `docs/observability.md` for
+//! the metric catalog and `docs/architecture.md` for the engine
+//! internals.
 
 use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
 use spnn_engine::exec::{
     install_signal_handlers, run_distributed, CancelToken, ExecContext, Executor, LocalExecutor,
     RemoteExecutor, SpawnExecutor,
 };
+use spnn_engine::metrics::{self, Reading};
 use spnn_engine::prelude::*;
 use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
 use spnn_engine::serve::{assemble_report, Server};
+use spnn_engine::trace;
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,6 +78,9 @@ OPTIONS (run, merge):
                              (default: $SPNN_THREADS, else all cores;
                              results are identical for any thread count)
     --quiet                  suppress progress logging on stderr
+    --stats                  after the run, print a phase breakdown and
+                             the engine counters (training, cache,
+                             Monte-Carlo, shard dispatch) on stderr
     --no-cache               skip the on-disk trained-context cache
     --cache-dir DIR          cache location (default: `spnn cache path`)
     --shards K               split the run into K deterministic shards and
@@ -99,6 +108,8 @@ OPTIONS (serve):
                              across the worker URLs listed in FILE (one
                              per line, # comments), streaming rows as
                              shards complete
+    --log-json               emit structured stderr logs as JSON objects
+                             (one per line) instead of key=value text
     --threads, --quiet, --no-cache, --cache-dir as for run
 
 Sharding: `spnn run S --shards K --shard-index I` writes partial report I
@@ -113,7 +124,8 @@ streams one NDJSON row per completed sweep point (`/run?format=csv`
 streams CSV); `spnn assemble stream.ndjson` rebuilds the exact
 `spnn run` report. `spnn serve --workers-from workers.txt` turns the
 service into a coordinator over remote workers; SIGTERM drains
-gracefully. See docs/serving.md.
+gracefully. GET /metrics exposes Prometheus text on every role — see
+docs/serving.md and docs/observability.md.
 
 Cached contexts are reused bit-exactly: a warm-cache run produces the very
 same report as a cold one, it just skips training (and mesh synthesis).
@@ -121,7 +133,69 @@ same report as a cold one, it just skips training (and mesh synthesis).
 SCALE (env): SPNN_MC, SPNN_NTRAIN, SPNN_NTEST, SPNN_EPOCHS, SPNN_SEED,
 SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop),
 SPNN_THREADS, SPNN_CACHE_DIR.
+
+LOGGING (env): SPNN_LOG sets the structured-log level on stderr
+(error|warn|info|debug|trace|off; default info) and SPNN_LOG_FORMAT=json
+switches the lines to JSON objects. Logs never touch stdout, and reports
+are byte-identical at every level. See docs/observability.md.
 ";
+
+/// Applies the CLI logging flags before any engine work runs: `--quiet`
+/// drops the structured-log level to `warn` unless `SPNN_LOG` explicitly
+/// chose one, and `--log-json` switches the stderr lines to JSON.
+fn init_logging(args: &[String]) {
+    if has_flag(args, "--quiet") && !trace::verbosity_from_env() {
+        trace::set_verbosity(Some(trace::Level::Warn));
+    }
+    if has_flag(args, "--log-json") {
+        trace::set_format(trace::Format::Json);
+    }
+}
+
+/// `--stats`: the end-of-run breakdown read from the process-global
+/// metrics registry — wall-clock per engine phase, then every counter
+/// the run touched. Stderr only; stdout stays reserved for reports.
+fn print_run_stats() {
+    let snapshot = metrics::global().snapshot();
+    eprintln!("[spnn] phase breakdown (--stats):");
+    eprintln!(
+        "[spnn]   {:<12} {:>7} {:>10} {:>10}",
+        "phase", "calls", "total s", "mean s"
+    );
+    for s in &snapshot {
+        if s.name != "spnn_phase_duration_seconds" {
+            continue;
+        }
+        if let Reading::Histogram { sum, count, .. } = &s.value {
+            let phase = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "phase")
+                .map_or("?", |(_, v)| v.as_str());
+            let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+            eprintln!("[spnn]   {phase:<12} {count:>7} {sum:>10.3} {mean:>10.3}");
+        }
+    }
+    eprintln!("[spnn] counters:");
+    for s in &snapshot {
+        let Reading::Counter(v) = &s.value else {
+            continue;
+        };
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "{{{}}}",
+                s.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        eprintln!("[spnn]   {:<44} {v:>10}", format!("{}{labels}", s.name));
+    }
+}
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -235,6 +309,7 @@ fn write_report(path: &Path, body: &str) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
+    init_logging(args);
     let specs = match load_specs(args) {
         Ok(s) => s,
         Err(e) => return fail(&e),
@@ -252,8 +327,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         threads,
         verbose: !has_flag(args, "--quiet"),
         cache_dir: None, // the shared cache below carries the directory
+        metrics: metrics::global().clone(),
     };
     let cache = ContextCache::new(cache_dir);
+    // One process, one run: the cache's counters belong in the global
+    // registry so `--stats` shows hits/trains next to the phase table.
+    cache.register_metrics(metrics::global());
+    let show_stats = has_flag(args, "--stats");
 
     // Distributed / sharded execution. All the fan-out spellings drive
     // the same library seam (`spnn_engine::exec`): `--workers` dispatches
@@ -303,6 +383,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             &config,
             &cache,
             option_value(args, "--out"),
+            show_stats,
         );
     }
 
@@ -337,6 +418,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 &config,
                 &cache,
                 option_value(args, "--out"),
+                show_stats,
             );
         }
         let index = match shard_index {
@@ -372,6 +454,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 .sum::<usize>(),
             &partial.queue_fingerprint[..12],
         );
+        if show_stats {
+            print_run_stats();
+        }
         let body = partial.to_json();
         return match option_value(args, "--out") {
             Some(path) => match write_report(Path::new(path), &body) {
@@ -461,6 +546,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
         }
     }
+    if show_stats {
+        print_run_stats();
+    }
 
     match out {
         Some(_) if out_is_dir => {} // written incrementally above
@@ -538,6 +626,7 @@ fn cmd_merge(args: &[String]) -> ExitCode {
 /// are logged in prefix order as their coverage becomes final, and the
 /// emitted report is byte-identical to the unsharded `spnn run SPEC`
 /// (CI-enforced for every executor).
+#[allow(clippy::too_many_arguments)]
 fn run_with_executor(
     spec: &ScenarioSpec,
     executor: &dyn Executor,
@@ -546,6 +635,7 @@ fn run_with_executor(
     config: &EngineConfig,
     cache: &ContextCache,
     out: Option<&str>,
+    stats: bool,
 ) -> ExitCode {
     let cancel = CancelToken::new();
     let ctx = ExecContext {
@@ -597,6 +687,9 @@ fn run_with_executor(
         report.rows.len(),
         report.total_iterations(),
     );
+    if stats {
+        print_run_stats();
+    }
     let body = match format {
         "json" => to_json(&report),
         _ => to_csv(&report),
@@ -654,6 +747,7 @@ fn read_worker_list(path: &str) -> Result<Vec<String>, String> {
 /// `spnn serve`: bind the scenario service and run until killed (or
 /// gracefully drained by SIGTERM/SIGINT).
 fn cmd_serve(args: &[String]) -> ExitCode {
+    init_logging(args);
     let addr = option_value(args, "--addr").unwrap_or("127.0.0.1:7878");
     let workers = match option_value(args, "--workers") {
         None => 4,
@@ -680,6 +774,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             threads,
             verbose,
             cache_dir: (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args)),
+            // Server::bind replaces this with its own registry so every
+            // instrument lands behind this server's GET /metrics.
+            metrics: metrics::global().clone(),
         },
         remote_workers: remote_workers.clone(),
     };
@@ -692,8 +789,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         eprintln!("[spnn] serving on http://{local}");
         eprintln!("[spnn]   POST /run          stream a scenario's rows as NDJSON (?format=csv)");
         eprintln!("[spnn]   POST /shard        run one shard, return its partial report");
-        eprintln!("[spnn]   GET  /healthz      liveness + run counters");
+        eprintln!("[spnn]   GET  /healthz      liveness: role, version, uptime, run counters");
         eprintln!("[spnn]   GET  /cache/stats  trained-context cache counters");
+        eprintln!("[spnn]   GET  /metrics      Prometheus text exposition (all of the above)");
         if !remote_workers.is_empty() {
             eprintln!(
                 "[spnn] coordinator over {} worker(s): {}",

@@ -45,7 +45,10 @@
 //! ```
 
 use crate::fnv::{fnv1a64, FNV_BASIS};
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::spec::ScenarioSpec;
+use crate::tevent;
+use crate::trace::Level;
 use spnn_core::network::{PhotonicLayer, SpnnError};
 use spnn_core::{MeshTopology, PhotonicNetwork};
 use spnn_dataset::{DatasetConfig, SpnnDataset};
@@ -249,6 +252,12 @@ pub struct CacheStats {
     pub disk_hits: usize,
     /// Requests that had to train from scratch.
     pub trains: usize,
+    /// Unusable (corrupt/truncated/stale) cache files healed by
+    /// retraining.
+    pub corrupt_healed: usize,
+    /// Times this cache blocked on another process's advisory training
+    /// lock.
+    pub flock_waits: usize,
 }
 
 /// The trained-context store: in-memory memoization within a run, optional
@@ -266,9 +275,16 @@ pub struct ContextCache {
     /// again. Different fingerprints stay fully concurrent. (One gate per
     /// distinct fingerprint ever requested — a handful of small Arcs.)
     pending: Mutex<HashMap<[u8; 16], Arc<Mutex<()>>>>,
-    mem_hits: AtomicUsize,
-    disk_hits: AtomicUsize,
-    trains: AtomicUsize,
+    /// Per-cache [`Counter`] handles (not process globals, so unit tests
+    /// running many caches in one process stay exact). A server adopts
+    /// these same handles into its registry via [`Self::register_metrics`],
+    /// making `/cache/stats` and `/metrics` two views of one set of
+    /// atomics.
+    mem_hits: Counter,
+    disk_hits: Counter,
+    trains: Counter,
+    corrupt_healed: Counter,
+    flock_waits: Counter,
 }
 
 impl ContextCache {
@@ -278,9 +294,11 @@ impl ContextCache {
             dir,
             mem: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
-            mem_hits: AtomicUsize::new(0),
-            disk_hits: AtomicUsize::new(0),
-            trains: AtomicUsize::new(0),
+            mem_hits: Counter::new(),
+            disk_hits: Counter::new(),
+            trains: Counter::new(),
+            corrupt_healed: Counter::new(),
+            flock_waits: Counter::new(),
         }
     }
 
@@ -300,13 +318,53 @@ impl ContextCache {
         self.dir.as_deref()
     }
 
-    /// Activity counters (memory hits / disk hits / trainings).
+    /// Activity counters (memory hits / disk hits / trainings / heals /
+    /// lock waits).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            mem_hits: self.mem_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            trains: self.trains.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.get() as usize,
+            disk_hits: self.disk_hits.get() as usize,
+            trains: self.trains.get() as usize,
+            corrupt_healed: self.corrupt_healed.get() as usize,
+            flock_waits: self.flock_waits.get() as usize,
         }
+    }
+
+    /// Adopts this cache's counters into `registry` under the
+    /// `spnn_cache_*` metric names, so a scrape reads the very atomics
+    /// the cache increments — derived, not parallel. Safe to call once
+    /// per registry; re-registering replaces the previous handles.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter(
+            "spnn_cache_hits_total",
+            "Trained-context cache hits by tier.",
+            &[("tier", "memory")],
+            &self.mem_hits,
+        );
+        registry.register_counter(
+            "spnn_cache_hits_total",
+            "Trained-context cache hits by tier.",
+            &[("tier", "disk")],
+            &self.disk_hits,
+        );
+        registry.register_counter(
+            "spnn_cache_trains_total",
+            "Contexts trained from scratch.",
+            &[],
+            &self.trains,
+        );
+        registry.register_counter(
+            "spnn_cache_corrupt_healed_total",
+            "Unusable cache files healed by retraining.",
+            &[],
+            &self.corrupt_healed,
+        );
+        registry.register_counter(
+            "spnn_cache_flock_waits_total",
+            "Waits on another process's advisory training lock.",
+            &[],
+            &self.flock_waits,
+        );
     }
 
     /// The trained context for `spec`'s training fingerprint: from memory,
@@ -337,7 +395,7 @@ impl ContextCache {
         let fp = Fingerprint::of_spec(spec);
         // Fast path: no gate needed when the context is already in memory.
         if let Some(ctx) = self.mem.lock().expect("cache lock").get(&fp.key) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem_hits.inc();
             return Arc::clone(ctx);
         }
 
@@ -352,7 +410,7 @@ impl ContextCache {
         // Re-check under the gate: a concurrent caller may have finished
         // training while this one waited.
         if let Some(ctx) = self.mem.lock().expect("cache lock").get(&fp.key) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem_hits.inc();
             return Arc::clone(ctx);
         }
 
@@ -363,7 +421,7 @@ impl ContextCache {
             let path = entry_path(dir, &fp);
             match load_entry(&path, &fp) {
                 Ok(ctx) => {
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.inc();
                     if verbose {
                         eprintln!(
                             "[cache] {}: loaded trained context {} ({} mapping(s))",
@@ -376,6 +434,14 @@ impl ContextCache {
                 }
                 Err(LoadError::NotFound) => {}
                 Err(e) => {
+                    self.corrupt_healed.inc();
+                    tevent!(
+                        Level::Warn,
+                        "cache",
+                        "unusable cache file, retraining",
+                        scenario = &spec.name,
+                        error = &format!("{e}"),
+                    );
                     if verbose {
                         eprintln!(
                             "[cache] {}: ignoring unusable cache file {} ({e}); retraining",
@@ -388,10 +454,10 @@ impl ContextCache {
             // Cold miss: serialize cross-process training on an advisory
             // file lock, then re-check — another process may have trained
             // and persisted the entry while this one waited.
-            _file_lock = advisory_lock(dir, &fp, verbose);
+            _file_lock = advisory_lock(dir, &fp, verbose, Some(&self.flock_waits));
             if _file_lock.is_some() {
                 if let Ok(ctx) = load_entry(&path, &fp) {
-                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.inc();
                     if verbose {
                         eprintln!(
                             "[cache] {}: loaded trained context {} (trained by a \
@@ -405,7 +471,7 @@ impl ContextCache {
             }
         }
 
-        self.trains.fetch_add(1, Ordering::Relaxed);
+        self.trains.inc();
         if verbose {
             eprintln!(
                 "[cache] {}: training context {} from scratch",
@@ -536,7 +602,12 @@ pub fn entry_path(dir: &Path, fp: &Fingerprint) -> PathBuf {
 /// handle drops; the tiny `ctx-<key>.lock` files are left in place for
 /// the next contender.
 #[cfg(unix)]
-fn advisory_lock(dir: &Path, fp: &Fingerprint, verbose: bool) -> Option<std::fs::File> {
+fn advisory_lock(
+    dir: &Path,
+    fp: &Fingerprint,
+    verbose: bool,
+    waits: Option<&Counter>,
+) -> Option<std::fs::File> {
     use std::os::unix::io::AsRawFd;
     extern "C" {
         fn flock(fd: i32, operation: i32) -> i32;
@@ -557,6 +628,15 @@ fn advisory_lock(dir: &Path, fp: &Fingerprint, verbose: bool) -> Option<std::fs:
     if unsafe { flock(fd, LOCK_EX | LOCK_NB) } == 0 {
         return Some(file);
     }
+    if let Some(c) = waits {
+        c.inc();
+    }
+    tevent!(
+        Level::Info,
+        "cache",
+        "waiting on advisory training lock",
+        fingerprint = &fp.short(),
+    );
     if verbose {
         eprintln!(
             "[cache] waiting for a concurrent process to finish training {}",
@@ -567,7 +647,12 @@ fn advisory_lock(dir: &Path, fp: &Fingerprint, verbose: bool) -> Option<std::fs:
 }
 
 #[cfg(not(unix))]
-fn advisory_lock(_dir: &Path, _fp: &Fingerprint, _verbose: bool) -> Option<std::fs::File> {
+fn advisory_lock(
+    _dir: &Path,
+    _fp: &Fingerprint,
+    _verbose: bool,
+    _waits: Option<&Counter>,
+) -> Option<std::fs::File> {
     None
 }
 
@@ -1303,10 +1388,10 @@ mod tests {
     fn advisory_lock_serializes_concurrent_holders() {
         let dir = tmp_dir("flock");
         let fp = Fingerprint::of_spec(&tiny_spec());
-        let held = advisory_lock(&dir, &fp, false).expect("first lock");
+        let held = advisory_lock(&dir, &fp, false, None).expect("first lock");
         let (dir2, fp2) = (dir.clone(), fp.clone());
         let waiter = std::thread::spawn(move || {
-            advisory_lock(&dir2, &fp2, false).expect("second lock (after release)")
+            advisory_lock(&dir2, &fp2, false, None).expect("second lock (after release)")
         });
         std::thread::sleep(std::time::Duration::from_millis(150));
         assert!(
@@ -1320,8 +1405,8 @@ mod tests {
         let mut other_spec = tiny_spec();
         other_spec.seed ^= 1;
         let other_fp = Fingerprint::of_spec(&other_spec);
-        let a = advisory_lock(&dir, &fp, false).expect("relock");
-        let b = advisory_lock(&dir, &other_fp, false).expect("independent lock");
+        let a = advisory_lock(&dir, &fp, false, None).expect("relock");
+        let b = advisory_lock(&dir, &other_fp, false, None).expect("independent lock");
         drop((a, b));
         let _ = std::fs::remove_dir_all(&dir);
     }

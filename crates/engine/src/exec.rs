@@ -43,11 +43,14 @@
 
 use crate::cache::ContextCache;
 use crate::http::{self, FetchResponse};
+use crate::metrics::{self, MetricsRegistry};
 use crate::runner::{
     execute_shard_blocks, prepare, EngineConfig, EngineError, EngineReport, StreamEvent,
 };
 use crate::shard::{queue_fingerprint, MergeError, MergeState, PartialReport};
 use crate::spec::ScenarioSpec;
+use crate::tevent;
+use crate::trace::Level;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -302,7 +305,9 @@ impl Executor for LocalExecutor {
                         cancelled.store(true, Ordering::Relaxed);
                         return;
                     }
-                    let partial = execute_shard_blocks(prep, fp, shards, index, threads, verbose);
+                    let registry = &ctx.config.metrics;
+                    let partial =
+                        execute_shard_blocks(prep, fp, shards, index, threads, verbose, registry);
                     let _ = tx.send(partial);
                 });
             }
@@ -514,6 +519,14 @@ impl RemoteExecutor {
     /// Runs one shard, trying each worker at most once starting at
     /// `shard_index mod n`. Returns the partial or the per-worker
     /// failure log.
+    ///
+    /// Every attempt — successful or not — is counted in
+    /// `spnn_shard_dispatch_total{worker,outcome}` and timed in
+    /// `spnn_shard_dispatch_duration_seconds{worker}`, and produces one
+    /// structured `shard complete` / `shard retry` event on stderr with
+    /// the worker URL, attempt number, latency, and (on success) row
+    /// count — retries are never silent.
+    #[allow(clippy::too_many_arguments)] // dispatch coordinates plus observability handles
     fn run_shard(
         &self,
         spec_text: &str,
@@ -522,8 +535,19 @@ impl RemoteExecutor {
         shard_index: usize,
         cancel: &CancelToken,
         verbose: bool,
+        registry: &MetricsRegistry,
     ) -> Result<PartialReport, String> {
         let n = self.workers.len();
+        let bytes_streamed = registry.counter(
+            "spnn_shard_response_bytes_total",
+            "Bytes of shard partials received from workers.",
+            &[],
+        );
+        let retries = registry.counter(
+            "spnn_shard_retries_total",
+            "Shard attempts retried on another worker.",
+            &[],
+        );
         let mut reasons = Vec::new();
         for attempt in 0..n {
             if cancel.is_cancelled() {
@@ -533,43 +557,99 @@ impl RemoteExecutor {
             let worker = &self.workers[(shard_index + attempt) % n];
             let url = format!("{worker}/shard?shards={shards}&index={shard_index}");
             let abort = || cancel.is_cancelled();
+            let dispatch_timer = std::time::Instant::now();
             // No idle timeout: a /shard response arrives only once the
             // whole slice is computed, which may legitimately take hours.
             // A killed worker closes the socket (an error → retry); a
             // shutdown cancels via `abort`.
-            match http::http_post(&url, spec_text.as_bytes(), "text/plain", Some(&abort), None) {
-                Ok(FetchResponse { status: 200, body }) => {
-                    let text = String::from_utf8_lossy(&body);
-                    match PartialReport::parse(&text) {
-                        Ok(p) if p.queue_fingerprint == expected_fp => {
-                            if verbose {
-                                eprintln!(
-                                    "[exec] shard {shard_index}/{shards} completed on {worker}"
-                                );
-                            }
-                            return Ok(p);
+            let outcome =
+                match http::http_post(&url, spec_text.as_bytes(), "text/plain", Some(&abort), None)
+                {
+                    Ok(FetchResponse { status: 200, body }) => {
+                        bytes_streamed.add(body.len() as u64);
+                        let text = String::from_utf8_lossy(&body);
+                        match PartialReport::parse(&text) {
+                            Ok(p) if p.queue_fingerprint == expected_fp => Ok(p),
+                            Ok(p) => Err(format!(
+                                "returned foreign fingerprint {}",
+                                p.queue_fingerprint
+                            )),
+                            Err(e) => Err(format!("unreadable partial: {e}")),
                         }
-                        Ok(p) => reasons.push(format!(
-                            "{worker}: returned foreign fingerprint {}",
-                            p.queue_fingerprint
-                        )),
-                        Err(e) => reasons.push(format!("{worker}: unreadable partial: {e}")),
                     }
+                    Ok(resp) => Err(format!("HTTP {}: {}", resp.status, resp.text().trim())),
+                    Err(e) => Err(format!("{e}")),
+                };
+            let elapsed = dispatch_timer.elapsed();
+            registry
+                .histogram(
+                    "spnn_shard_dispatch_duration_seconds",
+                    "Round-trip latency of shard dispatches, per worker.",
+                    &[("worker", worker)],
+                    metrics::DURATION_BUCKETS,
+                )
+                .observe_duration(elapsed);
+            registry
+                .counter(
+                    "spnn_shard_dispatch_total",
+                    "Shard dispatches to workers, by outcome.",
+                    &[
+                        ("worker", worker),
+                        ("outcome", if outcome.is_ok() { "ok" } else { "error" }),
+                    ],
+                )
+                .inc();
+            match outcome {
+                Ok(p) => {
+                    tevent!(
+                        Level::Info,
+                        "exec",
+                        "shard complete",
+                        shard = shard_index,
+                        shards = shards,
+                        worker = worker,
+                        attempt = attempt + 1,
+                        seconds = elapsed.as_secs_f64(),
+                        rows = p.points.len(),
+                    );
+                    if verbose {
+                        eprintln!("[exec] shard {shard_index}/{shards} completed on {worker}");
+                    }
+                    return Ok(p);
                 }
-                Ok(resp) => reasons.push(format!(
-                    "{worker}: HTTP {}: {}",
-                    resp.status,
-                    resp.text().trim()
-                )),
-                Err(e) => reasons.push(format!("{worker}: {e}")),
-            }
-            if verbose {
-                eprintln!(
-                    "[exec] shard {shard_index}/{shards} failed on {worker}, retrying elsewhere: {}",
-                    reasons.last().map(String::as_str).unwrap_or("")
-                );
+                Err(reason) => {
+                    if attempt + 1 < n {
+                        retries.inc();
+                    }
+                    tevent!(
+                        Level::Warn,
+                        "exec",
+                        "shard retry",
+                        shard = shard_index,
+                        shards = shards,
+                        worker = worker,
+                        attempt = attempt + 1,
+                        seconds = elapsed.as_secs_f64(),
+                        error = &reason,
+                        will_retry = attempt + 1 < n,
+                    );
+                    if verbose {
+                        eprintln!(
+                            "[exec] shard {shard_index}/{shards} failed on {worker}, \
+                             retrying elsewhere: {reason}"
+                        );
+                    }
+                    reasons.push(format!("{worker}: {reason}"));
+                }
             }
         }
+        registry
+            .counter(
+                "spnn_shard_failures_total",
+                "Shards no worker could produce.",
+                &[],
+            )
+            .inc();
         Err(format!(
             "shard {shard_index}: every worker failed ({})",
             reasons.join("; ")
@@ -603,9 +683,17 @@ impl Executor for RemoteExecutor {
                 let tx = tx.clone();
                 let (spec_text, expected_fp) = (&spec_text, &expected_fp);
                 let cancel = ctx.cancel;
+                let registry = &ctx.config.metrics;
                 scope.spawn(move || {
-                    let result =
-                        self.run_shard(spec_text, expected_fp, shards, index, cancel, verbose);
+                    let result = self.run_shard(
+                        spec_text,
+                        expected_fp,
+                        shards,
+                        index,
+                        cancel,
+                        verbose,
+                        registry,
+                    );
                     let _ = tx.send(result);
                 });
             }
@@ -700,7 +788,7 @@ pub fn run_distributed(
             "shards must be positive".into(),
         ))));
     }
-    let mut merge = MergeState::new();
+    let mut merge = MergeState::with_metrics(&ctx.config.metrics);
     let mut merge_err: Option<MergeError> = None;
     let mut started = false;
     let exec_result = executor.execute(spec, shards, ctx, &mut |partial| {

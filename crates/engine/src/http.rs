@@ -242,6 +242,16 @@ impl Response {
         }
     }
 
+    /// A response with an explicit (static) content type — e.g. the
+    /// Prometheus text exposition served by `GET /metrics`.
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+        }
+    }
+
     /// Writes the response with a `Content-Length` and `Connection:
     /// close`.
     ///

@@ -56,12 +56,23 @@
 //!   the exact batch report from a completed stream, `--workers-from`
 //!   turns the service into a streaming coordinator over remote
 //!   workers, and SIGTERM drains gracefully.
+//! - [`metrics`] — a dependency-free [`metrics::MetricsRegistry`]
+//!   (atomic counters, gauges, fixed-bucket histograms) rendered in the
+//!   Prometheus text exposition format; every server exposes its own
+//!   registry at `GET /metrics`, and `spnn run --stats` prints the
+//!   process-global one as an end-of-run phase table.
+//! - [`trace`] — structured key=value event lines on stderr (filtered
+//!   by `SPNN_LOG`, JSON lines via `SPNN_LOG_FORMAT=json` or
+//!   `spnn serve --log-json`) and [`trace::Span`] RAII timers that feed
+//!   the registry's histograms; purely observational, so reports stay
+//!   bit-identical at any verbosity.
 //!
 //! The guides under `docs/` at the workspace root complement the rustdoc:
 //! `docs/scenario-format.md` is the complete `.scn` reference,
 //! `docs/architecture.md` maps the crate stack and the engine's data
-//! flow, `docs/sharding.md` covers distributed execution, and
-//! `docs/serving.md` is the service's operator manual.
+//! flow, `docs/sharding.md` covers distributed execution,
+//! `docs/serving.md` is the service's operator manual, and
+//! `docs/observability.md` catalogs every metric and the log schema.
 //!
 //! # CLI
 //!
@@ -103,6 +114,7 @@ pub mod exec;
 mod fnv;
 pub mod http;
 mod json;
+pub mod metrics;
 pub mod presets;
 pub mod queue;
 pub mod report;
@@ -110,6 +122,7 @@ pub mod runner;
 pub mod serve;
 pub mod shard;
 pub mod spec;
+pub mod trace;
 
 pub use batched::TestBatch;
 pub use cache::{ContextCache, Fingerprint, TrainedContext};
@@ -118,6 +131,7 @@ pub use exec::{
     run_distributed, CancelToken, DistError, ExecContext, ExecError, Executor, LocalExecutor,
     RemoteExecutor, SpawnExecutor,
 };
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use runner::{
@@ -128,6 +142,7 @@ pub use runner::{
 pub use serve::{assemble_report, AssembleError, ServeConfig, Server};
 pub use shard::{merge_partials, plan_shard, MergeError, MergeState, PartialReport, ShardBlock};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
+pub use trace::{Level, Span};
 
 /// Commonly used items, importable with `use spnn_engine::prelude::*`.
 pub mod prelude {
@@ -138,6 +153,7 @@ pub mod prelude {
         run_distributed, CancelToken, ExecContext, Executor, LocalExecutor, RemoteExecutor,
         SpawnExecutor,
     };
+    pub use crate::metrics::MetricsRegistry;
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
     pub use crate::runner::{

@@ -1,0 +1,655 @@
+//! A dependency-free metrics registry: atomic counters, gauges, and
+//! fixed-bucket histograms, rendered in the Prometheus text exposition
+//! format.
+//!
+//! Every instrument is a cheap cloneable handle around an `Arc`'d atomic;
+//! recording is a relaxed atomic add — safe to call from the hottest
+//! paths the engine has. A [`MetricsRegistry`] owns the catalog (name,
+//! help text, type, label sets) and renders a scrape; handles stay valid
+//! for the life of the process regardless of which registry (if any)
+//! they are registered in, so library types like
+//! [`crate::cache::ContextCache`] can own their counters privately and
+//! *adopt* them into a server's registry later — the `/cache/stats`
+//! JSON and the `/metrics` exposition then read the **same** atomics,
+//! derived rather than parallel.
+//!
+//! Two registries matter in practice:
+//!
+//! - [`global()`] — the process-wide registry the CLI uses
+//!   (`spnn run --stats` prints its phase table from it); it is the
+//!   default target of [`crate::runner::EngineConfig::metrics`].
+//! - a per-[`crate::serve::Server`] registry, created at bind time so
+//!   embedded or test servers never share counters; `GET /metrics`
+//!   renders it.
+//!
+//! Determinism: instruments read clocks and observe byte counts but
+//! nothing in the engine ever reads a metric back into computation —
+//! reports stay bit-identical with metrics on, off, or scraped
+//! mid-run (CI-gated, see `docs/observability.md`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default histogram bucket upper bounds for durations, in seconds:
+/// 1 ms … 60 s, roughly logarithmic. A `+Inf` bucket is always implied.
+pub const DURATION_BUCKETS: &[f64] = &[
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+];
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic; a counter works standalone (unregistered) or registered in
+/// any number of registries.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (in-flight requests,
+/// pending merge depth). Integer-valued; cloning shares the atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Bucket upper bounds, strictly increasing and finite; the implied
+    /// `+Inf` bucket is `count` itself.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (non-cumulative; rendering
+    /// accumulates them into Prometheus' cumulative `le` form).
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits (CAS loop —
+    /// observations are rare enough that contention is irrelevant).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Cloning shares the underlying buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram over `bounds` (upper bucket
+    /// bounds in increasing order; an `+Inf` bucket is implicit).
+    /// Non-finite or unsorted bounds are filtered/sorted defensively.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let buckets = bounds.iter().map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds,
+                buckets,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let c = &self.core;
+        if let Some(i) = c.bounds.iter().position(|&b| v <= b) {
+            c.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        c.count.fetch_add(1, Ordering::Relaxed);
+        let mut old = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match c
+                .sum_bits
+                .compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => old = actual,
+            }
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs, excluding the implied
+    /// `+Inf` bucket (whose cumulative count is [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        self.core
+            .bounds
+            .iter()
+            .zip(&self.core.buckets)
+            .map(|(&b, c)| {
+                acc += c.load(Ordering::Relaxed);
+                (b, acc)
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(DURATION_BUCKETS)
+    }
+}
+
+/// What kind of instrument a metric family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing ([`Counter`]).
+    Counter,
+    /// Up-and-down value ([`Gauge`]).
+    Gauge,
+    /// Fixed-bucket distribution ([`Histogram`]).
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Series keyed by their canonical (sorted, rendered) label set.
+    series: BTreeMap<String, (Vec<(String, String)>, Instrument)>,
+}
+
+/// A point-in-time reading of one metric series, as returned by
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct SeriesReading {
+    /// Metric family name (e.g. `spnn_requests_total`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The value read.
+    pub value: Reading,
+}
+
+/// The value half of a [`SeriesReading`].
+#[derive(Debug, Clone)]
+pub enum Reading {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state: cumulative `(le, count)` buckets (excluding
+    /// `+Inf`), sum, and total count.
+    Histogram {
+        /// Cumulative buckets.
+        buckets: Vec<(f64, u64)>,
+        /// Sum of observations.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// The metric catalog: families of counters/gauges/histograms with help
+/// text, rendered with [`MetricsRegistry::render`]. Cloning is cheap and
+/// shares the catalog (handles registered through any clone appear in
+/// all).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+/// The process-wide registry — the default target of
+/// [`crate::runner::EngineConfig::metrics`] and the source of
+/// `spnn run --stats`.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter `name{labels}`, created (and registered) on first
+    /// use; later calls with the same name and labels return a handle to
+    /// the same atomic. A name previously registered as a different kind
+    /// yields a fresh **unregistered** handle instead of corrupting the
+    /// catalog (a programmer error worth surviving in production).
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, MetricKind::Counter, || {
+            Instrument::Counter(Counter::new())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => Counter::new(),
+        }
+    }
+
+    /// The gauge `name{labels}` (see [`MetricsRegistry::counter`] for
+    /// the get-or-create semantics).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, MetricKind::Gauge, || {
+            Instrument::Gauge(Gauge::new())
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => Gauge::new(),
+        }
+    }
+
+    /// The histogram `name{labels}` over `buckets` (see
+    /// [`MetricsRegistry::counter`] for the get-or-create semantics;
+    /// `buckets` only matters at creation).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> Histogram {
+        match self.instrument(name, help, labels, MetricKind::Histogram, || {
+            Instrument::Histogram(Histogram::new(buckets))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => Histogram::new(buckets),
+        }
+    }
+
+    /// Registers an **existing** counter handle as `name{labels}`,
+    /// replacing any series previously registered under the same name
+    /// and labels. This is how a library type that owns its counters
+    /// (e.g. [`crate::cache::ContextCache`]) appears in a server's
+    /// scrape without double-counting: the registry reads the same
+    /// atomic the owner increments.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) {
+        self.register(name, help, labels, MetricKind::Counter, || {
+            Instrument::Counter(counter.clone())
+        });
+    }
+
+    /// Registers an existing gauge handle (see
+    /// [`MetricsRegistry::register_counter`]).
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.register(name, help, labels, MetricKind::Gauge, || {
+            Instrument::Gauge(gauge.clone())
+        });
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            return make();
+        }
+        let owned = owned_labels(labels);
+        let key = label_key(&owned);
+        family
+            .series
+            .entry(key)
+            .or_insert_with(|| (owned, make()))
+            .1
+            .clone()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Instrument,
+    ) {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            return;
+        }
+        let owned = owned_labels(labels);
+        let key = label_key(&owned);
+        family.series.insert(key, (owned, make()));
+    }
+
+    /// A point-in-time reading of every registered series, families and
+    /// series in deterministic (sorted) order.
+    pub fn snapshot(&self) -> Vec<SeriesReading> {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, instrument) in family.series.values() {
+                let value = match instrument {
+                    Instrument::Counter(c) => Reading::Counter(c.get()),
+                    Instrument::Gauge(g) => Reading::Gauge(g.get()),
+                    Instrument::Histogram(h) => Reading::Histogram {
+                        buckets: h.cumulative_buckets(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                };
+                out.push(SeriesReading {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` comments, one sample line per series;
+    /// histograms expand into cumulative `_bucket{le=…}`, `_sum`, and
+    /// `_count` lines). Families and series appear in sorted order, so
+    /// the rendering is deterministic for a given state.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.exposition_name());
+            for (labels, instrument) in family.series.values() {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        for (bound, cum) in h.cumulative_buckets() {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                render_labels(labels, &[("le", &format_f64(bound))]),
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            render_labels(labels, &[("le", "+Inf")]),
+                            h.count()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, &[]),
+                            format_f64(h.sum())
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(labels, &[]),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut owned: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut key = String::new();
+    for (k, v) in labels {
+        let _ = write!(key, "{k}\u{1}{v}\u{2}");
+    }
+    key
+}
+
+/// Renders `{k="v",…}` with `extra` pairs appended (for the histogram
+/// `le` label); empty label sets render as nothing.
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    let mut push = |k: &str, v: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    };
+    for (k, v) in labels {
+        push(k, v, &mut out);
+    }
+    for (k, v) in extra {
+        push(k, v, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortest-round-trip decimal for a finite `f64` (Rust's `{}`), which
+/// is what the exposition format expects for `le` bounds and sums.
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("spnn_test_total", "help", &[("k", "v")]);
+        let b = r.counter("spnn_test_total", "help", &[("k", "v")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different labels are a different series.
+        let c = r.counter("spnn_test_total", "help", &[("k", "w")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn registered_external_counter_is_the_same_atomic() {
+        let r = MetricsRegistry::new();
+        let owned = Counter::new();
+        owned.add(5);
+        r.register_counter("spnn_owned_total", "help", &[], &owned);
+        owned.inc();
+        let rendered = r.render();
+        assert!(rendered.contains("spnn_owned_total 6"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+        assert_eq!(h.cumulative_buckets(), vec![(0.1, 1), (1.0, 3), (10.0, 4)]);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_shape() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "spnn_requests_total",
+            "Requests served.",
+            &[("route", "/run")],
+        )
+        .inc();
+        r.gauge("spnn_in_flight", "In-flight requests.", &[]).set(2);
+        r.histogram("spnn_latency_seconds", "Latency.", &[], &[0.5, 1.0])
+            .observe(0.7);
+        let text = r.render();
+        assert!(text.contains("# TYPE spnn_requests_total counter"));
+        assert!(text.contains("spnn_requests_total{route=\"/run\"} 1"));
+        assert!(text.contains("spnn_in_flight 2"));
+        assert!(text.contains("spnn_latency_seconds_bucket{le=\"0.5\"} 0"));
+        assert!(text.contains("spnn_latency_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("spnn_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("spnn_latency_seconds_sum 0.7"));
+        assert!(text.contains("spnn_latency_seconds_count 1"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty() && !value.is_empty(), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_survives_without_registering() {
+        let r = MetricsRegistry::new();
+        r.counter("spnn_conflict", "help", &[]).inc();
+        // Asking for the same name as a gauge yields a detached handle.
+        let g = r.gauge("spnn_conflict", "help", &[]);
+        g.set(7);
+        assert!(r.render().contains("spnn_conflict 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("spnn_esc_total", "h", &[("k", "a\"b\\c\nd")])
+            .inc();
+        let text = r.render();
+        assert!(text.contains("{k=\"a\\\"b\\\\c\\nd\"}"), "{text}");
+    }
+}

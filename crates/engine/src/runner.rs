@@ -26,9 +26,12 @@
 use crate::batched::TestBatch;
 use crate::cache::ContextCache;
 use crate::estimator::{StopRule, Welford};
+use crate::metrics::{self, MetricsRegistry};
 use crate::queue::{compile, WorkItem};
 use crate::shard::{plan_shard, queue_fingerprint, PartialPoint, PartialReport};
 use crate::spec::{topology_name, ScenarioSpec};
+use crate::tevent;
+use crate::trace::{Level, Span};
 use spnn_core::monte_carlo::iteration_rng;
 use spnn_core::network::SpnnError;
 use spnn_core::{HardwareEffects, McResult, PerturbationPlan, PhotonicNetwork};
@@ -38,7 +41,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Execution knobs that must not change results — only speed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads per sweep point (`None` = available parallelism).
     pub threads: Option<usize>,
@@ -48,6 +51,80 @@ pub struct EngineConfig {
     /// cache in memory only; results are bit-identical either way (see
     /// [`crate::cache`]).
     pub cache_dir: Option<PathBuf>,
+    /// Where instrumentation records (phase timers, point/iteration
+    /// counters). Defaults to the process-global registry
+    /// ([`crate::metrics::global`]); [`crate::serve::Server`] swaps in a
+    /// per-server registry so `GET /metrics` reflects that server alone.
+    /// Purely observational — results never depend on it.
+    pub metrics: MetricsRegistry,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: None,
+            verbose: false,
+            cache_dir: None,
+            metrics: metrics::global().clone(),
+        }
+    }
+}
+
+/// The per-phase wall-clock histogram (`spnn_phase_duration_seconds`)
+/// for `phase` in `registry`.
+pub(crate) fn phase_histogram(
+    registry: &MetricsRegistry,
+    phase: &str,
+) -> crate::metrics::Histogram {
+    registry.histogram(
+        "spnn_phase_duration_seconds",
+        "Wall-clock spent per engine phase (train, cache_load, mapping, rounds).",
+        &[("phase", phase)],
+        metrics::DURATION_BUCKETS,
+    )
+}
+
+/// Counter handles for the Monte-Carlo sweep, shared by the streaming
+/// driver and the shard executor.
+struct SweepCounters {
+    rounds_hist: crate::metrics::Histogram,
+    points: crate::metrics::Counter,
+    iterations: crate::metrics::Counter,
+    rounds: crate::metrics::Counter,
+    early_stops: crate::metrics::Counter,
+}
+
+impl SweepCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        SweepCounters {
+            rounds_hist: phase_histogram(registry, "rounds"),
+            points: registry.counter(
+                "spnn_points_total",
+                "Sweep points (or shard blocks) completed.",
+                &[],
+            ),
+            iterations: registry.counter(
+                "spnn_mc_iterations_total",
+                "Monte-Carlo iterations executed.",
+                &[],
+            ),
+            rounds: registry.counter("spnn_mc_rounds_total", "Monte-Carlo rounds executed.", &[]),
+            early_stops: registry.counter(
+                "spnn_early_stops_total",
+                "Sweep points stopped early by the adaptive rule.",
+                &[],
+            ),
+        }
+    }
+
+    fn record(&self, samples: usize, round_size: usize, stopped_early: bool) {
+        self.points.inc();
+        self.iterations.add(samples as u64);
+        self.rounds.add(samples.div_ceil(round_size.max(1)) as u64);
+        if stopped_early {
+            self.early_stops.inc();
+        }
+    }
 }
 
 /// The outcome of one sweep point.
@@ -342,7 +419,24 @@ pub(crate) fn prepare(
 ) -> Result<PreparedScenario, EngineError> {
     spec.validate().map_err(EngineError::Invalid)?;
 
+    // Time context acquisition and label the phase by what actually
+    // happened: a fresh training run or a cache load. The counters are
+    // per-cache, so the delta is exact for this call.
+    let trains_before = cache.stats().trains;
+    let ctx_timer = std::time::Instant::now();
     let ctx = cache.get_or_train(spec, config.verbose);
+    let ctx_elapsed = ctx_timer.elapsed();
+    let trained = cache.stats().trains > trains_before;
+    let phase = if trained { "train" } else { "cache_load" };
+    phase_histogram(&config.metrics, phase).observe_duration(ctx_elapsed);
+    tevent!(
+        Level::Debug,
+        "engine",
+        "context ready",
+        scenario = &spec.name,
+        phase = phase,
+        seconds = ctx_elapsed.as_secs_f64(),
+    );
     // Only the test split is generated here; the training split lives
     // behind the cache (its RNG stream is independent, so the test set is
     // identical either way).
@@ -375,6 +469,7 @@ pub(crate) fn prepare(
         .train
         .shuffle_singular_values
         .then_some(spec.seed ^ 0x33);
+    let mapping_span = Span::start("mapping", phase_histogram(&config.metrics, "mapping"));
     let mut topologies = Vec::with_capacity(spec.topologies.len());
     let mut points = Vec::new();
     for &topology in &spec.topologies {
@@ -396,6 +491,17 @@ pub(crate) fn prepare(
             });
         }
     }
+
+    let mapping_elapsed = mapping_span.finish();
+    tevent!(
+        Level::Debug,
+        "engine",
+        "prepared",
+        scenario = &spec.name,
+        topologies = topologies.len(),
+        points = points.len(),
+        mapping_seconds = mapping_elapsed.as_secs_f64(),
+    );
 
     Ok(PreparedScenario {
         name: spec.name.clone(),
@@ -541,8 +647,10 @@ pub fn run_scenario_streaming_with(
     for t in &prep.topologies {
         observe(StreamEvent::Topology(t));
     }
+    let counters = SweepCounters::new(&config.metrics);
     let mut rows = Vec::with_capacity(total);
     for (i, point) in prep.points.iter().enumerate() {
+        let point_span = Span::start("point", counters.rounds_hist.clone());
         let r = run_point(
             &point.hardware,
             &point.item.plan,
@@ -552,6 +660,18 @@ pub fn run_scenario_streaming_with(
             prep.round_size,
             point.item.seed,
             config.threads,
+        );
+        let point_elapsed = point_span.finish();
+        counters.record(r.samples.len(), prep.round_size, r.stopped_early);
+        tevent!(
+            Level::Trace,
+            "engine",
+            "point done",
+            scenario = &prep.name,
+            index = i,
+            iterations = r.samples.len(),
+            early_stop = r.stopped_early,
+            seconds = point_elapsed.as_secs_f64(),
         );
         if config.verbose {
             let label_str = point
@@ -636,6 +756,7 @@ pub fn run_scenario_shard_with(
         shard_index,
         config.threads,
         config.verbose,
+        &config.metrics,
     );
     persist_context(cache, &prep, config.verbose);
     Ok(partial)
@@ -646,6 +767,7 @@ pub fn run_scenario_shard_with(
 /// entry point ([`run_scenario_shard_with`]) and by
 /// [`crate::exec::LocalExecutor`], which prepares once and runs every
 /// slice on its own thread.
+#[allow(clippy::too_many_arguments)] // internal primitive shared by two drivers
 pub(crate) fn execute_shard_blocks(
     prep: &PreparedScenario,
     queue_fp: String,
@@ -653,14 +775,17 @@ pub(crate) fn execute_shard_blocks(
     shard_index: usize,
     threads: Option<usize>,
     verbose: bool,
+    registry: &MetricsRegistry,
 ) -> PartialReport {
     let rounds_per_point =
         vec![prep.stop.max_iterations.div_ceil(prep.round_size); prep.points.len()];
     let blocks = plan_shard(&rounds_per_point, shards, shard_index);
 
+    let counters = SweepCounters::new(registry);
     let mut points = Vec::with_capacity(blocks.len());
     for (i, block) in blocks.iter().enumerate() {
         let point = &prep.points[block.point];
+        let block_span = Span::start("shard_block", counters.rounds_hist.clone());
         let r = run_point_range(
             &point.hardware,
             &point.item.plan,
@@ -672,6 +797,18 @@ pub(crate) fn execute_shard_blocks(
             threads,
             block.first_round,
             block.rounds,
+        );
+        let block_elapsed = block_span.finish();
+        counters.record(r.samples.len(), prep.round_size, r.stopped_early);
+        tevent!(
+            Level::Trace,
+            "engine",
+            "shard block done",
+            scenario = &prep.name,
+            shard = shard_index,
+            point = block.point,
+            iterations = r.samples.len(),
+            seconds = block_elapsed.as_secs_f64(),
         );
         if verbose {
             eprintln!(

@@ -18,8 +18,22 @@
 //! | `POST /run` | body = scenario spec text; streams NDJSON events |
 //! | `POST /run?format=csv` | same, streaming CSV rows (curl-friendly) |
 //! | `POST /shard?shards=K&index=I` | worker endpoint: run one shard, return its [`crate::shard::PartialReport`] JSON |
-//! | `GET /healthz` | liveness + run/shard counters |
+//! | `GET /healthz` | liveness, uptime, version, role, run/shard counters |
 //! | `GET /cache/stats` | trained-context cache counters and location |
+//! | `GET /metrics` | this server's registry in Prometheus text format |
+//!
+//! # Observability
+//!
+//! Every server owns a **private** [`crate::metrics::MetricsRegistry`]
+//! (created at bind time, exposed via [`Server::metrics`]), so embedded
+//! and test servers never share counters. `GET /metrics` renders it:
+//! request counts/latency/in-flight, run and shard outcomes, the cache's
+//! counters (the same atomics `/cache/stats` reads — see
+//! [`ContextCache::register_metrics`]), engine phase timers, and — in
+//! coordinator mode — per-worker dispatch latency and merge progress.
+//! Each request additionally emits one structured access-log line on
+//! stderr (see [`crate::trace`]; `--log-json` switches it to JSON).
+//! The full catalog lives in `docs/observability.md`.
 //!
 //! Invalid specs are rejected *before* any work starts with `400` and a
 //! JSON body carrying the parser's line-numbered message.
@@ -79,19 +93,21 @@ use crate::cache::ContextCache;
 use crate::exec::{run_distributed, CancelToken, ExecContext, RemoteExecutor};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
+use crate::metrics::{self, Counter, Gauge, MetricsRegistry};
 use crate::report::{csv_header, csv_row, label_keys};
 use crate::runner::{
     run_scenario_shard_with, run_scenario_streaming_with, EngineConfig, EngineReport, StreamEvent,
     SweepRow, TopologySummary,
 };
 use crate::spec::ScenarioSpec;
+use crate::tevent;
+use crate::trace::Level;
 use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the service runs. Like [`EngineConfig`], nothing here may change
 /// results — only capacity, placement, and logging.
@@ -125,11 +141,11 @@ impl Default for ServeConfig {
 /// Run counters, served by `GET /healthz`.
 #[derive(Debug, Clone, Copy, Default)]
 struct Counters {
-    started: usize,
-    completed: usize,
-    failed: usize,
-    shards_completed: usize,
-    shards_failed: usize,
+    started: u64,
+    completed: u64,
+    failed: u64,
+    shards_completed: u64,
+    shards_failed: u64,
 }
 
 struct ServerState {
@@ -138,21 +154,36 @@ struct ServerState {
     workers: usize,
     remote_workers: Vec<String>,
     cancel: CancelToken,
-    started: AtomicUsize,
-    completed: AtomicUsize,
-    failed: AtomicUsize,
-    shards_completed: AtomicUsize,
-    shards_failed: AtomicUsize,
+    /// This server's private registry — `GET /metrics` renders it and
+    /// every handle below is registered in it.
+    metrics: MetricsRegistry,
+    started_at: Instant,
+    started: Counter,
+    completed: Counter,
+    failed: Counter,
+    shards_completed: Counter,
+    shards_failed: Counter,
+    in_flight: Gauge,
 }
 
 impl ServerState {
     fn counters(&self) -> Counters {
         Counters {
-            started: self.started.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            shards_completed: self.shards_completed.load(Ordering::Relaxed),
-            shards_failed: self.shards_failed.load(Ordering::Relaxed),
+            started: self.started.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            shards_completed: self.shards_completed.get(),
+            shards_failed: self.shards_failed.get(),
+        }
+    }
+
+    /// `worker` when serving sweeps in-process, `coordinator` when
+    /// dispatching to remote workers.
+    fn role(&self) -> &'static str {
+        if self.remote_workers.is_empty() {
+            "worker"
+        } else {
+            "coordinator"
         }
     }
 }
@@ -189,6 +220,13 @@ impl Server {
         let workers = config.workers.max(1);
         let mut engine = config.engine;
         let cache = ContextCache::new(engine.cache_dir.take());
+        // A private registry per server: embedded and test servers must
+        // not share counters. Routing the engine config's handle at it
+        // makes every layer below (runner, executor, merge) record here.
+        let registry = MetricsRegistry::new();
+        engine.metrics = registry.clone();
+        cache.register_metrics(&registry);
+        let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -201,13 +239,32 @@ impl Server {
                     .map(|w| w.trim_end_matches('/').to_string())
                     .collect(),
                 cancel: CancelToken::new(),
-                started: AtomicUsize::new(0),
-                completed: AtomicUsize::new(0),
-                failed: AtomicUsize::new(0),
-                shards_completed: AtomicUsize::new(0),
-                shards_failed: AtomicUsize::new(0),
+                started_at: Instant::now(),
+                started: counter("spnn_runs_started_total", "Scenario runs accepted."),
+                completed: counter("spnn_runs_completed_total", "Scenario runs completed."),
+                failed: counter("spnn_runs_failed_total", "Scenario runs failed."),
+                shards_completed: counter(
+                    "spnn_shards_completed_total",
+                    "Shard requests completed (worker role).",
+                ),
+                shards_failed: counter(
+                    "spnn_shards_failed_total",
+                    "Shard requests failed (worker role).",
+                ),
+                in_flight: registry.gauge(
+                    "spnn_requests_in_flight",
+                    "Requests currently being handled.",
+                    &[],
+                ),
+                metrics: registry,
             }),
         })
+    }
+
+    /// This server's private metrics registry — the one `GET /metrics`
+    /// renders. Useful for embedders that want to scrape without HTTP.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.state.metrics
     }
 
     /// The server's cancellation token: cancelling it makes
@@ -328,6 +385,91 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// dead one pin a worker forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// A write-through wrapper counting bytes actually written — feeds the
+/// access log's `bytes` field without touching response rendering.
+struct CountingWriter<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Collapses arbitrary request paths/methods into a bounded label set so
+/// a scanner cannot inflate `/metrics` cardinality.
+fn route_label(route: &str) -> &'static str {
+    match route {
+        "/run" => "/run",
+        "/shard" => "/shard",
+        "/healthz" => "/healthz",
+        "/cache/stats" => "/cache/stats",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "HEAD" => "HEAD",
+        _ => "other",
+    }
+}
+
+/// Records one finished request: counters, latency histogram, and the
+/// structured access-log line.
+fn record_request(
+    state: &ServerState,
+    method: &str,
+    route: &str,
+    status: u16,
+    elapsed: Duration,
+    bytes: u64,
+) {
+    let (method_l, route_l) = (method_label(method), route_label(route));
+    state
+        .metrics
+        .counter(
+            "spnn_requests_total",
+            "HTTP requests served, by method, route, and status.",
+            &[
+                ("method", method_l),
+                ("route", route_l),
+                ("status", &status.to_string()),
+            ],
+        )
+        .inc();
+    state
+        .metrics
+        .histogram(
+            "spnn_request_duration_seconds",
+            "Request handling latency, per route.",
+            &[("route", route_l)],
+            metrics::DURATION_BUCKETS,
+        )
+        .observe_duration(elapsed);
+    tevent!(
+        Level::Info,
+        "serve",
+        "request",
+        method = method,
+        route = route,
+        status = status,
+        seconds = elapsed.as_secs_f64(),
+        bytes = bytes,
+    );
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -336,12 +478,14 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         Ok(r) => BufReader::new(r),
         Err(_) => return,
     };
+    let started = Instant::now();
     let request = match read_request(&mut reader) {
         Ok(r) => r,
         Err(HttpError::Io(_)) => return, // client went away mid-request
         Err(e) => {
             let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e.to_string()));
             let _ = Response::json(e.status(), body).write_to(&mut writer);
+            record_request(state, "", "", e.status(), started.elapsed(), 0);
             // The client may still be sending the body this request was
             // rejected over (413/411); closing with unread data pending
             // makes the kernel send RST and the client sees "connection
@@ -362,18 +506,24 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             return;
         }
     };
-    if state.engine.verbose {
-        eprintln!("[serve] {} {}", request.method, request.route());
-    }
-    match (request.method.as_str(), request.route()) {
+    state.in_flight.inc();
+    let mut writer = CountingWriter {
+        inner: writer,
+        bytes: 0,
+    };
+    let status = match (request.method.as_str(), request.route()) {
         ("POST", "/run") => handle_run(&request, &mut writer, state),
         ("POST", "/shard") => handle_shard(&request, &mut writer, state),
         ("GET", "/healthz") => {
             let c = state.counters();
             let body = format!(
-                "{{\"status\": \"ok\", \"workers\": {}, \"remote_workers\": {}, \
+                "{{\"status\": \"ok\", \"version\": \"{}\", \"role\": \"{}\", \
+                 \"uptime_seconds\": {}, \"workers\": {}, \"remote_workers\": {}, \
                  \"runs_started\": {}, \"runs_completed\": {}, \"runs_failed\": {}, \
                  \"shards_completed\": {}, \"shards_failed\": {}}}\n",
+                env!("CARGO_PKG_VERSION"),
+                state.role(),
+                state.started_at.elapsed().as_secs(),
                 state.workers,
                 state.remote_workers.len(),
                 c.started,
@@ -383,6 +533,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 c.shards_failed
             );
             let _ = Response::json(200, body).write_to(&mut writer);
+            200
         }
         ("GET", "/cache/stats") => {
             let stats = state.cache.stats();
@@ -391,14 +542,27 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 None => "null".to_string(),
             };
             let body = format!(
-                "{{\"dir\": {dir}, \"mem_hits\": {}, \"disk_hits\": {}, \"trains\": {}}}\n",
-                stats.mem_hits, stats.disk_hits, stats.trains
+                "{{\"dir\": {dir}, \"mem_hits\": {}, \"disk_hits\": {}, \"trains\": {}, \
+                 \"corrupt_healed\": {}, \"flock_waits\": {}}}\n",
+                stats.mem_hits,
+                stats.disk_hits,
+                stats.trains,
+                stats.corrupt_healed,
+                stats.flock_waits
             );
             let _ = Response::json(200, body).write_to(&mut writer);
+            200
         }
-        (_, "/run" | "/shard" | "/healthz" | "/cache/stats") => {
+        ("GET", "/metrics") => {
+            let body = state.metrics.render();
+            let _ = Response::text(200, "text/plain; version=0.0.4; charset=utf-8", body)
+                .write_to(&mut writer);
+            200
+        }
+        (_, "/run" | "/shard" | "/healthz" | "/cache/stats" | "/metrics") => {
             let _ =
                 Response::json(405, "{\"error\": \"method not allowed\"}\n").write_to(&mut writer);
+            405
         }
         (_, route) => {
             let body = format!(
@@ -406,13 +570,23 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 json::escape(route)
             );
             let _ = Response::json(404, body).write_to(&mut writer);
+            404
         }
-    }
+    };
+    state.in_flight.dec();
+    record_request(
+        state,
+        &request.method,
+        request.route(),
+        status,
+        started.elapsed(),
+        writer.bytes,
+    );
 }
 
 /// Parses and validates the request body as a scenario spec, answering
 /// `400` (with the parser's line number when available) on failure.
-fn parse_spec_or_reject(request: &Request, writer: &mut TcpStream) -> Option<ScenarioSpec> {
+fn parse_spec_or_reject(request: &Request, writer: &mut impl Write) -> Option<ScenarioSpec> {
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => {
@@ -456,7 +630,7 @@ enum StreamFormat {
     Csv,
 }
 
-fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -> u16 {
     let format = match request.query_param("format") {
         None | Some("ndjson") => StreamFormat::Ndjson,
         Some("csv") => StreamFormat::Csv,
@@ -466,21 +640,21 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
                 json::escape(other)
             );
             let _ = Response::json(400, body).write_to(writer);
-            return;
+            return 400;
         }
     };
     let Some(spec) = parse_spec_or_reject(request, writer) else {
-        return;
+        return 400;
     };
 
-    state.started.fetch_add(1, Ordering::Relaxed);
+    state.started.inc();
     let content_type = match format {
         StreamFormat::Ndjson => "application/x-ndjson",
         StreamFormat::Csv => "text/csv",
     };
     if Response::write_streaming_head(writer, 200, content_type).is_err() {
-        state.failed.fetch_add(1, Ordering::Relaxed);
-        return;
+        state.failed.inc();
+        return 200;
     }
     // A client that disconnects mid-stream must not kill the run: the
     // sweep completes (warming the shared cache for the retry) and
@@ -548,7 +722,7 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
                     }
                 }
             }
-            state.completed.fetch_add(1, Ordering::Relaxed);
+            state.completed.inc();
         }
         Err(message) => {
             match format {
@@ -560,16 +734,17 @@ fn handle_run(request: &Request, writer: &mut TcpStream, state: &ServerState) {
                 // mid-stream failure can do.
                 StreamFormat::Csv => emit(format!("# error: {message}\n")),
             }
-            state.failed.fetch_add(1, Ordering::Relaxed);
+            state.failed.inc();
         }
     }
+    200
 }
 
 /// `POST /shard?shards=K&index=I` — the worker half of distributed
 /// serving: runs exactly one deterministic slice of the spec's queue and
 /// returns the [`PartialReport`] JSON (`spnn merge`-compatible, the same
 /// bytes `spnn run --shards K --shard-index I` writes).
-fn handle_shard(request: &Request, writer: &mut TcpStream, state: &ServerState) {
+fn handle_shard(request: &Request, writer: &mut impl Write, state: &ServerState) -> u16 {
     let param = |key: &str| -> Result<usize, String> {
         request
             .query_param(key)
@@ -583,26 +758,28 @@ fn handle_shard(request: &Request, writer: &mut TcpStream, state: &ServerState) 
             let body =
                 format!("{{\"error\": \"shard index {i} out of range for {s} shard(s)\"}}\n");
             let _ = Response::json(400, body).write_to(writer);
-            return;
+            return 400;
         }
         (Err(e), _) | (_, Err(e)) => {
             let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e));
             let _ = Response::json(400, body).write_to(writer);
-            return;
+            return 400;
         }
     };
     let Some(spec) = parse_spec_or_reject(request, writer) else {
-        return;
+        return 400;
     };
     match run_scenario_shard_with(&spec, &state.engine, &state.cache, shards, index) {
         Ok(partial) => {
-            state.shards_completed.fetch_add(1, Ordering::Relaxed);
+            state.shards_completed.inc();
             let _ = Response::json(200, partial.to_json()).write_to(writer);
+            200
         }
         Err(e) => {
-            state.shards_failed.fetch_add(1, Ordering::Relaxed);
+            state.shards_failed.inc();
             let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e.to_string()));
             let _ = Response::json(500, body).write_to(writer);
+            500
         }
     }
 }

@@ -49,6 +49,7 @@
 use crate::estimator::{StopRule, Welford};
 use crate::fnv::{fnv1a64, FNV_BASIS};
 use crate::json::{self, Json};
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
 use crate::runner::{EngineReport, SweepRow, TopologySummary};
 use crate::spec::ScenarioSpec;
 use spnn_core::McResult;
@@ -681,12 +682,43 @@ pub struct MergeState {
     emitted: usize,
     /// Partials fed so far (for error ordinals).
     seen: usize,
+    /// Observability handles (detached no-ops for [`MergeState::new`];
+    /// registered by [`MergeState::with_metrics`]). Purely observational.
+    partials_metric: Counter,
+    rows_metric: Counter,
+    pending_metric: Gauge,
 }
 
 impl MergeState {
     /// An empty merge; identical to `MergeState::default()`.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty merge whose progress is visible in `registry`:
+    /// `spnn_merge_partials_total` (partials fed),
+    /// `spnn_merge_rows_finalized_total` (rows emitted in prefix order),
+    /// and the `spnn_merge_pending_points` gauge (rows finalized but
+    /// held back by a coverage gap earlier in the queue).
+    pub fn with_metrics(registry: &MetricsRegistry) -> Self {
+        MergeState {
+            partials_metric: registry.counter(
+                "spnn_merge_partials_total",
+                "Shard partials fed into the incremental merge.",
+                &[],
+            ),
+            rows_metric: registry.counter(
+                "spnn_merge_rows_finalized_total",
+                "Rows emitted by the incremental merge, in prefix order.",
+                &[],
+            ),
+            pending_metric: registry.gauge(
+                "spnn_merge_pending_points",
+                "Rows finalized but held back by a coverage gap.",
+                &[],
+            ),
+            ..Self::default()
+        }
     }
 
     /// The scenario metadata adopted from the first pushed partial, if any.
@@ -787,6 +819,11 @@ impl MergeState {
             out.push((self.emitted, row.clone()));
             self.emitted += 1;
         }
+        self.partials_metric.inc();
+        self.rows_metric.add(out.len() as u64);
+        // Finalized rows not yet emitted are blocked behind a gap.
+        self.pending_metric
+            .set((self.done.len() - self.emitted) as i64);
         Ok(out)
     }
 

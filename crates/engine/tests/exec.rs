@@ -34,6 +34,7 @@ fn distribute(spec: &ScenarioSpec, executor: &dyn Executor, shards: usize) -> En
         threads: Some(2),
         verbose: false,
         cache_dir: None,
+        ..EngineConfig::default()
     };
     let cache = ContextCache::in_memory();
     let cancel = CancelToken::new();
@@ -103,6 +104,7 @@ fn start_worker() -> SocketAddr {
                 threads: Some(2),
                 verbose: false,
                 cache_dir: None,
+                ..EngineConfig::default()
             },
             remote_workers: Vec::new(),
         },

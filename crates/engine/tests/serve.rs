@@ -52,6 +52,7 @@ fn start_server_with(workers: usize, remote_workers: Vec<String>) -> SocketAddr 
                 threads: Some(2),
                 verbose: false,
                 cache_dir: None,
+                ..EngineConfig::default()
             },
             remote_workers,
         },
@@ -367,6 +368,249 @@ fn coordinator_streams_byte_identical_reports_despite_a_dead_worker() {
     assert_eq!(stream, to_csv(&reference));
 }
 
+// ---------------------------------------------------------------------------
+// GET /metrics: Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// One metric sample: family name, raw label pairs, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A parsed `/metrics` body: every sample plus the `# TYPE` declarations.
+struct Exposition {
+    samples: Vec<Sample>,
+    types: std::collections::BTreeMap<String, String>,
+}
+
+impl Exposition {
+    /// Sum of all samples of `name` across label sets.
+    fn total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+/// Parses a Prometheus text-exposition body, panicking on any line that
+/// violates the exposition grammar — the line-level checker the CI
+/// scrape step mirrors with grep.
+fn parse_exposition(body: &str) -> Exposition {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut samples = Vec::new();
+    let mut types = std::collections::BTreeMap::new();
+    for line in body.lines() {
+        assert!(!line.is_empty(), "exposition must not contain blank lines");
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.splitn(3, ' ');
+            let keyword = words.next().unwrap_or_default();
+            let name = words.next().unwrap_or_default();
+            let rest = words.next().unwrap_or_default();
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword in {line:?}"
+            );
+            assert!(valid_name(name), "bad metric name in {line:?}");
+            if keyword == "TYPE" {
+                assert!(
+                    matches!(rest, "counter" | "gauge" | "histogram"),
+                    "bad TYPE in {line:?}"
+                );
+                types.insert(name.to_string(), rest.to_string());
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no value in {line:?}"));
+        let (name, labels) = match series.split_once('{') {
+            None => (series, Vec::new()),
+            Some((n, rest)) => {
+                let inner = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated labels in {line:?}"));
+                let pairs = inner
+                    .split(',')
+                    .map(|kv| {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                        assert!(valid_name(k), "bad label name in {line:?}");
+                        assert!(
+                            v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+                            "unquoted label value in {line:?}"
+                        );
+                        (k.to_string(), v[1..v.len() - 1].to_string())
+                    })
+                    .collect();
+                (n, pairs)
+            }
+        };
+        assert!(valid_name(name), "bad series name in {line:?}");
+        let value = if value == "+Inf" {
+            f64::INFINITY
+        } else {
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad sample value in {line:?}"))
+        };
+        samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Exposition { samples, types }
+}
+
+/// Scrapes and parses `GET /metrics`.
+fn scrape(addr: SocketAddr) -> Exposition {
+    let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    parse_exposition(&body)
+}
+
+/// Satellite acceptance: after one `/run`, the worker's `/metrics` body
+/// is grammatically valid exposition text, the request/cache/engine
+/// counters are non-zero, and every histogram is internally consistent
+/// (cumulative buckets are monotone and the `+Inf` bucket equals
+/// `_count`).
+#[test]
+fn metrics_exposition_is_well_formed_after_a_run() {
+    let addr = start_server(2);
+    let (status, _) = post_run(addr, &tiny_fig4().to_text());
+    assert_eq!(status, 200);
+    let exp = scrape(addr);
+
+    for name in [
+        "spnn_requests_total",
+        "spnn_runs_completed_total",
+        "spnn_cache_trains_total",
+        "spnn_points_total",
+        "spnn_mc_iterations_total",
+    ] {
+        assert!(
+            exp.total(name) > 0.0,
+            "{name} must be non-zero after one /run"
+        );
+        assert_eq!(
+            exp.types.get(name).map(String::as_str),
+            Some("counter"),
+            "{name} must be declared a counter"
+        );
+    }
+
+    // Histogram invariants, for every histogram family present.
+    let mut histograms = 0usize;
+    for s in &exp.samples {
+        let Some(base) = s.name.strip_suffix("_count") else {
+            continue;
+        };
+        if exp.types.get(base).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        histograms += 1;
+        let buckets: Vec<&Sample> = exp
+            .samples
+            .iter()
+            .filter(|b| {
+                b.name == format!("{base}_bucket")
+                    && b.labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .eq(s.labels.iter())
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "{base}: histogram without buckets");
+        // Buckets render in ascending `le` order; counts are cumulative.
+        let mut prev = 0.0f64;
+        for b in &buckets {
+            assert!(
+                b.value >= prev,
+                "{base}: cumulative bucket counts must be monotone"
+            );
+            prev = b.value;
+        }
+        let inf = buckets.last().expect("at least the +Inf bucket");
+        assert_eq!(
+            inf.labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str()),
+            Some("+Inf"),
+            "{base}: last bucket must be +Inf"
+        );
+        assert_eq!(inf.value, s.value, "{base}: +Inf bucket must equal _count");
+        let sum = exp
+            .samples
+            .iter()
+            .find(|b| b.name == format!("{base}_sum") && b.labels == s.labels)
+            .unwrap_or_else(|| panic!("{base}: missing _sum"));
+        assert!(
+            sum.value >= 0.0 && sum.value.is_finite(),
+            "{base}: _sum must be a finite non-negative duration"
+        );
+    }
+    assert!(
+        histograms >= 2,
+        "expected request and phase histograms, saw {histograms}"
+    );
+}
+
+/// Satellite acceptance: counters only move up — a second `/run` bumps
+/// the run counter from 1 to 2 and leaves every counter sample at or
+/// above its previous reading.
+#[test]
+fn metrics_counters_are_monotonic_across_runs() {
+    let addr = start_server(2);
+    let text = tiny_fig4().to_text();
+    let before = scrape(addr);
+    assert_eq!(before.total("spnn_runs_completed_total"), 0.0);
+
+    let (status, _) = post_run(addr, &text);
+    assert_eq!(status, 200);
+    let mid = scrape(addr);
+    assert_eq!(mid.total("spnn_runs_completed_total"), 1.0);
+
+    let (status, _) = post_run(addr, &text);
+    assert_eq!(status, 200);
+    let after = scrape(addr);
+    assert_eq!(after.total("spnn_runs_completed_total"), 2.0);
+
+    // The warm second run hits the cache instead of training again.
+    assert_eq!(after.total("spnn_cache_trains_total"), 1.0);
+    assert!(after.total("spnn_cache_hits_total") >= 1.0);
+
+    for s in &mid.samples {
+        if mid.types.get(&s.name).map(String::as_str) != Some("counter") {
+            continue;
+        }
+        let later = after
+            .samples
+            .iter()
+            .find(|a| a.name == s.name && a.labels == s.labels)
+            .unwrap_or_else(|| panic!("{}: counter series vanished", s.name));
+        assert!(
+            later.value >= s.value,
+            "{}: counter went backwards ({} -> {})",
+            s.name,
+            s.value,
+            later.value
+        );
+    }
+}
+
 /// Unknown routes 404, wrong methods 405, and the health endpoint stays
 /// truthful about failures.
 #[test]
@@ -423,6 +667,80 @@ fn assert_ok(out: &std::process::Output, what: &str) {
         out.status.success(),
         "{what} failed: {}",
         String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// `/healthz` self-identifies: role, crate version, and an uptime the
+/// scraper can alert on.
+#[test]
+fn healthz_reports_role_version_and_uptime() {
+    let worker = start_server(1);
+    let (status, health) = http(worker, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"role\": \"worker\""), "{health}");
+    assert!(health.contains("\"uptime_seconds\": "), "{health}");
+    assert!(
+        health.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{health}"
+    );
+
+    let coordinator = start_server_with(1, vec![format!("http://{worker}")]);
+    let (_, health) = http(coordinator, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.contains("\"role\": \"coordinator\""), "{health}");
+}
+
+/// Tentpole acceptance: instrumentation reads clocks but never feeds the
+/// computation — the report bytes are identical with the structured log
+/// cranked to `trace` (and `--stats` on) versus fully quiet, across a
+/// cold and a warm cache.
+#[test]
+fn trace_logging_never_changes_report_bytes() {
+    let scratch = Scratch::new("trace-determinism");
+    let spec_path = scratch.path("tiny.scn");
+    std::fs::write(&spec_path, tiny_fig4().to_text()).expect("write spec");
+    let cache = scratch.path("cache");
+
+    let run = |env: &[(&str, &str)], extra_args: &[&str]| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_spnn"));
+        cmd.args([
+            "run",
+            spec_path.to_str().unwrap(),
+            "--quiet",
+            "--format",
+            "json",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ])
+        .args(extra_args)
+        .env_remove("SPNN_THREADS")
+        .env_remove("SPNN_LOG")
+        .env_remove("SPNN_LOG_FORMAT");
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let out = cmd.output().expect("run spnn");
+        assert!(
+            out.status.success(),
+            "spnn run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    let baseline = run(&[], &[]);
+    let traced = run(&[("SPNN_LOG", "trace")], &["--stats"]);
+    assert_eq!(
+        baseline.stdout, traced.stdout,
+        "SPNN_LOG=trace must not change report bytes"
+    );
+    let stderr = String::from_utf8_lossy(&traced.stderr);
+    assert!(
+        stderr.contains("phase breakdown (--stats):"),
+        "--stats must print the phase table: {stderr}"
+    );
+    assert!(
+        stderr.contains("spnn_cache_hits_total"),
+        "--stats must list the cache counters: {stderr}"
     );
 }
 
