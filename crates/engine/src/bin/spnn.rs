@@ -15,6 +15,8 @@
 //! spnn example [NAME]
 //! spnn cache ls | rm <KEY>... | rm --all | gc [--max-entries N]
 //!          [--max-bytes BYTES] | path
+//! spnn rowcache ls | rm <KEY>... | rm --all | gc [--max-entries N]
+//!          [--max-bytes BYTES] | path
 //! spnn help
 //! ```
 //!
@@ -36,12 +38,14 @@ use spnn_engine::exec::{
 };
 use spnn_engine::metrics::{self, Reading};
 use spnn_engine::prelude::*;
+use spnn_engine::rowcache::{self, RowCache};
 use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
 use spnn_engine::serve::{assemble_report, Server};
 use spnn_engine::trace;
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 spnn — batched, adaptive Monte-Carlo simulation engine for silicon-photonic
@@ -67,6 +71,10 @@ USAGE:
                              --max-entries N and/or --max-bytes BYTES
                              (suffixes K/M/G allowed)
     spnn cache path          print the resolved cache directory
+    spnn rowcache ls|rm|gc|path
+                             same verbs over the row-level result cache
+                             (finished sweep points, shared across runs
+                             and overlapping sweeps; docs/row-cache.md)
     spnn help                this text
 
 OPTIONS (run, merge):
@@ -83,6 +91,9 @@ OPTIONS (run, merge):
                              Monte-Carlo, shard dispatch) on stderr
     --no-cache               skip the on-disk trained-context cache
     --cache-dir DIR          cache location (default: `spnn cache path`)
+    --no-row-cache           skip the row-level result cache entirely
+    --row-cache-dir DIR      row-cache location (default:
+                             `spnn rowcache path`)
     --shards K               split the run into K deterministic shards and
                              execute only one of them (single SPEC only;
                              the output is a JSON partial report)
@@ -110,7 +121,8 @@ OPTIONS (serve):
                              shards complete
     --log-json               emit structured stderr logs as JSON objects
                              (one per line) instead of key=value text
-    --threads, --quiet, --no-cache, --cache-dir as for run
+    --threads, --quiet, --no-cache, --cache-dir, --no-row-cache,
+    --row-cache-dir as for run
 
 Sharding: `spnn run S --shards K --shard-index I` writes partial report I
 of a K-way split; run all K (any machines, any order), then
@@ -129,10 +141,13 @@ docs/serving.md and docs/observability.md.
 
 Cached contexts are reused bit-exactly: a warm-cache run produces the very
 same report as a cold one, it just skips training (and mesh synthesis).
+The row cache extends that to finished sweep points: a warm re-run (or an
+overlapping sweep) replays its cached rows byte-identically and computes
+only the delta — `spnn rowcache ls` inspects, `--no-row-cache` opts out.
 
 SCALE (env): SPNN_MC, SPNN_NTRAIN, SPNN_NTEST, SPNN_EPOCHS, SPNN_SEED,
 SPNN_TARGET_MOE (e.g. SPNN_TARGET_MOE=0.01 enables adaptive early stop),
-SPNN_THREADS, SPNN_CACHE_DIR.
+SPNN_THREADS, SPNN_CACHE_DIR, SPNN_ROW_CACHE_DIR.
 
 LOGGING (env): SPNN_LOG sets the structured-log level on stderr
 (error|warn|info|debug|trace|off; default info) and SPNN_LOG_FORMAT=json
@@ -249,9 +264,9 @@ fn positional_args(args: &[String]) -> Vec<&str> {
     let mut i = 1; // args[0] is the subcommand
     while i < args.len() {
         match args[i].as_str() {
-            "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--shards"
-            | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr" | "--workers"
-            | "--workers-from" | "--exec" => i += 2,
+            "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--row-cache-dir"
+            | "--shards" | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr"
+            | "--workers" | "--workers-from" | "--exec" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -297,6 +312,21 @@ fn resolve_cache_dir(args: &[String]) -> PathBuf {
         .unwrap_or_else(default_cache_dir)
 }
 
+/// The row-cache directory a command resolves to: `--row-cache-dir`, else
+/// the default chain (`SPNN_ROW_CACHE_DIR` → XDG → `~/.cache/spnn/rows`).
+fn resolve_row_cache_dir(args: &[String]) -> PathBuf {
+    option_value(args, "--row-cache-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(rowcache::default_row_cache_dir)
+}
+
+/// The row-level result cache for `run`/`serve`: on-disk at the resolved
+/// directory unless `--no-row-cache` opted out entirely.
+fn resolve_row_cache(args: &[String]) -> Option<Arc<RowCache>> {
+    (!has_flag(args, "--no-row-cache"))
+        .then(|| Arc::new(RowCache::on_disk(resolve_row_cache_dir(args))))
+}
+
 fn write_report(path: &Path, body: &str) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -323,16 +353,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let cache_dir = (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args));
+    let row_cache = resolve_row_cache(args);
     let config = EngineConfig {
         threads,
         verbose: !has_flag(args, "--quiet"),
         cache_dir: None, // the shared cache below carries the directory
         metrics: metrics::global().clone(),
+        row_cache: row_cache.clone(),
     };
     let cache = ContextCache::new(cache_dir);
     // One process, one run: the cache's counters belong in the global
     // registry so `--stats` shows hits/trains next to the phase table.
     cache.register_metrics(metrics::global());
+    if let Some(rc) = &row_cache {
+        rc.register_metrics(metrics::global());
+    }
     let show_stats = has_flag(args, "--stats");
 
     // Distributed / sharded execution. All the fan-out spellings drive
@@ -777,6 +812,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             // Server::bind replaces this with its own registry so every
             // instrument lands behind this server's GET /metrics.
             metrics: metrics::global().clone(),
+            row_cache: resolve_row_cache(args),
         },
         remote_workers: remote_workers.clone(),
     };
@@ -1068,6 +1104,140 @@ fn cmd_cache(args: &[String]) -> ExitCode {
     }
 }
 
+/// `spnn rowcache {ls,rm,gc,path}` — the row-level result store's
+/// counterpart of [`cmd_cache`], over `row-*.spnnrow` / `man-*.spnnrow`
+/// files (see `docs/row-cache.md`).
+fn cmd_rowcache(args: &[String]) -> ExitCode {
+    let dir = resolve_row_cache_dir(args);
+    match args.get(1).map(|s| s.as_str()) {
+        Some("path") => {
+            println!("{}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Some("ls") => {
+            let entries = match rowcache::list_entries(&dir) {
+                Ok(e) => e,
+                Err(e) => return fail(&format!("listing {}: {e}", dir.display())),
+            };
+            if entries.is_empty() {
+                eprintln!("[spnn] row cache at {} is empty", dir.display());
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "{:<14} {:<9} {:>9} {:<9} summary",
+                "key", "kind", "size", "status"
+            );
+            for e in &entries {
+                let key: String = e.key_hex.chars().take(12).collect();
+                println!(
+                    "{key:<14} {:<9} {:>9} {:<9} {}",
+                    e.kind,
+                    human_size(e.size_bytes),
+                    if e.ok { "ok" } else { "corrupt" },
+                    e.detail.as_deref().unwrap_or("(unreadable)"),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("rm") => {
+            let keys = positional_args(&args[1..]);
+            let all = has_flag(args, "--all");
+            if keys.is_empty() && !all {
+                return fail("rowcache rm needs entry key(s) or --all");
+            }
+            let mut files: Vec<(PathBuf, String)> = Vec::new();
+            match std::fs::read_dir(&dir) {
+                Ok(rd) => {
+                    for entry in rd.flatten() {
+                        let path = entry.path();
+                        if path.extension().and_then(|e| e.to_str()) != Some(rowcache::EXTENSION) {
+                            continue;
+                        }
+                        if let Some(stem) =
+                            path.file_stem().and_then(|s| s.to_str()).and_then(|s| {
+                                s.strip_prefix("row-")
+                                    .or_else(|| s.strip_prefix("man-"))
+                                    .map(str::to_string)
+                            })
+                        {
+                            files.push((path, stem));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return fail(&format!("listing {}: {e}", dir.display())),
+            }
+            files.sort();
+            for k in &keys {
+                if k.is_empty() || !files.iter().any(|(_, hex)| hex.starts_with(k)) {
+                    return fail(&format!("no row-cache entry matches key {k:?}"));
+                }
+            }
+            let mut removed = 0usize;
+            for (path, hex) in &files {
+                if all || keys.iter().any(|k| hex.starts_with(k)) {
+                    match std::fs::remove_file(path) {
+                        Ok(()) => {
+                            removed += 1;
+                            eprintln!("[spnn] removed {}", path.display());
+                        }
+                        Err(err) => return fail(&format!("removing {}: {err}", path.display())),
+                    }
+                }
+            }
+            eprintln!(
+                "[spnn] removed {removed} entr{}",
+                if removed == 1 { "y" } else { "ies" }
+            );
+            ExitCode::SUCCESS
+        }
+        Some("gc") => {
+            let max_entries = match option_value(args, "--max-entries") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return fail(&format!("invalid --max-entries {v:?}")),
+                },
+            };
+            let max_bytes = match option_value(args, "--max-bytes") {
+                None => None,
+                Some(v) => match parse_bytes(v) {
+                    Some(n) => Some(n),
+                    None => return fail(&format!("invalid --max-bytes {v:?} (e.g. 500000, 64M)")),
+                },
+            };
+            if max_entries.is_none() && max_bytes.is_none() {
+                return fail("rowcache gc needs --max-entries and/or --max-bytes");
+            }
+            match rowcache::gc(
+                &dir,
+                &GcLimits {
+                    max_entries,
+                    max_bytes,
+                },
+            ) {
+                Ok(out) => {
+                    eprintln!(
+                        "[spnn] rowcache gc at {}: kept {} entr{} ({}), removed {} ({} freed)",
+                        dir.display(),
+                        out.kept,
+                        if out.kept == 1 { "y" } else { "ies" },
+                        human_size(out.bytes_kept),
+                        out.removed,
+                        human_size(out.bytes_freed),
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("rowcache gc at {}: {e}", dir.display())),
+            }
+        }
+        Some(other) => fail(&format!(
+            "unknown rowcache command {other:?} (ls|rm|gc|path)"
+        )),
+        None => fail("rowcache needs a subcommand (ls|rm|gc|path)"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
@@ -1078,6 +1248,7 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args),
         Some("example") => cmd_example(&args),
         Some("cache") => cmd_cache(&args),
+        Some("rowcache") => cmd_rowcache(&args),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS

@@ -805,6 +805,17 @@ const TMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(15
 /// be read or removed — except files that vanish mid-scan (a concurrent
 /// remover or writer rename in a shared cache dir), which are skipped.
 pub fn gc(dir: &Path, limits: &GcLimits) -> std::io::Result<GcOutcome> {
+    gc_with_extension(dir, limits, EXTENSION)
+}
+
+/// [`gc`] generalized over the entry file extension, so every store that
+/// follows the tmp+rename discipline (the trained-context cache, the
+/// row-result cache in [`crate::rowcache`]) shares one eviction policy.
+pub(crate) fn gc_with_extension(
+    dir: &Path,
+    limits: &GcLimits,
+    extension: &str,
+) -> std::io::Result<GcOutcome> {
     let mut outcome = GcOutcome::default();
     let rd = match std::fs::read_dir(dir) {
         Ok(rd) => rd,
@@ -845,7 +856,7 @@ pub fn gc(dir: &Path, limits: &GcLimits) -> std::io::Result<GcOutcome> {
             }
             continue;
         }
-        if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+        if path.extension().and_then(|e| e.to_str()) != Some(extension) {
             continue;
         }
         files.push((mtime, path, meta.len()));
@@ -916,33 +927,33 @@ impl fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             buf: Vec::with_capacity(32 * 1024),
         }
     }
-    fn u8(&mut self, x: u8) {
+    pub(crate) fn u8(&mut self, x: u8) {
         self.buf.push(x);
     }
-    fn u32(&mut self, x: u32) {
+    pub(crate) fn u32(&mut self, x: u32) {
         self.buf.extend_from_slice(&x.to_le_bytes());
     }
-    fn u64(&mut self, x: u64) {
+    pub(crate) fn u64(&mut self, x: u64) {
         self.buf.extend_from_slice(&x.to_le_bytes());
     }
-    fn f64(&mut self, x: f64) {
+    pub(crate) fn f64(&mut self, x: f64) {
         self.u64(x.to_bits());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
-    fn f64s(&mut self, xs: &[f64]) {
+    pub(crate) fn f64s(&mut self, xs: &[f64]) {
         self.u32(xs.len() as u32);
         for &x in xs {
             self.f64(x);
@@ -950,16 +961,16 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
         if self.buf.len() - self.pos < n {
             return Err(LoadError::Malformed("truncated"));
         }
@@ -967,19 +978,19 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, LoadError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, LoadError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, LoadError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, LoadError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, LoadError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, LoadError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> Result<f64, LoadError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, LoadError> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn str(&mut self) -> Result<String, LoadError> {
+    pub(crate) fn str(&mut self) -> Result<String, LoadError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| LoadError::Malformed("non-UTF-8 string"))
@@ -987,7 +998,7 @@ impl<'a> Reader<'a> {
     /// A length-prefixed f64 list; the length is bounds-checked against the
     /// remaining bytes *before* allocation, so a corrupted length cannot
     /// trigger a huge allocation.
-    fn f64s(&mut self) -> Result<Vec<f64>, LoadError> {
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, LoadError> {
         let n = self.u32()? as usize;
         if self.buf.len() - self.pos < n * 8 {
             return Err(LoadError::Malformed("truncated f64 list"));

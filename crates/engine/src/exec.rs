@@ -44,8 +44,10 @@
 use crate::cache::ContextCache;
 use crate::http::{self, FetchResponse};
 use crate::metrics::{self, MetricsRegistry};
+use crate::rowcache::{RowContext, RowManifest};
 use crate::runner::{
-    execute_shard_blocks, prepare, EngineConfig, EngineError, EngineReport, StreamEvent,
+    execute_shard_blocks, prepare, replay_cached_scenario, EngineConfig, EngineError, EngineReport,
+    StreamEvent,
 };
 use crate::shard::{queue_fingerprint, MergeError, MergeState, PartialReport};
 use crate::spec::ScenarioSpec;
@@ -291,6 +293,11 @@ impl Executor for LocalExecutor {
         let threads = threads_per_shard(ctx.config, shards);
         let verbose = ctx.config.verbose;
         let cancelled = AtomicBool::new(false);
+        let rctx = ctx
+            .config
+            .row_cache
+            .as_ref()
+            .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
 
         let (tx, rx) = mpsc::channel::<PartialReport>();
         std::thread::scope(|scope| {
@@ -300,14 +307,23 @@ impl Executor for LocalExecutor {
                 let fp = fp.clone();
                 let cancelled = &cancelled;
                 let cancel = ctx.cancel;
+                let rctx = &rctx;
                 scope.spawn(move || {
                     if cancel.is_cancelled() {
                         cancelled.store(true, Ordering::Relaxed);
                         return;
                     }
                     let registry = &ctx.config.metrics;
-                    let partial =
-                        execute_shard_blocks(prep, fp, shards, index, threads, verbose, registry);
+                    let partial = execute_shard_blocks(
+                        prep,
+                        fp,
+                        shards,
+                        index,
+                        threads,
+                        verbose,
+                        registry,
+                        rctx.as_ref().map(|(rc, c)| (*rc, c)),
+                    );
                     let _ = tx.send(partial);
                 });
             }
@@ -407,6 +423,16 @@ impl Executor for SpawnExecutor {
                 }
                 None => {
                     cmd.arg("--no-cache");
+                }
+            }
+            // Children can only share an on-disk row cache; an in-memory
+            // tier (or none) in the parent means the children run cold.
+            match ctx.config.row_cache.as_ref().and_then(|rc| rc.dir()) {
+                Some(dir) => {
+                    cmd.arg("--row-cache-dir").arg(dir);
+                }
+                None => {
+                    cmd.arg("--no-row-cache");
                 }
             }
             match cmd.spawn() {
@@ -788,7 +814,17 @@ pub fn run_distributed(
             "shards must be positive".into(),
         ))));
     }
+    // A spec whose every row is resident in the row cache never fans out
+    // at all: the report replays coordinator-side, zero dispatches.
+    if let Some(rc) = &ctx.config.row_cache {
+        if let Some(report) = replay_cached_scenario(spec, rc, observe) {
+            return Ok(report);
+        }
+    }
     let mut merge = MergeState::with_metrics(&ctx.config.metrics);
+    if let Some(rc) = &ctx.config.row_cache {
+        merge.publish_rows_to(Arc::clone(rc), RowContext::of_spec(spec));
+    }
     let mut merge_err: Option<MergeError> = None;
     let mut started = false;
     let exec_result = executor.execute(spec, shards, ctx, &mut |partial| {
@@ -824,7 +860,23 @@ pub fn run_distributed(
         return Err(e.into());
     }
     exec_result?;
-    Ok(merge.finalize()?)
+    let report = merge.finalize()?;
+    if let Some(rc) = &ctx.config.row_cache {
+        let rctx = RowContext::of_spec(spec);
+        rc.put_manifest(
+            &queue_fingerprint(spec),
+            RowManifest {
+                scenario: report.scenario.clone(),
+                topologies: report.topologies.clone(),
+                row_keys: report
+                    .rows
+                    .iter()
+                    .map(|r| rctx.key(&r.topology, &r.labels).hex())
+                    .collect(),
+            },
+        );
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

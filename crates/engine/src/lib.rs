@@ -33,6 +33,14 @@
 //!   [`cache::Fingerprint`] (dataset, architecture, optimizer
 //!   hyper-parameters, seed) train **once**, in-memory within a run and
 //!   on disk across runs, with bit-identical results either way.
+//! - [`rowcache`] — the point-level result cache (the "scenario CDN"):
+//!   every sweep row is a pure function of the spec, so finished rows are
+//!   content-addressed by [`rowcache::RowKey`] and memoized in a
+//!   two-tier [`rowcache::RowCache`] (in-memory LRU + optional shared
+//!   disk dir with the same checksummed atomic-write discipline as
+//!   [`cache`]). The runner consults it before any Monte-Carlo work, the
+//!   coordinator before any dispatch; overlapping sweeps only compute
+//!   their delta and replayed reports stay byte-identical.
 //! - [`shard`] — distributed shard-and-merge execution: a deterministic
 //!   planner partitions the compiled queue's rounds across `k` processes
 //!   (`spnn run --shards k --shard-index i`, or `--shards k --spawn` for
@@ -118,6 +126,7 @@ pub mod metrics;
 pub mod presets;
 pub mod queue;
 pub mod report;
+pub mod rowcache;
 pub mod runner;
 pub mod serve;
 pub mod shard;
@@ -134,6 +143,7 @@ pub use exec::{
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
+pub use rowcache::{RowCache, RowContext, RowKey};
 pub use runner::{
     run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_streaming_with,
     run_scenario_with, run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult,
@@ -156,6 +166,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsRegistry;
     pub use crate::presets;
     pub use crate::report::{to_csv, to_json};
+    pub use crate::rowcache::{RowCache, RowContext};
     pub use crate::runner::{
         run_point, run_scenario, run_scenario_shard_with, run_scenario_streaming_with,
         run_scenario_with, run_scenarios, EngineConfig, EngineReport, StreamEvent, SweepRow,

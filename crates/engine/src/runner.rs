@@ -28,6 +28,7 @@ use crate::cache::ContextCache;
 use crate::estimator::{StopRule, Welford};
 use crate::metrics::{self, MetricsRegistry};
 use crate::queue::{compile, WorkItem};
+use crate::rowcache::{CachedPoint, RowCache, RowContext, RowManifest};
 use crate::shard::{plan_shard, queue_fingerprint, PartialPoint, PartialReport};
 use crate::spec::{topology_name, ScenarioSpec};
 use crate::tevent;
@@ -57,6 +58,13 @@ pub struct EngineConfig {
     /// per-server registry so `GET /metrics` reflects that server alone.
     /// Purely observational — results never depend on it.
     pub metrics: MetricsRegistry,
+    /// Row-level result cache ([`crate::rowcache`]). `None` (the default)
+    /// disables it: every point computes cold. When set, finished rows are
+    /// consulted before any Monte-Carlo work and published as they
+    /// finalize; reports are bit-identical either way (the cache stores
+    /// the retained sample stream, so replay reproduces every statistic
+    /// exactly — see `docs/row-cache.md`).
+    pub row_cache: Option<Arc<RowCache>>,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +74,7 @@ impl Default for EngineConfig {
             verbose: false,
             cache_dir: None,
             metrics: metrics::global().clone(),
+            row_cache: None,
         }
     }
 }
@@ -555,6 +564,63 @@ pub enum StreamEvent<'a> {
     },
 }
 
+/// Rebuilds a [`SweepRow`] from a cached point's retained sample stream —
+/// the same [`McResult::from_samples`] aggregation as the cold path, so
+/// every statistic is bit-identical to the run that published the point.
+pub(crate) fn row_from_cached(point: &CachedPoint) -> SweepRow {
+    let mc = McResult::from_samples(point.samples.clone());
+    SweepRow {
+        topology: point.topology.clone(),
+        labels: point.labels.clone(),
+        mean: mc.mean,
+        std_dev: mc.std_dev,
+        moe95: mc.margin_of_error_95(),
+        iterations: mc.samples.len(),
+        stopped_early: point.stopped_early,
+    }
+}
+
+/// Attempts to replay a whole scenario from the row cache alone: the
+/// spec's manifest names every row key in queue order, and if all of them
+/// are resident the report — and the full event stream — is rebuilt
+/// without training, mapping, or a single Monte-Carlo iteration.
+///
+/// Returns `None` (emitting no events) unless **every** row is available;
+/// a partial replay would reorder the stream relative to a cold run.
+pub(crate) fn replay_cached_scenario(
+    spec: &ScenarioSpec,
+    rc: &RowCache,
+    observe: &mut dyn FnMut(StreamEvent<'_>),
+) -> Option<EngineReport> {
+    let manifest = rc.get_manifest(&queue_fingerprint(spec))?;
+    let mut rows = Vec::with_capacity(manifest.row_keys.len());
+    for hex in &manifest.row_keys {
+        rows.push(row_from_cached(rc.get_by_hex(hex)?.as_ref()));
+    }
+    tevent!(
+        Level::Debug,
+        "rowcache",
+        "scenario replayed from row cache",
+        scenario = &manifest.scenario,
+        rows = rows.len(),
+    );
+    observe(StreamEvent::Started {
+        scenario: &manifest.scenario,
+        total_points: rows.len(),
+    });
+    for t in &manifest.topologies {
+        observe(StreamEvent::Topology(t));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        observe(StreamEvent::Row { index: i, row });
+    }
+    Some(EngineReport {
+        scenario: manifest.scenario.clone(),
+        topologies: manifest.topologies.clone(),
+        rows,
+    })
+}
+
 /// Runs a whole scenario: dataset generation, software training, photonic
 /// mapping per topology, queue compilation, and the Monte-Carlo sweep.
 ///
@@ -638,6 +704,11 @@ pub fn run_scenario_streaming_with(
     cache: &ContextCache,
     observe: &mut dyn FnMut(StreamEvent<'_>),
 ) -> Result<EngineReport, EngineError> {
+    if let Some(rc) = &config.row_cache {
+        if let Some(report) = replay_cached_scenario(spec, rc, observe) {
+            return Ok(report);
+        }
+    }
     let prep = prepare(spec, config, cache)?;
     let total = prep.points.len();
     observe(StreamEvent::Started {
@@ -647,9 +718,29 @@ pub fn run_scenario_streaming_with(
     for t in &prep.topologies {
         observe(StreamEvent::Topology(t));
     }
+    let rctx = config
+        .row_cache
+        .as_ref()
+        .map(|rc| (rc, RowContext::of_spec(spec)));
+    let mut row_keys = Vec::with_capacity(total);
     let counters = SweepCounters::new(&config.metrics);
     let mut rows = Vec::with_capacity(total);
     for (i, point) in prep.points.iter().enumerate() {
+        let key = rctx
+            .as_ref()
+            .map(|(_, ctx)| ctx.key(point.topology, &point.item.labels));
+        if let (Some((rc, _)), Some(key)) = (&rctx, &key) {
+            if let Some(cached) = rc.get(key) {
+                let row = row_from_cached(&cached);
+                observe(StreamEvent::Row {
+                    index: i,
+                    row: &row,
+                });
+                rows.push(row);
+                row_keys.push(key.hex());
+                continue;
+            }
+        }
         let point_span = Span::start("point", counters.rounds_hist.clone());
         let r = run_point(
             &point.hardware,
@@ -692,6 +783,18 @@ pub fn run_scenario_streaming_with(
                 if r.stopped_early { ", early stop" } else { "" },
             );
         }
+        if let (Some((rc, _)), Some(key)) = (&rctx, &key) {
+            rc.put(
+                key,
+                CachedPoint {
+                    topology: point.topology.to_string(),
+                    labels: owned_labels(&point.item),
+                    samples: r.samples.clone(),
+                    stopped_early: r.stopped_early,
+                },
+            );
+            row_keys.push(key.hex());
+        }
         let row = SweepRow {
             topology: point.topology.to_string(),
             labels: owned_labels(&point.item),
@@ -706,6 +809,17 @@ pub fn run_scenario_streaming_with(
             row: &row,
         });
         rows.push(row);
+    }
+
+    if let Some((rc, _)) = &rctx {
+        rc.put_manifest(
+            &queue_fingerprint(spec),
+            RowManifest {
+                scenario: prep.name.clone(),
+                topologies: prep.topologies.clone(),
+                row_keys,
+            },
+        );
     }
 
     persist_context(cache, &prep, config.verbose);
@@ -749,6 +863,10 @@ pub fn run_scenario_shard_with(
         )));
     }
     let prep = prepare(spec, config, cache)?;
+    let rctx = config
+        .row_cache
+        .as_ref()
+        .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
     let partial = execute_shard_blocks(
         &prep,
         queue_fingerprint(spec),
@@ -757,9 +875,48 @@ pub fn run_scenario_shard_with(
         config.threads,
         config.verbose,
         &config.metrics,
+        rctx.as_ref().map(|(rc, ctx)| (*rc, ctx)),
     );
     persist_context(cache, &prep, config.verbose);
     Ok(partial)
+}
+
+/// Attempts to serve block `[first_round, first_round + rounds)` of a
+/// point from a cached full-point sample stream.
+///
+/// A cached point that ran to the iteration cap serves **any** block as a
+/// slice of its stream. An early-stopped point retains only the samples
+/// up to the stopping boundary, so it can serve only prefix blocks
+/// (`first_round == 0`): a non-prefix block must speculate past samples
+/// the cache never kept, and computes cold instead.
+fn serve_block_from_cache(
+    cached: &CachedPoint,
+    cap: usize,
+    round_size: usize,
+    first_round: usize,
+    rounds: usize,
+) -> Option<RangeResult> {
+    let k_start = first_round * round_size;
+    let k_end = cap.min(k_start + rounds * round_size);
+    let retained = cached.samples.len();
+    if !cached.stopped_early {
+        // Full stream on hand (retained == cap): any slice is exact.
+        return Some(RangeResult {
+            samples: cached.samples[k_start..k_end].to_vec(),
+            stopped_early: false,
+        });
+    }
+    if first_round != 0 {
+        return None;
+    }
+    // Prefix block of an early-stopped point: the cold run would fold the
+    // same prefix and stop at the same boundary — either inside this
+    // block (serve the retained stream, report the stop) or past its end
+    // (serve the full block, no stop inside it).
+    Some(RangeResult {
+        samples: cached.samples[..retained.min(k_end)].to_vec(),
+        stopped_early: retained <= k_end,
+    })
 }
 
 /// Executes shard `shard_index` of a `shards`-way plan over an already
@@ -776,40 +933,90 @@ pub(crate) fn execute_shard_blocks(
     threads: Option<usize>,
     verbose: bool,
     registry: &MetricsRegistry,
+    row_ctx: Option<(&RowCache, &RowContext)>,
 ) -> PartialReport {
-    let rounds_per_point =
-        vec![prep.stop.max_iterations.div_ceil(prep.round_size); prep.points.len()];
+    let cap = prep.stop.max_iterations;
+    let rounds_per_point = vec![cap.div_ceil(prep.round_size); prep.points.len()];
     let blocks = plan_shard(&rounds_per_point, shards, shard_index);
 
     let counters = SweepCounters::new(registry);
     let mut points = Vec::with_capacity(blocks.len());
     for (i, block) in blocks.iter().enumerate() {
         let point = &prep.points[block.point];
-        let block_span = Span::start("shard_block", counters.rounds_hist.clone());
-        let r = run_point_range(
-            &point.hardware,
-            &point.item.plan,
-            &point.item.effects,
-            &prep.batch,
-            &prep.stop,
-            prep.round_size,
-            point.item.seed,
-            threads,
-            block.first_round,
-            block.rounds,
-        );
-        let block_elapsed = block_span.finish();
-        counters.record(r.samples.len(), prep.round_size, r.stopped_early);
-        tevent!(
-            Level::Trace,
-            "engine",
-            "shard block done",
-            scenario = &prep.name,
-            shard = shard_index,
-            point = block.point,
-            iterations = r.samples.len(),
-            seconds = block_elapsed.as_secs_f64(),
-        );
+        let key = row_ctx
+            .as_ref()
+            .map(|(_, ctx)| ctx.key(point.topology, &point.item.labels));
+        let served = match (&row_ctx, &key) {
+            (Some((rc, _)), Some(key)) => rc.get(key).and_then(|cached| {
+                serve_block_from_cache(
+                    &cached,
+                    cap,
+                    prep.round_size,
+                    block.first_round,
+                    block.rounds,
+                )
+            }),
+            _ => None,
+        };
+        let from_cache = served.is_some();
+        let r = match served {
+            Some(r) => {
+                tevent!(
+                    Level::Trace,
+                    "rowcache",
+                    "shard block served from row cache",
+                    scenario = &prep.name,
+                    shard = shard_index,
+                    point = block.point,
+                    iterations = r.samples.len(),
+                );
+                r
+            }
+            None => {
+                let block_span = Span::start("shard_block", counters.rounds_hist.clone());
+                let r = run_point_range(
+                    &point.hardware,
+                    &point.item.plan,
+                    &point.item.effects,
+                    &prep.batch,
+                    &prep.stop,
+                    prep.round_size,
+                    point.item.seed,
+                    threads,
+                    block.first_round,
+                    block.rounds,
+                );
+                let block_elapsed = block_span.finish();
+                counters.record(r.samples.len(), prep.round_size, r.stopped_early);
+                tevent!(
+                    Level::Trace,
+                    "engine",
+                    "shard block done",
+                    scenario = &prep.name,
+                    shard = shard_index,
+                    point = block.point,
+                    iterations = r.samples.len(),
+                    seconds = block_elapsed.as_secs_f64(),
+                );
+                r
+            }
+        };
+        // A cold prefix block that alone determined the whole point (it
+        // stopped early, or it ran every round to the cap) is a complete
+        // sample stream — publish it for the next overlapping sweep.
+        if !from_cache && block.first_round == 0 && (r.stopped_early || r.samples.len() == cap) {
+            if let (Some((rc, _)), Some(key)) = (&row_ctx, &key) {
+                rc.put(
+                    key,
+                    CachedPoint {
+                        topology: point.topology.to_string(),
+                        labels: owned_labels(&point.item),
+                        samples: r.samples.clone(),
+                        stopped_early: r.stopped_early,
+                    },
+                );
+            }
+        }
         if verbose {
             eprintln!(
                 "[engine] {} shard {shard_index}/{shards}: block {}/{} point {} rounds {}..{} → {} sample(s){}",

@@ -11,6 +11,15 @@
 //! training entirely, and concurrent identical requests train **once**
 //! (the cache serializes in-flight training per fingerprint).
 //!
+//! With a row cache configured ([`EngineConfig::row_cache`]; the CLI
+//! enables one by default — see `docs/row-cache.md`), finished sweep
+//! points are also memoized **across requests**, and identical in-flight
+//! `/run` bodies share one *execution*: the first request runs the
+//! scenario, every concurrent duplicate subscribes to the same stream
+//! and receives byte-identical output (counted by
+//! `spnn_rowcache_dedup_total`, with current fan-out in the
+//! `spnn_rowcache_dedup_subscribers` gauge).
+//!
 //! # Endpoints
 //!
 //! | method, path | behavior |
@@ -102,11 +111,12 @@ use crate::runner::{
 use crate::spec::ScenarioSpec;
 use crate::tevent;
 use crate::trace::Level;
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// How the service runs. Like [`EngineConfig`], nothing here may change
@@ -148,6 +158,90 @@ struct Counters {
     shards_failed: u64,
 }
 
+/// Identity of an in-flight `/run` execution: the exact request body plus
+/// the stream format. Requests with equal keys produce byte-identical
+/// streams, so they can share one execution.
+type RunKey = (Vec<u8>, u8);
+
+/// The shared stream buffer of one in-flight `/run` execution: the
+/// leader appends each emitted line, subscribers replay and then follow.
+struct RunBuffer {
+    /// Every line emitted so far, in stream order.
+    lines: Vec<String>,
+    /// `true` once the execution ended (successfully or not).
+    done: bool,
+    /// The execution outcome, meaningful once `done`.
+    ok: bool,
+}
+
+/// One in-flight `/run` execution being fanned out to every request with
+/// the same [`RunKey`]. The leader only ever appends and subscribers only
+/// ever read, so a slow or disconnected subscriber cannot affect the
+/// leader or its peers.
+struct InflightRun {
+    buffer: Mutex<RunBuffer>,
+    cv: Condvar,
+}
+
+impl InflightRun {
+    fn new() -> Self {
+        InflightRun {
+            buffer: Mutex::new(RunBuffer {
+                lines: Vec::new(),
+                done: false,
+                ok: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The buffer, poison-proof: a panicking leader must not wedge its
+    /// subscribers (the buffer is always structurally valid — appends
+    /// and flag flips cannot tear).
+    fn lock_buffer(&self) -> MutexGuard<'_, RunBuffer> {
+        self.buffer.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push_line(&self, line: &str) {
+        self.lock_buffer().lines.push(line.to_string());
+        self.cv.notify_all();
+    }
+
+    /// Marks the execution finished and releases every subscriber. The
+    /// first call wins; later calls (the leader's cleanup guard) are
+    /// no-ops.
+    fn finish(&self, ok: bool) {
+        let mut buf = self.lock_buffer();
+        if !buf.done {
+            buf.done = true;
+            buf.ok = ok;
+        }
+        drop(buf);
+        self.cv.notify_all();
+    }
+}
+
+/// Removes the leader's in-flight map entry when its request ends — and,
+/// should the leader die between registering and finishing, releases
+/// waiting subscribers with a failed outcome so none of them blocks
+/// forever.
+struct LeaderGuard<'a> {
+    state: &'a ServerState,
+    key: RunKey,
+    run: Arc<InflightRun>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        self.state
+            .inflight_runs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.key);
+        self.run.finish(false); // no-op after a clean finish
+    }
+}
+
 struct ServerState {
     engine: EngineConfig,
     cache: ContextCache,
@@ -164,6 +258,14 @@ struct ServerState {
     shards_completed: Counter,
     shards_failed: Counter,
     in_flight: Gauge,
+    /// In-flight `/run` executions, for cross-request dedup: the first
+    /// request with a given key leads, identical concurrent requests
+    /// subscribe to its stream.
+    inflight_runs: Mutex<HashMap<RunKey, Arc<InflightRun>>>,
+    /// Requests served by subscribing to another request's execution.
+    dedup_fanouts: Counter,
+    /// Requests currently subscribed to another request's stream.
+    dedup_subscribers: Gauge,
 }
 
 impl ServerState {
@@ -226,6 +328,9 @@ impl Server {
         let registry = MetricsRegistry::new();
         engine.metrics = registry.clone();
         cache.register_metrics(&registry);
+        if let Some(rc) = &engine.row_cache {
+            rc.register_metrics(&registry);
+        }
         let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
         Ok(Server {
             listener,
@@ -254,6 +359,17 @@ impl Server {
                 in_flight: registry.gauge(
                     "spnn_requests_in_flight",
                     "Requests currently being handled.",
+                    &[],
+                ),
+                inflight_runs: Mutex::new(HashMap::new()),
+                dedup_fanouts: counter(
+                    "spnn_rowcache_dedup_total",
+                    "Identical in-flight /run requests served by subscribing to \
+                     another request's execution.",
+                ),
+                dedup_subscribers: registry.gauge(
+                    "spnn_rowcache_dedup_subscribers",
+                    "Requests currently subscribed to another request's /run stream.",
                     &[],
                 ),
                 metrics: registry,
@@ -647,20 +763,50 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
         return 400;
     };
 
-    state.started.inc();
     let content_type = match format {
         StreamFormat::Ndjson => "application/x-ndjson",
         StreamFormat::Csv => "text/csv",
     };
-    if Response::write_streaming_head(writer, 200, content_type).is_err() {
-        state.failed.inc();
-        return 200;
-    }
-    // A client that disconnects mid-stream must not kill the run: the
-    // sweep completes (warming the shared cache for the retry) and
-    // further writes are skipped.
-    let mut broken = false;
+
+    // Cross-request dedup: identical in-flight bodies share one
+    // execution. The first request with a given (body, format) key runs
+    // the scenario; every concurrent duplicate subscribes to its stream
+    // and receives byte-identical output.
+    let key: RunKey = (request.body.clone(), format as u8);
+    let run = {
+        let mut map = state
+            .inflight_runs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        match map.get(&key) {
+            Some(run) => {
+                let run = Arc::clone(run);
+                drop(map);
+                return follow_run(&run, writer, state, content_type);
+            }
+            None => {
+                let run = Arc::new(InflightRun::new());
+                map.insert(key.clone(), Arc::clone(&run));
+                run
+            }
+        }
+    };
+    let _guard = LeaderGuard {
+        state,
+        key,
+        run: Arc::clone(&run),
+    };
+
+    state.started.inc();
+    // A client that disconnects mid-stream (or before the head is even
+    // out) must not kill the run: subscribers may be sharing this
+    // stream, and the sweep completes either way — warming the shared
+    // caches for the retry. Further writes to this socket are skipped.
+    let mut broken = Response::write_streaming_head(writer, 200, content_type).is_err();
     let mut emit = |line: String| {
+        // Subscribers first: the shared buffer is never gated by this
+        // socket's state.
+        run.push_line(&line);
         if broken {
             return;
         }
@@ -723,6 +869,7 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
                 }
             }
             state.completed.inc();
+            run.finish(true);
         }
         Err(message) => {
             match format {
@@ -735,7 +882,56 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
                 StreamFormat::Csv => emit(format!("# error: {message}\n")),
             }
             state.failed.inc();
+            run.finish(false);
         }
+    }
+    200
+}
+
+/// Streams a deduplicated `/run` response: replays the leader's buffered
+/// lines, then follows the live stream until the shared execution
+/// finishes. Subscribers only ever read the shared buffer, so a slow or
+/// mid-stream-disconnected subscriber cannot affect the leader or any
+/// other subscriber.
+fn follow_run(
+    run: &InflightRun,
+    writer: &mut impl Write,
+    state: &ServerState,
+    content_type: &str,
+) -> u16 {
+    state.started.inc();
+    state.dedup_fanouts.inc();
+    state.dedup_subscribers.inc();
+    let mut broken = Response::write_streaming_head(writer, 200, content_type).is_err();
+    let mut pos = 0usize;
+    let ok = loop {
+        let (chunk, finished, ok) = {
+            let mut buf = run.lock_buffer();
+            while buf.lines.len() == pos && !buf.done {
+                buf = run.cv.wait(buf).unwrap_or_else(|p| p.into_inner());
+            }
+            (buf.lines[pos..].to_vec(), buf.done, buf.ok)
+        };
+        pos += chunk.len();
+        for line in &chunk {
+            if broken {
+                break;
+            }
+            if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+                broken = true;
+            }
+        }
+        if finished {
+            break ok;
+        }
+    };
+    state.dedup_subscribers.dec();
+    // Mirror the leader's accounting: the shared run's outcome decides,
+    // not this socket's health.
+    if ok {
+        state.completed.inc();
+    } else {
+        state.failed.inc();
     }
     200
 }

@@ -687,6 +687,13 @@ pub struct MergeState {
     partials_metric: Counter,
     rows_metric: Counter,
     pending_metric: Gauge,
+    /// Row cache (plus the spec's key context) to publish completed
+    /// points into as they finalize — set by
+    /// [`MergeState::publish_rows_to`], `None` otherwise.
+    publish: Option<(
+        std::sync::Arc<crate::rowcache::RowCache>,
+        crate::rowcache::RowContext,
+    )>,
 }
 
 impl MergeState {
@@ -719,6 +726,20 @@ impl MergeState {
             ),
             ..Self::default()
         }
+    }
+
+    /// Publishes every point this merge completes into `cache`, keyed by
+    /// `ctx` — the merge sees the full recombined sample stream of each
+    /// point (bit-lossless through the partial wire format), so the
+    /// cached payload is identical to what an unsharded run would have
+    /// published. This is how distributed runs ([`crate::exec`]) warm
+    /// the row cache coordinator-side regardless of executor.
+    pub fn publish_rows_to(
+        &mut self,
+        cache: std::sync::Arc<crate::rowcache::RowCache>,
+        ctx: crate::rowcache::RowContext,
+    ) {
+        self.publish = Some((cache, ctx));
     }
 
     /// The scenario metadata adopted from the first pushed partial, if any.
@@ -797,6 +818,17 @@ impl MergeState {
                     // point completed replays to the same row.)
                     let mc = McResult::from_samples(samples);
                     let head = &blocks[0];
+                    if let Some((cache, ctx)) = &self.publish {
+                        cache.put(
+                            &ctx.key(&head.topology, &head.labels),
+                            crate::rowcache::CachedPoint {
+                                topology: head.topology.clone(),
+                                labels: head.labels.clone(),
+                                samples: mc.samples.clone(),
+                                stopped_early,
+                            },
+                        );
+                    }
                     self.done.insert(
                         index,
                         SweepRow {

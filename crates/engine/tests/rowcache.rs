@@ -1,0 +1,301 @@
+//! Row-cache integration tests: the acceptance guarantee is that the
+//! point-level result cache is **transparent** — a warm re-run computes
+//! zero new rows yet assembles a report byte-identical to the cold run,
+//! a superset sweep computes only its delta points, corrupt cache files
+//! heal by recompute without changing a single report byte, and the CLI
+//! surface (`--row-cache-dir`, `--no-row-cache`, `spnn rowcache`)
+//! round-trips the same bytes. CI enforces the same `cmp`-level identity
+//! across `--exec local`, `--spawn`, and the coordinator path.
+
+use spnn_engine::prelude::*;
+use spnn_engine::RowCache;
+use spnn_photonics::PerturbTarget;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny_fig4() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 8;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec
+}
+
+fn config_with(rc: &Arc<RowCache>) -> EngineConfig {
+    EngineConfig {
+        row_cache: Some(Arc::clone(rc)),
+        ..EngineConfig::default()
+    }
+}
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("spnn-rowcache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn spnn(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
+        .args(args)
+        .env_remove("SPNN_THREADS")
+        .env_remove("SPNN_ROW_CACHE_DIR")
+        .output()
+        .expect("run spnn")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Tentpole acceptance: a warm re-run of an identical spec computes zero
+/// new rows (the miss counter does not move) and the assembled report is
+/// byte-identical to the cold run's.
+#[test]
+fn warm_rerun_replays_byte_identical_with_zero_recompute() {
+    let spec = tiny_fig4();
+    let rc = Arc::new(RowCache::in_memory());
+    let ctx = ContextCache::in_memory();
+    let config = config_with(&rc);
+
+    let cold = run_scenario_with(&spec, &config, &ctx).expect("cold run");
+    let s1 = rc.stats();
+    assert_eq!(
+        s1.misses, 3,
+        "the cold run must look up (and miss) every point exactly once"
+    );
+
+    let warm = run_scenario_with(&spec, &config, &ctx).expect("warm run");
+    let s2 = rc.stats();
+    assert_eq!(to_json(&warm), to_json(&cold), "JSON diverged on replay");
+    assert_eq!(to_csv(&warm), to_csv(&cold), "CSV diverged on replay");
+    assert_eq!(
+        s2.misses, s1.misses,
+        "the warm run must not compute any row"
+    );
+    assert!(
+        s2.mem_hits >= s1.mem_hits + 3,
+        "the warm run must replay every point from the cache"
+    );
+
+    // Transparency: the cached report equals a run with no cache at all.
+    let bare =
+        run_scenario_with(&spec, &EngineConfig::default(), &ctx).expect("uncached reference");
+    assert_eq!(to_json(&bare), to_json(&cold));
+}
+
+/// Satellite acceptance: after a base run, a spec with one extra sweep
+/// point computes only the delta row; every overlapping row is
+/// bit-identical to the cold report (adaptive early-stop state included,
+/// since iterations/stopped_early round-trip through the cache).
+#[test]
+fn superset_sweep_computes_only_the_delta_rows() {
+    let base = tiny_fig4();
+    let mut superset = tiny_fig4();
+    superset.sweep.sigmas.push(0.15);
+
+    let rc = Arc::new(RowCache::in_memory());
+    let ctx = ContextCache::in_memory();
+    let config = config_with(&rc);
+
+    run_scenario_with(&base, &config, &ctx).expect("base run");
+    let s1 = rc.stats();
+
+    let superset_report = run_scenario_with(&superset, &config, &ctx).expect("superset run");
+    let s2 = rc.stats();
+    assert_eq!(superset_report.rows.len(), 4);
+    assert_eq!(
+        s2.misses - s1.misses,
+        1,
+        "only the one new sweep point may compute"
+    );
+    assert_eq!(
+        s2.mem_hits - s1.mem_hits,
+        3,
+        "every overlapping point must serve from the cache"
+    );
+
+    // Overlapping rows are bit-identical to a cold, cache-free report.
+    let cold = run_scenario_with(&base, &EngineConfig::default(), &ContextCache::in_memory())
+        .expect("cold reference");
+    for want in &cold.rows {
+        let got = superset_report
+            .rows
+            .iter()
+            .find(|r| r.topology == want.topology && r.labels == want.labels)
+            .expect("overlapping row present in superset report");
+        assert_eq!(got.mean.to_bits(), want.mean.to_bits());
+        assert_eq!(got.std_dev.to_bits(), want.std_dev.to_bits());
+        assert_eq!(got.moe95.to_bits(), want.moe95.to_bits());
+        assert_eq!(
+            (got.iterations, got.stopped_early),
+            (want.iterations, want.stopped_early)
+        );
+    }
+}
+
+/// Satellite acceptance: truncated, bit-flipped, and magic-skewed row
+/// files all heal by recompute — the warm report stays byte-identical to
+/// the cold one, and the healed entries republish so a third run replays
+/// with zero misses.
+#[test]
+fn corrupt_row_files_heal_by_recompute_with_identical_reports() {
+    let scratch = Scratch::new("heal");
+    let dir = scratch.path("rows");
+    let spec = tiny_fig4();
+    let ctx = ContextCache::in_memory();
+
+    let cold = {
+        let rc = Arc::new(RowCache::on_disk(dir.clone()));
+        run_scenario_with(&spec, &config_with(&rc), &ctx).expect("cold run")
+    };
+
+    let mut row_files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("row-"))
+        })
+        .collect();
+    row_files.sort();
+    assert_eq!(row_files.len(), 3, "one file per sweep point");
+
+    // Three distinct failure modes: a torn write, a flipped payload bit,
+    // and a header from some other format entirely.
+    let bytes = std::fs::read(&row_files[0]).expect("read");
+    std::fs::write(&row_files[0], &bytes[..bytes.len() / 2]).expect("truncate");
+    let mut bytes = std::fs::read(&row_files[1]).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&row_files[1], bytes).expect("bit-flip");
+    let mut bytes = std::fs::read(&row_files[2]).expect("read");
+    bytes[0] ^= 0xff;
+    std::fs::write(&row_files[2], bytes).expect("magic-skew");
+
+    // A fresh instance (empty memory tier) heals all three and
+    // recomputes — the report bytes cannot tell.
+    let rc = Arc::new(RowCache::on_disk(dir.clone()));
+    let warm = run_scenario_with(&spec, &config_with(&rc), &ctx).expect("warm run");
+    assert_eq!(to_json(&warm), to_json(&cold), "JSON diverged after heal");
+    assert_eq!(to_csv(&warm), to_csv(&cold), "CSV diverged after heal");
+    let stats = rc.stats();
+    assert_eq!(
+        stats.corrupt_healed, 3,
+        "each unusable file heals exactly once"
+    );
+
+    // The heal republished every entry: a third instance replays the
+    // whole report without a single miss.
+    let rc = Arc::new(RowCache::on_disk(dir));
+    let replay = run_scenario_with(&spec, &config_with(&rc), &ctx).expect("replay run");
+    assert_eq!(to_json(&replay), to_json(&cold));
+    assert_eq!(rc.stats().misses, 0, "healed entries must republish");
+}
+
+/// CLI surface: `spnn run` with the on-disk row cache is byte-identical
+/// warm vs cold vs `--no-row-cache`, and the `spnn rowcache`
+/// subcommands (path/ls/gc) and `SPNN_ROW_CACHE_DIR` operate on the
+/// same directory the runs populate.
+#[test]
+fn cli_rowcache_warm_rerun_and_subcommands() {
+    let scratch = Scratch::new("cli");
+    let spec_path = scratch.path("tiny.scn");
+    std::fs::write(&spec_path, tiny_fig4().to_text()).expect("write spec");
+    let rows = scratch.path("rows");
+    let cache = scratch.path("cache");
+    let spec = spec_path.to_str().unwrap();
+    let rows_s = rows.to_str().unwrap();
+    let cache_s = cache.to_str().unwrap();
+
+    let run_to = |out_name: &str, extra: &[&str]| {
+        let out_path = scratch.path(out_name);
+        let mut args = vec![
+            "run",
+            spec,
+            "--quiet",
+            "--format",
+            "json",
+            "--cache-dir",
+            cache_s,
+        ];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--out", out_path.to_str().unwrap()]);
+        assert_ok(&spnn(&args), out_name);
+        std::fs::read(&out_path).expect("report bytes")
+    };
+
+    let cold = run_to("cold.json", &["--row-cache-dir", rows_s]);
+    let warm = run_to("warm.json", &["--row-cache-dir", rows_s]);
+    assert_eq!(cold, warm, "warm re-run must be byte-identical");
+    let off = run_to("off.json", &["--no-row-cache"]);
+    assert_eq!(cold, off, "--no-row-cache must not change report bytes");
+
+    let out = spnn(&["rowcache", "path", "--row-cache-dir", rows_s]);
+    assert_ok(&out, "rowcache path");
+    assert!(String::from_utf8_lossy(&out.stdout).contains(rows_s));
+
+    let out = spnn(&["rowcache", "ls", "--row-cache-dir", rows_s]);
+    assert_ok(&out, "rowcache ls");
+    let ls = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        ls.lines().filter(|l| l.contains(" row ")).count() >= 3,
+        "ls must list every row entry:\n{ls}"
+    );
+    assert!(
+        ls.lines().any(|l| l.contains(" manifest ")),
+        "ls must list the run manifest:\n{ls}"
+    );
+
+    let out = spnn(&[
+        "rowcache",
+        "gc",
+        "--row-cache-dir",
+        rows_s,
+        "--max-entries",
+        "1",
+    ]);
+    assert_ok(&out, "rowcache gc");
+    let survivors = std::fs::read_dir(&rows)
+        .expect("rows dir")
+        .filter(|e| {
+            e.as_ref()
+                .expect("dir entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "spnnrow")
+        })
+        .count();
+    assert_eq!(survivors, 1, "gc --max-entries 1 must keep exactly one");
+
+    // SPNN_ROW_CACHE_DIR is the environment spelling of --row-cache-dir.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
+        .args(["rowcache", "path"])
+        .env("SPNN_ROW_CACHE_DIR", rows_s)
+        .output()
+        .expect("run spnn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains(rows_s));
+}

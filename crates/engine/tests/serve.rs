@@ -63,6 +63,29 @@ fn start_server_with(workers: usize, remote_workers: Vec<String>) -> SocketAddr 
     addr
 }
 
+/// Like [`start_server`], with a shared in-memory row cache attached —
+/// the configuration the dedup tests need.
+fn start_server_rowcached(workers: usize) -> SocketAddr {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            engine: EngineConfig {
+                threads: Some(2),
+                verbose: false,
+                cache_dir: None,
+                row_cache: Some(std::sync::Arc::new(spnn_engine::RowCache::in_memory())),
+                ..EngineConfig::default()
+            },
+            remote_workers: Vec::new(),
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    addr
+}
+
 /// Sends one raw HTTP request and returns `(status, body)` of the
 /// close-delimited response.
 fn http(addr: SocketAddr, request: &str) -> (u16, String) {
@@ -187,6 +210,100 @@ fn concurrent_requests_share_one_cache() {
     let (status, health) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 200);
     assert!(health.contains("\"runs_completed\": 2"), "{health}");
+}
+
+/// Tentpole acceptance: N identical in-flight `/run` bodies produce one
+/// execution and N byte-identical streams. With the row cache attached
+/// the single-execution claim is race-proof: a request that misses the
+/// in-flight dedup window replays its rows from the cache instead of
+/// recomputing, so `spnn_points_total` stays at one sweep's worth no
+/// matter how the requests interleave.
+#[test]
+fn identical_inflight_runs_share_one_execution() {
+    const N: usize = 6;
+    let addr = start_server_rowcached(8);
+    let text = tiny_fig4().to_text();
+    let results: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(|| post_run(addr, &text)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("request"))
+            .collect()
+    });
+    for (status, body) in &results {
+        assert_eq!(*status, 200, "{body}");
+        assert_eq!(
+            body, &results[0].1,
+            "every subscriber must stream identical bytes"
+        );
+    }
+
+    let exp = scrape(addr);
+    assert_eq!(
+        exp.total("spnn_points_total"),
+        3.0,
+        "N identical requests must compute exactly one sweep's worth of points"
+    );
+    assert_eq!(exp.total("spnn_runs_completed_total"), N as f64);
+    assert_eq!(
+        exp.total("spnn_rowcache_dedup_subscribers"),
+        0.0,
+        "the fan-out gauge must return to zero"
+    );
+    assert!(exp.total("spnn_rowcache_dedup_total") <= (N - 1) as f64);
+
+    // A straggler arriving after everything finished replays entirely
+    // from the row cache: same bytes, still zero new points.
+    let (status, body) = post_run(addr, &text);
+    assert_eq!(status, 200);
+    assert_eq!(body, results[0].1);
+    let exp = scrape(addr);
+    assert_eq!(exp.total("spnn_points_total"), 3.0);
+    assert!(
+        exp.total("spnn_rowcache_hits_total") >= 3.0,
+        "the replayed request must hit the row cache for every point"
+    );
+}
+
+/// A client that disconnects mid-stream must not poison the shared
+/// execution: the run completes server-side (subscribers may be fanned
+/// off the same buffer) and an identical request still receives the
+/// full stream, byte-identical to the batch report.
+#[test]
+fn mid_stream_disconnect_does_not_poison_other_requests() {
+    let addr = start_server_rowcached(4);
+    let spec = tiny_fig4();
+    let text = spec.to_text();
+
+    // Fire a request and slam the connection shut right after the
+    // status line — mid-stream from the server's point of view.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                    text.len(),
+                    text
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let mut head = [0u8; 16];
+        stream.read_exact(&mut head).expect("status line");
+        assert!(head.starts_with(b"HTTP/1.1 200"));
+    }
+
+    // An identical request — racing the dying one, or replaying from the
+    // row cache it warmed — still gets the complete report.
+    let (status, body) = post_run(addr, &text);
+    assert_eq!(status, 200);
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    let assembled = spnn_engine::assemble_report(&body).expect("assemble");
+    assert_eq!(to_json(&assembled), to_json(&reference));
+    assert_eq!(to_csv(&assembled), to_csv(&reference));
 }
 
 /// Malformed specs are rejected with 400 and the parser's line-numbered
@@ -658,6 +775,7 @@ fn spnn(args: &[&str]) -> std::process::Output {
     std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
         .args(args)
         .env_remove("SPNN_THREADS")
+        .env_remove("SPNN_ROW_CACHE_DIR")
         .output()
         .expect("run spnn")
 }
@@ -702,10 +820,13 @@ fn trace_logging_never_changes_report_bytes() {
 
     let run = |env: &[(&str, &str)], extra_args: &[&str]| {
         let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_spnn"));
+        // --no-row-cache keeps this about the trained-context cache: a
+        // row replay on the warm run would bypass the traced code paths.
         cmd.args([
             "run",
             spec_path.to_str().unwrap(),
             "--quiet",
+            "--no-row-cache",
             "--format",
             "json",
             "--cache-dir",
@@ -756,11 +877,14 @@ fn spawn_matches_unsharded_and_manual_merge() {
     let spec = spec_path.to_str().unwrap();
     let cache_dir = cache.to_str().unwrap();
 
+    // --no-row-cache throughout: this test gates the shard machinery,
+    // which a warm row cache would legitimately replay around.
     let full = scratch.path("full.json");
     let out = spnn(&[
         "run",
         spec,
         "--quiet",
+        "--no-row-cache",
         "--format",
         "json",
         "--cache-dir",
@@ -775,6 +899,7 @@ fn spawn_matches_unsharded_and_manual_merge() {
         "run",
         spec,
         "--quiet",
+        "--no-row-cache",
         "--format",
         "json",
         "--shards",
@@ -794,6 +919,7 @@ fn spawn_matches_unsharded_and_manual_merge() {
             "run",
             spec,
             "--quiet",
+            "--no-row-cache",
             "--shards",
             "3",
             "--shard-index",
