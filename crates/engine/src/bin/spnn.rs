@@ -33,19 +33,20 @@
 
 use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
 use spnn_engine::exec::{
-    install_signal_handlers, run_distributed, CancelToken, ExecContext, Executor, LocalExecutor,
-    RemoteExecutor, SpawnExecutor,
+    install_signal_handlers, run_distributed, BreakerConfig, CancelToken, ExecContext, Executor,
+    LocalExecutor, RemoteExecutor, SpawnExecutor, WorkerBreakers,
 };
 use spnn_engine::metrics::{self, Reading};
 use spnn_engine::prelude::*;
 use spnn_engine::rowcache::{self, RowCache};
 use spnn_engine::runner::{run_scenario_shard_with, run_scenario_with, EngineError};
-use spnn_engine::serve::{assemble_report, Server};
+use spnn_engine::serve::{assemble_report, QuotaConfig, RequestBudget, Server};
 use spnn_engine::trace;
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 spnn — batched, adaptive Monte-Carlo simulation engine for silicon-photonic
@@ -121,6 +122,26 @@ OPTIONS (serve):
                              shards complete
     --log-json               emit structured stderr logs as JSON objects
                              (one per line) instead of key=value text
+    --queue-depth N          admission queue slots (default 64); overflow
+                             is shed with 429 + Retry-After
+    --queue-wait SECS        max time a connection may wait queued before
+                             it is shed with 429 (default 5)
+    --read-timeout SECS      socket read budget per request (default 30;
+                             a stalled client gets 408)
+    --write-timeout SECS     socket write budget per response (default 60)
+    --max-points N           per-request budget: reject/abort runs past N
+                             sweep points (0 = unlimited, the default)
+    --max-iterations N       ... past N Monte-Carlo iterations total
+    --max-rounds N           ... past N adaptive rounds total
+    --quota-concurrent N     per-client cap on in-flight /run + /shard
+                             requests (by X-Client-Id, else peer IP)
+    --quota-rate R           per-client request rate (tokens/second;
+                             0 = unlimited)
+    --quota-burst B          per-client burst size (default: R, min 1)
+    --breaker-failures N     coordinator: consecutive worker failures
+                             that open its circuit breaker (default 3)
+    --breaker-cooldown SECS  how long an open breaker skips its worker
+                             before a half-open /healthz probe (default 10)
     --threads, --quiet, --no-cache, --cache-dir, --no-row-cache,
     --row-cache-dir as for run
 
@@ -266,7 +287,10 @@ fn positional_args(args: &[String]) -> Vec<&str> {
         match args[i].as_str() {
             "--format" | "--out" | "--threads" | "--preset" | "--cache-dir" | "--row-cache-dir"
             | "--shards" | "--shard-index" | "--max-entries" | "--max-bytes" | "--addr"
-            | "--workers" | "--workers-from" | "--exec" => i += 2,
+            | "--workers" | "--workers-from" | "--exec" | "--queue-depth" | "--queue-wait"
+            | "--read-timeout" | "--write-timeout" | "--max-points" | "--max-iterations"
+            | "--max-rounds" | "--quota-concurrent" | "--quota-rate" | "--quota-burst"
+            | "--breaker-failures" | "--breaker-cooldown" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -409,7 +433,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return fail("distributed runs take exactly one scenario");
         }
         let shards = shards.unwrap_or(workers.len());
-        let executor = RemoteExecutor::new(workers);
+        // Default circuit breakers: a worker that keeps failing is
+        // skipped for a cooldown instead of eating a retry per shard.
+        let breakers = Arc::new(WorkerBreakers::new(
+            BreakerConfig::default(),
+            &config.metrics,
+        ));
+        let executor = RemoteExecutor::new(workers).with_breakers(breakers);
         return run_with_executor(
             &specs[0],
             &executor,
@@ -781,6 +811,32 @@ fn read_worker_list(path: &str) -> Result<Vec<String>, String> {
 
 /// `spnn serve`: bind the scenario service and run until killed (or
 /// gracefully drained by SIGTERM/SIGINT).
+/// A numeric option with a default: absent → `default`; present →
+/// parsed, rejecting garbage with the flag's name.
+fn numeric_option<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match option_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("invalid {name} value {v:?}")),
+    }
+}
+
+/// A duration option in (possibly fractional) seconds.
+fn seconds_option(args: &[String], name: &str, default: Duration) -> Result<Duration, String> {
+    match option_value(args, name) {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if s.is_finite() && s >= 0.0 => Ok(Duration::from_secs_f64(s)),
+            _ => Err(format!("invalid {name} value {v:?} (seconds)")),
+        },
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     init_logging(args);
     let addr = option_value(args, "--addr").unwrap_or("127.0.0.1:7878");
@@ -803,6 +859,38 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let verbose = !has_flag(args, "--quiet");
+    let defaults = ServeConfig::default();
+    let traffic = (|| -> Result<ServeConfig, String> {
+        Ok(ServeConfig {
+            queue_depth: numeric_option(args, "--queue-depth", defaults.queue_depth)?,
+            queue_wait: seconds_option(args, "--queue-wait", defaults.queue_wait)?,
+            read_timeout: seconds_option(args, "--read-timeout", defaults.read_timeout)?,
+            write_timeout: seconds_option(args, "--write-timeout", defaults.write_timeout)?,
+            budget: RequestBudget {
+                max_points: numeric_option(args, "--max-points", 0)?,
+                max_iterations: numeric_option(args, "--max-iterations", 0)?,
+                max_rounds: numeric_option(args, "--max-rounds", 0)?,
+            },
+            quota: QuotaConfig {
+                max_concurrent: numeric_option(args, "--quota-concurrent", 0)?,
+                rate: numeric_option(args, "--quota-rate", 0.0)?,
+                burst: numeric_option(args, "--quota-burst", 0.0)?,
+            },
+            breaker: BreakerConfig {
+                failure_threshold: numeric_option(
+                    args,
+                    "--breaker-failures",
+                    defaults.breaker.failure_threshold,
+                )?,
+                cooldown: seconds_option(args, "--breaker-cooldown", defaults.breaker.cooldown)?,
+            },
+            ..defaults
+        })
+    })();
+    let traffic = match traffic {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
     let config = ServeConfig {
         workers,
         engine: EngineConfig {
@@ -815,6 +903,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             row_cache: resolve_row_cache(args),
         },
         remote_workers: remote_workers.clone(),
+        ..traffic
     };
     let server = match Server::bind(addr, config) {
         Ok(s) => s,

@@ -127,12 +127,17 @@ pub fn install_signal_handlers() -> bool {
 ///
 /// [`CancelToken::is_cancelled`] reports `true` once
 /// [`cancel`](CancelToken::cancel) was called on this token (or any clone), *or*
+/// once any ancestor token (see [`CancelToken::child`]) was cancelled, *or*
 /// once the process-wide shutdown flag was raised by a signal (see
 /// [`install_signal_handlers`]) — so code polling a token automatically
 /// participates in graceful shutdown.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Cancellation flows down a parent chain, never up: cancelling a
+    /// child (e.g. one over-budget request) leaves the parent (the
+    /// server) running.
+    parent: Option<Box<CancelToken>>,
 }
 
 impl CancelToken {
@@ -141,14 +146,29 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation on this token and all its clones.
+    /// A child token that observes this token's cancellation in addition
+    /// to its own — the seam for per-request aborts: the server cancels
+    /// one request's child token (budget violation) without touching its
+    /// own, while a server shutdown still cancels every child.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Box::new(self.clone())),
+        }
+    }
+
+    /// Requests cancellation on this token and all its clones (and, via
+    /// the parent chain, all its children — but never its ancestors).
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// `true` once cancelled — directly or via process shutdown.
+    /// `true` once cancelled — directly, via an ancestor, or via process
+    /// shutdown.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed) || process_shutdown_requested()
+        self.flag.load(Ordering::Relaxed)
+            || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+            || process_shutdown_requested()
     }
 }
 
@@ -512,6 +532,230 @@ impl Executor for SpawnExecutor {
 }
 
 // ---------------------------------------------------------------------------
+// Worker circuit breakers
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`WorkerBreakers`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open a worker's breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker skips its worker before allowing a
+    /// half-open trial (lazily on the next dispatch, or eagerly via the
+    /// coordinator's background `/healthz` prober).
+    pub cooldown: std::time::Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+/// The state of one worker's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: dispatches flow normally.
+    Closed,
+    /// Tripped: the worker is skipped until the cooldown elapses.
+    Open,
+    /// Probation: one trial (dispatch or probe) decides — success closes
+    /// the breaker, failure re-opens it for another cooldown.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name, as reported by `/healthz`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// The `spnn_worker_breaker_state` gauge encoding:
+    /// 0 closed, 1 open, 2 half-open.
+    fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerEntry {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<std::time::Instant>,
+    gauge: crate::metrics::Gauge,
+}
+
+/// Per-worker circuit breakers shared by every dispatch a coordinator
+/// makes: consecutive failures open a worker's breaker, an open breaker
+/// skips the worker (zero dispatch attempts) for a cooldown, and a
+/// half-open trial — the next dispatch after the cooldown, or a
+/// background `GET /healthz` probe — decides whether it closes or
+/// re-opens. This replaces rediscovering a dead worker from scratch on
+/// every shard attempt.
+///
+/// State per worker is surfaced as the `spnn_worker_breaker_state{worker}`
+/// gauge (0 closed, 1 open, 2 half-open) and in the coordinator's
+/// `/healthz` body. Breakers affect **placement only** — which worker
+/// computes a slice — never results: the shard planner is deterministic,
+/// so any admitted worker produces the identical partial.
+#[derive(Debug)]
+pub struct WorkerBreakers {
+    config: BreakerConfig,
+    registry: MetricsRegistry,
+    inner: std::sync::Mutex<std::collections::HashMap<String, BreakerEntry>>,
+}
+
+impl WorkerBreakers {
+    /// Fresh breakers (all closed), registering per-worker state gauges
+    /// in `registry` as workers are first seen.
+    pub fn new(config: BreakerConfig, registry: &MetricsRegistry) -> Self {
+        WorkerBreakers {
+            config,
+            registry: registry.clone(),
+            inner: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The breaker tuning this set was built with.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    fn with_entry<T>(&self, worker: &str, f: impl FnOnce(&mut BreakerEntry) -> T) -> T {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        let entry = inner.entry(worker.to_string()).or_insert_with(|| {
+            let gauge = self.registry.gauge(
+                "spnn_worker_breaker_state",
+                "Per-worker circuit breaker state: 0 closed, 1 open, 2 half-open.",
+                &[("worker", worker)],
+            );
+            gauge.set(BreakerState::Closed.gauge_value());
+            BreakerEntry {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                gauge,
+            }
+        });
+        f(entry)
+    }
+
+    fn set_state(entry: &mut BreakerEntry, state: BreakerState) {
+        entry.state = state;
+        entry.gauge.set(state.gauge_value());
+        entry.opened_at = if state == BreakerState::Open {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+    }
+
+    /// Whether a dispatch to `worker` is admitted right now. An open
+    /// breaker whose cooldown has elapsed transitions to half-open here
+    /// (lazily) and admits the trial.
+    pub fn admits(&self, worker: &str) -> bool {
+        let cooldown = self.config.cooldown;
+        self.with_entry(worker, |entry| match entry.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if entry.opened_at.is_none_or(|t| t.elapsed() >= cooldown) {
+                    Self::set_state(entry, BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        })
+    }
+
+    /// Records a successful dispatch or probe: the breaker closes and the
+    /// failure count resets.
+    pub fn record_success(&self, worker: &str) {
+        self.with_entry(worker, |entry| {
+            entry.consecutive_failures = 0;
+            if entry.state != BreakerState::Closed {
+                tevent!(Level::Info, "exec", "breaker closed", worker = worker,);
+                Self::set_state(entry, BreakerState::Closed);
+            }
+        });
+    }
+
+    /// Records a failed dispatch or probe: at the threshold a closed
+    /// breaker opens; a half-open trial failure re-opens immediately.
+    pub fn record_failure(&self, worker: &str) {
+        let threshold = self.config.failure_threshold.max(1);
+        self.with_entry(worker, |entry| {
+            entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+            let trip = match entry.state {
+                BreakerState::Closed => entry.consecutive_failures >= threshold,
+                BreakerState::HalfOpen => true,
+                BreakerState::Open => {
+                    // A straggler failure while already open refreshes the
+                    // cooldown clock.
+                    entry.opened_at = Some(std::time::Instant::now());
+                    false
+                }
+            };
+            if trip {
+                tevent!(
+                    Level::Warn,
+                    "exec",
+                    "breaker opened",
+                    worker = worker,
+                    consecutive_failures = entry.consecutive_failures,
+                );
+                Self::set_state(entry, BreakerState::Open);
+            }
+        });
+    }
+
+    /// Workers due a half-open probe: open breakers past their cooldown
+    /// transition to half-open and are returned, along with workers
+    /// already half-open (a probe re-check is harmless). The caller
+    /// probes each and feeds the verdict back via
+    /// [`record_success`](Self::record_success) /
+    /// [`record_failure`](Self::record_failure).
+    pub fn probe_due(&self) -> Vec<String> {
+        let cooldown = self.config.cooldown;
+        let mut inner = self.inner.lock().expect("breaker lock");
+        let mut due = Vec::new();
+        for (worker, entry) in inner.iter_mut() {
+            match entry.state {
+                BreakerState::Open if entry.opened_at.is_none_or(|t| t.elapsed() >= cooldown) => {
+                    Self::set_state(entry, BreakerState::HalfOpen);
+                    due.push(worker.clone());
+                }
+                BreakerState::HalfOpen => due.push(worker.clone()),
+                _ => {}
+            }
+        }
+        due.sort();
+        due
+    }
+
+    /// Every known worker's current state, sorted by worker URL — the
+    /// `/healthz` view.
+    pub fn snapshot(&self) -> Vec<(String, BreakerState)> {
+        let inner = self.inner.lock().expect("breaker lock");
+        let mut out: Vec<(String, BreakerState)> =
+            inner.iter().map(|(w, e)| (w.clone(), e.state)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // RemoteExecutor
 // ---------------------------------------------------------------------------
 
@@ -529,6 +773,9 @@ impl Executor for SpawnExecutor {
 pub struct RemoteExecutor {
     /// Worker base URLs (`http://host:port`, no trailing slash needed).
     pub workers: Vec<String>,
+    /// Optional shared circuit breakers: an open breaker's worker is
+    /// skipped with zero dispatch attempts (see [`WorkerBreakers`]).
+    breakers: Option<Arc<WorkerBreakers>>,
 }
 
 impl RemoteExecutor {
@@ -539,7 +786,17 @@ impl RemoteExecutor {
                 .into_iter()
                 .map(|w| w.trim_end_matches('/').to_string())
                 .collect(),
+            breakers: None,
         }
+    }
+
+    /// Attaches shared circuit breakers — every dispatch consults them
+    /// and reports its outcome back. A coordinator shares one set across
+    /// all requests so worker health outlives any single run.
+    #[must_use]
+    pub fn with_breakers(mut self, breakers: Arc<WorkerBreakers>) -> Self {
+        self.breakers = Some(breakers);
+        self
     }
 
     /// Runs one shard, trying each worker at most once starting at
@@ -575,12 +832,47 @@ impl RemoteExecutor {
             &[],
         );
         let mut reasons = Vec::new();
-        for attempt in 0..n {
+        // Round-robin order, then drop workers whose breaker is open —
+        // zero dispatch attempts reach a tripped worker. If *every*
+        // breaker is open the full rotation is tried anyway: a guaranteed
+        // failure helps nobody, and the attempts double as trials.
+        let rotation: Vec<&String> = (0..n)
+            .map(|a| &self.workers[(shard_index + a) % n])
+            .collect();
+        let candidates: Vec<&String> = match &self.breakers {
+            Some(breakers) => {
+                let admitted: Vec<&String> = rotation
+                    .iter()
+                    .copied()
+                    .filter(|w| {
+                        let ok = breakers.admits(w);
+                        if !ok {
+                            registry
+                                .counter(
+                                    "spnn_shard_breaker_skips_total",
+                                    "Shard dispatches skipped because the worker's breaker was open.",
+                                    &[("worker", w)],
+                                )
+                                .inc();
+                            reasons.push(format!("{w}: skipped (breaker open)"));
+                        }
+                        ok
+                    })
+                    .collect();
+                if admitted.is_empty() {
+                    rotation.clone()
+                } else {
+                    admitted
+                }
+            }
+            None => rotation,
+        };
+        let tries = candidates.len();
+        for (attempt, worker) in candidates.into_iter().enumerate() {
             if cancel.is_cancelled() {
                 reasons.push("cancelled".to_string());
                 break;
             }
-            let worker = &self.workers[(shard_index + attempt) % n];
             let url = format!("{worker}/shard?shards={shards}&index={shard_index}");
             let abort = || cancel.is_cancelled();
             let dispatch_timer = std::time::Instant::now();
@@ -625,6 +917,13 @@ impl RemoteExecutor {
                     ],
                 )
                 .inc();
+            if let Some(breakers) = &self.breakers {
+                if outcome.is_ok() {
+                    breakers.record_success(worker);
+                } else {
+                    breakers.record_failure(worker);
+                }
+            }
             match outcome {
                 Ok(p) => {
                     tevent!(
@@ -644,7 +943,7 @@ impl RemoteExecutor {
                     return Ok(p);
                 }
                 Err(reason) => {
-                    if attempt + 1 < n {
+                    if attempt + 1 < tries {
                         retries.inc();
                     }
                     tevent!(
@@ -657,7 +956,7 @@ impl RemoteExecutor {
                         attempt = attempt + 1,
                         seconds = elapsed.as_secs_f64(),
                         error = &reason,
-                        will_retry = attempt + 1 < n,
+                        will_retry = attempt + 1 < tries,
                     );
                     if verbose {
                         eprintln!(
@@ -892,6 +1191,131 @@ mod tests {
         assert!(a.is_cancelled() && b.is_cancelled());
         // A fresh token is unaffected by other tokens.
         assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn child_tokens_observe_the_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        // Cancelling the child leaves the parent alone.
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // Cancelling the parent cancels (fresh) children.
+        let other = parent.child();
+        parent.cancel();
+        assert!(other.is_cancelled());
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_recovers_via_half_open() {
+        let registry = MetricsRegistry::new();
+        let breakers = WorkerBreakers::new(
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: std::time::Duration::from_millis(20),
+            },
+            &registry,
+        );
+        let w = "http://w:1";
+        assert!(breakers.admits(w));
+        breakers.record_failure(w);
+        assert!(breakers.admits(w), "one failure is below the threshold");
+        breakers.record_failure(w);
+        assert_eq!(
+            breakers.snapshot(),
+            vec![(w.to_string(), BreakerState::Open)]
+        );
+        assert!(!breakers.admits(w), "open breaker skips the worker");
+        assert!(
+            registry
+                .render()
+                .contains("spnn_worker_breaker_state{worker=\"http://w:1\"} 1"),
+            "{}",
+            registry.render()
+        );
+        // After the cooldown the next admit is a half-open trial.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        assert!(breakers.admits(w));
+        assert_eq!(
+            breakers.snapshot(),
+            vec![(w.to_string(), BreakerState::HalfOpen)]
+        );
+        // Trial success closes; the counter resets (two more failures to
+        // re-open, not one).
+        breakers.record_success(w);
+        assert_eq!(
+            breakers.snapshot(),
+            vec![(w.to_string(), BreakerState::Closed)]
+        );
+        breakers.record_failure(w);
+        assert!(breakers.admits(w));
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_the_breaker() {
+        let registry = MetricsRegistry::new();
+        let breakers = WorkerBreakers::new(
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: std::time::Duration::from_millis(10),
+            },
+            &registry,
+        );
+        let w = "http://w:2";
+        breakers.record_failure(w);
+        assert!(!breakers.admits(w));
+        assert!(breakers.probe_due().is_empty(), "cooldown not elapsed yet");
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        assert_eq!(breakers.probe_due(), vec![w.to_string()]);
+        // The failed probe re-opens for a fresh cooldown.
+        breakers.record_failure(w);
+        assert_eq!(
+            breakers.snapshot(),
+            vec![(w.to_string(), BreakerState::Open)]
+        );
+        assert!(!breakers.admits(w));
+        // Next cooldown, the probe succeeds and the breaker closes.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        assert_eq!(breakers.probe_due(), vec![w.to_string()]);
+        breakers.record_success(w);
+        assert_eq!(
+            breakers.snapshot(),
+            vec![(w.to_string(), BreakerState::Closed)]
+        );
+        assert!(breakers.probe_due().is_empty());
+    }
+
+    #[test]
+    fn all_breakers_open_still_tries_the_rotation() {
+        // With every breaker open, run_shard's candidate filter falls
+        // back to the full rotation: a dispatch attempt is made (and
+        // fails, since nothing listens) rather than failing with zero
+        // attempts forever.
+        let registry = MetricsRegistry::new();
+        let breakers = Arc::new(WorkerBreakers::new(
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: std::time::Duration::from_secs(3600),
+            },
+            &registry,
+        ));
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("http://{}", l.local_addr().unwrap())
+        };
+        breakers.record_failure(&dead);
+        assert!(!breakers.admits(&dead));
+        let ex = RemoteExecutor::new(vec![dead.clone()]).with_breakers(Arc::clone(&breakers));
+        let cancel = CancelToken::new();
+        let err = ex
+            .run_shard("spec", "fp", 1, 0, &cancel, false, &registry)
+            .expect_err("nothing listens");
+        assert!(err.contains("shard 0"), "{err}");
+        // The fallback attempt was dispatched (counted), not skipped.
+        let rendered = registry.render();
+        assert!(rendered.contains("spnn_shard_dispatch_total"), "{rendered}");
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl Request {
 pub enum HttpError {
     /// The socket failed or closed mid-request.
     Io(io::Error),
+    /// The socket's read deadline expired mid-request — a client that
+    /// sent half a head (or half a body) and then stalled. Answered with
+    /// `408 Request Timeout` so the worker thread is released instead of
+    /// pinned forever.
+    Timeout,
     /// The request line or a header is not parseable HTTP/1.x.
     Malformed(String),
     /// Headers exceed [`MAX_HEAD_BYTES`].
@@ -90,6 +95,7 @@ impl HttpError {
     pub fn status(&self) -> u16 {
         match self {
             HttpError::Io(_) => 400,
+            HttpError::Timeout => 408,
             HttpError::Malformed(_) => 400,
             HttpError::HeadTooLarge => 431,
             HttpError::BodyTooLarge => 413,
@@ -102,11 +108,26 @@ impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Timeout => write!(f, "request read timed out"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::HeadTooLarge => write!(f, "request headers exceed {MAX_HEAD_BYTES} bytes"),
             HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
             HttpError::LengthRequired => write!(f, "request body needs a Content-Length"),
         }
+    }
+}
+
+/// Classifies a read failure: a socket whose read deadline expired
+/// (`WouldBlock`/`TimedOut`, depending on platform) is a [`HttpError::Timeout`],
+/// anything else is [`HttpError::Io`].
+fn read_error(e: io::Error) -> HttpError {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) {
+        HttpError::Timeout
+    } else {
+        HttpError::Io(e)
     }
 }
 
@@ -177,7 +198,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
         return Err(HttpError::BodyTooLarge);
     }
     let mut body = vec![0u8; length];
-    io::Read::read_exact(stream, &mut body).map_err(HttpError::Io)?;
+    io::Read::read_exact(stream, &mut body).map_err(read_error)?;
     Ok(Request { body, ..request })
 }
 
@@ -190,7 +211,7 @@ fn read_head_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
         match io::Read::read(stream, &mut byte) {
             Ok(0) => return Err(HttpError::Malformed("connection closed mid-head".into())),
             Ok(_) => {}
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => return Err(read_error(e)),
         }
         if byte[0] == b'\n' {
             if line.last() == Some(&b'\r') {
@@ -213,10 +234,13 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -228,6 +252,10 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `Retry-After` on a `429`), written
+    /// after the standard ones. Names must be valid header tokens;
+    /// values must be single-line.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -238,6 +266,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -248,8 +277,17 @@ impl Response {
         Response {
             status,
             content_type,
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Returns the response with `name: value` appended to its headers —
+    /// how a `429` carries its `Retry-After`.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// Writes the response with a `Content-Length` and `Connection:
@@ -261,12 +299,16 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "\r\n")?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
     }
@@ -390,16 +432,60 @@ pub fn http_post(
     stream.write_all(body)?;
     stream.flush()?;
 
-    // Responses are close-delimited or Content-Length-delimited; either
-    // way the server closes after one exchange (`Connection: close`), so
-    // reading to EOF captures the full response. Short read timeouts let
-    // the abort callback interleave with a slow worker.
+    let raw = read_close_delimited(&mut stream, authority, abort, idle_timeout)?;
+    parse_response(&raw)
+}
+
+/// `GET`s an `http://host:port/path` URL and reads the whole response —
+/// the client half of the coordinator's half-open breaker probe
+/// (`GET /healthz`). Same connect/abort/idle semantics as [`http_post`].
+///
+/// # Errors
+///
+/// Propagates URL, connect, write, and read failures; a malformed
+/// response head is [`io::ErrorKind::InvalidData`].
+pub fn http_get(
+    url: &str,
+    abort: Option<&dyn Fn() -> bool>,
+    idle_timeout: Option<Duration>,
+) -> io::Result<FetchResponse> {
+    let (authority, path) = split_url(url)?;
+    let addr = authority.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, format!("{authority}: no address"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+
+    let raw = read_close_delimited(&mut stream, authority, abort, idle_timeout)?;
+    parse_response(&raw)
+}
+
+/// Reads a close-delimited response body off `stream`, polling `abort`
+/// between read timeouts and bounding no-progress stretches by
+/// `idle_timeout`.
+///
+/// Responses are close-delimited or Content-Length-delimited; either
+/// way the server closes after one exchange (`Connection: close`), so
+/// reading to EOF captures the full response. Short read timeouts let
+/// the abort callback interleave with a slow worker.
+fn read_close_delimited(
+    stream: &mut TcpStream,
+    authority: &str,
+    abort: Option<&dyn Fn() -> bool>,
+    idle_timeout: Option<Duration>,
+) -> io::Result<Vec<u8>> {
     stream.set_read_timeout(Some(CLIENT_POLL))?;
     let mut raw = Vec::new();
     let mut idle = Duration::ZERO;
     let mut buf = [0u8; 16 * 1024];
     loop {
-        match io::Read::read(&mut stream, &mut buf) {
+        match io::Read::read(stream, &mut buf) {
             Ok(0) => break,
             Ok(n) => {
                 idle = Duration::ZERO;
@@ -431,8 +517,7 @@ pub fn http_post(
             Err(e) => return Err(e),
         }
     }
-
-    parse_response(&raw)
+    Ok(raw)
 }
 
 /// Parses a raw HTTP/1.x response into status + body, honoring
@@ -634,5 +719,64 @@ mod tests {
         let head = String::from_utf8(head).unwrap();
         assert!(head.contains("Connection: close"));
         assert!(!head.contains("Content-Length"));
+    }
+
+    #[test]
+    fn extra_headers_render_between_standard_ones_and_the_body() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"shed\"}")
+            .with_header("Retry-After", "5")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("\r\nRetry-After: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"shed\"}"));
+        // The client parser sees the extra header like any other.
+        let parsed = parse_response(text.as_bytes()).unwrap();
+        assert_eq!(parsed.status, 429);
+    }
+
+    #[test]
+    fn half_sent_head_times_out_as_408() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Client sends half a header line and then goes quiet.
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /run HTTP/1.1\r\nX-Half: ").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let err = read_request(&mut BufReader::new(s)).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout));
+        assert_eq!(err.status(), 408);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn client_gets_and_reads_responses() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let req = read_request(&mut reader).unwrap();
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.route(), "/healthz");
+            assert!(req.body.is_empty());
+            s.write_all(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\":true}")
+                .unwrap();
+        });
+        let got = http_get(
+            &format!("http://{addr}/healthz"),
+            None,
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap();
+        assert_eq!((got.status, got.text().as_str()), (200, "{\"ok\":true}"));
+        server.join().unwrap();
     }
 }

@@ -137,19 +137,19 @@ pub use batched::TestBatch;
 pub use cache::{ContextCache, Fingerprint, TrainedContext};
 pub use estimator::{StopRule, Welford};
 pub use exec::{
-    run_distributed, CancelToken, DistError, ExecContext, ExecError, Executor, LocalExecutor,
-    RemoteExecutor, SpawnExecutor,
+    run_distributed, BreakerConfig, BreakerState, CancelToken, DistError, ExecContext, ExecError,
+    Executor, LocalExecutor, RemoteExecutor, SpawnExecutor, WorkerBreakers,
 };
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{histogram_quantile, Counter, FloatGauge, Gauge, Histogram, MetricsRegistry};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use rowcache::{RowCache, RowContext, RowKey};
 pub use runner::{
-    run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_streaming_with,
-    run_scenario_with, run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult,
-    StreamEvent, SweepRow,
+    run_point, run_point_range, run_scenario, run_scenario_shard_with,
+    run_scenario_streaming_cancellable, run_scenario_streaming_with, run_scenario_with,
+    run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult, StreamEvent, SweepRow,
 };
-pub use serve::{assemble_report, AssembleError, ServeConfig, Server};
+pub use serve::{assemble_report, AssembleError, QuotaConfig, RequestBudget, ServeConfig, Server};
 pub use shard::{merge_partials, plan_shard, MergeError, MergeState, PartialReport, ShardBlock};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 pub use trace::{Level, Span};

@@ -108,6 +108,40 @@ impl Gauge {
     }
 }
 
+/// A float-valued gauge — for derived values like latency quantiles that
+/// don't fit the integer [`Gauge`]. Stores the `f64` as bits in an
+/// `AtomicU64`; cloning shares the atomic. Renders as a Prometheus
+/// `gauge`.
+#[derive(Debug, Clone)]
+pub struct FloatGauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        FloatGauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl FloatGauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 #[derive(Debug)]
 struct HistogramCore {
     /// Bucket upper bounds, strictly increasing and finite; the implied
@@ -211,6 +245,9 @@ pub enum MetricKind {
     Counter,
     /// Up-and-down value ([`Gauge`]).
     Gauge,
+    /// Up-and-down float value ([`FloatGauge`]); renders as a Prometheus
+    /// `gauge`.
+    FloatGauge,
     /// Fixed-bucket distribution ([`Histogram`]).
     Histogram,
 }
@@ -219,7 +256,7 @@ impl MetricKind {
     fn exposition_name(self) -> &'static str {
         match self {
             MetricKind::Counter => "counter",
-            MetricKind::Gauge => "gauge",
+            MetricKind::Gauge | MetricKind::FloatGauge => "gauge",
             MetricKind::Histogram => "histogram",
         }
     }
@@ -229,6 +266,7 @@ impl MetricKind {
 enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
+    FloatGauge(FloatGauge),
     Histogram(Histogram),
 }
 
@@ -259,6 +297,8 @@ pub enum Reading {
     Counter(u64),
     /// Gauge value.
     Gauge(i64),
+    /// Float gauge value.
+    Float(f64),
     /// Histogram state: cumulative `(le, count)` buckets (excluding
     /// `+Inf`), sum, and total count.
     Histogram {
@@ -316,6 +356,17 @@ impl MetricsRegistry {
         }) {
             Instrument::Gauge(g) => g,
             _ => Gauge::new(),
+        }
+    }
+
+    /// The float gauge `name{labels}` (see [`MetricsRegistry::counter`]
+    /// for the get-or-create semantics).
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self.instrument(name, help, labels, MetricKind::FloatGauge, || {
+            Instrument::FloatGauge(FloatGauge::new())
+        }) {
+            Instrument::FloatGauge(g) => g,
+            _ => FloatGauge::new(),
         }
     }
 
@@ -422,6 +473,7 @@ impl MetricsRegistry {
                 let value = match instrument {
                     Instrument::Counter(c) => Reading::Counter(c.get()),
                     Instrument::Gauge(g) => Reading::Gauge(g.get()),
+                    Instrument::FloatGauge(g) => Reading::Float(g.get()),
                     Instrument::Histogram(h) => Reading::Histogram {
                         buckets: h.cumulative_buckets(),
                         sum: h.sum(),
@@ -456,6 +508,14 @@ impl MetricsRegistry {
                     }
                     Instrument::Gauge(g) => {
                         let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), g.get());
+                    }
+                    Instrument::FloatGauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            render_labels(labels, &[]),
+                            format_f64(g.get())
+                        );
                     }
                     Instrument::Histogram(h) => {
                         for (bound, cum) in h.cumulative_buckets() {
@@ -567,6 +627,41 @@ fn format_f64(v: f64) -> String {
     format!("{v}")
 }
 
+/// Estimates the `q`-quantile (0 ≤ q ≤ 1) of a histogram from its
+/// cumulative `(upper_bound, count)` buckets and total `count`, using
+/// Prometheus' `histogram_quantile` linear interpolation: find the first
+/// bucket whose cumulative count reaches rank `q × count`, then
+/// interpolate within it assuming uniform distribution. Observations
+/// past the last finite bound clamp to that bound (there is no upper
+/// edge to interpolate toward). An empty histogram yields `0.0`.
+///
+/// This feeds the alerting-grade `p50/p95/p99` gauges the server derives
+/// from its request-duration histograms at scrape time — a convenience
+/// view; the histograms themselves remain the source of truth.
+pub fn histogram_quantile(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * count as f64;
+    let mut prev_bound = 0.0;
+    let mut prev_cum = 0u64;
+    for &(bound, cum) in buckets {
+        if (cum as f64) >= rank {
+            let in_bucket = (cum - prev_cum) as f64;
+            if in_bucket <= 0.0 {
+                return bound;
+            }
+            let fraction = ((rank - prev_cum as f64) / in_bucket).clamp(0.0, 1.0);
+            return prev_bound + (bound - prev_bound) * fraction;
+        }
+        prev_bound = bound;
+        prev_cum = cum;
+    }
+    // Rank falls in the implied +Inf bucket: clamp to the last finite
+    // bound (Prometheus does the same).
+    buckets.last().map_or(0.0, |&(bound, _)| bound)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +737,43 @@ mod tests {
         let g = r.gauge("spnn_conflict", "help", &[]);
         g.set(7);
         assert!(r.render().contains("spnn_conflict 1"));
+    }
+
+    #[test]
+    fn float_gauge_renders_as_gauge() {
+        let r = MetricsRegistry::new();
+        let g = r.float_gauge("spnn_latency_p99", "p99 latency.", &[("route", "/run")]);
+        g.set(0.125);
+        let text = r.render();
+        assert!(text.contains("# TYPE spnn_latency_p99 gauge"), "{text}");
+        assert!(
+            text.contains("spnn_latency_p99{route=\"/run\"} 0.125"),
+            "{text}"
+        );
+        // Snapshot reads the same value.
+        let snap = r.snapshot();
+        let reading = snap
+            .iter()
+            .find(|s| s.name == "spnn_latency_p99")
+            .expect("series");
+        assert!(matches!(reading.value, Reading::Float(v) if (v - 0.125).abs() < 1e-12));
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_linearly() {
+        // 10 observations spread: 4 in (0, 0.1], 4 in (0.1, 1.0], 2 in (1.0, 10.0].
+        let buckets = vec![(0.1, 4), (1.0, 8), (10.0, 10)];
+        // p50 → rank 5, second bucket, 1 of 4 into [0.1, 1.0].
+        let p50 = histogram_quantile(&buckets, 10, 0.5);
+        assert!((p50 - (0.1 + 0.9 * 0.25)).abs() < 1e-12, "{p50}");
+        // p100 clamps to the last bound reached.
+        assert!((histogram_quantile(&buckets, 10, 1.0) - 10.0).abs() < 1e-12);
+        // Rank inside the first bucket interpolates from zero.
+        let p20 = histogram_quantile(&buckets, 10, 0.2);
+        assert!((p20 - 0.05).abs() < 1e-12, "{p20}");
+        // Empty histogram is 0; overflow past the last finite bound clamps.
+        assert_eq!(histogram_quantile(&[], 0, 0.9), 0.0);
+        assert!((histogram_quantile(&[(0.5, 1)], 4, 0.99) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -177,6 +177,26 @@ pub fn compile(spec: &ScenarioSpec, hardware: &PhotonicNetwork) -> Vec<WorkItem>
     queue
 }
 
+/// The queue length per mapped network when it is derivable from the
+/// spec alone — i.e. without training/mapping the hardware. Global plans
+/// are a pure cartesian product (effects grid × modes × sigmas); zonal
+/// plans depend on the mapped mesh's zone grids, so they return `None`.
+///
+/// This is what lets the server reject an over-budget request *before*
+/// spending any compute on it: `Some(n)` here times the topology count
+/// is exactly `compile(...).len()` summed over topologies.
+pub fn static_queue_len(spec: &ScenarioSpec) -> Option<usize> {
+    match spec.plan {
+        PlanKind::Global | PlanKind::GlobalNoSigma => {
+            let effects = spec.effects.quantization_bits.len()
+                * spec.effects.thermal_kappa.len()
+                * spec.effects.mzi_loss_db.len();
+            Some(effects * spec.sweep.modes.len() * spec.sweep.sigmas.len())
+        }
+        PlanKind::Zonal => None,
+    }
+}
+
 fn spec_plan_label(plan: PlanKind) -> &'static str {
     match plan {
         PlanKind::Global => "global",
@@ -276,6 +296,21 @@ mod tests {
         for item in &queue {
             assert!(matches!(item.plan, PerturbationPlan::Zonal { .. }));
         }
+    }
+
+    #[test]
+    fn static_queue_len_matches_compile_for_global_plans() {
+        let hw = tiny_hw();
+        let mut spec = tiny_spec();
+        spec.effects.quantization_bits = vec![None, Some(6)];
+        spec.effects.mzi_loss_db = vec![0.0, 0.1, 0.2];
+        assert_eq!(static_queue_len(&spec), Some(compile(&spec, &hw).len()));
+
+        let mut zonal = ScenarioSpec::default();
+        zonal.plan = PlanKind::Zonal;
+        zonal.zonal.stages = vec![Stage::UMesh];
+        zonal.zonal.layers = LayerSelect::List(vec![0]);
+        assert_eq!(static_queue_len(&zonal), None);
     }
 
     #[test]

@@ -382,6 +382,12 @@ pub enum EngineError {
     Invalid(String),
     /// Photonic mapping failed.
     Mapping(SpnnError),
+    /// The run was aborted between sweep points by a cancelled
+    /// [`crate::exec::CancelToken`] (request abort, budget violation) —
+    /// see [`run_scenario_streaming_cancellable`]. The caller that
+    /// cancelled the token knows why; this variant only reports that the
+    /// run stopped before completing.
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -389,6 +395,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Invalid(m) => write!(f, "invalid scenario: {m}"),
             EngineError::Mapping(e) => write!(f, "photonic mapping failed: {e}"),
+            EngineError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -704,6 +711,43 @@ pub fn run_scenario_streaming_with(
     cache: &ContextCache,
     observe: &mut dyn FnMut(StreamEvent<'_>),
 ) -> Result<EngineReport, EngineError> {
+    run_streaming_inner(spec, config, cache, None, observe)
+}
+
+/// [`run_scenario_streaming_with`] with a cooperative abort: the token is
+/// polled between sweep points, and a cancelled token stops the run with
+/// [`EngineError::Cancelled`] before the next point starts — the seam the
+/// server's per-request budget enforcement cancels through.
+///
+/// Granularity is deliberately the sweep point, not the iteration: a
+/// point in flight always completes, so every row that *was* emitted is
+/// bit-identical to the corresponding row of an uncancelled run, and
+/// already-cached rows stay valid. Note the token observes the
+/// process-wide shutdown flag too (see [`CancelToken::is_cancelled`]);
+/// callers that must let in-flight streams drain through a graceful
+/// shutdown should use [`run_scenario_streaming_with`] instead.
+///
+/// # Errors
+///
+/// As [`run_scenario_streaming_with`], plus [`EngineError::Cancelled`]
+/// when the token is cancelled mid-sweep.
+pub fn run_scenario_streaming_cancellable(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    cancel: &crate::exec::CancelToken,
+    observe: &mut dyn FnMut(StreamEvent<'_>),
+) -> Result<EngineReport, EngineError> {
+    run_streaming_inner(spec, config, cache, Some(cancel), observe)
+}
+
+fn run_streaming_inner(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    cancel: Option<&crate::exec::CancelToken>,
+    observe: &mut dyn FnMut(StreamEvent<'_>),
+) -> Result<EngineReport, EngineError> {
     if let Some(rc) = &config.row_cache {
         if let Some(report) = replay_cached_scenario(spec, rc, observe) {
             return Ok(report);
@@ -726,6 +770,9 @@ pub fn run_scenario_streaming_with(
     let counters = SweepCounters::new(&config.metrics);
     let mut rows = Vec::with_capacity(total);
     for (i, point) in prep.points.iter().enumerate() {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return Err(EngineError::Cancelled);
+        }
         let key = rctx
             .as_ref()
             .map(|(_, ctx)| ctx.key(point.topology, &point.item.labels));

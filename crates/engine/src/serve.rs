@@ -99,14 +99,17 @@
 //! codes, concurrency and determinism semantics.
 
 use crate::cache::ContextCache;
-use crate::exec::{run_distributed, CancelToken, ExecContext, RemoteExecutor};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::exec::{
+    run_distributed, BreakerConfig, CancelToken, ExecContext, RemoteExecutor, WorkerBreakers,
+};
+use crate::http::{http_get, read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
-use crate::metrics::{self, Counter, Gauge, MetricsRegistry};
+use crate::metrics::{self, histogram_quantile, Counter, Gauge, MetricsRegistry, Reading};
+use crate::queue::static_queue_len;
 use crate::report::{csv_header, csv_row, label_keys};
 use crate::runner::{
-    run_scenario_shard_with, run_scenario_streaming_with, EngineConfig, EngineReport, StreamEvent,
-    SweepRow, TopologySummary,
+    run_scenario_shard_with, run_scenario_streaming_cancellable, run_scenario_streaming_with,
+    EngineConfig, EngineReport, StreamEvent, SweepRow, TopologySummary,
 };
 use crate::spec::ScenarioSpec;
 use crate::tevent;
@@ -119,13 +122,170 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+/// Per-request work ceilings, enforced on `POST /run`. A request whose
+/// spec provably exceeds a ceiling is rejected with `400` before any
+/// compute; a request that crosses one mid-run (adaptive stop rules,
+/// zonal plans whose queue size depends on the mapped mesh) is aborted
+/// between sweep points and its stream ends with a structured `error`
+/// event. `0` means unlimited. Budgets never change the value of any
+/// row that *is* emitted — enforcement is point-granular.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestBudget {
+    /// Maximum sweep points a request may produce (0 = unlimited).
+    pub max_points: u64,
+    /// Maximum Monte-Carlo iterations a request may spend (0 = unlimited).
+    pub max_iterations: u64,
+    /// Maximum Monte-Carlo rounds a request may spend (0 = unlimited).
+    pub max_rounds: u64,
+}
+
+impl RequestBudget {
+    /// `true` when no ceiling is configured.
+    pub fn is_unlimited(&self) -> bool {
+        *self == RequestBudget::default()
+    }
+
+    /// Checks the floors derivable from the spec alone — the compiled
+    /// queue length for global plans, exact totals for fixed stop rules,
+    /// `min_iterations` floors for adaptive ones. Returns the rejection
+    /// reason when the spec cannot possibly fit the budget.
+    fn static_violation(&self, spec: &ScenarioSpec) -> Option<String> {
+        let points_per_topology = static_queue_len(spec)?; // zonal: runtime only
+        let points = (points_per_topology * spec.topologies.len()) as u64;
+        if self.max_points > 0 && points > self.max_points {
+            return Some(format!(
+                "budget exceeded: spec compiles to {points} point(s), max_points is {}",
+                self.max_points
+            ));
+        }
+        let round_size = spec.round_size.max(1) as u64;
+        // Fixed stop rule: exact per-point cost. Adaptive: at least
+        // min_iterations per point — still a provable floor.
+        let (iters_per_point, qualifier) = if spec.target_moe > 0.0 {
+            (spec.min_iterations as u64, "at least ")
+        } else {
+            (spec.iterations as u64, "")
+        };
+        let iterations = points * iters_per_point;
+        if self.max_iterations > 0 && iterations > self.max_iterations {
+            return Some(format!(
+                "budget exceeded: spec needs {qualifier}{iterations} iteration(s), \
+                 max_iterations is {}",
+                self.max_iterations
+            ));
+        }
+        let rounds = points * iters_per_point.div_ceil(round_size);
+        if self.max_rounds > 0 && rounds > self.max_rounds {
+            return Some(format!(
+                "budget exceeded: spec needs {qualifier}{rounds} round(s), max_rounds is {}",
+                self.max_rounds
+            ));
+        }
+        None
+    }
+}
+
+/// Tracks a request's spend against its [`RequestBudget`] as stream
+/// events arrive; detects the first violation.
+struct BudgetMeter {
+    budget: RequestBudget,
+    round_size: u64,
+    points: u64,
+    iterations: u64,
+    rounds: u64,
+}
+
+impl BudgetMeter {
+    fn new(budget: RequestBudget, round_size: usize) -> Self {
+        BudgetMeter {
+            budget,
+            round_size: round_size.max(1) as u64,
+            points: 0,
+            iterations: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Accounts one event; returns the violation message the first time
+    /// a ceiling is crossed.
+    fn observe(&mut self, event: &StreamEvent<'_>) -> Option<String> {
+        match event {
+            StreamEvent::Started { total_points, .. } => {
+                let total = *total_points as u64;
+                if self.budget.max_points > 0 && total > self.budget.max_points {
+                    return Some(format!(
+                        "budget exceeded: scenario has {total} point(s), max_points is {}",
+                        self.budget.max_points
+                    ));
+                }
+            }
+            StreamEvent::Row { row, .. } => {
+                self.points += 1;
+                self.iterations += row.iterations as u64;
+                self.rounds += (row.iterations as u64).div_ceil(self.round_size);
+                if self.budget.max_iterations > 0 && self.iterations > self.budget.max_iterations {
+                    return Some(format!(
+                        "budget exceeded: {} iteration(s) spent, max_iterations is {}",
+                        self.iterations, self.budget.max_iterations
+                    ));
+                }
+                if self.budget.max_rounds > 0 && self.rounds > self.budget.max_rounds {
+                    return Some(format!(
+                        "budget exceeded: {} round(s) spent, max_rounds is {}",
+                        self.rounds, self.budget.max_rounds
+                    ));
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+}
+
+/// Per-client concurrency and rate limits for `POST /run` and
+/// `POST /shard`, keyed by the `X-Client-Id` header (falling back to the
+/// peer IP). Token-bucket: a client holds up to `burst` tokens,
+/// replenished at `rate` per second; each admitted request spends one.
+/// `0` disables the corresponding limit. Denied requests get `429` with
+/// a `Retry-After` estimating when a token will be available.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuotaConfig {
+    /// Maximum concurrent `/run` + `/shard` requests per client
+    /// (0 = unlimited).
+    pub max_concurrent: u32,
+    /// Sustained request rate per client, in requests/second
+    /// (0 = unlimited).
+    pub rate: f64,
+    /// Token-bucket capacity — the burst a client may spend at once.
+    /// `0` with a positive `rate` defaults to `max(rate, 1)`.
+    pub burst: f64,
+}
+
+impl QuotaConfig {
+    fn enabled(&self) -> bool {
+        self.max_concurrent > 0 || self.rate > 0.0
+    }
+
+    fn capacity(&self) -> f64 {
+        if self.burst > 0.0 {
+            self.burst
+        } else {
+            self.rate.max(1.0)
+        }
+    }
+}
+
 /// How the service runs. Like [`EngineConfig`], nothing here may change
-/// results — only capacity, placement, and logging.
+/// the results of admitted requests — only capacity, placement,
+/// admission, and logging. (Admission knobs decide *whether* a request
+/// runs, never *what* it computes: an admitted stream is byte-identical
+/// under any setting.)
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Connection-handling worker threads (each runs at most one
     /// scenario at a time; the Monte-Carlo sweep inside a request is
-    /// additionally parallelized per [`EngineConfig::threads`]).
+    /// additionally parallelized per [`EngineConfig::threads`]). This is
+    /// the service's in-flight cap.
     pub workers: usize,
     /// Engine execution knobs applied to every request.
     /// `engine.cache_dir` seeds the service's process-lifetime
@@ -136,6 +296,27 @@ pub struct ServeConfig {
     /// service into a **coordinator** that dispatches one shard per
     /// worker and merges partials as they arrive (see the module docs).
     pub remote_workers: Vec<String>,
+    /// Admission queue depth: connections accepted but not yet picked up
+    /// by a worker. Overflow is shed immediately with `429` +
+    /// `Retry-After` instead of piling into the kernel accept backlog.
+    pub queue_depth: usize,
+    /// Longest a connection may wait in the admission queue; a request
+    /// dequeued after this deadline is shed with `429` (its spot was a
+    /// promise the server could no longer keep in time).
+    pub queue_wait: Duration,
+    /// Socket read budget per request: a client that sends half a head
+    /// and stalls is answered `408` instead of pinning a worker forever.
+    pub read_timeout: Duration,
+    /// Socket write budget: a client that stops reading its stream stalls
+    /// writes at most this long before the connection is abandoned.
+    pub write_timeout: Duration,
+    /// Per-request work ceilings (see [`RequestBudget`]).
+    pub budget: RequestBudget,
+    /// Per-client concurrency/rate quotas (see [`QuotaConfig`]).
+    pub quota: QuotaConfig,
+    /// Circuit-breaker tuning for coordinator-side worker health (see
+    /// [`BreakerConfig`]; only used when `remote_workers` is non-empty).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +325,13 @@ impl Default for ServeConfig {
             workers: 4,
             engine: EngineConfig::default(),
             remote_workers: Vec::new(),
+            queue_depth: 64,
+            queue_wait: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(60),
+            budget: RequestBudget::default(),
+            quota: QuotaConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -242,6 +430,32 @@ impl Drop for LeaderGuard<'_> {
     }
 }
 
+/// One client's token-bucket state (see [`QuotaConfig`]).
+struct ClientBucket {
+    tokens: f64,
+    refilled_at: Instant,
+    in_flight: u32,
+}
+
+/// RAII release of one admitted request's quota spend.
+struct QuotaGuard<'a> {
+    state: &'a ServerState,
+    key: String,
+}
+
+impl Drop for QuotaGuard<'_> {
+    fn drop(&mut self) {
+        let mut clients = self
+            .state
+            .quota_clients
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(bucket) = clients.get_mut(&self.key) {
+            bucket.in_flight = bucket.in_flight.saturating_sub(1);
+        }
+    }
+}
+
 struct ServerState {
     engine: EngineConfig,
     cache: ContextCache,
@@ -266,6 +480,25 @@ struct ServerState {
     dedup_fanouts: Counter,
     /// Requests currently subscribed to another request's stream.
     dedup_subscribers: Gauge,
+    /// Admission-queue capacity and deadline (see
+    /// [`ServeConfig::queue_depth`] / [`ServeConfig::queue_wait`]).
+    queue_depth: usize,
+    queue_wait: Duration,
+    /// Socket timeouts applied to every admitted connection.
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Per-request work ceilings.
+    budget: RequestBudget,
+    /// Per-client quotas plus their token-bucket state.
+    quota: QuotaConfig,
+    quota_clients: Mutex<HashMap<String, ClientBucket>>,
+    quota_client_count: Gauge,
+    /// Requests admitted past the queue (picked up by a worker in time).
+    admission_accepted: Counter,
+    /// Connections currently waiting in the admission queue.
+    admission_queue_depth: Gauge,
+    /// Coordinator-side worker circuit breakers (`None` in worker role).
+    breakers: Option<Arc<WorkerBreakers>>,
 }
 
 impl ServerState {
@@ -332,17 +565,28 @@ impl Server {
             rc.register_metrics(&registry);
         }
         let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
+        let remote_workers: Vec<String> = config
+            .remote_workers
+            .iter()
+            .map(|w| w.trim_end_matches('/').to_string())
+            .collect();
+        // Coordinator role only: one breaker per worker, registered up
+        // front so `/healthz` and `/metrics` show every worker as
+        // "closed" from the first scrape, not only after a failure.
+        let breakers = (!remote_workers.is_empty()).then(|| {
+            let b = Arc::new(WorkerBreakers::new(config.breaker, &registry));
+            for worker in &remote_workers {
+                b.admits(worker);
+            }
+            b
+        });
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 engine,
                 cache,
                 workers,
-                remote_workers: config
-                    .remote_workers
-                    .iter()
-                    .map(|w| w.trim_end_matches('/').to_string())
-                    .collect(),
+                remote_workers,
                 cancel: CancelToken::new(),
                 started_at: Instant::now(),
                 started: counter("spnn_runs_started_total", "Scenario runs accepted."),
@@ -372,6 +616,28 @@ impl Server {
                     "Requests currently subscribed to another request's /run stream.",
                     &[],
                 ),
+                queue_depth: config.queue_depth.max(1),
+                queue_wait: config.queue_wait,
+                read_timeout: config.read_timeout,
+                write_timeout: config.write_timeout,
+                budget: config.budget,
+                quota: config.quota,
+                quota_clients: Mutex::new(HashMap::new()),
+                quota_client_count: registry.gauge(
+                    "spnn_quota_clients",
+                    "Distinct clients currently tracked by the quota layer.",
+                    &[],
+                ),
+                admission_accepted: counter(
+                    "spnn_admission_accepted_total",
+                    "Connections admitted past the queue and handed to a worker.",
+                ),
+                admission_queue_depth: registry.gauge(
+                    "spnn_admission_queue_depth",
+                    "Connections currently waiting in the admission queue.",
+                    &[],
+                ),
+                breakers,
                 metrics: registry,
             }),
         })
@@ -406,11 +672,14 @@ impl Server {
     /// accepted connection is handed to one of the worker threads; a
     /// worker handles one request per connection (`Connection: close`).
     ///
-    /// Backpressure: the hand-off queue holds at most a few connections
-    /// per worker; when every worker is busy the accept loop blocks, so
-    /// excess clients wait in the kernel's accept backlog instead of
-    /// accumulating open sockets (their read timeout starts only once a
-    /// worker picks them up).
+    /// Admission: accepted connections enter a bounded FIFO queue of
+    /// [`ServeConfig::queue_depth`] slots. When the queue is full the
+    /// connection is shed immediately with `429 Too Many Requests` and a
+    /// `Retry-After` header instead of accumulating open sockets; a
+    /// queued connection that no worker picks up within
+    /// [`ServeConfig::queue_wait`] is shed the same way at dequeue —
+    /// better a prompt 429 than a stream that starts after the client
+    /// gave up.
     ///
     /// Shutdown: once the cancel token fires (programmatically, or via
     /// SIGTERM/SIGINT after [`crate::exec::install_signal_handlers`])
@@ -427,8 +696,9 @@ impl Server {
     /// error.
     pub fn run(self) -> io::Result<()> {
         let verbose = self.state.engine.verbose;
-        // Bounded hand-off: `send` blocks when workers are saturated.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.state.workers * 2);
+        // Bounded FIFO admission queue; `try_send` fails fast when it is
+        // full so overflow is shed at accept time, not buffered.
+        let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(self.state.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(self.state.workers);
         for _ in 0..self.state.workers {
@@ -440,11 +710,38 @@ impl Server {
                     Err(_) => break,
                 };
                 match conn {
-                    Ok(stream) => handle_connection(stream, &state),
+                    Ok((stream, enqueued_at)) => {
+                        state.admission_queue_depth.dec();
+                        let waited = enqueued_at.elapsed();
+                        if waited > state.queue_wait {
+                            // The queue deadline passed while this
+                            // connection waited for a worker.
+                            shed(&state, stream, "deadline", waited);
+                            continue;
+                        }
+                        state
+                            .metrics
+                            .histogram(
+                                "spnn_admission_queue_wait_seconds",
+                                "Time admitted connections spent queued for a worker.",
+                                &[],
+                                metrics::DURATION_BUCKETS,
+                            )
+                            .observe_duration(waited);
+                        state.admission_accepted.inc();
+                        handle_connection(stream, &state);
+                    }
                     Err(_) => break, // listener gone
                 }
             }));
         }
+        // Coordinator role: a background prober revives open breakers by
+        // polling the worker's /healthz once its cooldown elapses, so
+        // recovery does not have to wait for live request traffic.
+        let prober = self.state.breakers.clone().map(|breakers| {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || probe_breakers(&state, &breakers))
+        });
         // Non-blocking accept so the loop can observe a shutdown request
         // between connections; accepted sockets are switched back to
         // blocking before hand-off.
@@ -463,8 +760,17 @@ impl Server {
                     if stream.set_nonblocking(false).is_err() {
                         continue;
                     }
-                    if tx.send(stream).is_err() {
-                        break; // all workers died — surface below
+                    self.state.admission_queue_depth.inc();
+                    match tx.try_send((stream, Instant::now())) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full((stream, _))) => {
+                            self.state.admission_queue_depth.dec();
+                            shed(&self.state, stream, "queue_full", Duration::ZERO);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            self.state.admission_queue_depth.dec();
+                            break; // all workers died — surface below
+                        }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -490,16 +796,101 @@ impl Server {
         for worker in pool {
             let _ = worker.join();
         }
+        if let Some(prober) = prober {
+            let _ = prober.join();
+        }
         Ok(())
     }
 }
 
+/// Sheds one connection with `429 Too Many Requests` plus a
+/// `Retry-After` hint derived from the configured queue deadline. Writes
+/// under a short timeout — a shed must never block the accept loop.
+fn shed(state: &ServerState, stream: TcpStream, reason: &'static str, waited: Duration) {
+    state
+        .metrics
+        .counter(
+            "spnn_admission_shed_total",
+            "Connections shed by admission control, by reason.",
+            &[("reason", reason)],
+        )
+        .inc();
+    tevent!(
+        Level::Warn,
+        "serve",
+        "shed",
+        reason = reason,
+        waited_seconds = waited.as_secs_f64(),
+    );
+    let retry_after = state.queue_wait.as_secs().clamp(1, 60);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let body =
+        format!("{{\"error\": \"server overloaded ({reason}), retry after {retry_after}s\"}}\n");
+    let _ = Response::json(429, body)
+        .with_header("Retry-After", retry_after.to_string())
+        .write_to(&mut stream);
+    // The client is mid-way through sending the request this 429
+    // rejects; closing with unread data pending would RST the socket
+    // and eat the response. Signal end-of-response, then drain a
+    // bounded amount so the 429 gets through.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 8192];
+    let mut drained = 0usize;
+    while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        if drained > crate::http::MAX_BODY_BYTES {
+            break;
+        }
+    }
+    record_request(state, "", "", 429, waited, 0);
+}
+
+/// Background half-open prober (coordinator role): wakes every
+/// [`PROBE_POLL`], asks the breaker layer which workers are due, and
+/// settles each with a `GET /healthz` — `200` closes the breaker,
+/// anything else re-opens it for another cooldown.
+fn probe_breakers(state: &ServerState, breakers: &WorkerBreakers) {
+    let probes = |outcome: &'static str| {
+        state.metrics.counter(
+            "spnn_breaker_probes_total",
+            "Half-open health probes sent to workers, by outcome.",
+            &[("outcome", outcome)],
+        )
+    };
+    while !state.cancel.is_cancelled() {
+        for worker in breakers.probe_due() {
+            let abort = || state.cancel.is_cancelled();
+            let ok = http_get(
+                &format!("{worker}/healthz"),
+                Some(&abort),
+                Some(PROBE_TIMEOUT),
+            )
+            .is_ok_and(|r| r.status == 200);
+            if ok {
+                probes("success").inc();
+                breakers.record_success(&worker);
+            } else {
+                probes("failure").inc();
+                breakers.record_failure(&worker);
+            }
+        }
+        std::thread::sleep(PROBE_POLL);
+    }
+}
+
+/// How often the breaker prober checks for workers due a health probe.
+const PROBE_POLL: Duration = Duration::from_millis(250);
+
+/// Socket budget for one half-open `/healthz` probe.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// How often the accept loop re-checks for connections and shutdown.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
-
-/// Per-connection read budget: covers slow clients without letting a
-/// dead one pin a worker forever.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A write-through wrapper counting bytes actually written — feeds the
 /// access log's `bytes` field without touching response rendering.
@@ -586,9 +977,75 @@ fn record_request(
     );
 }
 
+/// Clients tracked before the quota layer prunes idle buckets — a
+/// cardinality bound, not a client limit (a pruned idle client just
+/// starts over with a full bucket).
+const QUOTA_CLIENT_CAP: usize = 4096;
+
+/// Per-client admission for work endpoints: enforces [`QuotaConfig`]
+/// against the client's token bucket. Clients are keyed by their
+/// `X-Client-Id` header, falling back to the peer IP. Returns a guard
+/// that releases the concurrency slot when the request finishes, or the
+/// denial reason plus a `Retry-After` hint in whole seconds.
+fn admit_client<'a>(
+    state: &'a ServerState,
+    request: &Request,
+    peer_ip: &str,
+) -> Result<Option<QuotaGuard<'a>>, (&'static str, u64)> {
+    if !state.quota.enabled() {
+        return Ok(None);
+    }
+    let key = match request.header("x-client-id") {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => peer_ip.to_string(),
+    };
+    let capacity = state.quota.capacity();
+    let now = Instant::now();
+    let mut clients = state
+        .quota_clients
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if clients.len() >= QUOTA_CLIENT_CAP {
+        // Idle, fully-refilled buckets carry no state worth keeping.
+        clients.retain(|_, b| {
+            b.in_flight > 0 || now.duration_since(b.refilled_at) < Duration::from_secs(60)
+        });
+    }
+    let bucket = clients.entry(key.clone()).or_insert(ClientBucket {
+        tokens: capacity,
+        refilled_at: now,
+        in_flight: 0,
+    });
+    if state.quota.max_concurrent > 0 && bucket.in_flight >= state.quota.max_concurrent {
+        return Err(("concurrency", 1));
+    }
+    if state.quota.rate > 0.0 {
+        let dt = now.duration_since(bucket.refilled_at).as_secs_f64();
+        bucket.tokens = capacity.min(bucket.tokens + dt * state.quota.rate);
+        bucket.refilled_at = now;
+        if bucket.tokens < 1.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let wait = ((1.0 - bucket.tokens) / state.quota.rate).ceil() as u64;
+            return Err(("rate", wait.clamp(1, 60)));
+        }
+        bucket.tokens -= 1.0;
+    }
+    bucket.in_flight += 1;
+    #[allow(clippy::cast_possible_wrap)]
+    state.quota_client_count.set(clients.len() as i64);
+    Ok(Some(QuotaGuard { state, key }))
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.write_timeout));
     let _ = stream.set_nodelay(true);
+    // Captured before any read: the quota layer falls back to the peer
+    // IP when the client does not identify itself.
+    let peer_ip = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let mut writer = stream;
     let mut reader = match writer.try_clone() {
         Ok(r) => BufReader::new(r),
@@ -628,15 +1085,57 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         bytes: 0,
     };
     let status = match (request.method.as_str(), request.route()) {
-        ("POST", "/run") => handle_run(&request, &mut writer, state),
-        ("POST", "/shard") => handle_shard(&request, &mut writer, state),
+        ("POST", route @ ("/run" | "/shard")) => match admit_client(state, &request, &peer_ip) {
+            Ok(_quota_guard) => {
+                if route == "/run" {
+                    handle_run(&request, &mut writer, state)
+                } else {
+                    handle_shard(&request, &mut writer, state)
+                }
+            }
+            Err((reason, retry_after)) => {
+                state
+                    .metrics
+                    .counter(
+                        "spnn_quota_shed_total",
+                        "Requests shed by per-client quotas, by reason.",
+                        &[("reason", reason)],
+                    )
+                    .inc();
+                let body = format!(
+                    "{{\"error\": \"client quota exceeded ({reason}), retry after \
+                     {retry_after}s\"}}\n"
+                );
+                let _ = Response::json(429, body)
+                    .with_header("Retry-After", retry_after.to_string())
+                    .write_to(&mut writer);
+                429
+            }
+        },
         ("GET", "/healthz") => {
             let c = state.counters();
+            // Coordinator role: per-worker breaker state, so an operator
+            // (or orchestration probe) sees which workers are being
+            // skipped without scraping /metrics.
+            let breakers = state.breakers.as_ref().map_or_else(String::new, |b| {
+                let entries: Vec<String> = b
+                    .snapshot()
+                    .into_iter()
+                    .map(|(worker, breaker_state)| {
+                        format!(
+                            "\"{}\": \"{}\"",
+                            json::escape(&worker),
+                            breaker_state.as_str()
+                        )
+                    })
+                    .collect();
+                format!(", \"worker_breakers\": {{{}}}", entries.join(", "))
+            });
             let body = format!(
                 "{{\"status\": \"ok\", \"version\": \"{}\", \"role\": \"{}\", \
                  \"uptime_seconds\": {}, \"workers\": {}, \"remote_workers\": {}, \
                  \"runs_started\": {}, \"runs_completed\": {}, \"runs_failed\": {}, \
-                 \"shards_completed\": {}, \"shards_failed\": {}}}\n",
+                 \"shards_completed\": {}, \"shards_failed\": {}{breakers}}}\n",
                 env!("CARGO_PKG_VERSION"),
                 state.role(),
                 state.started_at.elapsed().as_secs(),
@@ -670,6 +1169,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             200
         }
         ("GET", "/metrics") => {
+            update_latency_quantiles(&state.metrics);
             let body = state.metrics.render();
             let _ = Response::text(200, "text/plain; version=0.0.4; charset=utf-8", body)
                 .write_to(&mut writer);
@@ -698,6 +1198,39 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         started.elapsed(),
         writer.bytes,
     );
+}
+
+/// Refreshes the p50/p95/p99 per-route latency gauges from the request
+/// duration histograms — called at scrape time, so the gauges are as
+/// fresh as the histograms they summarize. The estimate is the same
+/// linear interpolation PromQL's `histogram_quantile` applies.
+fn update_latency_quantiles(registry: &MetricsRegistry) {
+    for series in registry.snapshot() {
+        if series.name != "spnn_request_duration_seconds" {
+            continue;
+        }
+        let Reading::Histogram { buckets, count, .. } = &series.value else {
+            continue;
+        };
+        let Some(route) = series
+            .labels
+            .iter()
+            .find(|(k, _)| k == "route")
+            .map(|(_, v)| v.as_str())
+        else {
+            continue;
+        };
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            registry
+                .float_gauge(
+                    "spnn_request_latency_quantile_seconds",
+                    "Estimated request latency quantiles per route, derived from \
+                     the duration histogram at scrape time.",
+                    &[("route", route), ("quantile", label)],
+                )
+                .set(histogram_quantile(buckets, *count, q));
+        }
+    }
 }
 
 /// Parses and validates the request body as a scenario spec, answering
@@ -762,6 +1295,14 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
     let Some(spec) = parse_spec_or_reject(request, writer) else {
         return 400;
     };
+    // Statically derivable budget violations are rejected before any
+    // work (or stream head) exists — the client gets a plain 400 it can
+    // act on, not a mid-stream error event.
+    if let Some(message) = state.budget.static_violation(&spec) {
+        let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&message));
+        let _ = Response::json(400, body).write_to(writer);
+        return 400;
+    }
 
     let content_type = match format {
         StreamFormat::Ndjson => "application/x-ndjson",
@@ -814,34 +1355,72 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
             broken = true;
         }
     };
+    // Per-request cancellation seam for the runtime budget meter. The
+    // worker path uses a standalone token: with no budget configured the
+    // non-cancellable runner keeps graceful-shutdown drain semantics
+    // (in-flight streams finish after SIGTERM); with one, only the
+    // meter can trip it. The coordinator path chains off the server
+    // token so shutdown still cancels remote dispatch as before.
+    let request_cancel = if state.remote_workers.is_empty() {
+        CancelToken::new()
+    } else {
+        state.cancel.child()
+    };
+    let mut meter = BudgetMeter::new(state.budget, spec.round_size);
+    let mut budget_msg: Option<String> = None;
     // Both execution paths feed the same observer: the CSV writer shares
     // the report's row formatter, the NDJSON writer the event formatter —
-    // streamed output cannot diverge from the batch renderings.
+    // streamed output cannot diverge from the batch renderings. The
+    // budget meter audits the same stream and trips the request token at
+    // the first violation; rows already emitted stay bit-identical to an
+    // unbudgeted run.
     let mut header_written = false;
-    let mut observe = |event: StreamEvent<'_>| match format {
-        StreamFormat::Ndjson => emit(event_line(&event)),
-        StreamFormat::Csv => {
-            if let StreamEvent::Row { row, .. } = event {
-                let keys = label_keys(row);
-                if !header_written {
-                    header_written = true;
-                    emit(csv_header(&keys));
+    let mut observe = |event: StreamEvent<'_>| {
+        if budget_msg.is_none() {
+            if let Some(message) = meter.observe(&event) {
+                budget_msg = Some(message);
+                request_cancel.cancel();
+            }
+        }
+        match format {
+            StreamFormat::Ndjson => emit(event_line(&event)),
+            StreamFormat::Csv => {
+                if let StreamEvent::Row { row, .. } = event {
+                    let keys = label_keys(row);
+                    if !header_written {
+                        header_written = true;
+                        emit(csv_header(&keys));
+                    }
+                    emit(csv_row(row, &keys));
                 }
-                emit(csv_row(row, &keys));
             }
         }
     };
     let result = if state.remote_workers.is_empty() {
-        run_scenario_streaming_with(&spec, &state.engine, &state.cache, &mut observe)
-            .map_err(|e| e.to_string())
+        if state.budget.is_unlimited() {
+            run_scenario_streaming_with(&spec, &state.engine, &state.cache, &mut observe)
+        } else {
+            run_scenario_streaming_cancellable(
+                &spec,
+                &state.engine,
+                &state.cache,
+                &request_cancel,
+                &mut observe,
+            )
+        }
+        .map_err(|e| e.to_string())
     } else {
         // Coordinator: one shard per worker, merged as they arrive. The
-        // executor retries a failed worker's shard on the next worker.
-        let executor = RemoteExecutor::new(state.remote_workers.iter().cloned());
+        // executor retries a failed worker's shard on the next worker,
+        // skipping workers whose circuit breaker is open.
+        let mut executor = RemoteExecutor::new(state.remote_workers.iter().cloned());
+        if let Some(breakers) = &state.breakers {
+            executor = executor.with_breakers(Arc::clone(breakers));
+        }
         let ctx = ExecContext {
             config: &state.engine,
             cache: &state.cache,
-            cancel: &state.cancel,
+            cancel: &request_cancel,
         };
         run_distributed(
             &spec,
@@ -872,6 +1451,9 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
             run.finish(true);
         }
         Err(message) => {
+            // A budget abort surfaces the meter's structured reason, not
+            // the runner's generic cancellation error.
+            let message = budget_msg.take().unwrap_or(message);
             match format {
                 StreamFormat::Ndjson => emit(format!(
                     "{{\"event\": \"error\", \"message\": \"{}\"}}\n",

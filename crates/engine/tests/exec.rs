@@ -107,6 +107,7 @@ fn start_worker() -> SocketAddr {
                 ..EngineConfig::default()
             },
             remote_workers: Vec::new(),
+            ..ServeConfig::default()
         },
     )
     .expect("bind worker");

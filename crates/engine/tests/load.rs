@@ -1,0 +1,234 @@
+//! Load harness (the CI `load-test` job): N ≥ 16 concurrent clients —
+//! a cold/warm-cache/over-budget mix — against a small admission queue.
+//! Acceptance: every admitted stream assembles **byte-identical** to the
+//! batch report, every shed request gets a well-formed `429` with a
+//! `Retry-After` header, over-budget specs are rejected with `400`
+//! naming the budget, and the process RSS stays bounded throughout
+//! (sampled from `/proc/self/status`).
+
+use spnn_engine::prelude::*;
+use spnn_engine::{QuotaConfig, RequestBudget};
+use spnn_photonics::PerturbTarget;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+fn tiny_fig4() -> ScenarioSpec {
+    let mut spec = presets::fig4(&RunScale::tiny());
+    spec.sweep.modes = vec![PerturbTarget::Both];
+    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
+    spec.iterations = 8;
+    spec.min_iterations = 2;
+    spec.round_size = 4;
+    spec
+}
+
+/// A spec whose fixed per-point work keeps a worker busy long enough for
+/// the burst below to find both workers occupied.
+fn slow_spec() -> ScenarioSpec {
+    let mut spec = tiny_fig4();
+    spec.iterations = 64;
+    spec.min_iterations = 64;
+    spec
+}
+
+/// A spec that statically exceeds the configured `max_points` budget.
+fn over_budget_spec() -> ScenarioSpec {
+    let mut spec = tiny_fig4();
+    spec.sweep.sigmas = (0..12).map(|i| f64::from(i) * 0.01).collect();
+    spec
+}
+
+/// One raw close-delimited HTTP exchange; returns the full response.
+fn http_raw(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+fn post_run_raw(addr: SocketAddr, spec_text: &str) -> String {
+    http_raw(
+        addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            spec_text.len(),
+            spec_text
+        ),
+    )
+}
+
+/// The current resident set size in kilobytes, from `/proc/self/status`.
+/// `None` on platforms without procfs — the RSS gate is then skipped.
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// How one response was handled, for the aggregate accounting.
+enum Outcome {
+    /// `200`, stream assembled byte-identical to the batch report.
+    Streamed,
+    /// `429` with a well-formed `Retry-After` header.
+    Shed,
+    /// `400` naming the budget (over-budget spec, admitted then rejected).
+    BudgetRejected,
+}
+
+fn classify(raw: &str, reference_json: &str) -> Outcome {
+    let body = raw.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+    if raw.starts_with("HTTP/1.1 200 ") {
+        let assembled = spnn_engine::assemble_report(body)
+            .unwrap_or_else(|e| panic!("admitted stream corrupt ({e:?}): {raw}"));
+        assert_eq!(
+            to_json(&assembled),
+            reference_json,
+            "admitted stream diverged from the batch report"
+        );
+        return Outcome::Streamed;
+    }
+    if raw.starts_with("HTTP/1.1 429 ") {
+        let retry = raw
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .unwrap_or_else(|| panic!("429 without Retry-After: {raw}"));
+        let secs: u64 = retry
+            .trim()
+            .parse()
+            .expect("Retry-After must be integer seconds");
+        assert!((1..=60).contains(&secs), "Retry-After out of range: {secs}");
+        assert!(body.contains("\"error\""), "429 body must be JSON: {raw}");
+        return Outcome::Shed;
+    }
+    if raw.starts_with("HTTP/1.1 400 ") {
+        assert!(
+            body.contains("budget exceeded"),
+            "400 under load must name the budget: {raw}"
+        );
+        return Outcome::BudgetRejected;
+    }
+    panic!("unexpected response under load: {raw}");
+}
+
+/// CI acceptance: 18 concurrent clients against 2 workers and a 2-slot
+/// admission queue. Zero dropped or corrupted admitted streams, correct
+/// shedding for the rest, bounded RSS.
+#[test]
+fn concurrent_mixed_clients_shed_cleanly_and_stream_byte_identical() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_depth: 2,
+            budget: RequestBudget {
+                max_points: 10,
+                ..Default::default()
+            },
+            quota: QuotaConfig::default(),
+            engine: EngineConfig {
+                threads: Some(2),
+                verbose: false,
+                cache_dir: None,
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+
+    let fast = tiny_fig4();
+    let slow = slow_spec();
+    let fast_json = to_json(&run_scenario(&fast, &EngineConfig::default()).expect("batch fast"));
+    let slow_json = to_json(&run_scenario(&slow, &EngineConfig::default()).expect("batch slow"));
+    let fast_text = fast.to_text();
+    let slow_text = slow.to_text();
+    let over_text = over_budget_spec().to_text();
+
+    let rss_start = rss_kb();
+
+    // Two slow "blocker" streams first: they hold both pool workers
+    // (cold cache — they also train), so the burst below meets a full
+    // house. They are plain clients too: their streams must assemble.
+    let blockers: Vec<_> = (0..2)
+        .map(|_| {
+            let text = slow_text.clone();
+            std::thread::spawn(move || post_run_raw(addr, &text))
+        })
+        .collect();
+    // Give the blockers time to be admitted and start streaming.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // The burst: 16 concurrent clients — warm-cache streams, over-budget
+    // specs, and enough volume that the 2-slot queue must shed.
+    let burst: Vec<_> = (0..16)
+        .map(|i| {
+            let text = if i % 5 == 4 {
+                over_text.clone()
+            } else {
+                fast_text.clone()
+            };
+            std::thread::spawn(move || post_run_raw(addr, &text))
+        })
+        .collect();
+
+    let mut streamed = 0usize;
+    let mut shed = 0usize;
+    let mut budget_rejected = 0usize;
+    for handle in blockers {
+        let raw = handle.join().expect("blocker thread");
+        match classify(&raw, &slow_json) {
+            Outcome::Streamed => streamed += 1,
+            Outcome::Shed => shed += 1,
+            Outcome::BudgetRejected => panic!("blocker cannot be over budget"),
+        }
+    }
+    for handle in burst {
+        let raw = handle.join().expect("burst thread");
+        match classify(&raw, &fast_json) {
+            Outcome::Streamed => streamed += 1,
+            Outcome::Shed => shed += 1,
+            Outcome::BudgetRejected => budget_rejected += 1,
+        }
+    }
+    assert_eq!(
+        streamed + shed + budget_rejected,
+        18,
+        "every client accounted for"
+    );
+    assert!(streamed >= 2, "the admitted blockers must have streamed");
+    assert!(
+        shed >= 1,
+        "16 concurrent clients against 2 workers + 2 queue slots must shed \
+         (streamed={streamed} budget_rejected={budget_rejected})"
+    );
+
+    // RSS stayed bounded: the shed path buffers nothing, the admitted
+    // paths stream row-by-row. The 2 GiB ceiling is far above anything a
+    // healthy run of this size touches, but catches a leak outright.
+    if let (Some(start), Some(end)) = (rss_start, rss_kb()) {
+        assert!(
+            end < 2 * 1024 * 1024,
+            "RSS grew unbounded under load: {start} kB -> {end} kB"
+        );
+    }
+
+    // The metrics surface recorded the storm.
+    let metrics = http_raw(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    for name in [
+        "spnn_admission_shed_total",
+        "spnn_admission_accepted_total",
+        "spnn_admission_queue_depth",
+        "spnn_admission_queue_wait_seconds",
+        "spnn_request_latency_quantile_seconds",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in /metrics");
+    }
+
+    // After the storm: a fresh client is admitted and cmp-gates against
+    // the batch report one more time (warm cache now).
+    let raw = post_run_raw(addr, &fast_text);
+    assert!(matches!(classify(&raw, &fast_json), Outcome::Streamed));
+}

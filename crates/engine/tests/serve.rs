@@ -44,17 +44,26 @@ fn start_server(workers: usize) -> SocketAddr {
 
 /// Like [`start_server`], with a coordinator worker list.
 fn start_server_with(workers: usize, remote_workers: Vec<String>) -> SocketAddr {
+    start_server_cfg(ServeConfig {
+        workers,
+        remote_workers,
+        ..ServeConfig::default()
+    })
+}
+
+/// Binds a server with full control over the traffic config (quotas,
+/// budgets, breakers) — the engine part is always the tiny test one.
+fn start_server_cfg(config: ServeConfig) -> SocketAddr {
     let server = Server::bind(
         "127.0.0.1:0",
         ServeConfig {
-            workers,
             engine: EngineConfig {
                 threads: Some(2),
                 verbose: false,
                 cache_dir: None,
                 ..EngineConfig::default()
             },
-            remote_workers,
+            ..config
         },
     )
     .expect("bind ephemeral port");
@@ -78,6 +87,7 @@ fn start_server_rowcached(workers: usize) -> SocketAddr {
                 ..EngineConfig::default()
             },
             remote_workers: Vec::new(),
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -980,4 +990,355 @@ fn spawn_flag_validation() {
     let out = spnn(&["run", spec, "--shards", "2"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--shard-index (or --spawn)"));
+}
+
+// ---------------------------------------------------------------------------
+// Traffic hardening: admission control, quotas, budgets, circuit breakers
+// ---------------------------------------------------------------------------
+
+/// Sends one raw HTTP request and returns the **entire** close-delimited
+/// response (status line, headers, body) — for asserting on headers such
+/// as `Retry-After`.
+fn http_raw(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// Opens a `/run` stream with the given extra header block and reads the
+/// socket until `marker` appears, returning the open stream plus what was
+/// read so far — the request is provably in flight when this returns.
+fn open_stream_until(
+    addr: SocketAddr,
+    headers: &str,
+    spec_text: &str,
+    marker: &str,
+) -> (TcpStream, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST /run HTTP/1.1\r\nHost: t\r\n{headers}Content-Length: {}\r\n\r\n{}",
+                spec_text.len(),
+                spec_text
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut seen = String::new();
+    let mut buf = [0u8; 1024];
+    while !seen.contains(marker) {
+        let n = stream.read(&mut buf).expect("read stream");
+        assert!(n > 0, "stream closed before {marker:?} appeared: {seen}");
+        seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+    }
+    (stream, seen)
+}
+
+/// Tentpole acceptance (quotas): with a per-client concurrency cap of 1,
+/// a client's second concurrent request is shed with `429` and a
+/// `Retry-After` header while a different client's stream is untouched —
+/// and the limited client's first stream still assembles byte-identical
+/// to the batch report.
+#[test]
+fn quota_sheds_second_concurrent_request_of_one_client_only() {
+    let mut spec = tiny_fig4();
+    // Enough fixed work per point that the first stream is still running
+    // while the second request arrives.
+    spec.iterations = 64;
+    spec.min_iterations = 64;
+    let addr = start_server_cfg(ServeConfig {
+        workers: 3,
+        quota: spnn_engine::QuotaConfig {
+            max_concurrent: 1,
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    });
+    let text = spec.to_text();
+
+    let (mut first, mut seen) = open_stream_until(
+        addr,
+        "X-Client-Id: alice\r\n",
+        &text,
+        "\"event\": \"started\"",
+    );
+
+    // Same client, second concurrent request: shed with 429 + Retry-After.
+    let shed = http_raw(
+        addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nX-Client-Id: alice\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert!(
+        shed.starts_with("HTTP/1.1 429 "),
+        "expected 429 for the quota-limited client: {shed}"
+    );
+    assert!(shed.contains("\r\nRetry-After: "), "{shed}");
+    assert!(shed.contains("client quota exceeded"), "{shed}");
+
+    // A different client is untouched: its stream completes normally.
+    let (status, stream) = http(
+        addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nX-Client-Id: bob\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert_eq!(status, 200, "{stream}");
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    let assembled = spnn_engine::assemble_report(&stream).expect("assemble bob");
+    assert_eq!(to_json(&assembled), to_json(&reference));
+
+    // The shed did not corrupt alice's in-flight stream.
+    first.read_to_string(&mut seen).expect("drain alice");
+    let body = seen.split_once("\r\n\r\n").expect("head").1;
+    let assembled = spnn_engine::assemble_report(body).expect("assemble alice");
+    assert_eq!(to_json(&assembled), to_json(&reference));
+
+    // With alice's run finished, her next request is admitted again.
+    let (status, stream) = http(
+        addr,
+        &format!(
+            "POST /run HTTP/1.1\r\nHost: t\r\nX-Client-Id: alice\r\nContent-Length: {}\r\n\r\n{}",
+            text.len(),
+            text
+        ),
+    );
+    assert_eq!(status, 200, "{stream}");
+
+    let exp = scrape(addr);
+    assert!(
+        exp.total("spnn_quota_shed_total") >= 1.0,
+        "quota sheds must be counted"
+    );
+}
+
+/// Budgets that are statically derivable from the compiled queue reject
+/// the request up front with a plain 400 — no stream head, no work.
+#[test]
+fn budget_static_violation_is_rejected_before_any_work() {
+    let addr = start_server_cfg(ServeConfig {
+        workers: 1,
+        budget: spnn_engine::RequestBudget {
+            // tiny_fig4 compiles to 3 points at >= 2 iterations each:
+            // a floor of 6, over this ceiling before anything runs.
+            max_iterations: 4,
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    });
+    let (status, body) = post_run(addr, &tiny_fig4().to_text());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("budget exceeded"), "{body}");
+
+    // Nothing ran: the rejection happened before training.
+    let (_, stats) = http(addr, "GET /cache/stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(stats.contains("\"trains\": 0"), "{stats}");
+}
+
+/// A budget the compiled queue cannot predict (zonal plans size their
+/// grids off the mapped mesh) is enforced mid-run: the stream starts,
+/// then ends with a structured `error` event naming the budget.
+#[test]
+fn budget_midrun_violation_ends_the_stream_with_an_error_event() {
+    let addr = start_server_cfg(ServeConfig {
+        workers: 1,
+        budget: spnn_engine::RequestBudget {
+            max_points: 1,
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    });
+    // Zonal: static_queue_len is None, so admission cannot pre-reject.
+    let (status, stream) = post_run(addr, &tiny_fig5().to_text());
+    assert_eq!(status, 200, "{stream}");
+    assert!(stream.contains("\"event\": \"started\""), "{stream}");
+    assert!(stream.contains("\"event\": \"error\""), "{stream}");
+    assert!(stream.contains("budget exceeded"), "{stream}");
+    assert!(!stream.contains("\"event\": \"done\""), "{stream}");
+}
+
+/// A stalled client (request head never finishes) is answered with `408`
+/// once the configured read timeout elapses, instead of pinning a worker.
+#[test]
+fn stalled_request_head_gets_408_after_the_read_timeout() {
+    let addr = start_server_cfg(ServeConfig {
+        workers: 1,
+        read_timeout: std::time::Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /run HTTP/1.1\r\nHost: t\r\nX-Stall:")
+        .expect("send partial head");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    assert!(
+        raw.starts_with("HTTP/1.1 408 "),
+        "expected 408 for a stalled head: {raw}"
+    );
+}
+
+/// Sums `spnn_shard_dispatch_total` across outcomes for one worker URL.
+fn dispatches_to(exp: &Exposition, worker: &str) -> f64 {
+    exp.samples
+        .iter()
+        .filter(|s| {
+            s.name == "spnn_shard_dispatch_total"
+                && s.labels.iter().any(|(k, v)| k == "worker" && v == worker)
+        })
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Acceptance criterion (breakers, open phase): after a dead worker
+/// trips its breaker, subsequent runs dispatch **zero** attempts to it
+/// while the breaker is open — asserted via `spnn_shard_dispatch_total`
+/// and the breaker metrics.
+#[test]
+fn open_breaker_skips_the_dead_worker_entirely() {
+    let live = start_server(2);
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let dead_url = format!("http://{dead}");
+    let coordinator = start_server_cfg(ServeConfig {
+        workers: 2,
+        remote_workers: vec![dead_url.clone(), format!("http://{live}")],
+        breaker: spnn_engine::BreakerConfig {
+            failure_threshold: 1,
+            // Long enough that this test never reaches half-open.
+            cooldown: std::time::Duration::from_secs(600),
+        },
+        ..ServeConfig::default()
+    });
+
+    // Run 1: the dead worker's shard fails over to the live one and the
+    // breaker trips at the first failure.
+    let (status, stream) = post_run(coordinator, &tiny_fig4().to_text());
+    assert_eq!(status, 200, "{stream}");
+    assert!(stream.contains("\"event\": \"done\""), "{stream}");
+    let exp = scrape(coordinator);
+    let dispatched_while_closed = dispatches_to(&exp, &dead_url);
+    assert!(
+        dispatched_while_closed >= 1.0,
+        "run 1 must have attempted the dead worker"
+    );
+    assert_eq!(
+        exp.samples
+            .iter()
+            .find(|s| s.name == "spnn_worker_breaker_state"
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "worker" && v == &dead_url))
+            .map(|s| s.value),
+        Some(1.0),
+        "breaker must be open (gauge 1) after run 1"
+    );
+    let (_, health) = http(coordinator, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.contains("\"worker_breakers\": "), "{health}");
+    assert!(
+        health.contains(&format!("\"{dead_url}\": \"open\"")),
+        "{health}"
+    );
+
+    // Run 2: zero new dispatches to the dead worker; the skip counter
+    // moves instead.
+    let (status, stream) = post_run(coordinator, &tiny_fig4().to_text());
+    assert_eq!(status, 200, "{stream}");
+    assert!(stream.contains("\"event\": \"done\""), "{stream}");
+    let exp = scrape(coordinator);
+    assert_eq!(
+        dispatches_to(&exp, &dead_url),
+        dispatched_while_closed,
+        "an open breaker must shed every dispatch to its worker"
+    );
+    assert!(
+        exp.total("spnn_shard_breaker_skips_total") >= 1.0,
+        "skips must be counted"
+    );
+}
+
+/// Acceptance criterion (breakers, revival): once the worker is back, a
+/// background half-open `/healthz` probe closes the breaker without any
+/// request traffic, and later runs dispatch to the revived worker again.
+#[test]
+fn half_open_probe_revives_a_recovered_worker() {
+    let live = start_server(2);
+    // Reserve a port for the "crashed" worker, then free it so the
+    // coordinator sees connection-refused until the revival below.
+    let reserved = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let reserved_url = format!("http://{reserved}");
+    let coordinator = start_server_cfg(ServeConfig {
+        workers: 2,
+        remote_workers: vec![reserved_url.clone(), format!("http://{live}")],
+        breaker: spnn_engine::BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::from_millis(300),
+        },
+        ..ServeConfig::default()
+    });
+
+    // Trip the breaker while the reserved port is dead.
+    let (status, stream) = post_run(coordinator, &tiny_fig4().to_text());
+    assert_eq!(status, 200, "{stream}");
+    assert!(stream.contains("\"event\": \"done\""), "{stream}");
+
+    // Revive the worker on the reserved port; the prober's next
+    // half-open /healthz probe should close the breaker on its own.
+    let server = Server::bind(
+        reserved,
+        ServeConfig {
+            workers: 2,
+            engine: EngineConfig {
+                threads: Some(2),
+                verbose: false,
+                cache_dir: None,
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("rebind reserved port");
+    std::thread::spawn(move || server.run());
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let (_, health) = http(coordinator, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        if health.contains(&format!("\"{reserved_url}\": \"closed\"")) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "breaker never closed after revival: {health}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let probes = scrape(coordinator).total("spnn_breaker_probes_total");
+    assert!(probes >= 1.0, "revival must come from a health probe");
+
+    // The revived worker takes dispatches again — and the stream is
+    // still byte-identical to the batch report.
+    let before = dispatches_to(&scrape(coordinator), &reserved_url);
+    let spec = tiny_fig4();
+    let (status, stream) = post_run(coordinator, &spec.to_text());
+    assert_eq!(status, 200, "{stream}");
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    let assembled = spnn_engine::assemble_report(&stream).expect("assemble");
+    assert_eq!(to_json(&assembled), to_json(&reference));
+    assert!(
+        dispatches_to(&scrape(coordinator), &reserved_url) > before,
+        "the revived worker must receive dispatches again"
+    );
 }
