@@ -5,9 +5,10 @@
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
 //!          [--threads N] [--quiet] [--stats] [--no-cache] [--cache-dir DIR]
 //!          [--shards K (--shard-index I | --spawn | --exec local|spawn)]
-//!          [--workers URL,URL,...]
+//!          [--workers URL,URL,... [--local-peers N] [--weights-from SRC] [--steal]]
 //! spnn merge <part.json>... [--format csv|json] [--out PATH]
 //! spnn serve [--addr HOST:PORT] [--workers N] [--workers-from FILE]
+//!          [--local-peers N] [--weights-from SRC] [--steal]
 //!          [--threads N] [--quiet] [--log-json] [--no-cache]
 //!          [--cache-dir DIR]
 //! spnn assemble <stream.ndjson> [--format csv|json] [--out PATH]
@@ -34,7 +35,7 @@
 use spnn_engine::cache::{default_cache_dir, gc, list_entries, ContextCache, GcLimits};
 use spnn_engine::exec::{
     install_signal_handlers, run_distributed, BreakerConfig, CancelToken, ExecContext, Executor,
-    LocalExecutor, RemoteExecutor, SpawnExecutor, WorkerBreakers,
+    LocalExecutor, RemoteExecutor, SpawnExecutor, WeightSource, WorkerBreakers,
 };
 use spnn_engine::metrics::{self, Reading};
 use spnn_engine::prelude::*;
@@ -112,6 +113,16 @@ OPTIONS (run, merge):
                              arrive, and emit the final report; a failed
                              worker's shard is retried on another worker
                              (--shards overrides the shard count)
+    --local-peers N          with --workers: run N in-process peers next
+                             to the remote workers, all in one plan
+    --weights-from SRC       with --workers: size each peer's round-space
+                             slice by capacity. SRC is equal (default),
+                             healthz (GET /healthz core counts), metrics
+                             (healthz seeded, refined by dispatch-duration
+                             histograms), or an explicit W,W,... list
+    --steal                  with --workers: a drained peer re-dispatches
+                             the slowest outstanding slice; overlapping
+                             speculative partials merge bit-identically
 
 OPTIONS (serve):
     --addr HOST:PORT         listen address (default 127.0.0.1:7878)
@@ -120,6 +131,12 @@ OPTIONS (serve):
                              across the worker URLs listed in FILE (one
                              per line, # comments), streaming rows as
                              shards complete
+    --local-peers N          coordinator mode: also run N in-process
+                             peers alongside the remote workers
+    --weights-from SRC       coordinator mode: capacity-weighted slices
+                             (equal | healthz | metrics | W,W,...)
+    --steal                  coordinator mode: drained peers re-dispatch
+                             the slowest outstanding slice
     --log-json               emit structured stderr logs as JSON objects
                              (one per line) instead of key=value text
     --queue-depth N          admission queue slots (default 64); overflow
@@ -290,7 +307,9 @@ fn positional_args(args: &[String]) -> Vec<&str> {
             | "--workers" | "--workers-from" | "--exec" | "--queue-depth" | "--queue-wait"
             | "--read-timeout" | "--write-timeout" | "--max-points" | "--max-iterations"
             | "--max-rounds" | "--quota-concurrent" | "--quota-rate" | "--quota-burst"
-            | "--breaker-failures" | "--breaker-cooldown" => i += 2,
+            | "--breaker-failures" | "--breaker-cooldown" | "--weights-from" | "--local-peers" => {
+                i += 2
+            }
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -417,6 +436,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
         },
     };
 
+    if workers_csv.is_none() {
+        for flag in ["--steal", "--weights-from", "--local-peers"] {
+            if has_flag(args, flag) || option_value(args, flag).is_some() {
+                return fail(&format!(
+                    "{flag} only applies to distributed runs (--workers)"
+                ));
+            }
+        }
+    }
     if let Some(workers) = workers_csv {
         if spawn || exec_kind.is_some() || option_value(args, "--shard-index").is_some() {
             return fail("--workers picks the remote executor; drop --spawn/--exec/--shard-index");
@@ -432,14 +460,32 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if specs.len() != 1 {
             return fail("distributed runs take exactly one scenario");
         }
-        let shards = shards.unwrap_or(workers.len());
+        let local_peers = match option_value(args, "--local-peers") {
+            None => 0,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                _ => return fail(&format!("invalid --local-peers value {v:?}")),
+            },
+        };
+        let weights_from = match option_value(args, "--weights-from") {
+            None => WeightSource::Equal,
+            Some(v) => match WeightSource::parse(v) {
+                Ok(w) => w,
+                Err(e) => return fail(&e),
+            },
+        };
+        let shards = shards.unwrap_or(workers.len() + local_peers);
         // Default circuit breakers: a worker that keeps failing is
         // skipped for a cooldown instead of eating a retry per shard.
         let breakers = Arc::new(WorkerBreakers::new(
             BreakerConfig::default(),
             &config.metrics,
         ));
-        let executor = RemoteExecutor::new(workers).with_breakers(breakers);
+        let executor = RemoteExecutor::new(workers)
+            .with_breakers(breakers)
+            .with_local_peers(local_peers)
+            .with_weights(weights_from)
+            .with_steal(has_flag(args, "--steal"));
         return run_with_executor(
             &specs[0],
             &executor,
@@ -854,6 +900,26 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             Err(e) => return fail(&e),
         },
     };
+    let steal = has_flag(args, "--steal");
+    let weights_from = match option_value(args, "--weights-from") {
+        None => WeightSource::Equal,
+        Some(v) => match WeightSource::parse(v) {
+            Ok(w) => w,
+            Err(e) => return fail(&e),
+        },
+    };
+    let local_peers = match option_value(args, "--local-peers") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            _ => return fail(&format!("invalid --local-peers value {v:?}")),
+        },
+    };
+    if remote_workers.is_empty()
+        && (steal || local_peers > 0 || weights_from != WeightSource::Equal)
+    {
+        return fail("--steal/--weights-from/--local-peers need coordinator mode (--workers-from)");
+    }
     let threads = match parse_threads(args) {
         Ok(t) => t,
         Err(e) => return fail(&e),
@@ -903,6 +969,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             row_cache: resolve_row_cache(args),
         },
         remote_workers: remote_workers.clone(),
+        steal,
+        weights_from,
+        local_peers,
         ..traffic
     };
     let server = match Server::bind(addr, config) {

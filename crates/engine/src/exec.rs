@@ -24,7 +24,15 @@
 //!   dependency-free HTTP client in [`crate::http`]. A worker that
 //!   fails — refused connection, mid-run crash, torn response — is
 //!   retried on the next worker; the shard planner is deterministic, so
-//!   any worker can recompute any slice.
+//!   any worker can recompute any slice. It is also the **fleet**
+//!   executor: [`RemoteExecutor::with_local_peers`] adds in-process
+//!   peers to the same plan (mixed dispatch),
+//!   [`RemoteExecutor::with_weights`] slices the round space
+//!   proportionally to measured capacity (see [`WeightSource`]), and
+//!   [`RemoteExecutor::with_steal`] re-dispatches the slowest
+//!   outstanding slice (sub-sliced as `POST /shard?span=LO-HI`) when a
+//!   peer drains its own — speculative overlaps are deduplicated by the
+//!   merge, so the assembled report stays byte-identical.
 //!
 //! [`run_distributed`] is the single driver on top: it feeds arriving
 //! partials into the incremental [`MergeState`] and emits the engine's
@@ -43,20 +51,24 @@
 
 use crate::cache::ContextCache;
 use crate::http::{self, FetchResponse};
-use crate::metrics::{self, MetricsRegistry};
+use crate::metrics::{self, MetricsRegistry, Reading};
 use crate::rowcache::{RowContext, RowManifest};
 use crate::runner::{
-    execute_shard_blocks, prepare, replay_cached_scenario, EngineConfig, EngineError, EngineReport,
-    StreamEvent,
+    execute_blocks, execute_shard_blocks, prepare, replay_cached_scenario, EngineConfig,
+    EngineError, EngineReport, StreamEvent,
 };
-use crate::shard::{queue_fingerprint, MergeError, MergeState, PartialReport};
+use crate::shard::{
+    plan_span, queue_fingerprint, weighted_span, MergeError, MergeState, PartialReport,
+};
 use crate::spec::ScenarioSpec;
 use crate::tevent;
 use crate::trace::Level;
+use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Cancellation
@@ -756,6 +768,117 @@ impl WorkerBreakers {
 }
 
 // ---------------------------------------------------------------------------
+// Capacity weights
+// ---------------------------------------------------------------------------
+
+/// Where a fleet dispatch's capacity weights come from (see
+/// [`RemoteExecutor::with_weights`] and the CLI's `--weights-from`).
+///
+/// Weights feed [`crate::shard::plan_shard_weighted`]: peer `i`'s slice
+/// of the global round space is proportional to `weights[i]`. The peer
+/// order is the worker list order, followed by local peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightSource {
+    /// Equal slices — exactly the classic [`crate::shard::plan_shard`].
+    Equal,
+    /// Seed each remote peer's weight from its `/healthz`-reported core
+    /// count (local peers use this machine's core count, split across
+    /// them). Unreachable workers weigh 1.
+    Healthz,
+    /// The [`Healthz`](Self::Healthz) seed, refined by observed
+    /// per-worker dispatch throughput from the
+    /// `spnn_shard_dispatch_duration_seconds{worker}` histograms — a
+    /// coordinator that has already dispatched to a fleet weighs it by
+    /// measured speed, not advertised cores.
+    Metrics,
+    /// Operator-pinned integer weights, one per peer in peer order.
+    Static(Vec<u64>),
+}
+
+impl WeightSource {
+    /// Parses a `--weights-from` value: `equal`, `healthz`, `metrics`,
+    /// or a comma-separated integer list (`"3,1,2"`) pinning one weight
+    /// per peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the value is neither a
+    /// known source nor a parseable integer list.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value.trim() {
+            "equal" => Ok(WeightSource::Equal),
+            "healthz" => Ok(WeightSource::Healthz),
+            "metrics" => Ok(WeightSource::Metrics),
+            other => other
+                .split(',')
+                .map(|tok| tok.trim().parse::<u64>())
+                .collect::<Result<Vec<u64>, _>>()
+                .map(WeightSource::Static)
+                .map_err(|_| {
+                    format!(
+                        "unknown weight source {other:?} \
+                         (expected equal, healthz, metrics, or a comma-separated integer list)"
+                    )
+                }),
+        }
+    }
+}
+
+/// Fetches a worker's `/healthz` and extracts its advertised core count
+/// (the `"cores"` field workers report since the fleet release).
+fn probe_worker_cores(worker: &str, cancel: &CancelToken) -> Option<u64> {
+    let abort = || cancel.is_cancelled();
+    let url = format!("{worker}/healthz");
+    let resp = http::http_get(&url, Some(&abort), Some(Duration::from_secs(5))).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    crate::json::parse(&resp.text())
+        .ok()?
+        .get("cores")?
+        .as_u64()
+}
+
+/// The observed dispatch throughput of `worker` (completed dispatches
+/// per second of round-trip time), read from this registry's
+/// `spnn_shard_dispatch_duration_seconds{worker}` histogram. `None`
+/// until the worker has at least one timed dispatch.
+fn observed_dispatch_rate(registry: &MetricsRegistry, worker: &str) -> Option<f64> {
+    for series in registry.snapshot() {
+        if series.name != "spnn_shard_dispatch_duration_seconds" {
+            continue;
+        }
+        if !series
+            .labels
+            .iter()
+            .any(|(k, v)| k == "worker" && v == worker)
+        {
+            continue;
+        }
+        if let Reading::Histogram { sum, count, .. } = series.value {
+            if count > 0 && sum > 0.0 {
+                return Some(count as f64 / sum);
+            }
+        }
+    }
+    None
+}
+
+/// Scales positive scores to integer weights in `1..=1000` (the fastest
+/// peer gets 1000; nobody is starved to zero — a mis-probed peer still
+/// contributes instead of idling).
+fn integerize_weights(scores: &[f64]) -> Vec<u64> {
+    let max = scores.iter().copied().fold(0.0f64, f64::max);
+    if !max.is_finite() || max <= 0.0 {
+        return vec![1; scores.len()];
+    }
+    scores
+        .iter()
+        .map(|&s| ((s / max) * 1000.0).round().max(1.0) as u64)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // RemoteExecutor
 // ---------------------------------------------------------------------------
 
@@ -769,6 +892,27 @@ impl WorkerBreakers {
 /// per shard. The shard planner is a pure function of the spec, so a
 /// recomputed slice is bit-identical wherever it runs; a merge over
 /// retried shards is indistinguishable from one without failures.
+///
+/// # Fleet mode
+///
+/// Three builders turn the plain remote fan-out into an elastic fleet,
+/// individually or together:
+///
+/// - [`with_local_peers`](Self::with_local_peers) adds in-process peers:
+///   one `run_distributed` call drives local threads *and* remote
+///   workers as peers of a single plan;
+/// - [`with_weights`](Self::with_weights) slices the round space
+///   proportionally to capacity ([`WeightSource`]) instead of equally;
+/// - [`with_steal`](Self::with_steal) enables work stealing: a peer
+///   that drains its slice re-dispatches the slowest outstanding slice,
+///   sub-sliced across idle peers via the span planner
+///   (`POST /shard?span=LO-HI`). The straggler keeps computing — every
+///   iteration is a pure function of `(seed, k)`, so the overlapping
+///   speculative results are bit-identical and the merge deduplicates
+///   them; completion cancels whatever is still in flight.
+///
+/// In every mode the assembled report is byte-identical to the
+/// unsharded run (chaos-gated in CI).
 #[derive(Debug, Clone)]
 pub struct RemoteExecutor {
     /// Worker base URLs (`http://host:port`, no trailing slash needed).
@@ -776,6 +920,12 @@ pub struct RemoteExecutor {
     /// Optional shared circuit breakers: an open breaker's worker is
     /// skipped with zero dispatch attempts (see [`WorkerBreakers`]).
     breakers: Option<Arc<WorkerBreakers>>,
+    /// In-process peers joining the plan after the remote workers.
+    local_peers: usize,
+    /// Capacity weighting for the initial plan.
+    weights_from: WeightSource,
+    /// Whether drained peers steal from the slowest outstanding slice.
+    steal: bool,
 }
 
 impl RemoteExecutor {
@@ -787,6 +937,9 @@ impl RemoteExecutor {
                 .map(|w| w.trim_end_matches('/').to_string())
                 .collect(),
             breakers: None,
+            local_peers: 0,
+            weights_from: WeightSource::Equal,
+            steal: false,
         }
     }
 
@@ -799,9 +952,99 @@ impl RemoteExecutor {
         self
     }
 
+    /// Adds `n` in-process peers to the plan (mixed dispatch): they rank
+    /// after the remote workers in peer order, prepare the scenario once
+    /// between them, and split this machine's cores evenly.
+    #[must_use]
+    pub fn with_local_peers(mut self, n: usize) -> Self {
+        self.local_peers = n;
+        self
+    }
+
+    /// Slices the round space proportionally to capacity instead of
+    /// equally. See [`WeightSource`] for the probing strategies.
+    #[must_use]
+    pub fn with_weights(mut self, source: WeightSource) -> Self {
+        self.weights_from = source;
+        self
+    }
+
+    /// Enables work stealing: a peer that drains its slice re-dispatches
+    /// the slowest outstanding slice across idle peers. Overlapping
+    /// speculative results are deduplicated by the merge.
+    #[must_use]
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Total peers in the plan: remote workers then local peers.
+    fn peers(&self) -> usize {
+        self.workers.len() + self.local_peers
+    }
+
+    /// `true` when nothing distinguishes this from the classic equal
+    /// remote fan-out — that exact code path is kept for it.
+    fn is_plain_remote(&self) -> bool {
+        self.local_peers == 0 && !self.steal && self.weights_from == WeightSource::Equal
+    }
+
     /// Runs one shard, trying each worker at most once starting at
     /// `shard_index mod n`. Returns the partial or the per-worker
     /// failure log.
+    #[allow(clippy::too_many_arguments)] // dispatch coordinates plus observability handles
+    fn run_shard(
+        &self,
+        spec_text: &str,
+        expected_fp: &str,
+        shards: usize,
+        shard_index: usize,
+        cancel: &CancelToken,
+        verbose: bool,
+        registry: &MetricsRegistry,
+    ) -> Result<PartialReport, String> {
+        self.dispatch(
+            spec_text,
+            expected_fp,
+            &format!("shards={shards}&index={shard_index}"),
+            &format!("shard {shard_index}/{shards}"),
+            shard_index,
+            cancel,
+            verbose,
+            registry,
+        )
+    }
+
+    /// Runs the round-space span `[lo, hi)` (`POST /shard?span=LO-HI`),
+    /// starting the worker rotation at `start` — a stealer re-dispatches
+    /// on its own worker first.
+    #[allow(clippy::too_many_arguments)] // dispatch coordinates plus observability handles
+    fn run_span(
+        &self,
+        spec_text: &str,
+        expected_fp: &str,
+        lo: usize,
+        hi: usize,
+        start: usize,
+        cancel: &CancelToken,
+        verbose: bool,
+        registry: &MetricsRegistry,
+    ) -> Result<PartialReport, String> {
+        self.dispatch(
+            spec_text,
+            expected_fp,
+            &format!("span={lo}-{hi}"),
+            &format!("span {lo}..{hi}"),
+            start,
+            cancel,
+            verbose,
+            registry,
+        )
+    }
+
+    /// The shared dispatch loop beneath [`run_shard`](Self::run_shard)
+    /// and [`run_span`](Self::run_span): tries each worker at most once,
+    /// round-robin from `start`, skipping open breakers.
     ///
     /// Every attempt — successful or not — is counted in
     /// `spnn_shard_dispatch_total{worker,outcome}` and timed in
@@ -810,12 +1053,13 @@ impl RemoteExecutor {
     /// the worker URL, attempt number, latency, and (on success) row
     /// count — retries are never silent.
     #[allow(clippy::too_many_arguments)] // dispatch coordinates plus observability handles
-    fn run_shard(
+    fn dispatch(
         &self,
         spec_text: &str,
         expected_fp: &str,
-        shards: usize,
-        shard_index: usize,
+        query: &str,
+        what: &str,
+        start: usize,
         cancel: &CancelToken,
         verbose: bool,
         registry: &MetricsRegistry,
@@ -836,9 +1080,7 @@ impl RemoteExecutor {
         // zero dispatch attempts reach a tripped worker. If *every*
         // breaker is open the full rotation is tried anyway: a guaranteed
         // failure helps nobody, and the attempts double as trials.
-        let rotation: Vec<&String> = (0..n)
-            .map(|a| &self.workers[(shard_index + a) % n])
-            .collect();
+        let rotation: Vec<&String> = (0..n).map(|a| &self.workers[(start + a) % n]).collect();
         let candidates: Vec<&String> = match &self.breakers {
             Some(breakers) => {
                 let admitted: Vec<&String> = rotation
@@ -873,7 +1115,7 @@ impl RemoteExecutor {
                 reasons.push("cancelled".to_string());
                 break;
             }
-            let url = format!("{worker}/shard?shards={shards}&index={shard_index}");
+            let url = format!("{worker}/shard?{query}");
             let abort = || cancel.is_cancelled();
             let dispatch_timer = std::time::Instant::now();
             // No idle timeout: a /shard response arrives only once the
@@ -930,15 +1172,14 @@ impl RemoteExecutor {
                         Level::Info,
                         "exec",
                         "shard complete",
-                        shard = shard_index,
-                        shards = shards,
+                        job = what,
                         worker = worker,
                         attempt = attempt + 1,
                         seconds = elapsed.as_secs_f64(),
                         rows = p.points.len(),
                     );
                     if verbose {
-                        eprintln!("[exec] shard {shard_index}/{shards} completed on {worker}");
+                        eprintln!("[exec] {what} completed on {worker}");
                     }
                     return Ok(p);
                 }
@@ -950,8 +1191,7 @@ impl RemoteExecutor {
                         Level::Warn,
                         "exec",
                         "shard retry",
-                        shard = shard_index,
-                        shards = shards,
+                        job = what,
                         worker = worker,
                         attempt = attempt + 1,
                         seconds = elapsed.as_secs_f64(),
@@ -959,10 +1199,7 @@ impl RemoteExecutor {
                         will_retry = attempt + 1 < tries,
                     );
                     if verbose {
-                        eprintln!(
-                            "[exec] shard {shard_index}/{shards} failed on {worker}, \
-                             retrying elsewhere: {reason}"
-                        );
+                        eprintln!("[exec] {what} failed on {worker}, retrying elsewhere: {reason}");
                     }
                     reasons.push(format!("{worker}: {reason}"));
                 }
@@ -976,27 +1213,117 @@ impl RemoteExecutor {
             )
             .inc();
         Err(format!(
-            "shard {shard_index}: every worker failed ({})",
+            "{what}: every worker failed ({})",
             reasons.join("; ")
         ))
     }
 }
 
-impl Executor for RemoteExecutor {
-    fn name(&self) -> &'static str {
-        "remote"
+/// One peer's slice of the current fleet plan, under the shared lock.
+struct FleetSlice {
+    /// The assigned unit range of the global round space.
+    span: (usize, usize),
+    /// When its dispatch started — the steal heuristic picks the
+    /// longest-outstanding slice as the straggler.
+    started: Instant,
+    /// The owning dispatch returned (partial delivered or failed).
+    done: bool,
+    /// A stealer already re-dispatched this span; steal it only once.
+    stolen: bool,
+}
+
+impl RemoteExecutor {
+    /// Resolves one capacity weight per peer (worker order, then local
+    /// peers) from the configured [`WeightSource`], and surfaces them on
+    /// the `spnn_worker_capacity_weight{worker}` gauge.
+    fn resolve_weights(&self, registry: &MetricsRegistry, cancel: &CancelToken) -> Vec<u64> {
+        let peers = self.peers();
+        let weights = match &self.weights_from {
+            WeightSource::Equal => vec![1u64; peers],
+            WeightSource::Static(v) => {
+                if v.len() != peers {
+                    tevent!(
+                        Level::Warn,
+                        "exec",
+                        "static weight count differs from peer count",
+                        weights = v.len(),
+                        peers = peers,
+                    );
+                }
+                let mut v = v.clone();
+                v.resize(peers, 1);
+                v
+            }
+            source @ (WeightSource::Healthz | WeightSource::Metrics) => {
+                let machine_cores = std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1);
+                let local_share = if self.local_peers > 0 {
+                    (machine_cores / self.local_peers as u64).max(1)
+                } else {
+                    1
+                };
+                let mut cores: Vec<f64> = self
+                    .workers
+                    .iter()
+                    .map(|w| probe_worker_cores(w, cancel).unwrap_or(1) as f64)
+                    .collect();
+                cores.extend(std::iter::repeat_n(local_share as f64, self.local_peers));
+                let mut scores = cores.clone();
+                if *source == WeightSource::Metrics {
+                    // Refine with observed throughput where we have it.
+                    // Unobserved peers keep their core count, scaled into
+                    // rate units by the mean observed rate-per-core so
+                    // the two kinds of score stay comparable.
+                    let rates: Vec<Option<f64>> = self
+                        .workers
+                        .iter()
+                        .map(|w| observed_dispatch_rate(registry, w))
+                        .collect();
+                    let per_core: Vec<f64> = rates
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, r)| r.map(|r| r / cores[i].max(1.0)))
+                        .collect();
+                    if !per_core.is_empty() {
+                        let mean = per_core.iter().sum::<f64>() / per_core.len() as f64;
+                        for (i, score) in scores.iter_mut().enumerate() {
+                            *score = match rates.get(i).copied().flatten() {
+                                Some(rate) => rate,
+                                None => cores[i] * mean,
+                            };
+                        }
+                    }
+                }
+                integerize_weights(&scores)
+            }
+        };
+        for (i, &wt) in weights.iter().enumerate() {
+            let label = if i < self.workers.len() {
+                self.workers[i].clone()
+            } else {
+                format!("local-{}", i - self.workers.len())
+            };
+            registry
+                .gauge(
+                    "spnn_worker_capacity_weight",
+                    "Resolved capacity weight of each fleet peer (slice size is proportional).",
+                    &[("worker", &label)],
+                )
+                .set(wt as i64);
+        }
+        weights
     }
 
-    fn execute(
+    /// The classic equal remote fan-out (shard `i` of `k` per worker) —
+    /// kept verbatim as the plain-remote and fallback path.
+    fn execute_equal(
         &self,
         spec: &ScenarioSpec,
         shards: usize,
         ctx: &ExecContext<'_>,
         deliver: &mut dyn FnMut(PartialReport) -> bool,
     ) -> Result<(), ExecError> {
-        if self.workers.is_empty() {
-            return Err(ExecError::Remote("no workers configured".into()));
-        }
         let spec_text = spec.to_text();
         let expected_fp = queue_fingerprint(spec);
         let verbose = ctx.config.verbose;
@@ -1040,6 +1367,234 @@ impl Executor for RemoteExecutor {
         } else {
             Err(ExecError::Remote(failures.join("; ")))
         }
+    }
+
+    /// Fleet dispatch: one span per peer (weighted or equal), local and
+    /// remote peers side by side, with optional work stealing.
+    fn execute_fleet(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError> {
+        let peers = self.peers();
+        let remote = self.workers.len();
+        let verbose = ctx.config.verbose;
+        let registry = &ctx.config.metrics;
+
+        // Geometry: every planner variant slices the global round space,
+        // which local peers read off the prepared queue and a pure-remote
+        // coordinator derives statically from the spec. A queue whose
+        // length is not statically derivable (zonal sweeps) falls back to
+        // the classic equal plan — correct, just not elastic.
+        let prep = if self.local_peers > 0 {
+            Some(prepare(spec, ctx.config, ctx.cache)?)
+        } else {
+            None
+        };
+        let rounds_per_point: Vec<usize> = match &prep {
+            Some(p) => crate::runner::sweep_rounds_per_point(p),
+            None => match crate::queue::static_queue_len(spec) {
+                Some(per_topology) => {
+                    let points = per_topology * spec.topologies.len();
+                    vec![spec.iterations.div_ceil(spec.round_size.max(1)); points]
+                }
+                None => {
+                    tevent!(
+                        Level::Warn,
+                        "exec",
+                        "fleet plan falls back to equal remote dispatch",
+                        reason = "queue length not statically derivable from the spec",
+                    );
+                    return self.execute_equal(spec, shards, ctx, deliver);
+                }
+            },
+        };
+
+        let weights = self.resolve_weights(registry, ctx.cancel);
+        let spans: Vec<(usize, usize)> = (0..peers)
+            .map(|i| weighted_span(&rounds_per_point, &weights, i))
+            .collect();
+
+        let steal_total = registry.counter(
+            "spnn_steal_total",
+            "Work-steal claims: a drained peer re-dispatched a straggler's span.",
+            &[],
+        );
+        let redispatched = registry.counter(
+            "spnn_shard_rounds_redispatched_total",
+            "Rounds re-dispatched speculatively by work stealing.",
+            &[],
+        );
+
+        let spec_text = spec.to_text();
+        let fp = queue_fingerprint(spec);
+        let local_threads = threads_per_shard(ctx.config, self.local_peers.max(1));
+        let rctx = ctx
+            .config
+            .row_cache
+            .as_ref()
+            .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+        let cancel = ctx.cancel;
+
+        let slices: Mutex<Vec<FleetSlice>> = Mutex::new(
+            spans
+                .iter()
+                .map(|&span| FleetSlice {
+                    span,
+                    started: Instant::now(),
+                    done: false,
+                    stolen: false,
+                })
+                .collect(),
+        );
+        let tasks: Mutex<VecDeque<(usize, usize)>> = Mutex::new(VecDeque::new());
+
+        // Runs `[lo, hi)` on peer `me`: remote peers POST the span (with
+        // the usual retry rotation, starting at their own worker); local
+        // peers plan and execute the blocks in-process.
+        let dispatch_span =
+            |me: usize, (lo, hi): (usize, usize)| -> Result<PartialReport, String> {
+                if me < remote {
+                    self.run_span(&spec_text, &fp, lo, hi, me, cancel, verbose, registry)
+                } else {
+                    let prep = prep.as_ref().expect("local peers prepared the scenario");
+                    let blocks = plan_span(&rounds_per_point, lo, hi);
+                    Ok(execute_blocks(
+                        prep,
+                        fp.clone(),
+                        peers,
+                        me,
+                        &blocks,
+                        local_threads,
+                        verbose,
+                        registry,
+                        rctx.as_ref().map(|(rc, c)| (*rc, c)),
+                    ))
+                }
+            };
+
+        // Pops a stolen sub-span, or claims the slowest outstanding
+        // slice and splits its whole span across the fleet. The victim
+        // keeps computing — its eventual answer is bit-identical to the
+        // speculative re-dispatch, and the merge deduplicates; whole-span
+        // re-dispatch is required because the victim's dispatch is one
+        // blocking POST that only completion (and cancellation) unblocks.
+        let next_task = || -> Option<(usize, usize)> {
+            if let Some(task) = tasks.lock().expect("steal queue lock").pop_front() {
+                return Some(task);
+            }
+            let (victim, lo, hi) = {
+                let mut held = slices.lock().expect("fleet slice lock");
+                let victim = held
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done && !s.stolen && s.span.0 < s.span.1)
+                    .min_by_key(|(_, s)| s.started)
+                    .map(|(i, _)| i)?;
+                held[victim].stolen = true;
+                let (lo, hi) = held[victim].span;
+                (victim, lo, hi)
+            };
+            let units = hi - lo;
+            let parts = peers.min(units).max(1);
+            steal_total.inc();
+            redispatched.add(units as u64);
+            tevent!(
+                Level::Info,
+                "exec",
+                "steal",
+                victim = victim,
+                lo = lo,
+                hi = hi,
+                parts = parts,
+            );
+            let mut queue = tasks.lock().expect("steal queue lock");
+            for part in 1..parts {
+                queue.push_back((lo + part * units / parts, lo + (part + 1) * units / parts));
+            }
+            Some((lo, lo + units / parts))
+        };
+
+        let (tx, rx) = mpsc::channel::<Result<PartialReport, String>>();
+        let mut failures = Vec::new();
+        std::thread::scope(|scope| {
+            for me in 0..peers {
+                let tx = tx.clone();
+                let (dispatch_span, next_task) = (&dispatch_span, &next_task);
+                let slices = &slices;
+                let steal = self.steal;
+                scope.spawn(move || {
+                    let own = {
+                        let held = slices.lock().expect("fleet slice lock");
+                        held[me].span
+                    };
+                    if own.0 < own.1 && !cancel.is_cancelled() {
+                        let result = dispatch_span(me, own);
+                        slices.lock().expect("fleet slice lock")[me].done = true;
+                        let _ = tx.send(result);
+                    } else {
+                        slices.lock().expect("fleet slice lock")[me].done = true;
+                    }
+                    if steal {
+                        while !cancel.is_cancelled() {
+                            let Some(span) = next_task() else { break };
+                            let _ = tx.send(dispatch_span(me, span));
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for result in rx {
+                match result {
+                    Ok(partial) => {
+                        let _ = deliver(partial);
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+        });
+        if let Some(prep) = &prep {
+            crate::runner::persist_context(ctx.cache, prep, verbose);
+        }
+
+        if ctx.cancel.is_cancelled() {
+            // Cancellation aborts in-flight dispatches mid-read; their
+            // failures are expected, and the driver decides whether the
+            // merge completed first (early completion) or not.
+            Err(ExecError::Cancelled)
+        } else if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(ExecError::Remote(failures.join("; ")))
+        }
+    }
+}
+
+impl Executor for RemoteExecutor {
+    fn name(&self) -> &'static str {
+        if self.local_peers > 0 {
+            "fleet"
+        } else {
+            "remote"
+        }
+    }
+
+    fn execute(
+        &self,
+        spec: &ScenarioSpec,
+        shards: usize,
+        ctx: &ExecContext<'_>,
+        deliver: &mut dyn FnMut(PartialReport) -> bool,
+    ) -> Result<(), ExecError> {
+        if self.peers() == 0 {
+            return Err(ExecError::Remote("no workers configured".into()));
+        }
+        if self.is_plain_remote() {
+            return self.execute_equal(spec, shards, ctx, deliver);
+        }
+        self.execute_fleet(spec, shards, ctx, deliver)
     }
 }
 
@@ -1124,9 +1679,20 @@ pub fn run_distributed(
     if let Some(rc) = &ctx.config.row_cache {
         merge.publish_rows_to(Arc::clone(rc), RowContext::of_spec(spec));
     }
+    // The executor runs under a child token: the moment the merge has
+    // every row, outstanding dispatches are pure speculation (work
+    // stealing re-covers spans a straggler still holds) — cancel them
+    // rather than wait. The straggler's eventual answer would have been
+    // a bit-identical duplicate anyway.
+    let work = ctx.cancel.child();
+    let work_ctx = ExecContext {
+        config: ctx.config,
+        cache: ctx.cache,
+        cancel: &work,
+    };
     let mut merge_err: Option<MergeError> = None;
     let mut started = false;
-    let exec_result = executor.execute(spec, shards, ctx, &mut |partial| {
+    let exec_result = executor.execute(spec, shards, &work_ctx, &mut |partial| {
         if merge_err.is_some() {
             return false;
         }
@@ -1145,6 +1711,9 @@ pub fn run_distributed(
                 for (index, row) in &rows {
                     observe(StreamEvent::Row { index: *index, row });
                 }
+                if merge.is_complete() {
+                    work.cancel();
+                }
                 true
             }
             Err(e) => {
@@ -1158,7 +1727,14 @@ pub fn run_distributed(
     if let Some(e) = merge_err {
         return Err(e.into());
     }
-    exec_result?;
+    match exec_result {
+        Ok(()) => {}
+        // Early completion: the merge finished off the speculative
+        // overlap before every dispatch returned, and the remainder was
+        // cancelled deliberately. The report below is whole.
+        Err(ExecError::Cancelled) if merge.is_complete() => {}
+        Err(e) => return Err(e.into()),
+    }
     let report = merge.finalize()?;
     if let Some(rc) = &ctx.config.row_cache {
         let rctx = RowContext::of_spec(spec);

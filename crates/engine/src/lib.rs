@@ -138,19 +138,22 @@ pub use cache::{ContextCache, Fingerprint, TrainedContext};
 pub use estimator::{StopRule, Welford};
 pub use exec::{
     run_distributed, BreakerConfig, BreakerState, CancelToken, DistError, ExecContext, ExecError,
-    Executor, LocalExecutor, RemoteExecutor, SpawnExecutor, WorkerBreakers,
+    Executor, LocalExecutor, RemoteExecutor, SpawnExecutor, WeightSource, WorkerBreakers,
 };
 pub use metrics::{histogram_quantile, Counter, FloatGauge, Gauge, Histogram, MetricsRegistry};
 pub use queue::WorkItem;
 pub use report::{to_csv, to_json};
 pub use rowcache::{RowCache, RowContext, RowKey};
 pub use runner::{
-    run_point, run_point_range, run_scenario, run_scenario_shard_with,
+    run_point, run_point_range, run_scenario, run_scenario_shard_with, run_scenario_span_with,
     run_scenario_streaming_cancellable, run_scenario_streaming_with, run_scenario_with,
     run_scenarios, EngineConfig, EngineReport, PointResult, RangeResult, StreamEvent, SweepRow,
 };
 pub use serve::{assemble_report, AssembleError, QuotaConfig, RequestBudget, ServeConfig, Server};
-pub use shard::{merge_partials, plan_shard, MergeError, MergeState, PartialReport, ShardBlock};
+pub use shard::{
+    merge_partials, plan_shard, plan_shard_weighted, plan_span, weighted_span, MergeError,
+    MergeState, PartialReport, ShardBlock,
+};
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
 pub use trace::{Level, Span};
 
@@ -161,7 +164,7 @@ pub mod prelude {
     pub use crate::estimator::{StopRule, Welford};
     pub use crate::exec::{
         run_distributed, CancelToken, ExecContext, Executor, LocalExecutor, RemoteExecutor,
-        SpawnExecutor,
+        SpawnExecutor, WeightSource,
     };
     pub use crate::metrics::MetricsRegistry;
     pub use crate::presets;

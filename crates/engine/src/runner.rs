@@ -29,7 +29,9 @@ use crate::estimator::{StopRule, Welford};
 use crate::metrics::{self, MetricsRegistry};
 use crate::queue::{compile, WorkItem};
 use crate::rowcache::{CachedPoint, RowCache, RowContext, RowManifest};
-use crate::shard::{plan_shard, queue_fingerprint, PartialPoint, PartialReport};
+use crate::shard::{
+    plan_shard, plan_span, queue_fingerprint, PartialPoint, PartialReport, ShardBlock,
+};
 use crate::spec::{topology_name, ScenarioSpec};
 use crate::tevent;
 use crate::trace::{Level, Span};
@@ -928,6 +930,58 @@ pub fn run_scenario_shard_with(
     Ok(partial)
 }
 
+/// Runs the contiguous unit range `[first_unit, first_unit + units)` of a
+/// scenario's global **round space** and returns the partial report
+/// covering exactly those rounds — the span twin of
+/// [`run_scenario_shard_with`], serving the coordinator's
+/// capacity-weighted plans and work-stealing re-dispatches
+/// (`POST /shard?span=LO-HI`). Any partition of the round space into
+/// spans merges back byte-identical to the unsharded run; overlapping
+/// spans deduplicate (see [`crate::shard::MergeState`]).
+///
+/// # Errors
+///
+/// Returns [`EngineError::Invalid`] when the span is empty or overruns
+/// the round space, and propagates preparation errors.
+pub fn run_scenario_span_with(
+    spec: &ScenarioSpec,
+    config: &EngineConfig,
+    cache: &ContextCache,
+    first_unit: usize,
+    units: usize,
+) -> Result<PartialReport, EngineError> {
+    if units == 0 {
+        return Err(EngineError::Invalid("span must be non-empty".into()));
+    }
+    let prep = prepare(spec, config, cache)?;
+    let rounds_per_point = sweep_rounds_per_point(&prep);
+    let total: usize = rounds_per_point.iter().sum();
+    if first_unit.saturating_add(units) > total {
+        return Err(EngineError::Invalid(format!(
+            "span {first_unit}..{} out of range for a {total}-round queue",
+            first_unit.saturating_add(units)
+        )));
+    }
+    let blocks = plan_span(&rounds_per_point, first_unit, first_unit + units);
+    let rctx = config
+        .row_cache
+        .as_ref()
+        .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+    let partial = execute_blocks(
+        &prep,
+        queue_fingerprint(spec),
+        1,
+        0,
+        &blocks,
+        config.threads,
+        config.verbose,
+        &config.metrics,
+        rctx.as_ref().map(|(rc, ctx)| (*rc, ctx)),
+    );
+    persist_context(cache, &prep, config.verbose);
+    Ok(partial)
+}
+
 /// Attempts to serve block `[first_round, first_round + rounds)` of a
 /// point from a cached full-point sample stream.
 ///
@@ -966,6 +1020,16 @@ fn serve_block_from_cache(
     })
 }
 
+/// The per-point round count vector of a prepared scenario — the global
+/// round space that [`plan_shard`], [`crate::shard::plan_shard_weighted`]
+/// and [`plan_span`] all slice. Every point carries the same round count
+/// (the iteration cap split into rounds), so peers can compute this
+/// without preparing when the queue length is statically known.
+pub(crate) fn sweep_rounds_per_point(prep: &PreparedScenario) -> Vec<usize> {
+    let cap = prep.stop.max_iterations;
+    vec![cap.div_ceil(prep.round_size); prep.points.len()]
+}
+
 /// Executes shard `shard_index` of a `shards`-way plan over an already
 /// prepared scenario — the primitive shared by the per-process shard
 /// entry point ([`run_scenario_shard_with`]) and by
@@ -982,10 +1046,39 @@ pub(crate) fn execute_shard_blocks(
     registry: &MetricsRegistry,
     row_ctx: Option<(&RowCache, &RowContext)>,
 ) -> PartialReport {
-    let cap = prep.stop.max_iterations;
-    let rounds_per_point = vec![cap.div_ceil(prep.round_size); prep.points.len()];
-    let blocks = plan_shard(&rounds_per_point, shards, shard_index);
+    let blocks = plan_shard(&sweep_rounds_per_point(prep), shards, shard_index);
+    execute_blocks(
+        prep,
+        queue_fp,
+        shards,
+        shard_index,
+        &blocks,
+        threads,
+        verbose,
+        registry,
+        row_ctx,
+    )
+}
 
+/// Executes an explicit block list over a prepared scenario — the
+/// planner-agnostic primitive beneath [`execute_shard_blocks`] and the
+/// local half of mixed fleet dispatch (arbitrary spans, weighted slices,
+/// stolen sub-spans). `shards`/`shard_index` are recorded in the partial
+/// header for diagnostics only; the merge derives coverage from the
+/// blocks themselves.
+#[allow(clippy::too_many_arguments)] // internal primitive shared by several drivers
+pub(crate) fn execute_blocks(
+    prep: &PreparedScenario,
+    queue_fp: String,
+    shards: usize,
+    shard_index: usize,
+    blocks: &[ShardBlock],
+    threads: Option<usize>,
+    verbose: bool,
+    registry: &MetricsRegistry,
+    row_ctx: Option<(&RowCache, &RowContext)>,
+) -> PartialReport {
+    let cap = prep.stop.max_iterations;
     let counters = SweepCounters::new(registry);
     let mut points = Vec::with_capacity(blocks.len());
     for (i, block) in blocks.iter().enumerate() {

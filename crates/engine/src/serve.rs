@@ -100,7 +100,8 @@
 
 use crate::cache::ContextCache;
 use crate::exec::{
-    run_distributed, BreakerConfig, CancelToken, ExecContext, RemoteExecutor, WorkerBreakers,
+    run_distributed, BreakerConfig, CancelToken, ExecContext, RemoteExecutor, WeightSource,
+    WorkerBreakers,
 };
 use crate::http::{http_get, read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
@@ -108,8 +109,9 @@ use crate::metrics::{self, histogram_quantile, Counter, Gauge, MetricsRegistry, 
 use crate::queue::static_queue_len;
 use crate::report::{csv_header, csv_row, label_keys};
 use crate::runner::{
-    run_scenario_shard_with, run_scenario_streaming_cancellable, run_scenario_streaming_with,
-    EngineConfig, EngineReport, StreamEvent, SweepRow, TopologySummary,
+    run_scenario_shard_with, run_scenario_span_with, run_scenario_streaming_cancellable,
+    run_scenario_streaming_with, EngineConfig, EngineError, EngineReport, StreamEvent, SweepRow,
+    TopologySummary,
 };
 use crate::spec::ScenarioSpec;
 use crate::tevent;
@@ -317,6 +319,18 @@ pub struct ServeConfig {
     /// Circuit-breaker tuning for coordinator-side worker health (see
     /// [`BreakerConfig`]; only used when `remote_workers` is non-empty).
     pub breaker: BreakerConfig,
+    /// Coordinator work stealing (`--steal`): a worker that drains its
+    /// slice re-dispatches the slowest outstanding slice's span;
+    /// overlapping speculative partials are deduplicated by the merge,
+    /// so the stream stays byte-identical (only wall-clock changes).
+    pub steal: bool,
+    /// Coordinator capacity weighting (`--weights-from`): how the shard
+    /// plan sizes each worker's slice (see [`WeightSource`]).
+    pub weights_from: WeightSource,
+    /// In-process peers the coordinator adds to its own plan
+    /// (`--local-peers`): mixed dispatch — the coordinator's cores work
+    /// alongside the remote fleet.
+    pub local_peers: usize,
 }
 
 impl Default for ServeConfig {
@@ -332,6 +346,9 @@ impl Default for ServeConfig {
             budget: RequestBudget::default(),
             quota: QuotaConfig::default(),
             breaker: BreakerConfig::default(),
+            steal: false,
+            weights_from: WeightSource::Equal,
+            local_peers: 0,
         }
     }
 }
@@ -499,6 +516,12 @@ struct ServerState {
     admission_queue_depth: Gauge,
     /// Coordinator-side worker circuit breakers (`None` in worker role).
     breakers: Option<Arc<WorkerBreakers>>,
+    /// Coordinator work stealing (see [`ServeConfig::steal`]).
+    steal: bool,
+    /// Coordinator capacity weighting (see [`ServeConfig::weights_from`]).
+    weights_from: WeightSource,
+    /// Coordinator in-process peers (see [`ServeConfig::local_peers`]).
+    local_peers: usize,
 }
 
 impl ServerState {
@@ -638,6 +661,9 @@ impl Server {
                     &[],
                 ),
                 breakers,
+                steal: config.steal,
+                weights_from: config.weights_from,
+                local_peers: config.local_peers,
                 metrics: registry,
             }),
         })
@@ -1133,11 +1159,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             });
             let body = format!(
                 "{{\"status\": \"ok\", \"version\": \"{}\", \"role\": \"{}\", \
-                 \"uptime_seconds\": {}, \"workers\": {}, \"remote_workers\": {}, \
+                 \"cores\": {}, \"uptime_seconds\": {}, \"workers\": {}, \
+                 \"remote_workers\": {}, \
                  \"runs_started\": {}, \"runs_completed\": {}, \"runs_failed\": {}, \
                  \"shards_completed\": {}, \"shards_failed\": {}{breakers}}}\n",
                 env!("CARGO_PKG_VERSION"),
                 state.role(),
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
                 state.started_at.elapsed().as_secs(),
                 state.workers,
                 state.remote_workers.len(),
@@ -1413,7 +1441,10 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
         // Coordinator: one shard per worker, merged as they arrive. The
         // executor retries a failed worker's shard on the next worker,
         // skipping workers whose circuit breaker is open.
-        let mut executor = RemoteExecutor::new(state.remote_workers.iter().cloned());
+        let mut executor = RemoteExecutor::new(state.remote_workers.iter().cloned())
+            .with_local_peers(state.local_peers)
+            .with_weights(state.weights_from.clone())
+            .with_steal(state.steal);
         if let Some(breakers) = &state.breakers {
             executor = executor.with_breakers(Arc::clone(breakers));
         }
@@ -1425,7 +1456,7 @@ fn handle_run(request: &Request, writer: &mut impl Write, state: &ServerState) -
         run_distributed(
             &spec,
             &executor,
-            state.remote_workers.len(),
+            state.remote_workers.len() + state.local_peers,
             &ctx,
             &mut observe,
         )
@@ -1522,36 +1553,82 @@ fn follow_run(
 /// serving: runs exactly one deterministic slice of the spec's queue and
 /// returns the [`PartialReport`] JSON (`spnn merge`-compatible, the same
 /// bytes `spnn run --shards K --shard-index I` writes).
+///
+/// `POST /shard?span=LO-HI` is the weighted/stealing variant: instead of
+/// an equal 1-of-K slice the coordinator names an explicit half-open
+/// round-space range. Both forms produce overlapping-merge-safe partials
+/// because every iteration's bits depend only on `(seed, k)`.
 fn handle_shard(request: &Request, writer: &mut impl Write, state: &ServerState) -> u16 {
-    let param = |key: &str| -> Result<usize, String> {
-        request
-            .query_param(key)
-            .ok_or_else(|| format!("missing query parameter {key:?}"))?
-            .parse::<usize>()
-            .map_err(|_| format!("query parameter {key:?} must be an integer"))
+    // Test-only chaos hook: an operator-invisible way for the CI chaos
+    // job to slow one worker without a proxy. Parsed per-request so the
+    // shell can export it before spawning just the straggler.
+    if let Ok(ms) = std::env::var("SPNN_TEST_SHARD_DELAY_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+    fn reject(writer: &mut impl Write, message: &str) -> u16 {
+        let body = format!("{{\"error\": \"{}\"}}\n", json::escape(message));
+        let _ = Response::json(400, body).write_to(writer);
+        400
+    }
+    // The two query forms are mutually exclusive; `span` wins when both
+    // are present because only the coordinator sends it.
+    let span = match request.query_param("span") {
+        Some(raw) => match raw.split_once('-') {
+            Some((lo, hi)) => match (lo.parse::<usize>(), hi.parse::<usize>()) {
+                (Ok(lo), Ok(hi)) if lo < hi => Some((lo, hi)),
+                (Ok(lo), Ok(hi)) => {
+                    return reject(writer, &format!("span {lo}-{hi} is empty or reversed"));
+                }
+                _ => return reject(writer, "span must be LO-HI with integer bounds"),
+            },
+            None => return reject(writer, "span must be LO-HI with integer bounds"),
+        },
+        None => None,
     };
-    let (shards, index) = match (param("shards"), param("index")) {
-        (Ok(s), Ok(i)) if s > 0 && i < s => (s, i),
-        (Ok(s), Ok(i)) => {
-            let body =
-                format!("{{\"error\": \"shard index {i} out of range for {s} shard(s)\"}}\n");
-            let _ = Response::json(400, body).write_to(writer);
-            return 400;
+    let shard = if span.is_none() {
+        let param = |key: &str| -> Result<usize, String> {
+            request
+                .query_param(key)
+                .ok_or_else(|| format!("missing query parameter {key:?}"))?
+                .parse::<usize>()
+                .map_err(|_| format!("query parameter {key:?} must be an integer"))
+        };
+        match (param("shards"), param("index")) {
+            (Ok(s), Ok(i)) if s > 0 && i < s => Some((s, i)),
+            (Ok(s), Ok(i)) => {
+                return reject(
+                    writer,
+                    &format!("shard index {i} out of range for {s} shard(s)"),
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => return reject(writer, &e),
         }
-        (Err(e), _) | (_, Err(e)) => {
-            let body = format!("{{\"error\": \"{}\"}}\n", json::escape(&e));
-            let _ = Response::json(400, body).write_to(writer);
-            return 400;
-        }
+    } else {
+        None
     };
     let Some(spec) = parse_spec_or_reject(request, writer) else {
         return 400;
     };
-    match run_scenario_shard_with(&spec, &state.engine, &state.cache, shards, index) {
+    let result = match (span, shard) {
+        (Some((lo, hi)), _) => {
+            run_scenario_span_with(&spec, &state.engine, &state.cache, lo, hi - lo)
+        }
+        (None, Some((shards, index))) => {
+            run_scenario_shard_with(&spec, &state.engine, &state.cache, shards, index)
+        }
+        (None, None) => unreachable!("one of span/shard is always set"),
+    };
+    match result {
         Ok(partial) => {
             state.shards_completed.inc();
             let _ = Response::json(200, partial.to_json()).write_to(writer);
             200
+        }
+        Err(EngineError::Invalid(message)) => {
+            state.shards_failed.inc();
+            reject(writer, &message)
         }
         Err(e) => {
             state.shards_failed.inc();

@@ -12,6 +12,11 @@
 //!   queue's **round space** into `k` disjoint, contiguous, balanced
 //!   slices. Every process computes the same plan from the same spec; no
 //!   coordination is needed beyond collecting the outputs.
+//!   [`plan_shard_weighted`] is the capacity-aware generalization
+//!   (slices proportional to integer weights), and [`plan_span`] the
+//!   shared primitive — any contiguous unit range of the round space is
+//!   a valid dispatch, which is what lets a work-stealing coordinator
+//!   re-dispatch sub-slices of a straggler's span.
 //! - [`PartialReport`] — a versioned JSON format for one shard's output:
 //!   the spec's queue fingerprint, the covered `(point, iteration-range)`
 //!   blocks, each block's raw per-iteration samples and Welford state.
@@ -25,8 +30,14 @@
 //!   convenience wrapper (push everything, finalize); the streaming
 //!   coordinator in [`crate::exec`] feeds the same state machine one
 //!   partial at a time, so distributed streams and batch merges cannot
-//!   diverge. Validation (no gaps, no overlaps, no foreign
-//!   fingerprints) is shared.
+//!   diverge. Validation (no gaps, no conflicting overlaps, no foreign
+//!   fingerprints) is shared. Overlapping coverage with **identical
+//!   bits** is deduplicated rather than rejected — iteration `k` of a
+//!   point is a pure function of `(seed, k)`, so a speculative
+//!   re-dispatch (work stealing, a straggler answering after its slice
+//!   was re-planned) can only ever duplicate what the first computation
+//!   produced; an overlap that *disagrees* at any iteration means a
+//!   corrupt partial and is rejected outright.
 //!
 //! # Adaptive early termination under sharding
 //!
@@ -98,6 +109,23 @@ pub fn plan_shard(rounds_per_point: &[usize], shards: usize, index: usize) -> Ve
     let total: usize = rounds_per_point.iter().sum();
     let lo = index * total / shards;
     let hi = (index + 1) * total / shards;
+    plan_span(rounds_per_point, lo, hi)
+}
+
+/// The blocks covering the contiguous unit range `[lo, hi)` of the global
+/// round space — the primitive under [`plan_shard`] and
+/// [`plan_shard_weighted`], and the sub-slicing tool for work stealing
+/// (re-dispatch any tail of a straggler's slice by planning its span).
+///
+/// Returns an empty plan for an empty span (`lo == hi`).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi` exceeds the total round count.
+pub fn plan_span(rounds_per_point: &[usize], lo: usize, hi: usize) -> Vec<ShardBlock> {
+    let total: usize = rounds_per_point.iter().sum();
+    assert!(lo <= hi, "span start past span end");
+    assert!(hi <= total, "span end past the round space");
 
     let mut blocks = Vec::new();
     let mut cursor = 0usize; // first global unit of the current point
@@ -117,6 +145,53 @@ pub fn plan_shard(rounds_per_point: &[usize], shards: usize, index: usize) -> Ve
         }
     }
     blocks
+}
+
+/// The unit range `[lo, hi)` of the global round space that
+/// [`plan_shard_weighted`] assigns to peer `index` under `weights`.
+///
+/// Peer `i`'s range is `[⌊U·W_{<i}/W⌋, ⌊U·W_{≤i}/W⌋)` where `W_{<i}` is the
+/// cumulative weight before `i` and `W` the weight total — the exact
+/// weighted generalization of [`plan_shard`]'s `⌊i·U/k⌋` arithmetic, so
+/// uniform weights reproduce the equal plan bit-for-bit (the shared factor
+/// cancels inside the floor). Zero-weight peers receive empty ranges; an
+/// all-zero vector carries no information and falls back to the equal
+/// plan. Products are taken in `u128`, so any `u64` weights are exact.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or `index >= weights.len()`.
+pub fn weighted_span(rounds_per_point: &[usize], weights: &[u64], index: usize) -> (usize, usize) {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    assert!(index < weights.len(), "peer index out of range");
+    let total: usize = rounds_per_point.iter().sum();
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if sum == 0 {
+        let k = weights.len();
+        return (index * total / k, (index + 1) * total / k);
+    }
+    let before: u128 = weights[..index].iter().map(|&w| w as u128).sum();
+    let through = before + weights[index] as u128;
+    let lo = (total as u128 * before / sum) as usize;
+    let hi = (total as u128 * through / sum) as usize;
+    (lo, hi)
+}
+
+/// Capacity-weighted variant of [`plan_shard`]: slices the global round
+/// space proportionally to `weights` (one weight per peer) and returns
+/// peer `index`'s blocks. See [`weighted_span`] for the arithmetic and
+/// the degenerate cases (uniform, zeros, all-zero).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or `index >= weights.len()`.
+pub fn plan_shard_weighted(
+    rounds_per_point: &[usize],
+    weights: &[u64],
+    index: usize,
+) -> Vec<ShardBlock> {
+    let (lo, hi) = weighted_span(rounds_per_point, weights, index);
+    plan_span(rounds_per_point, lo, hi)
 }
 
 /// The queue fingerprint of a spec: a 128-bit FNV-1a key over the spec's
@@ -485,12 +560,13 @@ enum PointReplay {
 }
 
 /// Validates and replays one point's sorted blocks: metadata agreement,
-/// structural integrity (round alignment, disjointness, Welford checks),
-/// then the stop-rule replay at round boundaries — exactly what the
-/// unsharded run computes.
+/// structural integrity (round alignment, Welford checks, bit-identical
+/// overlap dedup), then the stop-rule replay at round boundaries —
+/// exactly what the unsharded run computes.
 ///
-/// Hard violations (overlaps, corrupt blocks, metadata disagreement) are
-/// `Err`; incomplete-but-consistent coverage is [`PointReplay::Pending`].
+/// Hard violations (conflicting overlaps, corrupt blocks, metadata
+/// disagreement) are `Err`; incomplete-but-consistent coverage is
+/// [`PointReplay::Pending`].
 fn replay_blocks(
     index: usize,
     blocks: &[PartialPoint],
@@ -509,10 +585,16 @@ fn replay_blocks(
     }
 
     // Structural pass first: blocks must be round-aligned, non-empty,
-    // in-bounds, and strictly disjoint — even blocks the replay below
-    // would discard as speculation must not overlap (a duplicated shard
-    // is an operator error worth surfacing, not silently deduplicating).
-    let mut covered_to = 0usize;
+    // in-bounds, and internally consistent (Welford matches samples).
+    // Coverage is accumulated into per-iteration slots: overlapping
+    // coverage is legal **iff the overlapped iterations carry identical
+    // bits**. Iteration `k` of a point is a pure function of `(seed, k)`,
+    // so a speculative re-dispatch (work stealing, a retried straggler,
+    // a duplicated shard) can only duplicate what the first computation
+    // produced — identical duplicates are deduplicated here, while a
+    // bit-level disagreement means one of the partials is corrupt and is
+    // rejected outright.
+    let mut slots: Vec<Option<f64>> = vec![None; cap];
     for b in blocks {
         if b.first_iteration % round_size != 0 {
             return Err(MergeError::Corrupt(format!(
@@ -523,15 +605,7 @@ fn replay_blocks(
         if b.samples.is_empty() {
             return Err(MergeError::Corrupt(format!("point {index}: empty block")));
         }
-        if b.first_iteration < covered_to {
-            return Err(MergeError::Coverage(format!(
-                "point {index}: iterations {}..{} are covered twice",
-                b.first_iteration,
-                covered_to.min(b.first_iteration + b.samples.len())
-            )));
-        }
-        covered_to = b.first_iteration + b.samples.len();
-        if covered_to > cap {
+        if b.first_iteration + b.samples.len() > cap {
             return Err(MergeError::Corrupt(format!(
                 "point {index}: blocks exceed the {cap}-iteration cap"
             )));
@@ -549,45 +623,52 @@ fn replay_blocks(
                 "point {index}: Welford state does not match the samples"
             )));
         }
-    }
-
-    let mut est = Welford::new();
-    let mut retained: Vec<f64> = Vec::new();
-    let mut stopped = false;
-
-    'blocks: for b in blocks {
-        if stopped {
-            // Later blocks were speculative work; the unsharded run never
-            // executes these iterations.
-            break;
-        }
-        if b.first_iteration > retained.len() {
-            return Ok(PointReplay::Pending(MergeError::Coverage(format!(
-                "point {index}: iterations {}..{} are missing",
-                retained.len(),
-                b.first_iteration
-            ))));
-        }
-        for &s in &b.samples {
-            est.push(s);
-            retained.push(s);
-            let n = retained.len();
-            if (n.is_multiple_of(round_size) || n == cap) && stop.should_stop(&est) {
-                stopped = true;
-                if n < cap {
-                    continue 'blocks; // discard the rest of this block
+        for (offset, &s) in b.samples.iter().enumerate() {
+            let k = b.first_iteration + offset;
+            match slots[k] {
+                None => slots[k] = Some(s),
+                Some(prev) if bits(prev) == bits(s) => {} // speculative duplicate
+                Some(_) => {
+                    return Err(MergeError::Corrupt(format!(
+                        "point {index}: iteration {k} is covered twice with different bits"
+                    )));
                 }
-                break 'blocks;
             }
         }
     }
 
+    // Replay: walk the filled contiguous prefix in iteration order,
+    // applying the stop rule at round boundaries — exactly the unsharded
+    // run. Everything past the first satisfied boundary is discarded
+    // speculation the unsharded run never executes.
+    let mut est = Welford::new();
+    let mut retained: Vec<f64> = Vec::new();
+    let mut stopped = false;
+    for slot in &slots {
+        let Some(s) = *slot else { break };
+        est.push(s);
+        retained.push(s);
+        let n = retained.len();
+        if (n.is_multiple_of(round_size) || n == cap) && stop.should_stop(&est) {
+            stopped = true;
+            break;
+        }
+    }
+
     if !stopped && retained.len() < cap {
-        return Ok(PointReplay::Pending(MergeError::Coverage(format!(
-            "point {index}: only {} of {cap} iterations covered and the stop rule \
-             is not satisfied there",
-            retained.len()
-        ))));
+        let err = match slots[retained.len()..].iter().position(|s| s.is_some()) {
+            Some(gap) => MergeError::Coverage(format!(
+                "point {index}: iterations {}..{} are missing",
+                retained.len(),
+                retained.len() + gap
+            )),
+            None => MergeError::Coverage(format!(
+                "point {index}: only {} of {cap} iterations covered and the stop rule \
+                 is not satisfied there",
+                retained.len()
+            )),
+        };
+        return Ok(PointReplay::Pending(err));
     }
     let stopped_early = retained.len() < cap;
     Ok(PointReplay::Complete {
@@ -643,11 +724,13 @@ fn check_compatible(
 /// A sweep point's row is *final* as soon as its collected blocks form a
 /// gap-free prefix on which the replayed stop rule fires (or that reaches
 /// the iteration cap): any block still in flight can only be discarded
-/// speculation, because overlapping coverage is rejected outright. This
-/// is what lets a coordinator stream row `i` the moment the shard owning
-/// it finishes, while shards owning later slices are still running — and
-/// why the streamed rows are byte-identical to the batch merge: both are
-/// this state machine.
+/// speculation or a bit-identical duplicate, because every iteration is a
+/// pure function of `(seed, k)` and any overlap that disagrees is
+/// rejected as corrupt. This is what lets a coordinator stream row `i`
+/// the moment the shard owning it finishes, while shards owning later
+/// slices (or work-stealing re-dispatches of the same span) are still
+/// running — and why the streamed rows are byte-identical to the batch
+/// merge: both are this state machine.
 ///
 /// ```
 /// use spnn_engine::shard::MergeState;
@@ -772,11 +855,11 @@ impl MergeState {
     ///
     /// Everything [`merge_partials`] rejects, the moment it becomes
     /// detectable: [`MergeError::Mismatch`] on foreign fingerprints or
-    /// metadata, [`MergeError::Coverage`] on overlaps,
-    /// [`MergeError::Corrupt`] on inconsistent blocks,
-    /// [`MergeError::Format`] on out-of-range point indices. Gaps are
-    /// *not* errors here — a later partial may fill them; they surface in
-    /// [`Self::finalize`].
+    /// metadata, [`MergeError::Corrupt`] on inconsistent blocks or
+    /// overlaps that disagree bit-for-bit, [`MergeError::Format`] on
+    /// out-of-range point indices. Bit-identical overlapping coverage is
+    /// deduplicated, not rejected. Gaps are *not* errors here — a later
+    /// partial may fill them; they surface in [`Self::finalize`].
     pub fn push(&mut self, partial: PartialReport) -> Result<Vec<(usize, SweepRow)>, MergeError> {
         let ordinal = self.seen;
         self.seen += 1;
@@ -799,7 +882,22 @@ impl MergeState {
                 )));
             }
             touched.push(block.index);
-            self.blocks.entry(block.index).or_default().push(block);
+            let held = self.blocks.entry(block.index).or_default();
+            // An exact duplicate of a held block (same range, same bits)
+            // adds no information — drop it so speculative re-dispatch
+            // (work stealing) cannot grow memory without bound. Partial
+            // overlaps are kept; `replay_blocks` dedups them slot-wise.
+            let duplicate = held.iter().any(|b| {
+                b.first_iteration == block.first_iteration
+                    && b.samples.len() == block.samples.len()
+                    && b.samples
+                        .iter()
+                        .zip(&block.samples)
+                        .all(|(a, b)| bits(*a) == bits(*b))
+            });
+            if !duplicate {
+                held.push(block);
+            }
         }
         touched.sort_unstable();
         touched.dedup();
@@ -987,6 +1085,82 @@ mod tests {
     }
 
     #[test]
+    fn weighted_plan_uniform_weights_match_the_equal_plan() {
+        let rounds = vec![1usize, 7, 2, 5, 1, 1];
+        for k in 1..=8 {
+            for w in [1u64, 3, 1_000_000_007] {
+                let weights = vec![w; k];
+                for i in 0..k {
+                    assert_eq!(
+                        plan_shard_weighted(&rounds, &weights, i),
+                        plan_shard(&rounds, k, i),
+                        "k={k} w={w} i={i}: uniform weights must degenerate exactly"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_plan_handles_zeros_skews_and_tiny_spaces() {
+        let rounds = vec![4usize, 4, 4]; // 12 units
+                                         // A zero-weight peer receives an empty span; the rest partition.
+        let weights = [2u64, 0, 1];
+        assert_eq!(weighted_span(&rounds, &weights, 0), (0, 8));
+        assert_eq!(weighted_span(&rounds, &weights, 1), (8, 8));
+        assert_eq!(weighted_span(&rounds, &weights, 2), (8, 12));
+        assert!(plan_shard_weighted(&rounds, &weights, 1).is_empty());
+
+        // All-zero weights carry no information: equal-plan fallback.
+        for i in 0..3 {
+            assert_eq!(
+                plan_shard_weighted(&rounds, &[0, 0, 0], i),
+                plan_shard(&rounds, 3, i)
+            );
+        }
+
+        // Huge skews stay exact (u128 products cannot overflow u64 sums):
+        // floor arithmetic still hands the light peer its last unit.
+        let skew = [u64::MAX, 1];
+        assert_eq!(weighted_span(&rounds, &skew, 0), (0, 11));
+        assert_eq!(weighted_span(&rounds, &skew, 1), (11, 12));
+
+        // More peers than rounds: spans still partition [0, total).
+        let tiny = vec![1usize, 1];
+        let weights = [5u64, 1, 1, 1, 1];
+        let mut cursor = 0;
+        for i in 0..weights.len() {
+            let (lo, hi) = weighted_span(&tiny, &weights, i);
+            assert_eq!(lo, cursor, "spans must be contiguous");
+            assert!(hi >= lo);
+            cursor = hi;
+        }
+        assert_eq!(cursor, 2, "spans must end at the total");
+    }
+
+    #[test]
+    fn plan_span_slices_any_contiguous_range() {
+        let rounds = vec![1usize, 7, 2];
+        let total = 10;
+        for lo in 0..=total {
+            for hi in lo..=total {
+                let blocks = plan_span(&rounds, lo, hi);
+                let covered: usize = blocks.iter().map(|b| b.rounds).sum();
+                assert_eq!(covered, hi - lo, "span [{lo},{hi}) unit count");
+                // Splitting a span at any midpoint re-plans to the same
+                // coverage — the sub-slicing property stealing relies on.
+                let mid = lo + (hi - lo) / 2;
+                let rejoined: usize = plan_span(&rounds, lo, mid)
+                    .iter()
+                    .chain(plan_span(&rounds, mid, hi).iter())
+                    .map(|b| b.rounds)
+                    .sum();
+                assert_eq!(rejoined, covered);
+            }
+        }
+    }
+
+    #[test]
     fn queue_fingerprint_tracks_the_spec() {
         let base = ScenarioSpec::default();
         let fp = queue_fingerprint(&base);
@@ -1063,17 +1237,18 @@ mod tests {
         ];
         assert!(matches!(merge_partials(&gap), Err(MergeError::Coverage(_))));
 
-        // Overlap: iterations 0..2 covered twice.
-        let overlap = [
+        // Conflicting overlap: iterations 0..2 covered twice with
+        // different bits — one of the partials must be corrupt.
+        let conflict = [
             partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]),
             partial(vec![
-                block(0, 0, vec![0.5, 0.75]),
+                block(0, 0, vec![0.5, 0.875]),
                 block(0, 4, vec![0.5, 0.75]),
             ]),
         ];
         assert!(matches!(
-            merge_partials(&overlap),
-            Err(MergeError::Coverage(_))
+            merge_partials(&conflict),
+            Err(MergeError::Corrupt(_))
         ));
 
         // Missing point: total_points says 1 but nothing covers it.
@@ -1185,14 +1360,54 @@ mod tests {
     }
 
     #[test]
-    fn merge_state_rejects_overlap_at_push_time() {
+    fn merge_state_rejects_conflicting_overlap_at_push_time() {
         let mut st = MergeState::new();
         st.push(partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]))
             .unwrap();
         let err = st
+            .push(partial(vec![block(0, 2, vec![0.375, 1.0, 0.5, 0.75])]))
+            .expect_err("an overlap disagreeing bit-for-bit must fail immediately");
+        assert!(matches!(err, MergeError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn merge_deduplicates_bit_identical_overlaps() {
+        // A speculative re-dispatch (work stealing) re-covers iterations
+        // 2..4 with the exact bits the first dispatch produced; the
+        // overlap merges and the row matches the disjoint recombination.
+        let reference = merge_partials(&[
+            partial(vec![block(0, 0, vec![0.5, 0.75])]),
+            partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]),
+        ])
+        .unwrap();
+
+        let mut st = MergeState::new();
+        st.push(partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]))
+            .unwrap();
+        let rows = st
             .push(partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]))
-            .expect_err("overlapping coverage must fail immediately");
-        assert!(matches!(err, MergeError::Coverage(_)), "{err}");
+            .expect("bit-identical overlap must be deduplicated");
+        assert_eq!(rows.len(), 1, "the overlap completed the point");
+        let report = st.finalize().unwrap();
+        assert_eq!(report.rows[0].iterations, 6);
+        assert_eq!(
+            report.rows[0].mean.to_bits(),
+            reference.rows[0].mean.to_bits(),
+            "deduplicated overlap must replay to the disjoint merge's bits"
+        );
+
+        // An exact duplicate of a whole partial is likewise harmless.
+        let dup = partial(vec![block(0, 0, vec![0.5, 0.75, 0.25, 1.0])]);
+        let mut st = MergeState::new();
+        st.push(dup.clone()).unwrap();
+        st.push(dup).unwrap();
+        st.push(partial(vec![block(0, 4, vec![0.5, 0.75])]))
+            .unwrap();
+        let report = st.finalize().unwrap();
+        assert_eq!(
+            report.rows[0].mean.to_bits(),
+            reference.rows[0].mean.to_bits()
+        );
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! another worker — and that rows stream in strict prefix order while
 //! shards complete out of order.
 
+mod common;
+
+use common::{dead_addr, flaky_addr, start_server, Fault, FaultWorker};
 use spnn_engine::exec::{
     run_distributed, CancelToken, ExecContext, ExecError, Executor, LocalExecutor, RemoteExecutor,
-    SpawnExecutor,
+    SpawnExecutor, WeightSource,
 };
 use spnn_engine::prelude::*;
 use spnn_engine::runner::StreamEvent;
@@ -16,14 +19,15 @@ use spnn_engine::serve::{ServeConfig, Server};
 use spnn_photonics::PerturbTarget;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::time::Duration;
 
+/// A slightly wider fig4 than the shared tiny one: 6 points so every
+/// executor shape (more shards than workers, local+remote mixes) has
+/// work to spread.
 fn tiny_fig4() -> ScenarioSpec {
-    let mut spec = presets::fig4(&RunScale::tiny());
+    let mut spec = common::tiny_fig4();
     spec.sweep.modes = vec![PerturbTarget::Both, PerturbTarget::PhaseShiftersOnly];
-    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
     spec.iterations = 10;
-    spec.min_iterations = 2;
-    spec.round_size = 4;
     spec
 }
 
@@ -96,44 +100,7 @@ fn spawn_executor_is_byte_identical() {
 /// Binds a worker service on an ephemeral port (in-memory cache) and
 /// leaves it running for the rest of the test process.
 fn start_worker() -> SocketAddr {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServeConfig {
-            workers: 2,
-            engine: EngineConfig {
-                threads: Some(2),
-                verbose: false,
-                cache_dir: None,
-                ..EngineConfig::default()
-            },
-            remote_workers: Vec::new(),
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind worker");
-    let addr = server.local_addr().expect("local addr");
-    std::thread::spawn(move || server.run());
-    addr
-}
-
-/// An address that refuses connections: bind an ephemeral port, then
-/// free it again.
-fn dead_addr() -> SocketAddr {
-    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("probe port");
-    listener.local_addr().expect("local addr")
-}
-
-/// A worker that accepts connections and slams them shut before
-/// answering — the shape of a worker killed mid-run.
-fn flaky_addr() -> SocketAddr {
-    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind flaky");
-    let addr = listener.local_addr().expect("local addr");
-    std::thread::spawn(move || {
-        for conn in listener.incoming().flatten() {
-            drop(conn);
-        }
-    });
-    addr
+    start_server(2)
 }
 
 /// Acceptance criterion: a remote fan-out across healthy workers is
@@ -236,4 +203,85 @@ fn server_run_returns_after_cancel() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     handle.join().expect("join").expect("clean shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Fleets: mixed local+remote dispatch, capacity weights, chaos smoke
+// ---------------------------------------------------------------------------
+
+/// Tentpole acceptance (mixed dispatch): one `run_distributed` call
+/// driving in-process peers *and* remote workers as peers in a single
+/// plan produces a report byte-identical to the unsharded run.
+#[test]
+fn fleet_of_local_and_remote_peers_is_byte_identical() {
+    let spec = tiny_fig4();
+    let executor =
+        RemoteExecutor::new(vec![format!("http://{}", start_worker())]).with_local_peers(2);
+    assert_eq!(executor.name(), "fleet");
+    let report = distribute(&spec, &executor, 3);
+    assert_matches_unsharded(&spec, &report, "fleet: 1 remote + 2 local");
+}
+
+/// Tentpole acceptance (weighted planning): arbitrary static capacity
+/// skews — including a zero-weight peer that gets an empty slice — never
+/// change a byte of the assembled report, only who computes what.
+#[test]
+fn weighted_fleet_is_byte_identical_for_any_static_skew() {
+    let spec = tiny_fig4();
+    let workers = vec![
+        format!("http://{}", start_worker()),
+        format!("http://{}", start_worker()),
+    ];
+    for weights in [vec![1, 1, 1], vec![7, 1, 2], vec![0, 3, 1]] {
+        let executor = RemoteExecutor::new(workers.clone())
+            .with_local_peers(1)
+            .with_weights(WeightSource::Static(weights.clone()));
+        let report = distribute(&spec, &executor, 3);
+        assert_matches_unsharded(&spec, &report, &format!("fleet weights {weights:?}"));
+    }
+}
+
+/// `--weights-from healthz` probes each worker's core count and weights
+/// the plan accordingly — still byte-identical, because weights only
+/// move slice boundaries.
+#[test]
+fn healthz_weighted_fleet_is_byte_identical() {
+    let spec = tiny_fig4();
+    let workers = vec![
+        format!("http://{}", start_worker()),
+        format!("http://{}", start_worker()),
+    ];
+    let executor = RemoteExecutor::new(workers).with_weights(WeightSource::Healthz);
+    let report = distribute(&spec, &executor, 2);
+    assert_matches_unsharded(&spec, &report, "fleet weighted from /healthz");
+}
+
+/// Chaos smoke ([`FaultWorker`] drop mode): a worker whose connections
+/// are reset mid-dispatch is retried on a healthy peer; the failure is
+/// invisible in the output.
+#[test]
+fn dropped_connections_are_retried_and_stay_byte_identical() {
+    let spec = tiny_fig4();
+    let chaos = FaultWorker::start(start_worker(), Fault::DropConnections(2));
+    let workers = vec![chaos.url(), format!("http://{}", start_worker())];
+    let report = distribute(&spec, &RemoteExecutor::new(workers), 2);
+    assert_matches_unsharded(&spec, &report, "remote with connection-dropping worker");
+}
+
+/// Chaos smoke ([`FaultWorker`] stall mode): a worker that wedges
+/// mid-response and recovers delivers a late but intact partial — the
+/// client has no idle timeout on /shard, so the bytes are unchanged.
+#[test]
+fn mid_response_stall_recovers_and_stays_byte_identical() {
+    let spec = tiny_fig4();
+    let chaos = FaultWorker::start(
+        start_worker(),
+        Fault::MidStall {
+            after: 100,
+            stall: Duration::from_millis(800),
+        },
+    );
+    let workers = vec![chaos.url(), format!("http://{}", start_worker())];
+    let report = distribute(&spec, &RemoteExecutor::new(workers), 2);
+    assert_matches_unsharded(&spec, &report, "remote with mid-response stall");
 }

@@ -6,21 +6,11 @@
 //! naming the budget, and the process RSS stays bounded throughout
 //! (sampled from `/proc/self/status`).
 
+mod common;
+
+use common::{http_raw, post_run_raw, tiny_fig4};
 use spnn_engine::prelude::*;
 use spnn_engine::{QuotaConfig, RequestBudget};
-use spnn_photonics::PerturbTarget;
-use std::io::{Read as _, Write as _};
-use std::net::{SocketAddr, TcpStream};
-
-fn tiny_fig4() -> ScenarioSpec {
-    let mut spec = presets::fig4(&RunScale::tiny());
-    spec.sweep.modes = vec![PerturbTarget::Both];
-    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
-    spec.iterations = 8;
-    spec.min_iterations = 2;
-    spec.round_size = 4;
-    spec
-}
 
 /// A spec whose fixed per-point work keeps a worker busy long enough for
 /// the burst below to find both workers occupied.
@@ -36,26 +26,6 @@ fn over_budget_spec() -> ScenarioSpec {
     let mut spec = tiny_fig4();
     spec.sweep.sigmas = (0..12).map(|i| f64::from(i) * 0.01).collect();
     spec
-}
-
-/// One raw close-delimited HTTP exchange; returns the full response.
-fn http_raw(addr: SocketAddr, request: &str) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(request.as_bytes()).expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    raw
-}
-
-fn post_run_raw(addr: SocketAddr, spec_text: &str) -> String {
-    http_raw(
-        addr,
-        &format!(
-            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
-            spec_text.len(),
-            spec_text
-        ),
-    )
 }
 
 /// The current resident set size in kilobytes, from `/proc/self/status`.
@@ -116,28 +86,16 @@ fn classify(raw: &str, reference_json: &str) -> Outcome {
 /// shedding for the rest, bounded RSS.
 #[test]
 fn concurrent_mixed_clients_shed_cleanly_and_stream_byte_identical() {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServeConfig {
-            workers: 2,
-            queue_depth: 2,
-            budget: RequestBudget {
-                max_points: 10,
-                ..Default::default()
-            },
-            quota: QuotaConfig::default(),
-            engine: EngineConfig {
-                threads: Some(2),
-                verbose: false,
-                cache_dir: None,
-                ..EngineConfig::default()
-            },
-            ..ServeConfig::default()
+    let addr = common::start_server_cfg(ServeConfig {
+        workers: 2,
+        queue_depth: 2,
+        budget: RequestBudget {
+            max_points: 10,
+            ..Default::default()
         },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.local_addr().expect("local addr");
-    std::thread::spawn(move || server.run());
+        quota: QuotaConfig::default(),
+        ..ServeConfig::default()
+    });
 
     let fast = tiny_fig4();
     let slow = slow_spec();

@@ -8,123 +8,16 @@
 //! the unsharded run and a manual shard-and-merge (also enforced at
 //! scale by the CI `serve` and `shard-merge` jobs).
 
+mod common;
+
+use common::{
+    http, open_stream_until, post_run, post_shard, scrape, spnn, start_server, start_server_cfg,
+    start_server_rowcached, start_server_with, tiny_fig4, tiny_fig5, Exposition, Sample, Scratch,
+};
 use spnn_engine::prelude::*;
 use spnn_engine::runner::StreamEvent;
-use spnn_engine::spec::LayerSelect;
-use spnn_photonics::PerturbTarget;
 use std::io::{Read as _, Write as _};
-use std::net::{SocketAddr, TcpStream};
-use std::path::PathBuf;
-
-fn tiny_fig4() -> ScenarioSpec {
-    let mut spec = presets::fig4(&RunScale::tiny());
-    spec.sweep.modes = vec![PerturbTarget::Both];
-    spec.sweep.sigmas = vec![0.0, 0.05, 0.1];
-    spec.iterations = 8;
-    spec.min_iterations = 2;
-    spec.round_size = 4;
-    spec
-}
-
-fn tiny_fig5() -> ScenarioSpec {
-    let mut spec = presets::fig5(&RunScale::tiny());
-    spec.iterations = 6;
-    spec.min_iterations = 2;
-    spec.round_size = 4;
-    spec.zonal.layers = LayerSelect::List(vec![0]);
-    spec.zonal.stages = vec![spnn_core::Stage::UMesh];
-    spec
-}
-
-/// Binds a service on an ephemeral port with an in-memory cache and a
-/// small pool, and leaves it running for the rest of the test process.
-fn start_server(workers: usize) -> SocketAddr {
-    start_server_with(workers, Vec::new())
-}
-
-/// Like [`start_server`], with a coordinator worker list.
-fn start_server_with(workers: usize, remote_workers: Vec<String>) -> SocketAddr {
-    start_server_cfg(ServeConfig {
-        workers,
-        remote_workers,
-        ..ServeConfig::default()
-    })
-}
-
-/// Binds a server with full control over the traffic config (quotas,
-/// budgets, breakers) — the engine part is always the tiny test one.
-fn start_server_cfg(config: ServeConfig) -> SocketAddr {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServeConfig {
-            engine: EngineConfig {
-                threads: Some(2),
-                verbose: false,
-                cache_dir: None,
-                ..EngineConfig::default()
-            },
-            ..config
-        },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.local_addr().expect("local addr");
-    std::thread::spawn(move || server.run());
-    addr
-}
-
-/// Like [`start_server`], with a shared in-memory row cache attached —
-/// the configuration the dedup tests need.
-fn start_server_rowcached(workers: usize) -> SocketAddr {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServeConfig {
-            workers,
-            engine: EngineConfig {
-                threads: Some(2),
-                verbose: false,
-                cache_dir: None,
-                row_cache: Some(std::sync::Arc::new(spnn_engine::RowCache::in_memory())),
-                ..EngineConfig::default()
-            },
-            remote_workers: Vec::new(),
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.local_addr().expect("local addr");
-    std::thread::spawn(move || server.run());
-    addr
-}
-
-/// Sends one raw HTTP request and returns `(status, body)` of the
-/// close-delimited response.
-fn http(addr: SocketAddr, request: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(request.as_bytes()).expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
-}
-
-fn post_run(addr: SocketAddr, spec_text: &str) -> (u16, String) {
-    http(
-        addr,
-        &format!(
-            "POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
-            spec_text.len(),
-            spec_text
-        ),
-    )
-}
+use std::net::TcpStream;
 
 /// The streaming driver must deliver exactly the rows of the report it
 /// returns, in order, after a `Started` + per-topology preamble.
@@ -389,6 +282,28 @@ fn shard_endpoint_partials_merge_byte_identical() {
     assert!(health.contains("\"shards_completed\": 3"), "{health}");
 }
 
+/// The weighted/stealing wire form: `POST /shard?span=LO-HI` names an
+/// explicit round-space range. Unevenly sized spans merge byte-identical
+/// to the batch run, exactly like the equal 1-of-K form.
+#[test]
+fn shard_endpoint_span_partials_merge_byte_identical() {
+    let addr = start_server(2);
+    let spec = tiny_fig4();
+    let text = spec.to_text();
+    // tiny_fig4 compiles to 3 points x 2 rounds = 6 round-space units;
+    // slice them unevenly, the way a weighted plan would.
+    let mut partials = Vec::new();
+    for span in ["span=0-1", "span=1-4", "span=4-6"] {
+        let (status, body) = post_shard(addr, span, &text);
+        assert_eq!(status, 200, "{span}: {body}");
+        partials.push(spnn_engine::PartialReport::parse(&body).expect("parse span partial"));
+    }
+    let merged = merge_partials(&partials).expect("merge span partials");
+    let reference = run_scenario(&spec, &EngineConfig::default()).expect("batch run");
+    assert_eq!(to_json(&merged), to_json(&reference));
+    assert_eq!(to_csv(&merged), to_csv(&reference));
+}
+
 /// Bad shard coordinates are rejected with 400 before any work.
 #[test]
 fn shard_endpoint_validates_its_query() {
@@ -400,6 +315,11 @@ fn shard_endpoint_validates_its_query() {
         "?shards=3&index=3", // out of range
         "?shards=0&index=0", // zero shards
         "?shards=x&index=0", // not an integer
+        "?span=3-3",         // empty span
+        "?span=4-2",         // reversed span
+        "?span=0",           // no '-'
+        "?span=a-b",         // not integers
+        "?span=0-999",       // out of range for the queue
     ] {
         let (status, body) = http(
             addr,
@@ -498,115 +418,6 @@ fn coordinator_streams_byte_identical_reports_despite_a_dead_worker() {
 // ---------------------------------------------------------------------------
 // GET /metrics: Prometheus text exposition
 // ---------------------------------------------------------------------------
-
-/// One metric sample: family name, raw label pairs, value.
-struct Sample {
-    name: String,
-    labels: Vec<(String, String)>,
-    value: f64,
-}
-
-/// A parsed `/metrics` body: every sample plus the `# TYPE` declarations.
-struct Exposition {
-    samples: Vec<Sample>,
-    types: std::collections::BTreeMap<String, String>,
-}
-
-impl Exposition {
-    /// Sum of all samples of `name` across label sets.
-    fn total(&self, name: &str) -> f64 {
-        self.samples
-            .iter()
-            .filter(|s| s.name == name)
-            .map(|s| s.value)
-            .sum()
-    }
-}
-
-/// Parses a Prometheus text-exposition body, panicking on any line that
-/// violates the exposition grammar — the line-level checker the CI
-/// scrape step mirrors with grep.
-fn parse_exposition(body: &str) -> Exposition {
-    fn valid_name(s: &str) -> bool {
-        !s.is_empty()
-            && s.chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-            && s.chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
-    }
-    let mut samples = Vec::new();
-    let mut types = std::collections::BTreeMap::new();
-    for line in body.lines() {
-        assert!(!line.is_empty(), "exposition must not contain blank lines");
-        if let Some(comment) = line.strip_prefix("# ") {
-            let mut words = comment.splitn(3, ' ');
-            let keyword = words.next().unwrap_or_default();
-            let name = words.next().unwrap_or_default();
-            let rest = words.next().unwrap_or_default();
-            assert!(
-                keyword == "HELP" || keyword == "TYPE",
-                "unknown comment keyword in {line:?}"
-            );
-            assert!(valid_name(name), "bad metric name in {line:?}");
-            if keyword == "TYPE" {
-                assert!(
-                    matches!(rest, "counter" | "gauge" | "histogram"),
-                    "bad TYPE in {line:?}"
-                );
-                types.insert(name.to_string(), rest.to_string());
-            }
-            continue;
-        }
-        let (series, value) = line
-            .rsplit_once(' ')
-            .unwrap_or_else(|| panic!("no value in {line:?}"));
-        let (name, labels) = match series.split_once('{') {
-            None => (series, Vec::new()),
-            Some((n, rest)) => {
-                let inner = rest
-                    .strip_suffix('}')
-                    .unwrap_or_else(|| panic!("unterminated labels in {line:?}"));
-                let pairs = inner
-                    .split(',')
-                    .map(|kv| {
-                        let (k, v) = kv
-                            .split_once('=')
-                            .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
-                        assert!(valid_name(k), "bad label name in {line:?}");
-                        assert!(
-                            v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
-                            "unquoted label value in {line:?}"
-                        );
-                        (k.to_string(), v[1..v.len() - 1].to_string())
-                    })
-                    .collect();
-                (n, pairs)
-            }
-        };
-        assert!(valid_name(name), "bad series name in {line:?}");
-        let value = if value == "+Inf" {
-            f64::INFINITY
-        } else {
-            value
-                .parse::<f64>()
-                .unwrap_or_else(|_| panic!("bad sample value in {line:?}"))
-        };
-        samples.push(Sample {
-            name: name.to_string(),
-            labels,
-            value,
-        });
-    }
-    Exposition { samples, types }
-}
-
-/// Scrapes and parses `GET /metrics`.
-fn scrape(addr: SocketAddr) -> Exposition {
-    let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
-    assert_eq!(status, 200, "{body}");
-    parse_exposition(&body)
-}
 
 /// Satellite acceptance: after one `/run`, the worker's `/metrics` body
 /// is grammatically valid exposition text, the request/cache/engine
@@ -759,44 +570,7 @@ fn routing_and_error_statuses() {
 // The `--spawn` local shard launcher (process-level, via the built binary)
 // ---------------------------------------------------------------------------
 
-struct Scratch(PathBuf);
-
-impl Scratch {
-    fn new(tag: &str) -> Self {
-        let dir =
-            std::env::temp_dir().join(format!("spnn-serve-test-{}-{tag}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("scratch dir");
-        Scratch(dir)
-    }
-
-    fn path(&self, name: &str) -> PathBuf {
-        self.0.join(name)
-    }
-}
-
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.0);
-    }
-}
-
-fn spnn(args: &[&str]) -> std::process::Output {
-    std::process::Command::new(env!("CARGO_BIN_EXE_spnn"))
-        .args(args)
-        .env_remove("SPNN_THREADS")
-        .env_remove("SPNN_ROW_CACHE_DIR")
-        .output()
-        .expect("run spnn")
-}
-
-fn assert_ok(out: &std::process::Output, what: &str) {
-    assert!(
-        out.status.success(),
-        "{what} failed: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-}
+use common::assert_ok;
 
 /// `/healthz` self-identifies: role, crate version, and an uptime the
 /// scraper can alert on.
@@ -806,6 +580,7 @@ fn healthz_reports_role_version_and_uptime() {
     let (status, health) = http(worker, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 200);
     assert!(health.contains("\"role\": \"worker\""), "{health}");
+    assert!(health.contains("\"cores\": "), "{health}");
     assert!(health.contains("\"uptime_seconds\": "), "{health}");
     assert!(
         health.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
@@ -996,46 +771,7 @@ fn spawn_flag_validation() {
 // Traffic hardening: admission control, quotas, budgets, circuit breakers
 // ---------------------------------------------------------------------------
 
-/// Sends one raw HTTP request and returns the **entire** close-delimited
-/// response (status line, headers, body) — for asserting on headers such
-/// as `Retry-After`.
-fn http_raw(addr: SocketAddr, request: &str) -> String {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(request.as_bytes()).expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    raw
-}
-
-/// Opens a `/run` stream with the given extra header block and reads the
-/// socket until `marker` appears, returning the open stream plus what was
-/// read so far — the request is provably in flight when this returns.
-fn open_stream_until(
-    addr: SocketAddr,
-    headers: &str,
-    spec_text: &str,
-    marker: &str,
-) -> (TcpStream, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .write_all(
-            format!(
-                "POST /run HTTP/1.1\r\nHost: t\r\n{headers}Content-Length: {}\r\n\r\n{}",
-                spec_text.len(),
-                spec_text
-            )
-            .as_bytes(),
-        )
-        .expect("send request");
-    let mut seen = String::new();
-    let mut buf = [0u8; 1024];
-    while !seen.contains(marker) {
-        let n = stream.read(&mut buf).expect("read stream");
-        assert!(n > 0, "stream closed before {marker:?} appeared: {seen}");
-        seen.push_str(&String::from_utf8_lossy(&buf[..n]));
-    }
-    (stream, seen)
-}
+use common::http_raw;
 
 /// Tentpole acceptance (quotas): with a per-client concurrency cap of 1,
 /// a client's second concurrent request is shed with `429` and a

@@ -8,7 +8,9 @@
 use proptest::prelude::*;
 use spnn_engine::cache::ContextCache;
 use spnn_engine::prelude::*;
-use spnn_engine::shard::{plan_shard, MergeError, MergeState, PartialReport};
+use spnn_engine::shard::{
+    plan_shard, plan_shard_weighted, weighted_span, MergeError, MergeState, PartialReport,
+};
 use spnn_engine::spec::PlanKind;
 use spnn_photonics::PerturbTarget;
 
@@ -201,8 +203,12 @@ fn merge_rejects_a_dropped_shard() {
     assert!(matches!(err, MergeError::Coverage(_)), "{err}");
 }
 
+/// Speculative redundancy (the work-stealing contract): the same shard
+/// arriving twice is bit-identical by construction — iteration `k` is a
+/// pure function of `(seed, k)` — so the merge absorbs the duplicate
+/// instead of rejecting it, and the recombined bytes do not change.
 #[test]
-fn merge_rejects_a_duplicated_shard() {
+fn merge_deduplicates_a_duplicated_shard() {
     let spec = tiny_fig4();
     let config = EngineConfig::default();
     let cache = ContextCache::in_memory();
@@ -210,8 +216,26 @@ fn merge_rejects_a_duplicated_shard() {
         .map(|i| run_scenario_shard_with(&spec, &config, &cache, 2, i).unwrap())
         .collect();
     partials.push(partials[1].clone());
-    let err = merge_partials(&partials).expect_err("overlapping set must not merge");
-    assert!(matches!(err, MergeError::Coverage(_)), "{err}");
+    let merged = merge_partials(&partials).expect("bit-identical duplicates must be absorbed");
+    let unsharded = run_scenario(&spec, &config).expect("unsharded run");
+    assert_eq!(to_json(&merged), to_json(&unsharded));
+    assert_eq!(to_csv(&merged), to_csv(&unsharded));
+}
+
+/// Overlap at sub-shard granularity: a whole-queue partial plus a
+/// re-dispatched sub-slice of it (different block boundaries, same bits)
+/// also merges byte-identical — the exact shape work stealing produces
+/// when a victim answers after its slice was stolen.
+#[test]
+fn merge_deduplicates_partial_overlap_from_redispatch() {
+    let spec = tiny_fig4();
+    let config = EngineConfig::default();
+    let cache = ContextCache::in_memory();
+    let whole = run_scenario_shard_with(&spec, &config, &cache, 1, 0).unwrap();
+    let slice = run_scenario_shard_with(&spec, &config, &cache, 3, 1).unwrap();
+    let merged = merge_partials(&[slice, whole]).expect("overlapping cover must merge");
+    let unsharded = run_scenario(&spec, &config).expect("unsharded run");
+    assert_eq!(to_json(&merged), to_json(&unsharded));
 }
 
 #[test]
@@ -280,5 +304,77 @@ proptest! {
         let lo = sizes.iter().min().copied().unwrap_or(0);
         let hi = sizes.iter().max().copied().unwrap_or(0);
         prop_assert!(hi - lo <= 1, "unbalanced sizes: {sizes:?}");
+    }
+
+    /// Property: for any weight vector — zeros, huge skews, more peers
+    /// than rounds — the weighted spans are contiguous, in-bounds, and
+    /// the blocks they expand to cover the round space exactly once.
+    #[test]
+    fn weighted_planner_partitions_any_queue_exactly_once(
+        rounds_per_point in collection::vec(1usize..9, 1..40),
+        weights in collection::vec(0u64..u64::MAX, 1..12),
+    ) {
+        let total: usize = rounds_per_point.iter().sum();
+        let mut covered = vec![0u32; total];
+        let mut prev_hi = 0usize;
+        for i in 0..weights.len() {
+            let (lo, hi) = weighted_span(&rounds_per_point, &weights, i);
+            prop_assert_eq!(lo, prev_hi, "spans must tile contiguously");
+            prop_assert!(hi <= total, "span end out of bounds");
+            prev_hi = hi;
+            for b in plan_shard_weighted(&rounds_per_point, &weights, i) {
+                prop_assert!(b.point < rounds_per_point.len());
+                prop_assert!(b.rounds > 0);
+                prop_assert!(b.first_round + b.rounds <= rounds_per_point[b.point]);
+                let base: usize = rounds_per_point[..b.point].iter().sum();
+                for r in 0..b.rounds {
+                    covered[base + b.first_round + r] += 1;
+                }
+            }
+        }
+        prop_assert_eq!(prev_hi, total, "spans must end at the total");
+        prop_assert!(covered.iter().all(|&c| c == 1), "coverage counts: {covered:?}");
+    }
+
+    /// Property: uniform weights degenerate **bit-exactly** to today's
+    /// equal plan, for any uniform magnitude — the shared factor cancels
+    /// inside the floor, so a weighted fleet of identical boxes plans
+    /// the same bytes the unweighted one always did.
+    #[test]
+    fn weighted_planner_degenerates_to_the_equal_plan_at_uniform_weights(
+        rounds_per_point in collection::vec(1usize..9, 1..40),
+        k in 1usize..12,
+        w in 1u64..(1u64 << 40),
+    ) {
+        let weights = vec![w; k];
+        for i in 0..k {
+            prop_assert_eq!(
+                plan_shard_weighted(&rounds_per_point, &weights, i),
+                plan_shard(&rounds_per_point, k, i),
+                "uniform weight {w} diverged from the equal plan at slice {i}/{k}"
+            );
+        }
+    }
+
+    /// Property: a zero-weight peer gets an empty span (it is starved of
+    /// work, never handed a sliver), and the surviving weight mass still
+    /// tiles the whole round space.
+    #[test]
+    fn weighted_planner_starves_zero_weight_peers(
+        rounds_per_point in collection::vec(1usize..9, 1..40),
+        nonzero in collection::vec(1u64..1_000_000, 1..6),
+        zero_at in 0usize..6,
+    ) {
+        let mut weights: Vec<u64> = nonzero;
+        let at = zero_at % (weights.len() + 1);
+        weights.insert(at, 0);
+        let (lo, hi) = weighted_span(&rounds_per_point, &weights, at);
+        prop_assert_eq!(lo, hi, "zero-weight peer must get an empty span");
+        let total: usize = rounds_per_point.iter().sum();
+        let spans: Vec<(usize, usize)> = (0..weights.len())
+            .map(|i| weighted_span(&rounds_per_point, &weights, i))
+            .collect();
+        prop_assert_eq!(spans[0].0, 0);
+        prop_assert_eq!(spans[weights.len() - 1].1, total);
     }
 }
