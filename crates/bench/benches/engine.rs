@@ -32,7 +32,10 @@
 //! speedups is written to the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spnn_core::{mc_accuracy, HardwareEffects, MeshTopology, PerturbationPlan, PhotonicNetwork};
+use spnn_core::{
+    mc_accuracy, BatchScratch, HardwareEffects, KernelProfile, MeshTopology, PerturbationPlan,
+    PhotonicNetwork, RealizeScratch,
+};
 use spnn_engine::cache::ContextCache;
 use spnn_engine::{presets, RunScale, TestBatch};
 use spnn_linalg::{CMatrix, C64};
@@ -197,6 +200,47 @@ fn bench_full_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The opt-in fma profile vs the reference path, measured exactly as the
+/// engine's worker loop runs them: reference is realize + batched
+/// accuracy (the pre-profile hot path), fma adds the runtime-dispatched
+/// FMA/SIMD kernels *and* the reused realize/batch scratch.
+fn bench_fma_profile(c: &mut Criterion) {
+    let n = n_test();
+    let (hw, xs, ys, _) = setup(n);
+    let batch = TestBatch::new(&xs, &ys);
+    let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
+    let fx = HardwareEffects::default();
+
+    let mut group = c.benchmark_group("fma_profile");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(7, k));
+            k += 1;
+            batch.accuracy_with(&hw, &m)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("fma", n), &n, |b, _| {
+        let mut k = 0usize;
+        let mut realize = RealizeScratch::default();
+        let mut scratch = BatchScratch::default();
+        let mut m = Vec::new();
+        b.iter(|| {
+            hw.realize_into(
+                &plan,
+                &fx,
+                &mut spnn_core::iteration_rng(7, k),
+                &mut realize,
+                &mut m,
+            );
+            k += 1;
+            batch.accuracy_with_profile(&hw, &m, KernelProfile::Fma, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
 /// Times `f` over `reps` calls and returns ns/call (min of 7 samples —
 /// robust against scheduler noise on shared machines).
 fn time_ns<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
@@ -233,6 +277,32 @@ fn emit_datapoint(_c: &mut Criterion) {
         k += 1;
         batch.accuracy_with(&hw, &m)
     });
+
+    // The opt-in fma profile: FMA/SIMD kernels + reused iteration
+    // scratch, against the reference per-iteration path above.
+    let fma_eval = {
+        let mut scratch = BatchScratch::default();
+        let m = hw.realize(&plan, &fx, &mut spnn_core::iteration_rng(3, 0));
+        time_ns(5, || {
+            batch.accuracy_with_profile(&hw, &m, KernelProfile::Fma, &mut scratch)
+        })
+    };
+    let fma_iter = {
+        let mut realize = RealizeScratch::default();
+        let mut scratch = BatchScratch::default();
+        let mut m = Vec::new();
+        time_ns(5, || {
+            hw.realize_into(
+                &plan,
+                &fx,
+                &mut spnn_core::iteration_rng(7, k),
+                &mut realize,
+                &mut m,
+            );
+            k += 1;
+            batch.accuracy_with_profile(&hw, &m, KernelProfile::Fma, &mut scratch)
+        })
+    };
 
     // The batched-by-default flip: today's mc_accuracy (TestBatch inside)
     // vs a faithful reproduction of the legacy per-sample implementation.
@@ -284,13 +354,16 @@ fn emit_datapoint(_c: &mut Criterion) {
     let vs_naive = naive_eval / batched_eval;
     let vs_per_sample = per_sample_eval / batched_eval;
     let iter_speedup = per_sample_iter / batched_iter;
+    let fma_eval_speedup = batched_eval / fma_eval;
+    let fma_iter_speedup = batched_iter / fma_iter;
+    let tier = spnn_core::detected_tier();
     let json = format!(
-        "{{\n  \"bench\": \"engine_batched_vs_per_sample\",\n  \"network\": \"16-16-16-10\",\n  \"n_test\": {n},\n  \"accuracy_eval\": {{\n    \"naive_seed_ns\": {naive_eval:.0},\n    \"per_sample_ns\": {per_sample_eval:.0},\n    \"batched_ns\": {batched_eval:.0},\n    \"speedup_vs_naive_seed\": {vs_naive:.2},\n    \"speedup_vs_per_sample\": {vs_per_sample:.2}\n  }},\n  \"mc_iteration\": {{\"per_sample_ns\": {per_sample_iter:.0}, \"batched_ns\": {batched_iter:.0}, \"speedup\": {iter_speedup:.2}}},\n  \"mc_accuracy_flip\": {{\n    \"iterations\": {MC_ITERS},\n    \"legacy_per_sample_ns\": {legacy_mc:.0},\n    \"batched_default_ns\": {flipped_mc:.0},\n    \"speedup\": {flip_speedup:.2}\n  }},\n  \"trained_context_cache\": {{\n    \"scale\": \"n_train=600 epochs=8\",\n    \"cold_train_ms\": {cold_ms:.1},\n    \"warm_load_ms\": {warm_ms:.2},\n    \"speedup\": {cache_speedup:.0}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"engine_batched_vs_per_sample\",\n  \"network\": \"16-16-16-10\",\n  \"n_test\": {n},\n  \"accuracy_eval\": {{\n    \"naive_seed_ns\": {naive_eval:.0},\n    \"per_sample_ns\": {per_sample_eval:.0},\n    \"batched_ns\": {batched_eval:.0},\n    \"speedup_vs_naive_seed\": {vs_naive:.2},\n    \"speedup_vs_per_sample\": {vs_per_sample:.2}\n  }},\n  \"mc_iteration\": {{\"per_sample_ns\": {per_sample_iter:.0}, \"batched_ns\": {batched_iter:.0}, \"speedup\": {iter_speedup:.2}}},\n  \"fma_profile\": {{\n    \"tier\": \"{tier}\",\n    \"accuracy_eval\": {{\"reference_ns\": {batched_eval:.0}, \"fma_ns\": {fma_eval:.0}, \"speedup\": {fma_eval_speedup:.2}}},\n    \"mc_iteration\": {{\"reference_ns\": {batched_iter:.0}, \"fma_ns\": {fma_iter:.0}, \"speedup\": {fma_iter_speedup:.2}}}\n  }},\n  \"mc_accuracy_flip\": {{\n    \"iterations\": {MC_ITERS},\n    \"legacy_per_sample_ns\": {legacy_mc:.0},\n    \"batched_default_ns\": {flipped_mc:.0},\n    \"speedup\": {flip_speedup:.2}\n  }},\n  \"trained_context_cache\": {{\n    \"scale\": \"n_train=600 epochs=8\",\n    \"cold_train_ms\": {cold_ms:.1},\n    \"warm_load_ms\": {warm_ms:.2},\n    \"speedup\": {cache_speedup:.0}\n  }}\n}}\n"
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     std::fs::write(&path, &json).expect("write BENCH_engine.json");
     println!(
-        "engine datapoint: batched {vs_naive:.2}x vs the seed's naive loop, mc_accuracy flip {flip_speedup:.2}x, warm cache {cache_speedup:.0}x vs cold train → {}",
+        "engine datapoint: batched {vs_naive:.2}x vs the seed's naive loop, fma profile {fma_iter_speedup:.2}x per iteration ({tier}), mc_accuracy flip {flip_speedup:.2}x, warm cache {cache_speedup:.0}x vs cold train → {}",
         path.display()
     );
 }
@@ -299,6 +372,7 @@ criterion_group!(
     benches,
     bench_accuracy_paths,
     bench_full_iteration,
+    bench_fma_profile,
     emit_datapoint
 );
 criterion_main!(benches);

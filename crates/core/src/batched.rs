@@ -23,6 +23,7 @@
 //! so that [`crate::monte_carlo::mc_accuracy`] itself can run batched by
 //! default; the engine re-exports it unchanged.
 
+use crate::kernel::{activate_tile_fma, matmul_tile_fma, KernelProfile};
 use crate::network::PhotonicNetwork;
 use spnn_linalg::{CMatrix, C64};
 use spnn_neural::activation::softplus;
@@ -128,6 +129,25 @@ fn activate_tile(z_re: &mut [f64], z_im: &mut [f64]) {
         *r = softplus((s1 + s2).sqrt());
         *i_ = 0.0;
     }
+}
+
+/// Reusable plane scratch for [`TestBatch::accuracy_with_profile`].
+///
+/// The batched forward needs four `max_rows × TILE` activation planes plus
+/// an intensity vector per evaluation. Allocating them per Monte-Carlo
+/// iteration is pure overhead — the Monte-Carlo hot loop keeps one
+/// `BatchScratch` per worker thread and reuses it across iterations.
+/// Buffers grow on demand and never shrink; stale contents are harmless
+/// because every read is preceded by a full write of the region read
+/// (input planes are staged per tile, output planes are fully written by
+/// the matmul, intensities are overwritten per column).
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    a_re: Vec<f64>,
+    a_im: Vec<f64>,
+    z_re: Vec<f64>,
+    z_im: Vec<f64>,
+    intensities: Vec<f64>,
 }
 
 /// A labelled test set packed for batched evaluation.
@@ -239,6 +259,36 @@ impl TestBatch {
     /// Panics if `matrices.len() != network.n_layers()` or dimensions
     /// mismatch.
     pub fn accuracy_with(&self, network: &PhotonicNetwork, matrices: &[CMatrix]) -> f64 {
+        self.accuracy_with_profile(
+            network,
+            matrices,
+            KernelProfile::Reference,
+            &mut BatchScratch::default(),
+        )
+    }
+
+    /// [`TestBatch::accuracy_with`] with an explicit [`KernelProfile`] and
+    /// caller-owned [`BatchScratch`].
+    ///
+    /// Under [`KernelProfile::Reference`] this is bit-identical to
+    /// `accuracy_with` (which simply wraps it with fresh scratch). Under
+    /// [`KernelProfile::Fma`] the matmul micro-kernel and the softplus
+    /// plane sweep run on fused multiply-adds (see [`crate::kernel`]) —
+    /// equally deterministic and machine-independent, but under the Fma
+    /// profile's own golden outputs. The intensity/argmax readout is
+    /// shared between profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrices.len() != network.n_layers()` or dimensions
+    /// mismatch.
+    pub fn accuracy_with_profile(
+        &self,
+        network: &PhotonicNetwork,
+        matrices: &[CMatrix],
+        profile: KernelProfile,
+        scratch: &mut BatchScratch,
+    ) -> f64 {
         assert_eq!(matrices.len(), network.n_layers(), "layer count mismatch");
         let n = self.labels.len();
         let last = matrices.len() - 1;
@@ -257,11 +307,23 @@ impl TestBatch {
             .unwrap()
             .max(self.dim);
 
-        let mut a_re = vec![0.0f64; max_rows * TILE];
-        let mut a_im = vec![0.0f64; max_rows * TILE];
-        let mut z_re = vec![0.0f64; max_rows * TILE];
-        let mut z_im = vec![0.0f64; max_rows * TILE];
-        let mut intensities = vec![0.0f64; matrices[last].rows()];
+        let BatchScratch {
+            a_re,
+            a_im,
+            z_re,
+            z_im,
+            intensities,
+        } = scratch;
+        let plane = max_rows * TILE;
+        if a_re.len() < plane {
+            a_re.resize(plane, 0.0);
+            a_im.resize(plane, 0.0);
+            z_re.resize(plane, 0.0);
+            z_im.resize(plane, 0.0);
+        }
+        // argmax runs over the whole slice, so the length must be exact.
+        intensities.clear();
+        intensities.resize(matrices[last].rows(), 0.0);
         let mut correct = 0usize;
 
         let mut t0 = 0usize;
@@ -277,28 +339,47 @@ impl TestBatch {
 
             for (l, m) in matrices.iter().enumerate() {
                 let out_rows = m.rows();
-                matmul_tile(
-                    m,
-                    &a_re[..rows * w],
-                    &a_im[..rows * w],
-                    &mut z_re[..out_rows * w],
-                    &mut z_im[..out_rows * w],
-                    w,
-                    input_real,
-                );
+                match profile {
+                    KernelProfile::Reference => matmul_tile(
+                        m,
+                        &a_re[..rows * w],
+                        &a_im[..rows * w],
+                        &mut z_re[..out_rows * w],
+                        &mut z_im[..out_rows * w],
+                        w,
+                        input_real,
+                    ),
+                    KernelProfile::Fma => matmul_tile_fma(
+                        m,
+                        &a_re[..rows * w],
+                        &a_im[..rows * w],
+                        &mut z_re[..out_rows * w],
+                        &mut z_im[..out_rows * w],
+                        w,
+                        input_real,
+                    ),
+                }
                 if l < last {
                     // Softplus-on-modulus over the tile — the same scalar
                     // ops as `mod_softplus` per element: |z| = √(re² + im²),
                     // out = (softplus(|z|), 0).
-                    activate_tile(&mut z_re[..out_rows * w], &mut z_im[..out_rows * w]);
+                    match profile {
+                        KernelProfile::Reference => {
+                            activate_tile(&mut z_re[..out_rows * w], &mut z_im[..out_rows * w])
+                        }
+                        KernelProfile::Fma => {
+                            activate_tile_fma(&mut z_re[..out_rows * w], &mut z_im[..out_rows * w])
+                        }
+                    }
                     input_real = true;
                 }
-                std::mem::swap(&mut a_re, &mut z_re);
-                std::mem::swap(&mut a_im, &mut z_im);
+                std::mem::swap(a_re, z_re);
+                std::mem::swap(a_im, z_im);
                 rows = out_rows;
             }
 
-            // Photodetector intensities + argmax per tile column.
+            // Photodetector intensities + argmax per tile column — shared
+            // between profiles.
             for (jj, &label) in self.labels[t0..t0 + w].iter().enumerate() {
                 for (i, slot) in intensities.iter_mut().enumerate() {
                     let re = a_re[i * w + jj];
@@ -307,7 +388,7 @@ impl TestBatch {
                     let s2 = im * im;
                     *slot = s1 + s2;
                 }
-                if argmax(&intensities) == label {
+                if argmax(intensities) == label {
                     correct += 1;
                 }
             }
@@ -376,6 +457,59 @@ mod tests {
                 "iteration {k}: {batched} vs {reference}"
             );
         }
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_scratch() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.08));
+        let fx = HardwareEffects::default();
+        for profile in [KernelProfile::Reference, KernelProfile::Fma] {
+            let mut reused = BatchScratch::default();
+            for k in 0..12 {
+                let matrices = hw.realize(&plan, &fx, &mut iteration_rng(91, k));
+                let warm = batch.accuracy_with_profile(&hw, &matrices, profile, &mut reused);
+                let cold = batch.accuracy_with_profile(
+                    &hw,
+                    &matrices,
+                    profile,
+                    &mut BatchScratch::default(),
+                );
+                assert_eq!(
+                    warm.to_bits(),
+                    cold.to_bits(),
+                    "iteration {k} ({profile}): scratch reuse changed the result"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fma_profile_is_deterministic_and_statistically_close() {
+        let (hw, xs, ys) = setup();
+        let batch = TestBatch::new(&xs, &ys);
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.08));
+        let fx = HardwareEffects::default();
+        let mut scratch = BatchScratch::default();
+        let (mut sum_ref, mut sum_fma) = (0.0, 0.0);
+        for k in 0..32 {
+            let matrices = hw.realize(&plan, &fx, &mut iteration_rng(57, k));
+            let f1 = batch.accuracy_with_profile(&hw, &matrices, KernelProfile::Fma, &mut scratch);
+            let f2 = batch.accuracy_with_profile(&hw, &matrices, KernelProfile::Fma, &mut scratch);
+            assert_eq!(f1.to_bits(), f2.to_bits(), "iteration {k}: fma not pure");
+            sum_fma += f1;
+            sum_ref += batch.accuracy_with(&hw, &matrices);
+        }
+        // Accuracies are coarse (23 samples), so per-iteration values agree
+        // almost always and the means must be very close: the profiles
+        // compute the same product up to last-bit rounding.
+        assert!(
+            (sum_ref - sum_fma).abs() / 32.0 <= 0.05,
+            "profiles statistically diverged: ref mean {} vs fma mean {}",
+            sum_ref / 32.0,
+            sum_fma / 32.0
+        );
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Kernel profiles: the opt-in FMA fast path and its runtime dispatch.
+//!
+//! The engine's batched forward ([`crate::batched`]) ships two kernel
+//! profiles:
+//!
+//! - [`KernelProfile::Reference`] — the seed-faithful kernel: separate
+//!   multiply and add per term, bit-identical to the per-sample
+//!   `CMatrix::mul_vec` path. This is the default and its outputs are the
+//!   repository's long-standing golden bytes.
+//! - [`KernelProfile::Fma`] — every `a·b + c` on the matmul and softplus
+//!   hot paths contracted through fused multiply-add. `f64::mul_add` is
+//!   **correctly rounded** (IEEE 754 `fusedMultiplyAdd`: one rounding per
+//!   fused step), so the profile is exactly as deterministic and
+//!   machine-independent as the reference — it simply computes *different*
+//!   (slightly more accurate) last bits, pinned under its own goldens.
+//!
+//! The Fma matmul micro-kernel is explicitly SIMD: an AVX-512F path
+//! (8 lanes/vector), an AVX2+FMA path (4 lanes/vector) and a scalar
+//! `f64::mul_add` fallback, selected **once per process** with
+//! `is_x86_feature_detected!` ([`detected_tier`]). All three tiers apply
+//! the identical per-element operation sequence — each output element
+//! accumulates `fma(a.re, x.re, acc)` then `fnma(a.im, x.im, acc)` (and
+//! the imaginary twin) in ascending-`k` order, with lanes fully
+//! independent — so vector width cannot change a single bit and the
+//! cross-tier equality is pinned by tests, not hoped for.
+//!
+//! Profile selection is an *execution-level* knob with *result-level*
+//! consequences, which is why everything downstream scopes determinism by
+//! profile: the queue fingerprint, row-cache keys, and partial reports all
+//! carry the profile (see `spnn-engine`), so artifacts from different
+//! profiles can never silently mix.
+
+use spnn_linalg::CMatrix;
+use spnn_neural::activation::softplus_fma;
+use std::sync::OnceLock;
+
+/// Which arithmetic the batched forward kernels use. See the module docs
+/// for the determinism contract of each profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelProfile {
+    /// Separate multiply/add, bit-identical to the per-sample reference
+    /// path (the repository default since the seed).
+    #[default]
+    Reference,
+    /// Fused multiply-add kernels (explicit SIMD with runtime dispatch,
+    /// scalar `f64::mul_add` fallback) — deterministic under its own
+    /// golden outputs.
+    Fma,
+}
+
+impl KernelProfile {
+    /// The canonical lowercase name (`reference` / `fma`) — the spelling
+    /// used by the CLI flag, the `/shard` query parameter, fingerprints
+    /// and partial reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelProfile::Reference => "reference",
+            KernelProfile::Fma => "fma",
+        }
+    }
+
+    /// Parses the canonical name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reference" => Some(KernelProfile::Reference),
+            "fma" => Some(KernelProfile::Fma),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for KernelProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelProfile::parse(s)
+            .ok_or_else(|| format!("unknown kernel profile {s:?} (expected reference or fma)"))
+    }
+}
+
+/// The SIMD tier the Fma profile dispatches to on this machine. Purely
+/// informational for results (all tiers are bit-identical); advertised on
+/// `GET /healthz` and by `spnn validate` so operators can see what a host
+/// actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// AVX-512F: 8 × f64 fused lanes per vector.
+    Avx512,
+    /// AVX2 + FMA: 4 × f64 fused lanes per vector.
+    Avx2Fma,
+    /// Scalar `f64::mul_add` (correctly rounded on every platform Rust
+    /// supports; may lower to a libm call without hardware FMA).
+    Scalar,
+}
+
+impl KernelTier {
+    /// The canonical lowercase name (`avx512` / `avx2+fma` / `scalar`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelTier::Avx512 => "avx512",
+            KernelTier::Avx2Fma => "avx2+fma",
+            KernelTier::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The best SIMD tier this CPU supports, detected once per process.
+pub fn detected_tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(probe_tier)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe_tier() -> KernelTier {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        KernelTier::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2")
+        && std::arch::is_x86_feature_detected!("fma")
+    {
+        KernelTier::Avx2Fma
+    } else {
+        KernelTier::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe_tier() -> KernelTier {
+    KernelTier::Scalar
+}
+
+/// Column-chunk width of the Fma micro-kernel: two AVX-512 vectors / four
+/// AVX2 vectors of `f64`. Small enough that the per-chunk re/im
+/// accumulators fit the vector register file on both tiers.
+const FBLOCK: usize = 16;
+
+/// One layer's `Z = M · A` over a column tile of width `w` (row stride `w`
+/// in all planes) on fused multiply-adds — the Fma profile's twin of the
+/// reference `matmul_tile`. Dispatches each full [`FBLOCK`] column chunk
+/// to the detected SIMD tier; partial chunks run the scalar sequence.
+///
+/// Per output element, **every tier** applies the identical ascending-`k`
+/// sequence — `acc_re = fma(a.re, x.re, acc_re)`, then (complex input)
+/// `acc_re = fnma(a.im, x.im, acc_re)`, and the imaginary twin — so the
+/// result is a pure function of the inputs, independent of vector width,
+/// chunking, and machine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_tile_fma(
+    m: &CMatrix,
+    a_re: &[f64],
+    a_im: &[f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    w: usize,
+    real_input: bool,
+) {
+    let tier = detected_tier();
+    let out_rows = z_re.len() / w;
+    for i in 0..out_rows {
+        let row = m.row(i);
+        let mut jb = 0usize;
+        while jb + FBLOCK <= w {
+            let zr = &mut z_re[i * w + jb..i * w + jb + FBLOCK];
+            let zi = &mut z_im[i * w + jb..i * w + jb + FBLOCK];
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx512 => unsafe {
+                    chunk_avx512(row, a_re, a_im, zr, zi, w, jb, real_input)
+                },
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx2Fma => unsafe {
+                    chunk_avx2(row, a_re, a_im, zr, zi, w, jb, real_input)
+                },
+                _ => chunk_scalar(row, a_re, a_im, zr, zi, w, jb, real_input),
+            }
+            jb += FBLOCK;
+        }
+        // Scalar tail for the last partial chunk (same op sequence).
+        for j in jb..w {
+            let mut acc_re = 0.0f64;
+            let mut acc_im = 0.0f64;
+            for (k, a) in row.iter().enumerate() {
+                let xr = a_re[k * w + j];
+                if real_input {
+                    acc_re = a.re.mul_add(xr, acc_re);
+                    acc_im = a.im.mul_add(xr, acc_im);
+                } else {
+                    let xi = a_im[k * w + j];
+                    acc_re = a.re.mul_add(xr, acc_re);
+                    acc_re = (-a.im).mul_add(xi, acc_re);
+                    acc_im = a.im.mul_add(xr, acc_im);
+                    acc_im = a.re.mul_add(xi, acc_im);
+                }
+            }
+            z_re[i * w + j] = acc_re;
+            z_im[i * w + j] = acc_im;
+        }
+    }
+}
+
+/// The scalar (and cross-tier reference) chunk: [`FBLOCK`] independent
+/// accumulator lanes, `f64::mul_add` per term — the exact per-element
+/// sequence the SIMD chunks vectorize.
+#[allow(clippy::too_many_arguments)]
+fn chunk_scalar(
+    row: &[spnn_linalg::C64],
+    a_re: &[f64],
+    a_im: &[f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    w: usize,
+    jb: usize,
+    real_input: bool,
+) {
+    let mut acc_re = [0.0f64; FBLOCK];
+    let mut acc_im = [0.0f64; FBLOCK];
+    for (k, a) in row.iter().enumerate() {
+        let base = k * w + jb;
+        let xr: &[f64; FBLOCK] = a_re[base..base + FBLOCK].try_into().unwrap();
+        if real_input {
+            for l in 0..FBLOCK {
+                acc_re[l] = a.re.mul_add(xr[l], acc_re[l]);
+                acc_im[l] = a.im.mul_add(xr[l], acc_im[l]);
+            }
+        } else {
+            let xi: &[f64; FBLOCK] = a_im[base..base + FBLOCK].try_into().unwrap();
+            for l in 0..FBLOCK {
+                acc_re[l] = a.re.mul_add(xr[l], acc_re[l]);
+                acc_re[l] = (-a.im).mul_add(xi[l], acc_re[l]);
+                acc_im[l] = a.im.mul_add(xr[l], acc_im[l]);
+                acc_im[l] = a.re.mul_add(xi[l], acc_im[l]);
+            }
+        }
+    }
+    z_re.copy_from_slice(&acc_re);
+    z_im.copy_from_slice(&acc_im);
+}
+
+/// AVX2+FMA chunk: four `__m256d` accumulator pairs covering the
+/// [`FBLOCK`] lanes. `vfmadd`/`vfnmadd` apply exactly the scalar chunk's
+/// per-lane sequence.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA (guaranteed by
+/// [`detected_tier`] dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn chunk_avx2(
+    row: &[spnn_linalg::C64],
+    a_re: &[f64],
+    a_im: &[f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    w: usize,
+    jb: usize,
+    real_input: bool,
+) {
+    use std::arch::x86_64::*;
+    const L: usize = 4; // f64 lanes per __m256d
+    let mut cr = [_mm256_setzero_pd(); FBLOCK / L];
+    let mut ci = [_mm256_setzero_pd(); FBLOCK / L];
+    for (k, a) in row.iter().enumerate() {
+        let ar = _mm256_set1_pd(a.re);
+        let ai = _mm256_set1_pd(a.im);
+        let base = k * w + jb;
+        debug_assert!(base + FBLOCK <= a_re.len());
+        if real_input {
+            for v in 0..FBLOCK / L {
+                let x = _mm256_loadu_pd(a_re.as_ptr().add(base + v * L));
+                cr[v] = _mm256_fmadd_pd(ar, x, cr[v]);
+                ci[v] = _mm256_fmadd_pd(ai, x, ci[v]);
+            }
+        } else {
+            for v in 0..FBLOCK / L {
+                let xr = _mm256_loadu_pd(a_re.as_ptr().add(base + v * L));
+                let xi = _mm256_loadu_pd(a_im.as_ptr().add(base + v * L));
+                cr[v] = _mm256_fmadd_pd(ar, xr, cr[v]);
+                cr[v] = _mm256_fnmadd_pd(ai, xi, cr[v]);
+                ci[v] = _mm256_fmadd_pd(ai, xr, ci[v]);
+                ci[v] = _mm256_fmadd_pd(ar, xi, ci[v]);
+            }
+        }
+    }
+    for v in 0..FBLOCK / L {
+        _mm256_storeu_pd(z_re.as_mut_ptr().add(v * L), cr[v]);
+        _mm256_storeu_pd(z_im.as_mut_ptr().add(v * L), ci[v]);
+    }
+}
+
+/// AVX-512F chunk: two `__m512d` accumulator pairs covering the
+/// [`FBLOCK`] lanes — the same per-lane sequence at twice the width.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX-512F (guaranteed by
+/// [`detected_tier`] dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn chunk_avx512(
+    row: &[spnn_linalg::C64],
+    a_re: &[f64],
+    a_im: &[f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    w: usize,
+    jb: usize,
+    real_input: bool,
+) {
+    use std::arch::x86_64::*;
+    const L: usize = 8; // f64 lanes per __m512d
+    let mut cr = [_mm512_setzero_pd(); FBLOCK / L];
+    let mut ci = [_mm512_setzero_pd(); FBLOCK / L];
+    for (k, a) in row.iter().enumerate() {
+        let ar = _mm512_set1_pd(a.re);
+        let ai = _mm512_set1_pd(a.im);
+        let base = k * w + jb;
+        debug_assert!(base + FBLOCK <= a_re.len());
+        if real_input {
+            for v in 0..FBLOCK / L {
+                let x = _mm512_loadu_pd(a_re.as_ptr().add(base + v * L));
+                cr[v] = _mm512_fmadd_pd(ar, x, cr[v]);
+                ci[v] = _mm512_fmadd_pd(ai, x, ci[v]);
+            }
+        } else {
+            for v in 0..FBLOCK / L {
+                let xr = _mm512_loadu_pd(a_re.as_ptr().add(base + v * L));
+                let xi = _mm512_loadu_pd(a_im.as_ptr().add(base + v * L));
+                cr[v] = _mm512_fmadd_pd(ar, xr, cr[v]);
+                cr[v] = _mm512_fnmadd_pd(ai, xi, cr[v]);
+                ci[v] = _mm512_fmadd_pd(ai, xr, ci[v]);
+                ci[v] = _mm512_fmadd_pd(ar, xi, ci[v]);
+            }
+        }
+    }
+    for v in 0..FBLOCK / L {
+        _mm512_storeu_pd(z_re.as_mut_ptr().add(v * L), cr[v]);
+        _mm512_storeu_pd(z_im.as_mut_ptr().add(v * L), ci[v]);
+    }
+}
+
+/// Softplus-on-modulus over a whole tile, fused: per element
+/// `m = √(fma(re, re, im·im))`, then the mul_add softplus
+/// ([`spnn_neural::activation::softplus_fma`]). The body is compiled
+/// under `target_feature(fma)` on capable machines so `mul_add` lowers to
+/// hardware `vfmadd` (and LLVM may vectorize the plane); the scalar
+/// fallback runs the identical ops through `f64::mul_add`, so all paths
+/// agree bit for bit.
+pub(crate) fn activate_tile_fma(z_re: &mut [f64], z_im: &mut [f64]) {
+    match detected_tier() {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 if avx512_activation_available() => unsafe {
+            spnn_neural::activation::fma_avx512::activate_planes(z_re, z_im)
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 | KernelTier::Avx2Fma => unsafe { activate_fma_hw(z_re, z_im) },
+        _ => activate_fma_body(z_re, z_im),
+    }
+}
+
+/// The 512-bit activation sweep needs the DQ (vector `f64 ↔ i64`
+/// conversions for the exponent bit-build) and VL subsets on top of
+/// AVX-512F; probe them once. CPUs with F but not DQ/VL fall back to the
+/// AVX2+FMA sweep — same bits either way.
+#[cfg(target_arch = "x86_64")]
+fn avx512_activation_available() -> bool {
+    static OK: OnceLock<bool> = OnceLock::new();
+    *OK.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+    })
+}
+
+#[inline(always)]
+fn activate_fma_body(z_re: &mut [f64], z_im: &mut [f64]) {
+    for (r, i_) in z_re.iter_mut().zip(z_im.iter_mut()) {
+        let s = r.mul_add(*r, *i_ * *i_);
+        *r = softplus_fma(s.sqrt());
+        *i_ = 0.0;
+    }
+}
+
+/// # Safety
+///
+/// Caller must ensure the CPU supports FMA (guaranteed by
+/// [`detected_tier`] dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn activate_fma_hw(z_re: &mut [f64], z_im: &mut [f64]) {
+    activate_fma_body(z_re, z_im);
+}
+
+/// Runs the Fma matmul with an explicitly forced chunk implementation —
+/// the cross-tier equality test hook. Not part of the public API surface.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_tile_fma_forced(
+    tier: KernelTier,
+    m: &CMatrix,
+    a_re: &[f64],
+    a_im: &[f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    w: usize,
+    real_input: bool,
+) {
+    let out_rows = z_re.len() / w;
+    for i in 0..out_rows {
+        let row = m.row(i);
+        let mut jb = 0usize;
+        while jb + FBLOCK <= w {
+            let zr = &mut z_re[i * w + jb..i * w + jb + FBLOCK];
+            let zi = &mut z_im[i * w + jb..i * w + jb + FBLOCK];
+            match tier {
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx512 => unsafe {
+                    chunk_avx512(row, a_re, a_im, zr, zi, w, jb, real_input)
+                },
+                #[cfg(target_arch = "x86_64")]
+                KernelTier::Avx2Fma => unsafe {
+                    chunk_avx2(row, a_re, a_im, zr, zi, w, jb, real_input)
+                },
+                _ => chunk_scalar(row, a_re, a_im, zr, zi, w, jb, real_input),
+            }
+            jb += FBLOCK;
+        }
+        for j in jb..w {
+            let mut acc_re = 0.0f64;
+            let mut acc_im = 0.0f64;
+            for (k, a) in row.iter().enumerate() {
+                let xr = a_re[k * w + j];
+                if real_input {
+                    acc_re = a.re.mul_add(xr, acc_re);
+                    acc_im = a.im.mul_add(xr, acc_im);
+                } else {
+                    let xi = a_im[k * w + j];
+                    acc_re = a.re.mul_add(xr, acc_re);
+                    acc_re = (-a.im).mul_add(xi, acc_re);
+                    acc_im = a.im.mul_add(xr, acc_im);
+                    acc_im = a.re.mul_add(xi, acc_im);
+                }
+            }
+            z_re[i * w + j] = acc_re;
+            z_im[i * w + j] = acc_im;
+        }
+    }
+}
+
+/// The tiers that can actually execute on this machine (always includes
+/// `Scalar`). Test hook for cross-tier equality checks.
+#[doc(hidden)]
+pub fn available_tiers() -> Vec<KernelTier> {
+    let mut tiers = vec![KernelTier::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            tiers.push(KernelTier::Avx2Fma);
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            tiers.push(KernelTier::Avx512);
+        }
+    }
+    tiers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnn_linalg::C64;
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in [KernelProfile::Reference, KernelProfile::Fma] {
+            assert_eq!(KernelProfile::parse(p.as_str()), Some(p));
+            assert_eq!(p.as_str().parse::<KernelProfile>().unwrap(), p);
+        }
+        assert_eq!(KernelProfile::parse("avx2"), None);
+        assert!("turbo".parse::<KernelProfile>().is_err());
+        assert_eq!(KernelProfile::default(), KernelProfile::Reference);
+        assert_eq!(format!("{}", KernelProfile::Fma), "fma");
+    }
+
+    #[test]
+    fn tier_detection_is_stable_and_named() {
+        let t = detected_tier();
+        assert_eq!(t, detected_tier(), "dispatch must be decided once");
+        assert!(["avx512", "avx2+fma", "scalar"].contains(&t.as_str()));
+        assert!(available_tiers().contains(&KernelTier::Scalar));
+        assert!(available_tiers().contains(&t));
+    }
+
+    /// A deterministic pseudo-random plane/matrix fixture (no RNG: the
+    /// kernel contract is pure arithmetic, so fixed inputs suffice).
+    fn fixture(rows: usize, cols: usize, w: usize) -> (CMatrix, Vec<f64>, Vec<f64>) {
+        let mut m = CMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = C64::new(
+                    ((r * 31 + c * 17) % 23) as f64 * 0.083 - 0.9,
+                    ((r * 13 + c * 7) % 19) as f64 * 0.061 - 0.5,
+                );
+            }
+        }
+        let a_re: Vec<f64> = (0..cols * w)
+            .map(|i| ((i * 29) % 41) as f64 * 0.047 - 0.95)
+            .collect();
+        let a_im: Vec<f64> = (0..cols * w)
+            .map(|i| ((i * 37) % 43) as f64 * 0.043 - 0.9)
+            .collect();
+        (m, a_re, a_im)
+    }
+
+    #[test]
+    fn all_available_tiers_produce_identical_bits() {
+        // Odd widths exercise full chunks plus the scalar tail; both the
+        // complex and the real-input kernels must agree across tiers to
+        // the last bit — the machine-independence claim of the profile.
+        for &(rows, cols, w) in &[
+            (5usize, 7usize, 16usize),
+            (16, 16, 40),
+            (3, 16, 17),
+            (10, 4, 64),
+        ] {
+            let (m, a_re, a_im) = fixture(rows, cols, w);
+            for &real_input in &[false, true] {
+                let mut want_re = vec![0.0; rows * w];
+                let mut want_im = vec![0.0; rows * w];
+                matmul_tile_fma_forced(
+                    KernelTier::Scalar,
+                    &m,
+                    &a_re,
+                    &a_im,
+                    &mut want_re,
+                    &mut want_im,
+                    w,
+                    real_input,
+                );
+                for tier in available_tiers() {
+                    let mut got_re = vec![0.0; rows * w];
+                    let mut got_im = vec![0.0; rows * w];
+                    matmul_tile_fma_forced(
+                        tier,
+                        &m,
+                        &a_re,
+                        &a_im,
+                        &mut got_re,
+                        &mut got_im,
+                        w,
+                        real_input,
+                    );
+                    let wb: Vec<u64> = want_re.iter().map(|x| x.to_bits()).collect();
+                    let gb: Vec<u64> = got_re.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(
+                        gb, wb,
+                        "{tier:?} re plane ({rows}x{cols} w={w} real={real_input})"
+                    );
+                    let wb: Vec<u64> = want_im.iter().map(|x| x.to_bits()).collect();
+                    let gb: Vec<u64> = got_im.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(
+                        gb, wb,
+                        "{tier:?} im plane ({rows}x{cols} w={w} real={real_input})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fma_matmul_agrees_with_reference_to_rounding() {
+        // Not bit-identical (that is the whole point of the profile split)
+        // but numerically the same product: agreement to ~1e-13 relative.
+        let (m, a_re, a_im) = fixture(6, 16, 33);
+        let w = 33;
+        let mut f_re = vec![0.0; 6 * w];
+        let mut f_im = vec![0.0; 6 * w];
+        matmul_tile_fma(&m, &a_re, &a_im, &mut f_re, &mut f_im, w, false);
+        for i in 0..6 {
+            for j in 0..w {
+                // Naive complex dot product as the semantic reference.
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for k in 0..16 {
+                    let a = m[(i, k)];
+                    let xr = a_re[k * w + j];
+                    let xi = a_im[k * w + j];
+                    re += a.re * xr - a.im * xi;
+                    im += a.im * xr + a.re * xi;
+                }
+                assert!(
+                    (f_re[i * w + j] - re).abs() <= 1e-12 * re.abs().max(1.0),
+                    "re[{i},{j}]"
+                );
+                assert!(
+                    (f_im[i * w + j] - im).abs() <= 1e-12 * im.abs().max(1.0),
+                    "im[{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_activation_is_deterministic_and_close_to_reference() {
+        let z_re: Vec<f64> = (0..97).map(|i| (i as f64) * 0.11 - 4.0).collect();
+        let z_im: Vec<f64> = (0..97).map(|i| (i as f64) * 0.07 - 3.0).collect();
+        let mut a_re = z_re.clone();
+        let mut a_im = z_im.clone();
+        activate_tile_fma(&mut a_re, &mut a_im);
+        let mut b_re = z_re.clone();
+        let mut b_im = z_im.clone();
+        activate_tile_fma(&mut b_re, &mut b_im);
+        for (a, b) in a_re.iter().zip(&b_re) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused activation must be pure");
+        }
+        assert!(a_im.iter().all(|&x| x == 0.0), "imaginary plane zeroed");
+        for (i, (&r, &im)) in z_re.iter().zip(&z_im).enumerate() {
+            let reference = spnn_neural::activation::softplus((r * r + im * im).sqrt());
+            assert!(
+                (a_re[i] - reference).abs() <= 1e-12 * reference.max(1.0),
+                "element {i}: fused {} vs reference {reference}",
+                a_re[i]
+            );
+        }
+    }
+}

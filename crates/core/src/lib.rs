@@ -29,12 +29,14 @@ pub mod census;
 pub mod criticality;
 pub mod exp1;
 pub mod exp2;
+pub mod kernel;
 pub mod monte_carlo;
 pub mod network;
 pub mod perturbation;
 
-pub use batched::TestBatch;
+pub use batched::{BatchScratch, TestBatch};
 pub use census::ComponentCensus;
+pub use kernel::{detected_tier, KernelProfile, KernelTier};
 pub use monte_carlo::{iteration_rng, iteration_seed, mc_accuracy, McResult};
-pub use network::{MeshTopology, PhotonicNetwork};
+pub use network::{MeshTopology, PhotonicNetwork, RealizeScratch};
 pub use perturbation::{HardwareEffects, PerturbationPlan, SiteRef, Stage};

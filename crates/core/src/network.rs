@@ -215,6 +215,51 @@ impl PhotonicLayer {
     }
 }
 
+/// Reusable per-layer buffers for [`PhotonicNetwork::realize_into`]: the
+/// realized `V`, `Σ`, `U` factors and the `U·Σ` intermediate of every
+/// layer. One realization allocates nothing once the scratch is warm.
+#[derive(Debug, Default, Clone)]
+pub struct RealizeScratch {
+    layers: Vec<LayerScratch>,
+}
+
+#[derive(Debug, Clone)]
+struct LayerScratch {
+    v: CMatrix,
+    s: CMatrix,
+    u: CMatrix,
+    us: CMatrix,
+}
+
+impl RealizeScratch {
+    /// (Re)builds the per-layer buffers when they do not match `network`'s
+    /// layer shapes; a warm, matching scratch is left untouched.
+    fn ensure_shapes(&mut self, network: &PhotonicNetwork) {
+        let matches = self.layers.len() == network.layers.len()
+            && self
+                .layers
+                .iter()
+                .zip(&network.layers)
+                .all(|(s, l)| s.us.shape() == l.intended.shape());
+        if matches {
+            return;
+        }
+        self.layers = network
+            .layers
+            .iter()
+            .map(|l| {
+                let (rows, cols) = l.intended.shape();
+                LayerScratch {
+                    v: CMatrix::zeros(cols, cols),
+                    s: CMatrix::zeros(rows, cols),
+                    u: CMatrix::zeros(rows, rows),
+                    us: CMatrix::zeros(rows, cols),
+                }
+            })
+            .collect();
+    }
+}
+
 /// A full photonic network: one [`PhotonicLayer`] per trained weight matrix.
 ///
 /// # Example
@@ -310,36 +355,80 @@ impl PhotonicNetwork {
         effects: &HardwareEffects,
         rng: &mut R,
     ) -> Vec<CMatrix> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(li, layer)| {
-                let v_xt = effects.mesh_crosstalk(&layer.v_mesh);
-                let u_xt = effects.mesh_crosstalk(&layer.u_mesh);
-                let v_sp = effects.mesh_spatial(&layer.v_mesh);
-                let u_sp = effects.mesh_spatial(&layer.u_mesh);
-                let v_zone_of = layer.v_zones.zone_of_each(layer.v_mesh.n_mzis());
-                let u_zone_of = layer.u_zones.zone_of_each(layer.u_mesh.n_mzis());
-                let v = layer.v_mesh.matrix_with(|i, site| {
+        let mut out = Vec::new();
+        self.realize_into(plan, effects, rng, &mut RealizeScratch::default(), &mut out);
+        out
+    }
+
+    /// [`PhotonicNetwork::realize`] into caller-owned buffers: the
+    /// intermediate `V`/`Σ`/`U`/`U·Σ` matrices live in `scratch` and the
+    /// realized per-layer products in `out`, all reused across calls
+    /// instead of reallocated — the Monte-Carlo hot loop keeps one
+    /// `(RealizeScratch, Vec<CMatrix>)` pair per worker thread.
+    ///
+    /// Bit-identical to `realize` (which wraps it with fresh buffers): the
+    /// RNG draw order (V mesh → Σ line → U mesh per layer, layers in
+    /// order) and every floating-point operation are unchanged, and each
+    /// buffer is fully overwritten before being read. Buffers sized for a
+    /// different network are rebuilt transparently.
+    pub fn realize_into<R: Rng + ?Sized>(
+        &self,
+        plan: &PerturbationPlan,
+        effects: &HardwareEffects,
+        rng: &mut R,
+        scratch: &mut RealizeScratch,
+        out: &mut Vec<CMatrix>,
+    ) {
+        scratch.ensure_shapes(self);
+        if out.len() != self.layers.len()
+            || out
+                .iter()
+                .zip(&self.layers)
+                .any(|(m, l)| m.shape() != l.intended.shape())
+        {
+            *out = self
+                .layers
+                .iter()
+                .map(|l| CMatrix::zeros(l.intended.rows(), l.intended.cols()))
+                .collect();
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            let slot = &mut scratch.layers[li];
+            let v_xt = effects.mesh_crosstalk(&layer.v_mesh);
+            let u_xt = effects.mesh_crosstalk(&layer.u_mesh);
+            let v_sp = effects.mesh_spatial(&layer.v_mesh);
+            let u_sp = effects.mesh_spatial(&layer.u_mesh);
+            let v_zone_of = layer.v_zones.zone_of_each(layer.v_mesh.n_mzis());
+            let u_zone_of = layer.u_zones.zone_of_each(layer.u_mesh.n_mzis());
+            layer.v_mesh.matrix_with_into(
+                |i, site| {
                     let site_ref = SiteRef::new(li, Stage::VMesh, i);
                     let spec = plan.spec_for(&site_ref, &v_zone_of[i]);
                     let sp = v_sp.as_ref().map(|o| o[i]);
                     effects.apply(site.theta, site.phi, v_xt.get(i), sp, &spec, rng)
-                });
-                let s = layer.sigma.matrix_with(|i, dev| {
+                },
+                &mut slot.v,
+            );
+            layer.sigma.matrix_with_into(
+                |i, dev| {
                     let site_ref = SiteRef::new(li, Stage::Sigma, i);
                     let spec = plan.spec_for(&site_ref, &(usize::MAX, usize::MAX));
                     effects.apply(dev.theta(), dev.phi(), None, None, &spec, rng)
-                });
-                let u = layer.u_mesh.matrix_with(|i, site| {
+                },
+                &mut slot.s,
+            );
+            layer.u_mesh.matrix_with_into(
+                |i, site| {
                     let site_ref = SiteRef::new(li, Stage::UMesh, i);
                     let spec = plan.spec_for(&site_ref, &u_zone_of[i]);
                     let sp = u_sp.as_ref().map(|o| o[i]);
                     effects.apply(site.theta, site.phi, u_xt.get(i), sp, &spec, rng)
-                });
-                u.mul(&s).mul(&v)
-            })
-            .collect()
+                },
+                &mut slot.u,
+            );
+            slot.u.mul_into(&slot.s, &mut slot.us);
+            slot.us.mul_into(&slot.v, &mut out[li]);
+        }
     }
 
     /// Runs inference through explicit layer matrices (ideal or realized),
@@ -411,6 +500,35 @@ mod tests {
                 layer.matrix().approx_eq(w, 1e-8),
                 "U·Σ·Vᴴ mesh does not reproduce the weight"
             );
+        }
+    }
+
+    #[test]
+    fn realize_into_reuse_is_bit_identical_to_realize() {
+        use crate::monte_carlo::iteration_rng;
+        use crate::perturbation::PerturbationPlan;
+        let sw = software_net();
+        let hw = PhotonicNetwork::from_network(&sw, MeshTopology::Clements, None).unwrap();
+        let plan = PerturbationPlan::global(UncertaintySpec::both(0.06));
+        let fx = HardwareEffects::default();
+        let mut scratch = RealizeScratch::default();
+        let mut reused = Vec::new();
+        for k in 0..10 {
+            hw.realize_into(
+                &plan,
+                &fx,
+                &mut iteration_rng(44, k),
+                &mut scratch,
+                &mut reused,
+            );
+            let fresh = hw.realize(&plan, &fx, &mut iteration_rng(44, k));
+            assert_eq!(reused.len(), fresh.len());
+            for (li, (a, b)) in reused.iter().zip(&fresh).enumerate() {
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "iter {k} layer {li}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "iter {k} layer {li}");
+                }
+            }
         }
     }
 

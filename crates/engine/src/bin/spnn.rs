@@ -3,16 +3,17 @@
 //!
 //! ```text
 //! spnn run <spec.scn>... | --preset NAME  [--format csv|json] [--out PATH]
-//!          [--threads N] [--quiet] [--stats] [--no-cache] [--cache-dir DIR]
+//!          [--threads N] [--kernel reference|fma] [--quiet] [--stats]
+//!          [--no-cache] [--cache-dir DIR]
 //!          [--shards K (--shard-index I | --spawn | --exec local|spawn)]
 //!          [--workers URL,URL,... [--local-peers N] [--weights-from SRC] [--steal]]
 //! spnn merge <part.json>... [--format csv|json] [--out PATH]
 //! spnn serve [--addr HOST:PORT] [--workers N] [--workers-from FILE]
 //!          [--local-peers N] [--weights-from SRC] [--steal]
-//!          [--threads N] [--quiet] [--log-json] [--no-cache]
-//!          [--cache-dir DIR]
+//!          [--threads N] [--kernel reference|fma] [--quiet] [--log-json]
+//!          [--no-cache] [--cache-dir DIR]
 //! spnn assemble <stream.ndjson> [--format csv|json] [--out PATH]
-//! spnn validate <spec.scn>
+//! spnn validate <spec.scn> [--kernel reference|fma]
 //! spnn example [NAME]
 //! spnn cache ls | rm <KEY>... | rm --all | gc [--max-entries N]
 //!          [--max-bytes BYTES] | path
@@ -87,6 +88,13 @@ OPTIONS (run, merge):
     --threads N              worker threads per sweep point
                              (default: $SPNN_THREADS, else all cores;
                              results are identical for any thread count)
+    --kernel reference|fma   compute-kernel profile (default reference).
+                             reference is the paper-faithful scalar path;
+                             fma fuses multiply-adds with runtime-selected
+                             SIMD (AVX-512/AVX2+FMA/scalar, identical bits
+                             on every tier) — each profile is bit-exactly
+                             reproducible under its own fingerprint, and
+                             partials from different profiles never merge
     --quiet                  suppress progress logging on stderr
     --stats                  after the run, print a phase breakdown and
                              the engine counters (training, cache,
@@ -159,8 +167,8 @@ OPTIONS (serve):
                              that open its circuit breaker (default 3)
     --breaker-cooldown SECS  how long an open breaker skips its worker
                              before a half-open /healthz probe (default 10)
-    --threads, --quiet, --no-cache, --cache-dir, --no-row-cache,
-    --row-cache-dir as for run
+    --threads, --kernel, --quiet, --no-cache, --cache-dir,
+    --no-row-cache, --row-cache-dir as for run
 
 Sharding: `spnn run S --shards K --shard-index I` writes partial report I
 of a K-way split; run all K (any machines, any order), then
@@ -307,9 +315,8 @@ fn positional_args(args: &[String]) -> Vec<&str> {
             | "--workers" | "--workers-from" | "--exec" | "--queue-depth" | "--queue-wait"
             | "--read-timeout" | "--write-timeout" | "--max-points" | "--max-iterations"
             | "--max-rounds" | "--quota-concurrent" | "--quota-rate" | "--quota-burst"
-            | "--breaker-failures" | "--breaker-cooldown" | "--weights-from" | "--local-peers" => {
-                i += 2
-            }
+            | "--breaker-failures" | "--breaker-cooldown" | "--weights-from" | "--local-peers"
+            | "--kernel" => i += 2,
             s if s.starts_with("--") => i += 1,
             s => {
                 out.push(s);
@@ -344,6 +351,16 @@ fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
             Ok(n) if n > 0 => Ok(Some(n)),
             _ => Err(format!("invalid thread count {v:?}")),
         },
+    }
+}
+
+/// The kernel profile: `--kernel reference|fma` (default reference, the
+/// historical scalar path — reports are byte-identical with or without
+/// the flag).
+fn parse_kernel(args: &[String]) -> Result<KernelProfile, String> {
+    match option_value(args, "--kernel") {
+        None => Ok(KernelProfile::default()),
+        Some(v) => v.parse(),
     }
 }
 
@@ -395,15 +412,33 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
+    let kernel = match parse_kernel(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
     let cache_dir = (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args));
     let row_cache = resolve_row_cache(args);
     let config = EngineConfig {
         threads,
+        kernel,
         verbose: !has_flag(args, "--quiet"),
         cache_dir: None, // the shared cache below carries the directory
         metrics: metrics::global().clone(),
         row_cache: row_cache.clone(),
     };
+    // Surface the resolved profile and the CPU dispatch tier wherever the
+    // run's metrics end up (`--stats`, scrapes of a long-lived process).
+    config
+        .metrics
+        .gauge(
+            "spnn_kernel_profile",
+            "Active kernel profile and the CPU dispatch tier selected for it (info gauge).",
+            &[
+                ("profile", kernel.as_str()),
+                ("tier", detected_tier().as_str()),
+            ],
+        )
+        .set(1);
     let cache = ContextCache::new(cache_dir);
     // One process, one run: the cache's counters belong in the global
     // registry so `--stats` shows hits/trains next to the phase table.
@@ -924,6 +959,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
+    let kernel = match parse_kernel(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
     let verbose = !has_flag(args, "--quiet");
     let defaults = ServeConfig::default();
     let traffic = (|| -> Result<ServeConfig, String> {
@@ -961,6 +1000,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         workers,
         engine: EngineConfig {
             threads,
+            kernel,
             verbose,
             cache_dir: (!has_flag(args, "--no-cache")).then(|| resolve_cache_dir(args)),
             // Server::bind replaces this with its own registry so every
@@ -1083,11 +1123,19 @@ fn cmd_validate(args: &[String]) -> ExitCode {
         "budget:      <= {} iterations/point (min {}, target moe {})",
         spec.iterations, spec.min_iterations, spec.target_moe
     );
+    let kernel = match parse_kernel(args) {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
     let fp = spnn_engine::Fingerprint::of_spec(&spec);
     println!("fingerprint: {} ({})", fp.short(), fp.canonical());
     println!(
         "queue fp:    {} (shard partials must match to merge)",
-        spnn_engine::shard::queue_fingerprint(&spec)
+        spnn_engine::shard::queue_fingerprint_with(&spec, kernel)
+    );
+    println!(
+        "kernel:      {kernel} (cpu tier: {}; partials are profile-scoped)",
+        detected_tier()
     );
     println!("ok");
     ExitCode::SUCCESS

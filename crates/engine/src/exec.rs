@@ -58,11 +58,12 @@ use crate::runner::{
     EngineError, EngineReport, StreamEvent,
 };
 use crate::shard::{
-    plan_span, queue_fingerprint, weighted_span, MergeError, MergeState, PartialReport,
+    plan_span, queue_fingerprint_with, weighted_span, MergeError, MergeState, PartialReport,
 };
 use crate::spec::ScenarioSpec;
 use crate::tevent;
 use crate::trace::Level;
+use spnn_core::KernelProfile;
 use std::collections::VecDeque;
 use std::fmt;
 use std::path::PathBuf;
@@ -321,7 +322,8 @@ impl Executor for LocalExecutor {
         // Prepare once: the trained context materializes here (cache or
         // fresh), before any fan-out — the pre-warm IS the preparation.
         let prep = prepare(spec, ctx.config, ctx.cache)?;
-        let fp = queue_fingerprint(spec);
+        let kernel = ctx.config.kernel;
+        let fp = queue_fingerprint_with(spec, kernel);
         let threads = threads_per_shard(ctx.config, shards);
         let verbose = ctx.config.verbose;
         let cancelled = AtomicBool::new(false);
@@ -329,7 +331,7 @@ impl Executor for LocalExecutor {
             .config
             .row_cache
             .as_ref()
-            .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+            .map(|rc| (rc.as_ref(), RowContext::of_spec_with(spec, kernel)));
 
         let (tx, rx) = mpsc::channel::<PartialReport>();
         std::thread::scope(|scope| {
@@ -349,6 +351,7 @@ impl Executor for LocalExecutor {
                     let partial = execute_shard_blocks(
                         prep,
                         fp,
+                        kernel,
                         shards,
                         index,
                         threads,
@@ -406,7 +409,7 @@ impl Executor for SpawnExecutor {
         deliver: &mut dyn FnMut(PartialReport) -> bool,
     ) -> Result<(), ExecError> {
         let verbose = ctx.config.verbose;
-        let fp = queue_fingerprint(spec);
+        let fp = queue_fingerprint_with(spec, ctx.config.kernel);
         let work_dir =
             std::env::temp_dir().join(format!("spnn-exec-{}-{}", std::process::id(), &fp[..12]));
         std::fs::create_dir_all(&work_dir)
@@ -448,6 +451,11 @@ impl Executor for SpawnExecutor {
             }
             if let Some(t) = threads {
                 cmd.arg("--threads").arg(t.to_string());
+            }
+            // Reference children keep the historical command line; only a
+            // non-default profile is forwarded explicitly.
+            if ctx.config.kernel != KernelProfile::Reference {
+                cmd.arg("--kernel").arg(ctx.config.kernel.as_str());
             }
             match ctx.cache.dir() {
                 Some(dir) => {
@@ -882,6 +890,16 @@ fn integerize_weights(scores: &[f64]) -> Vec<u64> {
 // RemoteExecutor
 // ---------------------------------------------------------------------------
 
+/// The `/shard` query fragment selecting the kernel profile. Empty for
+/// [`KernelProfile::Reference`] so coordinator request lines (and any
+/// middleware matching on them) are byte-identical to earlier releases.
+fn kernel_query_suffix(kernel: KernelProfile) -> String {
+    match kernel {
+        KernelProfile::Reference => String::new(),
+        other => format!("&kernel={}", other.as_str()),
+    }
+}
+
 /// Remote execution: dispatches each shard to a worker `spnn serve`
 /// instance as `POST /shard?shards=k&index=i` with the canonical spec
 /// text as the body, and parses the returned [`PartialReport`].
@@ -997,6 +1015,7 @@ impl RemoteExecutor {
         &self,
         spec_text: &str,
         expected_fp: &str,
+        kernel: KernelProfile,
         shards: usize,
         shard_index: usize,
         cancel: &CancelToken,
@@ -1006,7 +1025,10 @@ impl RemoteExecutor {
         self.dispatch(
             spec_text,
             expected_fp,
-            &format!("shards={shards}&index={shard_index}"),
+            &format!(
+                "shards={shards}&index={shard_index}{}",
+                kernel_query_suffix(kernel)
+            ),
             &format!("shard {shard_index}/{shards}"),
             shard_index,
             cancel,
@@ -1023,6 +1045,7 @@ impl RemoteExecutor {
         &self,
         spec_text: &str,
         expected_fp: &str,
+        kernel: KernelProfile,
         lo: usize,
         hi: usize,
         start: usize,
@@ -1033,7 +1056,7 @@ impl RemoteExecutor {
         self.dispatch(
             spec_text,
             expected_fp,
-            &format!("span={lo}-{hi}"),
+            &format!("span={lo}-{hi}{}", kernel_query_suffix(kernel)),
             &format!("span {lo}..{hi}"),
             start,
             cancel,
@@ -1325,7 +1348,8 @@ impl RemoteExecutor {
         deliver: &mut dyn FnMut(PartialReport) -> bool,
     ) -> Result<(), ExecError> {
         let spec_text = spec.to_text();
-        let expected_fp = queue_fingerprint(spec);
+        let kernel = ctx.config.kernel;
+        let expected_fp = queue_fingerprint_with(spec, kernel);
         let verbose = ctx.config.verbose;
 
         let (tx, rx) = mpsc::channel::<Result<PartialReport, String>>();
@@ -1340,6 +1364,7 @@ impl RemoteExecutor {
                     let result = self.run_shard(
                         spec_text,
                         expected_fp,
+                        kernel,
                         shards,
                         index,
                         cancel,
@@ -1429,13 +1454,14 @@ impl RemoteExecutor {
         );
 
         let spec_text = spec.to_text();
-        let fp = queue_fingerprint(spec);
+        let kernel = ctx.config.kernel;
+        let fp = queue_fingerprint_with(spec, kernel);
         let local_threads = threads_per_shard(ctx.config, self.local_peers.max(1));
         let rctx = ctx
             .config
             .row_cache
             .as_ref()
-            .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+            .map(|rc| (rc.as_ref(), RowContext::of_spec_with(spec, kernel)));
         let cancel = ctx.cancel;
 
         let slices: Mutex<Vec<FleetSlice>> = Mutex::new(
@@ -1457,13 +1483,16 @@ impl RemoteExecutor {
         let dispatch_span =
             |me: usize, (lo, hi): (usize, usize)| -> Result<PartialReport, String> {
                 if me < remote {
-                    self.run_span(&spec_text, &fp, lo, hi, me, cancel, verbose, registry)
+                    self.run_span(
+                        &spec_text, &fp, kernel, lo, hi, me, cancel, verbose, registry,
+                    )
                 } else {
                     let prep = prep.as_ref().expect("local peers prepared the scenario");
                     let blocks = plan_span(&rounds_per_point, lo, hi);
                     Ok(execute_blocks(
                         prep,
                         fp.clone(),
+                        kernel,
                         peers,
                         me,
                         &blocks,
@@ -1671,13 +1700,16 @@ pub fn run_distributed(
     // A spec whose every row is resident in the row cache never fans out
     // at all: the report replays coordinator-side, zero dispatches.
     if let Some(rc) = &ctx.config.row_cache {
-        if let Some(report) = replay_cached_scenario(spec, rc, observe) {
+        if let Some(report) = replay_cached_scenario(spec, ctx.config.kernel, rc, observe) {
             return Ok(report);
         }
     }
     let mut merge = MergeState::with_metrics(&ctx.config.metrics);
     if let Some(rc) = &ctx.config.row_cache {
-        merge.publish_rows_to(Arc::clone(rc), RowContext::of_spec(spec));
+        merge.publish_rows_to(
+            Arc::clone(rc),
+            RowContext::of_spec_with(spec, ctx.config.kernel),
+        );
     }
     // The executor runs under a child token: the moment the merge has
     // every row, outstanding dispatches are pure speculation (work
@@ -1737,9 +1769,9 @@ pub fn run_distributed(
     }
     let report = merge.finalize()?;
     if let Some(rc) = &ctx.config.row_cache {
-        let rctx = RowContext::of_spec(spec);
+        let rctx = RowContext::of_spec_with(spec, ctx.config.kernel);
         rc.put_manifest(
-            &queue_fingerprint(spec),
+            &queue_fingerprint_with(spec, ctx.config.kernel),
             RowManifest {
                 scenario: report.scenario.clone(),
                 topologies: report.topologies.clone(),
@@ -1886,7 +1918,16 @@ mod tests {
         let ex = RemoteExecutor::new(vec![dead.clone()]).with_breakers(Arc::clone(&breakers));
         let cancel = CancelToken::new();
         let err = ex
-            .run_shard("spec", "fp", 1, 0, &cancel, false, &registry)
+            .run_shard(
+                "spec",
+                "fp",
+                KernelProfile::Reference,
+                1,
+                0,
+                &cancel,
+                false,
+                &registry,
+            )
             .expect_err("nothing listens");
         assert!(err.contains("shard 0"), "{err}");
         // The fallback attempt was dispatched (counted), not skipped.

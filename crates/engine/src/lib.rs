@@ -151,10 +151,11 @@ pub use runner::{
 };
 pub use serve::{assemble_report, AssembleError, QuotaConfig, RequestBudget, ServeConfig, Server};
 pub use shard::{
-    merge_partials, plan_shard, plan_shard_weighted, plan_span, weighted_span, MergeError,
-    MergeState, PartialReport, ShardBlock,
+    merge_partials, plan_shard, plan_shard_weighted, plan_span, queue_fingerprint,
+    queue_fingerprint_with, weighted_span, MergeError, MergeState, PartialReport, ShardBlock,
 };
 pub use spec::{ParseError, PlanKind, RunScale, ScenarioSpec};
+pub use spnn_core::{detected_tier, KernelProfile, KernelTier};
 pub use trace::{Level, Span};
 
 /// Commonly used items, importable with `use spnn_engine::prelude::*`.
@@ -177,4 +178,5 @@ pub mod prelude {
     pub use crate::serve::{assemble_report, AssembleError, ServeConfig, Server};
     pub use crate::shard::{merge_partials, MergeError, MergeState, PartialReport};
     pub use crate::spec::{PlanKind, RunScale, ScenarioSpec};
+    pub use spnn_core::{detected_tier, KernelProfile, KernelTier};
 }

@@ -44,6 +44,7 @@ use crate::runner::TopologySummary;
 use crate::spec::ScenarioSpec;
 use crate::tevent;
 use crate::trace::Level;
+use spnn_core::KernelProfile;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -126,10 +127,21 @@ impl RowContext {
     /// identity), the scenario name, and everything execution-level —
     /// exactly the fields whose variation must *not* move existing rows.
     pub fn of_spec(spec: &ScenarioSpec) -> Self {
+        Self::of_spec_with(spec, KernelProfile::Reference)
+    }
+
+    /// [`RowContext::of_spec`] scoped to a [`KernelProfile`].
+    ///
+    /// The kernel profile changes sample bits, so rows computed under
+    /// different profiles are different content and must never share an
+    /// address. Reference keys are exactly the historical `of_spec` keys
+    /// (existing caches stay warm); the Fma profile appends a
+    /// `;kernel=fma` component, carving out a disjoint key space.
+    pub fn of_spec_with(spec: &ScenarioSpec, kernel: KernelProfile) -> Self {
         // `{}` on f64 prints the shortest representation that round-trips,
         // so distinct bit patterns of validated-finite fields get distinct
         // strings — the same convention as the spec text format itself.
-        let prefix = format!(
+        let mut prefix = format!(
             "spnn-row-v1;ctx={};n_test:{};shuffle:{};\
              stop=iterations:{},min:{},moe:{},round:{};\
              thermal_decay_um:{};zonal=base:{},hot:{}",
@@ -144,6 +156,10 @@ impl RowContext {
             spec.zonal.base_sigma,
             spec.zonal.hot_sigma,
         );
+        if kernel != KernelProfile::Reference {
+            prefix.push_str(";kernel=");
+            prefix.push_str(kernel.as_str());
+        }
         Self { prefix }
     }
 
@@ -904,6 +920,29 @@ mod tests {
             RowContext::of_spec(&base).key("clements", &labels),
             RowContext::of_spec(&other).key("clements", &labels),
         );
+    }
+
+    #[test]
+    fn row_keys_are_kernel_profile_scoped() {
+        let spec = ScenarioSpec::default();
+        let labels = [("mode", "both"), ("sigma", "0.05")];
+        let reference = RowContext::of_spec_with(&spec, KernelProfile::Reference);
+        let fma = RowContext::of_spec_with(&spec, KernelProfile::Fma);
+        assert_ne!(
+            reference.key("clements", &labels),
+            fma.key("clements", &labels),
+            "profiles must never share a row address"
+        );
+        // Reference keys are the historical of_spec keys.
+        assert_eq!(
+            reference.key("clements", &labels),
+            RowContext::of_spec(&spec).key("clements", &labels),
+        );
+        // A row cached under one profile is invisible to the other.
+        let cache = RowCache::in_memory();
+        let p = point(vec![0.5, 0.625, 0.75], false);
+        cache.put(&reference.key("clements", &labels), p);
+        assert!(cache.get(&fma.key("clements", &labels)).is_none());
     }
 
     #[test]

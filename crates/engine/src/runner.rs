@@ -30,24 +30,39 @@ use crate::metrics::{self, MetricsRegistry};
 use crate::queue::{compile, WorkItem};
 use crate::rowcache::{CachedPoint, RowCache, RowContext, RowManifest};
 use crate::shard::{
-    plan_shard, plan_span, queue_fingerprint, PartialPoint, PartialReport, ShardBlock,
+    plan_shard, plan_span, queue_fingerprint_with, PartialPoint, PartialReport, ShardBlock,
 };
 use crate::spec::{topology_name, ScenarioSpec};
 use crate::tevent;
 use crate::trace::{Level, Span};
 use spnn_core::monte_carlo::iteration_rng;
 use spnn_core::network::SpnnError;
-use spnn_core::{HardwareEffects, McResult, PerturbationPlan, PhotonicNetwork};
+use spnn_core::{
+    BatchScratch, HardwareEffects, KernelProfile, McResult, PerturbationPlan, PhotonicNetwork,
+    RealizeScratch,
+};
 use spnn_dataset::{DatasetConfig, SpnnDataset};
+use spnn_linalg::CMatrix;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Execution knobs that must not change results — only speed.
+/// Execution knobs. Every field except `kernel` must not change results —
+/// only speed. `kernel` selects the arithmetic profile: each profile is
+/// individually deterministic (thread-count-, executor-, and
+/// machine-independent), but the two profiles produce different sample
+/// bits, which is why the profile participates in queue fingerprints and
+/// row-cache keys (see [`crate::shard::queue_fingerprint_with`]).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads per sweep point (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Kernel profile for the batched Monte-Carlo forward
+    /// ([`spnn_core::kernel`]). Defaults to [`KernelProfile::Reference`]
+    /// — the seed-faithful kernel whose outputs match the per-sample
+    /// path bit for bit. [`KernelProfile::Fma`] opts into the
+    /// SIMD/fused-multiply-add fast path under its own pinned goldens.
+    pub kernel: KernelProfile,
     /// Print per-point progress to stderr.
     pub verbose: bool,
     /// Trained-context cache directory. `None` (the default) keeps the
@@ -73,6 +88,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             threads: None,
+            kernel: KernelProfile::default(),
             verbose: false,
             cache_dir: None,
             metrics: metrics::global().clone(),
@@ -153,6 +169,17 @@ pub struct PointResult {
     pub stopped_early: bool,
 }
 
+/// One Monte-Carlo worker's reusable buffers: realized-matrix scratch, the
+/// realized per-layer matrices, and the batched-forward activation planes.
+/// Warm after the first iteration; every later iteration allocates nothing
+/// on the hot path.
+#[derive(Debug, Default)]
+struct IterScratch {
+    realize: RealizeScratch,
+    matrices: Vec<CMatrix>,
+    batch: BatchScratch,
+}
+
 /// The outcome of a contiguous round range of one sweep point
 /// (see [`run_point_range`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -193,6 +220,7 @@ pub fn run_point_range(
     round_size: usize,
     seed: u64,
     threads: Option<usize>,
+    kernel: KernelProfile,
     first_round: usize,
     rounds: usize,
 ) -> RangeResult {
@@ -215,18 +243,40 @@ pub fn run_point_range(
     let mut next_k = k_start;
     let mut stopped_early = false;
 
+    // Per-worker scratch, reused across every iteration and round this
+    // worker executes: realized-matrix buffers and batch activation
+    // planes. Worker `t` always takes scratch `t`, and an iteration's
+    // result is a pure function of `(seed, k)` regardless of buffer
+    // reuse, so this cannot perturb any sample.
+    let mut scratches: Vec<IterScratch> = (0..n_threads).map(|_| IterScratch::default()).collect();
+
     while next_k < k_end {
         let n_this = round_size.min(k_end - next_k);
         let mut round = vec![0.0f64; n_this];
         let chunk = n_this.div_ceil(n_threads.min(n_this));
         std::thread::scope(|scope| {
-            for (t, out_chunk) in round.chunks_mut(chunk).enumerate() {
+            for ((t, out_chunk), scratch) in round
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(scratches.iter_mut())
+            {
                 let start = next_k + t * chunk;
                 scope.spawn(move || {
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
                         let mut rng = iteration_rng(seed, start + off);
-                        let matrices = network.realize(plan, effects, &mut rng);
-                        *slot = batch.accuracy_with(network, &matrices);
+                        network.realize_into(
+                            plan,
+                            effects,
+                            &mut rng,
+                            &mut scratch.realize,
+                            &mut scratch.matrices,
+                        );
+                        *slot = batch.accuracy_with_profile(
+                            network,
+                            &scratch.matrices,
+                            kernel,
+                            &mut scratch.batch,
+                        );
                     }
                 });
             }
@@ -270,6 +320,7 @@ pub fn run_point(
     round_size: usize,
     seed: u64,
     threads: Option<usize>,
+    kernel: KernelProfile,
 ) -> PointResult {
     assert!(round_size > 0, "round_size must be positive");
     assert!(stop.max_iterations > 0, "need at least one iteration");
@@ -283,6 +334,7 @@ pub fn run_point(
         round_size,
         seed,
         threads,
+        kernel,
         0,
         total_rounds,
     );
@@ -494,7 +546,16 @@ pub(crate) fn prepare(
         let hardware = ctx
             .mapping(topology, shuffle_seed)
             .map_err(EngineError::Mapping)?;
-        let nominal_accuracy = batch.accuracy_with(&hardware, &hardware.ideal_matrices());
+        // The nominal (ideal-hardware) accuracy runs through the same
+        // kernel profile as the sweep, so topology summaries are
+        // profile-consistent and shard-merge bit-comparisons agree. The
+        // software accuracy above stays per-sample and profile-independent.
+        let nominal_accuracy = batch.accuracy_with_profile(
+            &hardware,
+            &hardware.ideal_matrices(),
+            config.kernel,
+            &mut BatchScratch::default(),
+        );
         let topo_name = topology_name(topology);
         topologies.push(TopologySummary {
             topology: topo_name.to_string(),
@@ -598,10 +659,11 @@ pub(crate) fn row_from_cached(point: &CachedPoint) -> SweepRow {
 /// a partial replay would reorder the stream relative to a cold run.
 pub(crate) fn replay_cached_scenario(
     spec: &ScenarioSpec,
+    kernel: KernelProfile,
     rc: &RowCache,
     observe: &mut dyn FnMut(StreamEvent<'_>),
 ) -> Option<EngineReport> {
-    let manifest = rc.get_manifest(&queue_fingerprint(spec))?;
+    let manifest = rc.get_manifest(&queue_fingerprint_with(spec, kernel))?;
     let mut rows = Vec::with_capacity(manifest.row_keys.len());
     for hex in &manifest.row_keys {
         rows.push(row_from_cached(rc.get_by_hex(hex)?.as_ref()));
@@ -751,7 +813,7 @@ fn run_streaming_inner(
     observe: &mut dyn FnMut(StreamEvent<'_>),
 ) -> Result<EngineReport, EngineError> {
     if let Some(rc) = &config.row_cache {
-        if let Some(report) = replay_cached_scenario(spec, rc, observe) {
+        if let Some(report) = replay_cached_scenario(spec, config.kernel, rc, observe) {
             return Ok(report);
         }
     }
@@ -767,7 +829,7 @@ fn run_streaming_inner(
     let rctx = config
         .row_cache
         .as_ref()
-        .map(|rc| (rc, RowContext::of_spec(spec)));
+        .map(|rc| (rc, RowContext::of_spec_with(spec, config.kernel)));
     let mut row_keys = Vec::with_capacity(total);
     let counters = SweepCounters::new(&config.metrics);
     let mut rows = Vec::with_capacity(total);
@@ -800,6 +862,7 @@ fn run_streaming_inner(
             prep.round_size,
             point.item.seed,
             config.threads,
+            config.kernel,
         );
         let point_elapsed = point_span.finish();
         counters.record(r.samples.len(), prep.round_size, r.stopped_early);
@@ -862,7 +925,7 @@ fn run_streaming_inner(
 
     if let Some((rc, _)) = &rctx {
         rc.put_manifest(
-            &queue_fingerprint(spec),
+            &queue_fingerprint_with(spec, config.kernel),
             RowManifest {
                 scenario: prep.name.clone(),
                 topologies: prep.topologies.clone(),
@@ -915,10 +978,11 @@ pub fn run_scenario_shard_with(
     let rctx = config
         .row_cache
         .as_ref()
-        .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+        .map(|rc| (rc.as_ref(), RowContext::of_spec_with(spec, config.kernel)));
     let partial = execute_shard_blocks(
         &prep,
-        queue_fingerprint(spec),
+        queue_fingerprint_with(spec, config.kernel),
+        config.kernel,
         shards,
         shard_index,
         config.threads,
@@ -966,10 +1030,11 @@ pub fn run_scenario_span_with(
     let rctx = config
         .row_cache
         .as_ref()
-        .map(|rc| (rc.as_ref(), RowContext::of_spec(spec)));
+        .map(|rc| (rc.as_ref(), RowContext::of_spec_with(spec, config.kernel)));
     let partial = execute_blocks(
         &prep,
-        queue_fingerprint(spec),
+        queue_fingerprint_with(spec, config.kernel),
+        config.kernel,
         1,
         0,
         &blocks,
@@ -1039,6 +1104,7 @@ pub(crate) fn sweep_rounds_per_point(prep: &PreparedScenario) -> Vec<usize> {
 pub(crate) fn execute_shard_blocks(
     prep: &PreparedScenario,
     queue_fp: String,
+    kernel: KernelProfile,
     shards: usize,
     shard_index: usize,
     threads: Option<usize>,
@@ -1050,6 +1116,7 @@ pub(crate) fn execute_shard_blocks(
     execute_blocks(
         prep,
         queue_fp,
+        kernel,
         shards,
         shard_index,
         &blocks,
@@ -1070,6 +1137,7 @@ pub(crate) fn execute_shard_blocks(
 pub(crate) fn execute_blocks(
     prep: &PreparedScenario,
     queue_fp: String,
+    kernel: KernelProfile,
     shards: usize,
     shard_index: usize,
     blocks: &[ShardBlock],
@@ -1123,6 +1191,7 @@ pub(crate) fn execute_blocks(
                     prep.round_size,
                     point.item.seed,
                     threads,
+                    kernel,
                     block.first_round,
                     block.rounds,
                 );
@@ -1189,6 +1258,7 @@ pub(crate) fn execute_blocks(
     PartialReport {
         scenario: prep.name.clone(),
         queue_fingerprint: queue_fp,
+        kernel,
         shards,
         shard_index,
         total_points: prep.points.len(),
@@ -1248,6 +1318,7 @@ mod tests {
             4,
             99,
             Some(2),
+            KernelProfile::Reference,
         );
         assert_eq!(engine.samples, reference.samples);
         assert_eq!(engine.mean.to_bits(), reference.mean.to_bits());
@@ -1262,7 +1333,17 @@ mod tests {
         let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
         let fx = HardwareEffects::default();
         let stop = StopRule::fixed(14); // cap not a multiple of round_size
-        let full = run_point(&hw, &plan, &fx, &batch, &stop, 4, 7, Some(2));
+        let full = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &stop,
+            4,
+            7,
+            Some(2),
+            KernelProfile::Reference,
+        );
         assert_eq!(full.samples.len(), 14);
         // Ranges [0,2), [2,3), [3,4) (the last round is short: 2 iters).
         for (first, rounds, lo, hi) in [
@@ -1270,7 +1351,19 @@ mod tests {
             (2, 1, 8, 12),
             (3, 1, 12, 14),
         ] {
-            let r = run_point_range(&hw, &plan, &fx, &batch, &stop, 4, 7, Some(3), first, rounds);
+            let r = run_point_range(
+                &hw,
+                &plan,
+                &fx,
+                &batch,
+                &stop,
+                4,
+                7,
+                Some(3),
+                KernelProfile::Reference,
+                first,
+                rounds,
+            );
             let want: Vec<u64> = full.samples[lo..hi].iter().map(|s| s.to_bits()).collect();
             let got: Vec<u64> = r.samples.iter().map(|s| s.to_bits()).collect();
             assert_eq!(got, want, "range [{first}, {first}+{rounds})");
@@ -1294,6 +1387,7 @@ mod tests {
             4,
             3,
             Some(1),
+            KernelProfile::Reference,
             2,
             3,
         );
@@ -1315,6 +1409,7 @@ mod tests {
             4,
             1,
             Some(1),
+            KernelProfile::Reference,
         );
         // Stops at the first round boundary ≥ min_iterations = 6 → 8.
         assert_eq!(r.samples.len(), 8);
@@ -1329,7 +1424,17 @@ mod tests {
         let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
         let fx = HardwareEffects::default();
         let stop = StopRule::adaptive(64, 8, 0.04);
-        let r = run_point(&hw, &plan, &fx, &batch, &stop, 8, 5, Some(2));
+        let r = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &stop,
+            8,
+            5,
+            Some(2),
+            KernelProfile::Reference,
+        );
         if r.stopped_early {
             assert!(r.moe95 <= 0.04, "stopped early at moe {} > target", r.moe95);
         } else {

@@ -116,6 +116,7 @@ use crate::runner::{
 use crate::spec::ScenarioSpec;
 use crate::tevent;
 use crate::trace::Level;
+use spnn_core::{detected_tier, KernelProfile};
 use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -587,6 +588,18 @@ impl Server {
         if let Some(rc) = &engine.row_cache {
             rc.register_metrics(&registry);
         }
+        // Info gauge: the configured kernel profile and the CPU dispatch
+        // tier it resolves to on this machine, as labels set to 1.
+        registry
+            .gauge(
+                "spnn_kernel_profile",
+                "Active kernel profile and the CPU dispatch tier selected for it (info gauge).",
+                &[
+                    ("profile", engine.kernel.as_str()),
+                    ("tier", detected_tier().as_str()),
+                ],
+            )
+            .set(1);
         let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
         let remote_workers: Vec<String> = config
             .remote_workers
@@ -1159,13 +1172,16 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             });
             let body = format!(
                 "{{\"status\": \"ok\", \"version\": \"{}\", \"role\": \"{}\", \
-                 \"cores\": {}, \"uptime_seconds\": {}, \"workers\": {}, \
+                 \"cores\": {}, \"kernel_profile\": \"{}\", \"kernel_tier\": \"{}\", \
+                 \"uptime_seconds\": {}, \"workers\": {}, \
                  \"remote_workers\": {}, \
                  \"runs_started\": {}, \"runs_completed\": {}, \"runs_failed\": {}, \
                  \"shards_completed\": {}, \"shards_failed\": {}{breakers}}}\n",
                 env!("CARGO_PKG_VERSION"),
                 state.role(),
                 std::thread::available_parallelism().map_or(1, |n| n.get()),
+                state.engine.kernel.as_str(),
+                detected_tier().as_str(),
                 state.started_at.elapsed().as_secs(),
                 state.workers,
                 state.remote_workers.len(),
@@ -1608,15 +1624,29 @@ fn handle_shard(request: &Request, writer: &mut impl Write, state: &ServerState)
     } else {
         None
     };
+    // Coordinator-selected kernel profile: the coordinator appends
+    // `&kernel=fma` so every worker computes the same bits it expects
+    // (the partial's fingerprint is profile-scoped, so a worker that
+    // ignored this would be rejected as foreign). Absent means the
+    // worker's own configured profile.
+    let engine = match request.query_param("kernel") {
+        None => state.engine.clone(),
+        Some(raw) => match raw.parse::<KernelProfile>() {
+            Ok(kernel) => {
+                let mut engine = state.engine.clone();
+                engine.kernel = kernel;
+                engine
+            }
+            Err(e) => return reject(writer, &e),
+        },
+    };
     let Some(spec) = parse_spec_or_reject(request, writer) else {
         return 400;
     };
     let result = match (span, shard) {
-        (Some((lo, hi)), _) => {
-            run_scenario_span_with(&spec, &state.engine, &state.cache, lo, hi - lo)
-        }
+        (Some((lo, hi)), _) => run_scenario_span_with(&spec, &engine, &state.cache, lo, hi - lo),
         (None, Some((shards, index))) => {
-            run_scenario_shard_with(&spec, &state.engine, &state.cache, shards, index)
+            run_scenario_shard_with(&spec, &engine, &state.cache, shards, index)
         }
         (None, None) => unreachable!("one of span/shard is always set"),
     };

@@ -63,7 +63,7 @@ use crate::json::{self, Json};
 use crate::metrics::{Counter, Gauge, MetricsRegistry};
 use crate::runner::{EngineReport, SweepRow, TopologySummary};
 use crate::spec::ScenarioSpec;
-use spnn_core::McResult;
+use spnn_core::{KernelProfile, McResult};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -202,7 +202,23 @@ pub fn plan_shard_weighted(
 /// per-point seeds, same budgets). [`merge_partials`] refuses to combine
 /// partials with differing fingerprints.
 pub fn queue_fingerprint(spec: &ScenarioSpec) -> String {
-    let canonical = format!("spnn-queue-v1;{}", spec.to_text());
+    queue_fingerprint_with(spec, KernelProfile::Reference)
+}
+
+/// [`queue_fingerprint`] scoped to a [`KernelProfile`].
+///
+/// The kernel profile changes the Monte-Carlo sample bits, so two runs of
+/// the same spec under different profiles are *different work* — their
+/// partials must never merge and their cached rows must never mix. The
+/// Reference profile hashes exactly the canonical text `queue_fingerprint`
+/// always hashed (so every fingerprint ever written stays valid); the Fma
+/// profile injects a `kernel=fma` component, yielding a disjoint
+/// fingerprint space.
+pub fn queue_fingerprint_with(spec: &ScenarioSpec, kernel: KernelProfile) -> String {
+    let canonical = match kernel {
+        KernelProfile::Reference => format!("spnn-queue-v1;{}", spec.to_text()),
+        KernelProfile::Fma => format!("spnn-queue-v1;kernel=fma;{}", spec.to_text()),
+    };
     let a = fnv1a64(canonical.as_bytes(), FNV_BASIS);
     let b = fnv1a64(canonical.as_bytes(), 0x6c62272e07bb0142);
     let mut out = String::with_capacity(32);
@@ -248,8 +264,12 @@ pub struct PartialPoint {
 pub struct PartialReport {
     /// Scenario name.
     pub scenario: String,
-    /// [`queue_fingerprint`] of the spec this shard executed.
+    /// [`queue_fingerprint_with`] of the spec this shard executed.
     pub queue_fingerprint: String,
+    /// Kernel profile the shard's samples were computed under. Serialized
+    /// only when not [`KernelProfile::Reference`], so reference partials
+    /// keep their historical bytes; merges reject mixed profiles.
+    pub kernel: KernelProfile,
     /// Number of shards in the plan this partial belongs to.
     pub shards: usize,
     /// This shard's index within the plan.
@@ -296,6 +316,9 @@ impl PartialReport {
             "  \"queue_fingerprint\": \"{}\",",
             json::escape(&self.queue_fingerprint)
         );
+        if self.kernel != KernelProfile::Reference {
+            let _ = writeln!(out, "  \"kernel\": \"{}\",", self.kernel.as_str());
+        }
         let _ = writeln!(out, "  \"shards\": {},", self.shards);
         let _ = writeln!(out, "  \"shard_index\": {},", self.shard_index);
         let _ = writeln!(out, "  \"total_points\": {},", self.total_points);
@@ -401,9 +424,23 @@ impl PartialReport {
             .map(parse_point)
             .collect::<Result<Vec<_>, _>>()?;
 
+        // Optional for backward compatibility: partials written before the
+        // kernel-profile tier existed are all Reference.
+        let kernel = match doc.get("kernel") {
+            None => KernelProfile::Reference,
+            Some(v) => {
+                let name = v.as_str().ok_or_else(|| {
+                    MergeError::Format("field \"kernel\" must be a string".into())
+                })?;
+                KernelProfile::parse(name)
+                    .ok_or_else(|| MergeError::Format(format!("unknown kernel profile {name:?}")))?
+            }
+        };
+
         Ok(Self {
             scenario: str_field("scenario")?,
             queue_fingerprint: str_field("queue_fingerprint")?,
+            kernel,
             shards: usize_field("shards")?,
             shard_index: usize_field("shard_index")?,
             total_points: usize_field("total_points")?,
@@ -685,6 +722,13 @@ fn check_compatible(
     p: &PartialReport,
     ordinal: usize,
 ) -> Result<(), MergeError> {
+    if p.kernel != first.kernel {
+        return Err(MergeError::Mismatch(format!(
+            "partial {ordinal} was computed under the {} kernel profile but partial 0 under {} \
+             — profiles produce different sample bits and must never mix",
+            p.kernel, first.kernel
+        )));
+    }
     if p.queue_fingerprint != first.queue_fingerprint {
         return Err(MergeError::Mismatch(format!(
             "partial {ordinal} has queue fingerprint {} but partial 0 has {}",
@@ -1199,6 +1243,7 @@ mod tests {
         PartialReport {
             scenario: "t".into(),
             queue_fingerprint: "00".repeat(16),
+            kernel: KernelProfile::Reference,
             shards: 2,
             shard_index: 0,
             total_points: 1,
@@ -1275,6 +1320,63 @@ mod tests {
             merge_partials(&[a, b]),
             Err(MergeError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn merge_rejects_mixed_kernel_profiles() {
+        // Same (forged) fingerprint, differing kernel: the typed Mismatch
+        // must fire on the profile before anything else can mask it.
+        let a = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        let mut b = partial(vec![block(0, 2, vec![0.25, 1.0, 0.5, 0.75])]);
+        b.kernel = KernelProfile::Fma;
+        let err = merge_partials(&[a, b]).unwrap_err();
+        match err {
+            MergeError::Mismatch(msg) => {
+                assert!(msg.contains("kernel profile"), "untyped message: {msg}")
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kernel_profile_survives_json_round_trip() {
+        let mut p = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        p.kernel = KernelProfile::Fma;
+        let parsed = PartialReport::parse(&p.to_json()).unwrap();
+        assert_eq!(parsed.kernel, KernelProfile::Fma);
+
+        // Reference partials omit the field entirely — their bytes are the
+        // historical format, and absent means Reference on parse.
+        let r = partial(vec![block(0, 0, vec![0.5, 0.75])]);
+        let json = r.to_json();
+        assert!(!json.contains("\"kernel\""), "reference bytes changed");
+        assert_eq!(
+            PartialReport::parse(&json).unwrap().kernel,
+            KernelProfile::Reference
+        );
+
+        // An unknown profile name is a Format error, not a silent default.
+        let bad = json.replace(
+            "\"queue_fingerprint\"",
+            "\"kernel\": \"turbo\",\n  \"queue_fingerprint\"",
+        );
+        assert!(matches!(
+            PartialReport::parse(&bad),
+            Err(MergeError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprints_are_profile_scoped() {
+        let spec = crate::presets::fig4(&crate::spec::RunScale::tiny());
+        let reference = queue_fingerprint_with(&spec, KernelProfile::Reference);
+        let fma = queue_fingerprint_with(&spec, KernelProfile::Fma);
+        assert_ne!(reference, fma, "profiles must occupy disjoint spaces");
+        assert_eq!(
+            reference,
+            queue_fingerprint(&spec),
+            "reference fingerprints must be unchanged"
+        );
     }
 
     #[test]

@@ -57,9 +57,29 @@ fn point_results_are_bit_identical_across_1_2_8_threads() {
     let plan = PerturbationPlan::global(UncertaintySpec::both(0.05));
     let fx = HardwareEffects::default();
     for stop in [StopRule::fixed(24), StopRule::adaptive(48, 8, 0.05)] {
-        let reference = run_point(&hw, &plan, &fx, &batch, &stop, 8, 42, Some(1));
+        let reference = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &stop,
+            8,
+            42,
+            Some(1),
+            KernelProfile::Reference,
+        );
         for threads in [2usize, 8] {
-            let other = run_point(&hw, &plan, &fx, &batch, &stop, 8, 42, Some(threads));
+            let other = run_point(
+                &hw,
+                &plan,
+                &fx,
+                &batch,
+                &stop,
+                8,
+                42,
+                Some(threads),
+                KernelProfile::Reference,
+            );
             assert_eq!(
                 reference.samples, other.samples,
                 "sample stream diverged at {threads} threads ({stop:?})"
@@ -117,7 +137,17 @@ fn batched_engine_matches_per_sample_mc_accuracy_bitwise() {
     for (p, plan) in plans.iter().enumerate() {
         let seed = 1000 + p as u64;
         let reference = mc_accuracy(&hw, plan, &fx, &xs, &ys, 12, seed);
-        let engine = run_point(&hw, plan, &fx, &batch, &StopRule::fixed(12), 5, seed, None);
+        let engine = run_point(
+            &hw,
+            plan,
+            &fx,
+            &batch,
+            &StopRule::fixed(12),
+            5,
+            seed,
+            None,
+            KernelProfile::Reference,
+        );
         let ref_bits: Vec<u64> = reference.samples.iter().map(|s| s.to_bits()).collect();
         let eng_bits: Vec<u64> = engine.samples.iter().map(|s| s.to_bits()).collect();
         assert_eq!(ref_bits, eng_bits, "plan {p} diverged");
@@ -138,7 +168,17 @@ fn parity_holds_with_hardware_effects() {
     };
     let plan = PerturbationPlan::global(UncertaintySpec::both(0.03));
     let reference = mc_accuracy(&hw, &plan, &fx, &xs, &ys, 8, 77);
-    let engine = run_point(&hw, &plan, &fx, &batch, &StopRule::fixed(8), 3, 77, Some(3));
+    let engine = run_point(
+        &hw,
+        &plan,
+        &fx,
+        &batch,
+        &StopRule::fixed(8),
+        3,
+        77,
+        Some(3),
+        KernelProfile::Reference,
+    );
     assert_eq!(engine.samples, reference.samples);
 }
 
@@ -155,7 +195,17 @@ fn early_termination_respects_the_margin_of_error_target() {
     for (sigma, target) in [(0.05, 0.08), (0.05, 0.03), (0.1, 0.06)] {
         let plan = PerturbationPlan::global(UncertaintySpec::both(sigma));
         let stop = StopRule::adaptive(80, 8, target);
-        let r = run_point(&hw, &plan, &fx, &batch, &stop, 8, 9, None);
+        let r = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &stop,
+            8,
+            9,
+            None,
+            KernelProfile::Reference,
+        );
         assert!(r.samples.len() >= 8, "stopped before min_iterations");
         if r.stopped_early {
             assert!(r.samples.len() < 80);
@@ -173,7 +223,17 @@ fn early_termination_respects_the_margin_of_error_target() {
         // opportunity (no over- or under-shooting).
         let mut est = Welford::new();
         let mut expected_stop_at = None;
-        let full = run_point(&hw, &plan, &fx, &batch, &StopRule::fixed(80), 8, 9, None);
+        let full = run_point(
+            &hw,
+            &plan,
+            &fx,
+            &batch,
+            &StopRule::fixed(80),
+            8,
+            9,
+            None,
+            KernelProfile::Reference,
+        );
         for (k, &s) in full.samples.iter().enumerate() {
             est.push(s);
             let boundary = (k + 1) % 8 == 0 || k + 1 == 80;

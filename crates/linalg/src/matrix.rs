@@ -242,6 +242,59 @@ impl CMatrix {
         Ok(out)
     }
 
+    /// Matrix product `self · rhs` written into an existing matrix,
+    /// avoiding the allocation of [`CMatrix::mul`]. `out` is fully
+    /// overwritten; its prior contents never influence the result, and the
+    /// accumulation is **bit-identical** to `mul` (same skip-zero i-k-j
+    /// loop). Hot loops (Monte-Carlo realization) reuse one `out` per
+    /// layer across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` has the wrong shape.
+    pub fn mul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(self.cols, rhs.rows, "matrix dimension mismatch in mul_into");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "output shape mismatch in mul_into"
+        );
+        out.fill(C64::zero());
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == C64::zero() {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+    }
+
+    /// Sets every element to `v` in place.
+    #[inline]
+    pub fn fill(&mut self, v: C64) {
+        self.data.fill(v);
+    }
+
+    /// Rewrites the matrix to the identity in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "set_identity requires a square matrix");
+        self.data.fill(C64::zero());
+        for i in 0..self.rows {
+            let c = self.cols;
+            self.data[i * c + i] = C64::one();
+        }
+    }
+
     /// Batched matrix product `self · rhs` whose column `j` is
     /// **bit-identical** to `self.mul_vec(rhs.col(j))`.
     ///

@@ -184,16 +184,37 @@ impl DiagonalLine {
     /// The matrix with each attenuator replaced by the device the callback
     /// returns — the uncertainty-injection hook (same pattern as
     /// [`crate::mesh::UnitaryMesh::matrix_with`]).
-    pub fn matrix_with<F>(&self, mut device_at: F) -> CMatrix
+    pub fn matrix_with<F>(&self, device_at: F) -> CMatrix
     where
         F: FnMut(usize, Mzi) -> Mzi,
     {
         let mut m = CMatrix::zeros(self.out_dim, self.in_dim);
+        self.matrix_with_into(device_at, &mut m);
+        m
+    }
+
+    /// [`DiagonalLine::matrix_with`] written into an existing
+    /// `out_dim × in_dim` matrix, avoiding the per-call allocation. `m` is
+    /// zeroed first, so its prior contents never influence the result —
+    /// bit-identical to `matrix_with`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has the wrong shape.
+    pub fn matrix_with_into<F>(&self, mut device_at: F, m: &mut CMatrix)
+    where
+        F: FnMut(usize, Mzi) -> Mzi,
+    {
+        assert_eq!(
+            m.shape(),
+            (self.out_dim, self.in_dim),
+            "matrix shape mismatch"
+        );
+        m.fill(C64::zero());
         for i in 0..self.thetas.len() {
             let dev = device_at(i, self.device(i));
             m[(i, i)] = dev.bar_amplitude().scale(self.beta);
         }
-        m
     }
 
     /// Applies the line to a field vector (length `in_dim`), producing

@@ -156,14 +156,33 @@ impl UnitaryMesh {
     /// callback returns — the hook through which all uncertainty injection
     /// flows. The callback receives the site index (position in
     /// [`UnitaryMesh::mzis`]) and the site itself.
-    pub fn matrix_with<F>(&self, mut device_at: F) -> CMatrix
+    pub fn matrix_with<F>(&self, device_at: F) -> CMatrix
     where
         F: FnMut(usize, &MeshMzi) -> Mzi,
     {
         let mut acc = CMatrix::identity(self.n);
+        self.matrix_with_into(device_at, &mut acc);
+        acc
+    }
+
+    /// [`UnitaryMesh::matrix_with`] written into an existing `n × n`
+    /// matrix, avoiding the per-call allocation. `acc` is reset to the
+    /// identity first, so its prior contents never influence the result —
+    /// bit-identical to `matrix_with`. Monte-Carlo hot loops reuse one
+    /// accumulator per mesh across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` is not `n × n`.
+    pub fn matrix_with_into<F>(&self, mut device_at: F, acc: &mut CMatrix)
+    where
+        F: FnMut(usize, &MeshMzi) -> Mzi,
+    {
+        assert_eq!(acc.shape(), (self.n, self.n), "accumulator shape mismatch");
+        acc.set_identity();
         for (idx, site) in self.mzis.iter().enumerate() {
             let t = device_at(idx, site).transfer_matrix();
-            apply_two_mode(&mut acc, site.top, &t);
+            apply_two_mode(acc, site.top, &t);
         }
         // Output phase screen.
         for (mode, &phase) in self.output_phases.iter().enumerate() {
@@ -174,7 +193,6 @@ impl UnitaryMesh {
                 }
             }
         }
-        acc
     }
 
     /// Propagates a field vector through the ideal mesh.

@@ -8,6 +8,40 @@
 
 use spnn_linalg::C64;
 
+/// Two-part Cody–Waite split of `ln 2` shared by every exp kernel in this
+/// module (scalar, fused, and explicit-SIMD — one definition so the paths
+/// cannot drift apart).
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Degree-21 Chebyshev fit of `ln(1+u)/u` on `[0, 1]` (coefficients
+/// fitted at 45-digit precision; worst relative error 1.1e-14 over the
+/// interval). Shared by every `ln(1+u)` kernel in this module.
+const LN1P_Q: [f64; 22] = [
+    1.0,
+    -0.49999999999924183,
+    0.33333333328372006,
+    -0.2499999976605303,
+    0.19999993210767766,
+    -0.16666546159020404,
+    0.14284320411215368,
+    -0.12488865029542943,
+    0.11046999932925998,
+    -0.09725940018684134,
+    0.08203622424120112,
+    -0.061304859365163895,
+    0.03470461924839339,
+    -0.008782192991243921,
+    -0.0056015099516097564,
+    0.0036703733141880755,
+    0.0067014098459350704,
+    -0.012924182782667213,
+    0.01070219441875136,
+    -0.005083833215212285,
+    0.0013541833764644643,
+    -0.00015820467965422803,
+];
+
 /// `e^{−t}` for `t ≥ 0` via range reduction and a degree-12 Estrin-scheme
 /// polynomial — straight-line f64 arithmetic with no branches and no libm
 /// calls, so the compiler can vectorize activation loops over contiguous
@@ -25,8 +59,6 @@ fn exp_neg(t: f64) -> f64 {
         t >= 0.0 || t.is_nan(),
         "exp_neg expects t >= 0 (or NaN), got {t}"
     );
-    const LN2_HI: f64 = 6.931_471_803_691_238e-1;
-    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
     // NaN-preserving clamp (`f64::min` would swallow the NaN).
     let t = if t > 709.1 { 709.1 } else { t };
     let y = -t;
@@ -69,30 +101,7 @@ fn ln_1p_unit(u: f64) -> f64 {
         (0.0..=1.0).contains(&u) || u.is_nan(),
         "ln_1p_unit expects u in [0, 1] (or NaN), got {u}"
     );
-    const Q: [f64; 22] = [
-        1.0,
-        -0.49999999999924183,
-        0.33333333328372006,
-        -0.2499999976605303,
-        0.19999993210767766,
-        -0.16666546159020404,
-        0.14284320411215368,
-        -0.12488865029542943,
-        0.11046999932925998,
-        -0.09725940018684134,
-        0.08203622424120112,
-        -0.061304859365163895,
-        0.03470461924839339,
-        -0.008782192991243921,
-        -0.0056015099516097564,
-        0.0036703733141880755,
-        0.0067014098459350704,
-        -0.012924182782667213,
-        0.01070219441875136,
-        -0.005083833215212285,
-        0.0013541833764644643,
-        -0.00015820467965422803,
-    ];
+    const Q: [f64; 22] = LN1P_Q;
     // Estrin evaluation: short dependency chains, plenty of ILP.
     let u2 = u * u;
     let u4 = u2 * u2;
@@ -135,6 +144,247 @@ fn ln_1p_unit(u: f64) -> f64 {
 #[inline(always)]
 pub fn softplus(x: f64) -> f64 {
     x.max(0.0) + ln_1p_unit(exp_neg(x.abs()))
+}
+
+/// `e^{−t}` for `t ≥ 0` on fused multiply-adds: the same range reduction
+/// and degree-12 Estrin polynomial as `exp_neg`, with every `a·b + c`
+/// contracted through [`f64::mul_add`]. Since `mul_add` is correctly
+/// rounded (one rounding per fused step instead of two), the result is
+/// deterministic and machine-independent — but *different in the last
+/// bits* from `exp_neg`, which is why the two live side by side: the
+/// engine's `reference` kernel profile keeps the unfused form, the `fma`
+/// profile uses this one under its own pinned goldens.
+#[inline(always)]
+fn exp_neg_fma(t: f64) -> f64 {
+    debug_assert!(
+        t >= 0.0 || t.is_nan(),
+        "exp_neg_fma expects t >= 0 (or NaN), got {t}"
+    );
+    let t = if t > 709.1 { 709.1 } else { t };
+    let y = -t;
+    let n = (y * std::f64::consts::LOG2_E).round_ties_even();
+    // Cody–Waite reduction, each step fused: r = y − n·ln2_hi − n·ln2_lo.
+    let r = (-n).mul_add(LN2_LO, (-n).mul_add(LN2_HI, y));
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p01 = 1.0 + r;
+    let p23 = r.mul_add(1.0 / 6.0, 1.0 / 2.0);
+    let p45 = r.mul_add(1.0 / 120.0, 1.0 / 24.0);
+    let p67 = r.mul_add(1.0 / 5_040.0, 1.0 / 720.0);
+    let p89 = r.mul_add(1.0 / 362_880.0, 1.0 / 40_320.0);
+    let p1011 = r.mul_add(1.0 / 39_916_800.0, 1.0 / 3_628_800.0);
+    let a = r2.mul_add(p23, p01);
+    let b = r2.mul_add(p67, p45);
+    let c = r2.mul_add(p1011, p89);
+    let d = 1.0 / 479_001_600.0;
+    let low = r4.mul_add(b, a);
+    let high = r4.mul_add(d, c);
+    let p = r8.mul_add(high, low);
+    let scale = f64::from_bits(((n as i64 + 1023) as u64) << 52);
+    p * scale
+}
+
+/// `ln(1 + u)` for `u ∈ [0, 1]`: the `ln_1p_unit` Chebyshev evaluation
+/// with every Estrin combination step contracted through
+/// [`f64::mul_add`]. See [`exp_neg_fma`] for why the fused twin exists.
+#[inline(always)]
+fn ln_1p_unit_fma(u: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&u) || u.is_nan(),
+        "ln_1p_unit_fma expects u in [0, 1] (or NaN), got {u}"
+    );
+    const Q: [f64; 22] = LN1P_Q;
+    let u2 = u * u;
+    let u4 = u2 * u2;
+    let u8 = u4 * u4;
+    let u16 = u8 * u8;
+    let p01 = u.mul_add(Q[1], Q[0]);
+    let p23 = u.mul_add(Q[3], Q[2]);
+    let p45 = u.mul_add(Q[5], Q[4]);
+    let p67 = u.mul_add(Q[7], Q[6]);
+    let p89 = u.mul_add(Q[9], Q[8]);
+    let p1011 = u.mul_add(Q[11], Q[10]);
+    let p1213 = u.mul_add(Q[13], Q[12]);
+    let p1415 = u.mul_add(Q[15], Q[14]);
+    let p1617 = u.mul_add(Q[17], Q[16]);
+    let p1819 = u.mul_add(Q[19], Q[18]);
+    let p2021 = u.mul_add(Q[21], Q[20]);
+    let a0 = u2.mul_add(p23, p01);
+    let a1 = u2.mul_add(p67, p45);
+    let a2 = u2.mul_add(p1011, p89);
+    let a3 = u2.mul_add(p1415, p1213);
+    let a4 = u2.mul_add(p1819, p1617);
+    let a5 = p2021;
+    let b0 = u4.mul_add(a1, a0);
+    let b1 = u4.mul_add(a3, a2);
+    let b2 = u4.mul_add(a5, a4);
+    let c0 = u8.mul_add(b1, b0);
+    u * u16.mul_add(b2, c0)
+}
+
+/// Softplus on fused multiply-adds — the `fma` kernel profile's twin of
+/// [`softplus`]: same `max(x, 0) + ln(1 + e^{−|x|})` formulation, same
+/// polynomial kernels, every `a·b + c` contracted through the correctly
+/// rounded [`f64::mul_add`]. Deterministic and machine-independent like
+/// the unfused form (one rounding per fused step, everywhere), but not
+/// bit-identical to it — engine outputs produced with this path are
+/// pinned under the `fma` profile's own goldens. Accuracy is the same or
+/// slightly better than [`softplus`] (fewer roundings); the agreement
+/// bound against libm is pinned by tests.
+#[inline(always)]
+pub fn softplus_fma(x: f64) -> f64 {
+    x.max(0.0) + ln_1p_unit_fma(exp_neg_fma(x.abs()))
+}
+
+/// Explicit AVX-512 evaluation of the fused softplus-on-modulus plane
+/// sweep — the `fma` kernel profile's activation path on machines with
+/// the F+DQ+VL subsets.
+///
+/// LLVM only partially vectorizes the scalar [`softplus_fma`] chain (the
+/// `f64 → i64` exponent build and the NaN-preserving clamp defeat the
+/// loop vectorizer), so the hot sweep is written directly against the
+/// 8-lane intrinsics. **Every intrinsic maps 1:1 to one scalar operation
+/// of the fused chain** — `vfmadd`/`vfnmadd` for each `mul_add`,
+/// `vrndscalepd(0x08)` for `round_ties_even`, `vmaxpd(x, 0)` /
+/// `vandpd`-abs with the scalar operand order, `vcvttpd2qq + vpaddq +
+/// vpsllq` for the exponent bit-build — and lanes are independent, so the
+/// result is bit-identical to the scalar evaluation for every input
+/// (including the NaN and ±0 edge cases; pinned by tests). The
+/// non-multiple-of-8 tail runs the scalar chain under the same
+/// `target_feature` context.
+#[cfg(target_arch = "x86_64")]
+#[doc(hidden)]
+pub mod fma_avx512 {
+    use super::{softplus_fma, LN1P_Q, LN2_HI, LN2_LO};
+    use std::arch::x86_64::*;
+
+    /// `z_re[k] = softplus_fma(√(re²+im²))`, `z_im[k] = 0` over whole
+    /// planes — the fused-modulus activation sweep of the `fma` profile.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512 F, DQ and VL (callers dispatch via
+    /// `is_x86_feature_detected!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes differ in length.
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub unsafe fn activate_planes(z_re: &mut [f64], z_im: &mut [f64]) {
+        assert_eq!(z_re.len(), z_im.len(), "plane length mismatch");
+        let len = z_re.len();
+        let mut k = 0usize;
+        while k + 8 <= len {
+            let re = _mm512_loadu_pd(z_re.as_ptr().add(k));
+            let im = _mm512_loadu_pd(z_im.as_ptr().add(k));
+            // s = fma(re, re, im·im); x = √s — same ops as the scalar body.
+            let s = _mm512_fmadd_pd(re, re, _mm512_mul_pd(im, im));
+            let x = _mm512_sqrt_pd(s);
+            let out = softplus8(x);
+            _mm512_storeu_pd(z_re.as_mut_ptr().add(k), out);
+            _mm512_storeu_pd(z_im.as_mut_ptr().add(k), _mm512_setzero_pd());
+            k += 8;
+        }
+        // Scalar tail: the identical fused chain (still compiled under
+        // this function's target features, so `mul_add` is hardware fma).
+        for k in k..len {
+            let r = z_re[k];
+            let i = z_im[k];
+            let s = r.mul_add(r, i * i);
+            z_re[k] = softplus_fma(s.sqrt());
+            z_im[k] = 0.0;
+        }
+    }
+
+    /// 8-lane [`softplus_fma`]: `max(x, 0) + ln(1 + e^{−|x|})`.
+    #[inline(always)]
+    unsafe fn softplus8(x: __m512d) -> __m512d {
+        // x.max(0.0): vmaxpd returns the second operand when the first is
+        // NaN — matching scalar `f64::max`, which returns the non-NaN arg.
+        let m = _mm512_max_pd(x, _mm512_setzero_pd());
+        let t = _mm512_abs_pd(x);
+        _mm512_add_pd(m, ln_1p_unit8(exp_neg8(t)))
+    }
+
+    /// 8-lane [`super::exp_neg_fma`], one intrinsic per scalar op.
+    #[inline(always)]
+    unsafe fn exp_neg8(t: __m512d) -> __m512d {
+        // NaN-preserving clamp: `t > 709.1` is false for NaN (ordered
+        // quiet compare), so NaN lanes keep their payload like the scalar
+        // `if t > 709.1` branch.
+        let cap = _mm512_set1_pd(709.1);
+        let gt = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(t, cap);
+        let t = _mm512_mask_blend_pd(gt, t, cap);
+        let y = _mm512_xor_pd(t, _mm512_set1_pd(-0.0));
+        let n = _mm512_roundscale_pd::<0x08>(_mm512_mul_pd(
+            y,
+            _mm512_set1_pd(std::f64::consts::LOG2_E),
+        ));
+        // r = (−n)·ln2_lo + ((−n)·ln2_hi + y), each step fused: vfnmadd
+        // computes −(a·b) + c ≡ (−a)·b + c exactly.
+        let r = _mm512_fnmadd_pd(
+            n,
+            _mm512_set1_pd(LN2_LO),
+            _mm512_fnmadd_pd(n, _mm512_set1_pd(LN2_HI), y),
+        );
+        let r2 = _mm512_mul_pd(r, r);
+        let r4 = _mm512_mul_pd(r2, r2);
+        let r8 = _mm512_mul_pd(r4, r4);
+        let c = |v: f64| _mm512_set1_pd(v);
+        let p01 = _mm512_add_pd(c(1.0), r);
+        let p23 = _mm512_fmadd_pd(r, c(1.0 / 6.0), c(1.0 / 2.0));
+        let p45 = _mm512_fmadd_pd(r, c(1.0 / 120.0), c(1.0 / 24.0));
+        let p67 = _mm512_fmadd_pd(r, c(1.0 / 5_040.0), c(1.0 / 720.0));
+        let p89 = _mm512_fmadd_pd(r, c(1.0 / 362_880.0), c(1.0 / 40_320.0));
+        let p1011 = _mm512_fmadd_pd(r, c(1.0 / 39_916_800.0), c(1.0 / 3_628_800.0));
+        let a = _mm512_fmadd_pd(r2, p23, p01);
+        let b = _mm512_fmadd_pd(r2, p67, p45);
+        let cc = _mm512_fmadd_pd(r2, p1011, p89);
+        let low = _mm512_fmadd_pd(r4, b, a);
+        let high = _mm512_fmadd_pd(r4, c(1.0 / 479_001_600.0), cc);
+        let p = _mm512_fmadd_pd(r8, high, low);
+        // scale = 2^n via ((n as i64 + 1023) << 52). vcvttpd2qq turns a
+        // NaN lane into i64::MIN where the scalar saturating cast gives 0,
+        // but the +1023 / << 52 keep only the low 12 bits — identical
+        // 0x3FF << 52 either way (and the NaN still propagates through p).
+        let i = _mm512_cvttpd_epi64(n);
+        let i = _mm512_add_epi64(i, _mm512_set1_epi64(1023));
+        let scale = _mm512_castsi512_pd(_mm512_slli_epi64::<52>(i));
+        _mm512_mul_pd(p, scale)
+    }
+
+    /// 8-lane [`super::ln_1p_unit_fma`], one intrinsic per scalar op.
+    #[inline(always)]
+    unsafe fn ln_1p_unit8(u: __m512d) -> __m512d {
+        let q = |idx: usize| _mm512_set1_pd(LN1P_Q[idx]);
+        let u2 = _mm512_mul_pd(u, u);
+        let u4 = _mm512_mul_pd(u2, u2);
+        let u8 = _mm512_mul_pd(u4, u4);
+        let u16 = _mm512_mul_pd(u8, u8);
+        let p01 = _mm512_fmadd_pd(u, q(1), q(0));
+        let p23 = _mm512_fmadd_pd(u, q(3), q(2));
+        let p45 = _mm512_fmadd_pd(u, q(5), q(4));
+        let p67 = _mm512_fmadd_pd(u, q(7), q(6));
+        let p89 = _mm512_fmadd_pd(u, q(9), q(8));
+        let p1011 = _mm512_fmadd_pd(u, q(11), q(10));
+        let p1213 = _mm512_fmadd_pd(u, q(13), q(12));
+        let p1415 = _mm512_fmadd_pd(u, q(15), q(14));
+        let p1617 = _mm512_fmadd_pd(u, q(17), q(16));
+        let p1819 = _mm512_fmadd_pd(u, q(19), q(18));
+        let p2021 = _mm512_fmadd_pd(u, q(21), q(20));
+        let a0 = _mm512_fmadd_pd(u2, p23, p01);
+        let a1 = _mm512_fmadd_pd(u2, p67, p45);
+        let a2 = _mm512_fmadd_pd(u2, p1011, p89);
+        let a3 = _mm512_fmadd_pd(u2, p1415, p1213);
+        let a4 = _mm512_fmadd_pd(u2, p1819, p1617);
+        let a5 = p2021;
+        let b0 = _mm512_fmadd_pd(u4, a1, a0);
+        let b1 = _mm512_fmadd_pd(u4, a3, a2);
+        let b2 = _mm512_fmadd_pd(u4, a5, a4);
+        let c0 = _mm512_fmadd_pd(u8, b1, b0);
+        _mm512_mul_pd(u, _mm512_fmadd_pd(u16, b2, c0))
+    }
 }
 
 /// Logistic sigmoid `1 / (1 + e^{−x})` — the derivative of softplus.
@@ -216,6 +466,71 @@ pub fn softmax(o: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
 
+    /// The explicit AVX-512 plane sweep is bit-identical to the scalar
+    /// fused chain for every lane — including the tail, ±0, the 709.1
+    /// clamp boundary, deep-underflow inputs, and NaN propagation.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_plane_sweep_is_bit_identical_to_scalar() {
+        if !(std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+            && std::arch::is_x86_feature_detected!("avx512vl"))
+        {
+            eprintln!("skipping: no AVX-512 F+DQ+VL on this machine");
+            return;
+        }
+        // 8·k + tail lengths; values spanning the interesting ranges plus
+        // a deterministic pseudo-random fill.
+        let edges = [
+            0.0,
+            -0.0,
+            1.0e-300,
+            0.5,
+            1.0,
+            2.0,
+            18.0,
+            40.0,
+            708.9,
+            709.1,
+            710.0,
+            1.0e6,
+            f64::NAN,
+        ];
+        for len in [1usize, 7, 8, 16, 37, 256] {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            let mut rnd = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+            };
+            let re: Vec<f64> = (0..len)
+                .map(|i| edges.get(i).copied().unwrap_or_else(&mut rnd))
+                .collect();
+            let im: Vec<f64> = (0..len).map(|_| rnd()).collect();
+
+            let (mut sr, mut si) = (re.clone(), im.clone());
+            for (r, i) in sr.iter_mut().zip(si.iter_mut()) {
+                let s = r.mul_add(*r, *i * *i);
+                *r = softplus_fma(s.sqrt());
+                *i = 0.0;
+            }
+            let (mut vr, mut vi) = (re.clone(), im.clone());
+            unsafe { fma_avx512::activate_planes(&mut vr, &mut vi) };
+            for k in 0..len {
+                assert!(
+                    sr[k].to_bits() == vr[k].to_bits() || (sr[k].is_nan() && vr[k].is_nan()),
+                    "lane {k} (len {len}): scalar {:?} vs simd {:?} for re={:e} im={:e}",
+                    sr[k],
+                    vr[k],
+                    re[k],
+                    im[k]
+                );
+                assert_eq!(vi[k], 0.0, "imaginary plane not zeroed at {k}");
+            }
+        }
+    }
+
     #[test]
     fn softplus_known_values() {
         assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-14);
@@ -249,6 +564,49 @@ mod tests {
         assert!(softplus(-300.0) < 1e-128);
         assert_eq!(softplus(-1000.0), 0.0);
         assert_eq!(softplus(1000.0), 1000.0);
+    }
+
+    #[test]
+    fn softplus_fma_matches_libm_and_unfused_softplus() {
+        fn reference(x: f64) -> f64 {
+            x.max(0.0) + (-x.abs()).exp().ln_1p()
+        }
+        let mut x = -60.0;
+        while x <= 60.0 {
+            let fused = softplus_fma(x);
+            let slow = reference(x);
+            let err = (fused - slow).abs();
+            assert!(
+                err / slow.abs().max(1e-300) < 1e-13 || err < 1e-16,
+                "x={x}: fma {fused:e} vs libm {slow:e}"
+            );
+            // The two profiles agree to far better than any consumer's
+            // resolution — they differ only in rounding, never in value.
+            let unfused = softplus(x);
+            let delta = (fused - unfused).abs();
+            assert!(
+                delta / unfused.abs().max(1e-300) < 1e-13 || delta < 1e-16,
+                "x={x}: fma {fused:e} vs unfused {unfused:e}"
+            );
+            x += 0.00917;
+        }
+        assert_eq!(softplus_fma(-1000.0), 0.0);
+        assert_eq!(softplus_fma(1000.0), 1000.0);
+        assert!(softplus_fma(f64::NAN).is_nan());
+        assert_eq!(softplus_fma(f64::INFINITY), f64::INFINITY);
+        assert_eq!(softplus_fma(f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn softplus_fma_is_deterministic() {
+        // Same input, same bits — every call, any call site. The engine
+        // pins cross-machine stability at the report level; this pins the
+        // primitive.
+        for &x in &[0.0, 0.3, 1.7, -2.9, 14.25, -40.0] {
+            let a = softplus_fma(x);
+            let b = softplus_fma(x);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
